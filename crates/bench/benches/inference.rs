@@ -1,0 +1,54 @@
+//! Microbenchmark: 2-bit counter inference — incremental composition vs the
+//! paper's a-priori table lookup ("rather than performing this computation
+//! at execution time, a table was built a priori").
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rsr_branch::{CounterInference, InferenceTable};
+
+fn bench_inference(c: &mut Criterion) {
+    // Pseudo-random reverse histories.
+    let histories: Vec<(u64, u32)> = (0..256u64)
+        .map(|i| {
+            let bits = i.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            (bits, 1 + (i % 8) as u32)
+        })
+        .collect();
+
+    let mut group = c.benchmark_group("counter_inference");
+
+    group.bench_function("incremental_composition", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(bits, len) in &histories {
+                let mut inf = CounterInference::new();
+                for i in 0..len {
+                    inf.prepend(bits >> i & 1 != 0);
+                    if inf.is_exact() {
+                        break;
+                    }
+                }
+                acc += inf.best_guess().map_or(0, |c| c.value() as u32);
+            }
+            black_box(acc)
+        })
+    });
+
+    let table = InferenceTable::new(8);
+    group.bench_function("a_priori_table_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0u32;
+            for &(bits, len) in &histories {
+                acc += table.lookup(bits, len).map_or(0, |c| c.value() as u32);
+            }
+            black_box(acc)
+        })
+    });
+
+    group.bench_function("table_construction_len8", |b| {
+        b.iter(|| black_box(InferenceTable::new(8)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_inference);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! End-to-end policy microbenchmark: one small sampled simulation per
+//! warm-up method (None / S$BP / R$BP 20%) — a fast, Criterion-tracked
+//! proxy for the paper's Figure 7 time axis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsr_core::{run_sampled, MachineConfig, Pct, SamplingRegimen, WarmupPolicy};
+use rsr_workloads::{Benchmark, WorkloadParams};
+
+fn bench_policies(c: &mut Criterion) {
+    let machine = MachineConfig::paper();
+    let program = Benchmark::Twolf.build(&WorkloadParams { scale: 0.25, ..Default::default() });
+    let regimen = SamplingRegimen::new(10, 1000);
+    let total = 400_000;
+
+    let mut group = c.benchmark_group("sampled_run_twolf_400k");
+    group.sample_size(10);
+    for policy in [
+        WarmupPolicy::None,
+        WarmupPolicy::Smarts { cache: true, bp: true },
+        WarmupPolicy::FixedPeriod { pct: Pct::new(20) },
+        WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
+    ] {
+        group.bench_function(policy.to_string().replace(' ', "_"), |b| {
+            b.iter(|| {
+                run_sampled(&program, &machine, regimen, total, policy, 7).expect("runs")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_policies);
+criterion_main!(benches);

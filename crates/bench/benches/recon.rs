@@ -1,0 +1,107 @@
+//! Microbenchmark: reverse cache reconstruction vs SMARTS functional
+//! warming over the same logged skip region — the per-region cost the
+//! paper's speedup comes from.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use rsr_cache::{HierAccess, HierarchyConfig, MemHierarchy};
+use rsr_core::{reconstruct_caches, Pct, SkipLog};
+use rsr_func::Cpu;
+use rsr_workloads::{Benchmark, WorkloadParams};
+
+const REGION_INSTS: u64 = 200_000;
+
+fn logged_region() -> SkipLog {
+    let program = Benchmark::Mcf.build(&WorkloadParams { scale: 0.25, ..Default::default() });
+    let mut cpu = Cpu::new(&program).expect("loads");
+    let mut log = SkipLog::new(true, false, 0);
+    for _ in 0..REGION_INSTS {
+        let r = cpu.step().expect("runs");
+        log.record(&r);
+    }
+    log
+}
+
+fn recorded_accesses() -> Vec<(u64, HierAccess)> {
+    let program = Benchmark::Mcf.build(&WorkloadParams { scale: 0.25, ..Default::default() });
+    let mut cpu = Cpu::new(&program).expect("loads");
+    let mut out = Vec::new();
+    for _ in 0..REGION_INSTS {
+        let r = cpu.step().expect("runs");
+        out.push((r.pc, HierAccess::Fetch));
+        if let Some(m) = r.mem {
+            out.push((m.addr, if m.is_store { HierAccess::Store } else { HierAccess::Load }));
+        }
+    }
+    out
+}
+
+fn bench_region_warmup(c: &mut Criterion) {
+    let log = logged_region();
+    let accesses = recorded_accesses();
+    let mut group = c.benchmark_group("region_warmup");
+    group.sample_size(10);
+
+    group.bench_function("smarts_full_functional_warm", |b| {
+        b.iter_batched(
+            || MemHierarchy::new(HierarchyConfig::paper()),
+            |mut hier| {
+                for &(addr, kind) in &accesses {
+                    hier.warm_access(addr, kind);
+                }
+                hier
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    for pct in [20u8, 100] {
+        group.bench_function(format!("reverse_reconstruction_{pct}pct"), |b| {
+            b.iter_batched(
+                || MemHierarchy::new(HierarchyConfig::paper()),
+                |mut hier| {
+                    reconstruct_caches(&mut hier, &log, Pct::new(pct));
+                    hier
+                },
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_logging(c: &mut Criterion) {
+    let program = Benchmark::Mcf.build(&WorkloadParams { scale: 0.25, ..Default::default() });
+    let mut group = c.benchmark_group("skip_phase");
+    group.sample_size(10);
+
+    group.bench_function("cold_step_only", |b| {
+        b.iter_batched(
+            || Cpu::new(&program).expect("loads"),
+            |mut cpu| {
+                for _ in 0..50_000 {
+                    let _ = cpu.step().expect("runs");
+                }
+                cpu.icount()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    group.bench_function("cold_step_plus_log", |b| {
+        b.iter_batched(
+            || (Cpu::new(&program).expect("loads"), SkipLog::new(true, true, 0)),
+            |(mut cpu, mut log)| {
+                for _ in 0..50_000 {
+                    let r = cpu.step().expect("runs");
+                    log.record(&r);
+                }
+                log.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_region_warmup, bench_logging);
+criterion_main!(benches);

@@ -1,0 +1,83 @@
+//! Microbenchmarks of the substrate structures: cache access, gshare,
+//! BTB, and RAS operation throughput.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rsr_branch::{Btb, Gshare, Ras};
+use rsr_cache::{AccessKind, Cache, CacheConfig};
+
+fn bench_cache(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cache");
+    let addrs: Vec<u64> =
+        (0..4096u64).map(|i| i.wrapping_mul(0x9e37_79b9_7f4a_7c15) & 0xf_ffff & !7).collect();
+
+    group.bench_function("l1d_access_mixed", |b| {
+        let mut cache = Cache::new(CacheConfig::paper_l1d());
+        b.iter(|| {
+            let mut hits = 0u32;
+            for &a in &addrs {
+                hits += cache.access(a, AccessKind::Read).hit as u32;
+            }
+            black_box(hits)
+        })
+    });
+
+    group.bench_function("l1d_reconstruct_ref", |b| {
+        let mut cache = Cache::new(CacheConfig::paper_l1d());
+        b.iter(|| {
+            cache.begin_reconstruction();
+            for &a in &addrs {
+                let _ = cache.reconstruct_ref(a);
+                if cache.fully_reconstructed() {
+                    break;
+                }
+            }
+            cache.finish_reconstruction();
+            black_box(cache.complete_sets())
+        })
+    });
+    group.finish();
+}
+
+fn bench_predictors(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predictors");
+    let pcs: Vec<u64> = (0..1024u64).map(|i| 0x1_0000 + i * 4).collect();
+
+    group.bench_function("gshare_warm_update", |b| {
+        let mut g = Gshare::new(16);
+        b.iter(|| {
+            for (i, &pc) in pcs.iter().enumerate() {
+                g.warm_update(pc, i % 3 != 0);
+            }
+            black_box(g.ghr())
+        })
+    });
+
+    group.bench_function("btb_update_lookup", |b| {
+        let mut btb = Btb::new(4096);
+        b.iter(|| {
+            let mut found = 0u32;
+            for &pc in &pcs {
+                btb.update(pc, pc + 64);
+                found += btb.lookup(pc).is_some() as u32;
+            }
+            black_box(found)
+        })
+    });
+
+    group.bench_function("ras_push_pop", |b| {
+        let mut ras = Ras::new(8);
+        b.iter(|| {
+            for &pc in &pcs {
+                ras.push(pc);
+                if pc % 3 == 0 {
+                    black_box(ras.pop());
+                }
+            }
+            black_box(ras.peek())
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cache, bench_predictors);
+criterion_main!(benches);

@@ -1,0 +1,29 @@
+//! Regenerates the paper's **appendix**: the full 16-method matrix —
+//! 95 % confidence tests, relative error, and simulation time per
+//! workload.
+
+use rsr_bench::{print_per_bench_re, print_per_bench_time, print_table, run_matrix, Experiment};
+use rsr_core::WarmupPolicy;
+
+fn main() {
+    let mut exp = Experiment::from_env();
+    let policies = WarmupPolicy::paper_matrix();
+    let results = run_matrix(&mut exp, &policies);
+
+    // Confidence tests (yes/no matrix).
+    let mut headers = vec!["method".to_string()];
+    headers.extend(exp.benches.iter().map(|b| b.name().to_string()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut rows = Vec::new();
+    for (pi, &policy) in policies.iter().enumerate() {
+        let mut row = vec![policy.to_string()];
+        for r in &results {
+            row.push(if r[pi].ci_pass() { "yes".into() } else { "no".into() });
+        }
+        rows.push(row);
+    }
+    print_table("Appendix: 95% confidence tests", &headers_ref, &rows);
+
+    print_per_bench_re(&exp, "Appendix: relative error", &policies, &results);
+    print_per_bench_time(&exp, "Appendix: wall seconds", &policies, &results);
+}

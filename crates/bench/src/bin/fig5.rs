@@ -1,0 +1,21 @@
+//! Regenerates **Figure 5**: cache-only warm-up — Reverse Trace Cache
+//! Reconstruction (`R$`) at 20/40/80/100 % against SMARTS cache warming
+//! (`S$`), with the branch predictor left stale throughout.
+
+use rsr_bench::{print_per_bench_re, print_per_bench_time, print_summary, run_matrix, Experiment};
+use rsr_core::{Pct, WarmupPolicy};
+
+fn main() {
+    let mut exp = Experiment::from_env();
+    let policies = vec![
+        WarmupPolicy::Reverse { cache: true, bp: false, pct: Pct::new(20) },
+        WarmupPolicy::Reverse { cache: true, bp: false, pct: Pct::new(40) },
+        WarmupPolicy::Reverse { cache: true, bp: false, pct: Pct::new(80) },
+        WarmupPolicy::Reverse { cache: true, bp: false, pct: Pct::new(100) },
+        WarmupPolicy::Smarts { cache: true, bp: false },
+    ];
+    let results = run_matrix(&mut exp, &policies);
+    print_summary(&mut exp, "Figure 5: cache warm-up only", &policies, &results, 4);
+    print_per_bench_re(&exp, "Figure 5 (per benchmark): relative error", &policies, &results);
+    print_per_bench_time(&exp, "Figure 5 (per benchmark): wall seconds", &policies, &results);
+}

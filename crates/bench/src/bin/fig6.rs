@@ -1,0 +1,18 @@
+//! Regenerates **Figure 6**: branch-predictor-only warm-up — Reverse Trace
+//! Branch Predictor Reconstruction (`RBP`) against SMARTS BP warming
+//! (`SBP`), with the caches left stale throughout.
+
+use rsr_bench::{print_per_bench_re, print_per_bench_time, print_summary, run_matrix, Experiment};
+use rsr_core::{Pct, WarmupPolicy};
+
+fn main() {
+    let mut exp = Experiment::from_env();
+    let policies = vec![
+        WarmupPolicy::Reverse { cache: false, bp: true, pct: Pct::new(100) },
+        WarmupPolicy::Smarts { cache: false, bp: true },
+    ];
+    let results = run_matrix(&mut exp, &policies);
+    print_summary(&mut exp, "Figure 6: branch prediction warm-up only", &policies, &results, 1);
+    print_per_bench_re(&exp, "Figure 6 (per benchmark): relative error", &policies, &results);
+    print_per_bench_time(&exp, "Figure 6 (per benchmark): wall seconds", &policies, &results);
+}

@@ -1,0 +1,31 @@
+//! Regenerates **Figure 7**: combined cache + branch-predictor warm-up —
+//! `None`, fixed period at 20/40/80 %, `R$BP` at 20/40/80/100 %, and
+//! `S$BP`.
+
+use rsr_bench::{print_per_bench_re, print_per_bench_time, print_summary, run_matrix, Experiment};
+use rsr_core::{Pct, WarmupPolicy};
+
+fn main() {
+    let mut exp = Experiment::from_env();
+    let policies = vec![
+        WarmupPolicy::None,
+        WarmupPolicy::FixedPeriod { pct: Pct::new(20) },
+        WarmupPolicy::FixedPeriod { pct: Pct::new(40) },
+        WarmupPolicy::FixedPeriod { pct: Pct::new(80) },
+        WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
+        WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(40) },
+        WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(80) },
+        WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(100) },
+        WarmupPolicy::Smarts { cache: true, bp: true },
+    ];
+    let results = run_matrix(&mut exp, &policies);
+    print_summary(
+        &mut exp,
+        "Figure 7: cache and branch prediction warm-up",
+        &policies,
+        &results,
+        8,
+    );
+    print_per_bench_re(&exp, "Figure 7 (per benchmark): relative error", &policies, &results);
+    print_per_bench_time(&exp, "Figure 7 (per benchmark): wall seconds", &policies, &results);
+}

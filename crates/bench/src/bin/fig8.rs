@@ -1,0 +1,77 @@
+//! Regenerates **Figure 8**: Reverse State Reconstruction vs SMARTS,
+//! per-benchmark relative error and simulation time for `R$BP` at
+//! 20/40/80/100 % against `S$BP`.
+
+use rsr_bench::{avg, fmt_secs, print_per_bench_re, print_per_bench_time, print_table, run_matrix,
+    Experiment};
+use rsr_core::{Pct, WarmupPolicy};
+
+fn main() {
+    let mut exp = Experiment::from_env();
+    let policies = vec![
+        WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
+        WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(40) },
+        WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(80) },
+        WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(100) },
+        WarmupPolicy::Smarts { cache: true, bp: true },
+    ];
+    let results = run_matrix(&mut exp, &policies);
+    print_per_bench_re(
+        &exp,
+        "Figure 8: Reverse State Reconstruction vs SMARTS — relative error",
+        &policies,
+        &results,
+    );
+    print_per_bench_time(
+        &exp,
+        "Figure 8: Reverse State Reconstruction vs SMARTS — wall seconds",
+        &policies,
+        &results,
+    );
+
+    // Relative error *with respect to SMARTS* (the paper's 0.3 % headline).
+    let benches = exp.benches.clone();
+    let mut rows = Vec::new();
+    for (pi, &policy) in policies.iter().enumerate().take(4) {
+        let mut gaps = Vec::new();
+        for r in results.iter() {
+            let s = r[4].outcome.est_ipc();
+            let v = r[pi].outcome.est_ipc();
+            gaps.push((s - v).abs() / s);
+        }
+        let max = gaps.iter().cloned().fold(0.0, f64::max);
+        let min = gaps.iter().cloned().fold(f64::INFINITY, f64::min);
+        rows.push(vec![
+            policy.to_string(),
+            format!("{:.4}", avg(&gaps)),
+            format!("{min:.4}"),
+            format!("{max:.4}"),
+        ]);
+    }
+    print_table(
+        "Figure 8: IPC deviation relative to SMARTS (paper: 0.3% avg at 20%)",
+        &["method", "avg |ΔIPC|/IPC_smarts", "min", "max"],
+        &rows,
+    );
+
+    // Speedup ratios per benchmark at 20% (paper: max 2.45, avg 1.64).
+    let speeds: Vec<f64> = benches.iter().map(|&b| exp.func_speed(b)).collect();
+    let mut rows = Vec::new();
+    for (bi, b) in benches.iter().enumerate() {
+        let wall_ratio = results[bi][4].wall_seconds() / results[bi][0].wall_seconds();
+        let model_ratio = results[bi][4].modeled_seconds(speeds[bi])
+            / results[bi][0].modeled_seconds(speeds[bi]);
+        rows.push(vec![
+            b.name().to_string(),
+            format!("{wall_ratio:.2}"),
+            format!("{model_ratio:.2}"),
+            fmt_secs(results[bi][0].wall_seconds()),
+            fmt_secs(results[bi][4].wall_seconds()),
+        ]);
+    }
+    print_table(
+        "Figure 8: R$BP(20%) speedup over S$BP per benchmark",
+        &["workload", "wall speedup", "model speedup", "R$BP(20%) wall(s)", "S$BP wall(s)"],
+        &rows,
+    );
+}

@@ -1,0 +1,114 @@
+//! Regenerates **Figure 9**: SimPoint comparison — small and large interval
+//! sizes, with and without SMARTS warming while fast-forwarding, against
+//! `R$BP (20%)` sampled simulation.
+//!
+//! Interval sizes are chosen relative to the scaled run exactly as the
+//! paper chose its 50 K ("hot-instruction parity with the sampling
+//! regimen") and 10 M ("the SimPoint authors' recommended size") settings:
+//! the small interval matches the benchmark's cluster length; the large
+//! interval is 64× that, putting it at the scale of the machine's cache
+//! warm-up transient (as the paper's 10 M intervals were relative to its
+//! machine).
+
+use rsr_bench::{avg, fmt_secs, print_table, Experiment, PolicyResult};
+use rsr_core::{Pct, WarmupPolicy};
+use rsr_simpoint::{analyze, simulate, SimpointConfig};
+use rsr_stats::relative_error;
+
+struct SpRow {
+    name: &'static str,
+    res: Vec<f64>,
+    walls: Vec<f64>,
+}
+
+fn main() {
+    let mut exp = Experiment::from_env();
+    let benches = exp.benches.clone();
+
+    let mut rows: Vec<SpRow> = [
+        ("SP small", false, false),
+        ("SP small-SMARTS", false, true),
+        ("SP large", true, false),
+        ("SP large-SMARTS", true, true),
+    ]
+    .into_iter()
+    .map(|(name, _, _)| SpRow { name, res: Vec::new(), walls: Vec::new() })
+    .collect();
+    let configs = [(false, false), (false, true), (true, false), (true, true)];
+
+    let mut rsbp: Vec<PolicyResult> = Vec::new();
+    let mut rsbp80: Vec<PolicyResult> = Vec::new();
+    for &b in &benches {
+        eprintln!("  running {b}...");
+        let (true_ipc, _) = exp.true_ipc(b);
+        let total = exp.total_insts(b);
+        let small = exp.regimen(b).cluster_len;
+        let machine = exp.machine.clone();
+        let program = exp.program(b).clone();
+
+        for (ri, &(large, warm)) in configs.iter().enumerate() {
+            let interval = if large { small * 64 } else { small };
+            // Cap k so the large-interval variant stays a *sample*.
+            let n_intervals = (total / interval) as usize;
+            let cfg = SimpointConfig {
+                warm,
+                max_k: 30.min(n_intervals.saturating_sub(1).max(1)),
+                ..SimpointConfig::new(interval)
+            };
+            let t = std::time::Instant::now();
+            let analysis = analyze(&program, total, &cfg).expect("simpoint analysis");
+            let out = simulate(&program, &machine, &analysis, &cfg).expect("simpoint sim");
+            let wall = t.elapsed().as_secs_f64();
+            rows[ri].res.push(relative_error(true_ipc, out.est_ipc));
+            rows[ri].walls.push(wall);
+        }
+        rsbp.push(
+            exp.run_policy(b, WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) }),
+        );
+        rsbp80.push(
+            exp.run_policy(b, WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(80) }),
+        );
+    }
+
+    let mut table = Vec::new();
+    for row in &rows {
+        table.push(vec![
+            row.name.to_string(),
+            format!("{:.4}", avg(&row.res)),
+            fmt_secs(avg(&row.walls)),
+        ]);
+    }
+    for (label, results) in [("R$BP (20%)", &rsbp), ("R$BP (80%)", &rsbp80)] {
+        let res: Vec<f64> = results.iter().map(|r| r.rel_err()).collect();
+        let walls: Vec<f64> = results.iter().map(|r| r.wall_seconds()).collect();
+        table.push(vec![
+            label.to_string(),
+            format!("{:.4}", avg(&res)),
+            fmt_secs(avg(&walls)),
+        ]);
+    }
+    print_table(
+        "Figure 9: SimPoint comparison (averages; SimPoint wall includes BBV profiling)",
+        &["method", "avg rel err", "wall(s)"],
+        &table,
+    );
+
+    // Appendix: per-benchmark SimPoint relative error.
+    let mut headers = vec!["method".to_string()];
+    headers.extend(benches.iter().map(|b| b.name().to_string()));
+    let headers_ref: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    let mut per = Vec::new();
+    for row in &rows {
+        let mut r = vec![row.name.to_string()];
+        r.extend(row.res.iter().map(|e| format!("{e:.4}")));
+        per.push(r);
+    }
+    print_table("Appendix: SimPoint relative error per workload", &headers_ref, &per);
+    let mut per = Vec::new();
+    for row in &rows {
+        let mut r = vec![row.name.to_string()];
+        r.extend(row.walls.iter().map(|w| fmt_secs(*w)));
+        per.push(r);
+    }
+    print_table("Appendix: SimPoint wall seconds per workload", &headers_ref, &per);
+}

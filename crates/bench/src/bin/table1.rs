@@ -1,0 +1,34 @@
+//! Regenerates **Table 1**: true IPC and sampling regimen per workload.
+
+use rsr_bench::{fmt_secs, print_table, Experiment};
+
+fn main() {
+    let mut exp = Experiment::from_env();
+    println!("Reverse State Reconstruction reproduction — Table 1");
+    println!(
+        "scale {} | {} instructions per workload (paper: first 6 B)",
+        exp.scale,
+        exp.total_insts(rsr_workloads::Benchmark::Mcf)
+    );
+
+    let mut rows = Vec::new();
+    for b in exp.benches.clone() {
+        let regimen = exp.regimen(b);
+        let total = exp.total_insts(b);
+        let (ipc, wall) = exp.true_ipc(b);
+        rows.push(vec![
+            b.name().to_string(),
+            format!("{ipc:.4}"),
+            format!("{}", regimen.n_clusters),
+            format!("{}", regimen.cluster_len),
+            format!("{}", regimen.hot_instructions()),
+            format!("{total}"),
+            fmt_secs(wall),
+        ]);
+    }
+    print_table(
+        "Table 1: true IPC and sampling regimen data for each workload",
+        &["workload", "true IPC", "clusters", "cluster len", "hot insts", "total insts", "full-sim wall(s)"],
+        &rows,
+    );
+}

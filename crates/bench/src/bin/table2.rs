@@ -1,0 +1,39 @@
+//! Regenerates **Table 2**: the warm-up method matrix.
+
+use rsr_bench::print_table;
+use rsr_core::WarmupPolicy;
+
+fn main() {
+    let rows: Vec<Vec<String>> = WarmupPolicy::paper_matrix()
+        .into_iter()
+        .map(|p| {
+            let (cache, bp, how) = match p {
+                WarmupPolicy::None => ("stale", "stale", "no state repair in the skip region"),
+                WarmupPolicy::FixedPeriod { .. } => {
+                    ("warmed", "warmed", "functional warming of the tail of each skip region")
+                }
+                WarmupPolicy::Smarts { cache, bp } => (
+                    if cache { "warmed" } else { "stale" },
+                    if bp { "warmed" } else { "stale" },
+                    "full functional warming over the whole skip region",
+                ),
+                WarmupPolicy::Reverse { cache, bp, .. } => (
+                    if cache { "reconstructed" } else { "stale" },
+                    if bp { "reconstructed" } else { "stale" },
+                    "log skip region; reverse reconstruction (caches eager, BP on demand)",
+                ),
+                WarmupPolicy::Mrrl { .. } | WarmupPolicy::Blrl { .. } => (
+                    "warmed",
+                    "warmed",
+                    "profile reuse latencies per region; warm a percentile window",
+                ),
+            };
+            vec![p.to_string(), cache.into(), bp.into(), how.into()]
+        })
+        .collect();
+    print_table(
+        "Table 2: warm-up method experiments",
+        &["method", "caches", "branch predictor", "mechanism"],
+        &rows,
+    );
+}

@@ -1,0 +1,196 @@
+//! A direct-mapped branch target buffer.
+
+use crate::Addr;
+
+#[derive(Copy, Clone, Debug, Default)]
+struct Entry {
+    valid: bool,
+    tag: u64,
+    target: Addr,
+    reconstructed: bool,
+}
+
+/// Running BTB statistics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct BtbStats {
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Lookups that found a matching entry.
+    pub hits: u64,
+    /// Entries written.
+    pub updates: u64,
+}
+
+/// A direct-mapped BTB holding taken-branch targets (the paper uses 4 K
+/// entries). Reconstruction treats it exactly like a direct-mapped cache:
+/// the reverse scan installs the youngest target for each entry and marks it
+/// reconstructed; older references to reconstructed entries are ignored.
+#[derive(Clone, Debug)]
+pub struct Btb {
+    entries: Vec<Entry>,
+    index_mask: u64,
+    stats: BtbStats,
+}
+
+impl Btb {
+    /// The paper's size.
+    pub const PAPER_ENTRIES: usize = 4096;
+
+    /// Builds an empty BTB with `entries` slots (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a nonzero power of two.
+    pub fn new(entries: usize) -> Btb {
+        assert!(entries.is_power_of_two() && entries > 0, "BTB size must be a power of two");
+        Btb {
+            entries: vec![Entry::default(); entries],
+            index_mask: entries as u64 - 1,
+            stats: BtbStats::default(),
+        }
+    }
+
+    /// Number of entries.
+    pub fn num_entries(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> BtbStats {
+        self.stats
+    }
+
+    /// Resets statistics (state untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = BtbStats::default();
+    }
+
+    /// Entry index for a PC.
+    #[inline]
+    pub fn index(&self, pc: Addr) -> usize {
+        ((pc >> 2) & self.index_mask) as usize
+    }
+
+    #[inline]
+    fn tag(&self, pc: Addr) -> u64 {
+        (pc >> 2) >> self.entries.len().trailing_zeros()
+    }
+
+    /// Looks up the predicted target for `pc`.
+    pub fn lookup(&mut self, pc: Addr) -> Option<Addr> {
+        self.stats.lookups += 1;
+        let e = &self.entries[self.index(pc)];
+        if e.valid && e.tag == self.tag(pc) {
+            self.stats.hits += 1;
+            Some(e.target)
+        } else {
+            None
+        }
+    }
+
+    /// Non-counting lookup (used inside reconstruction probes).
+    pub fn peek(&self, pc: Addr) -> Option<Addr> {
+        let e = &self.entries[self.index(pc)];
+        (e.valid && e.tag == self.tag(pc)).then_some(e.target)
+    }
+
+    /// Installs/updates the target for a taken control transfer at `pc`.
+    pub fn update(&mut self, pc: Addr, target: Addr) {
+        let idx = self.index(pc);
+        let tag = self.tag(pc);
+        let recon = self.entries[idx].reconstructed;
+        self.entries[idx] = Entry { valid: true, tag, target, reconstructed: recon };
+        self.stats.updates += 1;
+    }
+
+    // ---- reconstruction ---------------------------------------------------
+
+    /// Clears all reconstructed bits.
+    pub fn begin_reconstruction(&mut self) {
+        for e in &mut self.entries {
+            e.reconstructed = false;
+        }
+    }
+
+    /// Applies one logged taken transfer during the reverse scan. Returns
+    /// `true` if the entry was (newly) reconstructed, `false` if a younger
+    /// reference had already reconstructed it.
+    pub fn reconstruct(&mut self, pc: Addr, target: Addr) -> bool {
+        let idx = self.index(pc);
+        if self.entries[idx].reconstructed {
+            return false;
+        }
+        self.entries[idx] =
+            Entry { valid: true, tag: self.tag(pc), target, reconstructed: true };
+        true
+    }
+
+    /// Whether the entry mapped by `pc` is reconstructed.
+    pub fn is_reconstructed(&self, pc: Addr) -> bool {
+        self.entries[self.index(pc)].reconstructed
+    }
+
+    /// Marks the entry mapped by `pc` reconstructed without touching its
+    /// content. Used when execution itself writes an entry (its state is
+    /// now exact, so the reverse scan must not overwrite it with older
+    /// information).
+    pub fn mark_reconstructed(&mut self, pc: Addr) {
+        let idx = self.index(pc);
+        self.entries[idx].reconstructed = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lookup_miss_then_hit() {
+        let mut b = Btb::new(16);
+        assert_eq!(b.lookup(0x1000), None);
+        b.update(0x1000, 0x2000);
+        assert_eq!(b.lookup(0x1000), Some(0x2000));
+        assert_eq!(b.stats().hits, 1);
+        assert_eq!(b.stats().lookups, 2);
+    }
+
+    #[test]
+    fn tag_disambiguates_aliases() {
+        let mut b = Btb::new(16);
+        let pc_a = 0x1000;
+        let pc_b = pc_a + 16 * 4; // same index, different tag
+        assert_eq!(b.index(pc_a), b.index(pc_b));
+        b.update(pc_a, 0x2000);
+        assert_eq!(b.lookup(pc_b), None);
+        b.update(pc_b, 0x3000);
+        assert_eq!(b.lookup(pc_b), Some(0x3000));
+        assert_eq!(b.lookup(pc_a), None); // evicted
+    }
+
+    #[test]
+    fn reverse_reconstruction_keeps_youngest() {
+        let mut b = Btb::new(16);
+        b.begin_reconstruction();
+        // Reverse scan: youngest first.
+        assert!(b.reconstruct(0x1000, 0xaaaa));
+        // Older reference to the same entry is ignored.
+        assert!(!b.reconstruct(0x1000, 0xbbbb));
+        assert_eq!(b.peek(0x1000), Some(0xaaaa));
+        assert!(b.is_reconstructed(0x1000));
+    }
+
+    #[test]
+    fn begin_reconstruction_clears_bits_not_content() {
+        let mut b = Btb::new(16);
+        b.reconstruct(0x1000, 0xaaaa);
+        b.begin_reconstruction();
+        assert!(!b.is_reconstructed(0x1000));
+        assert_eq!(b.peek(0x1000), Some(0xaaaa)); // stale content survives
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_rejected() {
+        let _ = Btb::new(12);
+    }
+}

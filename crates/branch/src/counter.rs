@@ -1,0 +1,448 @@
+//! Two-bit saturating counters and the reverse-history state inference of
+//! paper §3.2.
+//!
+//! During branch-predictor reconstruction the true counter value of a PHT
+//! entry at the end of the skip region is unknown, but the entry's branch
+//! outcomes are logged. Walking that history in *reverse* order (newest
+//! first), the set of counter values consistent with the observed suffix
+//! shrinks monotonically: three consecutive identical outcomes pin the
+//! counter exactly. We represent the suffix as a composed transition map
+//! (`initial state → final state`); prepending an older outcome composes on
+//! the inside, and the map's range is the set of possible final states.
+//! [`InferenceTable`] materializes this as the a-priori lookup table the
+//! paper describes.
+
+/// A 2-bit saturating counter (0 = strongly not-taken … 3 = strongly taken).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Counter2(u8);
+
+impl Counter2 {
+    /// Strongly not-taken.
+    pub const STRONG_NT: Counter2 = Counter2(0);
+    /// Weakly not-taken.
+    pub const WEAK_NT: Counter2 = Counter2(1);
+    /// Weakly taken.
+    pub const WEAK_T: Counter2 = Counter2(2);
+    /// Strongly taken.
+    pub const STRONG_T: Counter2 = Counter2(3);
+
+    /// Builds a counter from its raw value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v > 3`.
+    pub fn new(v: u8) -> Counter2 {
+        assert!(v <= 3, "counter value {v} out of range");
+        Counter2(v)
+    }
+
+    /// Raw value (0–3).
+    #[inline]
+    pub fn value(self) -> u8 {
+        self.0
+    }
+
+    /// Predicted direction.
+    #[inline]
+    pub fn predict_taken(self) -> bool {
+        self.0 >= 2
+    }
+
+    /// Saturating update with an observed outcome.
+    #[inline]
+    pub fn update(self, taken: bool) -> Counter2 {
+        if taken {
+            Counter2((self.0 + 1).min(3))
+        } else {
+            Counter2(self.0.saturating_sub(1))
+        }
+    }
+}
+
+/// A set of possible counter states, as a 4-bit mask (bit *i* ⇔ state *i*).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct StateSet(u8);
+
+impl StateSet {
+    /// All four states possible (no information).
+    pub const ALL: StateSet = StateSet(0b1111);
+
+    /// Builds a set from a raw 4-bit mask.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask is zero or uses bits above 3.
+    pub fn from_mask(mask: u8) -> StateSet {
+        assert!(mask != 0 && mask & !0b1111 == 0, "bad state mask {mask:#b}");
+        StateSet(mask)
+    }
+
+    /// The raw mask.
+    #[inline]
+    pub fn mask(self) -> u8 {
+        self.0
+    }
+
+    /// Number of states in the set.
+    #[inline]
+    pub fn len(self) -> u32 {
+        self.0.count_ones()
+    }
+
+    /// `true` if exactly one state remains.
+    #[inline]
+    pub fn is_exact(self) -> bool {
+        self.len() == 1
+    }
+
+    /// Never empty by construction; provided for API completeness.
+    #[inline]
+    pub fn is_empty(self) -> bool {
+        false
+    }
+
+    /// Whether `state` is in the set.
+    #[inline]
+    pub fn contains(self, state: u8) -> bool {
+        state <= 3 && self.0 & (1 << state) != 0
+    }
+
+    /// The states in ascending order.
+    pub fn states(self) -> impl Iterator<Item = u8> {
+        let mask = self.0;
+        (0u8..4).filter(move |s| mask & (1 << s) != 0)
+    }
+
+    /// The paper's tie-break (§3.2, Figure 3 discussion): an exact set gives
+    /// the exact state; a set biased to one direction gives the weak form of
+    /// that direction; three states give the middle state; the full set
+    /// (no history) gives `None` — the entry stays stale.
+    ///
+    /// A two-state set that straddles the taken/not-taken boundary (possible
+    /// after mixed histories) is resolved to the weak state on the
+    /// not-taken side, a conservative choice the paper does not pin down.
+    pub fn resolve(self) -> Option<Counter2> {
+        let states: Vec<u8> = self.states().collect();
+        match states.len() {
+            1 => Some(Counter2(states[0])),
+            4 => None,
+            3 => Some(Counter2(states[1])),
+            2 => {
+                // Biased to the taken side → weakly taken; biased to the
+                // not-taken side, or straddling the boundary (the paper
+                // leaves this open) → weakly not-taken.
+                let all_taken = states.iter().all(|&s| s >= 2);
+                Some(if all_taken { Counter2::WEAK_T } else { Counter2::WEAK_NT })
+            }
+            _ => unreachable!("state sets are 1..=4 states"),
+        }
+    }
+}
+
+/// The composed transition map of a known history suffix:
+/// `map[initial] = final`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct StateMap {
+    map: [u8; 4],
+}
+
+impl Default for StateMap {
+    fn default() -> Self {
+        StateMap::identity()
+    }
+}
+
+impl StateMap {
+    /// The empty suffix (identity map).
+    pub fn identity() -> StateMap {
+        StateMap { map: [0, 1, 2, 3] }
+    }
+
+    /// Composes one *older* outcome onto the suffix: the machine first takes
+    /// `taken`, then the already-known newer outcomes.
+    pub fn prepend(&mut self, taken: bool) {
+        let mut next = [0u8; 4];
+        for s in 0..4u8 {
+            let after = Counter2(s).update(taken).value();
+            next[s as usize] = self.map[after as usize];
+        }
+        self.map = next;
+    }
+
+    /// The set of final states reachable from any initial state.
+    pub fn range(&self) -> StateSet {
+        let mut mask = 0u8;
+        for &f in &self.map {
+            mask |= 1 << f;
+        }
+        StateSet(mask)
+    }
+}
+
+/// Incremental inference for one PHT entry, fed its reverse-order history.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CounterInference {
+    map: StateMap,
+    history_len: u32,
+}
+
+impl CounterInference {
+    /// Starts with no history (all states possible).
+    pub fn new() -> CounterInference {
+        CounterInference::default()
+    }
+
+    /// Feeds the next-*older* outcome (reverse-scan order).
+    pub fn prepend(&mut self, taken: bool) {
+        self.map.prepend(taken);
+        self.history_len += 1;
+    }
+
+    /// Number of outcomes consumed.
+    pub fn history_len(&self) -> u32 {
+        self.history_len
+    }
+
+    /// The set of still-possible final states.
+    pub fn possible(&self) -> StateSet {
+        self.map.range()
+    }
+
+    /// Exact state, if pinned.
+    pub fn resolved(&self) -> Option<Counter2> {
+        let set = self.possible();
+        set.is_exact().then(|| Counter2(set.states().next().unwrap()))
+    }
+
+    /// `true` once more history cannot change the answer.
+    pub fn is_exact(&self) -> bool {
+        self.possible().is_exact()
+    }
+
+    /// Best reconstruction per the paper's rules; `None` with no history
+    /// (leave the entry stale).
+    pub fn best_guess(&self) -> Option<Counter2> {
+        if self.history_len == 0 {
+            return None;
+        }
+        self.possible().resolve()
+    }
+}
+
+/// The a-priori table the paper builds so that reconstruction is "a table
+/// lookup": for every reverse history of length `0..=max_len` (bit 0 =
+/// newest outcome), the reconstructed counter value (or `None` for
+/// leave-stale).
+#[derive(Clone, Debug)]
+pub struct InferenceTable {
+    max_len: u32,
+    /// `tables[len][bits]`.
+    tables: Vec<Vec<Option<Counter2>>>,
+}
+
+impl InferenceTable {
+    /// Histories of three identical outcomes pin the counter, so lengths
+    /// beyond ~3 add precision only for mixed patterns; 8 is plenty.
+    pub const DEFAULT_MAX_LEN: u32 = 8;
+
+    /// Builds the table for histories up to `max_len` outcomes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_len > 20` (the table would be gratuitously large).
+    pub fn new(max_len: u32) -> InferenceTable {
+        assert!(max_len <= 20, "inference table of length {max_len} is too large");
+        let mut tables = Vec::with_capacity(max_len as usize + 1);
+        for len in 0..=max_len {
+            let mut t = Vec::with_capacity(1 << len);
+            for bits in 0..(1u32 << len) {
+                let mut inf = CounterInference::new();
+                for i in 0..len {
+                    inf.prepend(bits >> i & 1 != 0);
+                }
+                t.push(inf.best_guess());
+            }
+            tables.push(t);
+        }
+        InferenceTable { max_len, tables }
+    }
+
+    /// Maximum history length the table covers.
+    pub fn max_len(&self) -> u32 {
+        self.max_len
+    }
+
+    /// Looks up a reverse history: bit *i* of `bits` is the *i*-th newest
+    /// outcome (1 = taken). Histories longer than `max_len` are truncated to
+    /// their newest `max_len` outcomes.
+    pub fn lookup(&self, bits: u64, len: u32) -> Option<Counter2> {
+        let len = len.min(self.max_len);
+        let bits = if len == 0 { 0 } else { (bits & ((1u64 << len) - 1)) as usize };
+        self.tables[len as usize][bits]
+    }
+}
+
+impl Default for InferenceTable {
+    fn default() -> Self {
+        InferenceTable::new(Self::DEFAULT_MAX_LEN)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn counter_saturates() {
+        let mut c = Counter2::STRONG_NT;
+        for _ in 0..5 {
+            c = c.update(true);
+        }
+        assert_eq!(c, Counter2::STRONG_T);
+        for _ in 0..5 {
+            c = c.update(false);
+        }
+        assert_eq!(c, Counter2::STRONG_NT);
+    }
+
+    #[test]
+    fn counter_prediction_threshold() {
+        assert!(!Counter2::STRONG_NT.predict_taken());
+        assert!(!Counter2::WEAK_NT.predict_taken());
+        assert!(Counter2::WEAK_T.predict_taken());
+        assert!(Counter2::STRONG_T.predict_taken());
+    }
+
+    /// Paper Figure 3, cases 1 and 2: three consecutive identical outcomes
+    /// pin the counter exactly regardless of the starting state.
+    #[test]
+    fn three_identical_outcomes_pin_state() {
+        let mut inf = CounterInference::new();
+        for _ in 0..3 {
+            inf.prepend(true);
+        }
+        assert_eq!(inf.resolved(), Some(Counter2::STRONG_T));
+
+        let mut inf = CounterInference::new();
+        for _ in 0..3 {
+            inf.prepend(false);
+        }
+        assert_eq!(inf.resolved(), Some(Counter2::STRONG_NT));
+    }
+
+    /// Paper Figure 3, case 3: the pattern can appear anywhere in the
+    /// history — older outcomes prepended after a pinning run don't matter.
+    #[test]
+    fn run_anywhere_in_history_pins_state() {
+        // Newest-first: T, then NT NT NT further back, then anything older.
+        let mut inf = CounterInference::new();
+        inf.prepend(true); // newest
+        inf.prepend(false);
+        inf.prepend(false);
+        inf.prepend(false); // the pinning run ends here
+        assert!(inf.is_exact());
+        // state after NT,NT,NT = 0, then T -> 1.
+        assert_eq!(inf.resolved(), Some(Counter2::WEAK_NT));
+        // Older garbage changes nothing.
+        inf.prepend(true);
+        inf.prepend(false);
+        assert_eq!(inf.resolved(), Some(Counter2::WEAK_NT));
+    }
+
+    #[test]
+    fn single_taken_outcome_gives_three_states_middle() {
+        let mut inf = CounterInference::new();
+        inf.prepend(true);
+        let set = inf.possible();
+        assert_eq!(set.states().collect::<Vec<_>>(), vec![1, 2, 3]);
+        // Middle state of {1,2,3} is 2 (weakly taken).
+        assert_eq!(inf.best_guess(), Some(Counter2::WEAK_T));
+    }
+
+    #[test]
+    fn no_history_leaves_stale() {
+        let inf = CounterInference::new();
+        assert_eq!(inf.best_guess(), None);
+        assert_eq!(inf.possible(), StateSet::ALL);
+    }
+
+    #[test]
+    fn biased_two_state_sets_resolve_to_weak_form() {
+        assert_eq!(StateSet::from_mask(0b1100).resolve(), Some(Counter2::WEAK_T));
+        assert_eq!(StateSet::from_mask(0b0011).resolve(), Some(Counter2::WEAK_NT));
+        // Straddling set: conservative weak not-taken.
+        assert_eq!(StateSet::from_mask(0b0110).resolve(), Some(Counter2::WEAK_NT));
+    }
+
+    #[test]
+    fn state_set_basics() {
+        let s = StateSet::from_mask(0b1010);
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(1) && s.contains(3));
+        assert!(!s.contains(0) && !s.contains(2));
+        assert!(!s.is_exact());
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn table_matches_incremental_inference() {
+        let table = InferenceTable::new(8);
+        for len in 0..=8u32 {
+            for bits in 0..(1u64 << len) {
+                let mut inf = CounterInference::new();
+                for i in 0..len {
+                    inf.prepend(bits >> i & 1 != 0);
+                }
+                assert_eq!(
+                    table.lookup(bits, len),
+                    inf.best_guess(),
+                    "len {len} bits {bits:#b}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn table_truncates_long_histories() {
+        let table = InferenceTable::new(4);
+        // A pinning run in the newest 3 bits dominates; extra length is cut.
+        let bits = 0b111; // newest three outcomes taken
+        assert_eq!(table.lookup(bits, 64), Some(Counter2::STRONG_T));
+    }
+
+    proptest! {
+        /// The range of the composed map always contains the true final
+        /// state: simulate a counter forward from a random start through a
+        /// random outcome sequence, then infer backward from the suffix.
+        #[test]
+        fn prop_inference_is_sound(start in 0u8..4, outcomes in proptest::collection::vec(any::<bool>(), 0..12)) {
+            let mut c = Counter2::new(start);
+            for &o in &outcomes {
+                c = c.update(o);
+            }
+            let mut inf = CounterInference::new();
+            for &o in outcomes.iter().rev() {
+                prop_assert!(inf.possible().contains(c.value()));
+                inf.prepend(o);
+            }
+            prop_assert!(inf.possible().contains(c.value()));
+            if let Some(exact) = inf.resolved() {
+                prop_assert_eq!(exact, c);
+            }
+        }
+
+        /// Prepending history never grows the possible set.
+        #[test]
+        fn prop_possible_set_shrinks(outcomes in proptest::collection::vec(any::<bool>(), 0..16)) {
+            let mut inf = CounterInference::new();
+            let mut prev = inf.possible().len();
+            for &o in &outcomes {
+                inf.prepend(o);
+                let now = inf.possible().len();
+                prop_assert!(now <= prev);
+                prev = now;
+            }
+        }
+    }
+}

@@ -1,0 +1,280 @@
+//! Alternative conditional-direction predictors.
+//!
+//! The paper's machine uses gshare, and the RSR reconstruction of §3.2 is
+//! formulated for it; these additional predictors let downstream users
+//! study how warm-up sensitivity varies with predictor organization (a
+//! bimodal table has no global history to reconstruct, a local two-level
+//! predictor's per-branch history registers are exactly recoverable from a
+//! branch log, and a tournament combines both failure modes).
+
+use crate::{Addr, Counter2, Gshare};
+
+/// A conditional-branch direction predictor, usable as a trait object.
+pub trait DirectionPredictor {
+    /// Predicts the direction of the branch at `pc`.
+    fn predict(&self, pc: Addr) -> bool;
+    /// Applies the observed outcome in program order.
+    fn update(&mut self, pc: Addr, taken: bool);
+    /// A short display name.
+    fn name(&self) -> &'static str;
+}
+
+/// A PC-indexed table of 2-bit counters (no history).
+#[derive(Clone, Debug)]
+pub struct Bimodal {
+    table: Vec<Counter2>,
+    mask: u64,
+}
+
+impl Bimodal {
+    /// Builds a bimodal predictor with `entries` counters (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `entries` is not a nonzero power of two.
+    pub fn new(entries: usize) -> Bimodal {
+        assert!(entries.is_power_of_two() && entries > 0, "bimodal size must be a power of two");
+        Bimodal { table: vec![Counter2::WEAK_NT; entries], mask: entries as u64 - 1 }
+    }
+
+    #[inline]
+    fn index(&self, pc: Addr) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+}
+
+impl DirectionPredictor for Bimodal {
+    fn predict(&self, pc: Addr) -> bool {
+        self.table[self.index(pc)].predict_taken()
+    }
+
+    fn update(&mut self, pc: Addr, taken: bool) {
+        let i = self.index(pc);
+        self.table[i] = self.table[i].update(taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "bimodal"
+    }
+}
+
+/// A two-level local-history predictor (PAg-style): a per-branch history
+/// table indexes a shared pattern table of 2-bit counters.
+#[derive(Clone, Debug)]
+pub struct LocalTwoLevel {
+    histories: Vec<u16>,
+    pattern: Vec<Counter2>,
+    hist_bits: u32,
+    bht_mask: u64,
+}
+
+impl LocalTwoLevel {
+    /// Builds a local predictor with `bht_entries` history registers of
+    /// `hist_bits` bits each over a `2^hist_bits` pattern table.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-power-of-two `bht_entries` or `hist_bits` outside
+    /// `1..=16`.
+    pub fn new(bht_entries: usize, hist_bits: u32) -> LocalTwoLevel {
+        assert!(bht_entries.is_power_of_two() && bht_entries > 0);
+        assert!((1..=16).contains(&hist_bits), "local history of {hist_bits} bits");
+        LocalTwoLevel {
+            histories: vec![0; bht_entries],
+            pattern: vec![Counter2::WEAK_NT; 1 << hist_bits],
+            hist_bits,
+            bht_mask: bht_entries as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn bht_index(&self, pc: Addr) -> usize {
+        ((pc >> 2) & self.bht_mask) as usize
+    }
+
+    #[inline]
+    fn pattern_index(&self, history: u16) -> usize {
+        (history & ((1 << self.hist_bits) - 1)) as usize
+    }
+}
+
+impl DirectionPredictor for LocalTwoLevel {
+    fn predict(&self, pc: Addr) -> bool {
+        let h = self.histories[self.bht_index(pc)];
+        self.pattern[self.pattern_index(h)].predict_taken()
+    }
+
+    fn update(&mut self, pc: Addr, taken: bool) {
+        let b = self.bht_index(pc);
+        let h = self.histories[b];
+        let p = self.pattern_index(h);
+        self.pattern[p] = self.pattern[p].update(taken);
+        self.histories[b] = (h << 1) | taken as u16;
+    }
+
+    fn name(&self) -> &'static str {
+        "local"
+    }
+}
+
+/// An Alpha-21264-style tournament: gshare and bimodal components with a
+/// 2-bit chooser trained on their disagreements.
+#[derive(Clone, Debug)]
+pub struct Tournament {
+    gshare: Gshare,
+    bimodal: Bimodal,
+    chooser: Vec<Counter2>,
+    mask: u64,
+}
+
+impl Tournament {
+    /// Builds a tournament with `2^hist_bits` gshare entries,
+    /// `bimodal_entries` bimodal counters, and an equal-size chooser.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid component sizes (see [`Gshare::new`],
+    /// [`Bimodal::new`]).
+    pub fn new(hist_bits: u32, bimodal_entries: usize) -> Tournament {
+        Tournament {
+            gshare: Gshare::new(hist_bits),
+            bimodal: Bimodal::new(bimodal_entries),
+            // Chooser starts leaning bimodal (weakly "not-gshare").
+            chooser: vec![Counter2::WEAK_NT; bimodal_entries],
+            mask: bimodal_entries as u64 - 1,
+        }
+    }
+
+    #[inline]
+    fn chooser_index(&self, pc: Addr) -> usize {
+        ((pc >> 2) & self.mask) as usize
+    }
+
+    /// The gshare component (for history inspection).
+    pub fn gshare(&self) -> &Gshare {
+        &self.gshare
+    }
+}
+
+impl DirectionPredictor for Tournament {
+    fn predict(&self, pc: Addr) -> bool {
+        let use_gshare = self.chooser[self.chooser_index(pc)].predict_taken();
+        if use_gshare {
+            self.gshare.counter_at(self.gshare.index(pc)).predict_taken()
+        } else {
+            self.bimodal.predict(pc)
+        }
+    }
+
+    fn update(&mut self, pc: Addr, taken: bool) {
+        let g_pred = self.gshare.counter_at(self.gshare.index(pc)).predict_taken();
+        let b_pred = self.bimodal.predict(pc);
+        // Chooser learns from disagreements: toward gshare (taken) when
+        // gshare alone was right, away when bimodal alone was right.
+        if g_pred != b_pred {
+            let c = self.chooser_index(pc);
+            self.chooser[c] = self.chooser[c].update(g_pred == taken);
+        }
+        self.gshare.warm_update(pc, taken);
+        self.bimodal.update(pc, taken);
+    }
+
+    fn name(&self) -> &'static str {
+        "tournament"
+    }
+}
+
+/// Measures a predictor's accuracy over an outcome stream, updating in
+/// program order. Returns the fraction of correct predictions.
+pub fn accuracy_over<I>(pred: &mut dyn DirectionPredictor, stream: I) -> f64
+where
+    I: IntoIterator<Item = (Addr, bool)>,
+{
+    let mut total = 0u64;
+    let mut correct = 0u64;
+    for (pc, taken) in stream {
+        if pred.predict(pc) == taken {
+            correct += 1;
+        }
+        pred.update(pc, taken);
+        total += 1;
+    }
+    if total == 0 {
+        1.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn biased_stream(pc: Addr, n: usize, taken: bool) -> Vec<(Addr, bool)> {
+        (0..n).map(|_| (pc, taken)).collect()
+    }
+
+    #[test]
+    fn bimodal_learns_bias_quickly() {
+        let mut p = Bimodal::new(1024);
+        let acc = accuracy_over(&mut p, biased_stream(0x1000, 100, true));
+        assert!(acc > 0.95, "accuracy {acc}");
+    }
+
+    #[test]
+    fn local_learns_short_patterns() {
+        // T,T,N repeating defeats a plain bimodal but not a local
+        // history predictor.
+        let stream: Vec<(Addr, bool)> =
+            (0..3000).map(|i| (0x2000, i % 3 != 2)).collect();
+        let mut local = LocalTwoLevel::new(1024, 10);
+        let mut bimodal = Bimodal::new(1024);
+        let acc_local = accuracy_over(&mut local, stream.iter().copied());
+        let acc_bimodal = accuracy_over(&mut bimodal, stream.iter().copied());
+        assert!(acc_local > 0.95, "local accuracy {acc_local}");
+        assert!(acc_local > acc_bimodal, "local {acc_local} vs bimodal {acc_bimodal}");
+    }
+
+    #[test]
+    fn tournament_tracks_the_better_component() {
+        // Mix of a patterned branch (gshare territory) and a biased branch
+        // with a noisy global history (bimodal territory).
+        let mut stream = Vec::new();
+        let mut lfsr = 0xace1u32;
+        for i in 0..6000 {
+            // Pattern branch.
+            stream.push((0x3000, i % 4 != 3));
+            // Noise branches perturb global history.
+            lfsr = lfsr.rotate_left(1) ^ (i as u32);
+            stream.push((0x4000 + (lfsr as u64 % 16) * 4, lfsr & 2 != 0));
+            // Biased branch.
+            stream.push((0x5000, true));
+        }
+        let mut tour = Tournament::new(12, 4096);
+        let acc = accuracy_over(&mut tour, stream.iter().copied());
+        let mut bimodal = Bimodal::new(4096);
+        let acc_b = accuracy_over(&mut bimodal, stream.iter().copied());
+        assert!(acc >= acc_b - 0.02, "tournament {acc} vs bimodal {acc_b}");
+        assert!(acc > 0.6, "tournament accuracy {acc}");
+    }
+
+    #[test]
+    fn predictors_are_object_safe() {
+        let mut zoo: Vec<Box<dyn DirectionPredictor>> = vec![
+            Box::new(Bimodal::new(256)),
+            Box::new(LocalTwoLevel::new(256, 8)),
+            Box::new(Tournament::new(8, 256)),
+        ];
+        for p in zoo.iter_mut() {
+            let _ = p.predict(0x100);
+            p.update(0x100, true);
+            assert!(!p.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_stream_accuracy_is_one() {
+        let mut p = Bimodal::new(16);
+        assert_eq!(accuracy_over(&mut p, std::iter::empty()), 1.0);
+    }
+}

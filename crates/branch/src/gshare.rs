@@ -1,0 +1,250 @@
+//! The gshare conditional-branch predictor.
+
+use crate::{Counter2, Addr};
+
+/// Running prediction statistics.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct GshareStats {
+    /// Direction predictions made.
+    pub predictions: u64,
+    /// Correct direction predictions.
+    pub correct: u64,
+    /// Counter updates applied.
+    pub updates: u64,
+}
+
+/// A gshare predictor: the PHT is indexed by `pc ⊕ GHR`.
+///
+/// The paper uses a 64 K-entry gshare, i.e. a 16-bit global history register
+/// over a 65 536-entry pattern history table.
+///
+/// Reconstruction support mirrors the cache: each entry carries a
+/// *reconstructed* bit cleared by [`Gshare::begin_reconstruction`]; the RSR
+/// warm-up consults and sets these while inferring counters on demand.
+#[derive(Clone, Debug)]
+pub struct Gshare {
+    hist_bits: u32,
+    ghr: u64,
+    pht: Vec<Counter2>,
+    recon: Vec<bool>,
+    stats: GshareStats,
+}
+
+impl Gshare {
+    /// The paper's size: 64 K entries (16 history bits).
+    pub const PAPER_HIST_BITS: u32 = 16;
+
+    /// Builds a gshare with `hist_bits` of global history
+    /// (`2^hist_bits` PHT entries), all counters weakly not-taken.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hist_bits` is 0 or greater than 26.
+    pub fn new(hist_bits: u32) -> Gshare {
+        assert!((1..=26).contains(&hist_bits), "unreasonable gshare size");
+        let n = 1usize << hist_bits;
+        Gshare {
+            hist_bits,
+            ghr: 0,
+            pht: vec![Counter2::WEAK_NT; n],
+            recon: vec![false; n],
+            stats: GshareStats::default(),
+        }
+    }
+
+    /// Number of PHT entries.
+    pub fn num_entries(&self) -> usize {
+        self.pht.len()
+    }
+
+    /// Width of the global history register in bits.
+    pub fn hist_bits(&self) -> u32 {
+        self.hist_bits
+    }
+
+    /// Current global history register (newest outcome in bit 0).
+    pub fn ghr(&self) -> u64 {
+        self.ghr
+    }
+
+    /// Overwrites the global history register (used by warm-up to
+    /// reconstruct it from the last `hist_bits` logged branches).
+    pub fn set_ghr(&mut self, ghr: u64) {
+        self.ghr = ghr & self.ghr_mask();
+    }
+
+    /// Mask of valid GHR bits.
+    pub fn ghr_mask(&self) -> u64 {
+        (1u64 << self.hist_bits) - 1
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> GshareStats {
+        self.stats
+    }
+
+    /// Resets statistics (state untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = GshareStats::default();
+    }
+
+    /// PHT index for `pc` under history `ghr`.
+    #[inline]
+    pub fn index_with(&self, pc: Addr, ghr: u64) -> usize {
+        (((pc >> 2) ^ ghr) & self.ghr_mask()) as usize
+    }
+
+    /// PHT index for `pc` under the *current* history.
+    #[inline]
+    pub fn index(&self, pc: Addr) -> usize {
+        self.index_with(pc, self.ghr)
+    }
+
+    /// Predicts the direction for `pc` under the current history and counts
+    /// a prediction. Does not change any state.
+    pub fn predict(&mut self, pc: Addr) -> bool {
+        self.stats.predictions += 1;
+        self.pht[self.index(pc)].predict_taken()
+    }
+
+    /// Speculatively shifts `taken` into the history register (fetch-time
+    /// update; mispredict recovery restores a checkpoint via
+    /// [`Gshare::set_ghr`]).
+    #[inline]
+    pub fn speculate_ghr(&mut self, taken: bool) {
+        self.ghr = ((self.ghr << 1) | taken as u64) & self.ghr_mask();
+    }
+
+    /// Updates the counter at an explicit index (commit-time update using
+    /// the fetch-time index) and records accuracy.
+    pub fn update_at(&mut self, index: usize, taken: bool) {
+        let c = self.pht[index];
+        if c.predict_taken() == taken {
+            self.stats.correct += 1;
+        }
+        self.pht[index] = c.update(taken);
+        self.stats.updates += 1;
+    }
+
+    /// In-order functional update (the SMARTS warming path): updates the
+    /// counter under the current history, then shifts the history.
+    pub fn warm_update(&mut self, pc: Addr, taken: bool) {
+        let idx = self.index(pc);
+        self.pht[idx] = self.pht[idx].update(taken);
+        self.speculate_ghr(taken);
+        self.stats.updates += 1;
+    }
+
+    /// Raw counter at `index`.
+    pub fn counter_at(&self, index: usize) -> Counter2 {
+        self.pht[index]
+    }
+
+    /// Overwrites the counter at `index` (reconstruction).
+    pub fn set_counter(&mut self, index: usize, value: Counter2) {
+        self.pht[index] = value;
+    }
+
+    // ---- reconstruction bits -------------------------------------------
+
+    /// Clears all reconstructed bits (start of a skip region's on-demand
+    /// reconstruction).
+    pub fn begin_reconstruction(&mut self) {
+        self.recon.iter_mut().for_each(|b| *b = false);
+    }
+
+    /// Whether `index` has been reconstructed this region.
+    pub fn is_reconstructed(&self, index: usize) -> bool {
+        self.recon[index]
+    }
+
+    /// Marks `index` reconstructed.
+    pub fn mark_reconstructed(&mut self, index: usize) {
+        self.recon[index] = true;
+    }
+
+    /// Prediction accuracy so far (1.0 when idle).
+    pub fn accuracy(&self) -> f64 {
+        if self.stats.updates == 0 {
+            1.0
+        } else {
+            self.stats.correct as f64 / self.stats.updates as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn always_taken_branch_learns() {
+        let mut g = Gshare::new(10);
+        let pc = 0x1000;
+        // Train past the GHR fill: once the history register saturates at
+        // all-ones, the same PHT entry is trained repeatedly.
+        for _ in 0..16 {
+            let idx = g.index(pc);
+            g.update_at(idx, true);
+            g.speculate_ghr(true);
+        }
+        assert!(g.predict(pc));
+    }
+
+    #[test]
+    fn ghr_is_masked() {
+        let mut g = Gshare::new(4);
+        for _ in 0..64 {
+            g.speculate_ghr(true);
+        }
+        assert_eq!(g.ghr(), 0b1111);
+        g.set_ghr(u64::MAX);
+        assert_eq!(g.ghr(), 0b1111);
+    }
+
+    #[test]
+    fn index_mixes_pc_and_history() {
+        let g = Gshare::new(8);
+        let i1 = g.index_with(0x1000, 0);
+        let i2 = g.index_with(0x1000, 0xff);
+        assert_ne!(i1, i2);
+        // Same pc+history -> same index.
+        assert_eq!(g.index_with(0x1000, 0xab), g.index_with(0x1000, 0xab));
+    }
+
+    #[test]
+    fn warm_update_moves_counter_and_history() {
+        let mut g = Gshare::new(8);
+        let pc = 0x2000;
+        let idx0 = g.index(pc);
+        g.warm_update(pc, true);
+        assert_eq!(g.counter_at(idx0), Counter2::WEAK_T);
+        assert_eq!(g.ghr() & 1, 1);
+    }
+
+    #[test]
+    fn reconstruction_bits_lifecycle() {
+        let mut g = Gshare::new(6);
+        assert!(!g.is_reconstructed(5));
+        g.mark_reconstructed(5);
+        assert!(g.is_reconstructed(5));
+        g.begin_reconstruction();
+        assert!(!g.is_reconstructed(5));
+    }
+
+    #[test]
+    fn accuracy_tracking() {
+        let mut g = Gshare::new(6);
+        g.update_at(0, false); // WEAK_NT predicts NT: correct
+        g.update_at(0, true); // STRONG_NT predicts NT: wrong
+        assert_eq!(g.stats().updates, 2);
+        assert_eq!(g.stats().correct, 1);
+        assert_eq!(g.accuracy(), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "unreasonable")]
+    fn zero_history_rejected() {
+        let _ = Gshare::new(0);
+    }
+}

@@ -1,0 +1,640 @@
+//! A set-associative cache with true-LRU replacement and support for the
+//! paper's reverse reconstruction (per-block *reconstructed* bits, stale-way
+//! insertion, reconstruction-order LRU assignment).
+
+use crate::{CacheConfig, WritePolicy};
+
+/// A byte address (mirrors `rsr_isa::Addr` without the dependency).
+pub type Addr = u64;
+
+/// Kind of access presented to a cache.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AccessKind {
+    /// Load or instruction fetch.
+    Read,
+    /// Store.
+    Write,
+}
+
+/// Result of one cache access.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct AccessOutcome {
+    /// Whether the access hit.
+    pub hit: bool,
+    /// Whether the access allocated a line (miss fill).
+    pub filled: bool,
+    /// Line address of a dirty victim that must be written back, if any.
+    pub writeback: Option<Addr>,
+}
+
+/// Result of one reverse-reconstruction reference (paper §3.1).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ReconOutcome {
+    /// The whole set was already reconstructed; the (older) reference is
+    /// ignored.
+    SetComplete,
+    /// The block was already reconstructed by a (younger) reference; ignored.
+    Redundant,
+    /// The block was present but stale: marked reconstructed in place.
+    MarkedPresent,
+    /// The block was absent: inserted into the least-recently-used stale way.
+    Inserted,
+}
+
+const NOT_RECON: u8 = u8::MAX;
+
+#[derive(Clone, Debug)]
+struct Line {
+    valid: bool,
+    dirty: bool,
+    tag: u64,
+    /// LRU rank: 0 = most recently used, `assoc-1` = least recently used.
+    rank: u8,
+    /// Reconstruction order within the set (`NOT_RECON` if stale).
+    recon_seq: u8,
+}
+
+impl Line {
+    fn invalid(rank: u8) -> Line {
+        Line { valid: false, dirty: false, tag: 0, rank, recon_seq: NOT_RECON }
+    }
+
+    #[inline]
+    fn is_reconstructed(&self) -> bool {
+        self.recon_seq != NOT_RECON
+    }
+}
+
+/// Running hit/miss counters for one cache.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Total accesses.
+    pub accesses: u64,
+    /// Hits.
+    pub hits: u64,
+    /// Misses.
+    pub misses: u64,
+    /// Line fills.
+    pub fills: u64,
+    /// Dirty evictions (write-backs).
+    pub writebacks: u64,
+}
+
+impl CacheStats {
+    /// Miss ratio over all accesses (0.0 when idle).
+    pub fn miss_ratio(&self) -> f64 {
+        if self.accesses == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses as f64
+        }
+    }
+}
+
+/// A set-associative, true-LRU cache.
+///
+/// Besides ordinary simulation ([`Cache::access`]) the cache supports the
+/// RSR warm-up protocol:
+///
+/// 1. [`Cache::begin_reconstruction`] clears all *reconstructed* bits;
+/// 2. the reverse scan calls [`Cache::reconstruct_ref`] per logged reference
+///    (younger references first) until [`Cache::fully_reconstructed`] or the
+///    log budget runs out;
+/// 3. [`Cache::finish_reconstruction`] normalizes LRU ranks so that
+///    reconstructed blocks are younger than surviving stale blocks, in
+///    reconstruction order (first reconstructed = MRU), exactly as Figure 2
+///    of the paper prescribes.
+#[derive(Clone, Debug)]
+pub struct Cache {
+    cfg: CacheConfig,
+    lines: Vec<Line>,
+    num_sets: usize,
+    set_mask: u64,
+    line_shift: u32,
+    stats: CacheStats,
+    /// Number of sets whose every way is reconstructed (for early exit).
+    complete_sets: usize,
+    /// Number of reconstructed lines per set.
+    recon_counts: Vec<u8>,
+}
+
+impl Cache {
+    /// Builds an empty (all-invalid) cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`CacheConfig::validate`].
+    pub fn new(cfg: CacheConfig) -> Cache {
+        cfg.validate().expect("invalid cache config");
+        let num_sets = cfg.num_sets();
+        let assoc = cfg.assoc;
+        let mut lines = Vec::with_capacity(num_sets * assoc);
+        for _ in 0..num_sets {
+            for way in 0..assoc {
+                lines.push(Line::invalid(way as u8));
+            }
+        }
+        Cache {
+            set_mask: num_sets as u64 - 1,
+            line_shift: cfg.line_bytes.trailing_zeros(),
+            num_sets,
+            lines,
+            stats: CacheStats::default(),
+            complete_sets: 0,
+            recon_counts: vec![0; num_sets],
+            cfg,
+        }
+    }
+
+    /// The configuration this cache was built with.
+    pub fn config(&self) -> &CacheConfig {
+        &self.cfg
+    }
+
+    /// Number of sets.
+    pub fn num_sets(&self) -> usize {
+        self.num_sets
+    }
+
+    /// Running statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Resets statistics to zero (state is untouched).
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Set index for an address.
+    #[inline]
+    pub fn set_index(&self, addr: Addr) -> usize {
+        ((addr >> self.line_shift) & self.set_mask) as usize
+    }
+
+    #[inline]
+    fn tag_of(&self, addr: Addr) -> u64 {
+        addr >> self.line_shift >> self.num_sets.trailing_zeros()
+    }
+
+    /// Line-aligned address reconstituted from a set/tag pair.
+    #[inline]
+    fn line_addr(&self, set: usize, tag: u64) -> Addr {
+        ((tag << self.num_sets.trailing_zeros()) | set as u64) << self.line_shift
+    }
+
+    #[inline]
+    fn set_lines(&mut self, set: usize) -> &mut [Line] {
+        let a = self.cfg.assoc;
+        &mut self.lines[set * a..(set + 1) * a]
+    }
+
+    #[inline]
+    fn set_lines_ref(&self, set: usize) -> &[Line] {
+        let a = self.cfg.assoc;
+        &self.lines[set * a..(set + 1) * a]
+    }
+
+    /// Checks for presence without updating any state.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let set = self.set_index(addr);
+        let tag = self.tag_of(addr);
+        self.set_lines_ref(set).iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Performs one access with full LRU/allocation/dirty bookkeeping.
+    ///
+    /// Write misses do not allocate under
+    /// [`WritePolicy::WriteThroughNoAllocate`]; they allocate (and mark
+    /// dirty) under [`WritePolicy::WriteBackAllocate`]. Returned
+    /// [`AccessOutcome::writeback`] reports a dirty victim's line address.
+    pub fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessOutcome {
+        let set = self.set_index(addr);
+        let tag = self.tag_of(addr);
+        let policy = self.cfg.write_policy;
+        self.stats.accesses += 1;
+
+        let lines = {
+            let a = self.cfg.assoc;
+            &mut self.lines[set * a..(set + 1) * a]
+        };
+
+        if let Some(hit_way) = lines.iter().position(|l| l.valid && l.tag == tag) {
+            self.stats.hits += 1;
+            let hit_rank = lines[hit_way].rank;
+            for l in lines.iter_mut() {
+                if l.rank < hit_rank {
+                    l.rank += 1;
+                }
+            }
+            lines[hit_way].rank = 0;
+            if kind == AccessKind::Write && policy == WritePolicy::WriteBackAllocate {
+                lines[hit_way].dirty = true;
+            }
+            return AccessOutcome { hit: true, filled: false, writeback: None };
+        }
+
+        self.stats.misses += 1;
+
+        // No-allocate policies skip the fill on write misses.
+        if kind == AccessKind::Write && policy == WritePolicy::WriteThroughNoAllocate {
+            return AccessOutcome { hit: false, filled: false, writeback: None };
+        }
+
+        // Victim: an invalid way if any, else the LRU way.
+        let victim = lines
+            .iter()
+            .position(|l| !l.valid)
+            .unwrap_or_else(|| {
+                lines.iter().position(|l| l.rank as usize == lines.len() - 1).expect("lru way")
+            });
+        let victim_rank = lines[victim].rank;
+        let mut writeback = None;
+        if lines[victim].valid && lines[victim].dirty {
+            let wb_tag = lines[victim].tag;
+            self.stats.writebacks += 1;
+            writeback = Some(self.line_addr(set, wb_tag));
+        }
+
+        let lines = {
+            let a = self.cfg.assoc;
+            &mut self.lines[set * a..(set + 1) * a]
+        };
+        // Track a replaced reconstructed line for the completeness counter.
+        let victim_was_recon = lines[victim].is_reconstructed();
+        for l in lines.iter_mut() {
+            if l.rank < victim_rank {
+                l.rank += 1;
+            }
+        }
+        lines[victim] = Line {
+            valid: true,
+            dirty: kind == AccessKind::Write && policy == WritePolicy::WriteBackAllocate,
+            tag,
+            rank: 0,
+            recon_seq: lines[victim].recon_seq,
+        };
+        if victim_was_recon {
+            // Normal execution replaced a reconstructed block; the new block
+            // inherits "reconstructed" status (its state is now exact).
+        }
+        self.stats.fills += 1;
+        AccessOutcome { hit: false, filled: true, writeback }
+    }
+
+    /// Invalidates everything (cold caches for the start of simulation).
+    pub fn invalidate_all(&mut self) {
+        let assoc = self.cfg.assoc;
+        for set in 0..self.num_sets {
+            for (way, line) in self.set_lines(set).iter_mut().enumerate() {
+                *line = Line::invalid(way as u8);
+            }
+            let _ = assoc;
+        }
+        self.complete_sets = 0;
+        self.recon_counts.iter_mut().for_each(|c| *c = 0);
+    }
+
+    // ---- reverse reconstruction (paper §3.1) ----------------------------
+
+    /// Clears all reconstructed bits, leaving content *stale* (as after the
+    /// previous cluster). Call once per skip region before the reverse scan.
+    pub fn begin_reconstruction(&mut self) {
+        for l in &mut self.lines {
+            l.recon_seq = NOT_RECON;
+        }
+        self.recon_counts.iter_mut().for_each(|c| *c = 0);
+        self.complete_sets = 0;
+    }
+
+    /// Applies one logged reference during the reverse scan (younger
+    /// references must be presented first).
+    ///
+    /// Implements the paper's rules: references to complete sets and to
+    /// already-reconstructed blocks are ignored; a present-but-stale block is
+    /// marked reconstructed in place; an absent block is inserted into the
+    /// least-recently-used stale way (invalid ways are considered stalest).
+    /// WTNA write allocation is the caller's choice — per the paper, logged
+    /// writes are presented here exactly like reads.
+    pub fn reconstruct_ref(&mut self, addr: Addr) -> ReconOutcome {
+        let set = self.set_index(addr);
+        let assoc = self.cfg.assoc as u8;
+        if self.recon_counts[set] >= assoc {
+            return ReconOutcome::SetComplete;
+        }
+        let tag = self.tag_of(addr);
+        let seq = self.recon_counts[set];
+        let lines = {
+            let a = self.cfg.assoc;
+            &mut self.lines[set * a..(set + 1) * a]
+        };
+
+        if let Some(way) = lines.iter().position(|l| l.valid && l.tag == tag) {
+            if lines[way].is_reconstructed() {
+                return ReconOutcome::Redundant;
+            }
+            lines[way].recon_seq = seq;
+            self.recon_counts[set] += 1;
+            if self.recon_counts[set] >= assoc {
+                self.complete_sets += 1;
+            }
+            return ReconOutcome::MarkedPresent;
+        }
+
+        // Insert into the stalest non-reconstructed way: invalid ways first,
+        // then the valid stale way with the highest (oldest) rank.
+        let victim = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_reconstructed())
+            .max_by_key(|(_, l)| (!l.valid, l.rank))
+            .map(|(i, _)| i)
+            .expect("incomplete set has a stale way");
+        lines[victim] =
+            Line { valid: true, dirty: false, tag, rank: lines[victim].rank, recon_seq: seq };
+        self.recon_counts[set] += 1;
+        if self.recon_counts[set] >= assoc {
+            self.complete_sets += 1;
+        }
+        ReconOutcome::Inserted
+    }
+
+    /// Whether every set has been fully reconstructed (early-exit test for
+    /// the reverse scan).
+    pub fn fully_reconstructed(&self) -> bool {
+        self.complete_sets == self.num_sets
+    }
+
+    /// Number of fully reconstructed sets.
+    pub fn complete_sets(&self) -> usize {
+        self.complete_sets
+    }
+
+    /// Normalizes LRU ranks after the reverse scan: reconstructed blocks take
+    /// ranks `0..k` in reconstruction order (first reconstructed = MRU) and
+    /// surviving stale blocks follow in their previous relative order.
+    pub fn finish_reconstruction(&mut self) {
+        let assoc = self.cfg.assoc;
+        for set in 0..self.num_sets {
+            if self.recon_counts[set] == 0 {
+                continue; // untouched set keeps its stale ordering
+            }
+            let lines = &mut self.lines[set * assoc..(set + 1) * assoc];
+            let mut order: Vec<usize> = (0..assoc).collect();
+            // Reconstructed first by recon_seq, then stale-valid by old rank,
+            // then invalid ways last.
+            order.sort_by_key(|&w| {
+                let l = &lines[w];
+                if l.is_reconstructed() {
+                    (0u8, l.recon_seq, l.rank)
+                } else if l.valid {
+                    (1, 0, l.rank)
+                } else {
+                    (2, 0, l.rank)
+                }
+            });
+            for (new_rank, &w) in order.iter().enumerate() {
+                lines[w].rank = new_rank as u8;
+            }
+        }
+    }
+
+    /// Content of one set as `(tag, valid, rank, reconstructed)` tuples, for
+    /// tests and debugging.
+    pub fn dump_set(&self, set: usize) -> Vec<(u64, bool, u8, bool)> {
+        self.set_lines_ref(set)
+            .iter()
+            .map(|l| (l.tag, l.valid, l.rank, l.is_reconstructed()))
+            .collect()
+    }
+
+    /// Tags of valid lines in a set, MRU first (test helper).
+    pub fn set_tags_mru_order(&self, set: usize) -> Vec<u64> {
+        let mut v: Vec<(u8, u64)> = self
+            .set_lines_ref(set)
+            .iter()
+            .filter(|l| l.valid)
+            .map(|l| (l.rank, l.tag))
+            .collect();
+        v.sort_by_key(|&(rank, _)| rank);
+        v.into_iter().map(|(_, tag)| tag).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache(assoc: usize) -> Cache {
+        // 4 sets.
+        Cache::new(CacheConfig {
+            name: "T".into(),
+            size_bytes: 4 * assoc as u64 * 64,
+            assoc,
+            line_bytes: 64,
+            write_policy: WritePolicy::WriteBackAllocate,
+            hit_latency: 1,
+        })
+    }
+
+    fn wtna_cache(assoc: usize) -> Cache {
+        Cache::new(CacheConfig {
+            name: "W".into(),
+            size_bytes: 4 * assoc as u64 * 64,
+            assoc,
+            line_bytes: 64,
+            write_policy: WritePolicy::WriteThroughNoAllocate,
+            hit_latency: 1,
+        })
+    }
+
+    /// Address whose set index is `set` and tag is `tag` for 4-set/64B.
+    fn addr(set: u64, tag: u64) -> Addr {
+        (tag << 8) | (set << 6)
+    }
+
+    #[test]
+    fn hit_miss_and_lru_eviction() {
+        let mut c = tiny_cache(2);
+        assert!(!c.access(addr(0, 1), AccessKind::Read).hit);
+        assert!(!c.access(addr(0, 2), AccessKind::Read).hit);
+        assert!(c.access(addr(0, 1), AccessKind::Read).hit); // 1 is MRU now
+        // Fill a third tag: victim must be tag 2 (LRU).
+        assert!(!c.access(addr(0, 3), AccessKind::Read).hit);
+        assert!(c.probe(addr(0, 1)));
+        assert!(!c.probe(addr(0, 2)));
+        assert!(c.probe(addr(0, 3)));
+        assert_eq!(c.set_tags_mru_order(0), vec![3, 1]);
+        let s = c.stats();
+        assert_eq!(s.accesses, 4);
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 3);
+    }
+
+    #[test]
+    fn sets_are_independent() {
+        let mut c = tiny_cache(2);
+        c.access(addr(0, 1), AccessKind::Read);
+        c.access(addr(1, 1), AccessKind::Read);
+        assert!(c.probe(addr(0, 1)));
+        assert!(c.probe(addr(1, 1)));
+        assert!(!c.probe(addr(2, 1)));
+    }
+
+    #[test]
+    fn wtna_write_miss_does_not_allocate() {
+        let mut c = wtna_cache(2);
+        let out = c.access(addr(0, 7), AccessKind::Write);
+        assert!(!out.hit && !out.filled);
+        assert!(!c.probe(addr(0, 7)));
+        // Read miss allocates.
+        assert!(c.access(addr(0, 7), AccessKind::Read).filled);
+        // Write hit does not mark dirty under WTNA.
+        c.access(addr(0, 7), AccessKind::Write);
+        // Evict it; no writeback should be reported.
+        c.access(addr(0, 8), AccessKind::Read);
+        let out = c.access(addr(0, 9), AccessKind::Read);
+        assert_eq!(out.writeback, None);
+        assert_eq!(c.stats().writebacks, 0);
+    }
+
+    #[test]
+    fn wbwa_write_allocates_and_writes_back() {
+        let mut c = tiny_cache(2);
+        assert!(c.access(addr(0, 7), AccessKind::Write).filled);
+        assert!(c.probe(addr(0, 7)));
+        // Fill the set and evict tag 7 -> dirty writeback of its line addr.
+        c.access(addr(0, 8), AccessKind::Read);
+        let out = c.access(addr(0, 9), AccessKind::Read);
+        assert_eq!(out.writeback, Some(addr(0, 7)));
+        assert_eq!(c.stats().writebacks, 1);
+    }
+
+    #[test]
+    fn invalidate_all_clears() {
+        let mut c = tiny_cache(2);
+        c.access(addr(0, 1), AccessKind::Read);
+        c.invalidate_all();
+        assert!(!c.probe(addr(0, 1)));
+    }
+
+    /// The paper's Figure 2: forward stream E, A, F, C against a stale set
+    /// {A, B, C, D}; reverse reconstruction must reproduce the forward
+    /// result C, F, A, E (MRU→LRU).
+    #[test]
+    fn figure2_reverse_matches_forward() {
+        let (a, b, c_, d, e, f) = (10, 11, 12, 13, 14, 15);
+
+        // Forward simulation.
+        let mut fwd = tiny_cache(4);
+        for t in [a, b, c_, d] {
+            fwd.access(addr(0, t), AccessKind::Read);
+        }
+        // Make MRU order A,B,C,D (A most recent).
+        for t in [d, c_, b, a] {
+            fwd.access(addr(0, t), AccessKind::Read);
+        }
+        for t in [e, a, f, c_] {
+            fwd.access(addr(0, t), AccessKind::Read);
+        }
+        assert_eq!(fwd.set_tags_mru_order(0), vec![c_, f, a, e]);
+
+        // Reverse reconstruction from the same stale starting point.
+        let mut rev = tiny_cache(4);
+        for t in [a, b, c_, d] {
+            rev.access(addr(0, t), AccessKind::Read);
+        }
+        for t in [d, c_, b, a] {
+            rev.access(addr(0, t), AccessKind::Read);
+        }
+        rev.begin_reconstruction();
+        // Reverse order of E, A, F, C.
+        assert_eq!(rev.reconstruct_ref(addr(0, c_)), ReconOutcome::MarkedPresent);
+        assert_eq!(rev.reconstruct_ref(addr(0, f)), ReconOutcome::Inserted);
+        assert_eq!(rev.reconstruct_ref(addr(0, a)), ReconOutcome::MarkedPresent);
+        assert_eq!(rev.reconstruct_ref(addr(0, e)), ReconOutcome::Inserted);
+        assert!(rev.reconstruct_ref(addr(0, b)) == ReconOutcome::SetComplete);
+        rev.finish_reconstruction();
+        assert_eq!(rev.set_tags_mru_order(0), vec![c_, f, a, e]);
+    }
+
+    #[test]
+    fn redundant_references_ignored() {
+        let mut c = tiny_cache(4);
+        c.begin_reconstruction();
+        assert_eq!(c.reconstruct_ref(addr(0, 1)), ReconOutcome::Inserted);
+        assert_eq!(c.reconstruct_ref(addr(0, 1)), ReconOutcome::Redundant);
+        assert_eq!(c.recon_counts[0], 1);
+    }
+
+    #[test]
+    fn reconstruction_prefers_invalid_then_lru_stale() {
+        let mut c = tiny_cache(4);
+        // Two stale valid blocks (tag 1 MRU, tag 2 LRU), two invalid ways.
+        c.access(addr(0, 2), AccessKind::Read);
+        c.access(addr(0, 1), AccessKind::Read);
+        c.begin_reconstruction();
+        // Absent tags go to invalid ways first.
+        c.reconstruct_ref(addr(0, 30));
+        c.reconstruct_ref(addr(0, 31));
+        assert!(c.probe(addr(0, 1)) && c.probe(addr(0, 2)));
+        // Next absent tag must replace the LRU stale block (tag 2).
+        c.reconstruct_ref(addr(0, 32));
+        assert!(!c.probe(addr(0, 2)));
+        assert!(c.probe(addr(0, 1)));
+        c.finish_reconstruction();
+        assert_eq!(c.set_tags_mru_order(0), vec![30, 31, 32, 1]);
+    }
+
+    #[test]
+    fn fully_reconstructed_early_exit() {
+        let mut c = tiny_cache(2); // 4 sets x 2 ways
+        c.begin_reconstruction();
+        assert!(!c.fully_reconstructed());
+        for set in 0..4u64 {
+            for tag in 0..2u64 {
+                c.reconstruct_ref(addr(set, 100 + tag));
+            }
+        }
+        assert!(c.fully_reconstructed());
+        assert_eq!(c.complete_sets(), 4);
+    }
+
+    #[test]
+    fn from_empty_reverse_equals_forward() {
+        // With an invalid initial state, reverse reconstruction must yield
+        // exactly the forward-LRU content for any reference stream.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let stream: Vec<(u64, u64)> =
+                (0..40).map(|_| (rng.gen_range(0..4u64), rng.gen_range(0..12u64))).collect();
+            let mut fwd = tiny_cache(4);
+            for &(s, t) in &stream {
+                fwd.access(addr(s, t), AccessKind::Read);
+            }
+            let mut rev = tiny_cache(4);
+            rev.begin_reconstruction();
+            for &(s, t) in stream.iter().rev() {
+                rev.reconstruct_ref(addr(s, t));
+            }
+            rev.finish_reconstruction();
+            for set in 0..4 {
+                assert_eq!(
+                    rev.set_tags_mru_order(set),
+                    fwd.set_tags_mru_order(set),
+                    "stream {stream:?} set {set}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn miss_ratio() {
+        let mut c = tiny_cache(2);
+        c.access(addr(0, 1), AccessKind::Read);
+        c.access(addr(0, 1), AccessKind::Read);
+        assert_eq!(c.stats().miss_ratio(), 0.5);
+        assert_eq!(CacheStats::default().miss_ratio(), 0.0);
+    }
+}

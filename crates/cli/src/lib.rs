@@ -1,0 +1,320 @@
+//! # rsr-cli — command-line front end
+//!
+//! A small driver binary (`rsr`) over the workspace:
+//!
+//! ```sh
+//! rsr list                              # benchmarks and default regimens
+//! rsr disasm gcc --head 40              # disassemble a generated workload
+//! rsr trace mcf -n 20                   # retired-instruction trace head
+//! rsr run twolf -n 2000000              # full cycle-accurate run
+//! rsr sample twolf --policy 'r$bp' --pct 20 -n 4000000
+//! rsr simpoint gcc --interval 10000 --k 10 -n 2000000
+//! ```
+//!
+//! The argument grammar is deliberately tiny and hand-rolled (no external
+//! parser dependency); this library exposes it for testing.
+
+use rsr_core::{Pct, WarmupPolicy};
+use rsr_workloads::Benchmark;
+
+/// A parsed command line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Command {
+    /// `rsr list`
+    List,
+    /// `rsr disasm <bench> [--head N]`
+    Disasm {
+        /// Workload to disassemble.
+        bench: Benchmark,
+        /// Instructions to print.
+        head: usize,
+    },
+    /// `rsr trace <bench> [-n N]`
+    Trace {
+        /// Workload to trace.
+        bench: Benchmark,
+        /// Instructions to trace.
+        n: u64,
+    },
+    /// `rsr run <bench> [-n INSTS]`
+    Run {
+        /// Workload to run.
+        bench: Benchmark,
+        /// Instructions to simulate.
+        n: u64,
+    },
+    /// `rsr sample <bench> [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S]`
+    Sample {
+        /// Workload to sample.
+        bench: Benchmark,
+        /// Warm-up policy.
+        policy: WarmupPolicy,
+        /// Number of clusters.
+        clusters: usize,
+        /// Cluster length.
+        len: u64,
+        /// Total instructions.
+        n: u64,
+        /// Schedule seed.
+        seed: u64,
+    },
+    /// `rsr ckpt <bench> [--clusters N] [--len N] [-n INSTS] [--replays R]`
+    Ckpt {
+        /// Workload to checkpoint.
+        bench: Benchmark,
+        /// Number of clusters.
+        clusters: usize,
+        /// Cluster length.
+        len: u64,
+        /// Total instructions.
+        n: u64,
+        /// Replay count.
+        replays: usize,
+    },
+    /// `rsr simpoint <bench> [--interval I] [--k K] [--warm] [-n INSTS]`
+    Simpoint {
+        /// Workload to analyze.
+        bench: Benchmark,
+        /// Interval length.
+        interval: u64,
+        /// Maximum simulation points.
+        k: usize,
+        /// SMARTS-warm while fast-forwarding.
+        warm: bool,
+        /// Total instructions.
+        n: u64,
+    },
+}
+
+/// A usage/parsing error with a human-readable message.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UsageError(pub String);
+
+impl std::fmt::Display for UsageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for UsageError {}
+
+/// The top-level usage text.
+pub const USAGE: &str = "\
+usage: rsr <command> [args]
+
+commands:
+  list                          benchmarks and default regimens
+  disasm <bench> [--head N]     disassemble a generated workload (default 32)
+  trace  <bench> [-n N]         print the first N retired instructions (default 20)
+  run    <bench> [-n INSTS]     full cycle-accurate run (default 1000000)
+  sample <bench> [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S]
+                                sampled simulation (defaults: r$bp 20%, 30x1000, 2M, seed 42)
+  simpoint <bench> [--interval I] [--k K] [--warm] [-n INSTS]
+                                SimPoint analysis + simulation
+  ckpt   <bench> [--clusters N] [--len N] [-n INSTS] [--replays R]
+                                build a live-points library and replay it
+
+policies: none | fp | s$ | sbp | s$bp | r$ | rbp | r$bp | mrrl | blrl
+benchmarks: ammp art gcc mcf parser perl twolf vortex vpr";
+
+/// Parses a warm-up policy name plus an optional percentage.
+pub fn parse_policy(name: &str, pct: u8) -> Result<WarmupPolicy, UsageError> {
+    let p = Pct::new(pct.clamp(1, 100));
+    Ok(match name.to_ascii_lowercase().as_str() {
+        "none" => WarmupPolicy::None,
+        "fp" => WarmupPolicy::FixedPeriod { pct: p },
+        "s$" => WarmupPolicy::Smarts { cache: true, bp: false },
+        "sbp" => WarmupPolicy::Smarts { cache: false, bp: true },
+        "smarts" | "s$bp" => WarmupPolicy::Smarts { cache: true, bp: true },
+        "r$" => WarmupPolicy::Reverse { cache: true, bp: false, pct: p },
+        "rbp" => WarmupPolicy::Reverse { cache: false, bp: true, pct: p },
+        "rsr" | "r$bp" => WarmupPolicy::Reverse { cache: true, bp: true, pct: p },
+        "mrrl" => WarmupPolicy::Mrrl { coverage: p },
+        "blrl" => WarmupPolicy::Blrl { coverage: p },
+        other => return Err(UsageError(format!("unknown policy `{other}`"))),
+    })
+}
+
+fn parse_bench(name: Option<&String>) -> Result<Benchmark, UsageError> {
+    let name = name.ok_or_else(|| UsageError("missing benchmark name".into()))?;
+    Benchmark::from_name(name)
+        .ok_or_else(|| UsageError(format!("unknown benchmark `{name}`")))
+}
+
+struct Flags<'a> {
+    args: &'a [String],
+}
+
+impl Flags<'_> {
+    fn value(&self, flag: &str) -> Option<&str> {
+        self.args
+            .iter()
+            .position(|a| a == flag)
+            .and_then(|i| self.args.get(i + 1))
+            .map(|s| s.as_str())
+    }
+
+    fn parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, UsageError> {
+        match self.value(flag) {
+            None => Ok(default),
+            Some(v) => {
+                v.parse().map_err(|_| UsageError(format!("bad value `{v}` for {flag}")))
+            }
+        }
+    }
+
+    fn present(&self, flag: &str) -> bool {
+        self.args.iter().any(|a| a == flag)
+    }
+}
+
+/// Parses a full argument vector (without the program name).
+///
+/// # Errors
+///
+/// Returns [`UsageError`] for unknown commands, benchmarks, policies, or
+/// malformed values.
+pub fn parse(args: &[String]) -> Result<Command, UsageError> {
+    let cmd = args.first().ok_or_else(|| UsageError(USAGE.into()))?;
+    let rest = &args[1..];
+    let flags = Flags { args: rest };
+    Ok(match cmd.as_str() {
+        "list" => Command::List,
+        "disasm" => Command::Disasm {
+            bench: parse_bench(rest.first())?,
+            head: flags.parsed("--head", 32)?,
+        },
+        "trace" => Command::Trace {
+            bench: parse_bench(rest.first())?,
+            n: flags.parsed("-n", 20)?,
+        },
+        "run" => Command::Run {
+            bench: parse_bench(rest.first())?,
+            n: flags.parsed("-n", 1_000_000)?,
+        },
+        "sample" => {
+            let pct: u8 = flags.parsed("--pct", 20)?;
+            let policy_name = flags.value("--policy").unwrap_or("r$bp");
+            Command::Sample {
+                bench: parse_bench(rest.first())?,
+                policy: parse_policy(policy_name, pct)?,
+                clusters: flags.parsed("--clusters", 30)?,
+                len: flags.parsed("--len", 1000)?,
+                n: flags.parsed("-n", 2_000_000)?,
+                seed: flags.parsed("--seed", 42)?,
+            }
+        }
+        "ckpt" => Command::Ckpt {
+            bench: parse_bench(rest.first())?,
+            clusters: flags.parsed("--clusters", 20)?,
+            len: flags.parsed("--len", 1000)?,
+            n: flags.parsed("-n", 2_000_000)?,
+            replays: flags.parsed("--replays", 3)?,
+        },
+        "simpoint" => Command::Simpoint {
+            bench: parse_bench(rest.first())?,
+            interval: flags.parsed("--interval", 10_000)?,
+            k: flags.parsed("--k", 10)?,
+            warm: flags.present("--warm"),
+            n: flags.parsed("-n", 2_000_000)?,
+        },
+        "-h" | "--help" | "help" => return Err(UsageError(USAGE.into())),
+        other => return Err(UsageError(format!("unknown command `{other}`\n\n{USAGE}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(|w| w.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_list() {
+        assert_eq!(parse(&argv("list")).unwrap(), Command::List);
+    }
+
+    #[test]
+    fn parses_sample_with_flags() {
+        let cmd = parse(&argv("sample mcf --policy r$ --pct 40 --clusters 12 --len 500 -n 100000 --seed 7"))
+            .unwrap();
+        match cmd {
+            Command::Sample { bench, policy, clusters, len, n, seed } => {
+                assert_eq!(bench, Benchmark::Mcf);
+                assert_eq!(
+                    policy,
+                    WarmupPolicy::Reverse { cache: true, bp: false, pct: Pct::new(40) }
+                );
+                assert_eq!((clusters, len, n, seed), (12, 500, 100_000, 7));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let cmd = parse(&argv("sample gcc")).unwrap();
+        match cmd {
+            Command::Sample { policy, clusters, len, n, seed, .. } => {
+                assert_eq!(
+                    policy,
+                    WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) }
+                );
+                assert_eq!((clusters, len, n, seed), (30, 1000, 2_000_000, 42));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_policy_names_parse() {
+        for name in ["none", "fp", "s$", "sbp", "s$bp", "r$", "rbp", "r$bp", "mrrl", "blrl"] {
+            assert!(parse_policy(name, 20).is_ok(), "{name}");
+        }
+        assert!(parse_policy("bogus", 20).is_err());
+    }
+
+    #[test]
+    fn errors_are_helpful() {
+        let e = parse(&argv("frobnicate")).unwrap_err();
+        assert!(e.0.contains("unknown command"));
+        let e = parse(&argv("run nosuch")).unwrap_err();
+        assert!(e.0.contains("unknown benchmark"));
+        let e = parse(&argv("run gcc -n notanumber")).unwrap_err();
+        assert!(e.0.contains("bad value"));
+        let e = parse(&argv("")).unwrap_err();
+        assert!(e.0.contains("usage"));
+    }
+
+    #[test]
+    fn ckpt_defaults() {
+        let cmd = parse(&argv("ckpt vortex")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Ckpt {
+                bench: Benchmark::Vortex,
+                clusters: 20,
+                len: 1000,
+                n: 2_000_000,
+                replays: 3
+            }
+        );
+    }
+
+    #[test]
+    fn simpoint_flags() {
+        let cmd = parse(&argv("simpoint perl --interval 5000 --k 4 --warm")).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Simpoint {
+                bench: Benchmark::Perl,
+                interval: 5000,
+                k: 4,
+                warm: true,
+                n: 2_000_000
+            }
+        );
+    }
+}

@@ -1,0 +1,155 @@
+//! The `rsr` binary: see [`rsr_cli::USAGE`].
+
+use std::process::ExitCode;
+
+use rsr_ckpt::LivePointLibrary;
+use rsr_cli::{parse, Command};
+use rsr_core::{run_full, run_sampled, MachineConfig, SamplingRegimen};
+use rsr_func::Cpu;
+use rsr_simpoint::{analyze, simulate, SimpointConfig};
+use rsr_workloads::{Benchmark, WorkloadParams};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = match parse(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match execute(cmd) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn build(bench: Benchmark) -> rsr_isa::Program {
+    bench.build(&WorkloadParams::default())
+}
+
+fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+    let machine = MachineConfig::paper();
+    match cmd {
+        Command::List => {
+            println!("{:<8} {:>4} {:>9} {:>12} {:>12}", "name", "fp", "clusters", "cluster len", "default n");
+            for b in Benchmark::ALL {
+                let r = b.default_regimen();
+                println!(
+                    "{:<8} {:>4} {:>9} {:>12} {:>12}",
+                    b.name(),
+                    if b.is_fp() { "yes" } else { "no" },
+                    r.n_clusters,
+                    r.cluster_len,
+                    b.default_instructions()
+                );
+            }
+        }
+        Command::Disasm { bench, head } => {
+            let p = build(bench);
+            for line in p.disassemble().lines().take(head) {
+                println!("{line}");
+            }
+            println!(
+                "... ({} instructions, {} bytes of data)",
+                p.text().len(),
+                p.data().len()
+            );
+        }
+        Command::Trace { bench, n } => {
+            let p = build(bench);
+            let mut cpu = Cpu::new(&p)?;
+            for _ in 0..n {
+                let r = cpu.step()?;
+                let mem = r
+                    .mem
+                    .map(|m| {
+                        format!(" [{} {:#x}]", if m.is_store { "st" } else { "ld" }, m.addr)
+                    })
+                    .unwrap_or_default();
+                let br = r
+                    .branch
+                    .map(|b| format!(" <{} {}>", if b.taken { "T" } else { "N" }, b.target))
+                    .unwrap_or_default();
+                println!("{:>8}  {:#010x}  {}{}{}", r.seq, r.pc, r.inst, mem, br);
+            }
+        }
+        Command::Run { bench, n } => {
+            let p = build(bench);
+            let out = run_full(&p, &machine, n)?;
+            println!(
+                "{bench}: IPC {:.4} over {} instructions ({} cycles, {} mispredicts, {:.2}s wall)",
+                out.ipc(),
+                out.stats.instructions,
+                out.stats.cycles,
+                out.stats.full_mispredicts,
+                out.wall.as_secs_f64()
+            );
+        }
+        Command::Sample { bench, policy, clusters, len, n, seed } => {
+            let p = build(bench);
+            let out =
+                run_sampled(&p, &machine, SamplingRegimen::new(clusters, len), n, policy, seed)?;
+            println!(
+                "{bench} under {policy}: IPC {:.4} ± {:.4} (95% CI), {} clusters",
+                out.est_ipc(),
+                out.ipc_error_bound_95(),
+                out.clusters.len()
+            );
+            println!(
+                "phases: hot {:.3}s, cold {:.3}s, warm {:.3}s | hot insts {} | log peak {} KiB",
+                out.phases.hot.as_secs_f64(),
+                out.phases.cold.as_secs_f64(),
+                out.phases.warm.as_secs_f64(),
+                out.hot_insts,
+                out.log_bytes_peak / 1024
+            );
+        }
+        Command::Ckpt { bench, clusters, len, n, replays } => {
+            let p = build(bench);
+            let library = LivePointLibrary::build(
+                &p,
+                &machine,
+                SamplingRegimen::new(clusters, len),
+                n,
+                rsr_core::WarmupPolicy::Smarts { cache: true, bp: true },
+                42,
+            )?;
+            println!(
+                "{bench}: {} points in {:.2}s ({} KiB arch, ~{} KiB micro)",
+                library.len(),
+                library.build_time.as_secs_f64(),
+                library.approx_bytes() / 1024,
+                library.approx_micro_bytes() / 1024
+            );
+            for r in 1..=replays {
+                let out = library.replay(&machine)?;
+                println!(
+                    "replay {r}: IPC {:.4} in {:.3}s",
+                    out.est_ipc(),
+                    out.wall.as_secs_f64()
+                );
+            }
+        }
+        Command::Simpoint { bench, interval, k, warm, n } => {
+            let p = build(bench);
+            let cfg = SimpointConfig { warm, max_k: k, ..SimpointConfig::new(interval) };
+            let analysis = analyze(&p, n, &cfg)?;
+            let out = simulate(&p, &machine, &analysis, &cfg)?;
+            println!(
+                "{bench}: SimPoint IPC {:.4} from {} points over {} intervals of {}",
+                out.est_ipc,
+                analysis.points.len(),
+                analysis.n_intervals,
+                interval
+            );
+            for (pt, ipc) in analysis.points.iter().zip(&out.point_ipcs) {
+                println!("  interval {:>6}  weight {:.3}  ipc {:.4}", pt.interval, pt.weight, ipc);
+            }
+        }
+    }
+    Ok(())
+}

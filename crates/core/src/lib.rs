@@ -1,0 +1,54 @@
+//! # rsr-core — sampled simulation with Reverse State Reconstruction
+//!
+//! The primary contribution of *Bryan, Rosier, Conte, "Reverse State
+//! Reconstruction for Sampled Microarchitectural Simulation"* (ISPASS
+//! 2007), on top of the workspace's substrate crates:
+//!
+//! * [`SamplingRegimen`] / [`Schedule`] — cluster sampling with uniformly
+//!   random, non-overlapping cluster positions (Figure 1);
+//! * [`SkipLog`] — skip-region logging of memory references and branches;
+//! * [`WarmupPolicy`] — the paper's Table 2 method matrix: `None`, fixed
+//!   period, SMARTS functional warming, and Reverse State Reconstruction,
+//!   each selectively applied to caches and/or the branch predictor;
+//! * [`reverse`] — the §3 algorithms: reverse cache reconstruction and
+//!   on-demand branch-predictor reconstruction (GHR, RAS, counter
+//!   inference, BTB);
+//! * [`run_sampled`] / [`run_full`] — the sampled simulator and the
+//!   true-IPC baseline, with wall-clock phase accounting for the paper's
+//!   speed comparisons.
+//!
+//! ```no_run
+//! use rsr_core::{run_sampled, MachineConfig, Pct, SamplingRegimen, WarmupPolicy};
+//! use rsr_workloads::{Benchmark, WorkloadParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Benchmark::Mcf.build(&WorkloadParams::default());
+//! let outcome = run_sampled(
+//!     &program,
+//!     &MachineConfig::paper(),
+//!     SamplingRegimen::new(60, 3000),
+//!     8_000_000,
+//!     WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
+//!     42,
+//! )?;
+//! println!("IPC estimate: {:.3}", outcome.est_ipc());
+//! # Ok(())
+//! # }
+//! ```
+
+mod log;
+mod policy;
+pub mod profiled;
+mod regimen;
+pub mod reverse;
+mod sampler;
+
+pub use crate::log::{BranchRecord, MemRecord, SkipLog};
+pub use crate::policy::{Pct, WarmupPolicy};
+pub use crate::profiled::{profile_reuse, ReuseProfile, ReusePolicy};
+pub use crate::regimen::{ClusterWindow, SamplingRegimen, Schedule};
+pub use crate::reverse::{reconstruct_caches, BpReconstructor, ReconStats};
+pub use crate::sampler::{
+    run_full, run_sampled, run_sampled_with_schedule, skip_with, skip_with_smarts_warming,
+    FullOutcome, MachineConfig, PhaseTimes, SampleOutcome, SimError,
+};

@@ -1,0 +1,437 @@
+//! Skip-region logging (paper §3: "While skipping between clusters, the
+//! data necessary for reconstruction are recorded").
+//!
+//! Memory records keep the paper's fields — current PC, next PC, the
+//! data/instruction address, an entry-type flag (instruction vs. data) and a
+//! reference-type flag (load vs. store). Branch records keep PC, next PC,
+//! outcome, target, and the control kind (the paper's "opcode, source
+//! register, and instruction flags" distill to exactly the kind: what the
+//! predictor must do with the record).
+//!
+//! Instruction references are logged at cache-line granularity (a record is
+//! appended only when fetch crosses into a different line) — reconstruction
+//! is line-granular, so finer logging would only burn memory.
+
+use std::io::{self, Read, Write};
+
+use rsr_func::Retired;
+use rsr_isa::{Addr, CtrlKind};
+
+/// One logged memory reference.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MemRecord {
+    /// PC of the instruction that made the reference.
+    pub pc: Addr,
+    /// Next PC after it.
+    pub next_pc: Addr,
+    /// Referenced address (instruction address for fetch records).
+    pub addr: Addr,
+    /// Entry type: `true` for an instruction-fetch reference.
+    pub is_inst: bool,
+    /// Reference type: `true` for stores.
+    pub is_store: bool,
+}
+
+/// One logged control transfer.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BranchRecord {
+    /// PC of the transfer.
+    pub pc: Addr,
+    /// Next PC actually executed.
+    pub next_pc: Addr,
+    /// Taken-path target (static target for not-taken conditionals).
+    pub target: Addr,
+    /// Control kind.
+    pub kind: CtrlKind,
+    /// Outcome.
+    pub taken: bool,
+}
+
+/// The log of one skip region. Data are kept only for the current region
+/// and discarded when its cluster finishes (paper §3), bounding storage.
+#[derive(Clone, Debug)]
+pub struct SkipLog {
+    mem: Vec<MemRecord>,
+    branches: Vec<BranchRecord>,
+    /// Line of the previous fetch (`NO_LINE` before the first).
+    last_fetch_line: Addr,
+    /// Global history register value when logging began (end of the
+    /// previous cluster) — seeds GHR inference for the earliest records.
+    pub ghr_at_start: u64,
+    log_mem: bool,
+    log_branches: bool,
+}
+
+impl Default for SkipLog {
+    fn default() -> Self {
+        SkipLog::new(true, true, 0)
+    }
+}
+
+const LINE_MASK: u64 = !63;
+const NO_LINE: Addr = u64::MAX;
+
+impl SkipLog {
+    /// Creates an empty log recording the requested streams.
+    pub fn new(log_mem: bool, log_branches: bool, ghr_at_start: u64) -> SkipLog {
+        SkipLog {
+            mem: Vec::new(),
+            branches: Vec::new(),
+            last_fetch_line: NO_LINE,
+            ghr_at_start,
+            log_mem,
+            log_branches,
+        }
+    }
+
+    /// Clears the log for a new skip region, keeping allocated capacity
+    /// (logs are reused across regions to avoid reallocation churn).
+    pub fn reset(&mut self, log_mem: bool, log_branches: bool, ghr_at_start: u64) {
+        self.mem.clear();
+        self.branches.clear();
+        self.last_fetch_line = NO_LINE;
+        self.ghr_at_start = ghr_at_start;
+        self.log_mem = log_mem;
+        self.log_branches = log_branches;
+    }
+
+    /// Records one retired instruction's reconstruction-relevant effects.
+    #[inline]
+    pub fn record(&mut self, r: &Retired) {
+        if self.log_mem {
+            let line = r.pc & LINE_MASK;
+            if self.last_fetch_line != line {
+                self.last_fetch_line = line;
+                self.mem.push(MemRecord {
+                    pc: r.pc,
+                    next_pc: r.next_pc,
+                    addr: r.pc,
+                    is_inst: true,
+                    is_store: false,
+                });
+            }
+            if let Some(m) = r.mem {
+                self.mem.push(MemRecord {
+                    pc: r.pc,
+                    next_pc: r.next_pc,
+                    addr: m.addr,
+                    is_inst: false,
+                    is_store: m.is_store,
+                });
+            }
+        }
+        if self.log_branches {
+            if let Some(b) = r.branch {
+                self.branches.push(BranchRecord {
+                    pc: r.pc,
+                    next_pc: r.next_pc,
+                    target: b.target,
+                    kind: b.kind,
+                    taken: b.taken,
+                });
+            }
+        }
+    }
+
+    /// The logged memory references, oldest first.
+    pub fn mem(&self) -> &[MemRecord] {
+        &self.mem
+    }
+
+    /// The logged control transfers, oldest first.
+    pub fn branches(&self) -> &[BranchRecord] {
+        &self.branches
+    }
+
+    /// Total records held (for storage accounting).
+    pub fn len(&self) -> usize {
+        self.mem.len() + self.branches.len()
+    }
+
+    /// `true` when nothing has been logged.
+    pub fn is_empty(&self) -> bool {
+        self.mem.is_empty() && self.branches.is_empty()
+    }
+
+    /// Approximate resident bytes of the log (storage-for-speed accounting).
+    pub fn approx_bytes(&self) -> usize {
+        self.mem.len() * std::mem::size_of::<MemRecord>()
+            + self.branches.len() * std::mem::size_of::<BranchRecord>()
+    }
+
+    /// Serializes the log to a compact binary stream (magic `RSRL`,
+    /// version 1, little-endian fields). Useful for snapshotting skip
+    /// regions to disk and reconstructing offline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors from the writer.
+    pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
+        w.write_all(b"RSRL")?;
+        w.write_all(&1u16.to_le_bytes())?;
+        w.write_all(&[self.log_mem as u8, self.log_branches as u8])?;
+        w.write_all(&self.ghr_at_start.to_le_bytes())?;
+        w.write_all(&(self.mem.len() as u64).to_le_bytes())?;
+        for m in &self.mem {
+            w.write_all(&m.pc.to_le_bytes())?;
+            w.write_all(&m.next_pc.to_le_bytes())?;
+            w.write_all(&m.addr.to_le_bytes())?;
+            w.write_all(&[(m.is_inst as u8) | ((m.is_store as u8) << 1)])?;
+        }
+        w.write_all(&(self.branches.len() as u64).to_le_bytes())?;
+        for b in &self.branches {
+            w.write_all(&b.pc.to_le_bytes())?;
+            w.write_all(&b.next_pc.to_le_bytes())?;
+            w.write_all(&b.target.to_le_bytes())?;
+            w.write_all(&[kind_to_u8(b.kind), b.taken as u8])?;
+        }
+        Ok(())
+    }
+
+    /// Deserializes a log written by [`SkipLog::write_to`].
+    ///
+    /// # Errors
+    ///
+    /// Returns `InvalidData` on a bad magic/version/enum byte, and
+    /// propagates reader errors (including truncation).
+    pub fn read_from<R: Read>(mut r: R) -> io::Result<SkipLog> {
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != b"RSRL" {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad skip-log magic"));
+        }
+        let version = read_u16(&mut r)?;
+        if version != 1 {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("unsupported skip-log version {version}"),
+            ));
+        }
+        let mut flags = [0u8; 2];
+        r.read_exact(&mut flags)?;
+        let ghr_at_start = read_u64(&mut r)?;
+        let n_mem = read_u64(&mut r)? as usize;
+        let mut mem = Vec::with_capacity(n_mem.min(1 << 24));
+        for _ in 0..n_mem {
+            let pc = read_u64(&mut r)?;
+            let next_pc = read_u64(&mut r)?;
+            let addr = read_u64(&mut r)?;
+            let mut fl = [0u8; 1];
+            r.read_exact(&mut fl)?;
+            mem.push(MemRecord {
+                pc,
+                next_pc,
+                addr,
+                is_inst: fl[0] & 1 != 0,
+                is_store: fl[0] & 2 != 0,
+            });
+        }
+        let n_br = read_u64(&mut r)? as usize;
+        let mut branches = Vec::with_capacity(n_br.min(1 << 24));
+        for _ in 0..n_br {
+            let pc = read_u64(&mut r)?;
+            let next_pc = read_u64(&mut r)?;
+            let target = read_u64(&mut r)?;
+            let mut kt = [0u8; 2];
+            r.read_exact(&mut kt)?;
+            branches.push(BranchRecord {
+                pc,
+                next_pc,
+                target,
+                kind: kind_from_u8(kt[0])?,
+                taken: kt[1] != 0,
+            });
+        }
+        Ok(SkipLog {
+            mem,
+            branches,
+            last_fetch_line: NO_LINE,
+            ghr_at_start,
+            log_mem: flags[0] != 0,
+            log_branches: flags[1] != 0,
+        })
+    }
+}
+
+fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
+    let mut b = [0u8; 2];
+    r.read_exact(&mut b)?;
+    Ok(u16::from_le_bytes(b))
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut b = [0u8; 8];
+    r.read_exact(&mut b)?;
+    Ok(u64::from_le_bytes(b))
+}
+
+fn kind_to_u8(kind: CtrlKind) -> u8 {
+    match kind {
+        CtrlKind::CondBranch => 0,
+        CtrlKind::Jump => 1,
+        CtrlKind::Call => 2,
+        CtrlKind::IndirectCall => 3,
+        CtrlKind::Return => 4,
+        CtrlKind::IndirectJump => 5,
+    }
+}
+
+fn kind_from_u8(v: u8) -> io::Result<CtrlKind> {
+    Ok(match v {
+        0 => CtrlKind::CondBranch,
+        1 => CtrlKind::Jump,
+        2 => CtrlKind::Call,
+        3 => CtrlKind::IndirectCall,
+        4 => CtrlKind::Return,
+        5 => CtrlKind::IndirectJump,
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad control-kind byte {other}"),
+            ))
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsr_func::Cpu;
+    use rsr_isa::{Asm, Reg};
+
+    fn run_logged(build: impl FnOnce(&mut Asm), n: u64) -> SkipLog {
+        let mut a = Asm::new();
+        build(&mut a);
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p).unwrap();
+        let mut log = SkipLog::new(true, true, 0);
+        for _ in 0..n {
+            if cpu.halted() {
+                break;
+            }
+            let r = cpu.step().unwrap();
+            log.record(&r);
+        }
+        log
+    }
+
+    #[test]
+    fn records_data_and_branches() {
+        let log = run_logged(
+            |a| {
+                let buf = a.data_zeros(64);
+                a.la(Reg::S0, buf);
+                a.sd(Reg::ZERO, 0, Reg::S0);
+                a.ld(Reg::T0, 0, Reg::S0);
+                let l = a.bind_new("l");
+                let done = a.new_label("done");
+                a.beq(Reg::T0, Reg::ZERO, done);
+                a.j(l);
+                a.bind(done).unwrap();
+                a.halt();
+            },
+            100,
+        );
+        let data: Vec<_> = log.mem().iter().filter(|m| !m.is_inst).collect();
+        assert_eq!(data.len(), 2);
+        assert!(data[0].is_store && !data[1].is_store);
+        assert_eq!(log.branches().len(), 1);
+        assert!(log.branches()[0].taken);
+    }
+
+    #[test]
+    fn ifetch_logged_per_line_not_per_inst() {
+        // A straight-line program within one 64-byte line should log a
+        // single instruction reference.
+        let log = run_logged(
+            |a| {
+                for _ in 0..10 {
+                    a.nop();
+                }
+                a.halt();
+            },
+            100,
+        );
+        let inst_refs: Vec<_> = log.mem().iter().filter(|m| m.is_inst).collect();
+        assert_eq!(inst_refs.len(), 1);
+    }
+
+    #[test]
+    fn loops_relog_lines_on_reentry_only_when_line_changes() {
+        // A tight loop inside one line logs one fetch record total.
+        let log = run_logged(
+            |a| {
+                a.li(Reg::T0, 50);
+                let top = a.bind_new("top");
+                a.addi(Reg::T0, Reg::T0, -1);
+                a.bne(Reg::T0, Reg::ZERO, top);
+                a.halt();
+            },
+            500,
+        );
+        let inst_refs: Vec<_> = log.mem().iter().filter(|m| m.is_inst).collect();
+        assert_eq!(inst_refs.len(), 1);
+        assert_eq!(log.branches().len(), 50);
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let log = run_logged(
+            |a| {
+                let buf = a.data_zeros(128);
+                a.la(Reg::S0, buf);
+                a.li(Reg::T0, 5);
+                let top = a.bind_new("top");
+                a.sd(Reg::T0, 0, Reg::S0);
+                a.ld(Reg::T1, 0, Reg::S0);
+                a.addi(Reg::T0, Reg::T0, -1);
+                a.bne(Reg::T0, Reg::ZERO, top);
+                a.halt();
+            },
+            200,
+        );
+        let mut bytes = Vec::new();
+        log.write_to(&mut bytes).unwrap();
+        let back = SkipLog::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(back.mem(), log.mem());
+        assert_eq!(back.branches(), log.branches());
+        assert_eq!(back.ghr_at_start, log.ghr_at_start);
+    }
+
+    #[test]
+    fn bad_inputs_rejected() {
+        assert!(SkipLog::read_from(&b"NOPE"[..]).is_err());
+        assert!(SkipLog::read_from(&b"RSRL"[..]).is_err(), "truncated header");
+        // Valid header, truncated body.
+        let log = run_logged(
+            |a| {
+                let buf = a.data_zeros(16);
+                a.la(Reg::S0, buf);
+                a.ld(Reg::T0, 0, Reg::S0);
+                a.halt();
+            },
+            10,
+        );
+        let mut bytes = Vec::new();
+        log.write_to(&mut bytes).unwrap();
+        assert!(SkipLog::read_from(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn disabled_streams_log_nothing() {
+        let mut a = Asm::new();
+        let buf = a.data_zeros(8);
+        a.la(Reg::S0, buf);
+        a.ld(Reg::T0, 0, Reg::S0);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p).unwrap();
+        let mut log = SkipLog::new(false, false, 0);
+        while !cpu.halted() {
+            let r = cpu.step().unwrap();
+            log.record(&r);
+        }
+        assert!(log.is_empty());
+        assert_eq!(log.approx_bytes(), 0);
+    }
+}

@@ -1,0 +1,239 @@
+//! Sampling regimens and cluster schedules (Figure 1 of the paper).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A sampling regimen: the number of clusters and the cluster size (the
+/// paper's Table 1 lists one per workload).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct SamplingRegimen {
+    /// Number of clusters in the sample.
+    pub n_clusters: usize,
+    /// Instructions per cluster ("sampling unit" size).
+    pub cluster_len: u64,
+}
+
+impl SamplingRegimen {
+    /// Builds a regimen.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(n_clusters: usize, cluster_len: u64) -> SamplingRegimen {
+        assert!(n_clusters > 0 && cluster_len > 0, "degenerate regimen");
+        SamplingRegimen { n_clusters, cluster_len }
+    }
+
+    /// Total hot (cycle-accurately simulated) instructions.
+    pub fn hot_instructions(&self) -> u64 {
+        self.n_clusters as u64 * self.cluster_len
+    }
+}
+
+/// One measured window of execution.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct ClusterWindow {
+    /// Dynamic instruction index at which the cluster starts.
+    pub start: u64,
+    /// Cluster length in instructions.
+    pub len: u64,
+}
+
+impl ClusterWindow {
+    /// First instruction index past the cluster.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+}
+
+/// A full sampling schedule: non-overlapping clusters in execution order.
+///
+/// Starting positions are drawn uniformly at random (the paper §5:
+/// "starting positions of each cluster were randomly generated according to
+/// a uniform distribution"), then de-overlapped in order. Holding the seed
+/// fixed holds the schedule fixed across warm-up methods, keeping the
+/// sampling bias constant exactly as the paper does.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Schedule {
+    windows: Vec<ClusterWindow>,
+    total_insts: u64,
+}
+
+impl Schedule {
+    /// Generates a schedule for `regimen` over the first `total_insts`
+    /// instructions using `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the regimen's hot instructions exceed half of
+    /// `total_insts` (such a regimen is not a *sampled* simulation).
+    pub fn generate(regimen: SamplingRegimen, total_insts: u64, seed: u64) -> Schedule {
+        assert!(
+            regimen.hot_instructions() * 2 <= total_insts,
+            "regimen covers more than half the run: {} hot of {total_insts}",
+            regimen.hot_instructions()
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let len = regimen.cluster_len;
+        let max_start = total_insts - len;
+        let mut starts: Vec<u64> =
+            (0..regimen.n_clusters).map(|_| rng.gen_range(0..=max_start)).collect();
+        starts.sort_unstable();
+        // De-overlap in order; spill past the end wraps into even spacing
+        // from the front (rare for sane regimens).
+        let mut windows = Vec::with_capacity(starts.len());
+        let mut prev_end = 0u64;
+        for s in starts {
+            let start = s.max(prev_end);
+            if start + len > total_insts {
+                break;
+            }
+            windows.push(ClusterWindow { start, len });
+            prev_end = start + len;
+        }
+        // If de-overlapping dropped clusters at the tail, squeeze the
+        // missing ones into the largest remaining gaps (keeps the cluster
+        // count exact, which the statistics rely on).
+        let mut deficit = regimen.n_clusters - windows.len();
+        while deficit > 0 {
+            // Find the widest gap between consecutive windows.
+            let mut best: Option<(usize, u64, u64)> = None; // (insert_at, gap_start, gap_len)
+            let mut cursor = 0u64;
+            for (i, w) in windows.iter().enumerate() {
+                let gap = w.start - cursor;
+                if best.is_none_or(|(_, _, g)| gap > g) {
+                    best = Some((i, cursor, gap));
+                }
+                cursor = w.end();
+            }
+            let tail_gap = total_insts - cursor;
+            if best.is_none_or(|(_, _, g)| tail_gap > g) {
+                best = Some((windows.len(), cursor, tail_gap));
+            }
+            let (at, gap_start, gap_len) = best.expect("nonempty candidates");
+            assert!(gap_len >= len, "cannot place cluster: schedule too dense");
+            let start = gap_start + (gap_len - len) / 2;
+            windows.insert(at, ClusterWindow { start, len });
+            deficit -= 1;
+        }
+        Schedule { windows, total_insts }
+    }
+
+    /// Generates a *systematic* schedule: clusters evenly spaced with a
+    /// single random phase offset (the SMARTS sampling design, which the
+    /// paper contrasts with its random cluster placement). Deterministic in
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same density constraint as [`Schedule::generate`].
+    pub fn systematic(regimen: SamplingRegimen, total_insts: u64, seed: u64) -> Schedule {
+        assert!(
+            regimen.hot_instructions() * 2 <= total_insts,
+            "regimen covers more than half the run: {} hot of {total_insts}",
+            regimen.hot_instructions()
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = regimen.n_clusters as u64;
+        let period = total_insts / n;
+        let max_offset = period - regimen.cluster_len;
+        let offset = if max_offset == 0 { 0 } else { rng.gen_range(0..=max_offset) };
+        let windows = (0..n)
+            .map(|i| ClusterWindow { start: i * period + offset, len: regimen.cluster_len })
+            .collect();
+        Schedule { windows, total_insts }
+    }
+
+    /// The clusters in execution order.
+    pub fn windows(&self) -> &[ClusterWindow] {
+        &self.windows
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.windows.len()
+    }
+
+    /// `true` if the schedule holds no clusters.
+    pub fn is_empty(&self) -> bool {
+        self.windows.is_empty()
+    }
+
+    /// The run length this schedule samples.
+    pub fn total_insts(&self) -> u64 {
+        self.total_insts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn windows_are_sorted_and_disjoint() {
+        let r = SamplingRegimen::new(50, 1000);
+        let s = Schedule::generate(r, 1_000_000, 7);
+        assert_eq!(s.len(), 50);
+        let mut prev_end = 0;
+        for w in s.windows() {
+            assert!(w.start >= prev_end, "overlap at {w:?}");
+            assert!(w.end() <= 1_000_000);
+            prev_end = w.end();
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let r = SamplingRegimen::new(40, 500);
+        assert_eq!(Schedule::generate(r, 400_000, 3), Schedule::generate(r, 400_000, 3));
+        assert_ne!(
+            Schedule::generate(r, 400_000, 3),
+            Schedule::generate(r, 400_000, 4),
+            "different seeds should move clusters"
+        );
+    }
+
+    #[test]
+    fn dense_regimen_still_places_all_clusters() {
+        // Hot = half the run: the degenerate-but-legal extreme.
+        let r = SamplingRegimen::new(100, 500);
+        let s = Schedule::generate(r, 100_000, 11);
+        assert_eq!(s.len(), 100);
+        let mut prev_end = 0;
+        for w in s.windows() {
+            assert!(w.start >= prev_end);
+            prev_end = w.end();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "more than half")]
+    fn oversized_regimen_rejected() {
+        let r = SamplingRegimen::new(100, 1000);
+        let _ = Schedule::generate(r, 150_000, 0);
+    }
+
+    #[test]
+    fn systematic_schedules_are_evenly_spaced() {
+        let r = SamplingRegimen::new(20, 1000);
+        let s = Schedule::systematic(r, 1_000_000, 3);
+        assert_eq!(s.len(), 20);
+        let starts: Vec<u64> = s.windows().iter().map(|w| w.start).collect();
+        let period = starts[1] - starts[0];
+        for w in starts.windows(2) {
+            assert_eq!(w[1] - w[0], period, "uneven spacing");
+        }
+        assert_eq!(period, 50_000);
+        // Deterministic per seed; offset moves with the seed.
+        assert_eq!(Schedule::systematic(r, 1_000_000, 3), Schedule::systematic(r, 1_000_000, 3));
+        assert_ne!(
+            Schedule::systematic(r, 1_000_000, 3).windows()[0].start,
+            Schedule::systematic(r, 1_000_000, 4).windows()[0].start
+        );
+    }
+
+    #[test]
+    fn hot_instruction_accounting() {
+        assert_eq!(SamplingRegimen::new(80, 2000).hot_instructions(), 160_000);
+    }
+}

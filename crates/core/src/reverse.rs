@@ -1,0 +1,450 @@
+//! Reverse State Reconstruction — the paper's contribution (§3).
+//!
+//! * [`reconstruct_caches`]: §3.1 — scan the logged reference stream
+//!   newest-first and repair L1I/L1D/L2 state, skipping references whose
+//!   set is already complete (ineffectual instructions isolated with no
+//!   profiling).
+//! * [`BpReconstructor`]: §3.2 — rebuild the global history register and
+//!   the return address stack eagerly, then reconstruct PHT counters (via
+//!   reverse-history inference) and BTB entries *on demand* as the next
+//!   cluster's branches probe them, resuming one shared reverse cursor so
+//!   the log is never rescanned from the start.
+
+use std::collections::HashMap;
+
+use rsr_branch::{CounterInference, PredCtrlKind, Predictor, RasOp};
+use rsr_cache::{MemHierarchy, ReconOutcome};
+use rsr_isa::{Addr, CtrlKind};
+use rsr_timing::PredictHook;
+
+use crate::{Pct, SkipLog};
+
+/// Counters describing one region's reconstruction work (for the paper's
+/// storage-for-speed accounting and the ablation benches).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReconStats {
+    /// Memory log records consumed by the reverse cache scan.
+    pub mem_scanned: u64,
+    /// Cache blocks inserted into stale ways.
+    pub cache_inserted: u64,
+    /// Present-but-stale blocks marked reconstructed in place.
+    pub cache_marked: u64,
+    /// References ignored because a younger reference already reconstructed
+    /// the block or its whole set.
+    pub cache_ignored: u64,
+    /// Branch log records consumed by the on-demand scan.
+    pub branch_scanned: u64,
+    /// PHT entries pinned exactly by inference.
+    pub pht_exact: u64,
+    /// PHT entries set from a partial-history best guess.
+    pub pht_guessed: u64,
+    /// PHT entries demanded but left stale (no history in budget).
+    pub pht_stale: u64,
+    /// BTB entries reconstructed.
+    pub btb_reconstructed: u64,
+    /// On-demand scans triggered by cluster branches.
+    pub demand_scans: u64,
+}
+
+impl ReconStats {
+    /// Accumulates another region's counters.
+    pub fn accumulate(&mut self, other: &ReconStats) {
+        self.mem_scanned += other.mem_scanned;
+        self.cache_inserted += other.cache_inserted;
+        self.cache_marked += other.cache_marked;
+        self.cache_ignored += other.cache_ignored;
+        self.branch_scanned += other.branch_scanned;
+        self.pht_exact += other.pht_exact;
+        self.pht_guessed += other.pht_guessed;
+        self.pht_stale += other.pht_stale;
+        self.btb_reconstructed += other.btb_reconstructed;
+        self.demand_scans += other.demand_scans;
+    }
+}
+
+/// Reverse cache reconstruction (§3.1) over the last `pct` of the logged
+/// reference stream. Instruction records repair the L1I, data records the
+/// L1D, and both repair the unified L2; the scan stops early once every
+/// set of every level is reconstructed.
+pub fn reconstruct_caches(hier: &mut MemHierarchy, log: &SkipLog, pct: Pct) -> ReconStats {
+    let mut stats = ReconStats::default();
+    hier.l1i.begin_reconstruction();
+    hier.l1d.begin_reconstruction();
+    hier.l2.begin_reconstruction();
+    let budget = pct.of(log.mem().len());
+    for rec in log.mem().iter().rev().take(budget) {
+        if hier.l1i.fully_reconstructed()
+            && hier.l1d.fully_reconstructed()
+            && hier.l2.fully_reconstructed()
+        {
+            break;
+        }
+        stats.mem_scanned += 1;
+        let l1 = if rec.is_inst { &mut hier.l1i } else { &mut hier.l1d };
+        // Per the paper, WTNA caches allocate logged writes exactly like
+        // reads ("the block is allocated even if the access is a write").
+        for out in [l1.reconstruct_ref(rec.addr), hier.l2.reconstruct_ref(rec.addr)] {
+            match out {
+                ReconOutcome::Inserted => stats.cache_inserted += 1,
+                ReconOutcome::MarkedPresent => stats.cache_marked += 1,
+                ReconOutcome::Redundant | ReconOutcome::SetComplete => stats.cache_ignored += 1,
+            }
+        }
+    }
+    hier.l1i.finish_reconstruction();
+    hier.l1d.finish_reconstruction();
+    hier.l2.finish_reconstruction();
+    stats
+}
+
+/// On-demand branch-predictor reconstruction (§3.2).
+///
+/// Construction rebuilds the GHR from the last *n* logged branches and the
+/// RAS via the reverse push/pop-counter walk (Figure 4), and clears all
+/// reconstructed bits. During the cluster, [`PredictHook::before_predict`]
+/// consumes the reverse branch log just far enough to determine the probed
+/// PHT/BTB entry — reconstructing every other entry it passes, so the log
+/// is consumed exactly once per region.
+#[derive(Debug)]
+pub struct BpReconstructor<'log> {
+    /// Forward-order branch records (borrowed from the region's log).
+    records: &'log [crate::BranchRecord],
+    /// GHR value seen by record *i* (used for its PHT index).
+    ghr_before: Vec<u64>,
+    /// Reverse records consumed so far.
+    consumed: usize,
+    /// Maximum reverse records the scan may consume.
+    budget: usize,
+    /// In-progress counter inferences keyed by PHT index.
+    inferences: HashMap<usize, CounterInference>,
+    exhausted: bool,
+    stats: ReconStats,
+}
+
+impl<'log> BpReconstructor<'log> {
+    /// Prepares on-demand reconstruction for one skip region: clears
+    /// reconstructed bits, rebuilds the GHR and the RAS.
+    pub fn new(pred: &mut Predictor, log: &'log SkipLog, pct: Pct) -> BpReconstructor<'log> {
+        pred.gshare.begin_reconstruction();
+        pred.btb.begin_reconstruction();
+
+        let records = log.branches();
+        let budget = pct.of(records.len());
+
+        // GHR evolution through the region (conditional outcomes only).
+        let mut ghr_before = Vec::with_capacity(records.len());
+        let mut ghr = log.ghr_at_start;
+        let mask = pred.gshare.ghr_mask();
+        for rec in records {
+            ghr_before.push(ghr);
+            if rec.kind == CtrlKind::CondBranch {
+                ghr = ((ghr << 1) | rec.taken as u64) & mask;
+            }
+        }
+        // "The global history register must first be reconstructed using
+        // the last n branches of the skip-region trace."
+        pred.gshare.set_ghr(ghr);
+
+        // RAS reconstruction (Figure 4), newest-first within the budget.
+        let ras_ops = records.iter().rev().take(budget).filter_map(|rec| match rec.kind {
+            CtrlKind::Call | CtrlKind::IndirectCall => Some(RasOp::Push(rec.pc + 4)),
+            CtrlKind::Return => Some(RasOp::Pop),
+            _ => None,
+        });
+        pred.ras.reconstruct(ras_ops);
+
+        BpReconstructor {
+            records,
+            ghr_before,
+            consumed: 0,
+            budget,
+            inferences: HashMap::new(),
+            exhausted: false,
+            stats: ReconStats::default(),
+        }
+    }
+
+    /// Reconstruction counters so far.
+    pub fn stats(&self) -> ReconStats {
+        self.stats
+    }
+
+    /// Consumes the entire remaining budget immediately — the *eager*
+    /// variant of branch-predictor reconstruction, for ablations against
+    /// the paper's on-demand design. After this, no cluster branch will
+    /// trigger further scanning.
+    pub fn exhaust(&mut self, pred: &mut Predictor) {
+        while self.step_scan(pred) {}
+    }
+
+    /// Consumes one (next-older) record; returns `false` once the budget is
+    /// spent (flushing best guesses for all in-progress inferences).
+    fn step_scan(&mut self, pred: &mut Predictor) -> bool {
+        if self.consumed >= self.budget {
+            if !self.exhausted {
+                self.exhausted = true;
+                for (idx, inf) in self.inferences.drain() {
+                    match inf.best_guess() {
+                        Some(c) => {
+                            pred.gshare.set_counter(idx, c);
+                            self.stats.pht_guessed += 1;
+                        }
+                        None => self.stats.pht_stale += 1,
+                    }
+                    pred.gshare.mark_reconstructed(idx);
+                }
+            }
+            return false;
+        }
+        let i = self.records.len() - 1 - self.consumed;
+        self.consumed += 1;
+        self.stats.branch_scanned += 1;
+        let rec = self.records[i];
+
+        if rec.kind == CtrlKind::CondBranch {
+            let idx = pred.gshare.index_with(rec.pc, self.ghr_before[i]);
+            if !pred.gshare.is_reconstructed(idx) {
+                let inf = self.inferences.entry(idx).or_default();
+                inf.prepend(rec.taken);
+                if let Some(c) = inf.resolved() {
+                    pred.gshare.set_counter(idx, c);
+                    pred.gshare.mark_reconstructed(idx);
+                    self.inferences.remove(&idx);
+                    self.stats.pht_exact += 1;
+                }
+            }
+        }
+        if rec.taken && pred.btb.reconstruct(rec.pc, rec.target) {
+            self.stats.btb_reconstructed += 1;
+        }
+        true
+    }
+
+    /// Scans until `done(pred)` holds or the budget is exhausted, then
+    /// marks the demanded entity reconstructed via `mark`.
+    fn demand(
+        &mut self,
+        pred: &mut Predictor,
+        done: impl Fn(&Predictor) -> bool,
+        mark: impl FnOnce(&mut Predictor),
+    ) {
+        if done(pred) {
+            return;
+        }
+        self.stats.demand_scans += 1;
+        while !done(pred) {
+            if !self.step_scan(pred) {
+                // Budget exhausted without evidence: the entry keeps its
+                // stale content, marked so it is never demanded again.
+                mark(pred);
+                return;
+            }
+        }
+    }
+}
+
+impl PredictHook for BpReconstructor<'_> {
+    fn before_predict(&mut self, pred: &mut Predictor, pc: Addr, kind: PredCtrlKind) {
+        if kind == PredCtrlKind::CondBranch {
+            let idx = pred.gshare.index(pc);
+            let mut stale = false;
+            self.demand(
+                pred,
+                |p| p.gshare.is_reconstructed(idx),
+                |p| {
+                    p.gshare.mark_reconstructed(idx);
+                    stale = true;
+                },
+            );
+            if stale {
+                self.stats.pht_stale += 1;
+            }
+        }
+        // Every kind except a pure return consults the BTB.
+        if kind != PredCtrlKind::Return {
+            self.demand(
+                pred,
+                |p| p.btb.is_reconstructed(pc),
+                |p| p.btb.mark_reconstructed(pc),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsr_branch::{Counter2, PredictorConfig};
+    use rsr_cache::HierarchyConfig;
+    use rsr_func::Retired;
+    use rsr_isa::{Addr as IsaAddr, Inst, Op};
+
+    fn mem_retired(seq: u64, pc: IsaAddr, addr: IsaAddr, store: bool) -> Retired {
+        Retired {
+            seq,
+            pc,
+            next_pc: pc + 4,
+            inst: Inst::new(if store { Op::Sd } else { Op::Ld }, 1, 2, 1, 0),
+            mem: Some(rsr_func::MemAccess {
+                addr,
+                width: rsr_isa::MemWidth::B8,
+                is_store: store,
+            }),
+            branch: None,
+        }
+    }
+
+    fn branch_retired(seq: u64, pc: IsaAddr, taken: bool, target: IsaAddr) -> Retired {
+        Retired {
+            seq,
+            pc,
+            next_pc: if taken { target } else { pc + 4 },
+            inst: Inst::new(Op::Bne, 0, 1, 2, (target as i64 - pc as i64) as i32),
+            mem: None,
+            branch: Some(rsr_func::BranchRec {
+                kind: CtrlKind::CondBranch,
+                taken,
+                target,
+            }),
+        }
+    }
+
+    #[test]
+    fn cache_reconstruction_reaches_all_levels() {
+        let mut hier = MemHierarchy::new(HierarchyConfig::paper());
+        let mut log = SkipLog::new(true, false, 0);
+        for k in 0..200u64 {
+            log.record(&mem_retired(k, 0x1_0000 + (k % 4) * 4, 0x40_0000 + k * 64, false));
+        }
+        let stats = reconstruct_caches(&mut hier, &log, Pct::new(100));
+        assert!(stats.cache_inserted > 0);
+        // The touched lines must now be present in L1D and L2.
+        assert!(hier.l1d.probe(0x40_0000 + 199 * 64));
+        assert!(hier.l2.probe(0x40_0000 + 199 * 64));
+        // And the instruction line in the L1I.
+        assert!(hier.l1i.probe(0x1_0000));
+    }
+
+    #[test]
+    fn cache_budget_limits_scan() {
+        let mut hier = MemHierarchy::new(HierarchyConfig::paper());
+        let mut log = SkipLog::new(true, false, 0);
+        for k in 0..1000u64 {
+            log.record(&mem_retired(k, 0x1_0000, 0x40_0000 + k * 64, false));
+        }
+        let n_mem = log.mem().len();
+        let stats = reconstruct_caches(&mut hier, &log, Pct::new(20));
+        assert!(stats.mem_scanned <= Pct::new(20).of(n_mem) as u64);
+        // Newest references are reconstructed, oldest are not.
+        assert!(hier.l1d.probe(0x40_0000 + 999 * 64));
+        assert!(!hier.l1d.probe(0x40_0000));
+    }
+
+    #[test]
+    fn writes_allocate_during_reconstruction() {
+        // WTNA would not allocate a write during normal simulation, but the
+        // paper allocates logged writes during reconstruction.
+        let mut hier = MemHierarchy::new(HierarchyConfig::paper());
+        let mut log = SkipLog::new(true, false, 0);
+        log.record(&mem_retired(0, 0x1_0000, 0x7000, true));
+        reconstruct_caches(&mut hier, &log, Pct::new(100));
+        assert!(hier.l1d.probe(0x7000));
+    }
+
+    fn pred() -> Predictor {
+        Predictor::new(PredictorConfig { ghr_bits: 8, btb_entries: 64, ras_entries: 4 })
+    }
+
+    #[test]
+    fn ghr_reconstructed_from_log_tail() {
+        let mut p = pred();
+        let mut log = SkipLog::new(false, true, 0b1010);
+        // Three conditional branches: T, NT, T.
+        for (k, taken) in [(0u64, true), (1, false), (2, true)] {
+            log.record(&branch_retired(k, 0x1000 + k * 4, taken, 0x2000));
+        }
+        let _r = BpReconstructor::new(&mut p, &log, Pct::new(100));
+        // ghr_at_start=0b1010, then shifted T,NT,T -> 0b1010101 & mask.
+        assert_eq!(p.gshare.ghr(), 0b101_0101 & p.gshare.ghr_mask());
+    }
+
+    #[test]
+    fn demand_scan_pins_counter_from_history() {
+        let mut p = pred();
+        let mut log = SkipLog::new(false, true, 0);
+        let pc = 0x1000;
+        // Same branch taken repeatedly with a constant GHR? The GHR shifts,
+        // so replicate a steady pattern: all taken saturates the GHR at
+        // all-ones, making the last indices identical.
+        for k in 0..40u64 {
+            log.record(&branch_retired(k, pc, true, 0x2000));
+        }
+        let mut r = BpReconstructor::new(&mut p, &log, Pct::new(100));
+        // The cluster's first probe of this branch (GHR = all ones).
+        r.before_predict(&mut p, pc, PredCtrlKind::CondBranch);
+        let idx = p.gshare.index(pc);
+        assert!(p.gshare.is_reconstructed(idx));
+        assert_eq!(p.gshare.counter_at(idx), Counter2::STRONG_T);
+        // And the BTB learned the target on the same scan.
+        r.before_predict(&mut p, pc, PredCtrlKind::CondBranch);
+        assert_eq!(p.btb.peek(pc), Some(0x2000));
+        assert!(r.stats().pht_exact >= 1);
+    }
+
+    #[test]
+    fn no_history_leaves_counter_stale() {
+        let mut p = pred();
+        // Pre-set a counter to a known stale value via direct update.
+        let stale_pc = 0x5550;
+        let idx = p.gshare.index_with(stale_pc, 0);
+        p.gshare.set_counter(idx, Counter2::STRONG_T);
+
+        let log = SkipLog::new(false, true, 0); // empty log
+        let mut r = BpReconstructor::new(&mut p, &log, Pct::new(100));
+        p.gshare.set_ghr(0);
+        r.before_predict(&mut p, stale_pc, PredCtrlKind::CondBranch);
+        // Stale value preserved, entry marked so it is not demanded again.
+        assert_eq!(p.gshare.counter_at(idx), Counter2::STRONG_T);
+        assert!(p.gshare.is_reconstructed(idx));
+        assert!(r.stats().pht_stale >= 1);
+    }
+
+    #[test]
+    fn shared_cursor_never_rescans() {
+        let mut p = pred();
+        let mut log = SkipLog::new(false, true, 0);
+        for k in 0..100u64 {
+            log.record(&branch_retired(k, 0x1000 + (k % 10) * 4, k % 2 == 0, 0x2000));
+        }
+        let mut r = BpReconstructor::new(&mut p, &log, Pct::new(100));
+        r.before_predict(&mut p, 0x1000, PredCtrlKind::CondBranch);
+        let scanned_once = r.stats().branch_scanned;
+        r.before_predict(&mut p, 0x1000, PredCtrlKind::CondBranch);
+        // Second demand for an already-reconstructed entry consumes nothing.
+        assert_eq!(r.stats().branch_scanned, scanned_once);
+    }
+
+    #[test]
+    fn ras_reconstructed_from_calls() {
+        let mut p = pred();
+        let mut log = SkipLog::new(false, true, 0);
+        // Two calls deep at the end of the skip region.
+        for (k, pc) in [(0u64, 0x1000u64), (1, 0x1100)] {
+            log.record(&Retired {
+                seq: k,
+                pc,
+                next_pc: 0x3000,
+                inst: Inst::new(Op::Jal, 1, 0, 0, 0),
+                mem: None,
+                branch: Some(rsr_func::BranchRec {
+                    kind: CtrlKind::Call,
+                    taken: true,
+                    target: 0x3000,
+                }),
+            });
+        }
+        let _r = BpReconstructor::new(&mut p, &log, Pct::new(100));
+        assert_eq!(p.ras.pop(), 0x1100 + 4);
+        assert_eq!(p.ras.pop(), 0x1000 + 4);
+    }
+}

@@ -1,0 +1,643 @@
+//! The sampled simulator: hot/cold/warm phase orchestration (Figure 1).
+
+use std::time::{Duration, Instant};
+
+use rsr_branch::{PredCtrlKind, Predictor, PredictorConfig};
+use rsr_cache::{HierAccess, HierarchyConfig, MemHierarchy};
+use rsr_func::{Cpu, ExecError, LoadError, Retired};
+use rsr_isa::{CtrlKind, Program};
+use rsr_stats::ClusterSample;
+use rsr_timing::{simulate_cluster, simulate_cluster_hooked, CoreConfig, HotStats, NoHook};
+
+use crate::profiled::{profile_reuse, ReusePolicy};
+use crate::reverse::{reconstruct_caches, BpReconstructor, ReconStats};
+use crate::{SamplingRegimen, Schedule, SkipLog, WarmupPolicy};
+
+/// Errors surfaced by the sampled simulator.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum SimError {
+    /// The program image failed to load.
+    Load(LoadError),
+    /// Execution faulted (runaway PC) or the program halted before the
+    /// schedule completed.
+    Exec(ExecError),
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SimError::Load(e) => write!(f, "load failed: {e}"),
+            SimError::Exec(e) => write!(f, "execution failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+impl From<LoadError> for SimError {
+    fn from(e: LoadError) -> Self {
+        SimError::Load(e)
+    }
+}
+
+impl From<ExecError> for SimError {
+    fn from(e: ExecError) -> Self {
+        SimError::Exec(e)
+    }
+}
+
+/// The simulated machine: core, memory hierarchy, and predictor configs.
+#[derive(Clone, Debug, Default)]
+pub struct MachineConfig {
+    /// Out-of-order core parameters.
+    pub core: CoreConfig,
+    /// Memory hierarchy parameters.
+    pub hier: HierarchyConfig,
+    /// Branch predictor parameters.
+    pub pred: PredictorConfig,
+}
+
+impl MachineConfig {
+    /// The paper's full machine (§4).
+    pub fn paper() -> MachineConfig {
+        MachineConfig::default()
+    }
+}
+
+/// Wall-clock time spent in each phase of a sampled simulation.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Cycle-accurate cluster simulation (including on-demand BP
+    /// reconstruction work triggered inside clusters).
+    pub hot: Duration,
+    /// Functional fast-forwarding, including any logging.
+    pub cold: Duration,
+    /// Explicit warming: SMARTS/fixed-period functional warming and eager
+    /// reverse reconstruction (caches, GHR, RAS).
+    pub warm: Duration,
+}
+
+impl PhaseTimes {
+    /// Total simulation time.
+    pub fn total(&self) -> Duration {
+        self.hot + self.cold + self.warm
+    }
+}
+
+/// Result of one sampled simulation.
+#[derive(Clone, Debug)]
+pub struct SampleOutcome {
+    /// The warm-up policy that produced this outcome.
+    pub policy: WarmupPolicy,
+    /// Per-cluster IPCs (for display and per-cluster inspection).
+    pub clusters: ClusterSample,
+    /// Per-cluster CPIs — the estimation domain. With equal-size clusters
+    /// the mean cluster CPI is an unbiased estimator of the full run's
+    /// CPI (total cycles = mean CPI × total instructions), which the mean
+    /// cluster IPC is not; estimates and confidence tests therefore live
+    /// in CPI space and are inverted for reporting.
+    pub cpi_clusters: ClusterSample,
+    /// Wall-clock phase breakdown.
+    pub phases: PhaseTimes,
+    /// Hot (cycle-accurate) instructions simulated.
+    pub hot_insts: u64,
+    /// Instructions skipped functionally.
+    pub skipped_insts: u64,
+    /// Peak bytes held by a skip-region log (0 for non-logging policies).
+    pub log_bytes_peak: usize,
+    /// Total records appended to skip logs (0 for non-logging policies).
+    pub log_records: u64,
+    /// Functional warm updates applied (SMARTS/fixed-period warming): one
+    /// per instruction fetch plus one per memory reference plus one per
+    /// branch.
+    pub warm_updates: u64,
+    /// Aggregated reconstruction counters (zero for non-RSR policies).
+    pub recon: ReconStats,
+}
+
+impl SampleOutcome {
+    /// The sample's IPC estimate: the inverse of the mean per-cluster CPI
+    /// (see [`SampleOutcome::cpi_clusters`]).
+    pub fn est_ipc(&self) -> f64 {
+        let cpi = self.cpi_clusters.mean();
+        if cpi == 0.0 {
+            0.0
+        } else {
+            1.0 / cpi
+        }
+    }
+
+    /// The paper's 95 % confidence test, evaluated in CPI space: does the
+    /// interval around the mean cluster CPI contain the true CPI?
+    pub fn predicts_true_ipc(&self, true_ipc: f64) -> bool {
+        if true_ipc <= 0.0 {
+            return false;
+        }
+        self.cpi_clusters.predicts(1.0 / true_ipc)
+    }
+
+    /// Half-width of the 95 % confidence interval mapped to IPC units
+    /// (first-order: `z·SE_cpi / mean_cpi²`).
+    pub fn ipc_error_bound_95(&self) -> f64 {
+        let mean = self.cpi_clusters.mean();
+        if mean == 0.0 {
+            return 0.0;
+        }
+        rsr_stats::Z_95 * self.cpi_clusters.std_error() / (mean * mean)
+    }
+}
+
+/// Result of a full (unsampled) cycle-accurate run — the paper's
+/// "true IPC" baseline.
+#[derive(Clone, Debug)]
+pub struct FullOutcome {
+    /// Cycle-accurate statistics of the whole run.
+    pub stats: HotStats,
+    /// Wall-clock duration.
+    pub wall: Duration,
+}
+
+impl FullOutcome {
+    /// The true IPC.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+}
+
+fn to_pred_kind(kind: CtrlKind) -> PredCtrlKind {
+    match kind {
+        CtrlKind::CondBranch => PredCtrlKind::CondBranch,
+        CtrlKind::Jump => PredCtrlKind::Jump,
+        CtrlKind::Call => PredCtrlKind::Call,
+        CtrlKind::IndirectCall => PredCtrlKind::IndirectCall,
+        CtrlKind::Return => PredCtrlKind::Return,
+        CtrlKind::IndirectJump => PredCtrlKind::IndirectJump,
+    }
+}
+
+/// Applies one retired instruction's SMARTS functional warming.
+///
+/// Full functional warming is deliberately "heavy-handed" (the paper's
+/// words): every instruction fetch probes the I-cache and every memory
+/// operation and branch is applied, exactly as SimpleScalar-style
+/// functional warming does. RSR's logger, by contrast, records instruction
+/// references only at line granularity — that asymmetry *is* the
+/// storage-for-speed trade the paper describes.
+#[inline]
+fn warm_one(r: &Retired, hier: &mut MemHierarchy, pred: &mut Predictor, cache: bool, bp: bool) {
+    if cache {
+        hier.warm_access(r.pc, HierAccess::Fetch);
+        if let Some(m) = r.mem {
+            hier.warm_access(
+                m.addr,
+                if m.is_store { HierAccess::Store } else { HierAccess::Load },
+            );
+        }
+    }
+    if bp {
+        if let Some(b) = r.branch {
+            pred.warm_update(r.pc, to_pred_kind(b.kind), b.taken, b.target);
+        }
+    }
+}
+
+/// Runs one complete sampled simulation of `program` under `policy`.
+///
+/// Cluster positions are drawn from `schedule_seed`; hold it constant
+/// across policies to keep the sampling bias fixed (as the paper does).
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the program fails to load, faults, or halts
+/// before the schedule's last cluster (workloads are expected to run
+/// forever).
+pub fn run_sampled(
+    program: &Program,
+    machine: &MachineConfig,
+    regimen: SamplingRegimen,
+    total_insts: u64,
+    policy: WarmupPolicy,
+    schedule_seed: u64,
+) -> Result<SampleOutcome, SimError> {
+    let schedule = Schedule::generate(regimen, total_insts, schedule_seed);
+    run_sampled_with_schedule(program, machine, &schedule, policy)
+}
+
+/// [`run_sampled`] with an explicit, caller-built [`Schedule`] — e.g. a
+/// systematic SMARTS-style design from [`Schedule::systematic`], or a
+/// schedule shared verbatim across machines.
+///
+/// # Errors
+///
+/// As for [`run_sampled`].
+pub fn run_sampled_with_schedule(
+    program: &Program,
+    machine: &MachineConfig,
+    schedule: &Schedule,
+    policy: WarmupPolicy,
+) -> Result<SampleOutcome, SimError> {
+    let mut cpu = Cpu::new(program)?;
+    let mut hier = MemHierarchy::new(machine.hier.clone());
+    let mut pred = Predictor::new(machine.pred);
+
+    let mut outcome = SampleOutcome {
+        policy,
+        clusters: ClusterSample::new(),
+        cpi_clusters: ClusterSample::new(),
+        phases: PhaseTimes::default(),
+        hot_insts: 0,
+        skipped_insts: 0,
+        log_bytes_peak: 0,
+        log_records: 0,
+        warm_updates: 0,
+        recon: ReconStats::default(),
+    };
+
+    let mut pos = 0u64;
+    // Reused across regions so logging never pays reallocation growth.
+    let mut log = SkipLog::new(true, true, 0);
+    for w in schedule.windows() {
+        let skip = w.start - pos;
+        outcome.skipped_insts += skip;
+
+        // ---- cold / warm phases over the skip region -------------------
+        let mut hook: Option<BpReconstructor> = None;
+        match policy {
+            WarmupPolicy::None => {
+                let t = Instant::now();
+                for _ in 0..skip {
+                    cpu.step()?;
+                }
+                outcome.phases.cold += t.elapsed();
+            }
+            WarmupPolicy::Smarts { cache, bp } => {
+                let t = Instant::now();
+                let mut updates = 0u64;
+                for _ in 0..skip {
+                    let r = cpu.step()?;
+                    warm_one(&r, &mut hier, &mut pred, cache, bp);
+                    updates += cache as u64 * (1 + r.mem.is_some() as u64)
+                        + (bp && r.branch.is_some()) as u64;
+                }
+                outcome.warm_updates += updates;
+                outcome.phases.warm += t.elapsed();
+            }
+            WarmupPolicy::FixedPeriod { pct } => {
+                let warm_part = pct.of(skip as usize) as u64;
+                let cold_part = skip - warm_part;
+                let t = Instant::now();
+                for _ in 0..cold_part {
+                    cpu.step()?;
+                }
+                outcome.phases.cold += t.elapsed();
+                let t = Instant::now();
+                let mut updates = 0u64;
+                for _ in 0..warm_part {
+                    let r = cpu.step()?;
+                    warm_one(&r, &mut hier, &mut pred, true, true);
+                    updates += 1 + r.mem.is_some() as u64 + r.branch.is_some() as u64;
+                }
+                outcome.warm_updates += updates;
+                outcome.phases.warm += t.elapsed();
+            }
+            WarmupPolicy::Reverse { cache, bp, pct } => {
+                // Cold phase with logging: "no analysis is performed
+                // between clusters except for logging".
+                let t = Instant::now();
+                log.reset(cache, bp, pred.gshare.ghr());
+                for _ in 0..skip {
+                    let r = cpu.step()?;
+                    log.record(&r);
+                }
+                outcome.phases.cold += t.elapsed();
+                outcome.log_bytes_peak = outcome.log_bytes_peak.max(log.approx_bytes());
+                outcome.log_records += log.len() as u64;
+
+                // Eager reconstruction immediately before the cluster.
+                let t = Instant::now();
+                if cache {
+                    let stats = reconstruct_caches(&mut hier, &log, pct);
+                    outcome.recon.accumulate(&stats);
+                }
+                if bp {
+                    hook = Some(BpReconstructor::new(&mut pred, &log, pct));
+                }
+                outcome.phases.warm += t.elapsed();
+                // The log is cleared at the next region: "data are kept
+                // only for the current cluster of execution".
+            }
+            WarmupPolicy::Mrrl { coverage } | WarmupPolicy::Blrl { coverage } => {
+                let reuse = if matches!(policy, WarmupPolicy::Mrrl { .. }) {
+                    ReusePolicy::Mrrl
+                } else {
+                    ReusePolicy::Blrl
+                };
+                // Profiling pass over the skip/cluster pair (the analysis
+                // cost RSR avoids); charged to the warm phase.
+                let t = Instant::now();
+                let snapshot = cpu.clone();
+                let profile = profile_reuse(&mut cpu, skip, w.len, reuse)?;
+                let window = profile.warm_window(coverage, skip);
+                cpu = snapshot;
+                outcome.phases.warm += t.elapsed();
+
+                let t = Instant::now();
+                for _ in 0..skip - window {
+                    cpu.step()?;
+                }
+                outcome.phases.cold += t.elapsed();
+                let t = Instant::now();
+                let mut updates = 0u64;
+                for _ in 0..window {
+                    let r = cpu.step()?;
+                    warm_one(&r, &mut hier, &mut pred, true, true);
+                    updates += 1 + r.mem.is_some() as u64 + r.branch.is_some() as u64;
+                }
+                outcome.warm_updates += updates;
+                outcome.phases.warm += t.elapsed();
+            }
+        }
+
+        // ---- hot phase ---------------------------------------------------
+        let t = Instant::now();
+        let stats = match hook.as_mut() {
+            Some(h) => {
+                simulate_cluster_hooked(&machine.core, &mut cpu, &mut hier, &mut pred, w.len, h)?
+            }
+            None => simulate_cluster(&machine.core, &mut cpu, &mut hier, &mut pred, w.len)?,
+        };
+        outcome.phases.hot += t.elapsed();
+        if let Some(h) = hook {
+            outcome.recon.accumulate(&h.stats());
+        }
+        if stats.instructions < w.len {
+            // The program halted inside a cluster: schedules assume
+            // free-running workloads.
+            return Err(SimError::Exec(ExecError::Halted));
+        }
+        outcome.hot_insts += stats.instructions;
+        outcome.clusters.push(stats.ipc());
+        outcome.cpi_clusters.push(stats.cycles as f64 / stats.instructions as f64);
+        pos = w.end();
+    }
+    Ok(outcome)
+}
+
+/// Runs the full-trace cycle-accurate baseline ("true IPC").
+///
+/// # Errors
+///
+/// Returns [`SimError`] on load failure or execution fault.
+pub fn run_full(
+    program: &Program,
+    machine: &MachineConfig,
+    total_insts: u64,
+) -> Result<FullOutcome, SimError> {
+    let mut cpu = Cpu::new(program)?;
+    let mut hier = MemHierarchy::new(machine.hier.clone());
+    let mut pred = Predictor::new(machine.pred);
+    let t = Instant::now();
+    let stats = simulate_cluster(&machine.core, &mut cpu, &mut hier, &mut pred, total_insts)?;
+    Ok(FullOutcome { stats, wall: t.elapsed() })
+}
+
+/// Functionally skips `n` instructions with a custom per-instruction
+/// action. Exposed for SimPoint-style consumers that fast-forward with or
+/// without warming.
+///
+/// # Errors
+///
+/// Propagates functional-simulation faults.
+pub fn skip_with(
+    cpu: &mut Cpu,
+    n: u64,
+    mut action: impl FnMut(&Retired),
+) -> Result<(), ExecError> {
+    for _ in 0..n {
+        let r = cpu.step()?;
+        action(&r);
+    }
+    Ok(())
+}
+
+/// SMARTS-style functional warming of both structures while skipping
+/// (used by the SimPoint comparison's `-SMARTS` variants).
+///
+/// # Errors
+///
+/// Propagates functional-simulation faults.
+pub fn skip_with_smarts_warming(
+    cpu: &mut Cpu,
+    hier: &mut MemHierarchy,
+    pred: &mut Predictor,
+    n: u64,
+) -> Result<(), ExecError> {
+    for _ in 0..n {
+        let r = cpu.step()?;
+        warm_one(&r, hier, pred, true, true);
+    }
+    Ok(())
+}
+
+// NoHook is re-exported through rsr-timing; keep the import used even when
+// the compiler specializes away the non-hooked path.
+#[allow(unused)]
+fn _assert_nohook_exists() {
+    let _ = NoHook;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Pct;
+    use rsr_workloads::{Benchmark, WorkloadParams};
+
+    fn quick_machine() -> MachineConfig {
+        MachineConfig::paper()
+    }
+
+    fn quick_regimen() -> SamplingRegimen {
+        SamplingRegimen::new(8, 500)
+    }
+
+    fn program() -> Program {
+        Benchmark::Twolf.build(&WorkloadParams { scale: 0.05, ..Default::default() })
+    }
+
+    #[test]
+    fn sampled_run_produces_clusters() {
+        let out = run_sampled(
+            &program(),
+            &quick_machine(),
+            quick_regimen(),
+            100_000,
+            WarmupPolicy::Smarts { cache: true, bp: true },
+            42,
+        )
+        .unwrap();
+        assert_eq!(out.clusters.len(), 8);
+        assert_eq!(out.hot_insts, 8 * 500);
+        assert!(out.est_ipc() > 0.0);
+        assert!(out.phases.total() > Duration::ZERO);
+    }
+
+    #[test]
+    fn policies_share_cluster_positions() {
+        // Same seed ⇒ same skipped/hot instruction counts across policies.
+        let a = run_sampled(
+            &program(),
+            &quick_machine(),
+            quick_regimen(),
+            100_000,
+            WarmupPolicy::None,
+            7,
+        )
+        .unwrap();
+        let b = run_sampled(
+            &program(),
+            &quick_machine(),
+            quick_regimen(),
+            100_000,
+            WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
+            7,
+        )
+        .unwrap();
+        assert_eq!(a.skipped_insts, b.skipped_insts);
+        assert_eq!(a.hot_insts, b.hot_insts);
+    }
+
+    #[test]
+    fn reverse_policy_logs_and_reconstructs() {
+        let out = run_sampled(
+            &program(),
+            &quick_machine(),
+            quick_regimen(),
+            100_000,
+            WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
+            42,
+        )
+        .unwrap();
+        assert!(out.log_bytes_peak > 0, "reverse policy must log");
+        assert!(out.recon.cache_inserted > 0, "cache reconstruction ran");
+        assert!(out.recon.branch_scanned > 0, "on-demand BP scan ran");
+    }
+
+    #[test]
+    fn none_policy_does_not_log() {
+        let out = run_sampled(
+            &program(),
+            &quick_machine(),
+            quick_regimen(),
+            100_000,
+            WarmupPolicy::None,
+            42,
+        )
+        .unwrap();
+        assert_eq!(out.log_bytes_peak, 0);
+        assert_eq!(out.recon, ReconStats::default());
+    }
+
+    #[test]
+    fn warmup_reduces_error_vs_none() {
+        // The premise of the paper: against the true IPC, SMARTS warm-up
+        // beats no warm-up.
+        let machine = quick_machine();
+        let program = program();
+        let total = 200_000;
+        let truth = run_full(&program, &machine, total).unwrap().ipc();
+        let regimen = SamplingRegimen::new(10, 500);
+        let none =
+            run_sampled(&program, &machine, regimen, total, WarmupPolicy::None, 5).unwrap();
+        let smarts = run_sampled(
+            &program,
+            &machine,
+            regimen,
+            total,
+            WarmupPolicy::Smarts { cache: true, bp: true },
+            5,
+        )
+        .unwrap();
+        let err_none = rsr_stats::relative_error(truth, none.est_ipc());
+        let err_smarts = rsr_stats::relative_error(truth, smarts.est_ipc());
+        assert!(
+            err_smarts < err_none,
+            "SMARTS RE {err_smarts:.4} should beat None RE {err_none:.4} (truth {truth:.3})"
+        );
+    }
+
+    #[test]
+    fn reverse_tracks_smarts_accuracy() {
+        let machine = quick_machine();
+        let program = program();
+        let total = 200_000;
+        let regimen = SamplingRegimen::new(10, 500);
+        let smarts = run_sampled(
+            &program,
+            &machine,
+            regimen,
+            total,
+            WarmupPolicy::Smarts { cache: true, bp: true },
+            5,
+        )
+        .unwrap();
+        let reverse = run_sampled(
+            &program,
+            &machine,
+            regimen,
+            total,
+            WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(100) },
+            5,
+        )
+        .unwrap();
+        let gap = (smarts.est_ipc() - reverse.est_ipc()).abs() / smarts.est_ipc();
+        assert!(gap < 0.1, "R$BP(100%) IPC {} vs SMARTS {}", reverse.est_ipc(), smarts.est_ipc());
+    }
+
+    #[test]
+    fn profiled_baselines_run_and_warm() {
+        for policy in [
+            WarmupPolicy::Mrrl { coverage: Pct::new(95) },
+            WarmupPolicy::Blrl { coverage: Pct::new(95) },
+        ] {
+            let out = run_sampled(
+                &program(),
+                &quick_machine(),
+                quick_regimen(),
+                100_000,
+                policy,
+                42,
+            )
+            .unwrap();
+            assert_eq!(out.clusters.len(), 8, "{policy}");
+            assert!(out.est_ipc() > 0.0, "{policy}");
+            // twolf's random swaps reuse lines across the boundary, so a
+            // 95% coverage target must warm something.
+            assert!(out.warm_updates > 0, "{policy} warmed nothing");
+        }
+    }
+
+    #[test]
+    fn mrrl_warms_at_least_as_much_as_blrl() {
+        // MRRL's histogram is a superset (it also counts intra-cluster and
+        // compulsory references at distance zero), so at equal coverage its
+        // window — and with it the warm work — can differ; both must stay
+        // within the skip budget.
+        let machine = quick_machine();
+        let program = program();
+        let mrrl = run_sampled(&program, &machine, quick_regimen(), 100_000,
+            WarmupPolicy::Mrrl { coverage: Pct::new(99) }, 7).unwrap();
+        let blrl = run_sampled(&program, &machine, quick_regimen(), 100_000,
+            WarmupPolicy::Blrl { coverage: Pct::new(99) }, 7).unwrap();
+        assert!(mrrl.warm_updates as f64 <= 3.0 * mrrl.skipped_insts as f64);
+        assert!(blrl.warm_updates as f64 <= 3.0 * blrl.skipped_insts as f64);
+    }
+
+    #[test]
+    fn full_run_is_deterministic() {
+        let machine = quick_machine();
+        let program = program();
+        let a = run_full(&program, &machine, 50_000).unwrap();
+        let b = run_full(&program, &machine, 50_000).unwrap();
+        assert_eq!(a.stats, b.stats);
+    }
+}

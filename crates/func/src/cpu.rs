@@ -1,0 +1,743 @@
+//! The functional simulator core.
+
+use rsr_isa::{Addr, CtrlKind, DecodeError, Freg, Inst, MemWidth, Op, Program, Reg, INST_BYTES};
+
+use crate::Memory;
+
+/// A memory access performed by a retired instruction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: Addr,
+    /// Access width.
+    pub width: MemWidth,
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+}
+
+/// Control-transfer outcome of a retired instruction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct BranchRec {
+    /// Static classification (conditional, call, return, ...).
+    pub kind: CtrlKind,
+    /// Whether the transfer was taken. Unconditional transfers are always
+    /// taken.
+    pub taken: bool,
+    /// The taken-path target: the actual target for taken transfers, the
+    /// static target for not-taken conditional branches (what a BTB would
+    /// hold).
+    pub target: Addr,
+}
+
+/// Everything the timing model and the warm-up logger need to know about one
+/// retired instruction.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Retired {
+    /// Zero-based dynamic instruction number.
+    pub seq: u64,
+    /// Address of the instruction.
+    pub pc: Addr,
+    /// Address of the next instruction in program order.
+    pub next_pc: Addr,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Memory access, if any.
+    pub mem: Option<MemAccess>,
+    /// Control-transfer outcome, if any.
+    pub branch: Option<BranchRec>,
+}
+
+/// Errors raised while executing.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ExecError {
+    /// The PC left the text segment or became misaligned.
+    PcOutOfText {
+        /// The offending program counter.
+        pc: Addr,
+    },
+    /// `step` was called on a halted machine.
+    Halted,
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::PcOutOfText { pc } => {
+                write!(f, "program counter {pc:#x} left the text segment")
+            }
+            ExecError::Halted => f.write_str("machine is halted"),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// Error raised when a program image fails to load (undecodable text word).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct LoadError {
+    /// Address of the bad word.
+    pub addr: Addr,
+    /// The decode failure.
+    pub cause: DecodeError,
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bad instruction at {:#x}: {}", self.addr, self.cause)
+    }
+}
+
+impl std::error::Error for LoadError {}
+
+/// A snapshot of the architectural register state (everything except
+/// memory), used by checkpoint libraries to restore a CPU without cloning
+/// its full memory image.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ArchState {
+    /// Program counter.
+    pub pc: Addr,
+    /// Integer register file.
+    pub iregs: [u64; 32],
+    /// Floating-point register file.
+    pub fregs: [f64; 32],
+    /// Retired-instruction count.
+    pub icount: u64,
+    /// Halt flag.
+    pub halted: bool,
+}
+
+/// The architectural machine: registers, PC, and memory.
+///
+/// `Cpu` executes the SimRISC ISA in order, one instruction per
+/// [`Cpu::step`], returning a [`Retired`] record that downstream consumers
+/// (the timing model, warm-up loggers) use. It is the paper's "functional
+/// simulator": it always holds correct architectural state regardless of
+/// what the timing model does.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    pc: Addr,
+    iregs: [u64; 32],
+    fregs: [f64; 32],
+    mem: Memory,
+    decoded: Vec<Inst>,
+    text_base: Addr,
+    text_end: Addr,
+    halted: bool,
+    icount: u64,
+}
+
+impl Cpu {
+    /// Loads a program and prepares the machine at its entry point, with the
+    /// stack pointer and global pointer initialized.
+    ///
+    /// The text segment is decoded up front so that fetch is a table lookup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LoadError`] if any text word fails to decode.
+    pub fn new(program: &Program) -> Result<Cpu, LoadError> {
+        let mut decoded = Vec::with_capacity(program.text().len());
+        for (i, &word) in program.text().iter().enumerate() {
+            let addr = program.text_base() + i as u64 * INST_BYTES;
+            decoded.push(Inst::decode(word).map_err(|cause| LoadError { addr, cause })?);
+        }
+        let mut mem = Memory::new();
+        // Text lives in memory too (the I-cache indexes real addresses).
+        for (i, &word) in program.text().iter().enumerate() {
+            mem.write_u32(program.text_base() + i as u64 * INST_BYTES, word);
+        }
+        mem.write_slice(program.data_base(), program.data());
+        let mut iregs = [0u64; 32];
+        iregs[Reg::SP.num() as usize] = program.stack_top();
+        iregs[Reg::GP.num() as usize] = program.data_base();
+        Ok(Cpu {
+            pc: program.entry(),
+            iregs,
+            fregs: [0.0; 32],
+            mem,
+            decoded,
+            text_base: program.text_base(),
+            text_end: program.text_end(),
+            halted: false,
+            icount: 0,
+        })
+    }
+
+    /// Current program counter.
+    #[inline]
+    pub fn pc(&self) -> Addr {
+        self.pc
+    }
+
+    /// Number of retired instructions so far.
+    #[inline]
+    pub fn icount(&self) -> u64 {
+        self.icount
+    }
+
+    /// Whether the program has executed `halt`.
+    #[inline]
+    pub fn halted(&self) -> bool {
+        self.halted
+    }
+
+    /// Reads an integer register.
+    #[inline]
+    pub fn ireg(&self, r: Reg) -> u64 {
+        self.iregs[r.num() as usize]
+    }
+
+    /// Reads a floating-point register.
+    #[inline]
+    pub fn freg(&self, r: Freg) -> f64 {
+        self.fregs[r.num() as usize]
+    }
+
+    /// Writes an integer register (writes to `x0` are ignored).
+    #[inline]
+    pub fn set_ireg(&mut self, r: Reg, value: u64) {
+        if !r.is_zero() {
+            self.iregs[r.num() as usize] = value;
+        }
+    }
+
+    /// The simulated memory.
+    #[inline]
+    pub fn mem(&self) -> &Memory {
+        &self.mem
+    }
+
+    /// Mutable access to the simulated memory (for test setup and
+    /// data-structure inspection).
+    #[inline]
+    pub fn mem_mut(&mut self) -> &mut Memory {
+        &mut self.mem
+    }
+
+    /// Captures the register-level architectural state (see [`ArchState`]).
+    pub fn arch_state(&self) -> ArchState {
+        ArchState {
+            pc: self.pc,
+            iregs: self.iregs,
+            fregs: self.fregs,
+            icount: self.icount,
+            halted: self.halted,
+        }
+    }
+
+    /// Restores register-level state captured with [`Cpu::arch_state`].
+    /// Memory is *not* touched — checkpoint consumers overlay the pages
+    /// they captured separately.
+    pub fn restore_arch(&mut self, state: &ArchState) {
+        self.pc = state.pc;
+        self.iregs = state.iregs;
+        self.fregs = state.fregs;
+        self.icount = state.icount;
+        self.halted = state.halted;
+    }
+
+    #[inline]
+    fn ireg_n(&self, n: u8) -> u64 {
+        self.iregs[n as usize]
+    }
+
+    #[inline]
+    fn set_ireg_n(&mut self, n: u8, v: u64) {
+        self.iregs[n as usize] = v;
+        self.iregs[0] = 0;
+    }
+
+    #[inline]
+    fn fetch(&self) -> Result<Inst, ExecError> {
+        let pc = self.pc;
+        if pc < self.text_base || pc >= self.text_end || !pc.is_multiple_of(INST_BYTES) {
+            return Err(ExecError::PcOutOfText { pc });
+        }
+        Ok(self.decoded[((pc - self.text_base) / INST_BYTES) as usize])
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExecError::Halted`] if the machine already halted, or
+    /// [`ExecError::PcOutOfText`] if the PC escaped the text segment.
+    pub fn step(&mut self) -> Result<Retired, ExecError> {
+        if self.halted {
+            return Err(ExecError::Halted);
+        }
+        let pc = self.pc;
+        let inst = self.fetch()?;
+        let mut next_pc = pc + INST_BYTES;
+        let mut mem_access = None;
+        let mut branch = None;
+
+        let rs1 = self.ireg_n(inst.rs1);
+        let rs2 = self.ireg_n(inst.rs2);
+        let imm = inst.imm as i64 as u64;
+
+        use Op::*;
+        match inst.op {
+            Add => self.set_ireg_n(inst.rd, rs1.wrapping_add(rs2)),
+            Sub => self.set_ireg_n(inst.rd, rs1.wrapping_sub(rs2)),
+            Mul => self.set_ireg_n(inst.rd, rs1.wrapping_mul(rs2)),
+            Div => {
+                let v = if rs2 == 0 {
+                    u64::MAX
+                } else {
+                    (rs1 as i64).wrapping_div(rs2 as i64) as u64
+                };
+                self.set_ireg_n(inst.rd, v);
+            }
+            Rem => {
+                let v = if rs2 == 0 { rs1 } else { (rs1 as i64).wrapping_rem(rs2 as i64) as u64 };
+                self.set_ireg_n(inst.rd, v);
+            }
+            And => self.set_ireg_n(inst.rd, rs1 & rs2),
+            Or => self.set_ireg_n(inst.rd, rs1 | rs2),
+            Xor => self.set_ireg_n(inst.rd, rs1 ^ rs2),
+            Sll => self.set_ireg_n(inst.rd, rs1 << (rs2 & 63)),
+            Srl => self.set_ireg_n(inst.rd, rs1 >> (rs2 & 63)),
+            Sra => self.set_ireg_n(inst.rd, ((rs1 as i64) >> (rs2 & 63)) as u64),
+            Slt => self.set_ireg_n(inst.rd, ((rs1 as i64) < (rs2 as i64)) as u64),
+            Sltu => self.set_ireg_n(inst.rd, (rs1 < rs2) as u64),
+            Addi => self.set_ireg_n(inst.rd, rs1.wrapping_add(imm)),
+            Andi => self.set_ireg_n(inst.rd, rs1 & imm),
+            Ori => self.set_ireg_n(inst.rd, rs1 | imm),
+            Xori => self.set_ireg_n(inst.rd, rs1 ^ imm),
+            Slli => self.set_ireg_n(inst.rd, rs1 << (imm & 63)),
+            Srli => self.set_ireg_n(inst.rd, rs1 >> (imm & 63)),
+            Srai => self.set_ireg_n(inst.rd, ((rs1 as i64) >> (imm & 63)) as u64),
+            Slti => self.set_ireg_n(inst.rd, ((rs1 as i64) < imm as i64) as u64),
+            Sltiu => self.set_ireg_n(inst.rd, (rs1 < imm) as u64),
+            Lui => self.set_ireg_n(inst.rd, ((inst.imm as i64) << 12) as u64),
+            Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Fld => {
+                let addr = rs1.wrapping_add(imm);
+                let width = inst.mem_width().expect("loads have widths");
+                mem_access = Some(MemAccess { addr, width, is_store: false });
+                match inst.op {
+                    Lb => {
+                        let v = self.mem.read_u8(addr) as i8 as i64 as u64;
+                        self.set_ireg_n(inst.rd, v);
+                    }
+                    Lbu => {
+                        let v = self.mem.read_u8(addr) as u64;
+                        self.set_ireg_n(inst.rd, v);
+                    }
+                    Lh => {
+                        let v = self.mem.read_u16(addr) as i16 as i64 as u64;
+                        self.set_ireg_n(inst.rd, v);
+                    }
+                    Lhu => {
+                        let v = self.mem.read_u16(addr) as u64;
+                        self.set_ireg_n(inst.rd, v);
+                    }
+                    Lw => {
+                        let v = self.mem.read_u32(addr) as i32 as i64 as u64;
+                        self.set_ireg_n(inst.rd, v);
+                    }
+                    Lwu => {
+                        let v = self.mem.read_u32(addr) as u64;
+                        self.set_ireg_n(inst.rd, v);
+                    }
+                    Ld => {
+                        let v = self.mem.read_u64(addr);
+                        self.set_ireg_n(inst.rd, v);
+                    }
+                    Fld => {
+                        let v = f64::from_bits(self.mem.read_u64(addr));
+                        self.fregs[inst.rd as usize] = v;
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            Sb | Sh | Sw | Sd | Fsd => {
+                let addr = rs1.wrapping_add(imm);
+                let width = inst.mem_width().expect("stores have widths");
+                mem_access = Some(MemAccess { addr, width, is_store: true });
+                match inst.op {
+                    Sb => self.mem.write_u8(addr, rs2 as u8),
+                    Sh => self.mem.write_u16(addr, rs2 as u16),
+                    Sw => self.mem.write_u32(addr, rs2 as u32),
+                    Sd => self.mem.write_u64(addr, rs2),
+                    Fsd => {
+                        let bits = self.fregs[inst.rs2 as usize].to_bits();
+                        self.mem.write_u64(addr, bits);
+                    }
+                    _ => unreachable!(),
+                }
+            }
+            Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax => {
+                let a = self.fregs[inst.rs1 as usize];
+                let b = self.fregs[inst.rs2 as usize];
+                let v = match inst.op {
+                    Fadd => a + b,
+                    Fsub => a - b,
+                    Fmul => a * b,
+                    Fdiv => a / b,
+                    Fmin => a.min(b),
+                    Fmax => a.max(b),
+                    _ => unreachable!(),
+                };
+                self.fregs[inst.rd as usize] = v;
+            }
+            Fsqrt => {
+                self.fregs[inst.rd as usize] = self.fregs[inst.rs1 as usize].sqrt();
+            }
+            Feq | Flt | Fle => {
+                let a = self.fregs[inst.rs1 as usize];
+                let b = self.fregs[inst.rs2 as usize];
+                let v = match inst.op {
+                    Feq => a == b,
+                    Flt => a < b,
+                    Fle => a <= b,
+                    _ => unreachable!(),
+                };
+                self.set_ireg_n(inst.rd, v as u64);
+            }
+            Fcvtdl => self.fregs[inst.rd as usize] = rs1 as i64 as f64,
+            Fcvtld => {
+                let v = self.fregs[inst.rs1 as usize];
+                self.set_ireg_n(inst.rd, v as i64 as u64);
+            }
+            Fmvdx => self.fregs[inst.rd as usize] = f64::from_bits(rs1),
+            Fmvxd => {
+                let bits = self.fregs[inst.rs1 as usize].to_bits();
+                self.set_ireg_n(inst.rd, bits);
+            }
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                let taken = match inst.op {
+                    Beq => rs1 == rs2,
+                    Bne => rs1 != rs2,
+                    Blt => (rs1 as i64) < (rs2 as i64),
+                    Bge => (rs1 as i64) >= (rs2 as i64),
+                    Bltu => rs1 < rs2,
+                    Bgeu => rs1 >= rs2,
+                    _ => unreachable!(),
+                };
+                let target = pc.wrapping_add(imm);
+                if taken {
+                    next_pc = target;
+                }
+                branch = Some(BranchRec { kind: CtrlKind::CondBranch, taken, target });
+            }
+            Jal => {
+                let target = pc.wrapping_add(imm);
+                self.set_ireg_n(inst.rd, pc + INST_BYTES);
+                next_pc = target;
+                branch = Some(BranchRec {
+                    kind: inst.ctrl_kind().expect("jal is ctrl"),
+                    taken: true,
+                    target,
+                });
+            }
+            Jalr => {
+                let target = rs1.wrapping_add(imm) & !1u64;
+                self.set_ireg_n(inst.rd, pc + INST_BYTES);
+                next_pc = target;
+                branch = Some(BranchRec {
+                    kind: inst.ctrl_kind().expect("jalr is ctrl"),
+                    taken: true,
+                    target,
+                });
+            }
+            Halt => {
+                self.halted = true;
+            }
+            Nop => {}
+        }
+
+        self.pc = next_pc;
+        let seq = self.icount;
+        self.icount += 1;
+        Ok(Retired { seq, pc, next_pc, inst, mem: mem_access, branch })
+    }
+
+    /// Runs up to `max_insts` instructions or until the program halts.
+    /// Returns the number of instructions retired.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ExecError::PcOutOfText`]; a clean `halt` is not an error.
+    pub fn run(&mut self, max_insts: u64) -> Result<u64, ExecError> {
+        let mut n = 0;
+        while n < max_insts && !self.halted {
+            self.step()?;
+            n += 1;
+        }
+        Ok(n)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsr_isa::{Asm, Freg, Reg};
+
+    fn run_program(build: impl FnOnce(&mut Asm)) -> Cpu {
+        let mut a = Asm::new();
+        build(&mut a);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p).unwrap();
+        cpu.run(1_000_000).unwrap();
+        assert!(cpu.halted());
+        cpu
+    }
+
+    #[test]
+    fn arithmetic_basics() {
+        let cpu = run_program(|a| {
+            a.li(Reg::T0, 20);
+            a.li(Reg::T1, -7);
+            a.add(Reg::T2, Reg::T0, Reg::T1);
+            a.sub(Reg::T3, Reg::T0, Reg::T1);
+            a.mul(Reg::T4, Reg::T0, Reg::T1);
+            a.div(Reg::T5, Reg::T0, Reg::T1);
+            a.rem(Reg::T6, Reg::T0, Reg::T1);
+        });
+        assert_eq!(cpu.ireg(Reg::T2), 13);
+        assert_eq!(cpu.ireg(Reg::T3), 27);
+        assert_eq!(cpu.ireg(Reg::T4) as i64, -140);
+        assert_eq!(cpu.ireg(Reg::T5) as i64, -2);
+        assert_eq!(cpu.ireg(Reg::T6) as i64, 6);
+    }
+
+    #[test]
+    fn division_by_zero_semantics() {
+        let cpu = run_program(|a| {
+            a.li(Reg::T0, 42);
+            a.div(Reg::T1, Reg::T0, Reg::ZERO);
+            a.rem(Reg::T2, Reg::T0, Reg::ZERO);
+        });
+        assert_eq!(cpu.ireg(Reg::T1), u64::MAX);
+        assert_eq!(cpu.ireg(Reg::T2), 42);
+    }
+
+    #[test]
+    fn x0_is_hardwired_zero() {
+        let cpu = run_program(|a| {
+            a.li(Reg::T0, 99);
+            a.add(Reg::ZERO, Reg::T0, Reg::T0);
+        });
+        assert_eq!(cpu.ireg(Reg::ZERO), 0);
+    }
+
+    #[test]
+    fn shifts_and_compares() {
+        let cpu = run_program(|a| {
+            a.li(Reg::T0, -8);
+            a.srai(Reg::T1, Reg::T0, 1);
+            a.srli(Reg::T2, Reg::T0, 60);
+            a.slti(Reg::T3, Reg::T0, 0);
+            a.sltiu(Reg::T4, Reg::T0, 0);
+        });
+        assert_eq!(cpu.ireg(Reg::T1) as i64, -4);
+        assert_eq!(cpu.ireg(Reg::T2), 0xf);
+        assert_eq!(cpu.ireg(Reg::T3), 1);
+        assert_eq!(cpu.ireg(Reg::T4), 0); // -8 as u64 is huge
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip() {
+        let cpu = run_program(|a| {
+            let buf = a.data_zeros(64);
+            a.la(Reg::S0, buf);
+            a.li(Reg::T0, -2);
+            a.sb(Reg::T0, 0, Reg::S0);
+            a.sh(Reg::T0, 8, Reg::S0);
+            a.sw(Reg::T0, 16, Reg::S0);
+            a.sd(Reg::T0, 24, Reg::S0);
+            a.lb(Reg::A0, 0, Reg::S0);
+            a.lbu(Reg::A1, 0, Reg::S0);
+            a.lh(Reg::A2, 8, Reg::S0);
+            a.lw(Reg::A3, 16, Reg::S0);
+            a.ld(Reg::A4, 24, Reg::S0);
+            a.lwu(Reg::A5, 16, Reg::S0);
+        });
+        assert_eq!(cpu.ireg(Reg::A0) as i64, -2);
+        assert_eq!(cpu.ireg(Reg::A1), 0xfe);
+        assert_eq!(cpu.ireg(Reg::A2) as i64, -2);
+        assert_eq!(cpu.ireg(Reg::A3) as i64, -2);
+        assert_eq!(cpu.ireg(Reg::A4) as i64, -2);
+        assert_eq!(cpu.ireg(Reg::A5), 0xffff_fffe);
+    }
+
+    #[test]
+    fn li_wide_constants() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            16383,
+            -16384,
+            16384,
+            0x7fff_ffff,
+            -0x8000_0000,
+            0x1234_5678_9abc_def0,
+            i64::MIN,
+            i64::MAX,
+            -559038737,
+        ] {
+            let cpu = run_program(|a| {
+                a.li(Reg::A0, v);
+            });
+            assert_eq!(cpu.ireg(Reg::A0) as i64, v, "li {v}");
+        }
+    }
+
+    #[test]
+    fn loop_and_branches() {
+        // sum 1..=100
+        let cpu = run_program(|a| {
+            a.li(Reg::T0, 0); // sum
+            a.li(Reg::T1, 1); // i
+            a.li(Reg::T2, 100);
+            let top = a.bind_new("top");
+            a.add(Reg::T0, Reg::T0, Reg::T1);
+            a.addi(Reg::T1, Reg::T1, 1);
+            a.bge(Reg::T2, Reg::T1, top);
+        });
+        assert_eq!(cpu.ireg(Reg::T0), 5050);
+    }
+
+    #[test]
+    fn call_and_return() {
+        let cpu = run_program(|a| {
+            let f = a.new_label("double");
+            a.li(Reg::A0, 21);
+            a.call(f);
+            a.mv(Reg::S0, Reg::A0);
+            let over = a.new_label("over");
+            a.j(over);
+            a.bind(f).unwrap();
+            a.add(Reg::A0, Reg::A0, Reg::A0);
+            a.ret();
+            a.bind(over).unwrap();
+        });
+        assert_eq!(cpu.ireg(Reg::S0), 42);
+    }
+
+    #[test]
+    fn fp_operations() {
+        let cpu = run_program(|a| {
+            let c = a.data_f64(&[2.25, 4.0]);
+            a.la(Reg::S0, c);
+            a.fld(Freg::F0, 0, Reg::S0);
+            a.fld(Freg::F1, 8, Reg::S0);
+            a.fadd(Freg::F2, Freg::F0, Freg::F1);
+            a.fmul(Freg::F3, Freg::F0, Freg::F1);
+            a.fsqrt(Freg::F4, Freg::F1);
+            a.flt(Reg::T0, Freg::F0, Freg::F1);
+            a.fcvt_l_d(Reg::T1, Freg::F3);
+            a.li(Reg::T2, 5);
+            a.fcvt_d_l(Freg::F5, Reg::T2);
+            a.fsd(Freg::F2, 16, Reg::S0);
+            a.fld(Freg::F6, 16, Reg::S0);
+        });
+        assert_eq!(cpu.freg(Freg::F2), 6.25);
+        assert_eq!(cpu.freg(Freg::F3), 9.0);
+        assert_eq!(cpu.freg(Freg::F4), 2.0);
+        assert_eq!(cpu.ireg(Reg::T0), 1);
+        assert_eq!(cpu.ireg(Reg::T1), 9);
+        assert_eq!(cpu.freg(Freg::F5), 5.0);
+        assert_eq!(cpu.freg(Freg::F6), 6.25);
+    }
+
+    #[test]
+    fn retired_records_mem_and_branch() {
+        let mut a = Asm::new();
+        let buf = a.data_zeros(8);
+        a.la(Reg::S0, buf);
+        a.sd(Reg::ZERO, 0, Reg::S0);
+        let skip = a.new_label("skip");
+        a.beq(Reg::ZERO, Reg::ZERO, skip);
+        a.nop();
+        a.bind(skip).unwrap();
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p).unwrap();
+
+        // la emits 2+ instructions; step until the store.
+        let mut store = None;
+        let mut br = None;
+        while !cpu.halted() {
+            let r = cpu.step().unwrap();
+            if r.mem.is_some() {
+                store = r.mem;
+            }
+            if r.branch.is_some() {
+                br = r.branch;
+            }
+        }
+        let store = store.unwrap();
+        assert_eq!(store.addr, buf);
+        assert!(store.is_store);
+        assert_eq!(store.width, MemWidth::B8);
+        let br = br.unwrap();
+        assert_eq!(br.kind, CtrlKind::CondBranch);
+        assert!(br.taken);
+    }
+
+    #[test]
+    fn not_taken_branch_records_static_target() {
+        let mut a = Asm::new();
+        a.li(Reg::T0, 1);
+        let away = a.new_label("away");
+        a.beq(Reg::T0, Reg::ZERO, away); // not taken
+        a.halt();
+        a.bind(away).unwrap();
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p).unwrap();
+        cpu.step().unwrap();
+        let r = cpu.step().unwrap();
+        let br = r.branch.unwrap();
+        assert!(!br.taken);
+        assert_eq!(br.target, r.pc + 8); // static target = the second halt
+        assert_eq!(r.next_pc, r.pc + 4); // fell through
+    }
+
+    #[test]
+    fn halted_machine_refuses_steps() {
+        let mut a = Asm::new();
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p).unwrap();
+        cpu.step().unwrap();
+        assert!(cpu.halted());
+        assert_eq!(cpu.step(), Err(ExecError::Halted));
+    }
+
+    #[test]
+    fn runaway_pc_detected() {
+        let mut a = Asm::new();
+        a.jalr(Reg::ZERO, Reg::ZERO, 0); // jump to address 0
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p).unwrap();
+        cpu.step().unwrap();
+        assert!(matches!(cpu.step(), Err(ExecError::PcOutOfText { pc: 0 })));
+    }
+
+    #[test]
+    fn run_stops_at_budget() {
+        let mut a = Asm::new();
+        let top = a.bind_new("spin");
+        a.j(top);
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p).unwrap();
+        assert_eq!(cpu.run(1000).unwrap(), 1000);
+        assert!(!cpu.halted());
+        assert_eq!(cpu.icount(), 1000);
+    }
+
+    #[test]
+    fn sp_and_gp_initialized() {
+        let mut a = Asm::new();
+        a.halt();
+        let p = a.finish().unwrap();
+        let cpu = Cpu::new(&p).unwrap();
+        assert_eq!(cpu.ireg(Reg::SP), p.stack_top());
+        assert_eq!(cpu.ireg(Reg::GP), p.data_base());
+    }
+}

@@ -1,0 +1,255 @@
+//! Sparse, paged simulated memory.
+
+use std::collections::HashMap;
+
+use rsr_isa::Addr;
+
+/// Page size in bytes (4 KiB).
+pub const PAGE_BYTES: u64 = 4096;
+
+type Page = [u8; PAGE_BYTES as usize];
+
+/// A sparse 64-bit byte-addressable memory.
+///
+/// Pages are allocated on first touch and zero-filled, so every address is
+/// readable; there is no notion of an unmapped fault (the functional
+/// simulator catches runaway programs at fetch instead, via the text-segment
+/// bounds and the invalid all-zero instruction word).
+///
+/// A one-entry translation cache short-circuits the page lookup for
+/// consecutive accesses to the same page, which keeps the functional
+/// simulator fast (the paper's cold phase is pure functional execution, so
+/// its speed sets the baseline all warm-up costs are measured against).
+#[derive(Clone, Default)]
+pub struct Memory {
+    /// Page number → slot in `pages`.
+    index: HashMap<u64, usize>,
+    pages: Vec<Box<Page>>,
+    /// Last translated (page number, slot).
+    last: Option<(u64, usize)>,
+}
+
+impl std::fmt::Debug for Memory {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Memory").field("resident_pages", &self.pages.len()).finish()
+    }
+}
+
+impl Memory {
+    /// Creates an empty memory.
+    pub fn new() -> Memory {
+        Memory::default()
+    }
+
+    /// Number of currently resident (touched) pages.
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+
+    /// Slot of the page containing `addr`, if resident.
+    #[inline]
+    fn slot(&mut self, addr: Addr) -> Option<usize> {
+        let page_no = addr / PAGE_BYTES;
+        if let Some((cached_no, slot)) = self.last {
+            if cached_no == page_no {
+                return Some(slot);
+            }
+        }
+        let slot = *self.index.get(&page_no)?;
+        self.last = Some((page_no, slot));
+        Some(slot)
+    }
+
+    /// Slot of the page containing `addr`, allocating it if absent.
+    #[inline]
+    fn slot_or_alloc(&mut self, addr: Addr) -> usize {
+        let page_no = addr / PAGE_BYTES;
+        if let Some((cached_no, slot)) = self.last {
+            if cached_no == page_no {
+                return slot;
+            }
+        }
+        let slot = match self.index.get(&page_no) {
+            Some(&s) => s,
+            None => {
+                let s = self.pages.len();
+                self.pages.push(Box::new([0; PAGE_BYTES as usize]));
+                self.index.insert(page_no, s);
+                s
+            }
+        };
+        self.last = Some((page_no, slot));
+        slot
+    }
+
+    /// Reads one byte.
+    #[inline]
+    pub fn read_u8(&mut self, addr: Addr) -> u8 {
+        match self.slot(addr) {
+            Some(s) => self.pages[s][(addr % PAGE_BYTES) as usize],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    #[inline]
+    pub fn write_u8(&mut self, addr: Addr, value: u8) {
+        let s = self.slot_or_alloc(addr);
+        self.pages[s][(addr % PAGE_BYTES) as usize] = value;
+    }
+
+    /// Reads `N` little-endian bytes starting at `addr`.
+    #[inline]
+    fn read_bytes<const N: usize>(&mut self, addr: Addr) -> [u8; N] {
+        let off = (addr % PAGE_BYTES) as usize;
+        if off + N <= PAGE_BYTES as usize {
+            if let Some(s) = self.slot(addr) {
+                let mut out = [0u8; N];
+                out.copy_from_slice(&self.pages[s][off..off + N]);
+                return out;
+            }
+            return [0u8; N];
+        }
+        // Page-crossing slow path.
+        let mut out = [0u8; N];
+        for (i, b) in out.iter_mut().enumerate() {
+            *b = self.read_u8(addr + i as u64);
+        }
+        out
+    }
+
+    #[inline]
+    fn write_bytes(&mut self, addr: Addr, bytes: &[u8]) {
+        let off = (addr % PAGE_BYTES) as usize;
+        if off + bytes.len() <= PAGE_BYTES as usize {
+            let s = self.slot_or_alloc(addr);
+            self.pages[s][off..off + bytes.len()].copy_from_slice(bytes);
+            return;
+        }
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr + i as u64, b);
+        }
+    }
+
+    /// Reads a little-endian `u16` (unaligned and page-crossing allowed).
+    #[inline]
+    pub fn read_u16(&mut self, addr: Addr) -> u16 {
+        u16::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Reads a little-endian `u32`.
+    #[inline]
+    pub fn read_u32(&mut self, addr: Addr) -> u32 {
+        u32::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Reads a little-endian `u64`.
+    #[inline]
+    pub fn read_u64(&mut self, addr: Addr) -> u64 {
+        u64::from_le_bytes(self.read_bytes(addr))
+    }
+
+    /// Writes a little-endian `u16`.
+    #[inline]
+    pub fn write_u16(&mut self, addr: Addr, value: u16) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u32`.
+    #[inline]
+    pub fn write_u32(&mut self, addr: Addr, value: u32) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Writes a little-endian `u64`.
+    #[inline]
+    pub fn write_u64(&mut self, addr: Addr, value: u64) {
+        self.write_bytes(addr, &value.to_le_bytes());
+    }
+
+    /// Copies a byte slice into memory at `addr`.
+    pub fn write_slice(&mut self, addr: Addr, bytes: &[u8]) {
+        self.write_bytes(addr, bytes);
+    }
+
+    /// Reads `len` bytes starting at `addr` into a fresh vector.
+    pub fn read_vec(&mut self, addr: Addr, len: usize) -> Vec<u8> {
+        (0..len).map(|i| self.read_u8(addr + i as u64)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_filled_by_default() {
+        let mut m = Memory::new();
+        assert_eq!(m.read_u64(0x1234), 0);
+        assert_eq!(m.read_u8(u64::MAX - 8), 0);
+        assert_eq!(m.resident_pages(), 0);
+    }
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut m = Memory::new();
+        m.write_u8(10, 0xab);
+        m.write_u16(20, 0xbeef);
+        m.write_u32(30, 0xdead_beef);
+        m.write_u64(40, 0x0123_4567_89ab_cdef);
+        assert_eq!(m.read_u8(10), 0xab);
+        assert_eq!(m.read_u16(20), 0xbeef);
+        assert_eq!(m.read_u32(30), 0xdead_beef);
+        assert_eq!(m.read_u64(40), 0x0123_4567_89ab_cdef);
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = Memory::new();
+        m.write_u32(0, 0x0403_0201);
+        assert_eq!(m.read_u8(0), 1);
+        assert_eq!(m.read_u8(3), 4);
+    }
+
+    #[test]
+    fn page_crossing_access() {
+        let mut m = Memory::new();
+        let addr = PAGE_BYTES - 3;
+        m.write_u64(addr, 0x1122_3344_5566_7788);
+        assert_eq!(m.read_u64(addr), 0x1122_3344_5566_7788);
+        assert_eq!(m.resident_pages(), 2);
+    }
+
+    #[test]
+    fn write_slice_and_read_vec() {
+        let mut m = Memory::new();
+        let data: Vec<u8> = (0..=255).collect();
+        let base = PAGE_BYTES - 100;
+        m.write_slice(base, &data);
+        assert_eq!(m.read_vec(base, 256), data);
+    }
+
+    #[test]
+    fn sparse_pages_allocated_on_write_only() {
+        let mut m = Memory::new();
+        let _ = m.read_u64(123 * PAGE_BYTES);
+        assert_eq!(m.resident_pages(), 0);
+        m.write_u8(123 * PAGE_BYTES, 1);
+        assert_eq!(m.resident_pages(), 1);
+    }
+
+    #[test]
+    fn translation_cache_stays_coherent() {
+        let mut m = Memory::new();
+        // Alternate between two pages; the cache must follow.
+        for k in 0..100u64 {
+            m.write_u64(k % 2 * PAGE_BYTES + 8 * k, k);
+        }
+        for k in 0..100u64 {
+            assert_eq!(m.read_u64(k % 2 * PAGE_BYTES + 8 * k), k);
+        }
+        // Read of a missing page must not poison the cache.
+        assert_eq!(m.read_u8(999 * PAGE_BYTES), 0);
+        assert_eq!(m.read_u64(16), 2); // k = 2 wrote page 0, offset 16
+    }
+}

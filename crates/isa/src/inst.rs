@@ -1,0 +1,256 @@
+//! Decoded instruction form and control-transfer classification.
+
+use crate::{Addr, Op, INST_BYTES};
+
+/// Width of a memory access in bytes.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MemWidth {
+    /// One byte.
+    B1,
+    /// Two bytes.
+    B2,
+    /// Four bytes.
+    B4,
+    /// Eight bytes.
+    B8,
+}
+
+impl MemWidth {
+    /// Access size in bytes.
+    #[inline]
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemWidth::B1 => 1,
+            MemWidth::B2 => 2,
+            MemWidth::B4 => 4,
+            MemWidth::B8 => 8,
+        }
+    }
+}
+
+/// The kind of a control-transfer instruction, as seen by the branch
+/// predictor (conditional vs. BTB-only vs. RAS push/pop).
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum CtrlKind {
+    /// Conditional direct branch (`beq` and friends).
+    CondBranch,
+    /// Unconditional direct jump (`jal` with `rd = x0`).
+    Jump,
+    /// Direct call (`jal` with a link destination) — pushes the RAS.
+    Call,
+    /// Indirect call (`jalr` with a link destination) — pushes the RAS.
+    IndirectCall,
+    /// Function return (`jalr x0, ra, 0`) — pops the RAS.
+    Return,
+    /// Other indirect jump (`jalr` with `rd = x0`, `rs1 != ra`).
+    IndirectJump,
+}
+
+impl CtrlKind {
+    /// Does this transfer push a return address onto the RAS?
+    #[inline]
+    pub fn pushes_ras(self) -> bool {
+        matches!(self, CtrlKind::Call | CtrlKind::IndirectCall)
+    }
+
+    /// Does this transfer pop the RAS?
+    #[inline]
+    pub fn pops_ras(self) -> bool {
+        matches!(self, CtrlKind::Return)
+    }
+}
+
+/// A decoded instruction.
+///
+/// Register fields are plain numbers; whether they refer to the integer or
+/// floating-point file is implied by [`Op`] (see [`Op::is_fp`]). Unused
+/// fields are zero.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Inst {
+    /// The operation.
+    pub op: Op,
+    /// Destination register number.
+    pub rd: u8,
+    /// First source register number.
+    pub rs1: u8,
+    /// Second source register number.
+    pub rs2: u8,
+    /// Immediate operand (sign-extended where applicable).
+    pub imm: i32,
+}
+
+impl Inst {
+    /// Builds an instruction, normalizing unused fields to zero.
+    pub fn new(op: Op, rd: u8, rs1: u8, rs2: u8, imm: i32) -> Inst {
+        Inst { op, rd, rs1, rs2, imm }
+    }
+
+    /// A canonical `nop`.
+    pub fn nop() -> Inst {
+        Inst::new(Op::Nop, 0, 0, 0, 0)
+    }
+
+    /// Classifies this instruction for the branch predictor, or `None` if it
+    /// is not a control transfer.
+    ///
+    /// The conventions mirror RISC-V: `jal`/`jalr` with a non-zero link
+    /// destination are calls; `jalr x0, x1, 0` is a return.
+    pub fn ctrl_kind(&self) -> Option<CtrlKind> {
+        match self.op {
+            op if op.is_cond_branch() => Some(CtrlKind::CondBranch),
+            Op::Jal => {
+                if self.rd == 0 {
+                    Some(CtrlKind::Jump)
+                } else {
+                    Some(CtrlKind::Call)
+                }
+            }
+            Op::Jalr => {
+                if self.rd != 0 {
+                    Some(CtrlKind::IndirectCall)
+                } else if self.rs1 == 1 {
+                    Some(CtrlKind::Return)
+                } else {
+                    Some(CtrlKind::IndirectJump)
+                }
+            }
+            _ => None,
+        }
+    }
+
+    /// Memory access width for loads/stores, `None` otherwise.
+    pub fn mem_width(&self) -> Option<MemWidth> {
+        use Op::*;
+        Some(match self.op {
+            Lb | Lbu | Sb => MemWidth::B1,
+            Lh | Lhu | Sh => MemWidth::B2,
+            Lw | Lwu | Sw => MemWidth::B4,
+            Ld | Sd | Fld | Fsd => MemWidth::B8,
+            _ => return None,
+        })
+    }
+
+    /// Target address of a direct control transfer at `pc`, if statically
+    /// known (conditional branches and `jal`).
+    pub fn direct_target(&self, pc: Addr) -> Option<Addr> {
+        if self.op.is_cond_branch() || self.op == Op::Jal {
+            Some(pc.wrapping_add(self.imm as i64 as u64))
+        } else {
+            None
+        }
+    }
+
+    /// The fall-through address (`pc + 4`).
+    #[inline]
+    pub fn fallthrough(pc: Addr) -> Addr {
+        pc + INST_BYTES
+    }
+}
+
+impl std::fmt::Display for Inst {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        use crate::OpClass::*;
+        let m = self.op.mnemonic();
+        let (rd, rs1, rs2) = (self.rd, self.rs1, self.rs2);
+        let fp = self.op.is_fp();
+        let r = |n: u8| -> String {
+            if fp {
+                format!("f{n}")
+            } else {
+                format!("x{n}")
+            }
+        };
+        match self.op.class() {
+            IntAlu | IntMul | IntDiv | FpAdd | FpMul | FpDiv => match self.op {
+                Op::Lui => write!(f, "{m} x{rd}, {:#x}", self.imm),
+                Op::Addi
+                | Op::Andi
+                | Op::Ori
+                | Op::Xori
+                | Op::Slli
+                | Op::Srli
+                | Op::Srai
+                | Op::Slti
+                | Op::Sltiu => write!(f, "{m} x{rd}, x{rs1}, {}", self.imm),
+                Op::Fsqrt => write!(f, "{m} f{rd}, f{rs1}"),
+                Op::Fcvtdl => write!(f, "{m} f{rd}, x{rs1}"),
+                Op::Fcvtld => write!(f, "{m} x{rd}, f{rs1}"),
+                Op::Fmvdx => write!(f, "{m} f{rd}, x{rs1}"),
+                Op::Fmvxd => write!(f, "{m} x{rd}, f{rs1}"),
+                Op::Feq | Op::Flt | Op::Fle => write!(f, "{m} x{rd}, f{rs1}, f{rs2}"),
+                _ => write!(f, "{m} {}, {}, {}", r(rd), r(rs1), r(rs2)),
+            },
+            Load => write!(f, "{m} {}, {}(x{rs1})", r(rd), self.imm),
+            Store => write!(f, "{m} {}, {}(x{rs1})", r(rs2), self.imm),
+            Ctrl => match self.op {
+                Op::Jal => write!(f, "{m} x{rd}, {:+}", self.imm),
+                Op::Jalr => write!(f, "{m} x{rd}, x{rs1}, {}", self.imm),
+                _ => write!(f, "{m} x{rs1}, x{rs2}, {:+}", self.imm),
+            },
+            Other => f.write_str(m),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ctrl_kind_classification() {
+        let beq = Inst::new(Op::Beq, 0, 1, 2, 16);
+        assert_eq!(beq.ctrl_kind(), Some(CtrlKind::CondBranch));
+
+        let jal_jump = Inst::new(Op::Jal, 0, 0, 0, 64);
+        assert_eq!(jal_jump.ctrl_kind(), Some(CtrlKind::Jump));
+
+        let jal_call = Inst::new(Op::Jal, 1, 0, 0, 64);
+        assert_eq!(jal_call.ctrl_kind(), Some(CtrlKind::Call));
+        assert!(jal_call.ctrl_kind().unwrap().pushes_ras());
+
+        let ret = Inst::new(Op::Jalr, 0, 1, 0, 0);
+        assert_eq!(ret.ctrl_kind(), Some(CtrlKind::Return));
+        assert!(ret.ctrl_kind().unwrap().pops_ras());
+
+        let ind_call = Inst::new(Op::Jalr, 1, 5, 0, 0);
+        assert_eq!(ind_call.ctrl_kind(), Some(CtrlKind::IndirectCall));
+
+        let ind_jump = Inst::new(Op::Jalr, 0, 5, 0, 0);
+        assert_eq!(ind_jump.ctrl_kind(), Some(CtrlKind::IndirectJump));
+
+        assert_eq!(Inst::new(Op::Add, 1, 2, 3, 0).ctrl_kind(), None);
+    }
+
+    #[test]
+    fn mem_width() {
+        assert_eq!(Inst::new(Op::Lb, 1, 2, 0, 0).mem_width(), Some(MemWidth::B1));
+        assert_eq!(Inst::new(Op::Sh, 0, 2, 1, 0).mem_width(), Some(MemWidth::B2));
+        assert_eq!(Inst::new(Op::Lw, 1, 2, 0, 0).mem_width(), Some(MemWidth::B4));
+        assert_eq!(Inst::new(Op::Fsd, 0, 2, 1, 0).mem_width(), Some(MemWidth::B8));
+        assert_eq!(Inst::new(Op::Add, 1, 2, 3, 0).mem_width(), None);
+        assert_eq!(MemWidth::B4.bytes(), 4);
+    }
+
+    #[test]
+    fn direct_target() {
+        let pc = 0x1000;
+        let b = Inst::new(Op::Beq, 0, 1, 2, -16);
+        assert_eq!(b.direct_target(pc), Some(0xff0));
+        let j = Inst::new(Op::Jal, 1, 0, 0, 0x40);
+        assert_eq!(j.direct_target(pc), Some(0x1040));
+        let jr = Inst::new(Op::Jalr, 0, 1, 0, 0);
+        assert_eq!(jr.direct_target(pc), None);
+        assert_eq!(Inst::fallthrough(pc), 0x1004);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Inst::new(Op::Add, 3, 1, 2, 0).to_string(), "add x3, x1, x2");
+        assert_eq!(Inst::new(Op::Addi, 3, 1, 0, -5).to_string(), "addi x3, x1, -5");
+        assert_eq!(Inst::new(Op::Ld, 4, 2, 0, 8).to_string(), "ld x4, 8(x2)");
+        assert_eq!(Inst::new(Op::Sd, 0, 2, 4, 8).to_string(), "sd x4, 8(x2)");
+        assert_eq!(Inst::new(Op::Fadd, 1, 2, 3, 0).to_string(), "fadd f1, f2, f3");
+        assert_eq!(Inst::new(Op::Beq, 0, 1, 2, 16).to_string(), "beq x1, x2, +16");
+        assert_eq!(Inst::nop().to_string(), "nop");
+    }
+}

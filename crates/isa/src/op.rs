@@ -1,0 +1,457 @@
+//! Operation set and operation classes.
+
+/// Every operation in the SimRISC instruction set.
+///
+/// The numeric discriminant is the 7-bit opcode used by the binary encoding;
+/// see the `encode` module for field layouts.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[repr(u8)]
+pub enum Op {
+    // ---- integer register-register -------------------------------------
+    /// `rd = rs1 + rs2` (wrapping).
+    Add = 1,
+    /// `rd = rs1 - rs2` (wrapping).
+    Sub = 2,
+    /// `rd = rs1 * rs2` (wrapping, low 64 bits).
+    Mul = 3,
+    /// `rd = rs1 / rs2` (signed; division by zero yields all-ones).
+    Div = 4,
+    /// `rd = rs1 % rs2` (signed; modulo zero yields rs1).
+    Rem = 5,
+    /// `rd = rs1 & rs2`.
+    And = 6,
+    /// `rd = rs1 | rs2`.
+    Or = 7,
+    /// `rd = rs1 ^ rs2`.
+    Xor = 8,
+    /// `rd = rs1 << (rs2 & 63)`.
+    Sll = 9,
+    /// `rd = rs1 >> (rs2 & 63)` (logical).
+    Srl = 10,
+    /// `rd = rs1 >> (rs2 & 63)` (arithmetic).
+    Sra = 11,
+    /// `rd = (rs1 <s rs2) ? 1 : 0`.
+    Slt = 12,
+    /// `rd = (rs1 <u rs2) ? 1 : 0`.
+    Sltu = 13,
+
+    // ---- integer register-immediate ------------------------------------
+    /// `rd = rs1 + imm`.
+    Addi = 16,
+    /// `rd = rs1 & imm`.
+    Andi = 17,
+    /// `rd = rs1 | imm`.
+    Ori = 18,
+    /// `rd = rs1 ^ imm`.
+    Xori = 19,
+    /// `rd = rs1 << imm`.
+    Slli = 20,
+    /// `rd = rs1 >> imm` (logical).
+    Srli = 21,
+    /// `rd = rs1 >> imm` (arithmetic).
+    Srai = 22,
+    /// `rd = (rs1 <s imm) ? 1 : 0`.
+    Slti = 23,
+    /// `rd = (rs1 <u imm) ? 1 : 0` (imm sign-extended then compared unsigned).
+    Sltiu = 24,
+    /// `rd = imm << 12` (load upper immediate; imm is 20 bits).
+    Lui = 25,
+
+    // ---- loads -----------------------------------------------------------
+    /// Load signed byte.
+    Lb = 32,
+    /// Load unsigned byte.
+    Lbu = 33,
+    /// Load signed 16-bit halfword.
+    Lh = 34,
+    /// Load unsigned 16-bit halfword.
+    Lhu = 35,
+    /// Load signed 32-bit word.
+    Lw = 36,
+    /// Load unsigned 32-bit word.
+    Lwu = 37,
+    /// Load 64-bit doubleword.
+    Ld = 38,
+    /// Load an `f64` into a floating-point register.
+    Fld = 39,
+
+    // ---- stores ----------------------------------------------------------
+    /// Store low byte.
+    Sb = 44,
+    /// Store low 16 bits.
+    Sh = 45,
+    /// Store low 32 bits.
+    Sw = 46,
+    /// Store 64 bits.
+    Sd = 47,
+    /// Store an `f64` from a floating-point register.
+    Fsd = 48,
+
+    // ---- floating point ----------------------------------------------------
+    /// `fd = fs1 + fs2`.
+    Fadd = 56,
+    /// `fd = fs1 - fs2`.
+    Fsub = 57,
+    /// `fd = fs1 * fs2`.
+    Fmul = 58,
+    /// `fd = fs1 / fs2`.
+    Fdiv = 59,
+    /// `fd = sqrt(fs1)`.
+    Fsqrt = 60,
+    /// `fd = min(fs1, fs2)`.
+    Fmin = 61,
+    /// `fd = max(fs1, fs2)`.
+    Fmax = 62,
+    /// `rd = (fs1 == fs2) ? 1 : 0` (integer destination).
+    Feq = 63,
+    /// `rd = (fs1 < fs2) ? 1 : 0` (integer destination).
+    Flt = 64,
+    /// `rd = (fs1 <= fs2) ? 1 : 0` (integer destination).
+    Fle = 65,
+    /// `fd = (f64) rs1` (signed integer to double).
+    Fcvtdl = 66,
+    /// `rd = (i64) fs1` (double to signed integer, truncating).
+    Fcvtld = 67,
+    /// `fd = bits(rs1)` (move raw bits, int to fp).
+    Fmvdx = 68,
+    /// `rd = bits(fs1)` (move raw bits, fp to int).
+    Fmvxd = 69,
+
+    // ---- control transfer --------------------------------------------------
+    /// Branch if `rs1 == rs2`.
+    Beq = 80,
+    /// Branch if `rs1 != rs2`.
+    Bne = 81,
+    /// Branch if `rs1 <s rs2`.
+    Blt = 82,
+    /// Branch if `rs1 >=s rs2`.
+    Bge = 83,
+    /// Branch if `rs1 <u rs2`.
+    Bltu = 84,
+    /// Branch if `rs1 >=u rs2`.
+    Bgeu = 85,
+    /// Jump-and-link: `rd = pc + 4; pc += imm`.
+    Jal = 86,
+    /// Indirect jump-and-link: `rd = pc + 4; pc = (rs1 + imm) & !1`.
+    Jalr = 87,
+
+    // ---- system --------------------------------------------------------------
+    /// Stop the machine; the program has finished.
+    Halt = 96,
+    /// No operation.
+    Nop = 97,
+}
+
+/// Functional-unit class of an operation, used by the timing model to select
+/// execution latency.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum OpClass {
+    /// Single-cycle integer ALU operation.
+    IntAlu,
+    /// Pipelined integer multiply.
+    IntMul,
+    /// Integer divide / remainder.
+    IntDiv,
+    /// Pipelined floating-point add/sub/compare/convert/move.
+    FpAdd,
+    /// Pipelined floating-point multiply.
+    FpMul,
+    /// Floating-point divide / square root.
+    FpDiv,
+    /// Memory load (integer or floating point).
+    Load,
+    /// Memory store (integer or floating point).
+    Store,
+    /// Conditional branch or jump (resolved in the branch unit).
+    Ctrl,
+    /// `Halt` / `Nop`.
+    Other,
+}
+
+impl Op {
+    /// All operations, in opcode order. Useful for exhaustive tests.
+    pub const ALL: &'static [Op] = &[
+        Op::Add,
+        Op::Sub,
+        Op::Mul,
+        Op::Div,
+        Op::Rem,
+        Op::And,
+        Op::Or,
+        Op::Xor,
+        Op::Sll,
+        Op::Srl,
+        Op::Sra,
+        Op::Slt,
+        Op::Sltu,
+        Op::Addi,
+        Op::Andi,
+        Op::Ori,
+        Op::Xori,
+        Op::Slli,
+        Op::Srli,
+        Op::Srai,
+        Op::Slti,
+        Op::Sltiu,
+        Op::Lui,
+        Op::Lb,
+        Op::Lbu,
+        Op::Lh,
+        Op::Lhu,
+        Op::Lw,
+        Op::Lwu,
+        Op::Ld,
+        Op::Fld,
+        Op::Sb,
+        Op::Sh,
+        Op::Sw,
+        Op::Sd,
+        Op::Fsd,
+        Op::Fadd,
+        Op::Fsub,
+        Op::Fmul,
+        Op::Fdiv,
+        Op::Fsqrt,
+        Op::Fmin,
+        Op::Fmax,
+        Op::Feq,
+        Op::Flt,
+        Op::Fle,
+        Op::Fcvtdl,
+        Op::Fcvtld,
+        Op::Fmvdx,
+        Op::Fmvxd,
+        Op::Beq,
+        Op::Bne,
+        Op::Blt,
+        Op::Bge,
+        Op::Bltu,
+        Op::Bgeu,
+        Op::Jal,
+        Op::Jalr,
+        Op::Halt,
+        Op::Nop,
+    ];
+
+    /// Reconstructs an operation from its 7-bit opcode, if valid.
+    pub fn from_opcode(code: u8) -> Option<Op> {
+        Op::ALL.iter().copied().find(|op| *op as u8 == code)
+    }
+
+    /// The 7-bit opcode of this operation.
+    #[inline]
+    pub fn opcode(self) -> u8 {
+        self as u8
+    }
+
+    /// Functional-unit class, used for latency selection.
+    pub fn class(self) -> OpClass {
+        use Op::*;
+        match self {
+            Add | Sub | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu | Addi | Andi | Ori
+            | Xori | Slli | Srli | Srai | Slti | Sltiu | Lui => OpClass::IntAlu,
+            Mul => OpClass::IntMul,
+            Div | Rem => OpClass::IntDiv,
+            Fadd | Fsub | Fmin | Fmax | Feq | Flt | Fle | Fcvtdl | Fcvtld | Fmvdx | Fmvxd => {
+                OpClass::FpAdd
+            }
+            Fmul => OpClass::FpMul,
+            Fdiv | Fsqrt => OpClass::FpDiv,
+            Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Fld => OpClass::Load,
+            Sb | Sh | Sw | Sd | Fsd => OpClass::Store,
+            Beq | Bne | Blt | Bge | Bltu | Bgeu | Jal | Jalr => OpClass::Ctrl,
+            Halt | Nop => OpClass::Other,
+        }
+    }
+
+    /// Returns `true` for load operations (including `Fld`).
+    #[inline]
+    pub fn is_load(self) -> bool {
+        self.class() == OpClass::Load
+    }
+
+    /// Returns `true` for store operations (including `Fsd`).
+    #[inline]
+    pub fn is_store(self) -> bool {
+        self.class() == OpClass::Store
+    }
+
+    /// Returns `true` for any memory operation.
+    #[inline]
+    pub fn is_mem(self) -> bool {
+        matches!(self.class(), OpClass::Load | OpClass::Store)
+    }
+
+    /// Returns `true` for conditional branches only.
+    #[inline]
+    pub fn is_cond_branch(self) -> bool {
+        matches!(self, Op::Beq | Op::Bne | Op::Blt | Op::Bge | Op::Bltu | Op::Bgeu)
+    }
+
+    /// Returns `true` for any control-transfer operation.
+    #[inline]
+    pub fn is_ctrl(self) -> bool {
+        self.class() == OpClass::Ctrl
+    }
+
+    /// Returns `true` if the operation reads/writes floating-point registers.
+    pub fn is_fp(self) -> bool {
+        use Op::*;
+        matches!(
+            self,
+            Fld | Fsd
+                | Fadd
+                | Fsub
+                | Fmul
+                | Fdiv
+                | Fsqrt
+                | Fmin
+                | Fmax
+                | Feq
+                | Flt
+                | Fle
+                | Fcvtdl
+                | Fcvtld
+                | Fmvdx
+                | Fmvxd
+        )
+    }
+
+    /// The assembler mnemonic.
+    pub fn mnemonic(self) -> &'static str {
+        use Op::*;
+        match self {
+            Add => "add",
+            Sub => "sub",
+            Mul => "mul",
+            Div => "div",
+            Rem => "rem",
+            And => "and",
+            Or => "or",
+            Xor => "xor",
+            Sll => "sll",
+            Srl => "srl",
+            Sra => "sra",
+            Slt => "slt",
+            Sltu => "sltu",
+            Addi => "addi",
+            Andi => "andi",
+            Ori => "ori",
+            Xori => "xori",
+            Slli => "slli",
+            Srli => "srli",
+            Srai => "srai",
+            Slti => "slti",
+            Sltiu => "sltiu",
+            Lui => "lui",
+            Lb => "lb",
+            Lbu => "lbu",
+            Lh => "lh",
+            Lhu => "lhu",
+            Lw => "lw",
+            Lwu => "lwu",
+            Ld => "ld",
+            Fld => "fld",
+            Sb => "sb",
+            Sh => "sh",
+            Sw => "sw",
+            Sd => "sd",
+            Fsd => "fsd",
+            Fadd => "fadd",
+            Fsub => "fsub",
+            Fmul => "fmul",
+            Fdiv => "fdiv",
+            Fsqrt => "fsqrt",
+            Fmin => "fmin",
+            Fmax => "fmax",
+            Feq => "feq",
+            Flt => "flt",
+            Fle => "fle",
+            Fcvtdl => "fcvt.d.l",
+            Fcvtld => "fcvt.l.d",
+            Fmvdx => "fmv.d.x",
+            Fmvxd => "fmv.x.d",
+            Beq => "beq",
+            Bne => "bne",
+            Blt => "blt",
+            Bge => "bge",
+            Bltu => "bltu",
+            Bgeu => "bgeu",
+            Jal => "jal",
+            Jalr => "jalr",
+            Halt => "halt",
+            Nop => "nop",
+        }
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn opcode_roundtrip_all() {
+        for &op in Op::ALL {
+            assert_eq!(Op::from_opcode(op.opcode()), Some(op), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn invalid_opcodes_rejected() {
+        // Opcode space has deliberate gaps.
+        assert_eq!(Op::from_opcode(0), None);
+        assert_eq!(Op::from_opcode(14), None);
+        assert_eq!(Op::from_opcode(127), None);
+    }
+
+    #[test]
+    fn all_list_has_no_duplicates() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Op::ALL {
+            assert!(seen.insert(op as u8), "duplicate opcode for {op:?}");
+        }
+    }
+
+    #[test]
+    fn class_partitions() {
+        assert_eq!(Op::Add.class(), OpClass::IntAlu);
+        assert_eq!(Op::Mul.class(), OpClass::IntMul);
+        assert_eq!(Op::Div.class(), OpClass::IntDiv);
+        assert_eq!(Op::Ld.class(), OpClass::Load);
+        assert_eq!(Op::Fsd.class(), OpClass::Store);
+        assert_eq!(Op::Beq.class(), OpClass::Ctrl);
+        assert_eq!(Op::Halt.class(), OpClass::Other);
+        assert_eq!(Op::Fdiv.class(), OpClass::FpDiv);
+    }
+
+    #[test]
+    fn memory_predicates() {
+        assert!(Op::Lw.is_load() && !Op::Lw.is_store());
+        assert!(Op::Sd.is_store() && !Op::Sd.is_load());
+        assert!(Op::Fld.is_mem() && Op::Fsd.is_mem());
+        assert!(!Op::Add.is_mem());
+    }
+
+    #[test]
+    fn ctrl_predicates() {
+        for op in [Op::Beq, Op::Bne, Op::Blt, Op::Bge, Op::Bltu, Op::Bgeu] {
+            assert!(op.is_cond_branch() && op.is_ctrl());
+        }
+        assert!(Op::Jal.is_ctrl() && !Op::Jal.is_cond_branch());
+        assert!(Op::Jalr.is_ctrl() && !Op::Jalr.is_cond_branch());
+        assert!(!Op::Add.is_ctrl());
+    }
+
+    #[test]
+    fn fp_predicate() {
+        assert!(Op::Fadd.is_fp());
+        assert!(Op::Fld.is_fp());
+        assert!(!Op::Ld.is_fp());
+    }
+}

@@ -1,0 +1,191 @@
+//! Basic-block-vector profiling (Sherwood et al., ASPLOS 2002).
+//!
+//! A basic block is identified by its dynamic entry PC (the instruction
+//! after a control transfer). Execution is split into fixed-size intervals;
+//! each interval's vector counts instructions executed per block. Vectors
+//! are normalized to frequencies and randomly projected to a small dense
+//! dimension, exactly as the SimPoint tool does before clustering.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsr_func::{Cpu, ExecError};
+use rsr_isa::{Addr, Program};
+
+/// A profiled interval: sparse basic-block instruction counts.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IntervalBbv {
+    counts: HashMap<Addr, u64>,
+    total: u64,
+}
+
+impl IntervalBbv {
+    /// Instructions attributed in this interval.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Sparse (block entry PC → instruction count) view.
+    pub fn counts(&self) -> &HashMap<Addr, u64> {
+        &self.counts
+    }
+
+    fn add(&mut self, block: Addr, len: u64) {
+        *self.counts.entry(block).or_insert(0) += len;
+        self.total += len;
+    }
+}
+
+/// Profiles the first `total_insts` instructions of `program` into
+/// intervals of `interval_len` instructions. A trailing partial interval is
+/// kept if it covers at least half an interval.
+///
+/// # Errors
+///
+/// Propagates functional-simulation faults; a clean `halt` simply ends the
+/// profile.
+///
+/// # Panics
+///
+/// Panics if `interval_len` is zero.
+pub fn profile_bbvs(
+    program: &Program,
+    total_insts: u64,
+    interval_len: u64,
+) -> Result<Vec<IntervalBbv>, ExecError> {
+    assert!(interval_len > 0, "interval length must be nonzero");
+    let mut cpu = Cpu::new(program).map_err(|_| ExecError::Halted)?;
+    let mut intervals = Vec::new();
+    let mut current = IntervalBbv::default();
+    let mut block_start: Addr = program.entry();
+    let mut block_len: u64 = 0;
+    let mut in_interval: u64 = 0;
+
+    for _ in 0..total_insts {
+        if cpu.halted() {
+            break;
+        }
+        let r = cpu.step()?;
+        block_len += 1;
+        in_interval += 1;
+        let transfers = r.branch.is_some() || r.next_pc != r.pc + 4;
+        if transfers || in_interval == interval_len {
+            current.add(block_start, block_len);
+            block_start = r.next_pc;
+            block_len = 0;
+        }
+        if in_interval == interval_len {
+            intervals.push(std::mem::take(&mut current));
+            in_interval = 0;
+        }
+    }
+    if block_len > 0 {
+        current.add(block_start, block_len);
+    }
+    if current.total * 2 >= interval_len {
+        intervals.push(current);
+    }
+    Ok(intervals)
+}
+
+/// Projects sparse BBVs to `dims` dense dimensions with a seeded random
+/// projection (each block PC hashes to a deterministic ±1 pattern), then
+/// normalizes each vector to unit L1 frequency mass first, matching
+/// SimPoint's frequency vectors.
+pub fn project(intervals: &[IntervalBbv], dims: usize, seed: u64) -> Vec<Vec<f64>> {
+    assert!(dims > 0, "projection needs at least one dimension");
+    let mut out = Vec::with_capacity(intervals.len());
+    for iv in intervals {
+        let mut v = vec![0.0f64; dims];
+        if iv.total == 0 {
+            out.push(v);
+            continue;
+        }
+        for (&block, &count) in &iv.counts {
+            let freq = count as f64 / iv.total as f64;
+            // A per-block deterministic RNG stream gives a stable random
+            // projection without materializing the (huge) matrix.
+            let mut rng = StdRng::seed_from_u64(seed ^ block.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+            for slot in v.iter_mut() {
+                let sign = if rng.gen::<bool>() { 1.0 } else { -1.0 };
+                *slot += sign * freq;
+            }
+        }
+        out.push(v);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsr_isa::{Asm, Reg};
+
+    /// A program with two phases: a tight ALU loop, then a different loop.
+    fn two_phase_program(phase1_iters: i64) -> Program {
+        let mut a = Asm::new();
+        a.li(Reg::S0, phase1_iters);
+        let p1 = a.bind_new("phase1");
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.addi(Reg::T1, Reg::T1, 2);
+        a.addi(Reg::S0, Reg::S0, -1);
+        a.bne(Reg::S0, Reg::ZERO, p1);
+        let p2 = a.bind_new("phase2");
+        a.xor(Reg::T2, Reg::T2, Reg::T0);
+        a.slli(Reg::T3, Reg::T2, 1);
+        a.j(p2);
+        a.finish().unwrap()
+    }
+
+    #[test]
+    fn interval_count_and_mass() {
+        let p = two_phase_program(10_000);
+        let ivs = profile_bbvs(&p, 50_000, 5_000).unwrap();
+        assert_eq!(ivs.len(), 10);
+        for iv in &ivs {
+            assert_eq!(iv.total(), 5_000);
+        }
+    }
+
+    #[test]
+    fn phases_have_distinct_blocks() {
+        let p = two_phase_program(10_000);
+        let ivs = profile_bbvs(&p, 50_000, 5_000).unwrap();
+        // First interval's dominant block differs from the last interval's.
+        let dominant = |iv: &IntervalBbv| {
+            iv.counts().iter().max_by_key(|(_, &c)| c).map(|(&b, _)| b).unwrap()
+        };
+        assert_ne!(dominant(&ivs[0]), dominant(&ivs[9]));
+    }
+
+    #[test]
+    fn projection_is_deterministic_and_separates_phases() {
+        let p = two_phase_program(10_000);
+        let ivs = profile_bbvs(&p, 50_000, 5_000).unwrap();
+        let v1 = project(&ivs, 15, 7);
+        let v2 = project(&ivs, 15, 7);
+        assert_eq!(v1, v2);
+        let dist = |a: &[f64], b: &[f64]| -> f64 {
+            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+        };
+        // Same-phase intervals are much closer than cross-phase ones.
+        let same = dist(&v1[0], &v1[1]);
+        let cross = dist(&v1[0], &v1[9]);
+        assert!(cross > same * 4.0, "cross {cross} same {same}");
+    }
+
+    #[test]
+    fn halting_program_truncates_profile() {
+        let mut a = Asm::new();
+        for _ in 0..100 {
+            a.nop();
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let ivs = profile_bbvs(&p, 10_000, 50).unwrap();
+        // 101 instructions, 50-instruction intervals: 2 full + 1 partial
+        // (1 instruction < half an interval, dropped).
+        assert_eq!(ivs.len(), 2);
+    }
+}

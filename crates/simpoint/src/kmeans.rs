@@ -1,0 +1,196 @@
+//! Seeded k-means (Lloyd's algorithm with k-means++ initialization),
+//! best-of-N restarts by distortion — the clustering core of SimPoint.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of one clustering.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Clustering {
+    /// Cluster index per data point.
+    pub assignments: Vec<usize>,
+    /// Cluster centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances to assigned centroids.
+    pub distortion: f64,
+}
+
+impl Clustering {
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.centroids.len()
+    }
+
+    /// Points assigned to cluster `c`.
+    pub fn members(&self, c: usize) -> Vec<usize> {
+        self.assignments
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a == c)
+            .map(|(i, _)| i)
+            .collect()
+    }
+}
+
+fn dist2(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+fn kmeanspp_init(data: &[Vec<f64>], k: usize, rng: &mut StdRng) -> Vec<Vec<f64>> {
+    let mut centroids = Vec::with_capacity(k);
+    centroids.push(data[rng.gen_range(0..data.len())].clone());
+    let mut d2: Vec<f64> = data.iter().map(|p| dist2(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let sum: f64 = d2.iter().sum();
+        let next = if sum <= f64::EPSILON {
+            rng.gen_range(0..data.len())
+        } else {
+            let mut target = rng.gen::<f64>() * sum;
+            let mut chosen = data.len() - 1;
+            for (i, &d) in d2.iter().enumerate() {
+                if target < d {
+                    chosen = i;
+                    break;
+                }
+                target -= d;
+            }
+            chosen
+        };
+        centroids.push(data[next].clone());
+        let c = centroids.last().expect("just pushed");
+        for (i, p) in data.iter().enumerate() {
+            d2[i] = d2[i].min(dist2(p, c));
+        }
+    }
+    centroids
+}
+
+fn lloyd(data: &[Vec<f64>], mut centroids: Vec<Vec<f64>>, rng: &mut StdRng) -> Clustering {
+    let k = centroids.len();
+    let dims = data[0].len();
+    let mut assignments = vec![0usize; data.len()];
+    for _iter in 0..60 {
+        let mut changed = false;
+        for (i, p) in data.iter().enumerate() {
+            let best = (0..k)
+                .min_by(|&a, &b| {
+                    dist2(p, &centroids[a]).partial_cmp(&dist2(p, &centroids[b])).expect("finite")
+                })
+                .expect("k > 0");
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        if !changed && _iter > 0 {
+            break;
+        }
+        // Recompute centroids; re-seed empty clusters from random points.
+        let mut sums = vec![vec![0.0f64; dims]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in data.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (s, &v) in sums[assignments[i]].iter_mut().zip(p) {
+                *s += v;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                centroids[c] = data[rng.gen_range(0..data.len())].clone();
+            } else {
+                for s in sums[c].iter_mut() {
+                    *s /= counts[c] as f64;
+                }
+                centroids[c] = std::mem::take(&mut sums[c]);
+            }
+        }
+    }
+    let distortion =
+        data.iter().zip(&assignments).map(|(p, &a)| dist2(p, &centroids[a])).sum();
+    Clustering { assignments, centroids, distortion }
+}
+
+/// Clusters `data` into (at most) `k` clusters, taking the best of
+/// `restarts` seeded runs by distortion. `k` is clamped to the number of
+/// points.
+///
+/// # Panics
+///
+/// Panics if `data` is empty or `k` is zero.
+pub fn kmeans(data: &[Vec<f64>], k: usize, restarts: usize, seed: u64) -> Clustering {
+    assert!(!data.is_empty(), "kmeans needs data");
+    assert!(k > 0, "kmeans needs k > 0");
+    let k = k.min(data.len());
+    let mut best: Option<Clustering> = None;
+    for r in 0..restarts.max(1) {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_add(r as u64 * 0x9e37));
+        let init = kmeanspp_init(data, k, &mut rng);
+        let c = lloyd(data, init, &mut rng);
+        if best.as_ref().is_none_or(|b| c.distortion < b.distortion) {
+            best = Some(c);
+        }
+    }
+    best.expect("at least one restart")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: f64, n: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| vec![center + rng.gen_range(-spread..spread), center])
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut data = blob(0.0, 20, 0.1, 1);
+        data.extend(blob(10.0, 20, 0.1, 2));
+        let c = kmeans(&data, 2, 3, 9);
+        assert_eq!(c.k(), 2);
+        // All points of each blob share a cluster.
+        let first = c.assignments[0];
+        assert!(c.assignments[..20].iter().all(|&a| a == first));
+        let second = c.assignments[20];
+        assert!(c.assignments[20..].iter().all(|&a| a == second));
+        assert_ne!(first, second);
+        assert!(c.distortion < 1.0);
+    }
+
+    #[test]
+    fn k_clamped_to_points() {
+        let data = blob(0.0, 3, 0.1, 1);
+        let c = kmeans(&data, 30, 2, 0);
+        assert_eq!(c.k(), 3);
+    }
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut data = blob(0.0, 15, 0.5, 1);
+        data.extend(blob(5.0, 15, 0.5, 2));
+        let a = kmeans(&data, 4, 3, 7);
+        let b = kmeans(&data, 4, 3, 7);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn members_partition_points() {
+        let mut data = blob(0.0, 10, 0.5, 1);
+        data.extend(blob(4.0, 10, 0.5, 2));
+        let c = kmeans(&data, 3, 2, 5);
+        let total: usize = (0..c.k()).map(|k| c.members(k).len()).sum();
+        assert_eq!(total, data.len());
+    }
+
+    #[test]
+    fn more_clusters_reduce_distortion() {
+        let mut data = blob(0.0, 12, 1.0, 1);
+        data.extend(blob(6.0, 12, 1.0, 2));
+        data.extend(blob(12.0, 12, 1.0, 3));
+        let d1 = kmeans(&data, 1, 2, 3).distortion;
+        let d3 = kmeans(&data, 3, 2, 3).distortion;
+        assert!(d3 < d1);
+    }
+}

@@ -1,0 +1,32 @@
+//! # rsr-simpoint — SimPoint-style representative sampling
+//!
+//! A reimplementation of the SimPoint methodology (Sherwood et al.) used by
+//! the paper's Figure 9 comparison: basic-block-vector profiling over fixed
+//! intervals, random projection, k-means clustering (best-of-N restarts),
+//! centroid-nearest simulation-point selection with cluster weights, and
+//! weighted-IPC simulation with or without SMARTS functional warming while
+//! fast-forwarding between points.
+//!
+//! ```no_run
+//! use rsr_core::MachineConfig;
+//! use rsr_simpoint::{analyze, simulate, SimpointConfig};
+//! use rsr_workloads::{Benchmark, WorkloadParams};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let program = Benchmark::Gcc.build(&WorkloadParams::default());
+//! let cfg = SimpointConfig::new(50_000);
+//! let analysis = analyze(&program, 8_000_000, &cfg)?;
+//! let outcome = simulate(&program, &MachineConfig::paper(), &analysis, &cfg)?;
+//! println!("SimPoint IPC estimate: {:.3}", outcome.est_ipc);
+//! # Ok(())
+//! # }
+//! ```
+
+mod bbv;
+mod kmeans;
+#[allow(clippy::module_inception)]
+mod simpoint;
+
+pub use bbv::{profile_bbvs, project, IntervalBbv};
+pub use kmeans::{kmeans, Clustering};
+pub use simpoint::{analyze, simulate, Simpoint, SimpointAnalysis, SimpointConfig, SimpointOutcome};

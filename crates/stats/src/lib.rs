@@ -1,0 +1,257 @@
+//! # rsr-stats — cluster-sampling statistics
+//!
+//! The paper's §5 estimators for a cluster-sampling design:
+//!
+//! * the sample standard deviation over per-cluster mean IPCs,
+//!   `S_IPC = sqrt( Σ (µᵢ − µ_sample)² / (N−1) )`;
+//! * the standard error `S_IPC / sqrt(N)`;
+//! * the 95 % confidence interval `µ_sample ± 1.96 · SE` and the test
+//!   "does the true mean fall inside it";
+//! * relative error `|µ_true − µ_sample| / µ_true`;
+//! * speedup ratios between warm-up methods.
+//!
+//! ```
+//! use rsr_stats::ClusterSample;
+//!
+//! let sample = ClusterSample::from_iter([1.0, 1.1, 0.9, 1.05, 0.95]);
+//! assert!((sample.mean() - 1.0).abs() < 1e-9);
+//! assert!(sample.confidence_interval_95().contains(1.0));
+//! ```
+
+/// Critical value of the standard normal for a 95 % confidence interval.
+pub const Z_95: f64 = 1.96;
+
+/// A sample of per-cluster means (e.g. per-cluster IPC).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ClusterSample {
+    values: Vec<f64>,
+}
+
+impl ClusterSample {
+    /// Creates an empty sample.
+    pub fn new() -> ClusterSample {
+        ClusterSample::default()
+    }
+
+    /// Adds one cluster's mean.
+    pub fn push(&mut self, value: f64) {
+        self.values.push(value);
+    }
+
+    /// Number of clusters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// `true` if no clusters have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The per-cluster values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Sample mean (0.0 for an empty sample).
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation (the paper's `S_IPC`; N−1 denominator).
+    /// Zero when fewer than two clusters exist.
+    pub fn std_dev(&self) -> f64 {
+        let n = self.values.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let ss: f64 = self.values.iter().map(|v| (v - mean) * (v - mean)).sum();
+        (ss / (n as f64 - 1.0)).sqrt()
+    }
+
+    /// Estimated standard error of the mean (`S_IPC / sqrt(N)`).
+    pub fn std_error(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.std_dev() / (self.values.len() as f64).sqrt()
+    }
+
+    /// The 95 % confidence interval around the sample mean.
+    pub fn confidence_interval_95(&self) -> ConfidenceInterval {
+        let half = Z_95 * self.std_error();
+        let mean = self.mean();
+        ConfidenceInterval { low: mean - half, high: mean + half }
+    }
+
+    /// The paper's confidence test: does the true value fall within the
+    /// 95 % interval?
+    pub fn predicts(&self, true_value: f64) -> bool {
+        self.confidence_interval_95().contains(true_value)
+    }
+}
+
+impl FromIterator<f64> for ClusterSample {
+    fn from_iter<T: IntoIterator<Item = f64>>(iter: T) -> Self {
+        ClusterSample { values: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<f64> for ClusterSample {
+    fn extend<T: IntoIterator<Item = f64>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+/// A closed interval `[low, high]`.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct ConfidenceInterval {
+    /// Lower bound.
+    pub low: f64,
+    /// Upper bound.
+    pub high: f64,
+}
+
+impl ConfidenceInterval {
+    /// Whether `value` lies inside the interval.
+    pub fn contains(&self, value: f64) -> bool {
+        value >= self.low && value <= self.high
+    }
+
+    /// Half-width of the interval (the paper's error bound `±1.96 S_IPC`).
+    pub fn half_width(&self) -> f64 {
+        (self.high - self.low) / 2.0
+    }
+}
+
+/// Relative error of an estimate against the true value (the paper's
+/// `RE(IPC)`). Returns `f64::INFINITY` when the true value is zero but the
+/// estimate is not.
+pub fn relative_error(true_value: f64, estimate: f64) -> f64 {
+    if true_value == 0.0 {
+        if estimate == 0.0 {
+            0.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        (true_value - estimate).abs() / true_value.abs()
+    }
+}
+
+/// Speedup ratio of `candidate` over `baseline` wall time: > 1 means the
+/// candidate is faster.
+pub fn speedup(baseline_seconds: f64, candidate_seconds: f64) -> f64 {
+    if candidate_seconds == 0.0 {
+        f64::INFINITY
+    } else {
+        baseline_seconds / candidate_seconds
+    }
+}
+
+/// Arithmetic mean of a slice (0.0 when empty). Convenience for harness
+/// summary rows.
+pub fn mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        0.0
+    } else {
+        values.iter().sum::<f64>() / values.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn mean_std_of_known_sample() {
+        let s = ClusterSample::from_iter([2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert!((s.mean() - 5.0).abs() < 1e-12);
+        // Sample std dev with N-1 = sqrt(32/7).
+        assert!((s.std_dev() - (32.0f64 / 7.0).sqrt()).abs() < 1e-12);
+        assert!((s.std_error() - s.std_dev() / (8.0f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_samples() {
+        let empty = ClusterSample::new();
+        assert_eq!(empty.mean(), 0.0);
+        assert_eq!(empty.std_dev(), 0.0);
+        assert!(empty.is_empty());
+
+        let one = ClusterSample::from_iter([3.0]);
+        assert_eq!(one.mean(), 3.0);
+        assert_eq!(one.std_dev(), 0.0);
+        assert_eq!(one.std_error(), 0.0);
+        // Zero-width interval contains only the mean.
+        assert!(one.predicts(3.0));
+        assert!(!one.predicts(3.1));
+    }
+
+    #[test]
+    fn confidence_interval_widens_with_variance() {
+        let tight = ClusterSample::from_iter([1.0, 1.0, 1.0, 1.0]);
+        let loose = ClusterSample::from_iter([0.5, 1.5, 0.7, 1.3]);
+        assert!(
+            loose.confidence_interval_95().half_width()
+                > tight.confidence_interval_95().half_width()
+        );
+    }
+
+    #[test]
+    fn confidence_test_tracks_distance() {
+        let s = ClusterSample::from_iter([1.0, 1.1, 0.9, 1.05, 0.95, 1.02, 0.98]);
+        assert!(s.predicts(1.0));
+        assert!(!s.predicts(2.0));
+    }
+
+    #[test]
+    fn relative_error_basics() {
+        assert_eq!(relative_error(2.0, 1.0), 0.5);
+        assert_eq!(relative_error(2.0, 2.0), 0.0);
+        assert_eq!(relative_error(2.0, 3.0), 0.5);
+        assert_eq!(relative_error(0.0, 0.0), 0.0);
+        assert_eq!(relative_error(0.0, 1.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn speedup_basics() {
+        assert_eq!(speedup(10.0, 5.0), 2.0);
+        assert_eq!(speedup(5.0, 10.0), 0.5);
+        assert_eq!(speedup(5.0, 0.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn mean_helper() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[1.0, 3.0]), 2.0);
+    }
+
+    proptest! {
+        /// The CI always contains the sample mean, and scaling the data
+        /// scales mean/std linearly.
+        #[test]
+        fn prop_ci_contains_mean(values in proptest::collection::vec(0.01f64..10.0, 2..40)) {
+            let s = ClusterSample::from_iter(values.iter().copied());
+            prop_assert!(s.confidence_interval_95().contains(s.mean()));
+
+            let scaled = ClusterSample::from_iter(values.iter().map(|v| v * 3.0));
+            prop_assert!((scaled.mean() - 3.0 * s.mean()).abs() < 1e-9);
+            prop_assert!((scaled.std_dev() - 3.0 * s.std_dev()).abs() < 1e-9);
+        }
+
+        /// Relative error is symmetric in over/underestimation magnitude
+        /// and zero iff exact.
+        #[test]
+        fn prop_relative_error(true_v in 0.1f64..10.0, delta in 0.0f64..5.0) {
+            prop_assert!((relative_error(true_v, true_v + delta)
+                - relative_error(true_v, true_v - delta)).abs() < 1e-12);
+            prop_assert_eq!(relative_error(true_v, true_v), 0.0);
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Core configuration and operation latencies.
+
+use rsr_isa::OpClass;
+
+/// Configuration of the out-of-order core (defaults are the paper's §4
+/// machine).
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct CoreConfig {
+    /// Instructions fetched per cycle (8).
+    pub fetch_width: usize,
+    /// Instructions dispatched (renamed into the window) per cycle (8).
+    pub dispatch_width: usize,
+    /// Instructions issued to function units per cycle (4).
+    pub issue_width: usize,
+    /// Instructions retired per cycle (4).
+    pub retire_width: usize,
+    /// Maximum in-flight instructions — the reorder buffer (64).
+    pub rob_entries: usize,
+    /// Issue-queue capacity (32).
+    pub iq_entries: usize,
+    /// Load/store-queue capacity (64).
+    pub lsq_entries: usize,
+    /// Universal, fully pipelined function units (8).
+    pub num_fus: usize,
+    /// Front-end stages between fetch and dispatch (pipeline depth 7 ⇒
+    /// fetch + 2 decode/rename stages before the window + issue/exec/wb/
+    /// commit behind it).
+    pub front_end_delay: u64,
+    /// Minimum branch misprediction penalty in cycles (5).
+    pub min_mispredict_penalty: u64,
+    /// Maximum speculatively outstanding branches — architectural
+    /// checkpoints (8).
+    pub max_spec_branches: usize,
+    /// Core frequency in GHz (2.0) — used only to convert cycles to seconds
+    /// in reports.
+    pub freq_ghz: f64,
+}
+
+impl Default for CoreConfig {
+    fn default() -> Self {
+        CoreConfig::paper()
+    }
+}
+
+impl CoreConfig {
+    /// The paper's machine (§4).
+    pub fn paper() -> CoreConfig {
+        CoreConfig {
+            fetch_width: 8,
+            dispatch_width: 8,
+            issue_width: 4,
+            retire_width: 4,
+            rob_entries: 64,
+            iq_entries: 32,
+            lsq_entries: 64,
+            num_fus: 8,
+            front_end_delay: 2,
+            min_mispredict_penalty: 5,
+            max_spec_branches: 8,
+            freq_ghz: 2.0,
+        }
+    }
+
+    /// Execution latency (cycles) for a non-memory operation class.
+    /// Loads derive their latency from the memory hierarchy instead.
+    pub fn latency(&self, class: OpClass) -> u64 {
+        match class {
+            OpClass::IntAlu => 1,
+            OpClass::IntMul => 3,
+            OpClass::IntDiv => 12,
+            OpClass::FpAdd => 4,
+            OpClass::FpMul => 4,
+            OpClass::FpDiv => 16,
+            OpClass::Load => 1,  // address generation; memory time added on top
+            OpClass::Store => 1, // address/data ready; memory traffic at commit
+            OpClass::Ctrl => 1,
+            OpClass::Other => 1,
+        }
+    }
+
+    /// Sanity-checks the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.rob_entries == 0 || self.iq_entries == 0 || self.lsq_entries == 0 {
+            return Err("window sizes must be nonzero".into());
+        }
+        if self.issue_width == 0 || self.retire_width == 0 || self.fetch_width == 0 {
+            return Err("widths must be nonzero".into());
+        }
+        if self.issue_width > self.num_fus {
+            return Err("issue width cannot exceed the number of function units".into());
+        }
+        if self.max_spec_branches == 0 {
+            return Err("need at least one branch checkpoint".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_is_valid() {
+        let c = CoreConfig::paper();
+        assert!(c.validate().is_ok());
+        assert_eq!(c.fetch_width, 8);
+        assert_eq!(c.issue_width, 4);
+        assert_eq!(c.rob_entries, 64);
+        assert_eq!(c.iq_entries, 32);
+        assert_eq!(c.lsq_entries, 64);
+        assert_eq!(c.min_mispredict_penalty, 5);
+        assert_eq!(c.max_spec_branches, 8);
+    }
+
+    #[test]
+    fn latencies_are_ordered_sensibly() {
+        let c = CoreConfig::paper();
+        assert!(c.latency(OpClass::IntAlu) < c.latency(OpClass::IntMul));
+        assert!(c.latency(OpClass::IntMul) < c.latency(OpClass::IntDiv));
+        assert!(c.latency(OpClass::FpAdd) < c.latency(OpClass::FpDiv));
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut c = CoreConfig::paper();
+        c.rob_entries = 0;
+        assert!(c.validate().is_err());
+        let mut c = CoreConfig::paper();
+        c.issue_width = 16;
+        assert!(c.validate().is_err());
+    }
+}

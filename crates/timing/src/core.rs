@@ -1,0 +1,769 @@
+//! The cycle-accurate out-of-order engine.
+//!
+//! Execution-driven from the functional simulator ([`rsr_func::Cpu`]): the
+//! fetch stage pulls architecturally retired records in program order and
+//! times them through a 7-stage superscalar pipeline (fetch, two front-end
+//! stages, issue, execute, writeback, commit). Wrong-path instructions are
+//! not fabricated; instead a mispredicted branch stalls fetch until it
+//! resolves — the standard oracle-driven mispredict model — with the
+//! paper's 5-cycle minimum penalty enforced.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use rsr_branch::{PredCtrlKind, Prediction, Predictor};
+use rsr_cache::{HierAccess, MemHierarchy};
+use rsr_func::{Cpu, ExecError, Retired};
+use rsr_isa::{CtrlKind, OpClass};
+
+use crate::CoreConfig;
+
+/// A hook invoked immediately before every fetch-time branch prediction.
+///
+/// This is the integration point for the paper's *on-demand* branch
+/// predictor reconstruction (§3.2): the RSR warm-up installs a hook that,
+/// when the probed PHT/BTB entry has not been reconstructed yet, consumes
+/// the reverse skip-region log far enough to reconstruct it.
+pub trait PredictHook {
+    /// Called with the predictor, the branch PC, and its kind, before
+    /// `Predictor::predict` runs for that branch.
+    fn before_predict(&mut self, pred: &mut Predictor, pc: u64, kind: PredCtrlKind);
+}
+
+/// A no-op hook for plain (non-reconstructing) simulation.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct NoHook;
+
+impl PredictHook for NoHook {
+    fn before_predict(&mut self, _pred: &mut Predictor, _pc: u64, _kind: PredCtrlKind) {}
+}
+
+/// Measurements from one hot (cycle-accurate) simulation window.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct HotStats {
+    /// Cycles elapsed.
+    pub cycles: u64,
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Fully mispredicted control transfers (resolved at execute).
+    pub full_mispredicts: u64,
+    /// Decode-stage redirects (direct transfer with a BTB miss).
+    pub decode_redirects: u64,
+}
+
+impl HotStats {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+}
+
+fn to_pred_kind(kind: CtrlKind) -> PredCtrlKind {
+    match kind {
+        CtrlKind::CondBranch => PredCtrlKind::CondBranch,
+        CtrlKind::Jump => PredCtrlKind::Jump,
+        CtrlKind::Call => PredCtrlKind::Call,
+        CtrlKind::IndirectCall => PredCtrlKind::IndirectCall,
+        CtrlKind::Return => PredCtrlKind::Return,
+        CtrlKind::IndirectJump => PredCtrlKind::IndirectJump,
+    }
+}
+
+/// Unified register id space: integer `x1..x31` → `1..=31`, floating-point
+/// `f0..f31` → `32..=63`. `x0` maps to `None` (never a dependency).
+fn int_src(r: u8) -> Option<u8> {
+    (r != 0).then_some(r)
+}
+
+fn fp_src(r: u8) -> Option<u8> {
+    Some(32 + r)
+}
+
+/// Source and destination registers of an instruction in the unified space.
+fn operands(r: &Retired) -> ([Option<u8>; 2], Option<u8>) {
+    use rsr_isa::Op::*;
+    let i = &r.inst;
+    match i.op {
+        Add | Sub | Mul | Div | Rem | And | Or | Xor | Sll | Srl | Sra | Slt | Sltu => {
+            ([int_src(i.rs1), int_src(i.rs2)], int_src(i.rd))
+        }
+        Addi | Andi | Ori | Xori | Slli | Srli | Srai | Slti | Sltiu => {
+            ([int_src(i.rs1), None], int_src(i.rd))
+        }
+        Lui => ([None, None], int_src(i.rd)),
+        Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld => ([int_src(i.rs1), None], int_src(i.rd)),
+        Fld => ([int_src(i.rs1), None], fp_src(i.rd)),
+        Sb | Sh | Sw | Sd => ([int_src(i.rs1), int_src(i.rs2)], None),
+        Fsd => ([int_src(i.rs1), fp_src(i.rs2)], None),
+        Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax => {
+            ([fp_src(i.rs1), fp_src(i.rs2)], fp_src(i.rd))
+        }
+        Fsqrt => ([fp_src(i.rs1), None], fp_src(i.rd)),
+        Feq | Flt | Fle => ([fp_src(i.rs1), fp_src(i.rs2)], int_src(i.rd)),
+        Fcvtdl => ([int_src(i.rs1), None], fp_src(i.rd)),
+        Fcvtld => ([fp_src(i.rs1), None], int_src(i.rd)),
+        Fmvdx => ([int_src(i.rs1), None], fp_src(i.rd)),
+        Fmvxd => ([fp_src(i.rs1), None], int_src(i.rd)),
+        Beq | Bne | Blt | Bge | Bltu | Bgeu => ([int_src(i.rs1), int_src(i.rs2)], None),
+        Jal => ([None, None], int_src(i.rd)),
+        Jalr => ([int_src(i.rs1), None], int_src(i.rd)),
+        Halt | Nop => ([None, None], None),
+    }
+}
+
+#[derive(Clone, Debug)]
+struct BranchCtl {
+    kind: PredCtrlKind,
+    prediction: Prediction,
+    /// Wrong direction or wrong/unknown indirect target: resolve at execute.
+    full_mispredict: bool,
+    fetch_cycle: u64,
+    resolved: bool,
+}
+
+#[derive(Clone, Debug)]
+struct Fetched {
+    r: Retired,
+    ready_at: u64,
+    br: Option<BranchCtl>,
+}
+
+#[derive(Clone, Debug)]
+struct Slot {
+    r: Retired,
+    class: OpClass,
+    /// Producer sequence numbers for each source operand.
+    srcs: [Option<u64>; 2],
+    issued: bool,
+    completed: bool,
+    complete_at: u64,
+    br: Option<BranchCtl>,
+}
+
+const LINE_MASK: u64 = !63;
+
+/// Runs `n_insts` instructions through the cycle-accurate core, starting
+/// from the current architectural state of `cpu` and the current contents
+/// of `hier`/`pred` (that is exactly what warm-up policies manipulate).
+///
+/// The bus clocks in `hier` are reset so the cluster starts at cycle zero;
+/// cache and predictor *state* is taken as-is.
+///
+/// # Errors
+///
+/// Propagates [`ExecError::PcOutOfText`] from the functional simulator. A
+/// clean `halt` inside the window simply ends the run early.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, or on an internal scheduling
+/// deadlock (a bug, not an input condition).
+pub fn simulate_cluster(
+    cfg: &CoreConfig,
+    cpu: &mut Cpu,
+    hier: &mut MemHierarchy,
+    pred: &mut Predictor,
+    n_insts: u64,
+) -> Result<HotStats, ExecError> {
+    simulate_cluster_hooked(cfg, cpu, hier, pred, n_insts, &mut NoHook)
+}
+
+/// [`simulate_cluster`] with a [`PredictHook`] for on-demand warm-up.
+///
+/// # Errors
+///
+/// Propagates [`ExecError::PcOutOfText`] from the functional simulator.
+///
+/// # Panics
+///
+/// Panics if the configuration is invalid, or on an internal scheduling
+/// deadlock (a bug, not an input condition).
+pub fn simulate_cluster_hooked(
+    cfg: &CoreConfig,
+    cpu: &mut Cpu,
+    hier: &mut MemHierarchy,
+    pred: &mut Predictor,
+    n_insts: u64,
+    hook: &mut dyn PredictHook,
+) -> Result<HotStats, ExecError> {
+    cfg.validate().expect("invalid core config");
+    hier.reset_timing();
+
+    let mut stats = HotStats::default();
+    if n_insts == 0 {
+        return Ok(stats);
+    }
+
+    let mut target = n_insts;
+    let mut rob: VecDeque<Slot> = VecDeque::with_capacity(cfg.rob_entries);
+    let mut head_seq: u64 = 0; // rel seq of rob.front() (valid when !rob.is_empty())
+    let mut iq_used = 0usize;
+    let mut lsq_used = 0usize;
+    let mut spec_branches = 0usize;
+    let mut unissued_stores: BTreeSet<u64> = BTreeSet::new();
+    let mut last_writer: [Option<u64>; 64] = [None; 64];
+    let mut fetch_buf: VecDeque<Fetched> = VecDeque::new();
+    let fetch_buf_cap = cfg.fetch_width * 3;
+    let mut pending: Option<Retired> = None;
+    let mut fetch_stall_until: u64 = 0;
+    let mut fetch_blocked_on: Option<u64> = None; // seq of unresolved mispredict
+    let mut fetched: u64 = 0;
+    let mut retired: u64 = 0;
+    let mut cycle: u64 = 0;
+    let deadlock_cap = n_insts.saturating_mul(10_000).saturating_add(1_000_000);
+
+    let seq_base = cpu.icount();
+    let rel = |seq: u64| seq - seq_base;
+
+    // Is the producer of `seq` complete (or already retired)?
+    let producer_done = |rob: &VecDeque<Slot>, head_seq: u64, seq: u64| -> bool {
+        if rob.is_empty() || seq < head_seq {
+            return true;
+        }
+        let idx = (seq - head_seq) as usize;
+        idx >= rob.len() || rob[idx].completed
+    };
+
+    while retired < target {
+        assert!(cycle < deadlock_cap, "timing core deadlock at cycle {cycle}");
+
+        // ---- commit ---------------------------------------------------
+        for _ in 0..cfg.retire_width {
+            let Some(front) = rob.front() else { break };
+            if !front.completed {
+                break;
+            }
+            let slot = rob.pop_front().expect("checked front");
+            head_seq = rel(slot.r.seq) + 1;
+            if let Some(m) = slot.r.mem {
+                lsq_used -= 1;
+                if m.is_store {
+                    // Write-through traffic happens at commit; a store
+                    // buffer means retire does not wait for it.
+                    hier.access(cycle, m.addr, HierAccess::Store);
+                }
+            }
+            if let (Some(b), Some(br)) = (slot.r.branch, slot.br.as_ref()) {
+                pred.commit(slot.r.pc, br.kind, &br.prediction, b.taken, b.target);
+            }
+            retired += 1;
+            if retired == target {
+                break;
+            }
+        }
+        if retired >= target {
+            break;
+        }
+
+        // ---- writeback / branch resolution -----------------------------
+        #[allow(clippy::needless_range_loop)] // indices also feed producer_done lookups
+        for idx in 0..rob.len() {
+            if rob[idx].issued && !rob[idx].completed && rob[idx].complete_at <= cycle {
+                rob[idx].completed = true;
+                let slot = &mut rob[idx];
+                if let Some(br) = slot.br.as_mut() {
+                    if !br.resolved {
+                        br.resolved = true;
+                        spec_branches -= 1;
+                        if br.full_mispredict {
+                            let actual = slot.r.branch.map(|b| b.taken);
+                            let dir = match br.kind {
+                                PredCtrlKind::CondBranch => actual,
+                                _ => None,
+                            };
+                            pred.recover(&br.prediction.checkpoint, dir);
+                            if fetch_blocked_on == Some(slot.r.seq) {
+                                fetch_blocked_on = None;
+                                let resume = (slot.complete_at + 1)
+                                    .max(br.fetch_cycle + cfg.min_mispredict_penalty);
+                                fetch_stall_until = fetch_stall_until.max(resume);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- issue ------------------------------------------------------
+        let mut issued_now = 0usize;
+        let oldest_unissued_store = unissued_stores.first().copied();
+        for idx in 0..rob.len() {
+            if issued_now >= cfg.issue_width {
+                break;
+            }
+            if rob[idx].issued {
+                continue;
+            }
+            let ready = rob[idx].srcs.iter().flatten().all(|&s| {
+                // A producer in this very cycle's writeback set counts;
+                // back-to-back dependent issue is modeled by complete_at.
+                producer_done(&rob, head_seq, rel(s))
+            });
+            if !ready {
+                continue;
+            }
+            let seq = rob[idx].r.seq;
+            if let Some(m) = rob[idx].r.mem {
+                if !m.is_store {
+                    // Loads wait until every older store address is known.
+                    if oldest_unissued_store.is_some_and(|s| s < seq) {
+                        continue;
+                    }
+                }
+            }
+            let slot = &mut rob[idx];
+            slot.issued = true;
+            iq_used -= 1;
+            issued_now += 1;
+            slot.complete_at = match slot.r.mem {
+                Some(m) if !m.is_store => {
+                    let t = hier.access(cycle, m.addr, HierAccess::Load);
+                    t.max(cycle + 2)
+                }
+                _ => cycle + cfg.latency(slot.class),
+            };
+            if slot.r.mem.is_some_and(|m| m.is_store) {
+                unissued_stores.remove(&seq);
+            }
+        }
+
+        // ---- dispatch ---------------------------------------------------
+        for _ in 0..cfg.dispatch_width {
+            let Some(front) = fetch_buf.front() else { break };
+            if front.ready_at > cycle {
+                break;
+            }
+            if rob.len() >= cfg.rob_entries || iq_used >= cfg.iq_entries {
+                break;
+            }
+            let is_mem = front.r.mem.is_some();
+            if is_mem && lsq_used >= cfg.lsq_entries {
+                break;
+            }
+            let f = fetch_buf.pop_front().expect("checked front");
+            let (src_regs, dest) = operands(&f.r);
+            let srcs = [
+                src_regs[0].and_then(|r| last_writer[r as usize]),
+                src_regs[1].and_then(|r| last_writer[r as usize]),
+            ];
+            if let Some(d) = dest {
+                last_writer[d as usize] = Some(f.r.seq);
+            }
+            if rob.is_empty() {
+                head_seq = rel(f.r.seq);
+            }
+            iq_used += 1;
+            if is_mem {
+                lsq_used += 1;
+                if f.r.mem.expect("is_mem").is_store {
+                    unissued_stores.insert(f.r.seq);
+                }
+            }
+            rob.push_back(Slot {
+                class: f.r.inst.op.class(),
+                srcs,
+                issued: false,
+                completed: false,
+                complete_at: u64::MAX,
+                br: f.br,
+                r: f.r,
+            });
+        }
+
+        // ---- fetch ------------------------------------------------------
+        'fetch: {
+            if fetch_blocked_on.is_some() || cycle < fetch_stall_until {
+                break 'fetch;
+            }
+            if fetched >= target || fetch_buf.len() >= fetch_buf_cap {
+                break 'fetch;
+            }
+            let mut group_line: Option<u64> = None;
+            let mut group_ready: u64 = cycle + 1;
+            for _ in 0..cfg.fetch_width {
+                if fetched >= target || fetch_buf.len() >= fetch_buf_cap {
+                    break;
+                }
+                let r = match pending.take() {
+                    Some(r) => r,
+                    None => match cpu.step() {
+                        Ok(r) => r,
+                        Err(ExecError::Halted) => {
+                            target = fetched;
+                            break;
+                        }
+                        Err(e) => return Err(e),
+                    },
+                };
+                let line = r.pc & LINE_MASK;
+                match group_line {
+                    None => {
+                        group_line = Some(line);
+                        let t = hier.access(cycle, r.pc, HierAccess::Fetch);
+                        group_ready = group_ready.max(t);
+                        // A miss occupies the fetch engine until the line
+                        // arrives.
+                        fetch_stall_until = fetch_stall_until.max(t);
+                    }
+                    Some(l) if l != line => {
+                        // Group ends at the cache-line boundary.
+                        pending = Some(r);
+                        break;
+                    }
+                    _ => {}
+                }
+
+                let br = if let Some(b) = r.branch {
+                    if spec_branches >= cfg.max_spec_branches {
+                        pending = Some(r);
+                        break;
+                    }
+                    let kind = to_pred_kind(b.kind);
+                    hook.before_predict(pred, r.pc, kind);
+                    let prediction = pred.predict(r.pc, kind);
+                    let correct = pred.is_correct(&prediction, b.taken, b.target, kind);
+                    let direction_ok = match kind {
+                        PredCtrlKind::CondBranch => prediction.taken == b.taken,
+                        _ => true,
+                    };
+                    let indirect = matches!(
+                        kind,
+                        PredCtrlKind::IndirectCall
+                            | PredCtrlKind::IndirectJump
+                            | PredCtrlKind::Return
+                    );
+                    let full_mispredict = !direction_ok || (indirect && !correct);
+                    let decode_redirect = direction_ok && !correct && !indirect;
+                    spec_branches += 1;
+                    let ctl = BranchCtl {
+                        kind,
+                        prediction,
+                        full_mispredict,
+                        fetch_cycle: cycle,
+                        resolved: false,
+                    };
+                    let seq = r.seq;
+                    let taken = b.taken;
+                    fetch_buf.push_back(Fetched {
+                        r,
+                        ready_at: group_ready + cfg.front_end_delay,
+                        br: Some(ctl),
+                    });
+                    fetched += 1;
+                    if full_mispredict {
+                        stats.full_mispredicts += 1;
+                        fetch_blocked_on = Some(seq);
+                    } else if decode_redirect {
+                        stats.decode_redirects += 1;
+                        fetch_stall_until = fetch_stall_until.max(group_ready + 2);
+                    }
+                    if full_mispredict || decode_redirect || taken {
+                        break;
+                    }
+                    continue;
+                } else {
+                    None
+                };
+                fetch_buf.push_back(Fetched {
+                    r,
+                    ready_at: group_ready + cfg.front_end_delay,
+                    br,
+                });
+                fetched += 1;
+            }
+        }
+
+        cycle += 1;
+    }
+
+    stats.cycles = cycle.max(1);
+    stats.instructions = retired;
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsr_branch::PredictorConfig;
+    use rsr_cache::HierarchyConfig;
+    use rsr_isa::{Asm, Reg};
+
+    fn machine() -> (MemHierarchy, Predictor) {
+        (
+            MemHierarchy::new(HierarchyConfig::paper()),
+            Predictor::new(PredictorConfig::paper()),
+        )
+    }
+
+    fn run_insts(build: impl FnOnce(&mut Asm), n: u64) -> HotStats {
+        let mut a = Asm::new();
+        build(&mut a);
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p).unwrap();
+        let (mut hier, mut pred) = machine();
+        simulate_cluster(&CoreConfig::paper(), &mut cpu, &mut hier, &mut pred, n).unwrap()
+    }
+
+    /// An infinite stream of independent ALU ops should approach the retire
+    /// width (IPC ≈ 4) once the pipeline fills.
+    #[test]
+    fn independent_alu_ipc_near_retire_width() {
+        let stats = run_insts(
+            |a| {
+                let top = a.bind_new("top");
+                for i in 0..16 {
+                    a.addi(Reg(10 + (i % 8)), Reg::ZERO, i as i32);
+                }
+                a.j(top);
+            },
+            20_000,
+        );
+        let ipc = stats.ipc();
+        assert!(ipc > 2.5, "ipc {ipc}");
+        assert!(ipc <= 4.01, "ipc {ipc} cannot beat retire width");
+    }
+
+    /// A serial dependency chain of 12-cycle divides is latency-bound:
+    /// IPC ≈ 1/12.
+    #[test]
+    fn dependent_divides_are_latency_bound() {
+        let stats = run_insts(
+            |a| {
+                a.li(Reg::T0, 1_000_000);
+                a.li(Reg::T1, 1);
+                let top = a.bind_new("top");
+                for _ in 0..8 {
+                    a.div(Reg::T0, Reg::T0, Reg::T1);
+                }
+                a.j(top);
+            },
+            5_000,
+        );
+        let ipc = stats.ipc();
+        assert!(ipc < 0.25, "ipc {ipc} should be divide-latency bound");
+    }
+
+    /// The same program must report identical cycle counts on repeat runs
+    /// (the model is deterministic).
+    #[test]
+    fn deterministic_cycles() {
+        let s1 = run_insts(
+            |a| {
+                let top = a.bind_new("top");
+                a.addi(Reg::T0, Reg::T0, 1);
+                a.j(top);
+            },
+            10_000,
+        );
+        let s2 = run_insts(
+            |a| {
+                let top = a.bind_new("top");
+                a.addi(Reg::T0, Reg::T0, 1);
+                a.j(top);
+            },
+            10_000,
+        );
+        assert_eq!(s1, s2);
+    }
+
+    /// Alternating (data-dependent, pattern-free) branches mispredict and
+    /// cost cycles versus the same loop without them.
+    #[test]
+    fn mispredicts_cost_cycles() {
+        // Hard-to-predict: branch on xorshift bit.
+        let noisy = run_insts(
+            |a| {
+                a.li(Reg::S0, 0x123456789);
+                let top = a.bind_new("top");
+                a.slli(Reg::T0, Reg::S0, 13);
+                a.xor(Reg::S0, Reg::S0, Reg::T0);
+                a.srli(Reg::T0, Reg::S0, 7);
+                a.xor(Reg::S0, Reg::S0, Reg::T0);
+                a.slli(Reg::T0, Reg::S0, 17);
+                a.xor(Reg::S0, Reg::S0, Reg::T0);
+                a.andi(Reg::T1, Reg::S0, 1);
+                let skip = a.new_label("skip");
+                a.beq(Reg::T1, Reg::ZERO, skip);
+                a.addi(Reg::T2, Reg::T2, 1);
+                a.bind(skip).unwrap();
+                a.j(top);
+            },
+            20_000,
+        );
+        assert!(noisy.full_mispredicts > 500, "mispredicts {}", noisy.full_mispredicts);
+        assert!(noisy.ipc() < 2.0, "ipc {}", noisy.ipc());
+    }
+
+    /// Cold-cache pointer chasing is memory-latency bound: IPC far below 1.
+    #[test]
+    fn cache_misses_throttle_ipc() {
+        let stats = run_insts(
+            |a| {
+                // Walk a large stride so every load misses.
+                a.li(Reg::S1, 0x1000_0000);
+                a.li(Reg::S2, 0);
+                let top = a.bind_new("top");
+                a.ld(Reg::T0, 0, Reg::S1);
+                a.add(Reg::S2, Reg::S2, Reg::T0);
+                // Serialize the next address on the loaded value (always 0).
+                a.add(Reg::S1, Reg::S1, Reg::T0);
+                a.addi(Reg::S1, Reg::S1, 4096);
+                a.j(top);
+            },
+            3_000,
+        );
+        assert!(stats.ipc() < 0.5, "ipc {}", stats.ipc());
+    }
+
+    /// Store-to-load ordering: a load must wait for older stores' address
+    /// generation, so a dependent store→load chain is slower than pure
+    /// loads.
+    #[test]
+    fn loads_wait_for_older_stores() {
+        let with_stores = run_insts(
+            |a| {
+                let buf = a.data_zeros(64);
+                a.la(Reg::S1, buf);
+                let top = a.bind_new("top");
+                for _ in 0..4 {
+                    a.sd(Reg::T0, 0, Reg::S1);
+                    a.ld(Reg::T1, 0, Reg::S1);
+                }
+                a.j(top);
+            },
+            8_000,
+        );
+        // The store traffic and ordering constraint must cost relative to
+        // an equivalent loop of independent ALU ops.
+        let alu_only = run_insts(
+            |a| {
+                let top = a.bind_new("top");
+                for i in 0..8 {
+                    a.addi(Reg(10 + i), Reg::ZERO, i as i32);
+                }
+                a.j(top);
+            },
+            8_000,
+        );
+        assert!(
+            with_stores.cycles > alu_only.cycles,
+            "stores {} vs alu {}",
+            with_stores.cycles,
+            alu_only.cycles
+        );
+    }
+
+    /// Decode redirects (direct branch, BTB miss) are counted and cheaper
+    /// than full mispredicts.
+    #[test]
+    fn decode_redirects_are_tracked() {
+        let stats = run_insts(
+            |a| {
+                // An always-taken loop branch: direction trains quickly but
+                // the first encounters miss the BTB.
+                a.li(Reg::T0, 0);
+                a.li(Reg::T1, 1_000_000);
+                let top = a.bind_new("top");
+                for _ in 0..4 {
+                    a.addi(Reg::T0, Reg::T0, 1);
+                }
+                a.blt(Reg::T0, Reg::T1, top);
+            },
+            20_000,
+        );
+        assert!(
+            stats.decode_redirects > 0 || stats.full_mispredicts > 0,
+            "cold BTB must cost something"
+        );
+        // Once trained, the loop runs well.
+        assert!(stats.ipc() > 1.0, "ipc {}", stats.ipc());
+    }
+
+    /// The ROB bounds in-flight work: a window full of long-latency ops
+    /// stalls dispatch rather than deadlocking or overrunning.
+    #[test]
+    fn rob_pressure_does_not_deadlock() {
+        let stats = run_insts(
+            |a| {
+                a.li(Reg::T1, 3);
+                let top = a.bind_new("top");
+                // 80 independent divides: more than the 64-entry ROB.
+                for i in 0..80 {
+                    a.div(Reg(10 + (i % 16)), Reg::T1, Reg::T1);
+                }
+                a.j(top);
+            },
+            10_000,
+        );
+        assert_eq!(stats.instructions, 10_000);
+        // Throughput limited by issue width over divide latency, not zero.
+        assert!(stats.ipc() > 0.1 && stats.ipc() <= 4.0);
+    }
+
+    /// A `halt` inside the window ends the run early but cleanly.
+    #[test]
+    fn halt_ends_run_early() {
+        let stats = run_insts(
+            |a| {
+                a.addi(Reg::T0, Reg::ZERO, 1);
+                a.addi(Reg::T1, Reg::ZERO, 2);
+                a.halt();
+            },
+            1_000,
+        );
+        assert_eq!(stats.instructions, 3);
+        assert!(stats.cycles >= 3);
+    }
+
+    /// Requesting zero instructions is a no-op.
+    #[test]
+    fn zero_window() {
+        let stats = run_insts(|a| { a.halt(); }, 0);
+        assert_eq!(stats.instructions, 0);
+    }
+
+    /// Warmed caches make the same cluster faster — the whole premise of
+    /// warm-up methods.
+    #[test]
+    fn warm_caches_speed_up_cluster() {
+        use rsr_workloads::{Benchmark, WorkloadParams};
+        let params = WorkloadParams { scale: 0.05, ..Default::default() };
+        let p = Benchmark::Mcf.build(&params);
+
+        // Cold run.
+        let mut cpu = Cpu::new(&p).unwrap();
+        cpu.run(50_000).unwrap();
+        let (mut hier, mut pred) = machine();
+        let cold =
+            simulate_cluster(&CoreConfig::paper(), &mut cpu, &mut hier, &mut pred, 5_000).unwrap();
+
+        // Warmed run: functionally warm the caches over the same skip.
+        let mut cpu = Cpu::new(&p).unwrap();
+        let (mut hier, mut pred) = machine();
+        for _ in 0..50_000 {
+            let r = cpu.step().unwrap();
+            if let Some(m) = r.mem {
+                hier.warm_access(
+                    m.addr,
+                    if m.is_store { HierAccess::Store } else { HierAccess::Load },
+                );
+            }
+            hier.warm_access(r.pc, HierAccess::Fetch);
+            if let Some(b) = r.branch {
+                pred.warm_update(r.pc, to_pred_kind(b.kind), b.taken, b.target);
+            }
+        }
+        let warm =
+            simulate_cluster(&CoreConfig::paper(), &mut cpu, &mut hier, &mut pred, 5_000).unwrap();
+
+        assert!(
+            warm.cycles < cold.cycles,
+            "warm {} vs cold {} cycles",
+            warm.cycles,
+            cold.cycles
+        );
+    }
+}

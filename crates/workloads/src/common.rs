@@ -1,0 +1,116 @@
+//! Shared code-generation helpers for the synthetic benchmarks.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsr_isa::{Asm, Reg};
+
+/// Emits an xorshift64 step on `state` (must hold a nonzero value), using
+/// `tmp` as scratch. Leaves the next pseudo-random value in `state`.
+///
+/// xorshift64: `x ^= x << 13; x ^= x >> 7; x ^= x << 17`.
+pub fn emit_xorshift64(a: &mut Asm, state: Reg, tmp: Reg) {
+    a.slli(tmp, state, 13);
+    a.xor(state, state, tmp);
+    a.srli(tmp, state, 7);
+    a.xor(state, state, tmp);
+    a.slli(tmp, state, 17);
+    a.xor(state, state, tmp);
+}
+
+/// Emits `dst = state % (2^pow2)` without disturbing `state`.
+pub fn emit_rand_mod_pow2(a: &mut Asm, dst: Reg, state: Reg, pow2: u32) {
+    debug_assert!(pow2 < 31);
+    a.andi(dst, state, (1i32 << pow2) - 1);
+}
+
+/// Deterministic RNG used to generate data sections.
+pub fn data_rng(seed: u64, salt: u64) -> StdRng {
+    StdRng::seed_from_u64(seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15))
+}
+
+/// A random permutation forming a single cycle over `0..n` (for pointer
+/// chases that visit every element before repeating).
+pub fn single_cycle_permutation(rng: &mut StdRng, n: usize) -> Vec<usize> {
+    let mut order: Vec<usize> = (0..n).collect();
+    // Sattolo's algorithm yields a uniform single-cycle permutation.
+    for i in (1..n).rev() {
+        let j = rng.gen_range(0..i);
+        order.swap(i, j);
+    }
+    // order is a cyclic sequence; perm[x] = successor of x in the cycle.
+    let mut perm = vec![0usize; n];
+    for w in order.windows(2) {
+        perm[w[0]] = w[1];
+    }
+    if n > 0 {
+        perm[order[n - 1]] = order[0];
+    }
+    perm
+}
+
+/// Ensures a seed is nonzero (xorshift64 fixes the zero state).
+pub fn nonzero_seed(seed: u64) -> u64 {
+    if seed == 0 {
+        0x5eed_5eed_5eed_5eed
+    } else {
+        seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsr_func::Cpu;
+
+    #[test]
+    fn xorshift_matches_reference() {
+        // Reference implementation.
+        let mut x: u64 = 0x12345;
+        let expected: Vec<u64> = (0..5)
+            .map(|_| {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                x
+            })
+            .collect();
+
+        let mut a = Asm::new();
+        let out = a.data_zeros(5 * 8);
+        a.li(Reg::S0, 0x12345);
+        a.la(Reg::S1, out);
+        for i in 0..5 {
+            emit_xorshift64(&mut a, Reg::S0, Reg::T0);
+            a.sd(Reg::S0, i * 8, Reg::S1);
+        }
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p).unwrap();
+        cpu.run(u64::MAX).unwrap();
+        for (i, &e) in expected.iter().enumerate() {
+            assert_eq!(cpu.mem_mut().read_u64(out + i as u64 * 8), e);
+        }
+    }
+
+    #[test]
+    fn single_cycle_visits_everything() {
+        let mut rng = data_rng(7, 1);
+        let n = 257;
+        let perm = single_cycle_permutation(&mut rng, n);
+        let mut seen = vec![false; n];
+        let mut at = 0usize;
+        for _ in 0..n {
+            assert!(!seen[at], "cycle shorter than n");
+            seen[at] = true;
+            at = perm[at];
+        }
+        assert_eq!(at, 0, "must return to start after n hops");
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn nonzero_seed_fixes_zero() {
+        assert_ne!(nonzero_seed(0), 0);
+        assert_eq!(nonzero_seed(42), 42);
+    }
+}

@@ -1,0 +1,104 @@
+//! `ammp` analog: floating-point force computation with a neighbor list.
+//!
+//! SPEC2000 `188.ammp` (molecular dynamics) computes pairwise forces over
+//! neighbor lists: long-latency FP chains (divide/sqrt) fed by indexed
+//! gather loads. The synthetic version walks a particle array and, per
+//! particle, accumulates an inverse-distance interaction with four
+//! pseudo-random neighbors.
+
+use rand::Rng as _;
+use rsr_isa::{Asm, Freg, Program, Reg};
+
+use crate::common::data_rng;
+use crate::WorkloadParams;
+
+const PARTICLE_BYTES: u64 = 32; // x, y, z, force
+
+/// Builds the program.
+pub fn build(params: &WorkloadParams) -> Program {
+    let n = (params.scaled_count(16_384).max(64)).next_power_of_two(); // 512 KB particles
+    let neighbors = 4usize;
+    let mut rng = data_rng(params.seed, 0x616d70);
+
+    let mut a = Asm::new();
+    let mut pdata: Vec<f64> = Vec::with_capacity(n * 4);
+    for _ in 0..n {
+        pdata.push(rng.gen_range(-10.0..10.0));
+        pdata.push(rng.gen_range(-10.0..10.0));
+        pdata.push(rng.gen_range(-10.0..10.0));
+        pdata.push(0.0);
+    }
+    let particles = a.data_f64(&pdata);
+    // Neighbor list: byte offsets of neighbor particles (pre-scaled).
+    let nlist: Vec<u64> = (0..n * neighbors)
+        .map(|_| rng.gen_range(0..n as u64) * PARTICLE_BYTES)
+        .collect();
+    let nbase = a.data_u64(&nlist);
+
+    a.la(Reg::S1, particles);
+    a.la(Reg::S2, nbase);
+    a.li(Reg::S3, n as i64);
+
+    let outer = a.bind_new("sweep");
+    a.mv(Reg::T0, Reg::S1); // particle cursor
+    a.mv(Reg::T1, Reg::S2); // neighbor cursor
+    a.li(Reg::T2, 0); // i
+
+    let per_particle = a.bind_new("particle");
+    a.fld(Freg::F0, 0, Reg::T0); // x
+    a.fld(Freg::F1, 8, Reg::T0); // y
+    a.fld(Freg::F2, 16, Reg::T0); // z
+    a.fld(Freg::F7, 24, Reg::T0); // force accumulator
+    for k in 0..neighbors {
+        a.ld(Reg::T3, (k * 8) as i32, Reg::T1); // neighbor byte offset
+        a.add(Reg::T3, Reg::T3, Reg::S1);
+        a.fld(Freg::F3, 0, Reg::T3);
+        a.fld(Freg::F4, 8, Reg::T3);
+        a.fld(Freg::F5, 16, Reg::T3);
+        a.fsub(Freg::F3, Freg::F3, Freg::F0); // dx
+        a.fsub(Freg::F4, Freg::F4, Freg::F1); // dy
+        a.fsub(Freg::F5, Freg::F5, Freg::F2); // dz
+        a.fmul(Freg::F3, Freg::F3, Freg::F3);
+        a.fmul(Freg::F4, Freg::F4, Freg::F4);
+        a.fmul(Freg::F5, Freg::F5, Freg::F5);
+        a.fadd(Freg::F3, Freg::F3, Freg::F4);
+        a.fadd(Freg::F3, Freg::F3, Freg::F5); // r^2
+        if k % 2 == 0 {
+            // 1/sqrt(r^2 + 1): the expensive interaction.
+            a.li(Reg::T4, 1);
+            a.fcvt_d_l(Freg::F6, Reg::T4);
+            a.fadd(Freg::F3, Freg::F3, Freg::F6);
+            a.fsqrt(Freg::F3, Freg::F3);
+            a.fdiv(Freg::F3, Freg::F6, Freg::F3);
+        }
+        a.fadd(Freg::F7, Freg::F7, Freg::F3);
+    }
+    a.fsd(Freg::F7, 24, Reg::T0); // store force
+    a.addi(Reg::T0, Reg::T0, PARTICLE_BYTES as i32);
+    a.addi(Reg::T1, Reg::T1, (neighbors * 8) as i32);
+    a.addi(Reg::T2, Reg::T2, 1);
+    a.blt(Reg::T2, Reg::S3, per_particle);
+    a.j(outer);
+    a.finish().expect("ammp assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::smoke_run;
+
+    #[test]
+    fn runs_with_fp_and_gathers() {
+        let stats = smoke_run(build(&WorkloadParams { scale: 0.2, ..Default::default() }), 60_000);
+        assert!(stats.fp_ops > 15_000, "fp: {}", stats.fp_ops);
+        assert!(stats.loads > 10_000);
+        assert!(stats.stores > 300);
+        assert!(stats.taken_ratio() > 0.9); // tight loop
+    }
+
+    #[test]
+    fn gathers_spread_lines() {
+        let stats = smoke_run(build(&WorkloadParams { scale: 0.2, ..Default::default() }), 60_000);
+        assert!(stats.distinct_lines > 800);
+    }
+}

@@ -1,0 +1,79 @@
+//! `art` analog: streaming floating-point over arrays larger than the L2.
+//!
+//! SPEC2000 `179.art` (neural-network image recognition) streams through
+//! large weight arrays with unit stride, producing very high L1/L2 miss
+//! traffic and a low, memory-bound IPC. The synthetic version computes
+//! repeated dot products and a max-scan over two multi-megabyte `f64`
+//! arrays.
+
+use rand::Rng as _;
+use rsr_isa::{Asm, Freg, Program, Reg};
+
+use crate::common::data_rng;
+use crate::WorkloadParams;
+
+/// Builds the program.
+pub fn build(params: &WorkloadParams) -> Program {
+    let n = params.scaled_count(262_144).max(256); // 2 MB per array at scale 1.0
+    let mut rng = data_rng(params.seed, 0x617274);
+
+    let mut a = Asm::new();
+    let va: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let vb: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+    let base_a = a.data_f64(&va);
+    let base_b = a.data_f64(&vb);
+
+    a.li(Reg::S3, n as i64);
+    let outer = a.bind_new("outer");
+
+    // Pass 1: dot product A·B.
+    a.la(Reg::S1, base_a);
+    a.la(Reg::S2, base_b);
+    a.li(Reg::T3, 0); // i
+    a.fmv_d_x(Freg::F0, Reg::ZERO); // acc = 0.0
+    let dot = a.bind_new("dot");
+    a.fld(Freg::F1, 0, Reg::S1);
+    a.fld(Freg::F2, 0, Reg::S2);
+    a.fmul(Freg::F3, Freg::F1, Freg::F2);
+    a.fadd(Freg::F0, Freg::F0, Freg::F3);
+    a.addi(Reg::S1, Reg::S1, 8);
+    a.addi(Reg::S2, Reg::S2, 8);
+    a.addi(Reg::T3, Reg::T3, 1);
+    a.blt(Reg::T3, Reg::S3, dot);
+
+    // Pass 2: winner-take-all max scan of A (the "F1 layer" analog).
+    a.la(Reg::S1, base_a);
+    a.li(Reg::T3, 0);
+    a.fld(Freg::F4, 0, Reg::S1);
+    let scan = a.bind_new("scan");
+    a.fld(Freg::F5, 0, Reg::S1);
+    a.fmax(Freg::F4, Freg::F4, Freg::F5);
+    a.addi(Reg::S1, Reg::S1, 8);
+    a.addi(Reg::T3, Reg::T3, 1);
+    a.blt(Reg::T3, Reg::S3, scan);
+
+    a.j(outer);
+    a.finish().expect("art assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::smoke_run;
+
+    #[test]
+    fn runs_and_streams() {
+        let stats = smoke_run(build(&WorkloadParams { scale: 0.05, ..Default::default() }), 60_000);
+        assert!(stats.loads > 10_000);
+        assert!(stats.fp_ops > 10_000, "fp ops: {}", stats.fp_ops);
+        // Loop branches are overwhelmingly taken.
+        assert!(stats.taken_ratio() > 0.9);
+    }
+
+    #[test]
+    fn sequential_lines() {
+        let stats = smoke_run(build(&WorkloadParams { scale: 0.05, ..Default::default() }), 60_000);
+        // Unit-stride streaming touches many distinct lines.
+        assert!(stats.distinct_lines > 1_000);
+    }
+}

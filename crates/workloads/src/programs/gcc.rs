@@ -1,0 +1,111 @@
+//! `gcc` analog: a large, branchy static code footprint.
+//!
+//! SPEC2000 `176.gcc` has one of the biggest instruction working sets in the
+//! suite — thousands of hot basic blocks with irregular conditional control
+//! flow. The synthetic version generates a long chain of generated basic
+//! blocks (enough to pressure the 64 KB L1I), each ending in a conditional
+//! branch whose bias is chosen per block (some near-always-taken, some
+//! 50/50), over a modest data working set.
+
+use rand::Rng as _;
+use rsr_isa::{Asm, Label, Program, Reg};
+
+use crate::common::{data_rng, emit_xorshift64, nonzero_seed};
+use crate::WorkloadParams;
+
+/// Builds the program.
+pub fn build(params: &WorkloadParams) -> Program {
+    // ~1000 blocks ≈ 12k instructions ≈ 48 KB of text at scale 1.0.
+    let blocks = params.scaled_count(1000).clamp(16, 3000);
+    let mut rng = data_rng(params.seed, 0x676363);
+
+    let mut a = Asm::new();
+    let scratch = a.data_zeros(4096);
+
+    a.li(Reg::S0, nonzero_seed(params.seed) as i64);
+    a.la(Reg::S1, scratch);
+    a.li(Reg::S2, 0);
+
+    let labels: Vec<Label> =
+        (0..blocks).map(|i| a.new_label(&format!("bb{i}"))).collect();
+    let top = labels[0];
+
+    for i in 0..blocks {
+        a.bind(labels[i]).unwrap();
+        // Block body: a few ALU ops; some blocks touch the scratch buffer.
+        let body = rng.gen_range(3..9);
+        for k in 0..body {
+            match (i + k) % 5 {
+                0 => {
+                    a.add(Reg::S2, Reg::S2, Reg::S0);
+                }
+                1 => {
+                    a.xori(Reg::T1, Reg::S2, 0x155);
+                }
+                2 => {
+                    a.slli(Reg::T2, Reg::S2, 3);
+                }
+                3 => {
+                    // Scratch-buffer load (small working set, mostly L1 hits).
+                    a.andi(Reg::T0, Reg::S2, 0xff8);
+                    a.add(Reg::T0, Reg::T0, Reg::S1);
+                    a.ld(Reg::T1, 0, Reg::T0);
+                }
+                _ => {
+                    a.sub(Reg::S2, Reg::S2, Reg::T2);
+                }
+            }
+        }
+        if i % 7 == 0 {
+            // Refresh entropy so branch conditions keep moving.
+            emit_xorshift64(&mut a, Reg::S0, Reg::T0);
+            a.andi(Reg::T3, Reg::S0, 0xff0);
+            a.add(Reg::T3, Reg::T3, Reg::S1);
+            a.sd(Reg::S2, 0, Reg::T3);
+        }
+        // Block-specific branch bias: mask 0 => never taken (fallthrough),
+        // bigger masks => rarer taken, mask 1 => 50/50.
+        let mask = match rng.gen_range(0..10) {
+            0..=3 => 0,     // straight-line code
+            4..=6 => 1,     // coin flip
+            7 | 8 => 3,     // taken 25%
+            _ => 7,         // taken 12.5%
+        };
+        // Skip over the next block when the masked bits are all zero. Tail
+        // blocks fall through (a backward conditional to `top` could exceed
+        // the branch encoding range in big builds; the final `j` handles it).
+        if mask == 0 || i + 2 >= blocks {
+            a.nop();
+        } else {
+            a.andi(Reg::T4, Reg::S0, mask);
+            a.beq(Reg::T4, Reg::ZERO, labels[i + 2]);
+        }
+        if i + 1 == blocks {
+            a.j(top);
+        }
+    }
+    a.finish().expect("gcc assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::smoke_run;
+
+    #[test]
+    fn runs_with_many_static_branches() {
+        let p = build(&WorkloadParams::default());
+        // Big code footprint: more than 8k static instructions.
+        assert!(p.text().len() > 8_000, "text: {}", p.text().len());
+        let stats = smoke_run(p, 60_000);
+        assert!(stats.cond_branches > 2_000);
+        assert!(stats.distinct_pcs > 2_000, "pcs: {}", stats.distinct_pcs);
+    }
+
+    #[test]
+    fn scale_shrinks_code() {
+        let small = build(&WorkloadParams { scale: 0.1, ..Default::default() });
+        let big = build(&WorkloadParams::default());
+        assert!(small.text().len() < big.text().len() / 4);
+    }
+}

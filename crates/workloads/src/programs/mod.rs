@@ -1,0 +1,11 @@
+//! One module per synthetic SPEC2000 analog.
+
+pub mod ammp;
+pub mod art;
+pub mod gcc;
+pub mod mcf;
+pub mod parser;
+pub mod perl;
+pub mod twolf;
+pub mod vortex;
+pub mod vpr;

@@ -1,0 +1,124 @@
+//! `parser` analog: hash-table probing plus bursts of recursion.
+//!
+//! SPEC2000 `197.parser` (link-grammar English parser) spends its time in
+//! dictionary hash lookups and deeply recursive linkage search. The
+//! synthetic version probes a chained hash table (≈ 0.75 MB working set,
+//! L2-resident but L1-hostile) and makes a short recursive call burst per
+//! iteration to exercise the call/return stack.
+
+use rand::Rng as _;
+use rsr_isa::{Asm, Program, Reg};
+
+use crate::common::{data_rng, emit_xorshift64, nonzero_seed};
+use crate::WorkloadParams;
+
+/// Builds the program.
+pub fn build(params: &WorkloadParams) -> Program {
+    let buckets = (params.scaled_count(32_768).max(64)).next_power_of_two();
+    let pool = params.scaled_count(24_576).max(64); // chain nodes (24 B each)
+    let mut rng = data_rng(params.seed, 0x706172);
+
+    let mut a = Asm::new();
+
+    // Node pool: [key, value, next_addr] triples.
+    let node_bytes = 24u64;
+    let pool_base = a.data_align(8) + buckets as u64 * 8;
+    // Heads table first, then pool, laid out back-to-back.
+    let mut heads = vec![0u64; buckets];
+    let mut nodes: Vec<u64> = Vec::with_capacity(pool * 3);
+    for i in 0..pool {
+        let key = rng.gen::<u64>() | 1;
+        let bucket = (key.wrapping_mul(0x9e37_79b9_7f4a_7c15) >> 40) as usize % buckets;
+        let addr = pool_base + i as u64 * node_bytes;
+        nodes.push(key);
+        nodes.push(rng.gen_range(0..1000));
+        nodes.push(heads[bucket]); // chain to previous head (0 = end)
+        heads[bucket] = addr;
+    }
+    let heads_base = a.data_u64(&heads);
+    let placed_pool = a.data_u64(&nodes);
+    debug_assert_eq!(placed_pool, pool_base);
+
+    // rec(depth in A0): recursive descent burning stack and returns.
+    let rec = a.new_label("rec");
+    let entry = a.new_label("entry");
+    a.set_entry(entry);
+    a.bind(rec).unwrap();
+    let rec_base = a.new_label("rec_base");
+    a.beq(Reg::A0, Reg::ZERO, rec_base);
+    a.addi(Reg::SP, Reg::SP, -16);
+    a.sd(Reg::RA, 0, Reg::SP);
+    a.sd(Reg::A0, 8, Reg::SP);
+    a.addi(Reg::A0, Reg::A0, -1);
+    a.call(rec);
+    a.ld(Reg::A0, 8, Reg::SP);
+    a.ld(Reg::RA, 0, Reg::SP);
+    a.addi(Reg::SP, Reg::SP, 16);
+    a.add(Reg::A1, Reg::A1, Reg::A0);
+    a.ret();
+    a.bind(rec_base).unwrap();
+    a.addi(Reg::A1, Reg::A1, 1);
+    a.ret();
+
+    // Main loop.
+    a.bind(entry).unwrap();
+    a.li(Reg::S0, nonzero_seed(params.seed) as i64);
+    a.la(Reg::S1, heads_base);
+    a.li(Reg::S2, 0); // hits accumulator
+    let hash_mul = 0x9e37_79b9_7f4a_7c15u64 as i64;
+    a.li(Reg::S3, hash_mul);
+    let top = a.bind_new("lookup");
+    emit_xorshift64(&mut a, Reg::S0, Reg::T0);
+    // Probe with a key drawn from the same distribution as insertion
+    // (hits and misses both occur).
+    a.ori(Reg::T1, Reg::S0, 1); // key
+    a.mul(Reg::T2, Reg::T1, Reg::S3);
+    a.srli(Reg::T2, Reg::T2, 40);
+    a.li(Reg::T3, buckets as i64 - 1);
+    a.and(Reg::T2, Reg::T2, Reg::T3);
+    a.slli(Reg::T2, Reg::T2, 3);
+    a.add(Reg::T2, Reg::T2, Reg::S1);
+    a.ld(Reg::T4, 0, Reg::T2); // chain head
+    let walk = a.bind_new("walk");
+    let done = a.new_label("done");
+    a.beq(Reg::T4, Reg::ZERO, done);
+    a.ld(Reg::T5, 0, Reg::T4); // node key
+    let miss = a.new_label("miss");
+    a.bne(Reg::T5, Reg::T1, miss);
+    a.ld(Reg::T6, 8, Reg::T4); // value
+    a.add(Reg::S2, Reg::S2, Reg::T6);
+    a.j(done);
+    a.bind(miss).unwrap();
+    a.ld(Reg::T4, 16, Reg::T4); // next
+    a.j(walk);
+    a.bind(done).unwrap();
+    // Recursion burst: depth = rand & 7.
+    a.andi(Reg::A0, Reg::S0, 7);
+    a.li(Reg::A1, 0);
+    a.call(rec);
+    a.add(Reg::S2, Reg::S2, Reg::A1);
+    a.j(top);
+    a.finish().expect("parser assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::smoke_run;
+
+    #[test]
+    fn runs_with_calls_and_loads() {
+        let stats = smoke_run(build(&WorkloadParams { scale: 0.2, ..Default::default() }), 60_000);
+        assert!(stats.calls > 1_000, "calls: {}", stats.calls);
+        assert!(stats.returns > 1_000);
+        assert!(stats.loads > 5_000);
+    }
+
+    #[test]
+    fn calls_balance_returns() {
+        let stats = smoke_run(build(&WorkloadParams { scale: 0.2, ..Default::default() }), 60_000);
+        let diff = stats.calls.abs_diff(stats.returns);
+        // In-flight recursion depth bounds the imbalance.
+        assert!(diff <= 16, "calls {} returns {}", stats.calls, stats.returns);
+    }
+}

@@ -1,0 +1,169 @@
+//! `perl` analog: a bytecode interpreter dispatch loop.
+//!
+//! SPEC2000 `253.perlbmk` is an interpreter: its signature behavior is an
+//! indirect jump per virtual instruction (the opcode dispatch), which
+//! stresses the BTB and makes branch state expensive to lose. The synthetic
+//! version interprets a random bytecode program over a small stack machine,
+//! dispatching through an in-memory jump table with `jalr`.
+
+use rand::Rng as _;
+use rsr_isa::{Asm, Program, Reg};
+
+use crate::common::{data_rng, emit_xorshift64, nonzero_seed};
+use crate::WorkloadParams;
+
+const NUM_OPS: usize = 12;
+
+/// Builds the program.
+pub fn build(params: &WorkloadParams) -> Program {
+    let code_len = params.scaled_count(8192).max(64);
+    let mut rng = data_rng(params.seed, 0x706c);
+
+    let mut a = Asm::new();
+    // Bytecode: one opcode per byte, biased toward cheap ops.
+    let bytecode: Vec<u8> =
+        (0..code_len).map(|_| rng.gen_range(0..NUM_OPS as u8)).collect();
+    let code_base = a.data_bytes(&bytecode);
+    // Generous VM stack buffer: opcode mix drifts the stack pointer
+    // downward (~0.7 B/op), so leave plenty of slack on both sides.
+    let stack_base = a.data_zeros(64 * 1024) + 32 * 1024;
+    let table_slot = a.data_zeros(NUM_OPS as u64 * 8); // handler table, patched below
+
+    // Register map: S1 = ip (byte addr), S2 = VM stack ptr, S3 = table base,
+    // S4 = code end, S5 = code base, S0 = rng.
+    let entry = a.new_label("entry");
+    a.set_entry(entry);
+
+    // Handlers: each ends by jumping to the dispatcher.
+    let dispatch = a.new_label("dispatch");
+    let mut handler_addrs = Vec::with_capacity(NUM_OPS);
+    for op in 0..NUM_OPS {
+        let l = a.bind_new(&format!("op{op}"));
+        handler_addrs.push(a.label_addr(l).expect("just bound"));
+        match op {
+            0 => {
+                // PUSH rand
+                emit_xorshift64(&mut a, Reg::S0, Reg::T0);
+                a.sd(Reg::S0, 0, Reg::S2);
+                a.addi(Reg::S2, Reg::S2, 8);
+            }
+            1 => {
+                // POP
+                a.addi(Reg::S2, Reg::S2, -8);
+            }
+            2 | 3 => {
+                // ADD/XOR top two (in place on top-1)
+                a.ld(Reg::T1, -8, Reg::S2);
+                a.ld(Reg::T2, -16, Reg::S2);
+                if op == 2 {
+                    a.add(Reg::T1, Reg::T1, Reg::T2);
+                } else {
+                    a.xor(Reg::T1, Reg::T1, Reg::T2);
+                }
+                a.sd(Reg::T1, -16, Reg::S2);
+                a.addi(Reg::S2, Reg::S2, -8);
+            }
+            4 => {
+                // DUP
+                a.ld(Reg::T1, -8, Reg::S2);
+                a.sd(Reg::T1, 0, Reg::S2);
+                a.addi(Reg::S2, Reg::S2, 8);
+            }
+            5 => {
+                // SHIFT-MIX
+                a.ld(Reg::T1, -8, Reg::S2);
+                a.slli(Reg::T2, Reg::T1, 7);
+                a.xor(Reg::T1, Reg::T1, Reg::T2);
+                a.sd(Reg::T1, -8, Reg::S2);
+            }
+            6 => {
+                // JUMP-ODD: skip next bytecode if top is odd
+                a.ld(Reg::T1, -8, Reg::S2);
+                a.andi(Reg::T1, Reg::T1, 1);
+                let even = a.new_label(&format!("op{op}_even"));
+                a.beq(Reg::T1, Reg::ZERO, even);
+                a.addi(Reg::S1, Reg::S1, 1);
+                a.bind(even).unwrap();
+            }
+            _ => {
+                // Arithmetic filler with varying latency.
+                a.ld(Reg::T1, -8, Reg::S2);
+                if op == 7 {
+                    a.mul(Reg::T1, Reg::T1, Reg::T1);
+                } else {
+                    a.addi(Reg::T1, Reg::T1, op as i32);
+                }
+                a.sd(Reg::T1, -8, Reg::S2);
+            }
+        }
+        // Underflow guard: keep the VM stack pointer in its buffer.
+        a.j(dispatch);
+    }
+
+    // Entry: initialize, patch the handler table (it only holds text
+    // addresses, which are known now).
+    a.bind(entry).unwrap();
+    a.li(Reg::S0, nonzero_seed(params.seed) as i64);
+    a.la(Reg::S5, code_base);
+    a.mv(Reg::S1, Reg::S5);
+    a.la(Reg::S2, stack_base);
+    a.la(Reg::S3, table_slot);
+    a.li(Reg::S4, (code_base + code_len as u64) as i64);
+    // Seed the stack with a couple of values so pops never underflow badly.
+    for k in 0..8 {
+        a.li(Reg::T1, 1000 + k);
+        a.sd(Reg::T1, 0, Reg::S2);
+        a.addi(Reg::S2, Reg::S2, 8);
+    }
+
+    // Dispatcher.
+    a.bind(dispatch).unwrap();
+    // Clamp the VM stack pointer into [stack_base-2k, stack_base+2k].
+    a.lbu(Reg::T0, 0, Reg::S1); // opcode
+    a.addi(Reg::S1, Reg::S1, 1);
+    let no_wrap = a.new_label("no_wrap");
+    a.blt(Reg::S1, Reg::S4, no_wrap);
+    a.mv(Reg::S1, Reg::S5); // wrap ip
+    a.la(Reg::S2, stack_base); // and reset the VM stack
+    a.addi(Reg::S2, Reg::S2, 64);
+    a.bind(no_wrap).unwrap();
+    a.slli(Reg::T1, Reg::T0, 3);
+    a.add(Reg::T1, Reg::T1, Reg::S3);
+    a.ld(Reg::T2, 0, Reg::T1); // handler address
+    a.jr(Reg::T2); // indirect dispatch
+
+    let mut prog = a.finish().expect("perl assembles");
+    // Patch the handler table into the data image.
+    patch_table(&mut prog, table_slot, &handler_addrs);
+    prog
+}
+
+/// Writes handler addresses into the program's data section.
+fn patch_table(prog: &mut Program, table_addr: u64, handlers: &[u64]) {
+    let off = (table_addr - prog.data_base()) as usize;
+    let data = prog.data_mut();
+    for (i, &h) in handlers.iter().enumerate() {
+        data[off + i * 8..off + i * 8 + 8].copy_from_slice(&h.to_le_bytes());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::smoke_run;
+
+    #[test]
+    fn runs_with_indirect_jumps() {
+        let stats = smoke_run(build(&WorkloadParams { scale: 0.2, ..Default::default() }), 60_000);
+        assert!(stats.indirect_jumps > 2_000, "indirect: {}", stats.indirect_jumps);
+        assert!(stats.loads > 4_000);
+        assert!(stats.stores > 1_000);
+    }
+
+    #[test]
+    fn different_seeds_interpret_different_bytecode() {
+        let p1 = build(&WorkloadParams { seed: 1, scale: 0.1 });
+        let p2 = build(&WorkloadParams { seed: 2, scale: 0.1 });
+        assert_ne!(p1.data(), p2.data());
+    }
+}

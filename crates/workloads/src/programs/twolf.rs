@@ -1,0 +1,78 @@
+//! `twolf` analog: simulated annealing over a placement array.
+//!
+//! SPEC2000 `300.twolf` (standard-cell place and route) repeatedly proposes
+//! random cell swaps and accepts or rejects them on a data-dependent cost
+//! comparison — a hard-to-predict branch plus scattered memory access. The
+//! synthetic version does exactly that over a 512 KB cell array.
+
+use rand::Rng as _;
+use rsr_isa::{Asm, Program, Reg};
+
+use crate::common::{data_rng, emit_xorshift64, nonzero_seed};
+use crate::WorkloadParams;
+
+/// Builds the program.
+pub fn build(params: &WorkloadParams) -> Program {
+    let cells = (params.scaled_count(65_536).max(64)).next_power_of_two(); // 512 KB
+    let mut rng = data_rng(params.seed, 0x74776f);
+
+    let mut a = Asm::new();
+    let costs: Vec<u64> = (0..cells).map(|_| rng.gen_range(0..1 << 20)).collect();
+    let base = a.data_u64(&costs);
+
+    a.li(Reg::S0, nonzero_seed(params.seed) as i64);
+    a.la(Reg::S1, base);
+    a.li(Reg::S2, cells as i64 - 1);
+    a.li(Reg::S3, 0); // accepted-swap counter
+
+    let top = a.bind_new("anneal");
+    // Propose: two random cells.
+    emit_xorshift64(&mut a, Reg::S0, Reg::T0);
+    a.and(Reg::T1, Reg::S0, Reg::S2);
+    a.srli(Reg::T2, Reg::S0, 21);
+    a.and(Reg::T2, Reg::T2, Reg::S2);
+    a.slli(Reg::T1, Reg::T1, 3);
+    a.slli(Reg::T2, Reg::T2, 3);
+    a.add(Reg::T1, Reg::T1, Reg::S1);
+    a.add(Reg::T2, Reg::T2, Reg::S1);
+    a.ld(Reg::T3, 0, Reg::T1); // cost A
+    a.ld(Reg::T4, 0, Reg::T2); // cost B
+    // Accept if swapping lowers "cost" XOR a temperature bit — close to a
+    // coin flip that depends on loaded data (hard to predict).
+    a.sub(Reg::T5, Reg::T3, Reg::T4);
+    a.srli(Reg::T6, Reg::S0, 43);
+    a.andi(Reg::T6, Reg::T6, 1);
+    a.slt(Reg::T5, Reg::T5, Reg::ZERO);
+    a.xor(Reg::T5, Reg::T5, Reg::T6);
+    let reject = a.new_label("reject");
+    a.beq(Reg::T5, Reg::ZERO, reject);
+    // Accept: swap the two cells.
+    a.sd(Reg::T4, 0, Reg::T1);
+    a.sd(Reg::T3, 0, Reg::T2);
+    a.addi(Reg::S3, Reg::S3, 1);
+    a.bind(reject).unwrap();
+    a.j(top);
+    a.finish().expect("twolf assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::smoke_run;
+
+    #[test]
+    fn runs_with_hard_branches() {
+        let stats = smoke_run(build(&WorkloadParams { scale: 0.2, ..Default::default() }), 60_000);
+        assert!(stats.cond_branches > 2_000);
+        // The accept branch should be genuinely mixed.
+        assert!(stats.taken_ratio() > 0.25 && stats.taken_ratio() < 0.75,
+            "taken ratio: {}", stats.taken_ratio());
+        assert!(stats.stores > 500);
+    }
+
+    #[test]
+    fn random_access_spreads_lines() {
+        let stats = smoke_run(build(&WorkloadParams { scale: 0.2, ..Default::default() }), 60_000);
+        assert!(stats.distinct_lines > 1_000);
+    }
+}

@@ -1,0 +1,143 @@
+//! `vortex` analog: an object store with virtual-method dispatch.
+//!
+//! SPEC2000 `255.vortex` is an object-oriented database: pointer-rich object
+//! traversal with very frequent calls and returns. The synthetic version
+//! keeps a heap of typed objects and, per transaction, selects one
+//! pseudo-randomly, dispatches an indirect call through a per-type method
+//! table, and lets methods call a shared helper — exercising the RAS and
+//! BTB heavily.
+
+use rand::Rng as _;
+use rsr_isa::{Asm, Program, Reg};
+
+use crate::common::{data_rng, emit_xorshift64, nonzero_seed};
+use crate::WorkloadParams;
+
+const NUM_TYPES: usize = 8;
+
+/// Builds the program.
+pub fn build(params: &WorkloadParams) -> Program {
+    let objects = (params.scaled_count(16_384).max(64)).next_power_of_two(); // 1 MB heap
+    let mut rng = data_rng(params.seed, 0x766f72);
+
+    let mut a = Asm::new();
+    // Object heap: [type, f0, f1, f2, …] per 64-byte object.
+    let mut words: Vec<u64> = Vec::with_capacity(objects * 8);
+    for _ in 0..objects {
+        words.push(rng.gen_range(0..NUM_TYPES as u64));
+        for _ in 0..7 {
+            words.push(rng.gen_range(0..1_000_000));
+        }
+    }
+    let heap = a.data_u64(&words);
+    let vtable = a.data_zeros(NUM_TYPES as u64 * 8);
+
+    let entry = a.new_label("entry");
+    a.set_entry(entry);
+
+    // Shared helper: mixes two fields (leaf function).
+    let helper = a.bind_new("helper");
+    a.ld(Reg::T1, 16, Reg::A0);
+    a.ld(Reg::T2, 24, Reg::A0);
+    a.add(Reg::T1, Reg::T1, Reg::T2);
+    a.sd(Reg::T1, 16, Reg::A0);
+    a.ret();
+
+    // Methods: A0 = object address. Each reads/writes fields; some call the
+    // helper (two-deep call chains).
+    let mut method_addrs = Vec::with_capacity(NUM_TYPES);
+    for t in 0..NUM_TYPES {
+        let l = a.bind_new(&format!("method{t}"));
+        method_addrs.push(a.label_addr(l).expect("bound"));
+        a.ld(Reg::T1, 8, Reg::A0);
+        match t % 4 {
+            0 => {
+                a.addi(Reg::T1, Reg::T1, 1);
+                a.sd(Reg::T1, 8, Reg::A0);
+            }
+            1 => {
+                a.slli(Reg::T2, Reg::T1, 1);
+                a.xor(Reg::T1, Reg::T1, Reg::T2);
+                a.sd(Reg::T1, 32, Reg::A0);
+            }
+            2 => {
+                // Nested call.
+                a.addi(Reg::SP, Reg::SP, -8);
+                a.sd(Reg::RA, 0, Reg::SP);
+                a.call(helper);
+                a.ld(Reg::RA, 0, Reg::SP);
+                a.addi(Reg::SP, Reg::SP, 8);
+            }
+            _ => {
+                a.ld(Reg::T2, 40, Reg::A0);
+                a.add(Reg::T1, Reg::T1, Reg::T2);
+                a.sd(Reg::T1, 40, Reg::A0);
+            }
+        }
+        a.ret();
+    }
+
+    a.bind(entry).unwrap();
+    a.li(Reg::S0, nonzero_seed(params.seed) as i64);
+    a.la(Reg::S1, heap);
+    a.la(Reg::S2, vtable);
+    a.li(Reg::S3, objects as i64 - 1);
+    a.li(Reg::S4, 0); // committed-transaction counter
+    let top = a.bind_new("txn");
+    emit_xorshift64(&mut a, Reg::S0, Reg::T0);
+    // Pick an object.
+    a.and(Reg::T1, Reg::S0, Reg::S3);
+    a.slli(Reg::T1, Reg::T1, 6);
+    a.add(Reg::A0, Reg::T1, Reg::S1);
+    // Validity check: objects with an odd second field are "locked" and
+    // skipped (a data-dependent conditional, as a DB transaction would).
+    a.ld(Reg::T4, 8, Reg::A0);
+    a.andi(Reg::T4, Reg::T4, 1);
+    let locked = a.new_label("locked");
+    a.bne(Reg::T4, Reg::ZERO, locked);
+    // Virtual dispatch on its type.
+    a.ld(Reg::T2, 0, Reg::A0);
+    a.slli(Reg::T2, Reg::T2, 3);
+    a.add(Reg::T2, Reg::T2, Reg::S2);
+    a.ld(Reg::T3, 0, Reg::T2);
+    a.call_reg(Reg::T3); // indirect call
+    a.addi(Reg::S4, Reg::S4, 1);
+    // Commit check: mostly-taken loop-back (a biased conditional).
+    a.bind(locked).unwrap();
+    a.andi(Reg::T5, Reg::S4, 0x3f);
+    let cont = a.new_label("cont");
+    a.bne(Reg::T5, Reg::ZERO, cont);
+    a.addi(Reg::S4, Reg::S4, 1); // periodic "checkpoint" work
+    a.bind(cont).unwrap();
+    a.j(top);
+
+    let mut prog = a.finish().expect("vortex assembles");
+    let off = (vtable - prog.data_base()) as usize;
+    let data = prog.data_mut();
+    for (i, &m) in method_addrs.iter().enumerate() {
+        data[off + i * 8..off + i * 8 + 8].copy_from_slice(&m.to_le_bytes());
+    }
+    prog
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::smoke_run;
+
+    #[test]
+    fn runs_with_indirect_calls_and_returns() {
+        let stats = smoke_run(build(&WorkloadParams { scale: 0.2, ..Default::default() }), 60_000);
+        assert!(stats.indirect_calls > 1_200, "icalls: {}", stats.indirect_calls);
+        assert!(stats.returns > 1_200);
+        assert!(stats.stores > 800);
+        // Transactions branch on object state (lock check + commit check).
+        assert!(stats.cond_branches > 2_000, "cond: {}", stats.cond_branches);
+    }
+
+    #[test]
+    fn object_heap_spreads_accesses() {
+        let stats = smoke_run(build(&WorkloadParams { scale: 0.2, ..Default::default() }), 60_000);
+        assert!(stats.distinct_lines > 500, "lines: {}", stats.distinct_lines);
+    }
+}

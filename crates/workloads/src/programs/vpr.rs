@@ -1,0 +1,95 @@
+//! `vpr` analog: greedy routing walks over a cost grid.
+//!
+//! SPEC2000 `175.vpr` (FPGA place & route) spends its routing phase
+//! expanding wavefronts over a 2-D routing-resource graph: neighbor cost
+//! loads with mixed spatial locality and comparison-heavy control flow. The
+//! synthetic version random-walks a 1 MB cost grid, stepping to the cheapest
+//! of the four neighbors and teleporting occasionally.
+
+use rand::Rng as _;
+use rsr_isa::{Asm, Program, Reg};
+
+use crate::common::{data_rng, emit_xorshift64, nonzero_seed};
+use crate::WorkloadParams;
+
+/// Builds the program.
+pub fn build(params: &WorkloadParams) -> Program {
+    // side*side u64 cells; side is a power of two.
+    let side = (params.scaled_count(362).max(16)).next_power_of_two(); // 512 -> 2 MB
+    let mut rng = data_rng(params.seed, 0x767072);
+
+    let mut a = Asm::new();
+    let costs: Vec<u64> = (0..side * side).map(|_| rng.gen_range(0..1 << 16)).collect();
+    let base = a.data_u64(&costs);
+    let mask = (side * side - 1) as i64;
+    let shift = side.trailing_zeros() as i32;
+
+    a.li(Reg::S0, nonzero_seed(params.seed) as i64);
+    a.la(Reg::S1, base);
+    a.li(Reg::S2, mask); // index mask
+    a.li(Reg::S4, 0); // position index
+    a.li(Reg::S5, 0); // step counter
+
+    let top = a.bind_new("route");
+    // Neighbor indices: ±1, ±side (wrapped by the index mask).
+    // Current best = self cost; then compare each neighbor.
+    a.slli(Reg::T0, Reg::S4, 3);
+    a.add(Reg::T0, Reg::T0, Reg::S1);
+    a.ld(Reg::T1, 0, Reg::T0); // best cost
+    a.mv(Reg::T2, Reg::S4); // best index
+
+    for (delta_kind, amount) in [(0, 1i64), (0, -1), (1, 1), (1, -1)] {
+        let skip = a.new_label("skip_n");
+        // neighbor = (pos + amount * (1 or side)) & mask
+        let step = if delta_kind == 0 { amount } else { amount << shift };
+        a.addi(Reg::T3, Reg::S4, step as i32);
+        a.and(Reg::T3, Reg::T3, Reg::S2);
+        a.slli(Reg::T4, Reg::T3, 3);
+        a.add(Reg::T4, Reg::T4, Reg::S1);
+        a.ld(Reg::T5, 0, Reg::T4); // neighbor cost
+        a.bge(Reg::T5, Reg::T1, skip); // keep best
+        a.mv(Reg::T1, Reg::T5);
+        a.mv(Reg::T2, Reg::T3);
+        a.bind(skip).unwrap();
+    }
+    a.mv(Reg::S4, Reg::T2); // move to cheapest neighbor
+    // Bump the visited cell's cost so walks don't get stuck in a basin.
+    a.slli(Reg::T0, Reg::S4, 3);
+    a.add(Reg::T0, Reg::T0, Reg::S1);
+    a.ld(Reg::T1, 0, Reg::T0);
+    a.addi(Reg::T1, Reg::T1, 64);
+    a.sd(Reg::T1, 0, Reg::T0);
+    // Teleport every 64 steps to a random net terminal.
+    a.addi(Reg::S5, Reg::S5, 1);
+    a.andi(Reg::T3, Reg::S5, 63);
+    let no_tp = a.new_label("no_teleport");
+    a.bne(Reg::T3, Reg::ZERO, no_tp);
+    emit_xorshift64(&mut a, Reg::S0, Reg::T0);
+    a.and(Reg::S4, Reg::S0, Reg::S2);
+    a.bind(no_tp).unwrap();
+    a.j(top);
+    a.finish().expect("vpr assembles")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::testutil::smoke_run;
+
+    #[test]
+    fn runs_with_neighbor_loads() {
+        let stats = smoke_run(build(&WorkloadParams { scale: 0.2, ..Default::default() }), 60_000);
+        // Five loads and a store per ~35-instruction iteration.
+        assert!(stats.loads > 6_000, "loads: {}", stats.loads);
+        assert!(stats.stores > 1_000);
+        assert!(stats.cond_branches > 6_000);
+    }
+
+    #[test]
+    fn walk_moves_around() {
+        // Greedy walks are locally sticky; teleports every 64 steps spread
+        // them. 60k instructions is ~1.7k steps ≈ 27 teleports.
+        let stats = smoke_run(build(&WorkloadParams { scale: 0.2, ..Default::default() }), 60_000);
+        assert!(stats.distinct_lines > 60, "lines: {}", stats.distinct_lines);
+    }
+}

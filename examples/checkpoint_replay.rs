@@ -1,0 +1,61 @@
+//! Domain study: live-points-style checkpoint reuse (paper §2, ref [18]).
+//!
+//! Builds a checkpoint library once (paying the full fast-forward + warm
+//! cost), then replays the sample repeatedly at a fraction of the cost —
+//! the storage-for-speed trade taken further than RSR's per-run logging.
+//!
+//! ```sh
+//! cargo run --release -p rsr-examples --example checkpoint_replay
+//! ```
+
+use rsr_ckpt::LivePointLibrary;
+use rsr_core::{run_full, MachineConfig, SamplingRegimen, WarmupPolicy};
+use rsr_examples::{banner, secs};
+use rsr_stats::relative_error;
+use rsr_workloads::{Benchmark, WorkloadParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    banner("live-points checkpoint replay on vortex");
+
+    let program = Benchmark::Vortex.build(&WorkloadParams::default());
+    let machine = MachineConfig::paper();
+    let total = 4_000_000;
+    let regimen = SamplingRegimen::new(40, 1500);
+
+    let truth = run_full(&program, &machine, total)?;
+    println!("true IPC {:.4} ({} full simulation)\n", truth.ipc(), secs(truth.wall));
+
+    let library = LivePointLibrary::build(
+        &program,
+        &machine,
+        regimen,
+        total,
+        WarmupPolicy::Smarts { cache: true, bp: true },
+        42,
+    )?;
+    let pages: usize = library.points().iter().map(|p| p.live_pages()).sum();
+    println!(
+        "library: {} points built in {} — {} live pages ({} KiB arch + ~{} KiB micro)",
+        library.len(),
+        secs(library.build_time),
+        pages,
+        library.approx_bytes() / 1024,
+        library.approx_micro_bytes() / 1024,
+    );
+
+    // Replay three times (e.g. three microarchitectural what-if studies
+    // that share the same sample points).
+    for round in 1..=3 {
+        let replay = library.replay(&machine)?;
+        println!(
+            "replay #{round}: IPC {:.4} (rel err {:.2}%) in {} — {:.0}x faster than building",
+            replay.est_ipc(),
+            100.0 * relative_error(truth.ipc(), replay.est_ipc()),
+            secs(replay.wall),
+            library.build_time.as_secs_f64() / replay.wall.as_secs_f64(),
+        );
+    }
+    println!("\nCheckpoints pin the warm-up policy and cluster positions at build");
+    println!("time; RSR instead logs per run, keeping cluster placement free.");
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! Shared helpers for the runnable examples.
+
+/// Prints a section banner.
+pub fn banner(title: &str) {
+    println!("\n{}", "=".repeat(title.len() + 4));
+    println!("| {title} |");
+    println!("{}", "=".repeat(title.len() + 4));
+}
+
+/// Formats seconds compactly for example output.
+pub fn secs(d: std::time::Duration) -> String {
+    let s = d.as_secs_f64();
+    if s >= 1.0 {
+        format!("{s:.2}s")
+    } else {
+        format!("{:.1}ms", s * 1000.0)
+    }
+}

@@ -1,0 +1,46 @@
+//! Warm-up shootout: every method of the paper's Table 2 on one workload,
+//! with accuracy, confidence, and phase timing side by side.
+//!
+//! ```sh
+//! cargo run --release -p rsr-examples --example warmup_shootout [benchmark]
+//! ```
+
+use rsr_core::{run_full, run_sampled, MachineConfig, SamplingRegimen, WarmupPolicy};
+use rsr_examples::{banner, secs};
+use rsr_stats::relative_error;
+use rsr_workloads::{Benchmark, WorkloadParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let bench = std::env::args()
+        .nth(1)
+        .and_then(|n| Benchmark::from_name(&n))
+        .unwrap_or(Benchmark::Parser);
+    banner(&format!("warm-up shootout on {bench}"));
+
+    let program = bench.build(&WorkloadParams::default());
+    let machine = MachineConfig::paper();
+    let total = 4_000_000;
+    let regimen = SamplingRegimen::new(30, 2000);
+
+    let truth = run_full(&program, &machine, total)?;
+    println!("true IPC {:.4} (full simulation took {})\n", truth.ipc(), secs(truth.wall));
+    println!(
+        "{:<14} {:>8} {:>9} {:>8} {:>10} {:>11} {:>10}",
+        "method", "IPC", "rel err", "CI pass", "total", "skip-phase", "hot"
+    );
+
+    for policy in WarmupPolicy::paper_matrix() {
+        let out = run_sampled(&program, &machine, regimen, total, policy, 42)?;
+        println!(
+            "{:<14} {:>8.4} {:>8.2}% {:>8} {:>10} {:>11} {:>10}",
+            policy.to_string(),
+            out.est_ipc(),
+            100.0 * relative_error(truth.ipc(), out.est_ipc()),
+            if out.predicts_true_ipc(truth.ipc()) { "yes" } else { "no" },
+            secs(out.phases.total()),
+            secs(out.phases.cold + out.phases.warm),
+            secs(out.phases.hot),
+        );
+    }
+    Ok(())
+}

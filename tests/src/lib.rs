@@ -1,0 +1,15 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use rsr_core::MachineConfig;
+use rsr_isa::Program;
+use rsr_workloads::{Benchmark, WorkloadParams};
+
+/// A small, fast workload build for integration tests.
+pub fn tiny(bench: Benchmark) -> Program {
+    bench.build(&WorkloadParams { scale: 0.05, ..Default::default() })
+}
+
+/// The paper machine.
+pub fn machine() -> MachineConfig {
+    MachineConfig::paper()
+}

@@ -1,0 +1,150 @@
+//! End-to-end sampled-simulation behavior across the whole stack.
+
+use rsr_core::{run_full, run_sampled, Pct, SamplingRegimen, WarmupPolicy};
+use rsr_integration::{machine, tiny};
+use rsr_stats::relative_error;
+use rsr_workloads::Benchmark;
+
+const TOTAL: u64 = 250_000;
+
+fn regimen() -> SamplingRegimen {
+    SamplingRegimen::new(10, 800)
+}
+
+#[test]
+fn every_paper_policy_completes_on_every_benchmark() {
+    // A broad smoke matrix at tiny scale: all 16 configurations must run
+    // to completion on all nine workloads and produce sane estimates.
+    for bench in Benchmark::ALL {
+        let program = tiny(bench);
+        for policy in rsr_core::WarmupPolicy::paper_matrix() {
+            let out = run_sampled(&program, &machine(), regimen(), TOTAL, policy, 3)
+                .unwrap_or_else(|e| panic!("{bench}/{policy}: {e}"));
+            assert_eq!(out.clusters.len(), 10, "{bench}/{policy}");
+            assert!(out.est_ipc() > 0.0, "{bench}/{policy}");
+            assert!(out.est_ipc() < 4.0, "{bench}/{policy}: IPC beyond retire width");
+        }
+    }
+}
+
+#[test]
+fn rsr_full_budget_tracks_smarts_everywhere() {
+    // The paper's central claim, directionally: with the whole log
+    // available, reverse reconstruction approximates full functional
+    // warming on every workload.
+    for bench in [Benchmark::Gcc, Benchmark::Twolf, Benchmark::Vortex, Benchmark::Parser] {
+        let program = tiny(bench);
+        let smarts = run_sampled(
+            &program,
+            &machine(),
+            regimen(),
+            TOTAL,
+            WarmupPolicy::Smarts { cache: true, bp: true },
+            3,
+        )
+        .unwrap();
+        let rsr = run_sampled(
+            &program,
+            &machine(),
+            regimen(),
+            TOTAL,
+            WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(100) },
+            3,
+        )
+        .unwrap();
+        let gap = (smarts.est_ipc() - rsr.est_ipc()).abs() / smarts.est_ipc();
+        assert!(gap < 0.12, "{bench}: RSR {:.4} vs SMARTS {:.4}", rsr.est_ipc(), smarts.est_ipc());
+    }
+}
+
+#[test]
+fn no_warmup_is_the_least_accurate_on_cache_bound_work() {
+    let program = tiny(Benchmark::Mcf);
+    let truth = run_full(&program, &machine(), TOTAL).unwrap().ipc();
+    let none =
+        run_sampled(&program, &machine(), regimen(), TOTAL, WarmupPolicy::None, 3).unwrap();
+    let smarts = run_sampled(
+        &program,
+        &machine(),
+        regimen(),
+        TOTAL,
+        WarmupPolicy::Smarts { cache: true, bp: true },
+        3,
+    )
+    .unwrap();
+    assert!(
+        relative_error(truth, none.est_ipc()) > relative_error(truth, smarts.est_ipc()),
+        "no-warmup must trail SMARTS (none {:.4}, smarts {:.4}, truth {truth:.4})",
+        none.est_ipc(),
+        smarts.est_ipc()
+    );
+}
+
+#[test]
+fn cache_warming_matters_more_than_bp_on_memory_bound_work() {
+    // Figures 5/6: cache state dominates non-sampling bias for
+    // memory-bound workloads.
+    let program = tiny(Benchmark::Mcf);
+    let truth = run_full(&program, &machine(), TOTAL).unwrap().ipc();
+    let cache_only = run_sampled(
+        &program,
+        &machine(),
+        regimen(),
+        TOTAL,
+        WarmupPolicy::Smarts { cache: true, bp: false },
+        3,
+    )
+    .unwrap();
+    let bp_only = run_sampled(
+        &program,
+        &machine(),
+        regimen(),
+        TOTAL,
+        WarmupPolicy::Smarts { cache: false, bp: true },
+        3,
+    )
+    .unwrap();
+    assert!(
+        relative_error(truth, cache_only.est_ipc()) < relative_error(truth, bp_only.est_ipc()),
+        "cache-only RE should beat BP-only RE (cache {:.4}, bp {:.4}, truth {truth:.4})",
+        cache_only.est_ipc(),
+        bp_only.est_ipc()
+    );
+}
+
+#[test]
+fn hot_and_skipped_instructions_account_for_the_run() {
+    let program = tiny(Benchmark::Vpr);
+    let out =
+        run_sampled(&program, &machine(), regimen(), TOTAL, WarmupPolicy::None, 9).unwrap();
+    assert_eq!(out.hot_insts, regimen().hot_instructions());
+    // Skipped + hot never exceeds the nominal total and covers at least
+    // the last cluster's end.
+    assert!(out.skipped_insts + out.hot_insts <= TOTAL);
+    assert!(out.skipped_insts > 0);
+}
+
+#[test]
+fn reverse_bp_reconstruction_improves_over_stale_bp() {
+    // RBP vs None on a branch-heavy workload: reconstructing only the
+    // predictor should beat leaving everything stale.
+    let program = tiny(Benchmark::Gcc);
+    let truth = run_full(&program, &machine(), TOTAL).unwrap().ipc();
+    let none =
+        run_sampled(&program, &machine(), regimen(), TOTAL, WarmupPolicy::None, 3).unwrap();
+    let rbp = run_sampled(
+        &program,
+        &machine(),
+        regimen(),
+        TOTAL,
+        WarmupPolicy::Reverse { cache: false, bp: true, pct: Pct::new(100) },
+        3,
+    )
+    .unwrap();
+    assert!(
+        relative_error(truth, rbp.est_ipc()) <= relative_error(truth, none.est_ipc()) + 1e-9,
+        "RBP {:.4} vs None {:.4} (truth {truth:.4})",
+        rbp.est_ipc(),
+        none.est_ipc()
+    );
+}

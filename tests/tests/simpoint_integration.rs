@@ -1,0 +1,71 @@
+//! SimPoint pipeline against the rest of the stack.
+
+use rsr_core::run_full;
+use rsr_integration::{machine, tiny};
+use rsr_simpoint::{analyze, simulate, SimpointConfig};
+use rsr_stats::relative_error;
+use rsr_workloads::Benchmark;
+
+const TOTAL: u64 = 300_000;
+
+#[test]
+fn simpoint_estimate_is_in_the_right_ballpark() {
+    let program = tiny(Benchmark::Gcc);
+    let truth = run_full(&program, &machine(), TOTAL).unwrap().ipc();
+    let cfg = SimpointConfig { max_k: 10, ..SimpointConfig::new(5_000) };
+    let analysis = analyze(&program, TOTAL, &cfg).unwrap();
+    let out = simulate(&program, &machine(), &analysis, &cfg).unwrap();
+    let re = relative_error(truth, out.est_ipc);
+    assert!(re < 0.6, "SimPoint RE {re:.3} (truth {truth:.3}, est {:.3})", out.est_ipc);
+}
+
+#[test]
+fn more_points_do_not_hurt_much() {
+    let program = tiny(Benchmark::Twolf);
+    let truth = run_full(&program, &machine(), TOTAL).unwrap().ipc();
+    let few = SimpointConfig { max_k: 2, ..SimpointConfig::new(5_000) };
+    let many = SimpointConfig { max_k: 20, ..SimpointConfig::new(5_000) };
+    let out_few = {
+        let a = analyze(&program, TOTAL, &few).unwrap();
+        simulate(&program, &machine(), &a, &few).unwrap()
+    };
+    let out_many = {
+        let a = analyze(&program, TOTAL, &many).unwrap();
+        simulate(&program, &machine(), &a, &many).unwrap()
+    };
+    let re_few = relative_error(truth, out_few.est_ipc);
+    let re_many = relative_error(truth, out_many.est_ipc);
+    assert!(
+        re_many <= re_few + 0.15,
+        "20-point RE {re_many:.3} much worse than 2-point RE {re_few:.3}"
+    );
+}
+
+#[test]
+fn warming_changes_small_interval_results() {
+    // With tiny intervals, cold-start bias is severe; warming while
+    // skipping must move the estimate (the paper's 50K vs 50K-SMARTS).
+    let program = tiny(Benchmark::Mcf);
+    let cold_cfg = SimpointConfig { max_k: 8, ..SimpointConfig::new(2_000) };
+    let warm_cfg = SimpointConfig { warm: true, ..cold_cfg };
+    let analysis = analyze(&program, TOTAL, &cold_cfg).unwrap();
+    let cold = simulate(&program, &machine(), &analysis, &cold_cfg).unwrap();
+    let warm = simulate(&program, &machine(), &analysis, &warm_cfg).unwrap();
+    assert_ne!(cold.est_ipc, warm.est_ipc);
+    // For an L2-hostile pointer chase, cold-start inflates miss rates and
+    // depresses IPC; warming should raise the estimate.
+    assert!(warm.est_ipc > cold.est_ipc);
+}
+
+#[test]
+fn weights_and_points_are_consistent() {
+    let program = tiny(Benchmark::Perl);
+    let cfg = SimpointConfig { max_k: 12, ..SimpointConfig::new(4_000) };
+    let analysis = analyze(&program, TOTAL, &cfg).unwrap();
+    let total_weight: f64 = analysis.points.iter().map(|p| p.weight).sum();
+    assert!((total_weight - 1.0).abs() < 1e-9);
+    for p in &analysis.points {
+        assert!(p.interval < analysis.n_intervals);
+        assert!(p.weight > 0.0);
+    }
+}

@@ -1,0 +1,126 @@
+//! Statistical behavior of the sampled simulator: confidence intervals,
+//! standard errors, estimator consistency.
+
+use rsr_core::{
+    run_full, run_sampled, run_sampled_with_schedule, SamplingRegimen, Schedule, WarmupPolicy,
+};
+use rsr_integration::{machine, tiny};
+use rsr_workloads::Benchmark;
+
+const TOTAL: u64 = 400_000;
+
+#[test]
+fn more_clusters_tighten_the_confidence_interval() {
+    // Standard error scales roughly with 1/sqrt(N). A single schedule can
+    // get (un)lucky, so average the SE over several seeds before comparing.
+    let program = tiny(Benchmark::Twolf);
+    let smarts = WarmupPolicy::Smarts { cache: true, bp: true };
+    let avg_se = |n_clusters: usize| -> f64 {
+        let mut acc = 0.0;
+        for seed in 1..=4u64 {
+            let out = run_sampled(
+                &program,
+                &machine(),
+                SamplingRegimen::new(n_clusters, 500),
+                TOTAL,
+                smarts,
+                seed,
+            )
+            .unwrap();
+            acc += out.cpi_clusters.std_error();
+        }
+        acc / 4.0
+    };
+    let small = avg_se(8);
+    let large = avg_se(64);
+    assert!(large < small, "SE 8 clusters {small:.5} vs 64 clusters {large:.5}");
+}
+
+#[test]
+fn well_warmed_sample_passes_its_own_ci_most_of_the_time() {
+    // With SMARTS warming and a reasonable regimen, the CI should contain
+    // the true IPC (this is the appendix's confidence test).
+    let program = tiny(Benchmark::Vortex);
+    let truth = run_full(&program, &machine(), TOTAL).unwrap().ipc();
+    let out = run_sampled(
+        &program,
+        &machine(),
+        SamplingRegimen::new(40, 500),
+        TOTAL,
+        WarmupPolicy::Smarts { cache: true, bp: true },
+        11,
+    )
+    .unwrap();
+    assert!(
+        out.predicts_true_ipc(truth),
+        "CI around {:.4} (±{:.4}) missed truth {truth:.4}",
+        out.est_ipc(),
+        out.ipc_error_bound_95()
+    );
+}
+
+#[test]
+fn estimator_uses_equal_cluster_weighting() {
+    let program = tiny(Benchmark::Vpr);
+    let out = run_sampled(
+        &program,
+        &machine(),
+        SamplingRegimen::new(10, 500),
+        TOTAL,
+        WarmupPolicy::None,
+        2,
+    )
+    .unwrap();
+    let mean_cpi: f64 =
+        out.cpi_clusters.values().iter().sum::<f64>() / out.cpi_clusters.len() as f64;
+    assert!((out.est_ipc() - 1.0 / mean_cpi).abs() < 1e-12);
+}
+
+#[test]
+fn systematic_and_random_schedules_agree_on_uniform_work() {
+    // SMARTS-style systematic placement and the paper's random placement
+    // must both track the true IPC (the paper's §2 argument is about CI
+    // *validity*, not point estimates). Short runs have a visible cold
+    // transient, so judge both against the full-run truth rather than
+    // against each other.
+    let program = tiny(Benchmark::Gcc);
+    let truth = run_full(&program, &machine(), TOTAL).unwrap().ipc();
+    let regimen = SamplingRegimen::new(24, 500);
+    let policy = WarmupPolicy::Smarts { cache: true, bp: true };
+    let random = run_sampled(&program, &machine(), regimen, TOTAL, policy, 7).unwrap();
+    let schedule = Schedule::systematic(regimen, TOTAL, 7);
+    let systematic =
+        run_sampled_with_schedule(&program, &machine(), &schedule, policy).unwrap();
+    // At this tiny scale the program's cold-start transient is a visible
+    // fraction of the run, and systematic placement always lands a cluster
+    // inside it; drop each sample's first cluster before comparing (the
+    // full-scale harness needs no such correction).
+    let trimmed_est = |values: &[f64]| {
+        let tail = &values[1..];
+        tail.len() as f64 / tail.iter().sum::<f64>()
+    };
+    for (name, est) in [
+        ("random", trimmed_est(random.cpi_clusters.values())),
+        ("systematic", trimmed_est(systematic.cpi_clusters.values())),
+    ] {
+        let re = (truth - est).abs() / truth;
+        assert!(re < 0.2, "{name} estimate {est:.4} vs truth {truth:.4}");
+    }
+}
+
+#[test]
+fn per_cluster_ipcs_are_positive_and_bounded() {
+    let program = tiny(Benchmark::Parser);
+    let out = run_sampled(
+        &program,
+        &machine(),
+        SamplingRegimen::new(16, 500),
+        TOTAL,
+        WarmupPolicy::Smarts { cache: true, bp: true },
+        4,
+    )
+    .unwrap();
+    for &ipc in out.clusters.values() {
+        assert!(ipc > 0.0 && ipc <= 4.0, "cluster IPC {ipc}");
+    }
+}
