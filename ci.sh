@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Repository CI gate: build, tests, formatting, lints.
+# Run from the repo root; exits nonzero on the first failure.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+cargo build --release --workspace
+cargo test -q --workspace
+cargo fmt --all --check
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "ci: all checks passed"

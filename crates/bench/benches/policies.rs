@@ -3,7 +3,7 @@
 //! proxy for the paper's Figure 7 time axis.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use rsr_core::{run_sampled, MachineConfig, Pct, SamplingRegimen, WarmupPolicy};
+use rsr_core::{MachineConfig, Pct, RunSpec, SamplingRegimen, WarmupPolicy};
 use rsr_workloads::{Benchmark, WorkloadParams};
 
 fn bench_policies(c: &mut Criterion) {
@@ -22,7 +22,13 @@ fn bench_policies(c: &mut Criterion) {
     ] {
         group.bench_function(policy.to_string().replace(' ', "_"), |b| {
             b.iter(|| {
-                run_sampled(&program, &machine, regimen, total, policy, 7).expect("runs")
+                RunSpec::new(&program, &machine)
+                    .regimen(regimen)
+                    .total_insts(total)
+                    .policy(policy)
+                    .seed(7)
+                    .run()
+                    .expect("runs")
             })
         });
     }

@@ -14,7 +14,7 @@ use rsr_bench::{fmt_secs, print_table, Experiment};
 use rsr_branch::Predictor;
 use rsr_cache::MemHierarchy;
 use rsr_core::{
-    reconstruct_caches, run_sampled, BpReconstructor, Pct, SampleOutcome, Schedule, SkipLog,
+    reconstruct_caches, BpReconstructor, Pct, RunSpec, SampleOutcome, Schedule, SkipLog,
     WarmupPolicy,
 };
 use rsr_func::Cpu;
@@ -73,18 +73,17 @@ fn main() {
         let seed = exp.seed;
         let program = exp.program(b).clone();
 
-        let on_demand: SampleOutcome = run_sampled(
-            &program,
-            &machine,
-            regimen,
-            total,
-            WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
-            seed,
-        )
-        .expect("on-demand run");
+        let on_demand: SampleOutcome = RunSpec::new(&program, &machine)
+            .regimen(regimen)
+            .total_insts(total)
+            .policy(WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) })
+            .seed(seed)
+            .run()
+            .expect("on-demand run");
 
         // Eager variant: same pipeline, but the reconstructor consumes its
-        // entire budget before the cluster starts.
+        // entire budget before the cluster starts. Carryover state, as in
+        // the sampler proper.
         let schedule = Schedule::generate(regimen, total, seed);
         let mut cpu = Cpu::new(&program).expect("loads");
         let mut hier = MemHierarchy::new(machine.hier.clone());
@@ -142,17 +141,23 @@ fn main() {
         ],
         &rows,
     );
-    println!("(on-demand stops scanning once probed entries resolve; eager always burns the budget)");
+    println!(
+        "(on-demand stops scanning once probed entries resolve; eager always burns the budget)"
+    );
 
     // ---- Part 3: next-line prefetcher (machine ablation) ----------------
     let mut rows = Vec::new();
     for &b in &benches {
         let total = (exp.total_insts(b) / 8).max(500_000);
         let program = exp.program(b).clone();
-        let base = rsr_core::run_full(&program, &exp.machine, total).expect("base run");
+        let base =
+            RunSpec::new(&program, &exp.machine).total_insts(total).run_full().expect("base run");
         let mut pf_machine = exp.machine.clone();
         pf_machine.hier.prefetch_next_line = true;
-        let pf = rsr_core::run_full(&program, &pf_machine, total).expect("prefetch run");
+        let pf = RunSpec::new(&program, &pf_machine)
+            .total_insts(total)
+            .run_full()
+            .expect("prefetch run");
         rows.push(vec![
             b.name().to_string(),
             format!("{:.4}", base.ipc()),

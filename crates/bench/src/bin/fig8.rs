@@ -2,8 +2,9 @@
 //! per-benchmark relative error and simulation time for `R$BP` at
 //! 20/40/80/100 % against `S$BP`.
 
-use rsr_bench::{avg, fmt_secs, print_per_bench_re, print_per_bench_time, print_table, run_matrix,
-    Experiment};
+use rsr_bench::{
+    avg, fmt_secs, print_per_bench_re, print_per_bench_time, print_table, run_matrix, Experiment,
+};
 use rsr_core::{Pct, WarmupPolicy};
 
 fn main() {
@@ -59,8 +60,8 @@ fn main() {
     let mut rows = Vec::new();
     for (bi, b) in benches.iter().enumerate() {
         let wall_ratio = results[bi][4].wall_seconds() / results[bi][0].wall_seconds();
-        let model_ratio = results[bi][4].modeled_seconds(speeds[bi])
-            / results[bi][0].modeled_seconds(speeds[bi]);
+        let model_ratio =
+            results[bi][4].modeled_seconds(speeds[bi]) / results[bi][0].modeled_seconds(speeds[bi]);
         rows.push(vec![
             b.name().to_string(),
             format!("{wall_ratio:.2}"),

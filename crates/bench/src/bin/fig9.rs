@@ -81,11 +81,7 @@ fn main() {
     for (label, results) in [("R$BP (20%)", &rsbp), ("R$BP (80%)", &rsbp80)] {
         let res: Vec<f64> = results.iter().map(|r| r.rel_err()).collect();
         let walls: Vec<f64> = results.iter().map(|r| r.wall_seconds()).collect();
-        table.push(vec![
-            label.to_string(),
-            format!("{:.4}", avg(&res)),
-            fmt_secs(avg(&walls)),
-        ]);
+        table.push(vec![label.to_string(), format!("{:.4}", avg(&res)), fmt_secs(avg(&walls))]);
     }
     print_table(
         "Figure 9: SimPoint comparison (averages; SimPoint wall includes BBV profiling)",

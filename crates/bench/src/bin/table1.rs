@@ -28,7 +28,15 @@ fn main() {
     }
     print_table(
         "Table 1: true IPC and sampling regimen data for each workload",
-        &["workload", "true IPC", "clusters", "cluster len", "hot insts", "total insts", "full-sim wall(s)"],
+        &[
+            "workload",
+            "true IPC",
+            "clusters",
+            "cluster len",
+            "hot insts",
+            "total insts",
+            "full-sim wall(s)",
+        ],
         &rows,
     );
 }

@@ -15,7 +15,10 @@
 //!
 //! Environment knobs: `RSR_SCALE` (default 1.0) scales run lengths and
 //! cluster counts; `RSR_SEED` (default 42) moves cluster positions;
-//! `RSR_BENCH` restricts to a comma-separated benchmark list.
+//! `RSR_BENCH` restricts to a comma-separated benchmark list;
+//! `RSR_THREADS` (default 1) shards every sampled run across worker
+//! threads — per-cluster results are identical at any thread count, only
+//! the wall column moves.
 //!
 //! ## Reading the time columns
 //!
@@ -39,10 +42,7 @@ use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
 
-use rsr_core::{
-    run_full, run_sampled, FullOutcome, MachineConfig, SampleOutcome, SamplingRegimen,
-    WarmupPolicy,
-};
+use rsr_core::{FullOutcome, MachineConfig, RunSpec, SampleOutcome, SamplingRegimen, WarmupPolicy};
 use rsr_isa::Program;
 use rsr_stats::relative_error;
 use rsr_workloads::{Benchmark, WorkloadParams};
@@ -63,6 +63,8 @@ pub struct Experiment {
     pub scale: f64,
     /// Cluster-position seed (`RSR_SEED`).
     pub seed: u64,
+    /// Shard worker threads per sampled run (`RSR_THREADS`).
+    pub threads: usize,
     /// The simulated machine.
     pub machine: MachineConfig,
     /// Benchmarks to run (`RSR_BENCH` or all nine).
@@ -81,17 +83,22 @@ impl Experiment {
             .unwrap_or(1.0)
             .clamp(0.001, 100.0);
         let seed = std::env::var("RSR_SEED").ok().and_then(|s| s.parse().ok()).unwrap_or(42);
+        let threads = std::env::var("RSR_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .unwrap_or(1)
+            .max(1);
         let benches = match std::env::var("RSR_BENCH") {
-            Ok(list) => list
-                .split(',')
-                .filter_map(|n| Benchmark::from_name(n.trim()))
-                .collect::<Vec<_>>(),
+            Ok(list) => {
+                list.split(',').filter_map(|n| Benchmark::from_name(n.trim())).collect::<Vec<_>>()
+            }
             Err(_) => Benchmark::ALL.to_vec(),
         };
         let benches = if benches.is_empty() { Benchmark::ALL.to_vec() } else { benches };
         Experiment {
             scale,
             seed,
+            threads,
             machine: MachineConfig::paper(),
             benches,
             programs: HashMap::new(),
@@ -149,13 +156,12 @@ impl Experiment {
         let total = self.total_insts(b);
         let machine = self.machine.clone();
         let program = self.program(b).clone();
-        let out: FullOutcome = run_full(&program, &machine, total).expect("true-IPC run");
+        let out: FullOutcome =
+            RunSpec::new(&program, &machine).total_insts(total).run_full().expect("true-IPC run");
         let v = (out.ipc(), out.wall.as_secs_f64());
         self.true_cache.insert(b, v);
-        if let Ok(mut f) = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(Self::cache_path())
+        if let Ok(mut f) =
+            std::fs::OpenOptions::new().create(true).append(true).open(Self::cache_path())
         {
             let _ = writeln!(f, "{key} {} {}", v.0, v.1);
         }
@@ -183,11 +189,18 @@ impl Experiment {
         let total = self.total_insts(b);
         let regimen = self.regimen(b);
         let seed = self.seed;
+        let threads = self.threads;
         let machine = self.machine.clone();
         let (true_ipc, _) = self.true_ipc(b);
         let program = self.program(b);
-        let outcome =
-            run_sampled(program, &machine, regimen, total, policy, seed).expect("sampled run");
+        let outcome = RunSpec::new(program, &machine)
+            .regimen(regimen)
+            .total_insts(total)
+            .policy(policy)
+            .seed(seed)
+            .threads(threads)
+            .run()
+            .expect("sampled run");
         PolicyResult::new(outcome, true_ipc)
     }
 }
@@ -216,9 +229,10 @@ impl PolicyResult {
         self.outcome.predicts_true_ipc(self.true_ipc)
     }
 
-    /// Measured wall-clock seconds.
+    /// Measured elapsed wall-clock seconds. At one thread this equals the
+    /// summed phase times; sharded runs finish in less.
     pub fn wall_seconds(&self) -> f64 {
-        self.outcome.phases.total().as_secs_f64()
+        self.outcome.wall.as_secs_f64()
     }
 
     /// Paper-cost-structure modeled seconds (see the crate docs).
@@ -270,21 +284,14 @@ pub fn print_summary(
     for (pi, &policy) in policies.iter().enumerate() {
         let res: Vec<f64> = results.iter().map(|r| r[pi].rel_err()).collect();
         let walls: Vec<f64> = results.iter().map(|r| r[pi].wall_seconds()).collect();
-        let models: Vec<f64> = results
-            .iter()
-            .zip(&speeds)
-            .map(|(r, &s)| r[pi].modeled_seconds(s))
-            .collect();
+        let models: Vec<f64> =
+            results.iter().zip(&speeds).map(|(r, &s)| r[pi].modeled_seconds(s)).collect();
         let base_walls: Vec<f64> = results.iter().map(|r| r[baseline].wall_seconds()).collect();
-        let base_models: Vec<f64> = results
-            .iter()
-            .zip(&speeds)
-            .map(|(r, &s)| r[baseline].modeled_seconds(s))
-            .collect();
+        let base_models: Vec<f64> =
+            results.iter().zip(&speeds).map(|(r, &s)| r[baseline].modeled_seconds(s)).collect();
         let wall_speedup = avg(&base_walls) / avg(&walls).max(1e-12);
         let model_speedup = avg(&base_models) / avg(&models).max(1e-12);
-        let passes =
-            results.iter().filter(|r| r[pi].ci_pass()).count();
+        let passes = results.iter().filter(|r| r[pi].ci_pass()).count();
         rows.push(vec![
             policy.to_string(),
             format!("{:.4}", avg(&res)),
@@ -462,9 +469,8 @@ mod tests {
         // Compare the skip-side modeled cost only: hot wall time depends on
         // cache warmth and build profile, which is not what this test pins.
         let sp = 30e-9;
-        let skip_cost = |r: &PolicyResult| {
-            r.modeled_seconds(sp) - r.outcome.phases.hot.as_secs_f64()
-        };
+        let skip_cost =
+            |r: &PolicyResult| r.modeled_seconds(sp) - r.outcome.phases.hot.as_secs_f64();
         assert!(
             skip_cost(&smarts) > skip_cost(&none),
             "warming must cost more modeled skip time than no warm-up"

@@ -120,8 +120,7 @@ impl Btb {
         if self.entries[idx].reconstructed {
             return false;
         }
-        self.entries[idx] =
-            Entry { valid: true, tag: self.tag(pc), target, reconstructed: true };
+        self.entries[idx] = Entry { valid: true, tag: self.tag(pc), target, reconstructed: true };
         true
     }
 

@@ -394,11 +394,7 @@ mod tests {
                 for i in 0..len {
                     inf.prepend(bits >> i & 1 != 0);
                 }
-                assert_eq!(
-                    table.lookup(bits, len),
-                    inf.best_guess(),
-                    "len {len} bits {bits:#b}"
-                );
+                assert_eq!(table.lookup(bits, len), inf.best_guess(), "len {len} bits {bits:#b}");
             }
         }
     }

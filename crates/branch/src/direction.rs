@@ -225,8 +225,7 @@ mod tests {
     fn local_learns_short_patterns() {
         // T,T,N repeating defeats a plain bimodal but not a local
         // history predictor.
-        let stream: Vec<(Addr, bool)> =
-            (0..3000).map(|i| (0x2000, i % 3 != 2)).collect();
+        let stream: Vec<(Addr, bool)> = (0..3000).map(|i| (0x2000, i % 3 != 2)).collect();
         let mut local = LocalTwoLevel::new(1024, 10);
         let mut bimodal = Bimodal::new(1024);
         let acc_local = accuracy_over(&mut local, stream.iter().copied());

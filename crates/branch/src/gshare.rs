@@ -1,6 +1,6 @@
 //! The gshare conditional-branch predictor.
 
-use crate::{Counter2, Addr};
+use crate::{Addr, Counter2};
 
 /// Running prediction statistics.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]

@@ -36,8 +36,8 @@ mod ras;
 pub type Addr = u64;
 
 pub use btb::{Btb, BtbStats};
-pub use direction::{accuracy_over, Bimodal, DirectionPredictor, LocalTwoLevel, Tournament};
 pub use counter::{Counter2, CounterInference, InferenceTable, StateMap, StateSet};
+pub use direction::{accuracy_over, Bimodal, DirectionPredictor, LocalTwoLevel, Tournament};
 pub use gshare::{Gshare, GshareStats};
 pub use predictor::{
     Checkpoint, PredCtrlKind, Prediction, Predictor, PredictorConfig, PredictorStats,

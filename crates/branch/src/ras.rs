@@ -147,13 +147,8 @@ mod tests {
     #[test]
     fn reconstruct_matches_forward() {
         // Forward sequence: push A, push B, pop, push C, push D.
-        let fwd_ops = [
-            RasOp::Push(0xa),
-            RasOp::Push(0xb),
-            RasOp::Pop,
-            RasOp::Push(0xc),
-            RasOp::Push(0xd),
-        ];
+        let fwd_ops =
+            [RasOp::Push(0xa), RasOp::Push(0xb), RasOp::Pop, RasOp::Push(0xc), RasOp::Push(0xd)];
         let mut fwd = Ras::new(4);
         for op in fwd_ops {
             match op {

@@ -242,12 +242,9 @@ impl Cache {
         }
 
         // Victim: an invalid way if any, else the LRU way.
-        let victim = lines
-            .iter()
-            .position(|l| !l.valid)
-            .unwrap_or_else(|| {
-                lines.iter().position(|l| l.rank as usize == lines.len() - 1).expect("lru way")
-            });
+        let victim = lines.iter().position(|l| !l.valid).unwrap_or_else(|| {
+            lines.iter().position(|l| l.rank as usize == lines.len() - 1).expect("lru way")
+        });
         let victim_rank = lines[victim].rank;
         let mut writeback = None;
         if lines[victim].valid && lines[victim].dirty {
@@ -410,12 +407,8 @@ impl Cache {
 
     /// Tags of valid lines in a set, MRU first (test helper).
     pub fn set_tags_mru_order(&self, set: usize) -> Vec<u64> {
-        let mut v: Vec<(u8, u64)> = self
-            .set_lines_ref(set)
-            .iter()
-            .filter(|l| l.valid)
-            .map(|l| (l.rank, l.tag))
-            .collect();
+        let mut v: Vec<(u8, u64)> =
+            self.set_lines_ref(set).iter().filter(|l| l.valid).map(|l| (l.rank, l.tag)).collect();
         v.sort_by_key(|&(rank, _)| rank);
         v.into_iter().map(|(_, tag)| tag).collect()
     }
@@ -459,7 +452,7 @@ mod tests {
         assert!(!c.access(addr(0, 1), AccessKind::Read).hit);
         assert!(!c.access(addr(0, 2), AccessKind::Read).hit);
         assert!(c.access(addr(0, 1), AccessKind::Read).hit); // 1 is MRU now
-        // Fill a third tag: victim must be tag 2 (LRU).
+                                                             // Fill a third tag: victim must be tag 2 (LRU).
         assert!(!c.access(addr(0, 3), AccessKind::Read).hit);
         assert!(c.probe(addr(0, 1)));
         assert!(!c.probe(addr(0, 2)));

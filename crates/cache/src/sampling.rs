@@ -134,7 +134,6 @@ impl SetSampledCache {
 mod tests {
     use super::*;
     use rand::Rng;
-    use rand::SeedableRng as _;
 
     fn cfg() -> CacheConfig {
         CacheConfig {
@@ -179,10 +178,7 @@ mod tests {
             ss.access(a, AccessKind::Read);
         }
         let est = ss.stats().miss_ratio();
-        assert!(
-            (est - true_ratio).abs() < 0.03,
-            "estimate {est:.4} vs true {true_ratio:.4}"
-        );
+        assert!((est - true_ratio).abs() < 0.03, "estimate {est:.4} vs true {true_ratio:.4}");
         // And it only simulated ~1/8 of the references.
         let s = ss.stats();
         assert!(s.skipped > 6 * s.sampled_accesses);

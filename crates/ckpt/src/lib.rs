@@ -125,7 +125,7 @@ impl LivePointLibrary {
     ///
     /// Only non-logging warm-up policies are supported for library
     /// construction (`None`, `Smarts`, `FixedPeriod` behave identically to
-    /// `rsr_core::run_sampled`); the point of a library is that *future*
+    /// a sequential `rsr_core::RunSpec` run); the point of a library is that *future*
     /// runs skip warm-up entirely, so build once with the most accurate
     /// warming you can afford.
     ///
@@ -144,11 +144,17 @@ impl LivePointLibrary {
         if policy.needs_log() || policy.needs_profiling() {
             // Logging/profiling policies interleave with the hot phase in
             // ways a snapshot cannot capture; use SMARTS or fixed-period.
-            return Err(SimError::Exec(rsr_func::ExecError::Halted));
+            return Err(SimError::Spec(
+                "live-point libraries need a non-logging, non-profiling warm-up policy",
+            ));
         }
         let t = Instant::now();
         let schedule = Schedule::generate(regimen, total_insts, schedule_seed);
         let mut cpu = Cpu::new(program)?;
+        // Microarchitectural state carries over across windows during the
+        // build, exactly as `rsr-core`'s sequential sampler warms it; each
+        // live-point then snapshots that state, so replay reproduces the
+        // build bit for bit without re-warming.
         let mut hier = MemHierarchy::new(machine.hier.clone());
         let mut pred = Predictor::new(machine.pred);
         let mut points = Vec::with_capacity(schedule.len());
@@ -288,7 +294,7 @@ impl LivePointLibrary {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rsr_core::{run_sampled, Pct};
+    use rsr_core::{Pct, RunSpec};
     use rsr_workloads::{Benchmark, WorkloadParams};
 
     fn program() -> Program {
@@ -320,21 +326,19 @@ mod tests {
     }
 
     #[test]
-    fn replay_matches_run_sampled() {
-        // The library built under SMARTS must reproduce run_sampled's
-        // estimate under the same policy/schedule.
+    fn replay_matches_direct_sampled_run() {
+        // The library built under SMARTS must reproduce the direct sampled
+        // run's estimate under the same policy/schedule.
         let machine = MachineConfig::paper();
         let p = program();
         let regimen = SamplingRegimen::new(6, 500);
-        let direct = run_sampled(
-            &p,
-            &machine,
-            regimen,
-            120_000,
-            WarmupPolicy::Smarts { cache: true, bp: true },
-            9,
-        )
-        .unwrap();
+        let direct = RunSpec::new(&p, &machine)
+            .regimen(regimen)
+            .total_insts(120_000)
+            .policy(WarmupPolicy::Smarts { cache: true, bp: true })
+            .seed(9)
+            .run()
+            .unwrap();
         let lib = LivePointLibrary::build(
             &p,
             &machine,

@@ -14,7 +14,8 @@
 //! The argument grammar is deliberately tiny and hand-rolled (no external
 //! parser dependency); this library exposes it for testing.
 
-use rsr_core::{Pct, WarmupPolicy};
+use rsr_core::{Pct, SimError, WarmupPolicy};
+use rsr_func::{ExecError, LoadError};
 use rsr_workloads::Benchmark;
 
 /// A parsed command line.
@@ -43,7 +44,7 @@ pub enum Command {
         /// Instructions to simulate.
         n: u64,
     },
-    /// `rsr sample <bench> [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S]`
+    /// `rsr sample <bench> [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S] [--threads T]`
     Sample {
         /// Workload to sample.
         bench: Benchmark,
@@ -57,6 +58,8 @@ pub enum Command {
         n: u64,
         /// Schedule seed.
         seed: u64,
+        /// Shard worker threads (1 = sequential; results are identical).
+        threads: usize,
     },
     /// `rsr ckpt <bench> [--clusters N] [--len N] [-n INSTS] [--replays R]`
     Ckpt {
@@ -98,6 +101,59 @@ impl std::fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
+/// Everything the `rsr` binary can fail with: bad arguments or a
+/// simulation error. Simulator and functional-core errors convert via
+/// `From`, so driver code uses plain `?`.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CliError {
+    /// Argument parsing or validation failed.
+    Usage(UsageError),
+    /// The simulation itself failed.
+    Sim(SimError),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Usage(e) => write!(f, "{e}"),
+            CliError::Sim(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CliError::Usage(e) => Some(e),
+            CliError::Sim(e) => Some(e),
+        }
+    }
+}
+
+impl From<UsageError> for CliError {
+    fn from(e: UsageError) -> Self {
+        CliError::Usage(e)
+    }
+}
+
+impl From<SimError> for CliError {
+    fn from(e: SimError) -> Self {
+        CliError::Sim(e)
+    }
+}
+
+impl From<LoadError> for CliError {
+    fn from(e: LoadError) -> Self {
+        CliError::Sim(SimError::from(e))
+    }
+}
+
+impl From<ExecError> for CliError {
+    fn from(e: ExecError) -> Self {
+        CliError::Sim(SimError::from(e))
+    }
+}
+
 /// The top-level usage text.
 pub const USAGE: &str = "\
 usage: rsr <command> [args]
@@ -108,7 +164,8 @@ commands:
   trace  <bench> [-n N]         print the first N retired instructions (default 20)
   run    <bench> [-n INSTS]     full cycle-accurate run (default 1000000)
   sample <bench> [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S]
-                                sampled simulation (defaults: r$bp 20%, 30x1000, 2M, seed 42)
+         [--threads T]          sampled simulation (defaults: r$bp 20%, 30x1000, 2M, seed 42,
+                                1 thread; --threads shards the schedule, results identical)
   simpoint <bench> [--interval I] [--k K] [--warm] [-n INSTS]
                                 SimPoint analysis + simulation
   ckpt   <bench> [--clusters N] [--len N] [-n INSTS] [--replays R]
@@ -137,8 +194,7 @@ pub fn parse_policy(name: &str, pct: u8) -> Result<WarmupPolicy, UsageError> {
 
 fn parse_bench(name: Option<&String>) -> Result<Benchmark, UsageError> {
     let name = name.ok_or_else(|| UsageError("missing benchmark name".into()))?;
-    Benchmark::from_name(name)
-        .ok_or_else(|| UsageError(format!("unknown benchmark `{name}`")))
+    Benchmark::from_name(name).ok_or_else(|| UsageError(format!("unknown benchmark `{name}`")))
 }
 
 struct Flags<'a> {
@@ -156,10 +212,9 @@ impl Flags<'_> {
 
     fn parsed<T: std::str::FromStr>(&self, flag: &str, default: T) -> Result<T, UsageError> {
         match self.value(flag) {
+            None if self.present(flag) => Err(UsageError(format!("missing value for {flag}"))),
             None => Ok(default),
-            Some(v) => {
-                v.parse().map_err(|_| UsageError(format!("bad value `{v}` for {flag}")))
-            }
+            Some(v) => v.parse().map_err(|_| UsageError(format!("bad value `{v}` for {flag}"))),
         }
     }
 
@@ -180,21 +235,21 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
     let flags = Flags { args: rest };
     Ok(match cmd.as_str() {
         "list" => Command::List,
-        "disasm" => Command::Disasm {
-            bench: parse_bench(rest.first())?,
-            head: flags.parsed("--head", 32)?,
-        },
-        "trace" => Command::Trace {
-            bench: parse_bench(rest.first())?,
-            n: flags.parsed("-n", 20)?,
-        },
-        "run" => Command::Run {
-            bench: parse_bench(rest.first())?,
-            n: flags.parsed("-n", 1_000_000)?,
-        },
+        "disasm" => {
+            Command::Disasm { bench: parse_bench(rest.first())?, head: flags.parsed("--head", 32)? }
+        }
+        "trace" => Command::Trace { bench: parse_bench(rest.first())?, n: flags.parsed("-n", 20)? },
+        "run" => {
+            Command::Run { bench: parse_bench(rest.first())?, n: flags.parsed("-n", 1_000_000)? }
+        }
         "sample" => {
             let pct: u8 = flags.parsed("--pct", 20)?;
-            let policy_name = flags.value("--policy").unwrap_or("r$bp");
+            let policy_name = match flags.value("--policy") {
+                None if flags.present("--policy") => {
+                    return Err(UsageError("missing value for --policy".into()))
+                }
+                name => name.unwrap_or("r$bp"),
+            };
             Command::Sample {
                 bench: parse_bench(rest.first())?,
                 policy: parse_policy(policy_name, pct)?,
@@ -202,6 +257,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 len: flags.parsed("--len", 1000)?,
                 n: flags.parsed("-n", 2_000_000)?,
                 seed: flags.parsed("--seed", 42)?,
+                threads: flags.parsed("--threads", 1)?,
             }
         }
         "ckpt" => Command::Ckpt {
@@ -238,16 +294,18 @@ mod tests {
 
     #[test]
     fn parses_sample_with_flags() {
-        let cmd = parse(&argv("sample mcf --policy r$ --pct 40 --clusters 12 --len 500 -n 100000 --seed 7"))
-            .unwrap();
+        let cmd = parse(&argv(
+            "sample mcf --policy r$ --pct 40 --clusters 12 --len 500 -n 100000 --seed 7 --threads 4",
+        ))
+        .unwrap();
         match cmd {
-            Command::Sample { bench, policy, clusters, len, n, seed } => {
+            Command::Sample { bench, policy, clusters, len, n, seed, threads } => {
                 assert_eq!(bench, Benchmark::Mcf);
                 assert_eq!(
                     policy,
                     WarmupPolicy::Reverse { cache: true, bp: false, pct: Pct::new(40) }
                 );
-                assert_eq!((clusters, len, n, seed), (12, 500, 100_000, 7));
+                assert_eq!((clusters, len, n, seed, threads), (12, 500, 100_000, 7, 4));
             }
             other => panic!("parsed {other:?}"),
         }
@@ -257,15 +315,27 @@ mod tests {
     fn defaults_apply() {
         let cmd = parse(&argv("sample gcc")).unwrap();
         match cmd {
-            Command::Sample { policy, clusters, len, n, seed, .. } => {
+            Command::Sample { policy, clusters, len, n, seed, threads, .. } => {
                 assert_eq!(
                     policy,
                     WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) }
                 );
-                assert_eq!((clusters, len, n, seed), (30, 1000, 2_000_000, 42));
+                assert_eq!((clusters, len, n, seed, threads), (30, 1000, 2_000_000, 42, 1));
             }
             other => panic!("parsed {other:?}"),
         }
+    }
+
+    #[test]
+    fn cli_error_converts_from_sim_and_func_errors() {
+        let sim = SimError::Spec("bad spec");
+        assert_eq!(CliError::from(sim), CliError::Sim(sim));
+        let exec = CliError::from(ExecError::Halted);
+        assert_eq!(exec, CliError::Sim(SimError::Exec(ExecError::Halted)));
+        let usage = CliError::from(UsageError("nope".into()));
+        assert!(matches!(usage, CliError::Usage(_)));
+        // Display passes the inner message through.
+        assert_eq!(CliError::from(sim).to_string(), sim.to_string());
     }
 
     #[test]

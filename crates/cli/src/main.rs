@@ -3,8 +3,8 @@
 use std::process::ExitCode;
 
 use rsr_ckpt::LivePointLibrary;
-use rsr_cli::{parse, Command};
-use rsr_core::{run_full, run_sampled, MachineConfig, SamplingRegimen};
+use rsr_cli::{parse, CliError, Command};
+use rsr_core::{MachineConfig, RunSpec, SamplingRegimen};
 use rsr_func::Cpu;
 use rsr_simpoint::{analyze, simulate, SimpointConfig};
 use rsr_workloads::{Benchmark, WorkloadParams};
@@ -31,11 +31,14 @@ fn build(bench: Benchmark) -> rsr_isa::Program {
     bench.build(&WorkloadParams::default())
 }
 
-fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
+fn execute(cmd: Command) -> Result<(), CliError> {
     let machine = MachineConfig::paper();
     match cmd {
         Command::List => {
-            println!("{:<8} {:>4} {:>9} {:>12} {:>12}", "name", "fp", "clusters", "cluster len", "default n");
+            println!(
+                "{:<8} {:>4} {:>9} {:>12} {:>12}",
+                "name", "fp", "clusters", "cluster len", "default n"
+            );
             for b in Benchmark::ALL {
                 let r = b.default_regimen();
                 println!(
@@ -53,11 +56,7 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             for line in p.disassemble().lines().take(head) {
                 println!("{line}");
             }
-            println!(
-                "... ({} instructions, {} bytes of data)",
-                p.text().len(),
-                p.data().len()
-            );
+            println!("... ({} instructions, {} bytes of data)", p.text().len(), p.data().len());
         }
         Command::Trace { bench, n } => {
             let p = build(bench);
@@ -66,9 +65,7 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 let r = cpu.step()?;
                 let mem = r
                     .mem
-                    .map(|m| {
-                        format!(" [{} {:#x}]", if m.is_store { "st" } else { "ld" }, m.addr)
-                    })
+                    .map(|m| format!(" [{} {:#x}]", if m.is_store { "st" } else { "ld" }, m.addr))
                     .unwrap_or_default();
                 let br = r
                     .branch
@@ -79,7 +76,7 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
         }
         Command::Run { bench, n } => {
             let p = build(bench);
-            let out = run_full(&p, &machine, n)?;
+            let out = RunSpec::new(&p, &machine).total_insts(n).run_full()?;
             println!(
                 "{bench}: IPC {:.4} over {} instructions ({} cycles, {} mispredicts, {:.2}s wall)",
                 out.ipc(),
@@ -89,10 +86,17 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 out.wall.as_secs_f64()
             );
         }
-        Command::Sample { bench, policy, clusters, len, n, seed } => {
+        Command::Sample { bench, policy, clusters, len, n, seed, threads } => {
+            // 0 workers means "run it yourself" — same as 1.
+            let threads = threads.max(1);
             let p = build(bench);
-            let out =
-                run_sampled(&p, &machine, SamplingRegimen::new(clusters, len), n, policy, seed)?;
+            let out = RunSpec::new(&p, &machine)
+                .regimen(SamplingRegimen::new(clusters, len))
+                .total_insts(n)
+                .policy(policy)
+                .seed(seed)
+                .threads(threads)
+                .run()?;
             println!(
                 "{bench} under {policy}: IPC {:.4} ± {:.4} (95% CI), {} clusters",
                 out.est_ipc(),
@@ -106,6 +110,20 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
                 out.phases.warm.as_secs_f64(),
                 out.hot_insts,
                 out.log_bytes_peak / 1024
+            );
+            println!(
+                "wall: {:.3}s on {} thread{}{}",
+                out.wall.as_secs_f64(),
+                threads,
+                if threads == 1 { "" } else { "s" },
+                if threads > 1 {
+                    format!(
+                        " ({:.2}x vs summed phases)",
+                        out.phases.total().as_secs_f64() / out.wall.as_secs_f64().max(1e-9)
+                    )
+                } else {
+                    String::new()
+                }
             );
         }
         Command::Ckpt { bench, clusters, len, n, replays } => {
@@ -127,11 +145,7 @@ fn execute(cmd: Command) -> Result<(), Box<dyn std::error::Error>> {
             );
             for r in 1..=replays {
                 let out = library.replay(&machine)?;
-                println!(
-                    "replay {r}: IPC {:.4} in {:.3}s",
-                    out.est_ipc(),
-                    out.wall.as_secs_f64()
-                );
+                println!("replay {r}: IPC {:.4} in {:.3}s", out.est_ipc(), out.wall.as_secs_f64());
             }
         }
         Command::Simpoint { bench, interval, k, warm, n } => {

@@ -13,24 +13,25 @@
 //! * [`reverse`] — the §3 algorithms: reverse cache reconstruction and
 //!   on-demand branch-predictor reconstruction (GHR, RAS, counter
 //!   inference, BTB);
-//! * [`run_sampled`] / [`run_full`] — the sampled simulator and the
-//!   true-IPC baseline, with wall-clock phase accounting for the paper's
-//!   speed comparisons.
+//! * [`RunSpec`] — the one entry point for simulations: a builder that
+//!   runs the sampled simulator (sequentially or sharded across threads
+//!   with bit-identical results) and the true-IPC baseline, with
+//!   wall-clock phase accounting for the paper's speed comparisons.
 //!
 //! ```no_run
-//! use rsr_core::{run_sampled, MachineConfig, Pct, SamplingRegimen, WarmupPolicy};
+//! use rsr_core::{MachineConfig, Pct, RunSpec, SamplingRegimen, WarmupPolicy};
 //! use rsr_workloads::{Benchmark, WorkloadParams};
 //!
 //! # fn main() -> Result<(), Box<dyn std::error::Error>> {
 //! let program = Benchmark::Mcf.build(&WorkloadParams::default());
-//! let outcome = run_sampled(
-//!     &program,
-//!     &MachineConfig::paper(),
-//!     SamplingRegimen::new(60, 3000),
-//!     8_000_000,
-//!     WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
-//!     42,
-//! )?;
+//! let machine = MachineConfig::paper();
+//! let outcome = RunSpec::new(&program, &machine)
+//!     .regimen(SamplingRegimen::new(60, 3000))
+//!     .total_insts(8_000_000)
+//!     .policy(WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) })
+//!     .seed(42)
+//!     .threads(4)
+//!     .run()?;
 //! println!("IPC estimate: {:.3}", outcome.est_ipc());
 //! # Ok(())
 //! # }
@@ -42,13 +43,17 @@ pub mod profiled;
 mod regimen;
 pub mod reverse;
 mod sampler;
+mod shard;
+mod spec;
 
 pub use crate::log::{BranchRecord, MemRecord, SkipLog};
 pub use crate::policy::{Pct, WarmupPolicy};
-pub use crate::profiled::{profile_reuse, ReuseProfile, ReusePolicy};
+pub use crate::profiled::{profile_reuse, ReusePolicy, ReuseProfile};
 pub use crate::regimen::{ClusterWindow, SamplingRegimen, Schedule};
 pub use crate::reverse::{reconstruct_caches, BpReconstructor, ReconStats};
+#[allow(deprecated)]
 pub use crate::sampler::{
     run_full, run_sampled, run_sampled_with_schedule, skip_with, skip_with_smarts_warming,
     FullOutcome, MachineConfig, PhaseTimes, SampleOutcome, SimError,
 };
+pub use crate::spec::RunSpec;

@@ -155,9 +155,22 @@ mod tests {
         assert_eq!(
             names,
             vec![
-                "FP (20%)", "FP (40%)", "FP (80%)", "None", "S$", "SBP", "S$BP", "R$ (20%)",
-                "R$ (40%)", "R$ (80%)", "R$ (100%)", "RBP", "R$BP (20%)", "R$BP (40%)",
-                "R$BP (80%)", "R$BP (100%)"
+                "FP (20%)",
+                "FP (40%)",
+                "FP (80%)",
+                "None",
+                "S$",
+                "SBP",
+                "S$BP",
+                "R$ (20%)",
+                "R$ (40%)",
+                "R$ (80%)",
+                "R$ (100%)",
+                "RBP",
+                "R$BP (20%)",
+                "R$BP (40%)",
+                "R$BP (80%)",
+                "R$BP (100%)"
             ]
         );
     }
@@ -188,8 +201,9 @@ mod tests {
     fn profiling_baselines() {
         assert!(WarmupPolicy::Mrrl { coverage: Pct::new(95) }.needs_profiling());
         assert!(WarmupPolicy::Blrl { coverage: Pct::new(95) }.needs_profiling());
-        assert!(!WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) }
-            .needs_profiling());
+        assert!(
+            !WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) }.needs_profiling()
+        );
         assert_eq!(WarmupPolicy::Mrrl { coverage: Pct::new(95) }.to_string(), "MRRL (95%)");
         assert_eq!(WarmupPolicy::Blrl { coverage: Pct::new(90) }.to_string(), "BLRL (90%)");
     }

@@ -54,8 +54,7 @@ impl ReuseProfile {
         if zeros >= need {
             return 0;
         }
-        let mut dists: Vec<u64> =
-            self.back_distances.iter().copied().filter(|&d| d > 0).collect();
+        let mut dists: Vec<u64> = self.back_distances.iter().copied().filter(|&d| d > 0).collect();
         dists.sort_unstable();
         let idx = need - zeros;
         let w = dists.get(idx.saturating_sub(1)).copied().unwrap_or(0);
@@ -155,7 +154,7 @@ mod tests {
             a.nop();
         }
         a.ld(Reg::T0, 64, Reg::S1); // line 1 near the end of the skip
-        // Cluster: touch line 0 (distant reuse) and line 1 (recent reuse).
+                                    // Cluster: touch line 0 (distant reuse) and line 1 (recent reuse).
         a.ld(Reg::T1, 0, Reg::S1);
         a.ld(Reg::T2, 64, Reg::S1);
         a.halt();
@@ -199,10 +198,7 @@ mod tests {
 
     #[test]
     fn warm_window_percentile() {
-        let prof = ReuseProfile {
-            back_distances: vec![0, 0, 5, 10, 100],
-            considered: 5,
-        };
+        let prof = ReuseProfile { back_distances: vec![0, 0, 5, 10, 100], considered: 5 };
         // 40% of 5 = 2 refs: zeros cover it.
         assert_eq!(prof.warm_window(Pct::new(40), 1000), 0);
         // 60% needs one nonzero: distance 5.

@@ -262,11 +262,7 @@ impl PredictHook for BpReconstructor<'_> {
         }
         // Every kind except a pure return consults the BTB.
         if kind != PredCtrlKind::Return {
-            self.demand(
-                pred,
-                |p| p.btb.is_reconstructed(pc),
-                |p| p.btb.mark_reconstructed(pc),
-            );
+            self.demand(pred, |p| p.btb.is_reconstructed(pc), |p| p.btb.mark_reconstructed(pc));
         }
     }
 }
@@ -285,11 +281,7 @@ mod tests {
             pc,
             next_pc: pc + 4,
             inst: Inst::new(if store { Op::Sd } else { Op::Ld }, 1, 2, 1, 0),
-            mem: Some(rsr_func::MemAccess {
-                addr,
-                width: rsr_isa::MemWidth::B8,
-                is_store: store,
-            }),
+            mem: Some(rsr_func::MemAccess { addr, width: rsr_isa::MemWidth::B8, is_store: store }),
             branch: None,
         }
     }
@@ -301,11 +293,7 @@ mod tests {
             next_pc: if taken { target } else { pc + 4 },
             inst: Inst::new(Op::Bne, 0, 1, 2, (target as i64 - pc as i64) as i32),
             mem: None,
-            branch: Some(rsr_func::BranchRec {
-                kind: CtrlKind::CondBranch,
-                taken,
-                target,
-            }),
+            branch: Some(rsr_func::BranchRec { kind: CtrlKind::CondBranch, taken, target }),
         }
     }
 

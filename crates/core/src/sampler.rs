@@ -1,4 +1,14 @@
 //! The sampled simulator: hot/cold/warm phase orchestration (Figure 1).
+//!
+//! Microarchitectural state (hierarchy and predictor) carries over
+//! continuously from window to window, as the paper's SMARTS baseline and
+//! stale-state model require: what a cluster sees is the accumulated state
+//! of the whole run so far, refreshed by the configured warm-up over its
+//! own skip region. The only reset points are the *canonical shard
+//! boundaries* of [`crate::shard`] — checkpoint-style deliberate
+//! cold-starts, placed from the schedule alone, that the warm-up policy
+//! repairs — which is what lets [`crate::RunSpec::threads`] distribute a
+//! run across worker threads without changing a single per-cluster CPI.
 
 use std::time::{Duration, Instant};
 
@@ -11,9 +21,15 @@ use rsr_timing::{simulate_cluster, simulate_cluster_hooked, CoreConfig, HotStats
 
 use crate::profiled::{profile_reuse, ReusePolicy};
 use crate::reverse::{reconstruct_caches, BpReconstructor, ReconStats};
-use crate::{SamplingRegimen, Schedule, SkipLog, WarmupPolicy};
+use crate::spec::RunSpec;
+use crate::{ClusterWindow, SamplingRegimen, Schedule, SkipLog, WarmupPolicy};
 
 /// Errors surfaced by the sampled simulator.
+///
+/// Marked `#[non_exhaustive]`: downstream crates must keep a wildcard arm
+/// so new failure classes (as with [`SimError::Spec`] and
+/// [`SimError::Shard`]) can be added without a breaking release.
+#[non_exhaustive]
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
     /// The program image failed to load.
@@ -21,6 +37,15 @@ pub enum SimError {
     /// Execution faulted (runaway PC) or the program halted before the
     /// schedule completed.
     Exec(ExecError),
+    /// The [`RunSpec`] was inconsistent or incomplete (e.g. no regimen and
+    /// no schedule, or a regimen denser than the sampled-run limit).
+    Spec(&'static str),
+    /// A shard worker was lost without producing an outcome (it panicked,
+    /// or the scout pass died before delivering its checkpoint).
+    Shard {
+        /// Index of the lost shard, in schedule order.
+        index: usize,
+    },
 }
 
 impl std::fmt::Display for SimError {
@@ -28,6 +53,8 @@ impl std::fmt::Display for SimError {
         match self {
             SimError::Load(e) => write!(f, "load failed: {e}"),
             SimError::Exec(e) => write!(f, "execution failed: {e}"),
+            SimError::Spec(msg) => write!(f, "invalid run spec: {msg}"),
+            SimError::Shard { index } => write!(f, "shard {index} worker lost"),
         }
     }
 }
@@ -64,7 +91,10 @@ impl MachineConfig {
     }
 }
 
-/// Wall-clock time spent in each phase of a sampled simulation.
+/// Simulation time spent in each phase of a sampled simulation.
+///
+/// In a sharded run these are summed across workers, so they measure CPU
+/// time, not elapsed time; see [`SampleOutcome::wall`] for the latter.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct PhaseTimes {
     /// Cycle-accurate cluster simulation (including on-demand BP
@@ -78,7 +108,7 @@ pub struct PhaseTimes {
 }
 
 impl PhaseTimes {
-    /// Total simulation time.
+    /// Total simulation time across phases.
     pub fn total(&self) -> Duration {
         self.hot + self.cold + self.warm
     }
@@ -97,8 +127,12 @@ pub struct SampleOutcome {
     /// cluster IPC is not; estimates and confidence tests therefore live
     /// in CPI space and are inverted for reporting.
     pub cpi_clusters: ClusterSample,
-    /// Wall-clock phase breakdown.
+    /// Per-phase simulation time (summed across shard workers).
     pub phases: PhaseTimes,
+    /// Elapsed wall-clock time for the whole run. Equals
+    /// `phases.total()` (plus scheduling overhead) at one thread; smaller
+    /// than it when sharded across threads.
+    pub wall: Duration,
     /// Hot (cycle-accurate) instructions simulated.
     pub hot_insts: u64,
     /// Instructions skipped functionally.
@@ -116,6 +150,52 @@ pub struct SampleOutcome {
 }
 
 impl SampleOutcome {
+    /// An empty outcome for `policy`, the identity of [`absorb`].
+    ///
+    /// [`absorb`]: SampleOutcome::absorb
+    pub fn empty(policy: WarmupPolicy) -> SampleOutcome {
+        SampleOutcome {
+            policy,
+            clusters: ClusterSample::new(),
+            cpi_clusters: ClusterSample::new(),
+            phases: PhaseTimes::default(),
+            wall: Duration::ZERO,
+            hot_insts: 0,
+            skipped_insts: 0,
+            log_bytes_peak: 0,
+            log_records: 0,
+            warm_updates: 0,
+            recon: ReconStats::default(),
+        }
+    }
+
+    /// Merges `other` — the outcome of the windows that *follow* this
+    /// outcome's windows in the schedule — into `self`.
+    ///
+    /// Cluster IPC/CPI vectors are concatenated (keeping schedule order),
+    /// phase times and instruction/log/warm counters are summed,
+    /// reconstruction counters accumulate, and `log_bytes_peak` takes the
+    /// maximum (each worker's log is a separate allocation, so peaks do
+    /// not add).
+    pub fn absorb(&mut self, other: &SampleOutcome) {
+        for &ipc in other.clusters.values() {
+            self.clusters.push(ipc);
+        }
+        for &cpi in other.cpi_clusters.values() {
+            self.cpi_clusters.push(cpi);
+        }
+        self.phases.hot += other.phases.hot;
+        self.phases.cold += other.phases.cold;
+        self.phases.warm += other.phases.warm;
+        self.wall = self.wall.max(other.wall);
+        self.hot_insts += other.hot_insts;
+        self.skipped_insts += other.skipped_insts;
+        self.log_bytes_peak = self.log_bytes_peak.max(other.log_bytes_peak);
+        self.log_records += other.log_records;
+        self.warm_updates += other.warm_updates;
+        self.recon.accumulate(&other.recon);
+    }
+
     /// The sample's IPC estimate: the inverse of the mean per-cluster CPI
     /// (see [`SampleOutcome::cpi_clusters`]).
     pub fn est_ipc(&self) -> f64 {
@@ -188,10 +268,7 @@ fn warm_one(r: &Retired, hier: &mut MemHierarchy, pred: &mut Predictor, cache: b
     if cache {
         hier.warm_access(r.pc, HierAccess::Fetch);
         if let Some(m) = r.mem {
-            hier.warm_access(
-                m.addr,
-                if m.is_store { HierAccess::Store } else { HierAccess::Load },
-            );
+            hier.warm_access(m.addr, if m.is_store { HierAccess::Store } else { HierAccess::Load });
         }
     }
     if bp {
@@ -201,62 +278,36 @@ fn warm_one(r: &Retired, hier: &mut MemHierarchy, pred: &mut Predictor, cache: b
     }
 }
 
-/// Runs one complete sampled simulation of `program` under `policy`.
+/// Runs the hot/cold/warm loop over `windows`, starting from `cpu`
+/// positioned at dynamic instruction index `pos` (which must precede or
+/// equal the first window's start).
 ///
-/// Cluster positions are drawn from `schedule_seed`; hold it constant
-/// across policies to keep the sampling bias fixed (as the paper does).
-///
-/// # Errors
-///
-/// Returns [`SimError`] if the program fails to load, faults, or halts
-/// before the schedule's last cluster (workloads are expected to run
-/// forever).
-pub fn run_sampled(
-    program: &Program,
+/// This is the sequential engine under both [`RunSpec::run`] paths: the
+/// single-thread run uses it over the whole schedule, the sharded run
+/// gives each worker a contiguous slice of windows and a checkpoint-
+/// restored `cpu`. Each window builds its hierarchy and predictor from
+/// scratch (see the module docs), so any contiguous partition of the
+/// schedule produces identical per-cluster results.
+pub(crate) fn run_windows(
     machine: &MachineConfig,
-    regimen: SamplingRegimen,
-    total_insts: u64,
     policy: WarmupPolicy,
-    schedule_seed: u64,
+    cpu: &mut Cpu,
+    mut pos: u64,
+    windows: &[ClusterWindow],
 ) -> Result<SampleOutcome, SimError> {
-    let schedule = Schedule::generate(regimen, total_insts, schedule_seed);
-    run_sampled_with_schedule(program, machine, &schedule, policy)
-}
+    let mut outcome = SampleOutcome::empty(policy);
 
-/// [`run_sampled`] with an explicit, caller-built [`Schedule`] — e.g. a
-/// systematic SMARTS-style design from [`Schedule::systematic`], or a
-/// schedule shared verbatim across machines.
-///
-/// # Errors
-///
-/// As for [`run_sampled`].
-pub fn run_sampled_with_schedule(
-    program: &Program,
-    machine: &MachineConfig,
-    schedule: &Schedule,
-    policy: WarmupPolicy,
-) -> Result<SampleOutcome, SimError> {
-    let mut cpu = Cpu::new(program)?;
+    // One call = one canonical shard: microarchitectural state starts cold
+    // here and then carries over from window to window, exactly as the
+    // paper's continuously-warmed baseline does. Shard boundaries are the
+    // only reset points (see `crate::shard`), and they are placed from the
+    // schedule alone so results never depend on the thread count.
     let mut hier = MemHierarchy::new(machine.hier.clone());
     let mut pred = Predictor::new(machine.pred);
 
-    let mut outcome = SampleOutcome {
-        policy,
-        clusters: ClusterSample::new(),
-        cpi_clusters: ClusterSample::new(),
-        phases: PhaseTimes::default(),
-        hot_insts: 0,
-        skipped_insts: 0,
-        log_bytes_peak: 0,
-        log_records: 0,
-        warm_updates: 0,
-        recon: ReconStats::default(),
-    };
-
-    let mut pos = 0u64;
     // Reused across regions so logging never pays reallocation growth.
     let mut log = SkipLog::new(true, true, 0);
-    for w in schedule.windows() {
+    for w in windows {
         let skip = w.start - pos;
         outcome.skipped_insts += skip;
 
@@ -336,9 +387,9 @@ pub fn run_sampled_with_schedule(
                 // cost RSR avoids); charged to the warm phase.
                 let t = Instant::now();
                 let snapshot = cpu.clone();
-                let profile = profile_reuse(&mut cpu, skip, w.len, reuse)?;
+                let profile = profile_reuse(cpu, skip, w.len, reuse)?;
                 let window = profile.warm_window(coverage, skip);
-                cpu = snapshot;
+                *cpu = snapshot;
                 outcome.phases.warm += t.elapsed();
 
                 let t = Instant::now();
@@ -361,10 +412,8 @@ pub fn run_sampled_with_schedule(
         // ---- hot phase ---------------------------------------------------
         let t = Instant::now();
         let stats = match hook.as_mut() {
-            Some(h) => {
-                simulate_cluster_hooked(&machine.core, &mut cpu, &mut hier, &mut pred, w.len, h)?
-            }
-            None => simulate_cluster(&machine.core, &mut cpu, &mut hier, &mut pred, w.len)?,
+            Some(h) => simulate_cluster_hooked(&machine.core, cpu, &mut hier, &mut pred, w.len, h)?,
+            None => simulate_cluster(&machine.core, cpu, &mut hier, &mut pred, w.len)?,
         };
         outcome.phases.hot += t.elapsed();
         if let Some(h) = hook {
@@ -380,15 +429,13 @@ pub fn run_sampled_with_schedule(
         outcome.cpi_clusters.push(stats.cycles as f64 / stats.instructions as f64);
         pos = w.end();
     }
+    outcome.wall = outcome.phases.total();
     Ok(outcome)
 }
 
-/// Runs the full-trace cycle-accurate baseline ("true IPC").
-///
-/// # Errors
-///
-/// Returns [`SimError`] on load failure or execution fault.
-pub fn run_full(
+/// The full-trace cycle-accurate baseline, shared by [`RunSpec::run_full`]
+/// and the deprecated [`run_full`] shim.
+pub(crate) fn run_full_once(
     program: &Program,
     machine: &MachineConfig,
     total_insts: u64,
@@ -401,6 +448,67 @@ pub fn run_full(
     Ok(FullOutcome { stats, wall: t.elapsed() })
 }
 
+/// Runs one complete sampled simulation of `program` under `policy`.
+///
+/// # Errors
+///
+/// Returns [`SimError`] if the spec is degenerate, the program fails to
+/// load, faults, or halts before the schedule's last cluster.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RunSpec::new(program, machine).regimen(..).total_insts(..).policy(..).seed(..).run()`"
+)]
+pub fn run_sampled(
+    program: &Program,
+    machine: &MachineConfig,
+    regimen: SamplingRegimen,
+    total_insts: u64,
+    policy: WarmupPolicy,
+    schedule_seed: u64,
+) -> Result<SampleOutcome, SimError> {
+    RunSpec::new(program, machine)
+        .regimen(regimen)
+        .total_insts(total_insts)
+        .policy(policy)
+        .seed(schedule_seed)
+        .run()
+}
+
+/// Sampled simulation over an explicit, caller-built [`Schedule`].
+///
+/// # Errors
+///
+/// As for [`run_sampled`].
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RunSpec::new(program, machine).schedule(..).policy(..).run()`"
+)]
+pub fn run_sampled_with_schedule(
+    program: &Program,
+    machine: &MachineConfig,
+    schedule: &Schedule,
+    policy: WarmupPolicy,
+) -> Result<SampleOutcome, SimError> {
+    RunSpec::new(program, machine).schedule(schedule.clone()).policy(policy).run()
+}
+
+/// Runs the full-trace cycle-accurate baseline ("true IPC").
+///
+/// # Errors
+///
+/// Returns [`SimError`] on load failure or execution fault.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `RunSpec::new(program, machine).total_insts(..).run_full()`"
+)]
+pub fn run_full(
+    program: &Program,
+    machine: &MachineConfig,
+    total_insts: u64,
+) -> Result<FullOutcome, SimError> {
+    RunSpec::new(program, machine).total_insts(total_insts).run_full()
+}
+
 /// Functionally skips `n` instructions with a custom per-instruction
 /// action. Exposed for SimPoint-style consumers that fast-forward with or
 /// without warming.
@@ -408,11 +516,7 @@ pub fn run_full(
 /// # Errors
 ///
 /// Propagates functional-simulation faults.
-pub fn skip_with(
-    cpu: &mut Cpu,
-    n: u64,
-    mut action: impl FnMut(&Retired),
-) -> Result<(), ExecError> {
+pub fn skip_with(cpu: &mut Cpu, n: u64, mut action: impl FnMut(&Retired)) -> Result<(), ExecError> {
     for _ in 0..n {
         let r = cpu.step()?;
         action(&r);
@@ -464,59 +568,67 @@ mod tests {
         Benchmark::Twolf.build(&WorkloadParams { scale: 0.05, ..Default::default() })
     }
 
+    fn sample(
+        program: &Program,
+        machine: &MachineConfig,
+        regimen: SamplingRegimen,
+        total: u64,
+        policy: WarmupPolicy,
+        seed: u64,
+    ) -> SampleOutcome {
+        RunSpec::new(program, machine)
+            .regimen(regimen)
+            .total_insts(total)
+            .policy(policy)
+            .seed(seed)
+            .run()
+            .unwrap()
+    }
+
     #[test]
     fn sampled_run_produces_clusters() {
-        let out = run_sampled(
+        let out = sample(
             &program(),
             &quick_machine(),
             quick_regimen(),
             100_000,
             WarmupPolicy::Smarts { cache: true, bp: true },
             42,
-        )
-        .unwrap();
+        );
         assert_eq!(out.clusters.len(), 8);
         assert_eq!(out.hot_insts, 8 * 500);
         assert!(out.est_ipc() > 0.0);
         assert!(out.phases.total() > Duration::ZERO);
+        assert!(out.wall > Duration::ZERO);
     }
 
     #[test]
     fn policies_share_cluster_positions() {
         // Same seed ⇒ same skipped/hot instruction counts across policies.
-        let a = run_sampled(
-            &program(),
-            &quick_machine(),
-            quick_regimen(),
-            100_000,
-            WarmupPolicy::None,
-            7,
-        )
-        .unwrap();
-        let b = run_sampled(
+        let a =
+            sample(&program(), &quick_machine(), quick_regimen(), 100_000, WarmupPolicy::None, 7);
+        let b = sample(
             &program(),
             &quick_machine(),
             quick_regimen(),
             100_000,
             WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
             7,
-        )
-        .unwrap();
+        );
         assert_eq!(a.skipped_insts, b.skipped_insts);
         assert_eq!(a.hot_insts, b.hot_insts);
     }
 
     #[test]
     fn reverse_policy_logs_and_reconstructs() {
-        let out = run_sampled(
+        let out = sample(
             &program(),
             &quick_machine(),
             quick_regimen(),
             100_000,
             WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
             42,
-        )
-        .unwrap();
+        );
         assert!(out.log_bytes_peak > 0, "reverse policy must log");
         assert!(out.recon.cache_inserted > 0, "cache reconstruction ran");
         assert!(out.recon.branch_scanned > 0, "on-demand BP scan ran");
@@ -524,15 +636,8 @@ mod tests {
 
     #[test]
     fn none_policy_does_not_log() {
-        let out = run_sampled(
-            &program(),
-            &quick_machine(),
-            quick_regimen(),
-            100_000,
-            WarmupPolicy::None,
-            42,
-        )
-        .unwrap();
+        let out =
+            sample(&program(), &quick_machine(), quick_regimen(), 100_000, WarmupPolicy::None, 42);
         assert_eq!(out.log_bytes_peak, 0);
         assert_eq!(out.recon, ReconStats::default());
     }
@@ -544,19 +649,17 @@ mod tests {
         let machine = quick_machine();
         let program = program();
         let total = 200_000;
-        let truth = run_full(&program, &machine, total).unwrap().ipc();
+        let truth = RunSpec::new(&program, &machine).total_insts(total).run_full().unwrap().ipc();
         let regimen = SamplingRegimen::new(10, 500);
-        let none =
-            run_sampled(&program, &machine, regimen, total, WarmupPolicy::None, 5).unwrap();
-        let smarts = run_sampled(
+        let none = sample(&program, &machine, regimen, total, WarmupPolicy::None, 5);
+        let smarts = sample(
             &program,
             &machine,
             regimen,
             total,
             WarmupPolicy::Smarts { cache: true, bp: true },
             5,
-        )
-        .unwrap();
+        );
         let err_none = rsr_stats::relative_error(truth, none.est_ipc());
         let err_smarts = rsr_stats::relative_error(truth, smarts.est_ipc());
         assert!(
@@ -571,24 +674,22 @@ mod tests {
         let program = program();
         let total = 200_000;
         let regimen = SamplingRegimen::new(10, 500);
-        let smarts = run_sampled(
+        let smarts = sample(
             &program,
             &machine,
             regimen,
             total,
             WarmupPolicy::Smarts { cache: true, bp: true },
             5,
-        )
-        .unwrap();
-        let reverse = run_sampled(
+        );
+        let reverse = sample(
             &program,
             &machine,
             regimen,
             total,
             WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(100) },
             5,
-        )
-        .unwrap();
+        );
         let gap = (smarts.est_ipc() - reverse.est_ipc()).abs() / smarts.est_ipc();
         assert!(gap < 0.1, "R$BP(100%) IPC {} vs SMARTS {}", reverse.est_ipc(), smarts.est_ipc());
     }
@@ -599,15 +700,7 @@ mod tests {
             WarmupPolicy::Mrrl { coverage: Pct::new(95) },
             WarmupPolicy::Blrl { coverage: Pct::new(95) },
         ] {
-            let out = run_sampled(
-                &program(),
-                &quick_machine(),
-                quick_regimen(),
-                100_000,
-                policy,
-                42,
-            )
-            .unwrap();
+            let out = sample(&program(), &quick_machine(), quick_regimen(), 100_000, policy, 42);
             assert_eq!(out.clusters.len(), 8, "{policy}");
             assert!(out.est_ipc() > 0.0, "{policy}");
             // twolf's random swaps reuse lines across the boundary, so a
@@ -624,10 +717,22 @@ mod tests {
         // within the skip budget.
         let machine = quick_machine();
         let program = program();
-        let mrrl = run_sampled(&program, &machine, quick_regimen(), 100_000,
-            WarmupPolicy::Mrrl { coverage: Pct::new(99) }, 7).unwrap();
-        let blrl = run_sampled(&program, &machine, quick_regimen(), 100_000,
-            WarmupPolicy::Blrl { coverage: Pct::new(99) }, 7).unwrap();
+        let mrrl = sample(
+            &program,
+            &machine,
+            quick_regimen(),
+            100_000,
+            WarmupPolicy::Mrrl { coverage: Pct::new(99) },
+            7,
+        );
+        let blrl = sample(
+            &program,
+            &machine,
+            quick_regimen(),
+            100_000,
+            WarmupPolicy::Blrl { coverage: Pct::new(99) },
+            7,
+        );
         assert!(mrrl.warm_updates as f64 <= 3.0 * mrrl.skipped_insts as f64);
         assert!(blrl.warm_updates as f64 <= 3.0 * blrl.skipped_insts as f64);
     }
@@ -636,8 +741,86 @@ mod tests {
     fn full_run_is_deterministic() {
         let machine = quick_machine();
         let program = program();
-        let a = run_full(&program, &machine, 50_000).unwrap();
-        let b = run_full(&program, &machine, 50_000).unwrap();
+        let a = RunSpec::new(&program, &machine).total_insts(50_000).run_full().unwrap();
+        let b = RunSpec::new(&program, &machine).total_insts(50_000).run_full().unwrap();
         assert_eq!(a.stats, b.stats);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_shims_delegate_to_runspec() {
+        let machine = quick_machine();
+        let program = program();
+        let policy = WarmupPolicy::Smarts { cache: true, bp: true };
+        let via_shim =
+            run_sampled(&program, &machine, quick_regimen(), 100_000, policy, 11).unwrap();
+        let via_spec = sample(&program, &machine, quick_regimen(), 100_000, policy, 11);
+        assert_eq!(via_shim.cpi_clusters.values(), via_spec.cpi_clusters.values());
+        let schedule = Schedule::generate(quick_regimen(), 100_000, 11);
+        let via_sched = run_sampled_with_schedule(&program, &machine, &schedule, policy).unwrap();
+        assert_eq!(via_sched.cpi_clusters.values(), via_spec.cpi_clusters.values());
+        let full_shim = run_full(&program, &machine, 40_000).unwrap();
+        let full_spec = RunSpec::new(&program, &machine).total_insts(40_000).run_full().unwrap();
+        assert_eq!(full_shim.stats, full_spec.stats);
+    }
+
+    #[test]
+    fn merge_concatenates_in_schedule_order() {
+        // absorb() is the sharded runner's merge: cluster vectors
+        // concatenate, counters sum, the log peak maxes. Replaying the
+        // canonical shards by hand and merging must reproduce the engine
+        // bit for bit.
+        let machine = quick_machine();
+        let program = program();
+        let policy = WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(50) };
+        let schedule = Schedule::generate(quick_regimen(), 100_000, 9);
+        let windows = schedule.windows();
+        let span = 30_000;
+        let whole = RunSpec::new(&program, &machine)
+            .schedule(schedule.clone())
+            .policy(policy)
+            .shard_span(span)
+            .run()
+            .unwrap();
+
+        let shards = crate::shard::partition_by_span(windows, span);
+        assert!(shards.len() >= 2, "span must split this schedule");
+        let mut cpu = Cpu::new(&program).unwrap();
+        let mut merged = SampleOutcome::empty(policy);
+        let mut pos = 0u64;
+        for r in &shards {
+            let out = run_windows(&machine, policy, &mut cpu, pos, &windows[r.clone()]).unwrap();
+            merged.absorb(&out);
+            pos = windows[r.end - 1].end();
+        }
+
+        assert_eq!(merged.cpi_clusters.values(), whole.cpi_clusters.values());
+        assert_eq!(merged.clusters.values(), whole.clusters.values());
+        assert_eq!(merged.hot_insts, whole.hot_insts);
+        assert_eq!(merged.skipped_insts, whole.skipped_insts);
+        assert_eq!(merged.log_records, whole.log_records);
+        assert_eq!(merged.warm_updates, whole.warm_updates);
+        assert_eq!(merged.recon, whole.recon);
+        assert_eq!(merged.log_bytes_peak, whole.log_bytes_peak);
+    }
+
+    #[test]
+    fn runspec_rejects_degenerate_specs() {
+        let machine = quick_machine();
+        let program = program();
+        assert!(matches!(RunSpec::new(&program, &machine).run(), Err(SimError::Spec(_))));
+        assert!(matches!(
+            RunSpec::new(&program, &machine).regimen(quick_regimen()).run(),
+            Err(SimError::Spec(_))
+        ));
+        // Regimen denser than the sampled-run limit: an error, not a panic.
+        assert!(matches!(
+            RunSpec::new(&program, &machine)
+                .regimen(SamplingRegimen::new(100, 1000))
+                .total_insts(150_000)
+                .run(),
+            Err(SimError::Spec(_))
+        ));
+        assert!(matches!(RunSpec::new(&program, &machine).run_full(), Err(SimError::Spec(_))));
     }
 }

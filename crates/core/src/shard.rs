@@ -1,0 +1,332 @@
+//! The sharded parallel engine behind [`crate::RunSpec::threads`].
+//!
+//! A sampled run carries two kinds of state between cluster windows: the
+//! *architectural* (functional) stream, and the *microarchitectural*
+//! carryover (caches and predictor warmed continuously, as the paper's
+//! SMARTS baseline requires). Carryover would make sharding inexact, so
+//! the engine defines **canonical shard boundaries** — placed by
+//! [`partition_by_span`] from the schedule alone, never from the thread
+//! count — and resets microarchitectural state exactly there. Each
+//! boundary is a deliberate cold-start of the same kind a live-point
+//! checkpoint restore produces (Wenisch et al.), and the warm-up policy
+//! repairs it just as §3's reverse reconstruction repairs a sample's
+//! cold-start. Because the boundaries are a pure function of the schedule,
+//! a run with any `threads` value produces bit-identical per-cluster
+//! numbers: threads only change how the canonical shards are *grouped*
+//! onto workers.
+//!
+//! Reproducing "the exact functional state at instruction N" without
+//! simulating N instructions per worker is the live-points trick from
+//! `rsr-ckpt`, inverted: one deterministic *scout* pass on the main thread
+//! fast-forwards functionally through the program, and at each worker
+//! group's boundary captures a checkpoint of the architectural registers
+//! plus every page stored to so far (untouched pages are reproduced by a
+//! fresh `Cpu::new` from the load image, so no lookahead is needed).
+//! Workers are `std::thread::scope` threads fed through channels, so a
+//! group starts the instant the scout crosses its boundary — while the
+//! scout keeps streaming toward the next one — and the scout's single
+//! functional pass is the only sequential bottleneck (§2's "functional
+//! warming dominates" observation in reverse: plain functional simulation
+//! is cheap relative to the warming + hot loops the workers overlap).
+
+use std::collections::BTreeSet;
+use std::ops::Range;
+use std::sync::mpsc::{channel, Sender};
+
+use rsr_func::{ArchState, Cpu, PAGE_BYTES};
+use rsr_isa::Program;
+
+use crate::sampler::run_windows;
+use crate::{ClusterWindow, MachineConfig, SampleOutcome, Schedule, SimError, WarmupPolicy};
+
+/// Everything a worker needs to resume functional execution at its group
+/// boundary: the registers, plus the pages dirtied since program start
+/// (everything else is load-image state a fresh [`Cpu::new`] rebuilds).
+struct ShardCheckpoint {
+    arch: ArchState,
+    /// `(page number, page bytes)`, ascending.
+    pages: Vec<(u64, Vec<u8>)>,
+}
+
+/// Places the canonical shard boundaries: contiguous window runs, cut as
+/// soon as a shard spans at least `shard_span` instructions. Depends only
+/// on the schedule and `shard_span`, so every thread count sees the same
+/// boundaries (and at integration-test scales — total < `shard_span` —
+/// the whole run is one shard, i.e. plain continuous carryover).
+pub(crate) fn partition_by_span(windows: &[ClusterWindow], shard_span: u64) -> Vec<Range<usize>> {
+    let shard_span = shard_span.max(1);
+    let mut out = Vec::new();
+    let mut start = 0usize;
+    let mut start_pos = 0u64;
+    for (i, w) in windows.iter().enumerate() {
+        if w.end() - start_pos >= shard_span {
+            out.push(start..i + 1);
+            start = i + 1;
+            start_pos = w.end();
+        }
+    }
+    if start < windows.len() {
+        out.push(start..windows.len());
+    }
+    out
+}
+
+/// Splits items with the given `spans` into up to `parts` contiguous,
+/// non-empty groups balanced by span (each shard's skip + hot work is
+/// proportional to the instructions it covers, not to its shard count).
+pub(crate) fn partition_balanced(spans: &[u64], parts: usize) -> Vec<Range<usize>> {
+    if spans.is_empty() {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, spans.len());
+    let cum: Vec<u64> = spans
+        .iter()
+        .scan(0u64, |acc, s| {
+            *acc += s;
+            Some(*acc)
+        })
+        .collect();
+    let total = *cum.last().expect("non-empty") as f64;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for k in 0..parts {
+        let groups_left = parts - k;
+        // Leave at least one item for every group still to come.
+        let max_end = spans.len() - (groups_left - 1);
+        let target = total * (k + 1) as f64 / parts as f64;
+        let mut end = start + 1;
+        while end < max_end && (cum[end - 1] as f64) < target {
+            end += 1;
+        }
+        out.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, spans.len());
+    out
+}
+
+/// Runs the canonical shards sequentially on one CPU (microarchitectural
+/// reset at every boundary), merging in schedule order — the reference
+/// semantics every worker layout must reproduce.
+fn run_shards_sequential(
+    program: &Program,
+    machine: &MachineConfig,
+    policy: WarmupPolicy,
+    windows: &[ClusterWindow],
+    shards: &[Range<usize>],
+) -> Result<SampleOutcome, SimError> {
+    let mut cpu = Cpu::new(program)?;
+    let mut merged = SampleOutcome::empty(policy);
+    let mut pos = 0u64;
+    for r in shards {
+        let out = run_windows(machine, policy, &mut cpu, pos, &windows[r.clone()])?;
+        merged.absorb(&out);
+        pos = windows[r.end - 1].end();
+    }
+    Ok(merged)
+}
+
+/// The scout pass: fast-forwards functionally through the run on the
+/// calling thread, delivering `senders[g-1]` the checkpoint for worker
+/// group `g` the moment the scout reaches that group's boundary.
+///
+/// A checkpoint is the registers plus every *dirty* page — pages stored to
+/// since program start, tracked incrementally as the scout executes. That
+/// set needs no lookahead: a page the group reads but nothing ever wrote
+/// still holds its load-image (or zero) content, which the worker's fresh
+/// [`Cpu::new`] reproduces by construction. So the scout executes the run
+/// functionally exactly once and each worker starts the instant its
+/// boundary is crossed, while the scout keeps streaming ahead.
+fn scout_checkpoints(
+    program: &Program,
+    starts: &[u64],
+    senders: Vec<Sender<ShardCheckpoint>>,
+) -> Result<(), SimError> {
+    let mut cpu = Cpu::new(program)?;
+    let mut dirty: BTreeSet<u64> = BTreeSet::new();
+    let mut pos = 0u64;
+    for (i, sender) in senders.iter().enumerate() {
+        let boundary = starts[i + 1];
+        for _ in 0..boundary - pos {
+            let r = cpu.step()?;
+            if let Some(m) = r.mem {
+                if m.is_store {
+                    dirty.insert(m.addr / PAGE_BYTES);
+                    dirty.insert((m.addr + m.width.bytes() - 1) / PAGE_BYTES);
+                }
+            }
+        }
+        pos = boundary;
+        let pages = dirty
+            .iter()
+            .map(|&p| (p, cpu.mem_mut().read_vec(p * PAGE_BYTES, PAGE_BYTES as usize)))
+            .collect();
+        let ck = ShardCheckpoint { arch: cpu.arch_state(), pages };
+        // A closed channel means the worker already failed; its join
+        // result carries the real error.
+        let _ = sender.send(ck);
+    }
+    Ok(())
+}
+
+/// Runs `schedule` under the canonical-shard semantics, distributing the
+/// shards over up to `threads` workers and merging per-shard outcomes in
+/// schedule order. `threads == 1` (or a single shard/group) takes the
+/// in-process sequential path — same results, no scout.
+pub(crate) fn run_sharded(
+    program: &Program,
+    machine: &MachineConfig,
+    schedule: &Schedule,
+    policy: WarmupPolicy,
+    threads: usize,
+    shard_span: u64,
+) -> Result<SampleOutcome, SimError> {
+    let windows = schedule.windows();
+    let shards = partition_by_span(windows, shard_span);
+    // Canonical shard boundary positions: shard s resumes at the end of
+    // shard s-1's last window (its leading gap is replayed under the
+    // warm-up policy itself, which is what repairs the boundary
+    // cold-start).
+    let shard_starts: Vec<u64> = std::iter::once(0)
+        .chain(shards.iter().map(|r| windows[r.end - 1].end()))
+        .take(shards.len())
+        .collect();
+    if threads <= 1 || shards.len() <= 1 {
+        return run_shards_sequential(program, machine, policy, windows, &shards);
+    }
+    let spans: Vec<u64> = shards
+        .iter()
+        .zip(&shard_starts)
+        .map(|(r, &start)| windows[r.end - 1].end() - start)
+        .collect();
+    let groups = partition_balanced(&spans, threads);
+    if groups.len() <= 1 {
+        return run_shards_sequential(program, machine, policy, windows, &shards);
+    }
+    let starts: Vec<u64> = groups.iter().map(|g| shard_starts[g.start]).collect();
+
+    let mut group_results: Vec<Result<SampleOutcome, SimError>> = Vec::new();
+    let mut scout_result: Result<(), SimError> = Ok(());
+    std::thread::scope(|s| {
+        let mut senders = Vec::with_capacity(groups.len() - 1);
+        let mut handles = Vec::with_capacity(groups.len());
+        for (g, group) in groups.iter().enumerate() {
+            let group_shards = &shards[group.clone()];
+            let shard_starts = &shard_starts;
+            if g == 0 {
+                handles.push(s.spawn(move || {
+                    run_shards_sequential(program, machine, policy, windows, group_shards)
+                }));
+            } else {
+                let first = group.start;
+                let (tx, rx) = channel::<ShardCheckpoint>();
+                senders.push(tx);
+                handles.push(s.spawn(move || {
+                    let ck = rx.recv().map_err(|_| SimError::Shard { index: g })?;
+                    let mut cpu = Cpu::new(program)?;
+                    cpu.restore_arch(&ck.arch);
+                    for (page_no, bytes) in &ck.pages {
+                        cpu.mem_mut().write_slice(page_no * PAGE_BYTES, bytes);
+                    }
+                    let mut merged = SampleOutcome::empty(policy);
+                    for (s_idx, r) in group_shards.iter().enumerate() {
+                        let pos = shard_starts[first + s_idx];
+                        let out = run_windows(machine, policy, &mut cpu, pos, &windows[r.clone()])?;
+                        merged.absorb(&out);
+                    }
+                    Ok(merged)
+                }));
+            }
+        }
+        scout_result = scout_checkpoints(program, &starts, senders);
+        group_results = handles
+            .into_iter()
+            .enumerate()
+            .map(|(g, h)| h.join().unwrap_or(Err(SimError::Shard { index: g })))
+            .collect();
+    });
+    // A scout fault is the root cause of any downstream channel loss;
+    // report it first, then the earliest group failure in schedule order.
+    scout_result?;
+    let mut merged: Option<SampleOutcome> = None;
+    for r in group_results {
+        let out = r?;
+        match &mut merged {
+            None => merged = Some(out),
+            Some(m) => m.absorb(&out),
+        }
+    }
+    Ok(merged.expect("partition produced at least one group"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn w(start: u64, len: u64) -> ClusterWindow {
+        ClusterWindow { start, len }
+    }
+
+    #[test]
+    fn span_partition_covers_contiguously() {
+        let windows: Vec<ClusterWindow> = (0..10).map(|i| w(i * 1000 + 200, 300)).collect();
+        for span in [1u64, 500, 1_000, 2_500, 10_000, 1_000_000] {
+            let ranges = partition_by_span(&windows, span);
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, windows.len());
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "gap or overlap");
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+        }
+        // Larger-than-total span: the whole run is one shard (carryover
+        // everywhere — the seed semantics).
+        assert_eq!(partition_by_span(&windows, 1_000_000), vec![0..10]);
+        // One-instruction span: every window is its own shard.
+        assert_eq!(partition_by_span(&windows, 1).len(), windows.len());
+    }
+
+    #[test]
+    fn span_partition_is_independent_of_anything_but_the_schedule() {
+        let windows: Vec<ClusterWindow> = (0..7).map(|i| w(i * 900 + 100, 400)).collect();
+        let a = partition_by_span(&windows, 2_000);
+        let b = partition_by_span(&windows, 2_000);
+        assert_eq!(a, b);
+        // Boundary falls exactly where the cumulative span crosses 2000
+        // (window 2 ends at 2300).
+        assert_eq!(a.first(), Some(&(0..3)));
+    }
+
+    #[test]
+    fn balanced_partition_covers_contiguously() {
+        let spans: Vec<u64> = (0..10).map(|i| 1000 + i * 10).collect();
+        for parts in 1..=12 {
+            let ranges = partition_balanced(&spans, parts);
+            assert!(ranges.len() <= parts.min(spans.len()));
+            assert_eq!(ranges.first().unwrap().start, 0);
+            assert_eq!(ranges.last().unwrap().end, spans.len());
+            for pair in ranges.windows(2) {
+                assert_eq!(pair[0].end, pair[1].start, "gap or overlap");
+            }
+            assert!(ranges.iter().all(|r| !r.is_empty()));
+        }
+    }
+
+    #[test]
+    fn balanced_partition_balances_by_span() {
+        // Nine tiny leading spans and one huge tail: a count-based split
+        // would starve one group; a span-based split puts the tail alone
+        // in the last group.
+        let mut spans = vec![50u64; 9];
+        spans.push(100_000);
+        let ranges = partition_balanced(&spans, 2);
+        assert_eq!(ranges, vec![0..9, 9..10]);
+    }
+
+    #[test]
+    fn balanced_partition_degenerate_inputs() {
+        assert!(partition_balanced(&[], 4).is_empty());
+        assert_eq!(partition_balanced(&[10], 4), vec![0..1]);
+        assert_eq!(partition_balanced(&[10, 10], 4).len(), 2);
+    }
+}

@@ -1,0 +1,208 @@
+//! [`RunSpec`] — the single entry point for sampled and full simulations.
+//!
+//! The builder replaces the old `run_sampled` / `run_sampled_with_schedule`
+//! / `run_full` trio of positional-argument free functions: every run is
+//! described by one value, defaults are explicit, degenerate combinations
+//! are reported as [`SimError::Spec`] instead of panics, and the same spec
+//! drives the sequential and the sharded multi-threaded engine (pick with
+//! [`RunSpec::threads`]).
+
+use std::time::Instant;
+
+use rsr_isa::Program;
+
+use crate::sampler::run_full_once;
+use crate::shard::run_sharded;
+use crate::{
+    FullOutcome, MachineConfig, Pct, SampleOutcome, SamplingRegimen, Schedule, SimError,
+    WarmupPolicy,
+};
+
+/// A complete description of one simulation run.
+///
+/// Construct with [`RunSpec::new`], refine with the chainable setters, and
+/// execute with [`RunSpec::run`] (sampled) or [`RunSpec::run_full`] (the
+/// unsampled true-IPC baseline). The spec borrows the program and machine,
+/// so one pair can fan out into many runs:
+///
+/// ```no_run
+/// use rsr_core::{MachineConfig, Pct, RunSpec, SamplingRegimen, WarmupPolicy};
+/// use rsr_workloads::{Benchmark, WorkloadParams};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = Benchmark::Mcf.build(&WorkloadParams::default());
+/// let machine = MachineConfig::paper();
+/// let outcome = RunSpec::new(&program, &machine)
+///     .regimen(SamplingRegimen::new(60, 3000))
+///     .total_insts(8_000_000)
+///     .policy(WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) })
+///     .seed(42)
+///     .threads(4)
+///     .run()?;
+/// println!("IPC estimate: {:.3}", outcome.est_ipc());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Debug)]
+pub struct RunSpec<'a> {
+    program: &'a Program,
+    machine: &'a MachineConfig,
+    regimen: Option<SamplingRegimen>,
+    schedule: Option<Schedule>,
+    total_insts: u64,
+    policy: WarmupPolicy,
+    seed: u64,
+    threads: usize,
+    shard_span: u64,
+}
+
+impl<'a> RunSpec<'a> {
+    /// Starts a spec for `program` on `machine`.
+    ///
+    /// Defaults: the paper's headline warm-up policy (R$BP at 20 %
+    /// analysis), seed 0, one thread, and no regimen/schedule —
+    /// [`RunSpec::run`] requires one of [`RunSpec::regimen`] (plus
+    /// [`RunSpec::total_insts`]) or [`RunSpec::schedule`].
+    pub fn new(program: &'a Program, machine: &'a MachineConfig) -> RunSpec<'a> {
+        RunSpec {
+            program,
+            machine,
+            regimen: None,
+            schedule: None,
+            total_insts: 0,
+            policy: WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
+            seed: 0,
+            threads: 1,
+            shard_span: RunSpec::DEFAULT_SHARD_SPAN,
+        }
+    }
+
+    /// Default canonical shard span (instructions): long enough that
+    /// integration-scale runs stay a single shard (pure carryover, the
+    /// seed semantics) while paper-scale runs (tens of millions of
+    /// instructions) split into enough shards to keep several workers
+    /// busy.
+    pub const DEFAULT_SHARD_SPAN: u64 = 4_000_000;
+
+    /// Sets the sampling regimen; [`RunSpec::run`] draws the schedule from
+    /// it, [`RunSpec::total_insts`], and [`RunSpec::seed`].
+    pub fn regimen(mut self, regimen: SamplingRegimen) -> Self {
+        self.regimen = Some(regimen);
+        self
+    }
+
+    /// Uses an explicit caller-built schedule (e.g. a systematic SMARTS
+    /// design from [`Schedule::systematic`], or one shared verbatim across
+    /// machines), overriding [`RunSpec::regimen`] and [`RunSpec::seed`].
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the run length in dynamic instructions.
+    pub fn total_insts(mut self, total_insts: u64) -> Self {
+        self.total_insts = total_insts;
+        self
+    }
+
+    /// Sets the warm-up policy (default: `Reverse { cache, bp, 20 % }`).
+    pub fn policy(mut self, policy: WarmupPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the schedule seed. Hold it constant across policies to keep
+    /// the sampling bias fixed, as the paper does.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the worker-thread count for [`RunSpec::run`] (default 1;
+    /// 0 is treated as 1). The schedule is split into *canonical shards*
+    /// at boundaries derived from the schedule alone (see
+    /// [`RunSpec::shard_span`]); with `n > 1` those shards are distributed
+    /// over up to `n` workers after a functional scout pass captures an
+    /// architectural checkpoint at each worker's boundary. Because the
+    /// shard boundaries never depend on the thread count, per-cluster
+    /// results are bit-identical for every `n` (see `DESIGN.md`,
+    /// "Parallel sampling").
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the canonical shard span in instructions (default
+    /// [`RunSpec::DEFAULT_SHARD_SPAN`]; 0 is treated as 1). Shard
+    /// boundaries are placed wherever the accumulated schedule span
+    /// reaches this value; microarchitectural state resets there — a
+    /// deliberate checkpoint-style cold-start repaired by the warm-up
+    /// policy — and carries over continuously everywhere else. Runs
+    /// shorter than one span therefore behave exactly like the classic
+    /// sequential simulator. Smaller spans expose more parallelism;
+    /// larger spans leave more continuous warming intact.
+    pub fn shard_span(mut self, shard_span: u64) -> Self {
+        self.shard_span = shard_span.max(1);
+        self
+    }
+
+    /// Materializes the schedule this spec describes.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Spec`] if the spec has neither schedule nor regimen, or
+    /// the regimen cannot be scheduled within `total_insts`.
+    pub fn build_schedule(&self) -> Result<Schedule, SimError> {
+        if let Some(s) = &self.schedule {
+            if s.is_empty() {
+                return Err(SimError::Spec("schedule holds no clusters"));
+            }
+            return Ok(s.clone());
+        }
+        let Some(regimen) = self.regimen else {
+            return Err(SimError::Spec("no regimen or schedule given"));
+        };
+        if regimen.hot_instructions() * 2 > self.total_insts {
+            return Err(SimError::Spec("regimen's hot instructions exceed half of total_insts"));
+        }
+        Ok(Schedule::generate(regimen, self.total_insts, self.seed))
+    }
+
+    /// Runs the sampled simulation.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Spec`] for degenerate specs (see
+    /// [`RunSpec::build_schedule`]); otherwise as the underlying engine:
+    /// load failures, execution faults, a program halting before the
+    /// schedule's last cluster, or a lost shard worker.
+    pub fn run(&self) -> Result<SampleOutcome, SimError> {
+        let schedule = self.build_schedule()?;
+        let t = Instant::now();
+        let mut outcome = run_sharded(
+            self.program,
+            self.machine,
+            &schedule,
+            self.policy,
+            self.threads,
+            self.shard_span,
+        )?;
+        outcome.wall = t.elapsed();
+        Ok(outcome)
+    }
+
+    /// Runs the full-trace cycle-accurate baseline ("true IPC") over
+    /// [`RunSpec::total_insts`] instructions. Ignores regimen, schedule,
+    /// policy, and threads.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Spec`] if `total_insts` is zero; otherwise load or
+    /// execution failures.
+    pub fn run_full(&self) -> Result<FullOutcome, SimError> {
+        if self.total_insts == 0 {
+            return Err(SimError::Spec("run_full needs a nonzero total_insts"));
+        }
+        run_full_once(self.program, self.machine, self.total_insts)
+    }
+}

@@ -282,11 +282,8 @@ impl Cpu {
             Sub => self.set_ireg_n(inst.rd, rs1.wrapping_sub(rs2)),
             Mul => self.set_ireg_n(inst.rd, rs1.wrapping_mul(rs2)),
             Div => {
-                let v = if rs2 == 0 {
-                    u64::MAX
-                } else {
-                    (rs1 as i64).wrapping_div(rs2 as i64) as u64
-                };
+                let v =
+                    if rs2 == 0 { u64::MAX } else { (rs1 as i64).wrapping_div(rs2 as i64) as u64 };
                 self.set_ireg_n(inst.rd, v);
             }
             Rem => {

@@ -734,10 +734,7 @@ mod tests {
         let p = a.finish().unwrap();
         assert_eq!(&p.data()[..3], &[1, 2, 3]);
         let off = (u - DEFAULT_DATA_BASE) as usize;
-        assert_eq!(
-            u64::from_le_bytes(p.data()[off..off + 8].try_into().unwrap()),
-            0xdead_beef
-        );
+        assert_eq!(u64::from_le_bytes(p.data()[off..off + 8].try_into().unwrap()), 0xdead_beef);
     }
 
     #[test]

@@ -102,7 +102,13 @@ pub fn project(intervals: &[IntervalBbv], dims: usize, seed: u64) -> Vec<Vec<f64
             out.push(v);
             continue;
         }
-        for (&block, &count) in &iv.counts {
+        // Accumulate in block order: HashMap iteration order varies per
+        // map instance, and float addition is not associative, so summing
+        // in hash order makes the projection (and any k-means tie it
+        // feeds) differ from call to call.
+        let mut blocks: Vec<(Addr, u64)> = iv.counts.iter().map(|(&b, &c)| (b, c)).collect();
+        blocks.sort_unstable();
+        for (block, count) in blocks {
             let freq = count as f64 / iv.total as f64;
             // A per-block deterministic RNG stream gives a stable random
             // projection without materializing the (huge) matrix.
@@ -153,9 +159,8 @@ mod tests {
         let p = two_phase_program(10_000);
         let ivs = profile_bbvs(&p, 50_000, 5_000).unwrap();
         // First interval's dominant block differs from the last interval's.
-        let dominant = |iv: &IntervalBbv| {
-            iv.counts().iter().max_by_key(|(_, &c)| c).map(|(&b, _)| b).unwrap()
-        };
+        let dominant =
+            |iv: &IntervalBbv| iv.counts().iter().max_by_key(|(_, &c)| c).map(|(&b, _)| b).unwrap();
         assert_ne!(dominant(&ivs[0]), dominant(&ivs[9]));
     }
 
@@ -166,9 +171,8 @@ mod tests {
         let v1 = project(&ivs, 15, 7);
         let v2 = project(&ivs, 15, 7);
         assert_eq!(v1, v2);
-        let dist = |a: &[f64], b: &[f64]| -> f64 {
-            a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
-        };
+        let dist =
+            |a: &[f64], b: &[f64]| -> f64 { a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum() };
         // Same-phase intervals are much closer than cross-phase ones.
         let same = dist(&v1[0], &v1[1]);
         let cross = dist(&v1[0], &v1[9]);

@@ -23,12 +23,7 @@ impl Clustering {
 
     /// Points assigned to cluster `c`.
     pub fn members(&self, c: usize) -> Vec<usize> {
-        self.assignments
-            .iter()
-            .enumerate()
-            .filter(|(_, &a)| a == c)
-            .map(|(i, _)| i)
-            .collect()
+        self.assignments.iter().enumerate().filter(|(_, &a)| a == c).map(|(i, _)| i).collect()
     }
 }
 
@@ -105,8 +100,7 @@ fn lloyd(data: &[Vec<f64>], mut centroids: Vec<Vec<f64>>, rng: &mut StdRng) -> C
             }
         }
     }
-    let distortion =
-        data.iter().zip(&assignments).map(|(p, &a)| dist2(p, &centroids[a])).sum();
+    let distortion = data.iter().zip(&assignments).map(|(p, &a)| dist2(p, &centroids[a])).sum();
     Clustering { assignments, centroids, distortion }
 }
 
@@ -139,9 +133,7 @@ mod tests {
 
     fn blob(center: f64, n: usize, spread: f64, seed: u64) -> Vec<Vec<f64>> {
         let mut rng = StdRng::seed_from_u64(seed);
-        (0..n)
-            .map(|_| vec![center + rng.gen_range(-spread..spread), center])
-            .collect()
+        (0..n).map(|_| vec![center + rng.gen_range(-spread..spread), center]).collect()
     }
 
     #[test]

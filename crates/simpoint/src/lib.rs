@@ -29,4 +29,6 @@ mod simpoint;
 
 pub use bbv::{profile_bbvs, project, IntervalBbv};
 pub use kmeans::{kmeans, Clustering};
-pub use simpoint::{analyze, simulate, Simpoint, SimpointAnalysis, SimpointConfig, SimpointOutcome};
+pub use simpoint::{
+    analyze, simulate, Simpoint, SimpointAnalysis, SimpointConfig, SimpointOutcome,
+};

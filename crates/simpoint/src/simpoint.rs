@@ -75,8 +75,7 @@ pub fn analyze(
     total_insts: u64,
     cfg: &SimpointConfig,
 ) -> Result<SimpointAnalysis, SimError> {
-    let intervals = profile_bbvs(program, total_insts, cfg.interval_len)
-        .map_err(SimError::Exec)?;
+    let intervals = profile_bbvs(program, total_insts, cfg.interval_len).map_err(SimError::Exec)?;
     assert!(!intervals.is_empty(), "no intervals profiled");
     let data = project(&intervals, cfg.proj_dims, cfg.seed);
     let clustering = kmeans(&data, cfg.max_k, cfg.restarts, cfg.seed);
@@ -153,14 +152,9 @@ pub fn simulate(
             phases.cold += t.elapsed();
         }
         let t = Instant::now();
-        let stats = simulate_cluster(
-            &machine.core,
-            &mut cpu,
-            &mut hier,
-            &mut pred,
-            analysis.interval_len,
-        )
-        .map_err(SimError::Exec)?;
+        let stats =
+            simulate_cluster(&machine.core, &mut cpu, &mut hier, &mut pred, analysis.interval_len)
+                .map_err(SimError::Exec)?;
         phases.hot += t.elapsed();
         hot_insts += stats.instructions;
         point_ipcs.push(stats.ipc());

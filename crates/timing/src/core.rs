@@ -98,9 +98,7 @@ fn operands(r: &Retired) -> ([Option<u8>; 2], Option<u8>) {
         Fld => ([int_src(i.rs1), None], fp_src(i.rd)),
         Sb | Sh | Sw | Sd => ([int_src(i.rs1), int_src(i.rs2)], None),
         Fsd => ([int_src(i.rs1), fp_src(i.rs2)], None),
-        Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax => {
-            ([fp_src(i.rs1), fp_src(i.rs2)], fp_src(i.rd))
-        }
+        Fadd | Fsub | Fmul | Fdiv | Fmin | Fmax => ([fp_src(i.rs1), fp_src(i.rs2)], fp_src(i.rd)),
         Fsqrt => ([fp_src(i.rs1), None], fp_src(i.rd)),
         Feq | Flt | Fle => ([fp_src(i.rs1), fp_src(i.rs2)], int_src(i.rd)),
         Fcvtdl => ([int_src(i.rs1), None], fp_src(i.rd)),
@@ -467,11 +465,7 @@ pub fn simulate_cluster_hooked(
                 } else {
                     None
                 };
-                fetch_buf.push_back(Fetched {
-                    r,
-                    ready_at: group_ready + cfg.front_end_delay,
-                    br,
-                });
+                fetch_buf.push_back(Fetched { r, ready_at: group_ready + cfg.front_end_delay, br });
                 fetched += 1;
             }
         }
@@ -492,10 +486,7 @@ mod tests {
     use rsr_isa::{Asm, Reg};
 
     fn machine() -> (MemHierarchy, Predictor) {
-        (
-            MemHierarchy::new(HierarchyConfig::paper()),
-            Predictor::new(PredictorConfig::paper()),
-        )
+        (MemHierarchy::new(HierarchyConfig::paper()), Predictor::new(PredictorConfig::paper()))
     }
 
     fn run_insts(build: impl FnOnce(&mut Asm), n: u64) -> HotStats {
@@ -721,7 +712,12 @@ mod tests {
     /// Requesting zero instructions is a no-op.
     #[test]
     fn zero_window() {
-        let stats = run_insts(|a| { a.halt(); }, 0);
+        let stats = run_insts(
+            |a| {
+                a.halt();
+            },
+            0,
+        );
         assert_eq!(stats.instructions, 0);
     }
 
@@ -759,11 +755,6 @@ mod tests {
         let warm =
             simulate_cluster(&CoreConfig::paper(), &mut cpu, &mut hier, &mut pred, 5_000).unwrap();
 
-        assert!(
-            warm.cycles < cold.cycles,
-            "warm {} vs cold {} cycles",
-            warm.cycles,
-            cold.cycles
-        );
+        assert!(warm.cycles < cold.cycles, "warm {} vs cold {} cycles", warm.cycles, cold.cycles);
     }
 }

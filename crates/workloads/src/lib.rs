@@ -171,9 +171,7 @@ impl Benchmark {
         match self {
             // Long-period workloads get fewer, longer clusters.
             Benchmark::Mcf | Benchmark::Art => RegimenSpec { n_clusters: 50, cluster_len: 3000 },
-            Benchmark::Gcc | Benchmark::Perl => {
-                RegimenSpec { n_clusters: 80, cluster_len: 1500 }
-            }
+            Benchmark::Gcc | Benchmark::Perl => RegimenSpec { n_clusters: 80, cluster_len: 1500 },
             _ => RegimenSpec { n_clusters: 64, cluster_len: 2000 },
         }
     }

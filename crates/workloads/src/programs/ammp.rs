@@ -30,9 +30,8 @@ pub fn build(params: &WorkloadParams) -> Program {
     }
     let particles = a.data_f64(&pdata);
     // Neighbor list: byte offsets of neighbor particles (pre-scaled).
-    let nlist: Vec<u64> = (0..n * neighbors)
-        .map(|_| rng.gen_range(0..n as u64) * PARTICLE_BYTES)
-        .collect();
+    let nlist: Vec<u64> =
+        (0..n * neighbors).map(|_| rng.gen_range(0..n as u64) * PARTICLE_BYTES).collect();
     let nbase = a.data_u64(&nlist);
 
     a.la(Reg::S1, particles);

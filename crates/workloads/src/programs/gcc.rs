@@ -26,8 +26,7 @@ pub fn build(params: &WorkloadParams) -> Program {
     a.la(Reg::S1, scratch);
     a.li(Reg::S2, 0);
 
-    let labels: Vec<Label> =
-        (0..blocks).map(|i| a.new_label(&format!("bb{i}"))).collect();
+    let labels: Vec<Label> = (0..blocks).map(|i| a.new_label(&format!("bb{i}"))).collect();
     let top = labels[0];
 
     for i in 0..blocks {
@@ -66,10 +65,10 @@ pub fn build(params: &WorkloadParams) -> Program {
         // Block-specific branch bias: mask 0 => never taken (fallthrough),
         // bigger masks => rarer taken, mask 1 => 50/50.
         let mask = match rng.gen_range(0..10) {
-            0..=3 => 0,     // straight-line code
-            4..=6 => 1,     // coin flip
-            7 | 8 => 3,     // taken 25%
-            _ => 7,         // taken 12.5%
+            0..=3 => 0, // straight-line code
+            4..=6 => 1, // coin flip
+            7 | 8 => 3, // taken 25%
+            _ => 7,     // taken 12.5%
         };
         // Skip over the next block when the masked bits are all zero. Tail
         // blocks fall through (a backward conditional to `top` could exceed

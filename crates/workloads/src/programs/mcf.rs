@@ -27,7 +27,7 @@ pub fn build(params: &WorkloadParams) -> Program {
         let next_addr = base + *next as u64 * NODE_BYTES;
         words.push(next_addr);
         words.push(rng.gen_range(0..1_000_000u64)); // payload
-        // Pad the node to 64 bytes so each hop touches a fresh line.
+                                                    // Pad the node to 64 bytes so each hop touches a fresh line.
         words.extend_from_slice(&[0, 0, 0, 0, 0, 0]);
     }
     let placed = a.data_u64(&words);
@@ -66,7 +66,7 @@ mod tests {
     }
 
     #[test]
-    fn pointer_chase_covers_many_lines(){
+    fn pointer_chase_covers_many_lines() {
         let p = build(&WorkloadParams { scale: 0.02, ..Default::default() });
         let stats = smoke_run(p, 50_000);
         // Each hop lands on a distinct 64-byte line until the cycle repeats.

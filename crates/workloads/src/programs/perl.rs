@@ -21,8 +21,7 @@ pub fn build(params: &WorkloadParams) -> Program {
 
     let mut a = Asm::new();
     // Bytecode: one opcode per byte, biased toward cheap ops.
-    let bytecode: Vec<u8> =
-        (0..code_len).map(|_| rng.gen_range(0..NUM_OPS as u8)).collect();
+    let bytecode: Vec<u8> = (0..code_len).map(|_| rng.gen_range(0..NUM_OPS as u8)).collect();
     let code_base = a.data_bytes(&bytecode);
     // Generous VM stack buffer: opcode mix drifts the stack pointer
     // downward (~0.7 B/op), so leave plenty of slack on both sides.

@@ -37,8 +37,8 @@ pub fn build(params: &WorkloadParams) -> Program {
     a.add(Reg::T2, Reg::T2, Reg::S1);
     a.ld(Reg::T3, 0, Reg::T1); // cost A
     a.ld(Reg::T4, 0, Reg::T2); // cost B
-    // Accept if swapping lowers "cost" XOR a temperature bit — close to a
-    // coin flip that depends on loaded data (hard to predict).
+                               // Accept if swapping lowers "cost" XOR a temperature bit — close to a
+                               // coin flip that depends on loaded data (hard to predict).
     a.sub(Reg::T5, Reg::T3, Reg::T4);
     a.srli(Reg::T6, Reg::S0, 43);
     a.andi(Reg::T6, Reg::T6, 1);
@@ -65,8 +65,11 @@ mod tests {
         let stats = smoke_run(build(&WorkloadParams { scale: 0.2, ..Default::default() }), 60_000);
         assert!(stats.cond_branches > 2_000);
         // The accept branch should be genuinely mixed.
-        assert!(stats.taken_ratio() > 0.25 && stats.taken_ratio() < 0.75,
-            "taken ratio: {}", stats.taken_ratio());
+        assert!(
+            stats.taken_ratio() > 0.25 && stats.taken_ratio() < 0.75,
+            "taken ratio: {}",
+            stats.taken_ratio()
+        );
         assert!(stats.stores > 500);
     }
 

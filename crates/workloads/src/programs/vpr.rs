@@ -53,7 +53,7 @@ pub fn build(params: &WorkloadParams) -> Program {
         a.bind(skip).unwrap();
     }
     a.mv(Reg::S4, Reg::T2); // move to cheapest neighbor
-    // Bump the visited cell's cost so walks don't get stuck in a basin.
+                            // Bump the visited cell's cost so walks don't get stuck in a basin.
     a.slli(Reg::T0, Reg::S4, 3);
     a.add(Reg::T0, Reg::T0, Reg::S1);
     a.ld(Reg::T1, 0, Reg::T0);

@@ -9,7 +9,7 @@
 //! ```
 
 use rsr_ckpt::LivePointLibrary;
-use rsr_core::{run_full, MachineConfig, SamplingRegimen, WarmupPolicy};
+use rsr_core::{MachineConfig, RunSpec, SamplingRegimen, WarmupPolicy};
 use rsr_examples::{banner, secs};
 use rsr_stats::relative_error;
 use rsr_workloads::{Benchmark, WorkloadParams};
@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let total = 4_000_000;
     let regimen = SamplingRegimen::new(40, 1500);
 
-    let truth = run_full(&program, &machine, total)?;
+    let truth = RunSpec::new(&program, &machine).total_insts(total).run_full()?;
     println!("true IPC {:.4} ({} full simulation)\n", truth.ipc(), secs(truth.wall));
 
     let library = LivePointLibrary::build(

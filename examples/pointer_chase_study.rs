@@ -9,7 +9,7 @@
 //! cargo run --release -p rsr-examples --example pointer_chase_study
 //! ```
 
-use rsr_core::{run_full, run_sampled, MachineConfig, Pct, SamplingRegimen, WarmupPolicy};
+use rsr_core::{MachineConfig, Pct, RunSpec, SamplingRegimen, WarmupPolicy};
 use rsr_examples::{banner, secs};
 use rsr_stats::relative_error;
 use rsr_workloads::{Benchmark, WorkloadParams};
@@ -22,17 +22,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let total = 6_000_000;
     let regimen = SamplingRegimen::new(25, 3000);
 
-    let truth = run_full(&program, &machine, total)?;
+    let truth = RunSpec::new(&program, &machine).total_insts(total).run_full()?;
     println!("true IPC {:.4} ({} to simulate fully)\n", truth.ipc(), secs(truth.wall));
 
-    let smarts = run_sampled(
-        &program,
-        &machine,
-        regimen,
-        total,
-        WarmupPolicy::Smarts { cache: true, bp: true },
-        42,
-    )?;
+    let spec = RunSpec::new(&program, &machine).regimen(regimen).total_insts(total).seed(42);
+    let smarts = spec.clone().policy(WarmupPolicy::Smarts { cache: true, bp: true }).run()?;
     println!(
         "SMARTS baseline: IPC {:.4} (rel err {:.2}%) in {}\n",
         smarts.est_ipc(),
@@ -45,14 +39,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "budget", "IPC", "rel err", "total", "log records", "recon applied", "ignored"
     );
     for pct in [5u8, 10, 20, 40, 80, 100] {
-        let out = run_sampled(
-            &program,
-            &machine,
-            regimen,
-            total,
-            WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(pct) },
-            42,
-        )?;
+        let out = spec
+            .clone()
+            .policy(WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(pct) })
+            .run()?;
         let applied = out.recon.cache_inserted + out.recon.cache_marked;
         println!(
             "{:>5}% {:>9.4} {:>8.2}% {:>10} {:>12} {:>14} {:>12}",

@@ -5,7 +5,7 @@
 //! cargo run --release -p rsr-examples --example quickstart
 //! ```
 
-use rsr_core::{run_full, run_sampled, MachineConfig, Pct, SamplingRegimen, WarmupPolicy};
+use rsr_core::{MachineConfig, Pct, RunSpec, SamplingRegimen, WarmupPolicy};
 use rsr_examples::{banner, secs};
 use rsr_stats::relative_error;
 use rsr_workloads::{Benchmark, WorkloadParams};
@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let total = 2_000_000;
 
     // 2. The expensive way: full cycle-accurate simulation.
-    let truth = run_full(&program, &machine, total)?;
+    let truth = RunSpec::new(&program, &machine).total_insts(total).run_full()?;
     println!(
         "full simulation: IPC {:.4} in {} ({} cycles)",
         truth.ipc(),
@@ -32,15 +32,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    consume as much of the log as it needs — it still stops early once
     //    every cache set is rebuilt (use 20% for the paper's speed sweet
     //    spot on long skip regions).
+    //    `.threads(4)` shards the schedule across four workers after a
+    //    functional scout pass; every per-cluster number is identical to
+    //    the single-threaded run.
     let policy = WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(100) };
-    let sampled =
-        run_sampled(&program, &machine, SamplingRegimen::new(20, 2000), total, policy, 42)?;
+    let sampled = RunSpec::new(&program, &machine)
+        .regimen(SamplingRegimen::new(20, 2000))
+        .total_insts(total)
+        .policy(policy)
+        .seed(42)
+        .threads(4)
+        .run()?;
 
     println!(
         "sampled ({policy}):  IPC {:.4} ± {:.4} in {} (hot {} / cold {} / warm {})",
         sampled.est_ipc(),
         sampled.ipc_error_bound_95(),
-        secs(sampled.phases.total()),
+        secs(sampled.wall),
         secs(sampled.phases.hot),
         secs(sampled.phases.cold),
         secs(sampled.phases.warm),
@@ -48,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!(
         "relative error {:.2}% | speedup {:.1}x | {} hot instructions instead of {}",
         100.0 * relative_error(truth.ipc(), sampled.est_ipc()),
-        truth.wall.as_secs_f64() / sampled.phases.total().as_secs_f64(),
+        truth.wall.as_secs_f64() / sampled.wall.as_secs_f64(),
         sampled.hot_insts,
         total
     );

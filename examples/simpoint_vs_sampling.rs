@@ -6,7 +6,7 @@
 //! cargo run --release -p rsr-examples --example simpoint_vs_sampling
 //! ```
 
-use rsr_core::{run_full, run_sampled, MachineConfig, Pct, SamplingRegimen, WarmupPolicy};
+use rsr_core::{MachineConfig, Pct, RunSpec, SamplingRegimen, WarmupPolicy};
 use rsr_examples::{banner, secs};
 use rsr_simpoint::{analyze, simulate, SimpointConfig};
 use rsr_stats::relative_error;
@@ -19,7 +19,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let machine = MachineConfig::paper();
     let total = 4_000_000;
 
-    let truth = run_full(&program, &machine, total)?;
+    let truth = RunSpec::new(&program, &machine).total_insts(total).run_full()?;
     println!("true IPC {:.4} ({})\n", truth.ipc(), secs(truth.wall));
 
     for (label, interval, warm) in [
@@ -41,14 +41,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
-    let sampled = run_sampled(
-        &program,
-        &machine,
-        SamplingRegimen::new(40, 1500),
-        total,
-        WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
-        42,
-    )?;
+    let sampled = RunSpec::new(&program, &machine)
+        .regimen(SamplingRegimen::new(40, 1500))
+        .total_insts(total)
+        .policy(WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) })
+        .seed(42)
+        .run()?;
     println!(
         "{:<26} IPC {:.4} (rel err {:>6.2}%) {} clusters, wall {}",
         "sampled R$BP (20%)",

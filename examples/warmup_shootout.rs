@@ -5,16 +5,14 @@
 //! cargo run --release -p rsr-examples --example warmup_shootout [benchmark]
 //! ```
 
-use rsr_core::{run_full, run_sampled, MachineConfig, SamplingRegimen, WarmupPolicy};
+use rsr_core::{MachineConfig, RunSpec, SamplingRegimen, WarmupPolicy};
 use rsr_examples::{banner, secs};
 use rsr_stats::relative_error;
 use rsr_workloads::{Benchmark, WorkloadParams};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let bench = std::env::args()
-        .nth(1)
-        .and_then(|n| Benchmark::from_name(&n))
-        .unwrap_or(Benchmark::Parser);
+    let bench =
+        std::env::args().nth(1).and_then(|n| Benchmark::from_name(&n)).unwrap_or(Benchmark::Parser);
     banner(&format!("warm-up shootout on {bench}"));
 
     let program = bench.build(&WorkloadParams::default());
@@ -22,7 +20,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let total = 4_000_000;
     let regimen = SamplingRegimen::new(30, 2000);
 
-    let truth = run_full(&program, &machine, total)?;
+    let truth = RunSpec::new(&program, &machine).total_insts(total).run_full()?;
     println!("true IPC {:.4} (full simulation took {})\n", truth.ipc(), secs(truth.wall));
     println!(
         "{:<14} {:>8} {:>9} {:>8} {:>10} {:>11} {:>10}",
@@ -30,7 +28,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     for policy in WarmupPolicy::paper_matrix() {
-        let out = run_sampled(&program, &machine, regimen, total, policy, 42)?;
+        let out = RunSpec::new(&program, &machine)
+            .regimen(regimen)
+            .total_insts(total)
+            .policy(policy)
+            .seed(42)
+            .run()?;
         println!(
             "{:<14} {:>8.4} {:>8.2}% {:>8} {:>10} {:>11} {:>10}",
             policy.to_string(),

@@ -1,7 +1,7 @@
 //! Determinism and sampling-bias-control guarantees.
 
-use rsr_core::{run_full, run_sampled, Pct, SamplingRegimen, Schedule, WarmupPolicy};
-use rsr_integration::{machine, tiny};
+use rsr_core::{Pct, RunSpec, SamplingRegimen, Schedule, WarmupPolicy};
+use rsr_integration::{machine, sample, tiny};
 use rsr_workloads::Benchmark;
 
 const TOTAL: u64 = 200_000;
@@ -11,8 +11,8 @@ fn sampled_runs_are_bit_deterministic() {
     let program = tiny(Benchmark::Perl);
     let regimen = SamplingRegimen::new(8, 500);
     let policy = WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(40) };
-    let a = run_sampled(&program, &machine(), regimen, TOTAL, policy, 5).unwrap();
-    let b = run_sampled(&program, &machine(), regimen, TOTAL, policy, 5).unwrap();
+    let a = sample(&program, regimen, TOTAL, policy, 5).unwrap();
+    let b = sample(&program, regimen, TOTAL, policy, 5).unwrap();
     assert_eq!(a.clusters.values(), b.clusters.values());
     assert_eq!(a.hot_insts, b.hot_insts);
     assert_eq!(a.recon, b.recon);
@@ -41,7 +41,7 @@ fn policies_see_identical_cluster_windows() {
         WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
     ]
     .into_iter()
-    .map(|p| run_sampled(&program, &machine(), regimen, TOTAL, p, 77).unwrap())
+    .map(|p| sample(&program, regimen, TOTAL, p, 77).unwrap())
     .collect();
     for o in &outs[1..] {
         assert_eq!(o.skipped_insts, outs[0].skipped_insts);
@@ -52,8 +52,10 @@ fn policies_see_identical_cluster_windows() {
 #[test]
 fn full_runs_are_deterministic_across_processes_inputs() {
     let program = tiny(Benchmark::Art);
-    let a = run_full(&program, &machine(), 100_000).unwrap();
-    let b = run_full(&program, &machine(), 100_000).unwrap();
+    let machine = machine();
+    let spec = RunSpec::new(&program, &machine).total_insts(100_000);
+    let a = spec.run_full().unwrap();
+    let b = spec.run_full().unwrap();
     assert_eq!(a.stats, b.stats);
 }
 

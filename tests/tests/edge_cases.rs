@@ -3,11 +3,10 @@
 use rsr_branch::{Predictor, PredictorConfig};
 use rsr_cache::{HierarchyConfig, MemHierarchy};
 use rsr_core::{
-    reconstruct_caches, run_sampled, BpReconstructor, Pct, SamplingRegimen, SimError, SkipLog,
-    WarmupPolicy,
+    reconstruct_caches, BpReconstructor, Pct, SamplingRegimen, SimError, SkipLog, WarmupPolicy,
 };
 use rsr_func::Cpu;
-use rsr_integration::{machine, tiny};
+use rsr_integration::{sample, tiny};
 use rsr_isa::{Asm, Reg};
 use rsr_timing::{simulate_cluster_hooked, CoreConfig};
 use rsr_workloads::Benchmark;
@@ -35,9 +34,8 @@ fn empty_log_reconstruction_is_a_noop() {
 #[test]
 fn one_percent_budget_still_works() {
     let program = tiny(Benchmark::Vpr);
-    let out = run_sampled(
+    let out = sample(
         &program,
-        &machine(),
         SamplingRegimen::new(6, 400),
         150_000,
         WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(1) },
@@ -51,9 +49,8 @@ fn one_percent_budget_still_works() {
 #[test]
 fn single_instruction_clusters() {
     let program = tiny(Benchmark::Gcc);
-    let out = run_sampled(
+    let out = sample(
         &program,
-        &machine(),
         SamplingRegimen::new(12, 1),
         100_000,
         WarmupPolicy::Smarts { cache: true, bp: true },
@@ -74,15 +71,8 @@ fn halting_program_inside_schedule_is_an_error() {
     }
     a.halt();
     let program = a.finish().unwrap();
-    let err = run_sampled(
-        &program,
-        &machine(),
-        SamplingRegimen::new(4, 100),
-        10_000,
-        WarmupPolicy::None,
-        1,
-    )
-    .unwrap_err();
+    let err =
+        sample(&program, SamplingRegimen::new(4, 100), 10_000, WarmupPolicy::None, 1).unwrap_err();
     assert!(matches!(err, SimError::Exec(_)), "got {err:?}");
 }
 
@@ -134,9 +124,8 @@ fn reconstruction_bits_isolate_regions() {
 #[test]
 fn tiny_total_with_minimum_regimen() {
     let program = tiny(Benchmark::Parser);
-    let out = run_sampled(
+    let out = sample(
         &program,
-        &machine(),
         SamplingRegimen::new(2, 50),
         200,
         WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(50) },
@@ -151,9 +140,8 @@ fn mrrl_handles_degenerate_regions() {
     // Clusters so dense the skip regions are tiny (possibly zero after
     // de-overlap): the profiling pass must not underflow or stall.
     let program = tiny(Benchmark::Ammp);
-    let out = run_sampled(
+    let out = sample(
         &program,
-        &machine(),
         SamplingRegimen::new(10, 100),
         2_000,
         WarmupPolicy::Mrrl { coverage: Pct::new(100) },

@@ -1,7 +1,7 @@
 //! End-to-end sampled-simulation behavior across the whole stack.
 
-use rsr_core::{run_full, run_sampled, Pct, SamplingRegimen, WarmupPolicy};
-use rsr_integration::{machine, tiny};
+use rsr_core::{Pct, SamplingRegimen, WarmupPolicy};
+use rsr_integration::{full_ipc, sample, tiny};
 use rsr_stats::relative_error;
 use rsr_workloads::Benchmark;
 
@@ -18,7 +18,7 @@ fn every_paper_policy_completes_on_every_benchmark() {
     for bench in Benchmark::ALL {
         let program = tiny(bench);
         for policy in rsr_core::WarmupPolicy::paper_matrix() {
-            let out = run_sampled(&program, &machine(), regimen(), TOTAL, policy, 3)
+            let out = sample(&program, regimen(), TOTAL, policy, 3)
                 .unwrap_or_else(|e| panic!("{bench}/{policy}: {e}"));
             assert_eq!(out.clusters.len(), 10, "{bench}/{policy}");
             assert!(out.est_ipc() > 0.0, "{bench}/{policy}");
@@ -34,18 +34,11 @@ fn rsr_full_budget_tracks_smarts_everywhere() {
     // warming on every workload.
     for bench in [Benchmark::Gcc, Benchmark::Twolf, Benchmark::Vortex, Benchmark::Parser] {
         let program = tiny(bench);
-        let smarts = run_sampled(
+        let smarts =
+            sample(&program, regimen(), TOTAL, WarmupPolicy::Smarts { cache: true, bp: true }, 3)
+                .unwrap();
+        let rsr = sample(
             &program,
-            &machine(),
-            regimen(),
-            TOTAL,
-            WarmupPolicy::Smarts { cache: true, bp: true },
-            3,
-        )
-        .unwrap();
-        let rsr = run_sampled(
-            &program,
-            &machine(),
             regimen(),
             TOTAL,
             WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(100) },
@@ -60,18 +53,11 @@ fn rsr_full_budget_tracks_smarts_everywhere() {
 #[test]
 fn no_warmup_is_the_least_accurate_on_cache_bound_work() {
     let program = tiny(Benchmark::Mcf);
-    let truth = run_full(&program, &machine(), TOTAL).unwrap().ipc();
-    let none =
-        run_sampled(&program, &machine(), regimen(), TOTAL, WarmupPolicy::None, 3).unwrap();
-    let smarts = run_sampled(
-        &program,
-        &machine(),
-        regimen(),
-        TOTAL,
-        WarmupPolicy::Smarts { cache: true, bp: true },
-        3,
-    )
-    .unwrap();
+    let truth = full_ipc(&program, TOTAL);
+    let none = sample(&program, regimen(), TOTAL, WarmupPolicy::None, 3).unwrap();
+    let smarts =
+        sample(&program, regimen(), TOTAL, WarmupPolicy::Smarts { cache: true, bp: true }, 3)
+            .unwrap();
     assert!(
         relative_error(truth, none.est_ipc()) > relative_error(truth, smarts.est_ipc()),
         "no-warmup must trail SMARTS (none {:.4}, smarts {:.4}, truth {truth:.4})",
@@ -85,25 +71,13 @@ fn cache_warming_matters_more_than_bp_on_memory_bound_work() {
     // Figures 5/6: cache state dominates non-sampling bias for
     // memory-bound workloads.
     let program = tiny(Benchmark::Mcf);
-    let truth = run_full(&program, &machine(), TOTAL).unwrap().ipc();
-    let cache_only = run_sampled(
-        &program,
-        &machine(),
-        regimen(),
-        TOTAL,
-        WarmupPolicy::Smarts { cache: true, bp: false },
-        3,
-    )
-    .unwrap();
-    let bp_only = run_sampled(
-        &program,
-        &machine(),
-        regimen(),
-        TOTAL,
-        WarmupPolicy::Smarts { cache: false, bp: true },
-        3,
-    )
-    .unwrap();
+    let truth = full_ipc(&program, TOTAL);
+    let cache_only =
+        sample(&program, regimen(), TOTAL, WarmupPolicy::Smarts { cache: true, bp: false }, 3)
+            .unwrap();
+    let bp_only =
+        sample(&program, regimen(), TOTAL, WarmupPolicy::Smarts { cache: false, bp: true }, 3)
+            .unwrap();
     assert!(
         relative_error(truth, cache_only.est_ipc()) < relative_error(truth, bp_only.est_ipc()),
         "cache-only RE should beat BP-only RE (cache {:.4}, bp {:.4}, truth {truth:.4})",
@@ -115,8 +89,7 @@ fn cache_warming_matters_more_than_bp_on_memory_bound_work() {
 #[test]
 fn hot_and_skipped_instructions_account_for_the_run() {
     let program = tiny(Benchmark::Vpr);
-    let out =
-        run_sampled(&program, &machine(), regimen(), TOTAL, WarmupPolicy::None, 9).unwrap();
+    let out = sample(&program, regimen(), TOTAL, WarmupPolicy::None, 9).unwrap();
     assert_eq!(out.hot_insts, regimen().hot_instructions());
     // Skipped + hot never exceeds the nominal total and covers at least
     // the last cluster's end.
@@ -129,12 +102,10 @@ fn reverse_bp_reconstruction_improves_over_stale_bp() {
     // RBP vs None on a branch-heavy workload: reconstructing only the
     // predictor should beat leaving everything stale.
     let program = tiny(Benchmark::Gcc);
-    let truth = run_full(&program, &machine(), TOTAL).unwrap().ipc();
-    let none =
-        run_sampled(&program, &machine(), regimen(), TOTAL, WarmupPolicy::None, 3).unwrap();
-    let rbp = run_sampled(
+    let truth = full_ipc(&program, TOTAL);
+    let none = sample(&program, regimen(), TOTAL, WarmupPolicy::None, 3).unwrap();
+    let rbp = sample(
         &program,
-        &machine(),
         regimen(),
         TOTAL,
         WarmupPolicy::Reverse { cache: false, bp: true, pct: Pct::new(100) },

@@ -1,0 +1,118 @@
+//! Sharded execution must be invisible in the results: shard boundaries
+//! are derived from the schedule alone (never the thread count), so for
+//! any `threads` value the merged outcome carries exactly the same
+//! per-cluster numbers, in schedule order. Running `threads = 1` against
+//! `threads ∈ {2, 4}` therefore also validates the scout checkpoints: a
+//! worker restored from registers + touched pages must replay its shards
+//! bit-identically to the in-process sequential pass.
+
+use rsr_core::{Pct, RunSpec, SamplingRegimen, WarmupPolicy};
+use rsr_integration::{machine, sample, tiny};
+use rsr_workloads::Benchmark;
+
+const TOTAL: u64 = 250_000;
+/// Small enough to split a 250k-instruction test run into ~12 canonical
+/// shards, so the scout/worker machinery is genuinely exercised.
+const SPAN: u64 = 20_000;
+
+fn policies() -> [WarmupPolicy; 2] {
+    [
+        WarmupPolicy::Smarts { cache: true, bp: true },
+        WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
+    ]
+}
+
+#[test]
+fn thread_count_never_changes_per_cluster_cpis() {
+    let machine = machine();
+    for bench in [Benchmark::Twolf, Benchmark::Mcf] {
+        let program = tiny(bench);
+        for policy in policies() {
+            let spec = RunSpec::new(&program, &machine)
+                .regimen(SamplingRegimen::new(12, 600))
+                .total_insts(TOTAL)
+                .policy(policy)
+                .seed(9)
+                .shard_span(SPAN);
+            let sequential = spec.run().unwrap();
+            for threads in [2, 4] {
+                let sharded = spec.clone().threads(threads).run().unwrap();
+                assert_eq!(
+                    sequential.cpi_clusters.values(),
+                    sharded.cpi_clusters.values(),
+                    "{bench}/{policy}: CPI vector drifted at {threads} threads"
+                );
+                assert_eq!(
+                    sequential.clusters.values(),
+                    sharded.clusters.values(),
+                    "{bench}/{policy}: IPC vector drifted at {threads} threads"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn sharded_counters_match_sequential_exactly() {
+    // Beyond the CPI vectors, every merged counter the estimators and
+    // figures read must be shard-invariant.
+    let program = tiny(Benchmark::Gcc);
+    let machine = machine();
+    let spec = RunSpec::new(&program, &machine)
+        .regimen(SamplingRegimen::new(10, 800))
+        .total_insts(TOTAL)
+        .policy(WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(100) })
+        .seed(3)
+        .shard_span(SPAN);
+    let seq = spec.run().unwrap();
+    let par = spec.clone().threads(4).run().unwrap();
+    assert_eq!(seq.hot_insts, par.hot_insts);
+    assert_eq!(seq.skipped_insts, par.skipped_insts);
+    assert_eq!(seq.log_records, par.log_records);
+    assert_eq!(seq.log_bytes_peak, par.log_bytes_peak);
+    assert_eq!(seq.warm_updates, par.warm_updates);
+    assert_eq!(seq.recon, par.recon);
+    assert_eq!(seq.est_ipc(), par.est_ipc());
+    assert_eq!(seq.ipc_error_bound_95(), par.ipc_error_bound_95());
+}
+
+#[test]
+fn default_span_keeps_short_runs_unsharded() {
+    // Below the default shard span the whole run is one canonical shard:
+    // continuous carryover, and any thread count degenerates to the
+    // classic sequential simulator.
+    let program = tiny(Benchmark::Vpr);
+    let machine = machine();
+    let baseline = sample(
+        &program,
+        SamplingRegimen::new(8, 500),
+        200_000,
+        WarmupPolicy::Smarts { cache: true, bp: true },
+        2,
+    )
+    .unwrap();
+    let threaded = RunSpec::new(&program, &machine)
+        .regimen(SamplingRegimen::new(8, 500))
+        .total_insts(200_000)
+        .policy(WarmupPolicy::Smarts { cache: true, bp: true })
+        .seed(2)
+        .threads(4)
+        .run()
+        .unwrap();
+    assert_eq!(baseline.cpi_clusters.values(), threaded.cpi_clusters.values());
+}
+
+#[test]
+fn more_threads_than_shards_still_works() {
+    let program = tiny(Benchmark::Vpr);
+    let machine = machine();
+    let spec = RunSpec::new(&program, &machine)
+        .regimen(SamplingRegimen::new(3, 500))
+        .total_insts(60_000)
+        .policy(WarmupPolicy::Smarts { cache: true, bp: true })
+        .seed(1)
+        .shard_span(SPAN);
+    let seq = spec.run().unwrap();
+    let par = spec.clone().threads(16).run().unwrap();
+    assert_eq!(seq.cpi_clusters.values(), par.cpi_clusters.values());
+}

