@@ -329,13 +329,13 @@ mod tests {
     #[test]
     fn cli_error_converts_from_sim_and_func_errors() {
         let sim = SimError::Spec("bad spec");
-        assert_eq!(CliError::from(sim), CliError::Sim(sim));
+        assert_eq!(CliError::from(sim.clone()), CliError::Sim(sim.clone()));
         let exec = CliError::from(ExecError::Halted);
         assert_eq!(exec, CliError::Sim(SimError::Exec(ExecError::Halted)));
         let usage = CliError::from(UsageError("nope".into()));
         assert!(matches!(usage, CliError::Usage(_)));
         // Display passes the inner message through.
-        assert_eq!(CliError::from(sim).to_string(), sim.to_string());
+        assert_eq!(CliError::from(sim.clone()).to_string(), sim.to_string());
     }
 
     #[test]

@@ -30,7 +30,7 @@ use crate::{ClusterWindow, SamplingRegimen, Schedule, SkipLog, WarmupPolicy};
 /// so new failure classes (as with [`SimError::Spec`] and
 /// [`SimError::Shard`]) can be added without a breaking release.
 #[non_exhaustive]
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum SimError {
     /// The program image failed to load.
     Load(LoadError),
@@ -40,11 +40,19 @@ pub enum SimError {
     /// The [`RunSpec`] was inconsistent or incomplete (e.g. no regimen and
     /// no schedule, or a regimen denser than the sampled-run limit).
     Spec(&'static str),
-    /// A shard worker was lost without producing an outcome (it panicked,
-    /// or the scout pass died before delivering its checkpoint).
+    /// A shard worker was lost without producing an outcome (the scout
+    /// pass died — or was made to drop the checkpoint — before delivering
+    /// it).
     Shard {
-        /// Index of the lost shard, in schedule order.
+        /// Index of the lost worker group, in schedule order.
         index: usize,
+    },
+    /// A shard worker panicked; the payload is surfaced, not swallowed.
+    ShardPanicked {
+        /// Index of the panicked worker group, in schedule order.
+        index: usize,
+        /// The panic payload, downcast from `&str`/`String`.
+        message: String,
     },
 }
 
@@ -55,6 +63,9 @@ impl std::fmt::Display for SimError {
             SimError::Exec(e) => write!(f, "execution failed: {e}"),
             SimError::Spec(msg) => write!(f, "invalid run spec: {msg}"),
             SimError::Shard { index } => write!(f, "shard {index} worker lost"),
+            SimError::ShardPanicked { index, message } => {
+                write!(f, "shard {index} worker panicked: {message}")
+            }
         }
     }
 }

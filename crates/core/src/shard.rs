@@ -169,6 +169,19 @@ fn scout_checkpoints(
     Ok(())
 }
 
+/// Best-effort extraction of a panic payload's message. `panic!` with a
+/// literal carries `&str`, `format!`-style panics carry `String`; anything
+/// else is reported as opaque rather than dropped.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `schedule` under the canonical-shard semantics, distributing the
 /// shards over up to `threads` workers and merging per-shard outcomes in
 /// schedule order. `threads == 1` (or a single shard/group) takes the
@@ -242,7 +255,13 @@ pub(crate) fn run_sharded(
         group_results = handles
             .into_iter()
             .enumerate()
-            .map(|(g, h)| h.join().unwrap_or(Err(SimError::Shard { index: g })))
+            .map(|(g, h)| match h.join() {
+                Ok(r) => r,
+                Err(payload) => Err(SimError::ShardPanicked {
+                    index: g,
+                    message: panic_message(payload.as_ref()),
+                }),
+            })
             .collect();
     });
     // A scout fault is the root cause of any downstream channel loss;
