@@ -1,0 +1,249 @@
+//! Deterministic fault injection for the sharded engine.
+//!
+//! Sampling methodologies earn their keep by completing many independent
+//! regions, so a production run must degrade — not die — when a worker
+//! panics, a checkpoint is lost in transit, or the reference log outgrows
+//! its budget. None of those paths can be trusted untested, and none occur
+//! naturally in a deterministic simulator, so this module provides the
+//! test harness the supervision layer is built against: a [`FaultPlan`]
+//! describes exactly which faults strike which worker groups (and how many
+//! times), and a [`FaultInjector`] arms the plan at run time, metering each
+//! fault so a retried attempt deterministically succeeds once the fault's
+//! fire budget is spent.
+//!
+//! Injection is keyed by *worker group* (the schedule-ordered unit of
+//! supervision and retry in [`crate::RunSpec::threads`] runs), so a plan is
+//! meaningful at any thread count: at one thread the whole run is group 0.
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// The failure modes the sharded engine can be made to exhibit.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// The targeted worker group panics before simulating anything
+    /// (exercises `catch_unwind` supervision and
+    /// [`crate::SimError::ShardPanicked`]).
+    WorkerPanic,
+    /// The scout never delivers the targeted group's checkpoint, as if the
+    /// channel died (exercises [`crate::SimError::Shard`] and retry from
+    /// the supervisor's retained copy). A no-op for group 0 and for
+    /// single-threaded runs, which use no checkpoints.
+    DropCheckpoint,
+    /// The targeted group's checkpoint is delivered with a corrupted
+    /// checksum (exercises verification and
+    /// [`crate::SimError::CheckpointCorrupt`]). A no-op where
+    /// [`FaultKind::DropCheckpoint`] is.
+    CorruptCheckpoint,
+    /// The run behaves as if [`crate::RunSpec::log_budget_bytes`] were
+    /// zero: every logging skip region exhausts its budget and degrades to
+    /// the paper's no-history (stale-state) fallback. Group-independent.
+    ExhaustLogBudget,
+    /// The targeted worker group sleeps briefly before simulating — a
+    /// straggler. Results must be unaffected; deadlines may trip.
+    SlowShard,
+}
+
+/// How long a [`FaultKind::SlowShard`] straggler sleeps per fire.
+pub const SLOW_SHARD_DELAY: Duration = Duration::from_millis(20);
+
+/// One planned fault: a kind, the worker group it strikes (in schedule
+/// order), and how many times it fires before letting attempts through.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// Worker-group index the fault targets (ignored by group-independent
+    /// kinds such as [`FaultKind::ExhaustLogBudget`]).
+    pub group: usize,
+    /// Times the fault fires before the injector lets the target succeed.
+    /// `fires = 1` with one retry allowed recovers; `fires` greater than
+    /// the retry budget fails the run with the fault's typed error.
+    pub fires: u32,
+}
+
+/// A deterministic description of every fault a run will experience.
+///
+/// Build explicitly with [`FaultPlan::with`] / [`FaultPlan::with_repeated`]
+/// or derive one from a seed with [`FaultPlan::from_seed`]; thread it
+/// through [`crate::RunSpec::fault_plan`]. An empty plan (the default) is a
+/// fault-free run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty (fault-free) plan.
+    pub fn new() -> FaultPlan {
+        FaultPlan::default()
+    }
+
+    /// Adds a fault that fires once against `group`.
+    #[must_use]
+    pub fn with(self, kind: FaultKind, group: usize) -> FaultPlan {
+        self.with_repeated(kind, group, 1)
+    }
+
+    /// Adds a fault that fires `fires` times against `group` (so the first
+    /// `fires` attempts fail and attempt `fires + 1` succeeds).
+    #[must_use]
+    pub fn with_repeated(mut self, kind: FaultKind, group: usize, fires: u32) -> FaultPlan {
+        self.faults.push(Fault { kind, group, fires });
+        self
+    }
+
+    /// Derives a plan of `n` faults over worker groups `0..groups` from a
+    /// seed — the same seed always yields the same plan, so randomized
+    /// fault sweeps are replayable from their seed alone.
+    pub fn from_seed(seed: u64, n: usize, groups: usize) -> FaultPlan {
+        const KINDS: [FaultKind; 5] = [
+            FaultKind::WorkerPanic,
+            FaultKind::DropCheckpoint,
+            FaultKind::CorruptCheckpoint,
+            FaultKind::ExhaustLogBudget,
+            FaultKind::SlowShard,
+        ];
+        let mut state = seed;
+        let mut plan = FaultPlan::new();
+        for _ in 0..n {
+            let kind = KINDS[(splitmix64(&mut state) % KINDS.len() as u64) as usize];
+            let group = (splitmix64(&mut state) % groups.max(1) as u64) as usize;
+            plan = plan.with(kind, group);
+        }
+        plan
+    }
+
+    /// The planned faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// `true` when the plan injects nothing.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// Does this plan force the log budget to zero
+    /// ([`FaultKind::ExhaustLogBudget`])? Evaluated once per run, before
+    /// any worker starts, so degradation stays thread-count-invariant.
+    pub fn forces_log_exhaustion(&self) -> bool {
+        self.faults.iter().any(|f| f.kind == FaultKind::ExhaustLogBudget && f.fires > 0)
+    }
+}
+
+/// The armed form of a [`FaultPlan`]: shared by the scout, every worker,
+/// and the retry supervisor, it meters each `(kind, group)` fault's
+/// remaining fires under a mutex so concurrent workers and sequential
+/// retries all draw from one deterministic budget.
+#[derive(Debug)]
+pub(crate) struct FaultInjector {
+    remaining: Mutex<HashMap<(FaultKind, usize), u32>>,
+}
+
+impl FaultInjector {
+    /// Arms `plan` (fire counts for the same `(kind, group)` accumulate).
+    pub(crate) fn new(plan: &FaultPlan) -> FaultInjector {
+        let mut remaining: HashMap<(FaultKind, usize), u32> = HashMap::new();
+        for f in &plan.faults {
+            *remaining.entry((f.kind, f.group)).or_insert(0) += f.fires;
+        }
+        FaultInjector { remaining: Mutex::new(remaining) }
+    }
+
+    /// Consumes one fire of `(kind, group)` if any remain.
+    fn take(&self, kind: FaultKind, group: usize) -> bool {
+        // A panic between lock and unlock is impossible here, but a
+        // poisoned injector must keep injecting deterministically anyway.
+        let mut map = self.remaining.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
+        match map.get_mut(&(kind, group)) {
+            Some(n) if *n > 0 => {
+                *n -= 1;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The panic message to raise in `group`'s worker body, if armed.
+    pub(crate) fn panic_message(&self, group: usize) -> Option<String> {
+        self.take(FaultKind::WorkerPanic, group)
+            .then(|| format!("injected fault: worker group {group} panic"))
+    }
+
+    /// Should the scout withhold `group`'s checkpoint?
+    pub(crate) fn drop_checkpoint(&self, group: usize) -> bool {
+        self.take(FaultKind::DropCheckpoint, group)
+    }
+
+    /// Should the scout deliver `group`'s checkpoint with a bad checksum?
+    pub(crate) fn corrupt_checkpoint(&self, group: usize) -> bool {
+        self.take(FaultKind::CorruptCheckpoint, group)
+    }
+
+    /// How long `group`'s worker should straggle before simulating.
+    pub(crate) fn slow_delay(&self, group: usize) -> Option<Duration> {
+        self.take(FaultKind::SlowShard, group).then_some(SLOW_SHARD_DELAY)
+    }
+}
+
+/// SplitMix64 — tiny, seedable, and good enough to spread faults over the
+/// kind × group grid.
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_from_the_same_seed_are_identical() {
+        let a = FaultPlan::from_seed(0xFEED, 8, 4);
+        let b = FaultPlan::from_seed(0xFEED, 8, 4);
+        assert_eq!(a, b);
+        assert_eq!(a.faults().len(), 8);
+        assert!(a.faults().iter().all(|f| f.group < 4 && f.fires == 1));
+        let c = FaultPlan::from_seed(0xBEEF, 8, 4);
+        assert_ne!(a, c, "different seeds should diverge");
+    }
+
+    #[test]
+    fn injector_meters_fires_across_attempts() {
+        let plan = FaultPlan::new()
+            .with_repeated(FaultKind::WorkerPanic, 1, 2)
+            .with(FaultKind::DropCheckpoint, 2);
+        let inj = FaultInjector::new(&plan);
+        assert!(inj.panic_message(1).is_some(), "first attempt fires");
+        assert!(inj.panic_message(1).is_some(), "second attempt fires");
+        assert!(inj.panic_message(1).is_none(), "budget spent; retry succeeds");
+        assert!(inj.panic_message(0).is_none(), "untargeted group untouched");
+        assert!(inj.drop_checkpoint(2));
+        assert!(!inj.drop_checkpoint(2));
+        assert!(!inj.corrupt_checkpoint(2));
+        assert!(inj.slow_delay(0).is_none());
+    }
+
+    #[test]
+    fn log_exhaustion_is_plan_level() {
+        assert!(!FaultPlan::new().forces_log_exhaustion());
+        assert!(FaultPlan::new().with(FaultKind::ExhaustLogBudget, 0).forces_log_exhaustion());
+        assert!(!FaultPlan::new()
+            .with_repeated(FaultKind::ExhaustLogBudget, 0, 0)
+            .forces_log_exhaustion());
+    }
+
+    #[test]
+    fn duplicate_entries_accumulate() {
+        let plan = FaultPlan::new().with(FaultKind::SlowShard, 3).with(FaultKind::SlowShard, 3);
+        let inj = FaultInjector::new(&plan);
+        assert_eq!(inj.slow_delay(3), Some(SLOW_SHARD_DELAY));
+        assert_eq!(inj.slow_delay(3), Some(SLOW_SHARD_DELAY));
+        assert_eq!(inj.slow_delay(3), None);
+    }
+}

@@ -16,7 +16,11 @@
 //! * [`RunSpec`] — the one entry point for simulations: a builder that
 //!   runs the sampled simulator (sequentially or sharded across threads
 //!   with bit-identical results) and the true-IPC baseline, with
-//!   wall-clock phase accounting for the paper's speed comparisons.
+//!   wall-clock phase accounting for the paper's speed comparisons;
+//! * [`FaultPlan`] — deterministic fault injection for the sharded
+//!   engine's supervision layer (worker panics, lost or corrupted
+//!   checkpoints, log-budget exhaustion, stragglers), driving the retry
+//!   and degradation guards configured on [`RunSpec`].
 //!
 //! ```no_run
 //! use rsr_core::{MachineConfig, Pct, RunSpec, SamplingRegimen, WarmupPolicy};
@@ -37,6 +41,7 @@
 //! # }
 //! ```
 
+mod fault;
 mod log;
 mod policy;
 pub mod profiled;
@@ -46,6 +51,7 @@ mod sampler;
 mod shard;
 mod spec;
 
+pub use crate::fault::{Fault, FaultKind, FaultPlan, SLOW_SHARD_DELAY};
 pub use crate::log::{BranchRecord, MemRecord, SkipLog};
 pub use crate::policy::{Pct, WarmupPolicy};
 pub use crate::profiled::{profile_reuse, ReusePolicy, ReuseProfile};

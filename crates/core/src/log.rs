@@ -49,6 +49,14 @@ pub struct BranchRecord {
 
 /// The log of one skip region. Data are kept only for the current region
 /// and discarded when its cluster finishes (paper §3), bounding storage.
+///
+/// An optional byte budget ([`SkipLog::set_budget`]) hard-caps the region:
+/// the first record that would push the log past the budget discards the
+/// whole log and marks it [`SkipLog::truncated`] — the paper's no-history
+/// fallback (§3.2), where the cluster runs from stale state instead of a
+/// reconstruction that would need an unbounded reference history. Whether
+/// a region truncates depends only on its own deterministic record stream,
+/// so budget-driven degradation is identical at every thread count.
 #[derive(Clone, Debug)]
 pub struct SkipLog {
     mem: Vec<MemRecord>,
@@ -60,6 +68,15 @@ pub struct SkipLog {
     pub ghr_at_start: u64,
     log_mem: bool,
     log_branches: bool,
+    /// Byte cap for the region (`None` = unbounded). Survives
+    /// [`SkipLog::reset`]: it is a property of the run, not the region.
+    budget: Option<usize>,
+    /// Set once the budget is exhausted; recording stops for the region.
+    truncated: bool,
+    /// Largest resident size observed this region (before any discard).
+    peak_bytes: usize,
+    /// Records appended this region, including any later discarded.
+    appended: u64,
 }
 
 impl Default for SkipLog {
@@ -81,11 +98,16 @@ impl SkipLog {
             ghr_at_start,
             log_mem,
             log_branches,
+            budget: None,
+            truncated: false,
+            peak_bytes: 0,
+            appended: 0,
         }
     }
 
     /// Clears the log for a new skip region, keeping allocated capacity
-    /// (logs are reused across regions to avoid reallocation churn).
+    /// (logs are reused across regions to avoid reallocation churn) and
+    /// the configured budget.
     pub fn reset(&mut self, log_mem: bool, log_branches: bool, ghr_at_start: u64) {
         self.mem.clear();
         self.branches.clear();
@@ -93,11 +115,39 @@ impl SkipLog {
         self.ghr_at_start = ghr_at_start;
         self.log_mem = log_mem;
         self.log_branches = log_branches;
+        self.truncated = false;
+        self.peak_bytes = 0;
+        self.appended = 0;
+    }
+
+    /// Caps the region's resident bytes (`None` = unbounded, the default).
+    pub fn set_budget(&mut self, budget: Option<usize>) {
+        self.budget = budget;
+    }
+
+    /// Did this region exhaust its budget? A truncated log holds nothing:
+    /// its history is incomplete, so reconstruction must not run from it.
+    pub fn truncated(&self) -> bool {
+        self.truncated
+    }
+
+    /// Largest resident size the region reached (equals
+    /// [`SkipLog::approx_bytes`] unless truncated).
+    pub fn peak_bytes(&self) -> usize {
+        self.peak_bytes
+    }
+
+    /// Records appended this region, counting any the budget discarded.
+    pub fn appended(&self) -> u64 {
+        self.appended
     }
 
     /// Records one retired instruction's reconstruction-relevant effects.
     #[inline]
     pub fn record(&mut self, r: &Retired) {
+        if self.truncated {
+            return;
+        }
         if self.log_mem {
             let line = r.pc & LINE_MASK;
             if self.last_fetch_line != line {
@@ -129,6 +179,20 @@ impl SkipLog {
                     kind: b.kind,
                     taken: b.taken,
                 });
+            }
+        }
+        self.appended = self.len() as u64;
+        let bytes = self.approx_bytes();
+        self.peak_bytes = self.peak_bytes.max(bytes);
+        if let Some(budget) = self.budget {
+            if bytes > budget {
+                // Budget exhausted: discard the region (its history is now
+                // incomplete) and stop recording. Capacity is kept, so the
+                // resident footprint stays at the high-water mark already
+                // paid, never above roughly one budget per worker.
+                self.mem.clear();
+                self.branches.clear();
+                self.truncated = true;
             }
         }
     }
@@ -242,6 +306,7 @@ impl SkipLog {
                 taken: kt[1] != 0,
             });
         }
+        let appended = (mem.len() + branches.len()) as u64;
         Ok(SkipLog {
             mem,
             branches,
@@ -249,6 +314,10 @@ impl SkipLog {
             ghr_at_start,
             log_mem: flags[0] != 0,
             log_branches: flags[1] != 0,
+            budget: None,
+            truncated: false,
+            peak_bytes: 0,
+            appended,
         })
     }
 }

@@ -54,6 +54,64 @@ pub enum SimError {
         /// The panic payload, downcast from `&str`/`String`.
         message: String,
     },
+    /// A shard checkpoint failed checksum verification between the scout
+    /// and a worker.
+    CheckpointCorrupt {
+        /// Index of the worker group whose checkpoint was corrupted.
+        index: usize,
+        /// Checksum the checkpoint claimed.
+        expected: u64,
+        /// Checksum recomputed from its contents.
+        found: u64,
+    },
+    /// The run's [`RunSpec::deadline`] expired before every canonical
+    /// shard completed. Counts are in canonical shards (schedule order),
+    /// so they mean the same thing at any thread count; in a parallel run
+    /// they reflect the earliest worker to trip, i.e. the prefix of the
+    /// schedule known complete.
+    DeadlineExceeded {
+        /// Canonical shards fully simulated before the abort.
+        completed_shards: usize,
+        /// Canonical shards the schedule holds.
+        total_shards: usize,
+    },
+    /// A simulation error inside a shard worker, wrapped with the group
+    /// index for context. The underlying error is reachable through
+    /// [`std::error::Error::source`].
+    ShardFailed {
+        /// Index of the failing worker group, in schedule order.
+        index: usize,
+        /// The underlying failure.
+        source: Box<SimError>,
+    },
+}
+
+impl SimError {
+    /// `true` for failures of the shard *infrastructure* — a panicked
+    /// worker, a lost or corrupted checkpoint — which a retry from the
+    /// retained checkpoint can plausibly heal. Deterministic simulation
+    /// errors (`Load`, `Exec`, `Spec`) and deadline aborts are not
+    /// retryable: they would fail identically again.
+    pub fn is_shard_fault(&self) -> bool {
+        matches!(
+            self,
+            SimError::Shard { .. }
+                | SimError::ShardPanicked { .. }
+                | SimError::CheckpointCorrupt { .. }
+        )
+    }
+
+    /// The worker-group index this error names, if any (including through
+    /// a [`SimError::ShardFailed`] wrapper).
+    pub fn shard_index(&self) -> Option<usize> {
+        match self {
+            SimError::Shard { index }
+            | SimError::ShardPanicked { index, .. }
+            | SimError::CheckpointCorrupt { index, .. }
+            | SimError::ShardFailed { index, .. } => Some(*index),
+            _ => None,
+        }
+    }
 }
 
 impl std::fmt::Display for SimError {
@@ -66,11 +124,31 @@ impl std::fmt::Display for SimError {
             SimError::ShardPanicked { index, message } => {
                 write!(f, "shard {index} worker panicked: {message}")
             }
+            SimError::CheckpointCorrupt { index, expected, found } => write!(
+                f,
+                "shard {index} checkpoint corrupt: checksum {found:#018x}, expected {expected:#018x}"
+            ),
+            SimError::DeadlineExceeded { completed_shards, total_shards } => write!(
+                f,
+                "deadline exceeded with {completed_shards}/{total_shards} shards complete"
+            ),
+            SimError::ShardFailed { index, source } => {
+                write!(f, "shard {index} failed: {source}")
+            }
         }
     }
 }
 
-impl std::error::Error for SimError {}
+impl std::error::Error for SimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SimError::Load(e) => Some(e),
+            SimError::Exec(e) => Some(e),
+            SimError::ShardFailed { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
 
 impl From<LoadError> for SimError {
     fn from(e: LoadError) -> Self {
@@ -158,6 +236,14 @@ pub struct SampleOutcome {
     pub warm_updates: u64,
     /// Aggregated reconstruction counters (zero for non-RSR policies).
     pub recon: ReconStats,
+    /// Clusters whose skip-region log hit [`RunSpec::log_budget_bytes`]
+    /// and were degraded to the paper's no-history (stale-state) fallback:
+    /// the log is discarded and no reconstruction runs for that cluster.
+    pub clusters_degraded: u64,
+    /// Shard-group retry attempts the supervisor made (0 in a fault-free
+    /// run). Like [`SampleOutcome::wall`], this is operational telemetry,
+    /// not part of the deterministic estimate.
+    pub shard_retries: u64,
 }
 
 impl SampleOutcome {
@@ -177,6 +263,8 @@ impl SampleOutcome {
             log_records: 0,
             warm_updates: 0,
             recon: ReconStats::default(),
+            clusters_degraded: 0,
+            shard_retries: 0,
         }
     }
 
@@ -205,6 +293,8 @@ impl SampleOutcome {
         self.log_records += other.log_records;
         self.warm_updates += other.warm_updates;
         self.recon.accumulate(&other.recon);
+        self.clusters_degraded += other.clusters_degraded;
+        self.shard_retries += other.shard_retries;
     }
 
     /// The sample's IPC estimate: the inverse of the mean per-cluster CPI
@@ -299,12 +389,20 @@ fn warm_one(r: &Retired, hier: &mut MemHierarchy, pred: &mut Predictor, cache: b
 /// restored `cpu`. Each window builds its hierarchy and predictor from
 /// scratch (see the module docs), so any contiguous partition of the
 /// schedule produces identical per-cluster results.
+///
+/// `log_budget` caps each skip region's reference log; a region that
+/// exhausts it degrades its cluster to the paper's no-history fallback
+/// (stale state, no reconstruction), counted in
+/// [`SampleOutcome::clusters_degraded`]. The decision depends only on the
+/// region's own deterministic record stream, so degradation never varies
+/// with the thread count.
 pub(crate) fn run_windows(
     machine: &MachineConfig,
     policy: WarmupPolicy,
     cpu: &mut Cpu,
     mut pos: u64,
     windows: &[ClusterWindow],
+    log_budget: Option<usize>,
 ) -> Result<SampleOutcome, SimError> {
     let mut outcome = SampleOutcome::empty(policy);
 
@@ -318,6 +416,7 @@ pub(crate) fn run_windows(
 
     // Reused across regions so logging never pays reallocation growth.
     let mut log = SkipLog::new(true, true, 0);
+    log.set_budget(log_budget);
     for w in windows {
         let skip = w.start - pos;
         outcome.skipped_insts += skip;
@@ -372,19 +471,27 @@ pub(crate) fn run_windows(
                     log.record(&r);
                 }
                 outcome.phases.cold += t.elapsed();
-                outcome.log_bytes_peak = outcome.log_bytes_peak.max(log.approx_bytes());
-                outcome.log_records += log.len() as u64;
+                outcome.log_bytes_peak = outcome.log_bytes_peak.max(log.peak_bytes());
+                outcome.log_records += log.appended();
 
-                // Eager reconstruction immediately before the cluster.
-                let t = Instant::now();
-                if cache {
-                    let stats = reconstruct_caches(&mut hier, &log, pct);
-                    outcome.recon.accumulate(&stats);
+                if log.truncated() {
+                    // Budget exhausted mid-region: the history is
+                    // incomplete, so fall back to stale state (§3.2's
+                    // no-history case) — the cluster sees whatever the
+                    // structures accumulated, with no reconstruction.
+                    outcome.clusters_degraded += 1;
+                } else {
+                    // Eager reconstruction immediately before the cluster.
+                    let t = Instant::now();
+                    if cache {
+                        let stats = reconstruct_caches(&mut hier, &log, pct);
+                        outcome.recon.accumulate(&stats);
+                    }
+                    if bp {
+                        hook = Some(BpReconstructor::new(&mut pred, &log, pct));
+                    }
+                    outcome.phases.warm += t.elapsed();
                 }
-                if bp {
-                    hook = Some(BpReconstructor::new(&mut pred, &log, pct));
-                }
-                outcome.phases.warm += t.elapsed();
                 // The log is cleared at the next region: "data are kept
                 // only for the current cluster of execution".
             }
@@ -800,7 +907,8 @@ mod tests {
         let mut merged = SampleOutcome::empty(policy);
         let mut pos = 0u64;
         for r in &shards {
-            let out = run_windows(&machine, policy, &mut cpu, pos, &windows[r.clone()]).unwrap();
+            let out =
+                run_windows(&machine, policy, &mut cpu, pos, &windows[r.clone()], None).unwrap();
             merged.absorb(&out);
             pos = windows[r.end - 1].end();
         }

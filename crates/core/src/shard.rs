@@ -1,4 +1,5 @@
-//! The sharded parallel engine behind [`crate::RunSpec::threads`].
+//! The sharded parallel engine behind [`crate::RunSpec::threads`], with
+//! supervised, fault-tolerant workers.
 //!
 //! A sampled run carries two kinds of state between cluster windows: the
 //! *architectural* (functional) stream, and the *microarchitectural*
@@ -25,27 +26,106 @@
 //! Workers are `std::thread::scope` threads fed through channels, so a
 //! group starts the instant the scout crosses its boundary — while the
 //! scout keeps streaming toward the next one — and the scout's single
-//! functional pass is the only sequential bottleneck (§2's "functional
-//! warming dominates" observation in reverse: plain functional simulation
-//! is cheap relative to the warming + hot loops the workers overlap).
+//! functional pass is the only sequential bottleneck.
+//!
+//! **Supervision.** The run is only as reliable as its weakest worker, so
+//! every group body runs under `catch_unwind`: a panic becomes a typed
+//! [`SimError::ShardPanicked`] carrying the payload, never a lost run.
+//! Checkpoints travel with an FNV-1a checksum, verified on receipt
+//! ([`SimError::CheckpointCorrupt`] on mismatch), and the supervisor
+//! retains every checkpoint it streams out. After the scope joins, each
+//! group that failed with a shard-infrastructure fault (panic, lost or
+//! corrupt checkpoint — see [`SimError::is_shard_fault`]) is retried up to
+//! [`crate::RunSpec::max_shard_retries`] times from its retained
+//! checkpoint, on the supervising thread. A retried group replays exactly
+//! the windows the worker would have run, so a healed run merges
+//! bit-identically, in schedule order. Deterministic simulation errors are
+//! never retried, and deadline aborts ([`SimError::DeadlineExceeded`])
+//! carry how much of the schedule completed. Every failure path is
+//! exercisable deterministically through [`crate::FaultPlan`].
 
 use std::collections::BTreeSet;
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::mpsc::{channel, Sender};
+use std::sync::Arc;
+use std::time::Instant;
 
 use rsr_func::{ArchState, Cpu, PAGE_BYTES};
 use rsr_isa::Program;
 
+use crate::fault::FaultInjector;
 use crate::sampler::run_windows;
 use crate::{ClusterWindow, MachineConfig, SampleOutcome, Schedule, SimError, WarmupPolicy};
+
+/// The resource-guard and supervision parameters of one run, threaded from
+/// [`crate::RunSpec`] into every worker and the retry supervisor.
+pub(crate) struct RunGuards<'a> {
+    /// Per-region byte cap for the RSR reference log (`None` = unbounded).
+    pub log_budget: Option<usize>,
+    /// Absolute wall-clock deadline (`None` = unbounded).
+    pub deadline: Option<Instant>,
+    /// Times a failed group may be retried from its checkpoint.
+    pub max_retries: u32,
+    /// The armed fault plan, if any.
+    pub injector: Option<&'a FaultInjector>,
+}
 
 /// Everything a worker needs to resume functional execution at its group
 /// boundary: the registers, plus the pages dirtied since program start
 /// (everything else is load-image state a fresh [`Cpu::new`] rebuilds).
+/// The checksum covers registers and pages; workers verify it on receipt
+/// so a checkpoint corrupted in transit is a typed error, not a silently
+/// wrong estimate.
 struct ShardCheckpoint {
     arch: ArchState,
     /// `(page number, page bytes)`, ascending.
     pages: Vec<(u64, Vec<u8>)>,
+    checksum: u64,
+}
+
+impl ShardCheckpoint {
+    fn new(arch: ArchState, pages: Vec<(u64, Vec<u8>)>) -> ShardCheckpoint {
+        let checksum = checkpoint_checksum(&arch, &pages);
+        ShardCheckpoint { arch, pages, checksum }
+    }
+
+    /// Verifies contents against the carried checksum.
+    fn verify(&self, group: usize) -> Result<(), SimError> {
+        let found = checkpoint_checksum(&self.arch, &self.pages);
+        if found == self.checksum {
+            Ok(())
+        } else {
+            Err(SimError::CheckpointCorrupt { index: group, expected: self.checksum, found })
+        }
+    }
+}
+
+/// FNV-1a over the architectural registers and dirty pages — cheap
+/// relative to the page copies themselves, and order-sensitive.
+fn checkpoint_checksum(arch: &ArchState, pages: &[(u64, Vec<u8>)]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut mix = |bytes: &[u8]| {
+        for &b in bytes {
+            h = (h ^ b as u64).wrapping_mul(PRIME);
+        }
+    };
+    mix(&arch.pc.to_le_bytes());
+    for r in &arch.iregs {
+        mix(&r.to_le_bytes());
+    }
+    for r in &arch.fregs {
+        mix(&r.to_bits().to_le_bytes());
+    }
+    mix(&arch.icount.to_le_bytes());
+    mix(&[arch.halted as u8]);
+    for (page_no, bytes) in pages {
+        mix(&page_no.to_le_bytes());
+        mix(bytes);
+    }
+    h
 }
 
 /// Places the canonical shard boundaries: contiguous window runs, cut as
@@ -86,7 +166,7 @@ pub(crate) fn partition_balanced(spans: &[u64], parts: usize) -> Vec<Range<usize
             Some(*acc)
         })
         .collect();
-    let total = *cum.last().expect("non-empty") as f64;
+    let total = cum.last().copied().unwrap_or(0) as f64;
     let mut out = Vec::with_capacity(parts);
     let mut start = 0usize;
     for k in 0..parts {
@@ -105,68 +185,15 @@ pub(crate) fn partition_balanced(spans: &[u64], parts: usize) -> Vec<Range<usize
     out
 }
 
-/// Runs the canonical shards sequentially on one CPU (microarchitectural
-/// reset at every boundary), merging in schedule order — the reference
-/// semantics every worker layout must reproduce.
-fn run_shards_sequential(
-    program: &Program,
-    machine: &MachineConfig,
-    policy: WarmupPolicy,
-    windows: &[ClusterWindow],
-    shards: &[Range<usize>],
-) -> Result<SampleOutcome, SimError> {
-    let mut cpu = Cpu::new(program)?;
-    let mut merged = SampleOutcome::empty(policy);
-    let mut pos = 0u64;
-    for r in shards {
-        let out = run_windows(machine, policy, &mut cpu, pos, &windows[r.clone()])?;
-        merged.absorb(&out);
-        pos = windows[r.end - 1].end();
-    }
-    Ok(merged)
-}
-
-/// The scout pass: fast-forwards functionally through the run on the
-/// calling thread, delivering `senders[g-1]` the checkpoint for worker
-/// group `g` the moment the scout reaches that group's boundary.
-///
-/// A checkpoint is the registers plus every *dirty* page — pages stored to
-/// since program start, tracked incrementally as the scout executes. That
-/// set needs no lookahead: a page the group reads but nothing ever wrote
-/// still holds its load-image (or zero) content, which the worker's fresh
-/// [`Cpu::new`] reproduces by construction. So the scout executes the run
-/// functionally exactly once and each worker starts the instant its
-/// boundary is crossed, while the scout keeps streaming ahead.
-fn scout_checkpoints(
-    program: &Program,
-    starts: &[u64],
-    senders: Vec<Sender<ShardCheckpoint>>,
-) -> Result<(), SimError> {
-    let mut cpu = Cpu::new(program)?;
-    let mut dirty: BTreeSet<u64> = BTreeSet::new();
-    let mut pos = 0u64;
-    for (i, sender) in senders.iter().enumerate() {
-        let boundary = starts[i + 1];
-        for _ in 0..boundary - pos {
-            let r = cpu.step()?;
-            if let Some(m) = r.mem {
-                if m.is_store {
-                    dirty.insert(m.addr / PAGE_BYTES);
-                    dirty.insert((m.addr + m.width.bytes() - 1) / PAGE_BYTES);
-                }
-            }
-        }
-        pos = boundary;
-        let pages = dirty
-            .iter()
-            .map(|&p| (p, cpu.mem_mut().read_vec(p * PAGE_BYTES, PAGE_BYTES as usize)))
-            .collect();
-        let ck = ShardCheckpoint { arch: cpu.arch_state(), pages };
-        // A closed channel means the worker already failed; its join
-        // result carries the real error.
-        let _ = sender.send(ck);
-    }
-    Ok(())
+/// One worker group's task: a contiguous run of canonical shards.
+#[derive(Copy, Clone)]
+struct GroupTask<'a> {
+    /// Group index, in schedule order (the unit supervision reports on).
+    index: usize,
+    /// Global index of the group's first canonical shard.
+    first_shard: usize,
+    /// The group's shards, as window ranges.
+    shards: &'a [Range<usize>],
 }
 
 /// Best-effort extraction of a panic payload's message. `panic!` with a
@@ -182,10 +209,154 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
+/// Errors out with [`SimError::DeadlineExceeded`] once the guard's
+/// deadline has passed. `completed` counts canonical shards in schedule
+/// order, so the abort means the same thing at every thread count.
+fn check_deadline(guards: &RunGuards<'_>, completed: usize, total: usize) -> Result<(), SimError> {
+    match guards.deadline {
+        Some(at) if Instant::now() >= at => {
+            Err(SimError::DeadlineExceeded { completed_shards: completed, total_shards: total })
+        }
+        _ => Ok(()),
+    }
+}
+
+/// Runs one group's shards to completion: restore the checkpoint (if the
+/// group has one — group 0 starts from the load image), then run each
+/// canonical shard cold-started, merging in schedule order. This is the
+/// body both the scoped workers and the retry supervisor execute, so a
+/// retried group reproduces the worker's outcome bit for bit.
+#[allow(clippy::too_many_arguments)]
+fn run_group(
+    program: &Program,
+    machine: &MachineConfig,
+    policy: WarmupPolicy,
+    windows: &[ClusterWindow],
+    shard_starts: &[u64],
+    total_shards: usize,
+    group: GroupTask<'_>,
+    ck: Option<&ShardCheckpoint>,
+    guards: &RunGuards<'_>,
+) -> Result<SampleOutcome, SimError> {
+    if let Some(inj) = guards.injector {
+        if let Some(msg) = inj.panic_message(group.index) {
+            std::panic::panic_any(msg);
+        }
+        if let Some(delay) = inj.slow_delay(group.index) {
+            std::thread::sleep(delay);
+        }
+    }
+    let mut cpu = Cpu::new(program)?;
+    if let Some(ck) = ck {
+        ck.verify(group.index)?;
+        cpu.restore_arch(&ck.arch);
+        for (page_no, bytes) in &ck.pages {
+            cpu.mem_mut().write_slice(page_no * PAGE_BYTES, bytes);
+        }
+    }
+    let mut merged = SampleOutcome::empty(policy);
+    for (i, r) in group.shards.iter().enumerate() {
+        let shard = group.first_shard + i;
+        check_deadline(guards, shard, total_shards)?;
+        let pos = shard_starts[shard];
+        let out =
+            run_windows(machine, policy, &mut cpu, pos, &windows[r.clone()], guards.log_budget)?;
+        merged.absorb(&out);
+    }
+    Ok(merged)
+}
+
+/// [`run_group`] under `catch_unwind`: a panicking worker body becomes
+/// [`SimError::ShardPanicked`] with its payload, never a dead run.
+#[allow(clippy::too_many_arguments)]
+fn supervised_group(
+    program: &Program,
+    machine: &MachineConfig,
+    policy: WarmupPolicy,
+    windows: &[ClusterWindow],
+    shard_starts: &[u64],
+    total_shards: usize,
+    group: GroupTask<'_>,
+    ck: Option<&ShardCheckpoint>,
+    guards: &RunGuards<'_>,
+) -> Result<SampleOutcome, SimError> {
+    catch_unwind(AssertUnwindSafe(|| {
+        run_group(program, machine, policy, windows, shard_starts, total_shards, group, ck, guards)
+    }))
+    .unwrap_or_else(|payload| {
+        Err(SimError::ShardPanicked {
+            index: group.index,
+            message: panic_message(payload.as_ref()),
+        })
+    })
+}
+
+/// The scout pass: fast-forwards functionally through the run on the
+/// calling thread, delivering `senders[g-1]` the checkpoint for worker
+/// group `g` the moment the scout reaches that group's boundary, and
+/// retaining a copy in `retained[g]` so the supervisor can retry a failed
+/// group without re-scouting.
+///
+/// A checkpoint is the registers plus every *dirty* page — pages stored to
+/// since program start, tracked incrementally as the scout executes. That
+/// set needs no lookahead: a page the group reads but nothing ever wrote
+/// still holds its load-image (or zero) content, which the worker's fresh
+/// [`Cpu::new`] reproduces by construction. So the scout executes the run
+/// functionally exactly once and each worker starts the instant its
+/// boundary is crossed, while the scout keeps streaming ahead.
+fn scout_checkpoints(
+    program: &Program,
+    starts: &[u64],
+    senders: Vec<Sender<Arc<ShardCheckpoint>>>,
+    injector: Option<&FaultInjector>,
+    retained: &mut [Option<Arc<ShardCheckpoint>>],
+) -> Result<(), SimError> {
+    let mut cpu = Cpu::new(program)?;
+    let mut dirty: BTreeSet<u64> = BTreeSet::new();
+    let mut pos = 0u64;
+    for (i, sender) in senders.iter().enumerate() {
+        let g = i + 1;
+        let boundary = starts[g];
+        for _ in 0..boundary - pos {
+            let r = cpu.step()?;
+            if let Some(m) = r.mem {
+                if m.is_store {
+                    dirty.insert(m.addr / PAGE_BYTES);
+                    dirty.insert((m.addr + m.width.bytes() - 1) / PAGE_BYTES);
+                }
+            }
+        }
+        pos = boundary;
+        let pages: Vec<(u64, Vec<u8>)> = dirty
+            .iter()
+            .map(|&p| (p, cpu.mem_mut().read_vec(p * PAGE_BYTES, PAGE_BYTES as usize)))
+            .collect();
+        let ck = Arc::new(ShardCheckpoint::new(cpu.arch_state(), pages));
+        // The pristine copy outlives delivery: it is what retries restore.
+        retained[g] = Some(Arc::clone(&ck));
+        let deliver = match injector {
+            Some(inj) if inj.drop_checkpoint(g) => None,
+            Some(inj) if inj.corrupt_checkpoint(g) => Some(Arc::new(ShardCheckpoint {
+                arch: ck.arch.clone(),
+                pages: ck.pages.clone(),
+                checksum: ck.checksum ^ 0xDEAD_BEEF_DEAD_BEEF,
+            })),
+            _ => Some(ck),
+        };
+        if let Some(ck) = deliver {
+            // A closed channel means the worker already failed; its join
+            // result carries the real error.
+            let _ = sender.send(ck);
+        }
+    }
+    Ok(())
+}
+
 /// Runs `schedule` under the canonical-shard semantics, distributing the
-/// shards over up to `threads` workers and merging per-shard outcomes in
-/// schedule order. `threads == 1` (or a single shard/group) takes the
-/// in-process sequential path — same results, no scout.
+/// shards over up to `threads` supervised workers and merging per-shard
+/// outcomes in schedule order. `threads == 1` (or a single shard/group)
+/// takes the in-process path — same results, no scout — under the same
+/// supervision (panic capture, retry, deadline, log budget).
 pub(crate) fn run_sharded(
     program: &Program,
     machine: &MachineConfig,
@@ -193,6 +364,7 @@ pub(crate) fn run_sharded(
     policy: WarmupPolicy,
     threads: usize,
     shard_span: u64,
+    guards: &RunGuards<'_>,
 ) -> Result<SampleOutcome, SimError> {
     let windows = schedule.windows();
     let shards = partition_by_span(windows, shard_span);
@@ -204,58 +376,101 @@ pub(crate) fn run_sharded(
         .chain(shards.iter().map(|r| windows[r.end - 1].end()))
         .take(shards.len())
         .collect();
-    if threads <= 1 || shards.len() <= 1 {
-        return run_shards_sequential(program, machine, policy, windows, &shards);
-    }
+    let total_shards = shards.len();
     let spans: Vec<u64> = shards
         .iter()
         .zip(&shard_starts)
         .map(|(r, &start)| windows[r.end - 1].end() - start)
         .collect();
-    let groups = partition_balanced(&spans, threads);
-    if groups.len() <= 1 {
-        return run_shards_sequential(program, machine, policy, windows, &shards);
-    }
-    let starts: Vec<u64> = groups.iter().map(|g| shard_starts[g.start]).collect();
+    let groups = if threads <= 1 || shards.len() <= 1 {
+        // One group owning every shard (a Vec holding a single Range).
+        std::iter::once(0..shards.len()).collect()
+    } else {
+        partition_balanced(&spans, threads)
+    };
 
+    if groups.len() <= 1 {
+        // In-process path: one group holding every shard, supervised and
+        // retried from the load image (it needs no checkpoint).
+        let group = GroupTask { index: 0, first_shard: 0, shards: &shards };
+        let mut retries = 0u64;
+        loop {
+            let r = supervised_group(
+                program,
+                machine,
+                policy,
+                windows,
+                &shard_starts,
+                total_shards,
+                group,
+                None,
+                guards,
+            );
+            match r {
+                Ok(mut out) => {
+                    out.shard_retries += retries;
+                    return Ok(out);
+                }
+                Err(e) if e.is_shard_fault() && retries < guards.max_retries as u64 => {
+                    retries += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    let starts: Vec<u64> = groups.iter().map(|g| shard_starts[g.start]).collect();
+    let mut retained: Vec<Option<Arc<ShardCheckpoint>>> = vec![None; groups.len()];
     let mut group_results: Vec<Result<SampleOutcome, SimError>> = Vec::new();
     let mut scout_result: Result<(), SimError> = Ok(());
     std::thread::scope(|s| {
         let mut senders = Vec::with_capacity(groups.len() - 1);
         let mut handles = Vec::with_capacity(groups.len());
         for (g, group) in groups.iter().enumerate() {
-            let group_shards = &shards[group.clone()];
+            let task =
+                GroupTask { index: g, first_shard: group.start, shards: &shards[group.clone()] };
             let shard_starts = &shard_starts;
             if g == 0 {
                 handles.push(s.spawn(move || {
-                    run_shards_sequential(program, machine, policy, windows, group_shards)
+                    supervised_group(
+                        program,
+                        machine,
+                        policy,
+                        windows,
+                        shard_starts,
+                        total_shards,
+                        task,
+                        None,
+                        guards,
+                    )
                 }));
             } else {
-                let first = group.start;
-                let (tx, rx) = channel::<ShardCheckpoint>();
+                let (tx, rx) = channel::<Arc<ShardCheckpoint>>();
                 senders.push(tx);
                 handles.push(s.spawn(move || {
                     let ck = rx.recv().map_err(|_| SimError::Shard { index: g })?;
-                    let mut cpu = Cpu::new(program)?;
-                    cpu.restore_arch(&ck.arch);
-                    for (page_no, bytes) in &ck.pages {
-                        cpu.mem_mut().write_slice(page_no * PAGE_BYTES, bytes);
-                    }
-                    let mut merged = SampleOutcome::empty(policy);
-                    for (s_idx, r) in group_shards.iter().enumerate() {
-                        let pos = shard_starts[first + s_idx];
-                        let out = run_windows(machine, policy, &mut cpu, pos, &windows[r.clone()])?;
-                        merged.absorb(&out);
-                    }
-                    Ok(merged)
+                    supervised_group(
+                        program,
+                        machine,
+                        policy,
+                        windows,
+                        shard_starts,
+                        total_shards,
+                        task,
+                        Some(&ck),
+                        guards,
+                    )
                 }));
             }
         }
-        scout_result = scout_checkpoints(program, &starts, senders);
+        scout_result = scout_checkpoints(program, &starts, senders, guards.injector, &mut retained);
         group_results = handles
             .into_iter()
             .enumerate()
             .map(|(g, h)| match h.join() {
+                // The worker body is already supervised; a join error means
+                // the panic escaped `catch_unwind` itself (e.g. in thread
+                // teardown). Surface its payload all the same.
                 Ok(r) => r,
                 Err(payload) => Err(SimError::ShardPanicked {
                     index: g,
@@ -267,15 +482,40 @@ pub(crate) fn run_sharded(
     // A scout fault is the root cause of any downstream channel loss;
     // report it first, then the earliest group failure in schedule order.
     scout_result?;
-    let mut merged: Option<SampleOutcome> = None;
-    for r in group_results {
-        let out = r?;
-        match &mut merged {
-            None => merged = Some(out),
-            Some(m) => m.absorb(&out),
+
+    // Retry supervision: heal shard-infrastructure faults from the
+    // retained checkpoints, in schedule order, on this thread. A retried
+    // group replays the exact windows its worker owned, so the merge below
+    // stays bit-identical to a fault-free run.
+    let mut total_retries = 0u64;
+    for (g, result) in group_results.iter_mut().enumerate() {
+        let mut left = guards.max_retries;
+        while left > 0 && result.as_ref().err().is_some_and(SimError::is_shard_fault) {
+            left -= 1;
+            total_retries += 1;
+            let group = &groups[g];
+            let task =
+                GroupTask { index: g, first_shard: group.start, shards: &shards[group.clone()] };
+            *result = supervised_group(
+                program,
+                machine,
+                policy,
+                windows,
+                &shard_starts,
+                total_shards,
+                task,
+                retained[g].as_deref(),
+                guards,
+            );
         }
     }
-    Ok(merged.expect("partition produced at least one group"))
+
+    let mut merged = SampleOutcome::empty(policy);
+    for r in group_results {
+        merged.absorb(&r?);
+    }
+    merged.shard_retries += total_retries;
+    Ok(merged)
 }
 
 #[cfg(test)]
@@ -347,5 +587,37 @@ mod tests {
         assert!(partition_balanced(&[], 4).is_empty());
         assert_eq!(partition_balanced(&[10], 4), vec![0..1]);
         assert_eq!(partition_balanced(&[10, 10], 4).len(), 2);
+    }
+
+    #[test]
+    fn checksum_is_content_sensitive() {
+        let arch =
+            ArchState { pc: 0x1000, iregs: [7; 32], fregs: [1.5; 32], icount: 42, halted: false };
+        let pages = vec![(3u64, vec![1u8, 2, 3]), (9, vec![4, 5])];
+        let base = checkpoint_checksum(&arch, &pages);
+        assert_eq!(base, checkpoint_checksum(&arch, &pages), "deterministic");
+        let mut arch2 = arch.clone();
+        arch2.iregs[5] ^= 1;
+        assert_ne!(base, checkpoint_checksum(&arch2, &pages), "register flip detected");
+        let mut pages2 = pages.clone();
+        pages2[1].1[0] ^= 1;
+        assert_ne!(base, checkpoint_checksum(&arch, &pages2), "page byte flip detected");
+        let swapped = vec![pages[1].clone(), pages[0].clone()];
+        assert_ne!(base, checkpoint_checksum(&arch, &swapped), "order-sensitive");
+    }
+
+    #[test]
+    fn corrupted_checkpoint_fails_verification() {
+        let arch =
+            ArchState { pc: 0x2000, iregs: [0; 32], fregs: [0.0; 32], icount: 1, halted: false };
+        let ck = ShardCheckpoint::new(arch, vec![(1, vec![0xAB; 64])]);
+        assert!(ck.verify(3).is_ok());
+        let bad = ShardCheckpoint { checksum: ck.checksum ^ 1, ..ck };
+        match bad.verify(3) {
+            Err(SimError::CheckpointCorrupt { index: 3, expected, found }) => {
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected CheckpointCorrupt, got {other:?}"),
+        }
     }
 }

@@ -7,12 +7,13 @@
 //! drives the sequential and the sharded multi-threaded engine (pick with
 //! [`RunSpec::threads`]).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use rsr_isa::Program;
 
+use crate::fault::{FaultInjector, FaultPlan};
 use crate::sampler::run_full_once;
-use crate::shard::run_sharded;
+use crate::shard::{run_sharded, RunGuards};
 use crate::{
     FullOutcome, MachineConfig, Pct, SampleOutcome, SamplingRegimen, Schedule, SimError,
     WarmupPolicy,
@@ -54,6 +55,10 @@ pub struct RunSpec<'a> {
     seed: u64,
     threads: usize,
     shard_span: u64,
+    max_shard_retries: u32,
+    log_budget: Option<usize>,
+    deadline: Option<Duration>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl<'a> RunSpec<'a> {
@@ -74,6 +79,10 @@ impl<'a> RunSpec<'a> {
             seed: 0,
             threads: 1,
             shard_span: RunSpec::DEFAULT_SHARD_SPAN,
+            max_shard_retries: RunSpec::DEFAULT_MAX_SHARD_RETRIES,
+            log_budget: None,
+            deadline: None,
+            fault_plan: None,
         }
     }
 
@@ -83,6 +92,12 @@ impl<'a> RunSpec<'a> {
     /// instructions) split into enough shards to keep several workers
     /// busy.
     pub const DEFAULT_SHARD_SPAN: u64 = 4_000_000;
+
+    /// Default shard-retry budget: one retry heals any single transient
+    /// worker fault without changing the estimate (retried groups replay
+    /// bit-identically), while a fault that persists still surfaces as a
+    /// typed error on the second attempt.
+    pub const DEFAULT_MAX_SHARD_RETRIES: u32 = 1;
 
     /// Sets the sampling regimen; [`RunSpec::run`] draws the schedule from
     /// it, [`RunSpec::total_insts`], and [`RunSpec::seed`].
@@ -146,6 +161,51 @@ impl<'a> RunSpec<'a> {
         self
     }
 
+    /// Sets how many times a failed shard group may be retried from its
+    /// retained checkpoint (default
+    /// [`RunSpec::DEFAULT_MAX_SHARD_RETRIES`]). Only shard-infrastructure
+    /// faults — a panicked worker, a lost or corrupted checkpoint
+    /// ([`SimError::is_shard_fault`]) — are retried; deterministic
+    /// simulation errors surface immediately. A healed run is bit-identical
+    /// to a fault-free one, with the attempt count recorded in
+    /// [`SampleOutcome::shard_retries`]. `0` fails fast on the first fault.
+    pub fn max_shard_retries(mut self, retries: u32) -> Self {
+        self.max_shard_retries = retries;
+        self
+    }
+
+    /// Caps each skip region's RSR reference log at `bytes` (default
+    /// unbounded). A region that exhausts the budget degrades its cluster
+    /// to the paper's no-history fallback (§3.2): the log is discarded,
+    /// no reconstruction runs, and the cluster executes from stale state.
+    /// Degraded clusters are counted in
+    /// [`SampleOutcome::clusters_degraded`]. Degradation depends only on
+    /// each region's own deterministic record stream, so it is identical
+    /// at every thread count.
+    pub fn log_budget_bytes(mut self, bytes: usize) -> Self {
+        self.log_budget = Some(bytes);
+        self
+    }
+
+    /// Sets a wall-clock deadline for [`RunSpec::run`] (default
+    /// unbounded). When it expires the run aborts cleanly with
+    /// [`SimError::DeadlineExceeded`], carrying how many canonical shards
+    /// completed; the deadline is checked at shard granularity, so a
+    /// cluster mid-simulation always finishes first.
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Arms a deterministic [`FaultPlan`] for [`RunSpec::run`] (default
+    /// none). Every supervision path — panic capture, checkpoint
+    /// verification, retry, log-budget degradation — can be exercised this
+    /// way in tests; an empty plan is a fault-free run.
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Materializes the schedule this spec describes.
     ///
     /// # Errors
@@ -173,11 +233,25 @@ impl<'a> RunSpec<'a> {
     /// # Errors
     ///
     /// [`SimError::Spec`] for degenerate specs (see
-    /// [`RunSpec::build_schedule`]); otherwise as the underlying engine:
+    /// [`RunSpec::build_schedule`]); [`SimError::DeadlineExceeded`] when a
+    /// [`RunSpec::deadline`] expires; otherwise as the underlying engine:
     /// load failures, execution faults, a program halting before the
-    /// schedule's last cluster, or a lost shard worker.
+    /// schedule's last cluster, or a shard fault (lost worker, panic,
+    /// corrupt checkpoint) that outlives [`RunSpec::max_shard_retries`].
     pub fn run(&self) -> Result<SampleOutcome, SimError> {
         let schedule = self.build_schedule()?;
+        let injector = self.fault_plan.as_ref().map(FaultInjector::new);
+        let log_budget = if self.fault_plan.as_ref().is_some_and(FaultPlan::forces_log_exhaustion) {
+            Some(0)
+        } else {
+            self.log_budget
+        };
+        let guards = RunGuards {
+            log_budget,
+            deadline: self.deadline.and_then(|d| Instant::now().checked_add(d)),
+            max_retries: self.max_shard_retries,
+            injector: injector.as_ref(),
+        };
         let t = Instant::now();
         let mut outcome = run_sharded(
             self.program,
@@ -186,6 +260,7 @@ impl<'a> RunSpec<'a> {
             self.policy,
             self.threads,
             self.shard_span,
+            &guards,
         )?;
         outcome.wall = t.elapsed();
         Ok(outcome)
