@@ -172,7 +172,13 @@ impl LivePointLibrary {
                     // library (a library should hold the best state).
                     skip_with_smarts_warming(&mut cpu, &mut hier, &mut pred, skip)?
                 }
-                _ => unreachable!("rejected above"),
+                // Logging/profiling policies were rejected above; if a
+                // future variant slips through, fail typed, not by panic.
+                _ => {
+                    return Err(SimError::Spec(
+                        "live-point libraries need a non-logging, non-profiling warm-up policy",
+                    ))
+                }
             }
 
             // Scout pass on a clone: find the pages this cluster touches.

@@ -44,7 +44,7 @@ pub enum Command {
         /// Instructions to simulate.
         n: u64,
     },
-    /// `rsr sample <bench> [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S] [--threads T]`
+    /// `rsr sample <bench> [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S] [--threads T] [--max-shard-retries R] [--log-budget BYTES] [--deadline-secs S]`
     Sample {
         /// Workload to sample.
         bench: Benchmark,
@@ -60,6 +60,12 @@ pub enum Command {
         seed: u64,
         /// Shard worker threads (1 = sequential; results are identical).
         threads: usize,
+        /// Shard-fault retry budget (`None` = engine default).
+        max_shard_retries: Option<u32>,
+        /// Per-region RSR log cap in bytes (`None` = unbounded).
+        log_budget: Option<usize>,
+        /// Wall-clock deadline in seconds (`None` = unbounded).
+        deadline_secs: Option<u64>,
     },
     /// `rsr ckpt <bench> [--clusters N] [--len N] [-n INSTS] [--replays R]`
     Ckpt {
@@ -130,6 +136,35 @@ impl std::error::Error for CliError {
     }
 }
 
+impl CliError {
+    /// The process exit code for this error's class, so scripts can
+    /// distinguish operator mistakes from workload problems from
+    /// infrastructure faults without scraping stderr:
+    ///
+    /// | code | class |
+    /// |------|-------|
+    /// | 2 | usage / argument error |
+    /// | 3 | program load failure |
+    /// | 4 | execution fault |
+    /// | 5 | degenerate run spec |
+    /// | 6 | shard fault (lost/panicked worker, corrupt checkpoint) |
+    /// | 7 | deadline exceeded |
+    /// | 1 | anything else |
+    pub fn exit_code(&self) -> u8 {
+        match self {
+            CliError::Usage(_) => 2,
+            CliError::Sim(SimError::Load(_)) => 3,
+            CliError::Sim(SimError::Exec(_)) => 4,
+            CliError::Sim(SimError::Spec(_)) => 5,
+            CliError::Sim(e) if e.is_shard_fault() || matches!(e, SimError::ShardFailed { .. }) => {
+                6
+            }
+            CliError::Sim(SimError::DeadlineExceeded { .. }) => 7,
+            CliError::Sim(_) => 1,
+        }
+    }
+}
+
 impl From<UsageError> for CliError {
     fn from(e: UsageError) -> Self {
         CliError::Usage(e)
@@ -164,15 +199,19 @@ commands:
   trace  <bench> [-n N]         print the first N retired instructions (default 20)
   run    <bench> [-n INSTS]     full cycle-accurate run (default 1000000)
   sample <bench> [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S]
-         [--threads T]          sampled simulation (defaults: r$bp 20%, 30x1000, 2M, seed 42,
-                                1 thread; --threads shards the schedule, results identical)
+         [--threads T] [--max-shard-retries R] [--log-budget BYTES] [--deadline-secs S]
+                                sampled simulation (defaults: r$bp 20%, 30x1000, 2M, seed 42,
+                                1 thread; --threads shards the schedule, results identical;
+                                retries heal shard faults, --log-budget degrades over-budget
+                                clusters to stale-state warmup, --deadline-secs aborts cleanly)
   simpoint <bench> [--interval I] [--k K] [--warm] [-n INSTS]
                                 SimPoint analysis + simulation
   ckpt   <bench> [--clusters N] [--len N] [-n INSTS] [--replays R]
                                 build a live-points library and replay it
 
 policies: none | fp | s$ | sbp | s$bp | r$ | rbp | r$bp | mrrl | blrl
-benchmarks: ammp art gcc mcf parser perl twolf vortex vpr";
+benchmarks: ammp art gcc mcf parser perl twolf vortex vpr
+exit codes: 0 ok | 1 other | 2 usage | 3 load | 4 exec | 5 spec | 6 shard fault | 7 deadline";
 
 /// Parses a warm-up policy name plus an optional percentage.
 pub fn parse_policy(name: &str, pct: u8) -> Result<WarmupPolicy, UsageError> {
@@ -218,8 +257,29 @@ impl Flags<'_> {
         }
     }
 
+    fn parsed_opt<T: std::str::FromStr>(&self, flag: &str) -> Result<Option<T>, UsageError> {
+        match self.value(flag) {
+            None if self.present(flag) => Err(UsageError(format!("missing value for {flag}"))),
+            None => Ok(None),
+            Some(v) => {
+                v.parse().map(Some).map_err(|_| UsageError(format!("bad value `{v}` for {flag}")))
+            }
+        }
+    }
+
     fn present(&self, flag: &str) -> bool {
         self.args.iter().any(|a| a == flag)
+    }
+}
+
+/// Rejects zero where the downstream constructor's contract demands a
+/// positive value (`SamplingRegimen::new`, BBV intervals, k-means k), so
+/// the binary fails with a usage error instead of a panic.
+fn nonzero<T: PartialEq + From<u8>>(value: T, flag: &str) -> Result<T, UsageError> {
+    if value == T::from(0) {
+        Err(UsageError(format!("{flag} must be at least 1")))
+    } else {
+        Ok(value)
     }
 }
 
@@ -253,24 +313,27 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             Command::Sample {
                 bench: parse_bench(rest.first())?,
                 policy: parse_policy(policy_name, pct)?,
-                clusters: flags.parsed("--clusters", 30)?,
-                len: flags.parsed("--len", 1000)?,
+                clusters: nonzero(flags.parsed("--clusters", 30)?, "--clusters")?,
+                len: nonzero(flags.parsed("--len", 1000)?, "--len")?,
                 n: flags.parsed("-n", 2_000_000)?,
                 seed: flags.parsed("--seed", 42)?,
                 threads: flags.parsed("--threads", 1)?,
+                max_shard_retries: flags.parsed_opt("--max-shard-retries")?,
+                log_budget: flags.parsed_opt("--log-budget")?,
+                deadline_secs: flags.parsed_opt("--deadline-secs")?,
             }
         }
         "ckpt" => Command::Ckpt {
             bench: parse_bench(rest.first())?,
-            clusters: flags.parsed("--clusters", 20)?,
-            len: flags.parsed("--len", 1000)?,
+            clusters: nonzero(flags.parsed("--clusters", 20)?, "--clusters")?,
+            len: nonzero(flags.parsed("--len", 1000)?, "--len")?,
             n: flags.parsed("-n", 2_000_000)?,
             replays: flags.parsed("--replays", 3)?,
         },
         "simpoint" => Command::Simpoint {
             bench: parse_bench(rest.first())?,
-            interval: flags.parsed("--interval", 10_000)?,
-            k: flags.parsed("--k", 10)?,
+            interval: nonzero(flags.parsed("--interval", 10_000)?, "--interval")?,
+            k: nonzero(flags.parsed("--k", 10)?, "--k")?,
             warm: flags.present("--warm"),
             n: flags.parsed("-n", 2_000_000)?,
         },
@@ -299,7 +362,7 @@ mod tests {
         ))
         .unwrap();
         match cmd {
-            Command::Sample { bench, policy, clusters, len, n, seed, threads } => {
+            Command::Sample { bench, policy, clusters, len, n, seed, threads, .. } => {
                 assert_eq!(bench, Benchmark::Mcf);
                 assert_eq!(
                     policy,
@@ -312,15 +375,95 @@ mod tests {
     }
 
     #[test]
+    fn parses_guard_flags() {
+        let cmd =
+            parse(&argv("sample mcf --max-shard-retries 3 --log-budget 65536 --deadline-secs 90"))
+                .unwrap();
+        match cmd {
+            Command::Sample { max_shard_retries, log_budget, deadline_secs, .. } => {
+                assert_eq!(max_shard_retries, Some(3));
+                assert_eq!(log_budget, Some(65_536));
+                assert_eq!(deadline_secs, Some(90));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let e = parse(&argv("sample mcf --log-budget lots")).unwrap_err();
+        assert!(e.0.contains("bad value"));
+        let e = parse(&argv("sample mcf --deadline-secs")).unwrap_err();
+        assert!(e.0.contains("missing value"));
+    }
+
+    #[test]
+    fn zero_dimensions_are_usage_errors_not_panics() {
+        for cmdline in [
+            "sample mcf --clusters 0",
+            "sample mcf --len 0",
+            "ckpt twolf --clusters 0",
+            "ckpt twolf --len 0",
+            "simpoint gcc --interval 0",
+            "simpoint gcc --k 0",
+        ] {
+            let e = parse(&argv(cmdline)).unwrap_err();
+            assert!(e.0.contains("must be at least 1"), "{cmdline}: got `{e}`");
+        }
+    }
+
+    #[test]
+    fn exit_codes_partition_error_classes() {
+        let usage = CliError::from(UsageError("nope".into()));
+        assert_eq!(usage.exit_code(), 2);
+        let load = LoadError { addr: 0, cause: rsr_isa::DecodeError { word: 0 } };
+        assert_eq!(CliError::from(SimError::Load(load)).exit_code(), 3);
+        assert_eq!(CliError::from(SimError::Exec(ExecError::Halted)).exit_code(), 4);
+        assert_eq!(CliError::from(SimError::Spec("bad")).exit_code(), 5);
+        assert_eq!(CliError::from(SimError::Shard { index: 1 }).exit_code(), 6);
+        assert_eq!(
+            CliError::from(SimError::ShardPanicked { index: 2, message: "boom".into() })
+                .exit_code(),
+            6
+        );
+        assert_eq!(
+            CliError::from(SimError::CheckpointCorrupt { index: 1, expected: 1, found: 2 })
+                .exit_code(),
+            6
+        );
+        assert_eq!(
+            CliError::from(SimError::ShardFailed {
+                index: 0,
+                source: Box::new(SimError::Spec("inner")),
+            })
+            .exit_code(),
+            6
+        );
+        assert_eq!(
+            CliError::from(SimError::DeadlineExceeded { completed_shards: 1, total_shards: 4 })
+                .exit_code(),
+            7
+        );
+    }
+
+    #[test]
     fn defaults_apply() {
         let cmd = parse(&argv("sample gcc")).unwrap();
         match cmd {
-            Command::Sample { policy, clusters, len, n, seed, threads, .. } => {
+            Command::Sample {
+                policy,
+                clusters,
+                len,
+                n,
+                seed,
+                threads,
+                max_shard_retries,
+                log_budget,
+                deadline_secs,
+                ..
+            } => {
                 assert_eq!(
                     policy,
                     WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) }
                 );
                 assert_eq!((clusters, len, n, seed, threads), (30, 1000, 2_000_000, 42, 1));
+                assert_eq!((max_shard_retries, log_budget, deadline_secs), (None, None, None));
             }
             other => panic!("parsed {other:?}"),
         }

@@ -1,6 +1,7 @@
 //! The `rsr` binary: see [`rsr_cli::USAGE`].
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use rsr_ckpt::LivePointLibrary;
 use rsr_cli::{parse, CliError, Command};
@@ -9,20 +10,34 @@ use rsr_func::Cpu;
 use rsr_simpoint::{analyze, simulate, SimpointConfig};
 use rsr_workloads::{Benchmark, WorkloadParams};
 
+/// `println!` that exits quietly when stdout's reader has gone away
+/// (`rsr ... | head` closes the pipe mid-stream), matching the SIGPIPE
+/// convention instead of panicking.
+macro_rules! outln {
+    ($($t:tt)*) => {{
+        use std::io::Write;
+        if writeln!(std::io::stdout(), $($t)*).is_err() {
+            std::process::exit(0);
+        }
+    }};
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let cmd = match parse(&args) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("{e}");
-            return ExitCode::FAILURE;
+            return ExitCode::from(CliError::from(e).exit_code());
         }
     };
     match execute(cmd) {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
+            // Display already folds each error's source chain into one
+            // line; the exit code carries the class for scripts.
             eprintln!("error: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(e.exit_code())
         }
     }
 }
@@ -35,13 +50,17 @@ fn execute(cmd: Command) -> Result<(), CliError> {
     let machine = MachineConfig::paper();
     match cmd {
         Command::List => {
-            println!(
+            outln!(
                 "{:<8} {:>4} {:>9} {:>12} {:>12}",
-                "name", "fp", "clusters", "cluster len", "default n"
+                "name",
+                "fp",
+                "clusters",
+                "cluster len",
+                "default n"
             );
             for b in Benchmark::ALL {
                 let r = b.default_regimen();
-                println!(
+                outln!(
                     "{:<8} {:>4} {:>9} {:>12} {:>12}",
                     b.name(),
                     if b.is_fp() { "yes" } else { "no" },
@@ -54,9 +73,9 @@ fn execute(cmd: Command) -> Result<(), CliError> {
         Command::Disasm { bench, head } => {
             let p = build(bench);
             for line in p.disassemble().lines().take(head) {
-                println!("{line}");
+                outln!("{line}");
             }
-            println!("... ({} instructions, {} bytes of data)", p.text().len(), p.data().len());
+            outln!("... ({} instructions, {} bytes of data)", p.text().len(), p.data().len());
         }
         Command::Trace { bench, n } => {
             let p = build(bench);
@@ -71,13 +90,13 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                     .branch
                     .map(|b| format!(" <{} {}>", if b.taken { "T" } else { "N" }, b.target))
                     .unwrap_or_default();
-                println!("{:>8}  {:#010x}  {}{}{}", r.seq, r.pc, r.inst, mem, br);
+                outln!("{:>8}  {:#010x}  {}{}{}", r.seq, r.pc, r.inst, mem, br);
             }
         }
         Command::Run { bench, n } => {
             let p = build(bench);
             let out = RunSpec::new(&p, &machine).total_insts(n).run_full()?;
-            println!(
+            outln!(
                 "{bench}: IPC {:.4} over {} instructions ({} cycles, {} mispredicts, {:.2}s wall)",
                 out.ipc(),
                 out.stats.instructions,
@@ -86,24 +105,53 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                 out.wall.as_secs_f64()
             );
         }
-        Command::Sample { bench, policy, clusters, len, n, seed, threads } => {
+        Command::Sample {
+            bench,
+            policy,
+            clusters,
+            len,
+            n,
+            seed,
+            threads,
+            max_shard_retries,
+            log_budget,
+            deadline_secs,
+        } => {
             // 0 workers means "run it yourself" — same as 1.
             let threads = threads.max(1);
             let p = build(bench);
-            let out = RunSpec::new(&p, &machine)
+            let mut spec = RunSpec::new(&p, &machine)
                 .regimen(SamplingRegimen::new(clusters, len))
                 .total_insts(n)
                 .policy(policy)
                 .seed(seed)
-                .threads(threads)
-                .run()?;
-            println!(
+                .threads(threads);
+            if let Some(r) = max_shard_retries {
+                spec = spec.max_shard_retries(r);
+            }
+            if let Some(b) = log_budget {
+                spec = spec.log_budget_bytes(b);
+            }
+            if let Some(s) = deadline_secs {
+                spec = spec.deadline(Duration::from_secs(s));
+            }
+            let out = spec.run()?;
+            outln!(
                 "{bench} under {policy}: IPC {:.4} ± {:.4} (95% CI), {} clusters",
                 out.est_ipc(),
                 out.ipc_error_bound_95(),
                 out.clusters.len()
             );
-            println!(
+            if out.clusters_degraded > 0 || out.shard_retries > 0 {
+                outln!(
+                    "guards: {} cluster{} degraded to stale-state warmup, {} shard retr{}",
+                    out.clusters_degraded,
+                    if out.clusters_degraded == 1 { "" } else { "s" },
+                    out.shard_retries,
+                    if out.shard_retries == 1 { "y" } else { "ies" }
+                );
+            }
+            outln!(
                 "phases: hot {:.3}s, cold {:.3}s, warm {:.3}s | hot insts {} | log peak {} KiB",
                 out.phases.hot.as_secs_f64(),
                 out.phases.cold.as_secs_f64(),
@@ -111,7 +159,7 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                 out.hot_insts,
                 out.log_bytes_peak / 1024
             );
-            println!(
+            outln!(
                 "wall: {:.3}s on {} thread{}{}",
                 out.wall.as_secs_f64(),
                 threads,
@@ -136,7 +184,7 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                 rsr_core::WarmupPolicy::Smarts { cache: true, bp: true },
                 42,
             )?;
-            println!(
+            outln!(
                 "{bench}: {} points in {:.2}s ({} KiB arch, ~{} KiB micro)",
                 library.len(),
                 library.build_time.as_secs_f64(),
@@ -145,7 +193,7 @@ fn execute(cmd: Command) -> Result<(), CliError> {
             );
             for r in 1..=replays {
                 let out = library.replay(&machine)?;
-                println!("replay {r}: IPC {:.4} in {:.3}s", out.est_ipc(), out.wall.as_secs_f64());
+                outln!("replay {r}: IPC {:.4} in {:.3}s", out.est_ipc(), out.wall.as_secs_f64());
             }
         }
         Command::Simpoint { bench, interval, k, warm, n } => {
@@ -153,7 +201,7 @@ fn execute(cmd: Command) -> Result<(), CliError> {
             let cfg = SimpointConfig { warm, max_k: k, ..SimpointConfig::new(interval) };
             let analysis = analyze(&p, n, &cfg)?;
             let out = simulate(&p, &machine, &analysis, &cfg)?;
-            println!(
+            outln!(
                 "{bench}: SimPoint IPC {:.4} from {} points over {} intervals of {}",
                 out.est_ipc,
                 analysis.points.len(),
@@ -161,7 +209,7 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                 interval
             );
             for (pt, ipc) in analysis.points.iter().zip(&out.point_ipcs) {
-                println!("  interval {:>6}  weight {:.3}  ipc {:.4}", pt.interval, pt.weight, ipc);
+                outln!("  interval {:>6}  weight {:.3}  ipc {:.4}", pt.interval, pt.weight, ipc);
             }
         }
     }
