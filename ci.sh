@@ -6,7 +6,13 @@ cd "$(dirname "$0")"
 
 cargo build --release --workspace
 cargo test -q --workspace
+# The supervision layer's fault matrix, by name: a fast, loud signal when
+# only the fault-tolerance paths regress.
+cargo test -q -p rsr-integration --test fault_injection
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
+# Advisory (warn-only): the core engine should fail typed, not panic.
+# clippy.toml exempts test code.
+cargo clippy -p rsr-core -- -A warnings -W clippy::unwrap_used -W clippy::expect_used
 
 echo "ci: all checks passed"
