@@ -9,10 +9,20 @@ cargo test -q --workspace
 # The supervision layer's fault matrix, by name: a fast, loud signal when
 # only the fault-tolerance paths regress.
 cargo test -q -p rsr-integration --test fault_injection
+# The packed-log equivalence suite, by name: the compact representation
+# must stay observationally identical to the seed's record layout.
+cargo test -q -p rsr-integration --test packed_equivalence
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 # Advisory (warn-only): the core engine should fail typed, not panic.
 # clippy.toml exempts test code.
 cargo clippy -p rsr-core -- -A warnings -W clippy::unwrap_used -W clippy::expect_used
+
+# Advisory (non-fatal): smoke-scale perf trajectory. The committed
+# BENCH_sample.json at the repo root is the full-scale reference; this
+# emission just proves the emitter still runs, into target/ so the tree
+# stays clean.
+./target/release/rsr bench --scale 0.02 --out target/BENCH_sample.smoke.json \
+  || echo "ci: bench emission failed (non-fatal)"
 
 echo "ci: all checks passed"

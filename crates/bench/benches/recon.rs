@@ -100,6 +100,38 @@ fn bench_logging(c: &mut Criterion) {
             BatchSize::LargeInput,
         )
     });
+
+    // The fused cold loop: step + record in one monomorphized pass — the
+    // path the sampler's Reverse arm actually runs.
+    group.bench_function("cold_fused_record_region", |b| {
+        b.iter_batched(
+            || (Cpu::new(&program).expect("loads"), SkipLog::new(true, true, 0)),
+            |(mut cpu, mut log)| {
+                log.record_region(&mut cpu, 50_000).expect("runs");
+                log.len()
+            },
+            BatchSize::LargeInput,
+        )
+    });
+
+    // Append throughput of the packed log alone: replay a pre-captured
+    // retired stream so cpu.step() stays out of the measurement.
+    let retireds: Vec<_> = {
+        let mut cpu = Cpu::new(&program).expect("loads");
+        (0..50_000).map(|_| cpu.step().expect("runs")).collect()
+    };
+    group.bench_function("packed_log_append", |b| {
+        b.iter_batched(
+            || SkipLog::new(true, true, 0),
+            |mut log| {
+                for r in &retireds {
+                    log.record(r);
+                }
+                log.approx_bytes()
+            },
+            BatchSize::LargeInput,
+        )
+    });
     group.finish();
 }
 

@@ -95,10 +95,7 @@ fn main() {
         let mut log = SkipLog::new(true, true, 0);
         for w in schedule.windows() {
             log.reset(true, true, pred.gshare.ghr());
-            for _ in 0..w.start - pos {
-                let r = cpu.step().expect("skip");
-                log.record(&r);
-            }
+            log.record_region(&mut cpu, w.start - pos).expect("skip");
             reconstruct_caches(&mut hier, &log, Pct::new(20));
             let mut recon = BpReconstructor::new(&mut pred, &log, Pct::new(20));
             recon.exhaust(&mut pred);

@@ -42,6 +42,9 @@ use std::collections::HashMap;
 use std::io::Write as _;
 use std::path::PathBuf;
 
+mod sample_bench;
+pub use sample_bench::{run_bench_sample, BenchSample};
+
 use rsr_core::{FullOutcome, MachineConfig, RunSpec, SampleOutcome, SamplingRegimen, WarmupPolicy};
 use rsr_isa::Program;
 use rsr_stats::relative_error;

@@ -1,0 +1,223 @@
+//! The `BENCH_sample.json` emitter: one reproducible sampled run whose
+//! derived metrics track the perf-sensitive paths — cold-phase
+//! fast-forward throughput (the fused step+log loop), reverse cache
+//! reconstruction cost per log record, and the packed log's resident
+//! footprint. `rsr bench` and ci.sh call this; the checked-in
+//! BENCH_sample.json at the repo root is a full-scale reference emission.
+
+use std::time::Instant;
+
+use rsr_cache::MemHierarchy;
+use rsr_core::{reconstruct_caches, Pct, RunSpec, SamplingRegimen, SkipLog, WarmupPolicy};
+use rsr_func::Cpu;
+use rsr_workloads::{Benchmark, WorkloadParams};
+
+/// Metrics from one benchmark emission (see [`run_bench_sample`]).
+#[derive(Clone, Debug)]
+pub struct BenchSample {
+    /// Workload the run sampled.
+    pub bench: &'static str,
+    /// Run-length scale factor applied to the default regimen.
+    pub scale: f64,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Shard worker threads.
+    pub threads: usize,
+    /// Total instructions in the sampled run.
+    pub total_insts: u64,
+    /// Cluster count and length of the regimen.
+    pub clusters: usize,
+    /// Instructions per cluster.
+    pub cluster_len: u64,
+    /// The run's IPC estimate (bit-identical at any thread count).
+    pub est_ipc: f64,
+    /// Cold-phase throughput: functionally skipped instructions (all of
+    /// them logged through the fused loop) per second of cold time, in
+    /// millions.
+    pub cold_mips: f64,
+    /// Reverse cache reconstruction cost per scanned log record, from a
+    /// standalone logged-region micro-pass at the run's budget.
+    pub recon_ns_per_record: f64,
+    /// Peak resident bytes of a skip-region log during the run.
+    pub log_bytes_peak: usize,
+    /// Records appended to skip logs across the run.
+    pub log_records: u64,
+    /// Cold-phase seconds (summed across shards).
+    pub cold_seconds: f64,
+    /// Hot-phase seconds (summed across shards).
+    pub hot_seconds: f64,
+    /// End-to-end wall-clock seconds of the sampled run.
+    pub wall_seconds: f64,
+}
+
+impl BenchSample {
+    /// Serializes with a stable key order (no external JSON dependency).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{\n");
+        let mut field = |key: &str, value: String| {
+            s.push_str(&format!("  \"{key}\": {value},\n"));
+        };
+        field("bench", format!("\"{}\"", self.bench));
+        field("scale", fmt_f64(self.scale));
+        field("seed", self.seed.to_string());
+        field("threads", self.threads.to_string());
+        field("total_insts", self.total_insts.to_string());
+        field("clusters", self.clusters.to_string());
+        field("cluster_len", self.cluster_len.to_string());
+        field("est_ipc", fmt_f64(self.est_ipc));
+        field("cold_mips", fmt_f64(self.cold_mips));
+        field("recon_ns_per_record", fmt_f64(self.recon_ns_per_record));
+        field("log_bytes_peak", self.log_bytes_peak.to_string());
+        field("log_records", self.log_records.to_string());
+        field("cold_seconds", fmt_f64(self.cold_seconds));
+        field("hot_seconds", fmt_f64(self.hot_seconds));
+        s.push_str(&format!("  \"wall_seconds\": {}\n}}\n", fmt_f64(self.wall_seconds)));
+        s
+    }
+}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.6}")
+    } else {
+        "null".into()
+    }
+}
+
+/// Runs the benchmark trajectory: an mcf sampled run under R$BP 20% at the
+/// given scale, plus a standalone reconstruction micro-pass, and returns
+/// the derived metrics. Deterministic for fixed `(scale, seed)` except the
+/// timing fields.
+pub fn run_bench_sample(scale: f64, seed: u64, threads: usize) -> BenchSample {
+    let bench = Benchmark::Mcf;
+    let scale = scale.clamp(0.001, 100.0);
+    let threads = threads.max(1);
+    let program = bench.build(&WorkloadParams::default());
+    let machine = rsr_core::MachineConfig::paper();
+    let total = ((bench.default_instructions() as f64 * scale) as u64).max(100_000);
+    let spec = bench.default_regimen();
+    let n_clusters = ((spec.n_clusters as f64 * scale) as usize).clamp(8, 4 * spec.n_clusters);
+    let regimen = SamplingRegimen::new(n_clusters, spec.cluster_len);
+    let pct = Pct::new(20);
+
+    let outcome = RunSpec::new(&program, &machine)
+        .regimen(regimen)
+        .total_insts(total)
+        .policy(WarmupPolicy::Reverse { cache: true, bp: true, pct })
+        .seed(seed)
+        .threads(threads)
+        .run()
+        .expect("bench-sample run");
+
+    let cold_secs = outcome.phases.cold.as_secs_f64();
+    let cold_mips = outcome.skipped_insts as f64 / cold_secs.max(1e-9) / 1e6;
+
+    // Standalone reconstruction micro-pass: log one representative region,
+    // then time repeated reverse scans into fresh hierarchies until the
+    // measurement stops being noise-dominated.
+    let region = (total / 4).clamp(50_000, 400_000);
+    let mut cpu = Cpu::new(&program).expect("program loads");
+    let mut log = SkipLog::new(true, false, 0);
+    log.record_region(&mut cpu, region).expect("logged region");
+    let mut scanned = 0u64;
+    let mut iters = 0u32;
+    let t = Instant::now();
+    while iters < 100 && (iters < 3 || t.elapsed().as_millis() < 200) {
+        let mut hier = MemHierarchy::new(machine.hier.clone());
+        scanned += reconstruct_caches(&mut hier, &log, pct).mem_scanned;
+        iters += 1;
+    }
+    let recon_ns_per_record = t.elapsed().as_nanos() as f64 / scanned.max(1) as f64;
+
+    BenchSample {
+        bench: bench.name(),
+        scale,
+        seed,
+        threads,
+        total_insts: total,
+        clusters: n_clusters,
+        cluster_len: spec.cluster_len,
+        est_ipc: outcome.est_ipc(),
+        cold_mips,
+        recon_ns_per_record,
+        log_bytes_peak: outcome.log_bytes_peak,
+        log_records: outcome.log_records,
+        cold_seconds: cold_secs,
+        hot_seconds: outcome.phases.hot.as_secs_f64(),
+        wall_seconds: outcome.wall.as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_scale_emission_has_sane_metrics() {
+        let s = run_bench_sample(0.01, 42, 1);
+        assert_eq!(s.bench, "mcf");
+        assert!(s.est_ipc > 0.0);
+        assert!(s.cold_mips > 0.0);
+        assert!(s.recon_ns_per_record > 0.0);
+        assert!(s.log_bytes_peak > 0);
+        assert!(s.log_records > 0);
+        assert!(s.wall_seconds > 0.0);
+    }
+
+    #[test]
+    fn emission_is_valid_stable_json() {
+        let s = BenchSample {
+            bench: "mcf",
+            scale: 1.0,
+            seed: 42,
+            threads: 4,
+            total_insts: 1_000_000,
+            clusters: 30,
+            cluster_len: 3000,
+            est_ipc: 0.5,
+            cold_mips: 12.0,
+            recon_ns_per_record: 8.5,
+            log_bytes_peak: 1024,
+            log_records: 99,
+            cold_seconds: 1.5,
+            hot_seconds: 0.25,
+            wall_seconds: 2.0,
+        };
+        let json = s.to_json();
+        // Shape checks a strict parser would also enforce: one object,
+        // all fourteen keys, no trailing comma before the brace.
+        assert!(json.starts_with("{\n") && json.ends_with("}\n"));
+        assert!(!json.contains(",\n}"));
+        for key in [
+            "bench",
+            "scale",
+            "seed",
+            "threads",
+            "total_insts",
+            "clusters",
+            "cluster_len",
+            "est_ipc",
+            "cold_mips",
+            "recon_ns_per_record",
+            "log_bytes_peak",
+            "log_records",
+            "cold_seconds",
+            "hot_seconds",
+            "wall_seconds",
+        ] {
+            assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
+        }
+        assert!(json.contains("\"est_ipc\": 0.500000"));
+    }
+
+    #[test]
+    fn ipc_matches_direct_runspec_at_any_thread_count() {
+        // The emitter must not perturb the sampled result: same spec, same
+        // estimate, and thread count must not move it.
+        let one = run_bench_sample(0.01, 7, 1);
+        let four = run_bench_sample(0.01, 7, 4);
+        assert_eq!(one.est_ipc, four.est_ipc);
+        assert_eq!(one.log_records, four.log_records);
+        assert_eq!(one.log_bytes_peak, four.log_bytes_peak);
+    }
+}

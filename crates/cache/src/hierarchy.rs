@@ -134,6 +134,24 @@ impl MemHierarchy {
         self.l2.reset_stats();
     }
 
+    /// Opens a reverse-reconstruction pass on every level (see
+    /// [`Cache::begin_reconstruction`]): clears all reconstructed bits so
+    /// the newest-first scan can repair each level independently.
+    pub fn begin_reconstruction(&mut self) {
+        self.l1i.begin_reconstruction();
+        self.l1d.begin_reconstruction();
+        self.l2.begin_reconstruction();
+    }
+
+    /// Closes a reverse-reconstruction pass on every level (see
+    /// [`Cache::finish_reconstruction`]): normalizes LRU ranks so
+    /// reconstructed blocks are the most recently used.
+    pub fn finish_reconstruction(&mut self) {
+        self.l1i.finish_reconstruction();
+        self.l1d.finish_reconstruction();
+        self.l2.finish_reconstruction();
+    }
+
     /// Resets the bus arbitration clocks. Call when restarting the cycle
     /// counter (e.g. at the start of each measured cluster) — cache *state*
     /// is untouched.

@@ -80,6 +80,17 @@ pub enum Command {
         /// Replay count.
         replays: usize,
     },
+    /// `rsr bench [--scale S] [--seed N] [--threads T] [--out PATH]`
+    Bench {
+        /// Run-length scale factor relative to the default regimen.
+        scale: f64,
+        /// Schedule seed.
+        seed: u64,
+        /// Shard worker threads (results are identical at any count).
+        threads: usize,
+        /// Destination for the JSON emission (`None` = stdout).
+        out: Option<String>,
+    },
     /// `rsr simpoint <bench> [--interval I] [--k K] [--warm] [-n INSTS]`
     Simpoint {
         /// Workload to analyze.
@@ -204,6 +215,11 @@ commands:
                                 1 thread; --threads shards the schedule, results identical;
                                 retries heal shard faults, --log-budget degrades over-budget
                                 clusters to stale-state warmup, --deadline-secs aborts cleanly)
+  bench  [--scale S] [--seed N] [--threads T] [--out PATH]
+                                reproducible perf trajectory: runs mcf under r$bp 20%
+                                and emits BENCH_sample.json-shaped metrics (cold-phase
+                                MIPS, recon ns/record, peak log bytes, wall seconds)
+                                to PATH or stdout (defaults: scale 1.0, seed 42, 1 thread)
   simpoint <bench> [--interval I] [--k K] [--warm] [-n INSTS]
                                 SimPoint analysis + simulation
   ckpt   <bench> [--clusters N] [--len N] [-n INSTS] [--replays R]
@@ -323,6 +339,12 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 deadline_secs: flags.parsed_opt("--deadline-secs")?,
             }
         }
+        "bench" => Command::Bench {
+            scale: flags.parsed("--scale", 1.0)?,
+            seed: flags.parsed("--seed", 42)?,
+            threads: flags.parsed("--threads", 1)?,
+            out: flags.value("--out").map(str::to_string),
+        },
         "ckpt" => Command::Ckpt {
             bench: parse_bench(rest.first())?,
             clusters: nonzero(flags.parsed("--clusters", 20)?, "--clusters")?,
@@ -499,6 +521,26 @@ mod tests {
         assert!(e.0.contains("bad value"));
         let e = parse(&argv("")).unwrap_err();
         assert!(e.0.contains("usage"));
+    }
+
+    #[test]
+    fn bench_flags_and_defaults() {
+        assert_eq!(
+            parse(&argv("bench")).unwrap(),
+            Command::Bench { scale: 1.0, seed: 42, threads: 1, out: None }
+        );
+        assert_eq!(
+            parse(&argv("bench --scale 0.05 --seed 7 --threads 4 --out BENCH_sample.json"))
+                .unwrap(),
+            Command::Bench {
+                scale: 0.05,
+                seed: 7,
+                threads: 4,
+                out: Some("BENCH_sample.json".into())
+            }
+        );
+        let e = parse(&argv("bench --scale big")).unwrap_err();
+        assert!(e.0.contains("bad value"));
     }
 
     #[test]

@@ -174,6 +174,27 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                 }
             );
         }
+        Command::Bench { scale, seed, threads, out } => {
+            let sample = rsr_bench::run_bench_sample(scale, seed, threads);
+            let json = sample.to_json();
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, &json).map_err(|e| {
+                        CliError::Usage(rsr_cli::UsageError(format!("cannot write {path}: {e}")))
+                    })?;
+                    outln!(
+                        "wrote {path}: {} IPC {:.4}, cold {:.1} MIPS, recon {:.1} ns/record, \
+                         log peak {} KiB",
+                        sample.bench,
+                        sample.est_ipc,
+                        sample.cold_mips,
+                        sample.recon_ns_per_record,
+                        sample.log_bytes_peak / 1024
+                    );
+                }
+                None => outln!("{}", json.trim_end()),
+            }
+        }
         Command::Ckpt { bench, clusters, len, n, replays } => {
             let p = build(bench);
             let library = LivePointLibrary::build(

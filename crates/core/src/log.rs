@@ -11,13 +11,43 @@
 //! Instruction references are logged at cache-line granularity (a record is
 //! appended only when fetch crosses into a different line) — reconstruction
 //! is line-granular, so finer logging would only burn memory.
+//!
+//! # Packed representation
+//!
+//! The log runs once per retired instruction over ~99 % of the program, so
+//! its resident size and append cost dominate the cold phase. Records are
+//! therefore stored as packed structure-of-arrays columns instead of padded
+//! 32-byte structs:
+//!
+//! * memory references: a `u64` address column, a `u32` side column, and a
+//!   2-bit-per-record tag bitmap (`is_inst`, `is_store`) — 12.25 bytes per
+//!   record. The side column holds the one field not derivable from the
+//!   address: `next_pc` for fetch records (whose `pc == addr` by
+//!   construction) and `pc` for data records (whose `next_pc == pc + 4`,
+//!   since loads and stores never branch).
+//! * branches: 16-byte [`PackedBranch`] records — the 64-bit target, a
+//!   32-bit PC, and kind+outcome folded into one meta byte. `next_pc` is
+//!   derived as `target` if taken, else `pc + 4`.
+//!
+//! Records that defy these derivations (possible only for synthetic
+//! [`Retired`] streams, never for instructions the functional CPU retires)
+//! spill their full `pc`/`next_pc` into small side tables, so the packing
+//! is lossless for *any* record stream. Consumers materialize full
+//! [`MemRecord`]/[`BranchRecord`] values through [`SkipLog::mem_records`],
+//! [`SkipLog::branch_records`], and the indexed accessors; the reverse
+//! cache scan uses [`SkipLog::mem_refs_rev`], which touches only the
+//! address and tag columns.
+//!
+//! Byte accounting ([`SkipLog::approx_bytes`], the budget check, and
+//! [`SkipLog::peak_bytes`]) is maintained incrementally — O(1) per append,
+//! nothing recomputed.
 
 use std::io::{self, Read, Write};
 
-use rsr_func::Retired;
+use rsr_func::{Cpu, ExecError, Retired};
 use rsr_isa::{Addr, CtrlKind};
 
-/// One logged memory reference.
+/// One logged memory reference (materialized view; storage is packed).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct MemRecord {
     /// PC of the instruction that made the reference.
@@ -32,7 +62,7 @@ pub struct MemRecord {
     pub is_store: bool,
 }
 
-/// One logged control transfer.
+/// One logged control transfer (materialized view; storage is packed).
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct BranchRecord {
     /// PC of the transfer.
@@ -47,6 +77,49 @@ pub struct BranchRecord {
     pub taken: bool,
 }
 
+/// Packed branch storage: 16 bytes per record.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct PackedBranch {
+    /// Taken-path target.
+    target: u64,
+    /// Branch PC, when it fits 32 bits and `next_pc` is derivable
+    /// (otherwise 0 and the record's [`BrExt`] entry holds the truth).
+    pc32: u32,
+    /// Bit 0: taken; bits 1–3: control kind; bit 4: ext-table entry.
+    meta: u8,
+}
+
+const BR_TAKEN: u8 = 1;
+const BR_KIND_SHIFT: u8 = 1;
+const BR_EXT: u8 = 1 << 4;
+
+/// Spilled fields for a memory record the packed columns cannot derive.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct MemExt {
+    index: u64,
+    pc: Addr,
+    next_pc: Addr,
+}
+
+/// Spilled fields for a branch record the packed layout cannot derive.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+struct BrExt {
+    index: u64,
+    pc: Addr,
+    next_pc: Addr,
+}
+
+/// Tags are 2 bits each, 32 to a `u64` bitmap word.
+const TAGS_PER_WORD: usize = 32;
+const TAG_WORD_BYTES: usize = 8;
+/// Address word + side word per memory record (the amortized 0.25 tag
+/// bytes are charged when a bitmap word is allocated).
+const MEM_RECORD_BYTES: usize = 8 + 4;
+const BRANCH_RECORD_BYTES: usize = std::mem::size_of::<PackedBranch>();
+const EXT_ENTRY_BYTES: usize = 24;
+/// Side-column sentinel: the record's `pc`/`next_pc` live in the ext table.
+const SIDE_EXT: u32 = u32::MAX;
+
 /// The log of one skip region. Data are kept only for the current region
 /// and discarded when its cluster finishes (paper §3), bounding storage.
 ///
@@ -57,10 +130,39 @@ pub struct BranchRecord {
 /// reconstruction that would need an unbounded reference history. Whether
 /// a region truncates depends only on its own deterministic record stream,
 /// so budget-driven degradation is identical at every thread count.
+///
+/// # Truncation, emptiness, and the append counter
+///
+/// Three observers describe a region's history and they are *not*
+/// redundant:
+///
+/// * [`SkipLog::appended`] counts every record the region produced,
+///   including any the budget later discarded;
+/// * [`SkipLog::is_empty`] (and [`SkipLog::len`]) describe what is
+///   *resident* right now;
+/// * [`SkipLog::truncated`] says whether the budget fired.
+///
+/// A budget-truncated region is therefore **empty but has
+/// `appended() > 0`** — merge and accounting code must use `appended()`
+/// for "how much was logged" and `truncated()` for "is the history
+/// complete", never `is_empty()` for either (an empty log also arises from
+/// a region that simply logged nothing). [`SkipLog::peak_bytes`] likewise
+/// survives truncation: it reports the high-water resident size *before*
+/// the discard.
 #[derive(Clone, Debug)]
 pub struct SkipLog {
-    mem: Vec<MemRecord>,
-    branches: Vec<BranchRecord>,
+    /// Referenced address of each memory record.
+    mem_addr: Vec<u64>,
+    /// Non-derivable field of each memory record: `next_pc` for fetch
+    /// records, `pc` for data records, [`SIDE_EXT`] when spilled.
+    mem_side: Vec<u32>,
+    /// 2-bit tags (`is_inst`, `is_store << 1`), 32 records per word.
+    mem_tags: Vec<u64>,
+    /// Spilled memory records, ascending by record index.
+    mem_ext: Vec<MemExt>,
+    branches: Vec<PackedBranch>,
+    /// Spilled branch records, ascending by record index.
+    br_ext: Vec<BrExt>,
     /// Line of the previous fetch (`NO_LINE` before the first).
     last_fetch_line: Addr,
     /// Global history register value when logging began (end of the
@@ -73,6 +175,8 @@ pub struct SkipLog {
     budget: Option<usize>,
     /// Set once the budget is exhausted; recording stops for the region.
     truncated: bool,
+    /// Current resident bytes, maintained incrementally per append.
+    bytes: usize,
     /// Largest resident size observed this region (before any discard).
     peak_bytes: usize,
     /// Records appended this region, including any later discarded.
@@ -92,30 +196,58 @@ impl SkipLog {
     /// Creates an empty log recording the requested streams.
     pub fn new(log_mem: bool, log_branches: bool, ghr_at_start: u64) -> SkipLog {
         SkipLog {
-            mem: Vec::new(),
+            mem_addr: Vec::new(),
+            mem_side: Vec::new(),
+            mem_tags: Vec::new(),
+            mem_ext: Vec::new(),
             branches: Vec::new(),
+            br_ext: Vec::new(),
             last_fetch_line: NO_LINE,
             ghr_at_start,
             log_mem,
             log_branches,
             budget: None,
             truncated: false,
+            bytes: 0,
             peak_bytes: 0,
             appended: 0,
         }
+    }
+
+    /// Builds a log directly from materialized records (tests, offline
+    /// tooling, and the v1 deserializer). Both streams are marked enabled.
+    pub fn from_records<M, B>(mem: M, branches: B, ghr_at_start: u64) -> SkipLog
+    where
+        M: IntoIterator<Item = MemRecord>,
+        B: IntoIterator<Item = BranchRecord>,
+    {
+        let mut log = SkipLog::new(true, true, ghr_at_start);
+        for m in mem {
+            log.push_mem(m.pc, m.next_pc, m.addr, m.is_inst, m.is_store);
+        }
+        for b in branches {
+            log.push_branch(b.pc, b.next_pc, b.target, b.kind, b.taken);
+        }
+        log.peak_bytes = log.bytes;
+        log
     }
 
     /// Clears the log for a new skip region, keeping allocated capacity
     /// (logs are reused across regions to avoid reallocation churn) and
     /// the configured budget.
     pub fn reset(&mut self, log_mem: bool, log_branches: bool, ghr_at_start: u64) {
-        self.mem.clear();
+        self.mem_addr.clear();
+        self.mem_side.clear();
+        self.mem_tags.clear();
+        self.mem_ext.clear();
         self.branches.clear();
+        self.br_ext.clear();
         self.last_fetch_line = NO_LINE;
         self.ghr_at_start = ghr_at_start;
         self.log_mem = log_mem;
         self.log_branches = log_branches;
         self.truncated = false;
+        self.bytes = 0;
         self.peak_bytes = 0;
         self.appended = 0;
     }
@@ -127,6 +259,8 @@ impl SkipLog {
 
     /// Did this region exhaust its budget? A truncated log holds nothing:
     /// its history is incomplete, so reconstruction must not run from it.
+    /// See the type-level docs for how this interacts with
+    /// [`SkipLog::is_empty`] and [`SkipLog::appended`].
     pub fn truncated(&self) -> bool {
         self.truncated
     }
@@ -137,9 +271,92 @@ impl SkipLog {
         self.peak_bytes
     }
 
-    /// Records appended this region, counting any the budget discarded.
+    /// Records appended this region, counting any the budget discarded —
+    /// after truncation this stays at its high-water value while
+    /// [`SkipLog::len`] drops to zero.
     pub fn appended(&self) -> u64 {
         self.appended
+    }
+
+    #[inline]
+    fn push_mem(&mut self, pc: Addr, next_pc: Addr, addr: Addr, is_inst: bool, is_store: bool) {
+        let i = self.mem_addr.len();
+        if i.is_multiple_of(TAGS_PER_WORD) {
+            self.mem_tags.push(0);
+            self.bytes += TAG_WORD_BYTES;
+        }
+        let tag = (is_inst as u64) | ((is_store as u64) << 1);
+        self.mem_tags[i / TAGS_PER_WORD] |= tag << ((i % TAGS_PER_WORD) * 2);
+        self.mem_addr.push(addr);
+        let side = if is_inst {
+            // Fetch records have pc == addr by construction; keep next_pc.
+            if pc == addr && next_pc < SIDE_EXT as u64 {
+                next_pc as u32
+            } else {
+                SIDE_EXT
+            }
+        } else if next_pc == pc.wrapping_add(4) && pc < SIDE_EXT as u64 {
+            // Loads and stores never branch; keep pc, derive next_pc.
+            pc as u32
+        } else {
+            SIDE_EXT
+        };
+        if side == SIDE_EXT {
+            self.mem_ext.push(MemExt { index: i as u64, pc, next_pc });
+            self.bytes += EXT_ENTRY_BYTES;
+        }
+        self.mem_side.push(side);
+        self.bytes += MEM_RECORD_BYTES;
+        self.appended += 1;
+    }
+
+    #[inline]
+    fn push_branch(&mut self, pc: Addr, next_pc: Addr, target: Addr, kind: CtrlKind, taken: bool) {
+        let derived = if taken { target } else { pc.wrapping_add(4) };
+        let mut meta = (taken as u8) | (kind_to_u8(kind) << BR_KIND_SHIFT);
+        let pc32 = match u32::try_from(pc) {
+            Ok(p) if next_pc == derived => p,
+            _ => {
+                meta |= BR_EXT;
+                self.br_ext.push(BrExt { index: self.branches.len() as u64, pc, next_pc });
+                self.bytes += EXT_ENTRY_BYTES;
+                0
+            }
+        };
+        self.branches.push(PackedBranch { target, pc32, meta });
+        self.bytes += BRANCH_RECORD_BYTES;
+        self.appended += 1;
+    }
+
+    /// Peak tracking and the budget check, run once per retired
+    /// instruction (after all of its pushes, so an instruction's records
+    /// are kept or discarded together).
+    #[inline]
+    fn note_instruction(&mut self) {
+        if self.bytes > self.peak_bytes {
+            self.peak_bytes = self.bytes;
+        }
+        if let Some(budget) = self.budget {
+            if self.bytes > budget {
+                self.discard_over_budget();
+            }
+        }
+    }
+
+    /// Budget exhausted: discard the region (its history is now
+    /// incomplete) and stop recording. Capacity is kept, so the resident
+    /// footprint stays at the high-water mark already paid, never above
+    /// roughly one budget per worker.
+    #[cold]
+    fn discard_over_budget(&mut self) {
+        self.mem_addr.clear();
+        self.mem_side.clear();
+        self.mem_tags.clear();
+        self.mem_ext.clear();
+        self.branches.clear();
+        self.br_ext.clear();
+        self.bytes = 0;
+        self.truncated = true;
     }
 
     /// Records one retired instruction's reconstruction-relevant effects.
@@ -152,174 +369,421 @@ impl SkipLog {
             let line = r.pc & LINE_MASK;
             if self.last_fetch_line != line {
                 self.last_fetch_line = line;
-                self.mem.push(MemRecord {
-                    pc: r.pc,
-                    next_pc: r.next_pc,
-                    addr: r.pc,
-                    is_inst: true,
-                    is_store: false,
-                });
+                self.push_mem(r.pc, r.next_pc, r.pc, true, false);
             }
             if let Some(m) = r.mem {
-                self.mem.push(MemRecord {
-                    pc: r.pc,
-                    next_pc: r.next_pc,
-                    addr: m.addr,
-                    is_inst: false,
-                    is_store: m.is_store,
-                });
+                self.push_mem(r.pc, r.next_pc, m.addr, false, m.is_store);
             }
         }
         if self.log_branches {
             if let Some(b) = r.branch {
-                self.branches.push(BranchRecord {
-                    pc: r.pc,
-                    next_pc: r.next_pc,
-                    target: b.target,
-                    kind: b.kind,
-                    taken: b.taken,
-                });
+                self.push_branch(r.pc, r.next_pc, b.target, b.kind, b.taken);
             }
         }
-        self.appended = self.len() as u64;
-        let bytes = self.approx_bytes();
-        self.peak_bytes = self.peak_bytes.max(bytes);
-        if let Some(budget) = self.budget {
-            if bytes > budget {
-                // Budget exhausted: discard the region (its history is now
-                // incomplete) and stop recording. Capacity is kept, so the
-                // resident footprint stays at the high-water mark already
-                // paid, never above roughly one budget per worker.
-                self.mem.clear();
-                self.branches.clear();
-                self.truncated = true;
+        self.note_instruction();
+    }
+
+    /// The fused cold-phase loop: steps `cpu` through `n` instructions,
+    /// logging each one — `Cpu::step` and [`SkipLog::record`] in a single
+    /// monomorphized loop per (mem, branches) configuration, so the
+    /// per-instruction `Retired` unpacking and stream dispatch happen
+    /// once. After a budget truncation (or with both streams disabled)
+    /// the remaining instructions run through a bare stepping loop that
+    /// never touches the log.
+    ///
+    /// Produces record streams, budget decisions, and accounting
+    /// bit-identical to calling [`SkipLog::record`] after every step.
+    ///
+    /// # Errors
+    ///
+    /// Propagates functional-simulation faults.
+    pub fn record_region(&mut self, cpu: &mut Cpu, n: u64) -> Result<(), ExecError> {
+        let logged = match (self.log_mem, self.log_branches) {
+            (true, true) => self.region_loop::<true, true>(cpu, n)?,
+            (true, false) => self.region_loop::<true, false>(cpu, n)?,
+            (false, true) => self.region_loop::<false, true>(cpu, n)?,
+            (false, false) => 0,
+        };
+        cpu.step_n(n - logged, |_| ())?;
+        Ok(())
+    }
+
+    fn region_loop<const MEM: bool, const BR: bool>(
+        &mut self,
+        cpu: &mut Cpu,
+        n: u64,
+    ) -> Result<u64, ExecError> {
+        let mut done = 0u64;
+        while done < n && !self.truncated {
+            let r = cpu.step()?;
+            done += 1;
+            if MEM {
+                let line = r.pc & LINE_MASK;
+                if self.last_fetch_line != line {
+                    self.last_fetch_line = line;
+                    self.push_mem(r.pc, r.next_pc, r.pc, true, false);
+                }
+                if let Some(m) = r.mem {
+                    self.push_mem(r.pc, r.next_pc, m.addr, false, m.is_store);
+                }
             }
+            if BR {
+                if let Some(b) = r.branch {
+                    self.push_branch(r.pc, r.next_pc, b.target, b.kind, b.taken);
+                }
+            }
+            self.note_instruction();
+        }
+        Ok(done)
+    }
+
+    /// Number of logged memory references.
+    pub fn mem_len(&self) -> usize {
+        self.mem_addr.len()
+    }
+
+    /// Number of logged control transfers.
+    pub fn branch_len(&self) -> usize {
+        self.branches.len()
+    }
+
+    #[inline]
+    fn mem_tag(&self, i: usize) -> u64 {
+        (self.mem_tags[i / TAGS_PER_WORD] >> ((i % TAGS_PER_WORD) * 2)) & 3
+    }
+
+    fn mem_ext_at(&self, i: usize) -> &MemExt {
+        let k = self
+            .mem_ext
+            .binary_search_by_key(&(i as u64), |e| e.index)
+            .expect("side column says ext, but no ext entry for this record");
+        &self.mem_ext[k]
+    }
+
+    /// Materializes memory record `i` (oldest record first).
+    ///
+    /// # Panics
+    ///
+    /// If `i >= mem_len()`.
+    pub fn mem_at(&self, i: usize) -> MemRecord {
+        let addr = self.mem_addr[i];
+        let tag = self.mem_tag(i);
+        let is_inst = tag & 1 != 0;
+        let is_store = tag & 2 != 0;
+        let side = self.mem_side[i];
+        let (pc, next_pc) = if side == SIDE_EXT {
+            let e = self.mem_ext_at(i);
+            (e.pc, e.next_pc)
+        } else if is_inst {
+            (addr, side as u64)
+        } else {
+            (side as u64, (side as u64).wrapping_add(4))
+        };
+        MemRecord { pc, next_pc, addr, is_inst, is_store }
+    }
+
+    /// Materializes branch record `i` (oldest record first).
+    ///
+    /// # Panics
+    ///
+    /// If `i >= branch_len()`.
+    pub fn branch_at(&self, i: usize) -> BranchRecord {
+        let b = self.branches[i];
+        let taken = b.meta & BR_TAKEN != 0;
+        let kind = kind_from_meta(b.meta);
+        let target = b.target;
+        let (pc, next_pc) = if b.meta & BR_EXT != 0 {
+            let k = self
+                .br_ext
+                .binary_search_by_key(&(i as u64), |e| e.index)
+                .expect("meta says ext, but no ext entry for this branch");
+            (self.br_ext[k].pc, self.br_ext[k].next_pc)
+        } else {
+            let pc = b.pc32 as u64;
+            (pc, if taken { target } else { pc.wrapping_add(4) })
+        };
+        BranchRecord { pc, next_pc, target, kind, taken }
+    }
+
+    /// Kind and outcome of branch record `i` without materializing its
+    /// PCs — the branch-reconstruction forward pass reads only the meta
+    /// column.
+    pub(crate) fn branch_kind_taken(&self, i: usize) -> (CtrlKind, bool) {
+        let meta = self.branches[i].meta;
+        (kind_from_meta(meta), meta & BR_TAKEN != 0)
+    }
+
+    /// PC of branch record `i`.
+    pub(crate) fn branch_pc(&self, i: usize) -> Addr {
+        let b = self.branches[i];
+        if b.meta & BR_EXT != 0 {
+            self.branch_at(i).pc
+        } else {
+            b.pc32 as u64
         }
     }
 
-    /// The logged memory references, oldest first.
-    pub fn mem(&self) -> &[MemRecord] {
-        &self.mem
+    /// Taken-path target of branch record `i`.
+    pub(crate) fn branch_target(&self, i: usize) -> Addr {
+        self.branches[i].target
     }
 
-    /// The logged control transfers, oldest first.
-    pub fn branches(&self) -> &[BranchRecord] {
-        &self.branches
+    /// The logged memory references, oldest first, materialized on the
+    /// fly.
+    pub fn mem_records(&self) -> impl ExactSizeIterator<Item = MemRecord> + '_ {
+        (0..self.mem_addr.len()).map(move |i| self.mem_at(i))
+    }
+
+    /// The logged control transfers, oldest first, materialized on the
+    /// fly.
+    pub fn branch_records(&self) -> impl ExactSizeIterator<Item = BranchRecord> + '_ {
+        (0..self.branches.len()).map(move |i| self.branch_at(i))
+    }
+
+    /// The reverse cache scan's view: `(addr, is_inst)` newest-first,
+    /// reading only the packed address and tag columns (no record
+    /// materialization, maximum scan locality).
+    pub fn mem_refs_rev(&self) -> impl ExactSizeIterator<Item = (Addr, bool)> + '_ {
+        (0..self.mem_addr.len()).rev().map(move |i| (self.mem_addr[i], self.mem_tag(i) & 1 != 0))
     }
 
     /// Total records held (for storage accounting).
     pub fn len(&self) -> usize {
-        self.mem.len() + self.branches.len()
+        self.mem_addr.len() + self.branches.len()
     }
 
-    /// `true` when nothing has been logged.
+    /// `true` when nothing is resident — either nothing was logged *or*
+    /// the budget truncated the region; distinguish with
+    /// [`SkipLog::appended`] and [`SkipLog::truncated`].
     pub fn is_empty(&self) -> bool {
-        self.mem.is_empty() && self.branches.is_empty()
+        self.mem_addr.is_empty() && self.branches.is_empty()
     }
 
-    /// Approximate resident bytes of the log (storage-for-speed accounting).
+    /// Resident bytes of the packed log, maintained incrementally
+    /// (address + side words, allocated tag-bitmap words, packed branch
+    /// records, and any ext-table spills).
     pub fn approx_bytes(&self) -> usize {
-        self.mem.len() * std::mem::size_of::<MemRecord>()
-            + self.branches.len() * std::mem::size_of::<BranchRecord>()
+        self.bytes
     }
 
     /// Serializes the log to a compact binary stream (magic `RSRL`,
-    /// version 1, little-endian fields). Useful for snapshotting skip
-    /// regions to disk and reconstructing offline.
+    /// version 2): a fixed header carrying the stream flags, truncation
+    /// state, and accounting, then delta/varint-encoded records. Useful
+    /// for snapshotting skip regions to disk and reconstructing offline.
+    ///
+    /// Version 1 streams (fixed-width little-endian records) are still
+    /// readable by [`SkipLog::read_from`].
     ///
     /// # Errors
     ///
     /// Propagates I/O errors from the writer.
     pub fn write_to<W: Write>(&self, mut w: W) -> io::Result<()> {
         w.write_all(b"RSRL")?;
-        w.write_all(&1u16.to_le_bytes())?;
-        w.write_all(&[self.log_mem as u8, self.log_branches as u8])?;
+        w.write_all(&2u16.to_le_bytes())?;
+        w.write_all(&[self.log_mem as u8, self.log_branches as u8, self.truncated as u8])?;
         w.write_all(&self.ghr_at_start.to_le_bytes())?;
-        w.write_all(&(self.mem.len() as u64).to_le_bytes())?;
-        for m in &self.mem {
-            w.write_all(&m.pc.to_le_bytes())?;
-            w.write_all(&m.next_pc.to_le_bytes())?;
-            w.write_all(&m.addr.to_le_bytes())?;
-            w.write_all(&[(m.is_inst as u8) | ((m.is_store as u8) << 1)])?;
+        write_uv(&mut w, self.appended)?;
+        write_uv(&mut w, self.peak_bytes as u64)?;
+
+        write_uv(&mut w, self.mem_addr.len() as u64)?;
+        // Per-class previous addresses: fetch and data streams delta
+        // separately (each is far more local than their interleaving).
+        let mut prev_addr = [0u64; 2];
+        let mut prev_pc = 0u64;
+        for rec in self.mem_records() {
+            let cls = rec.is_inst as usize;
+            let ext = if rec.is_inst {
+                rec.pc != rec.addr
+            } else {
+                rec.next_pc != rec.pc.wrapping_add(4)
+            };
+            let flags = (rec.is_inst as u8) | ((rec.is_store as u8) << 1) | ((ext as u8) << 2);
+            w.write_all(&[flags])?;
+            write_uv(&mut w, zigzag(rec.addr.wrapping_sub(prev_addr[cls]) as i64))?;
+            prev_addr[cls] = rec.addr;
+            if ext {
+                write_uv(&mut w, rec.pc)?;
+                write_uv(&mut w, rec.next_pc)?;
+            } else if rec.is_inst {
+                // Usually sequential: next_pc == addr + 4 encodes as 0.
+                write_uv(
+                    &mut w,
+                    zigzag(rec.next_pc.wrapping_sub(rec.addr.wrapping_add(4)) as i64),
+                )?;
+            } else {
+                write_uv(&mut w, zigzag(rec.pc.wrapping_sub(prev_pc) as i64))?;
+            }
+            if !rec.is_inst {
+                prev_pc = rec.pc;
+            }
         }
-        w.write_all(&(self.branches.len() as u64).to_le_bytes())?;
-        for b in &self.branches {
-            w.write_all(&b.pc.to_le_bytes())?;
-            w.write_all(&b.next_pc.to_le_bytes())?;
-            w.write_all(&b.target.to_le_bytes())?;
-            w.write_all(&[kind_to_u8(b.kind), b.taken as u8])?;
+
+        write_uv(&mut w, self.branches.len() as u64)?;
+        let mut prev_br_pc = 0u64;
+        for rec in self.branch_records() {
+            let derived = if rec.taken { rec.target } else { rec.pc.wrapping_add(4) };
+            let ext = rec.next_pc != derived;
+            let flags = (rec.taken as u8) | (kind_to_u8(rec.kind) << 1) | ((ext as u8) << 4);
+            w.write_all(&[flags])?;
+            write_uv(&mut w, zigzag(rec.pc.wrapping_sub(prev_br_pc) as i64))?;
+            write_uv(&mut w, zigzag(rec.target.wrapping_sub(rec.pc) as i64))?;
+            if ext {
+                write_uv(&mut w, rec.next_pc)?;
+            }
+            prev_br_pc = rec.pc;
         }
         Ok(())
     }
 
-    /// Deserializes a log written by [`SkipLog::write_to`].
+    /// Deserializes a log written by [`SkipLog::write_to`] — version 2
+    /// streams round-trip exactly (records, flags, truncation state,
+    /// [`SkipLog::appended`], and [`SkipLog::peak_bytes`]); version 1
+    /// streams are still accepted, with `appended` and `peak_bytes`
+    /// derived from the records (v1 carried neither) and truncation
+    /// cleared (a v1 writer never serialized a truncated log's state).
+    /// The budget is not serialized: it is a property of the run, so a
+    /// deserialized log is unbounded until [`SkipLog::set_budget`].
     ///
     /// # Errors
     ///
-    /// Returns `InvalidData` on a bad magic/version/enum byte, and
-    /// propagates reader errors (including truncation).
+    /// Returns `InvalidData` on a bad magic/version/enum byte, a flag
+    /// byte outside {0, 1}, or a truncated log that claims resident
+    /// records; propagates reader errors (including stream truncation).
     pub fn read_from<R: Read>(mut r: R) -> io::Result<SkipLog> {
         let mut magic = [0u8; 4];
         r.read_exact(&mut magic)?;
         if &magic != b"RSRL" {
-            return Err(io::Error::new(io::ErrorKind::InvalidData, "bad skip-log magic"));
+            return Err(invalid("bad skip-log magic"));
         }
         let version = read_u16(&mut r)?;
-        if version != 1 {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("unsupported skip-log version {version}"),
-            ));
+        match version {
+            1 => read_v1(r),
+            2 => read_v2(r),
+            _ => Err(invalid(format!("unsupported skip-log version {version}"))),
         }
-        let mut flags = [0u8; 2];
-        r.read_exact(&mut flags)?;
-        let ghr_at_start = read_u64(&mut r)?;
-        let n_mem = read_u64(&mut r)? as usize;
-        let mut mem = Vec::with_capacity(n_mem.min(1 << 24));
-        for _ in 0..n_mem {
-            let pc = read_u64(&mut r)?;
-            let next_pc = read_u64(&mut r)?;
-            let addr = read_u64(&mut r)?;
-            let mut fl = [0u8; 1];
-            r.read_exact(&mut fl)?;
-            mem.push(MemRecord {
-                pc,
-                next_pc,
-                addr,
-                is_inst: fl[0] & 1 != 0,
-                is_store: fl[0] & 2 != 0,
-            });
-        }
-        let n_br = read_u64(&mut r)? as usize;
-        let mut branches = Vec::with_capacity(n_br.min(1 << 24));
-        for _ in 0..n_br {
-            let pc = read_u64(&mut r)?;
-            let next_pc = read_u64(&mut r)?;
-            let target = read_u64(&mut r)?;
-            let mut kt = [0u8; 2];
-            r.read_exact(&mut kt)?;
-            branches.push(BranchRecord {
-                pc,
-                next_pc,
-                target,
-                kind: kind_from_u8(kt[0])?,
-                taken: kt[1] != 0,
-            });
-        }
-        let appended = (mem.len() + branches.len()) as u64;
-        Ok(SkipLog {
-            mem,
-            branches,
-            last_fetch_line: NO_LINE,
-            ghr_at_start,
-            log_mem: flags[0] != 0,
-            log_branches: flags[1] != 0,
-            budget: None,
-            truncated: false,
-            peak_bytes: 0,
-            appended,
-        })
     }
+}
+
+fn invalid(msg: impl Into<Box<dyn std::error::Error + Send + Sync>>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg)
+}
+
+/// Validates a serialized boolean: flag bytes must be exactly 0 or 1.
+fn read_flag(byte: u8, what: &str) -> io::Result<bool> {
+    match byte {
+        0 => Ok(false),
+        1 => Ok(true),
+        other => Err(invalid(format!("bad {what} flag byte {other}"))),
+    }
+}
+
+fn read_v1<R: Read>(mut r: R) -> io::Result<SkipLog> {
+    let mut flags = [0u8; 2];
+    r.read_exact(&mut flags)?;
+    let log_mem = read_flag(flags[0], "log_mem")?;
+    let log_branches = read_flag(flags[1], "log_branches")?;
+    let ghr_at_start = read_u64(&mut r)?;
+    let mut log = SkipLog::new(log_mem, log_branches, ghr_at_start);
+    let n_mem = read_u64(&mut r)? as usize;
+    for _ in 0..n_mem {
+        let pc = read_u64(&mut r)?;
+        let next_pc = read_u64(&mut r)?;
+        let addr = read_u64(&mut r)?;
+        let mut fl = [0u8; 1];
+        r.read_exact(&mut fl)?;
+        if fl[0] > 3 {
+            return Err(invalid(format!("bad memory-record flag byte {}", fl[0])));
+        }
+        log.push_mem(pc, next_pc, addr, fl[0] & 1 != 0, fl[0] & 2 != 0);
+    }
+    let n_br = read_u64(&mut r)? as usize;
+    for _ in 0..n_br {
+        let pc = read_u64(&mut r)?;
+        let next_pc = read_u64(&mut r)?;
+        let target = read_u64(&mut r)?;
+        let mut kt = [0u8; 2];
+        r.read_exact(&mut kt)?;
+        let taken = read_flag(kt[1], "branch-taken")?;
+        log.push_branch(pc, next_pc, target, kind_from_u8(kt[0])?, taken);
+    }
+    // v1 carried no accounting: derive it from what was read (the peak of
+    // a freshly materialized, untruncated log is its resident size).
+    log.peak_bytes = log.bytes;
+    debug_assert_eq!(log.appended, (n_mem + n_br) as u64);
+    Ok(log)
+}
+
+fn read_v2<R: Read>(mut r: R) -> io::Result<SkipLog> {
+    let mut flags = [0u8; 3];
+    r.read_exact(&mut flags)?;
+    let log_mem = read_flag(flags[0], "log_mem")?;
+    let log_branches = read_flag(flags[1], "log_branches")?;
+    let truncated = read_flag(flags[2], "truncated")?;
+    let ghr_at_start = read_u64(&mut r)?;
+    let appended = read_uv(&mut r)?;
+    let peak_bytes = read_uv(&mut r)? as usize;
+    let mut log = SkipLog::new(log_mem, log_branches, ghr_at_start);
+
+    let n_mem = read_uv(&mut r)? as usize;
+    let mut prev_addr = [0u64; 2];
+    let mut prev_pc = 0u64;
+    for _ in 0..n_mem {
+        let mut fl = [0u8; 1];
+        r.read_exact(&mut fl)?;
+        if fl[0] > 7 {
+            return Err(invalid(format!("bad memory-record flag byte {}", fl[0])));
+        }
+        let is_inst = fl[0] & 1 != 0;
+        let is_store = fl[0] & 2 != 0;
+        let ext = fl[0] & 4 != 0;
+        let cls = is_inst as usize;
+        let addr = prev_addr[cls].wrapping_add(unzigzag(read_uv(&mut r)?) as u64);
+        prev_addr[cls] = addr;
+        let (pc, next_pc) = if ext {
+            (read_uv(&mut r)?, read_uv(&mut r)?)
+        } else if is_inst {
+            (addr, addr.wrapping_add(4).wrapping_add(unzigzag(read_uv(&mut r)?) as u64))
+        } else {
+            let pc = prev_pc.wrapping_add(unzigzag(read_uv(&mut r)?) as u64);
+            (pc, pc.wrapping_add(4))
+        };
+        if !is_inst {
+            prev_pc = pc;
+        }
+        log.push_mem(pc, next_pc, addr, is_inst, is_store);
+    }
+
+    let n_br = read_uv(&mut r)? as usize;
+    let mut prev_br_pc = 0u64;
+    for _ in 0..n_br {
+        let mut fl = [0u8; 1];
+        r.read_exact(&mut fl)?;
+        if fl[0] & !0x1f != 0 {
+            return Err(invalid(format!("bad branch-record flag byte {}", fl[0])));
+        }
+        let taken = fl[0] & 1 != 0;
+        let kind = kind_from_u8((fl[0] >> 1) & 7)?;
+        let ext = fl[0] & 0x10 != 0;
+        let pc = prev_br_pc.wrapping_add(unzigzag(read_uv(&mut r)?) as u64);
+        prev_br_pc = pc;
+        let target = pc.wrapping_add(unzigzag(read_uv(&mut r)?) as u64);
+        let next_pc = if ext {
+            read_uv(&mut r)?
+        } else if taken {
+            target
+        } else {
+            pc.wrapping_add(4)
+        };
+        log.push_branch(pc, next_pc, target, kind, taken);
+    }
+
+    if truncated && (n_mem != 0 || n_br != 0) {
+        return Err(invalid("truncated skip-log stream claims resident records"));
+    }
+    log.truncated = truncated;
+    log.appended = appended.max(log.appended);
+    log.peak_bytes = peak_bytes.max(log.bytes);
+    Ok(log)
 }
 
 fn read_u16<R: Read>(r: &mut R) -> io::Result<u16> {
@@ -332,6 +796,45 @@ fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut b = [0u8; 8];
     r.read_exact(&mut b)?;
     Ok(u64::from_le_bytes(b))
+}
+
+/// LEB128 unsigned varint.
+fn write_uv<W: Write>(w: &mut W, mut v: u64) -> io::Result<()> {
+    loop {
+        let b = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            return w.write_all(&[b]);
+        }
+        w.write_all(&[b | 0x80])?;
+    }
+}
+
+fn read_uv<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let mut b = [0u8; 1];
+        r.read_exact(&mut b)?;
+        let low = (b[0] & 0x7f) as u64;
+        if shift > 63 || (shift == 63 && low > 1) {
+            return Err(invalid("varint overflows u64"));
+        }
+        v |= low << shift;
+        if b[0] & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Zigzag encoding maps small signed deltas to small unsigned varints.
+fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+fn unzigzag(v: u64) -> i64 {
+    ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
 fn kind_to_u8(kind: CtrlKind) -> u8 {
@@ -353,13 +856,21 @@ fn kind_from_u8(v: u8) -> io::Result<CtrlKind> {
         3 => CtrlKind::IndirectCall,
         4 => CtrlKind::Return,
         5 => CtrlKind::IndirectJump,
-        other => {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidData,
-                format!("bad control-kind byte {other}"),
-            ))
-        }
+        other => return Err(invalid(format!("bad control-kind byte {other}"))),
     })
+}
+
+/// Decodes the kind bits of an in-memory meta byte (always valid: they
+/// were written from a [`CtrlKind`]).
+fn kind_from_meta(meta: u8) -> CtrlKind {
+    match (meta >> BR_KIND_SHIFT) & 7 {
+        0 => CtrlKind::CondBranch,
+        1 => CtrlKind::Jump,
+        2 => CtrlKind::Call,
+        3 => CtrlKind::IndirectCall,
+        4 => CtrlKind::Return,
+        _ => CtrlKind::IndirectJump,
+    }
 }
 
 #[cfg(test)]
@@ -385,6 +896,11 @@ mod tests {
     }
 
     #[test]
+    fn packed_branch_is_16_bytes() {
+        assert_eq!(std::mem::size_of::<PackedBranch>(), 16);
+    }
+
+    #[test]
     fn records_data_and_branches() {
         let log = run_logged(
             |a| {
@@ -401,11 +917,11 @@ mod tests {
             },
             100,
         );
-        let data: Vec<_> = log.mem().iter().filter(|m| !m.is_inst).collect();
+        let data: Vec<_> = log.mem_records().filter(|m| !m.is_inst).collect();
         assert_eq!(data.len(), 2);
         assert!(data[0].is_store && !data[1].is_store);
-        assert_eq!(log.branches().len(), 1);
-        assert!(log.branches()[0].taken);
+        assert_eq!(log.branch_len(), 1);
+        assert!(log.branch_at(0).taken);
     }
 
     #[test]
@@ -421,8 +937,7 @@ mod tests {
             },
             100,
         );
-        let inst_refs: Vec<_> = log.mem().iter().filter(|m| m.is_inst).collect();
-        assert_eq!(inst_refs.len(), 1);
+        assert_eq!(log.mem_records().filter(|m| m.is_inst).count(), 1);
     }
 
     #[test]
@@ -438,9 +953,121 @@ mod tests {
             },
             500,
         );
-        let inst_refs: Vec<_> = log.mem().iter().filter(|m| m.is_inst).collect();
-        assert_eq!(inst_refs.len(), 1);
-        assert_eq!(log.branches().len(), 50);
+        assert_eq!(log.mem_records().filter(|m| m.is_inst).count(), 1);
+        assert_eq!(log.branch_len(), 50);
+    }
+
+    #[test]
+    fn packed_records_materialize_cpu_stream_exactly() {
+        // Record a real stream once into the packed log and once by hand
+        // into plain vectors; the materialized views must be identical.
+        let mut a = Asm::new();
+        let buf = a.data_zeros(4096);
+        a.la(Reg::S0, buf);
+        a.li(Reg::T0, 40);
+        let top = a.bind_new("top");
+        a.sd(Reg::T0, 0, Reg::S0);
+        a.ld(Reg::T1, 8, Reg::S0);
+        a.addi(Reg::S0, Reg::S0, 16);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bne(Reg::T0, Reg::ZERO, top);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p).unwrap();
+        let mut log = SkipLog::new(true, true, 0);
+        let mut mem = Vec::new();
+        let mut branches = Vec::new();
+        let mut last_line = NO_LINE;
+        while !cpu.halted() {
+            let r = cpu.step().unwrap();
+            log.record(&r);
+            if r.pc & LINE_MASK != last_line {
+                last_line = r.pc & LINE_MASK;
+                mem.push(MemRecord {
+                    pc: r.pc,
+                    next_pc: r.next_pc,
+                    addr: r.pc,
+                    is_inst: true,
+                    is_store: false,
+                });
+            }
+            if let Some(m) = r.mem {
+                mem.push(MemRecord {
+                    pc: r.pc,
+                    next_pc: r.next_pc,
+                    addr: m.addr,
+                    is_inst: false,
+                    is_store: m.is_store,
+                });
+            }
+            if let Some(b) = r.branch {
+                branches.push(BranchRecord {
+                    pc: r.pc,
+                    next_pc: r.next_pc,
+                    target: b.target,
+                    kind: b.kind,
+                    taken: b.taken,
+                });
+            }
+        }
+        assert_eq!(log.mem_records().collect::<Vec<_>>(), mem);
+        assert_eq!(log.branch_records().collect::<Vec<_>>(), branches);
+        // A real CPU stream needs no ext spills.
+        assert!(log.mem_ext.is_empty() && log.br_ext.is_empty());
+        // Reverse view agrees with the materialized records.
+        let rev: Vec<_> = log.mem_refs_rev().collect();
+        let expect: Vec<_> = mem.iter().rev().map(|m| (m.addr, m.is_inst)).collect();
+        assert_eq!(rev, expect);
+    }
+
+    #[test]
+    fn adversarial_records_roundtrip_via_ext_tables() {
+        // Synthetic records that defeat every derivation: a fetch whose pc
+        // differs from addr, a data record whose next_pc is not pc + 4,
+        // 64-bit pcs, and a branch whose next_pc contradicts its outcome.
+        let mem = vec![
+            MemRecord { pc: 0x10, next_pc: 0x9999, addr: 0x40, is_inst: true, is_store: false },
+            MemRecord {
+                pc: u64::MAX - 3,
+                next_pc: 0x14,
+                addr: 0x8000,
+                is_inst: false,
+                is_store: true,
+            },
+            MemRecord { pc: 0x20, next_pc: 0x24, addr: 0x20, is_inst: true, is_store: false },
+        ];
+        let branches = vec![
+            BranchRecord {
+                pc: 1 << 40,
+                next_pc: 0x30,
+                target: 0x5000,
+                kind: CtrlKind::Jump,
+                taken: true,
+            },
+            BranchRecord {
+                pc: 0x100,
+                next_pc: 0xdead,
+                target: 0x200,
+                kind: CtrlKind::CondBranch,
+                taken: false,
+            },
+            BranchRecord {
+                pc: 0x300,
+                next_pc: 0x304,
+                target: 0x400,
+                kind: CtrlKind::Return,
+                taken: false,
+            },
+        ];
+        let log = SkipLog::from_records(mem.clone(), branches.clone(), 7);
+        assert_eq!(log.mem_records().collect::<Vec<_>>(), mem);
+        assert_eq!(log.branch_records().collect::<Vec<_>>(), branches);
+        // And the v2 serialization of these still round-trips exactly.
+        let mut bytes = Vec::new();
+        log.write_to(&mut bytes).unwrap();
+        let back = SkipLog::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(back.mem_records().collect::<Vec<_>>(), mem);
+        assert_eq!(back.branch_records().collect::<Vec<_>>(), branches);
     }
 
     #[test]
@@ -461,10 +1088,99 @@ mod tests {
         );
         let mut bytes = Vec::new();
         log.write_to(&mut bytes).unwrap();
+        // The delta/varint stream undercuts even the packed resident size.
+        assert!(bytes.len() < log.approx_bytes());
         let back = SkipLog::read_from(bytes.as_slice()).unwrap();
-        assert_eq!(back.mem(), log.mem());
-        assert_eq!(back.branches(), log.branches());
+        assert_eq!(back.mem_records().collect::<Vec<_>>(), log.mem_records().collect::<Vec<_>>());
+        assert_eq!(
+            back.branch_records().collect::<Vec<_>>(),
+            log.branch_records().collect::<Vec<_>>()
+        );
         assert_eq!(back.ghr_at_start, log.ghr_at_start);
+        // Accounting survives the round-trip (the v1 reader lost it).
+        assert_eq!(back.appended(), log.appended());
+        assert_eq!(back.peak_bytes(), log.peak_bytes());
+        assert!(!back.truncated());
+    }
+
+    #[test]
+    fn truncated_log_roundtrips_its_accounting() {
+        let mut a = Asm::new();
+        let buf = a.data_zeros(4096);
+        a.la(Reg::S0, buf);
+        a.li(Reg::T0, 200);
+        let top = a.bind_new("top");
+        a.sd(Reg::T0, 0, Reg::S0);
+        a.addi(Reg::S0, Reg::S0, 8);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bne(Reg::T0, Reg::ZERO, top);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p).unwrap();
+        let mut log = SkipLog::new(true, true, 0);
+        log.set_budget(Some(256));
+        while !cpu.halted() {
+            let r = cpu.step().unwrap();
+            log.record(&r);
+        }
+        assert!(log.truncated());
+        let mut bytes = Vec::new();
+        log.write_to(&mut bytes).unwrap();
+        let back = SkipLog::read_from(bytes.as_slice()).unwrap();
+        assert!(back.truncated());
+        assert!(back.is_empty());
+        assert_eq!(back.appended(), log.appended());
+        assert_eq!(back.peak_bytes(), log.peak_bytes());
+    }
+
+    #[test]
+    fn v1_streams_still_readable() {
+        // Hand-encode the version-1 fixed-width layout and check the
+        // reader accepts it, including deriving the accounting v1 never
+        // carried.
+        let mem = [
+            MemRecord { pc: 0x1000, next_pc: 0x1004, addr: 0x1000, is_inst: true, is_store: false },
+            MemRecord { pc: 0x1004, next_pc: 0x1008, addr: 0x8000, is_inst: false, is_store: true },
+        ];
+        let branches = [BranchRecord {
+            pc: 0x1008,
+            next_pc: 0x2000,
+            target: 0x2000,
+            kind: CtrlKind::Jump,
+            taken: true,
+        }];
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(b"RSRL");
+        bytes.extend_from_slice(&1u16.to_le_bytes());
+        bytes.extend_from_slice(&[1u8, 1u8]);
+        bytes.extend_from_slice(&0xabcdu64.to_le_bytes());
+        bytes.extend_from_slice(&(mem.len() as u64).to_le_bytes());
+        for m in &mem {
+            bytes.extend_from_slice(&m.pc.to_le_bytes());
+            bytes.extend_from_slice(&m.next_pc.to_le_bytes());
+            bytes.extend_from_slice(&m.addr.to_le_bytes());
+            bytes.push((m.is_inst as u8) | ((m.is_store as u8) << 1));
+        }
+        bytes.extend_from_slice(&(branches.len() as u64).to_le_bytes());
+        for b in &branches {
+            bytes.extend_from_slice(&b.pc.to_le_bytes());
+            bytes.extend_from_slice(&b.next_pc.to_le_bytes());
+            bytes.extend_from_slice(&b.target.to_le_bytes());
+            bytes.push(kind_to_u8(b.kind));
+            bytes.push(b.taken as u8);
+        }
+        let log = SkipLog::read_from(bytes.as_slice()).unwrap();
+        assert_eq!(log.mem_records().collect::<Vec<_>>(), mem);
+        assert_eq!(log.branch_records().collect::<Vec<_>>(), branches);
+        assert_eq!(log.ghr_at_start, 0xabcd);
+        assert_eq!(log.appended(), 3);
+        assert_eq!(log.peak_bytes(), log.approx_bytes());
+        assert!(!log.truncated());
+
+        // Flag bytes outside {0, 1} are data corruption, not booleans.
+        let mut bad = bytes.clone();
+        bad[6] = 2;
+        assert!(SkipLog::read_from(bad.as_slice()).is_err());
     }
 
     #[test]
@@ -484,6 +1200,73 @@ mod tests {
         let mut bytes = Vec::new();
         log.write_to(&mut bytes).unwrap();
         assert!(SkipLog::read_from(&bytes[..bytes.len() - 3]).is_err());
+        // A v2 flag byte outside {0, 1} is rejected, not reinterpreted.
+        let mut bad = bytes.clone();
+        bad[6] = 0xff;
+        assert!(SkipLog::read_from(bad.as_slice()).is_err());
+        // A "truncated" stream that still claims records is inconsistent.
+        let mut lying = bytes.clone();
+        lying[8] = 1;
+        assert!(SkipLog::read_from(lying.as_slice()).is_err());
+    }
+
+    #[test]
+    fn truncation_keeps_appended_and_peak_but_empties_the_log() {
+        // The satellite contract: a budget-truncated log is empty, is
+        // flagged truncated, and still reports how much it had logged.
+        let mut a = Asm::new();
+        let buf = a.data_zeros(8192);
+        a.la(Reg::S0, buf);
+        a.li(Reg::T0, 500);
+        let top = a.bind_new("top");
+        a.sd(Reg::T0, 0, Reg::S0);
+        a.addi(Reg::S0, Reg::S0, 8);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bne(Reg::T0, Reg::ZERO, top);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut cpu = Cpu::new(&p).unwrap();
+        let mut log = SkipLog::new(true, true, 0);
+        log.set_budget(Some(512));
+        let mut steps = 0u64;
+        while !cpu.halted() {
+            let r = cpu.step().unwrap();
+            log.record(&r);
+            steps += 1;
+        }
+        assert!(steps > 100, "program must outlive the budget");
+        assert!(log.truncated());
+        assert!(log.is_empty(), "truncated log holds nothing");
+        assert_eq!(log.len(), 0);
+        assert_eq!(log.approx_bytes(), 0);
+        assert!(log.appended() > 0, "appended survives the discard");
+        assert!(log.peak_bytes() > 512, "peak is the pre-discard high-water mark");
+        // reset() rearms the same budget for the next region.
+        log.reset(true, true, 0);
+        assert!(!log.truncated());
+        assert_eq!(log.appended(), 0);
+    }
+
+    #[test]
+    fn incremental_bytes_match_layout_arithmetic() {
+        let mut log = SkipLog::new(true, true, 0);
+        for k in 0..70u64 {
+            log.push_mem(0x1000 + k * 4, 0x1004 + k * 4, 0x4000 + k * 8, false, false);
+        }
+        // 70 mem records: 3 tag words + 12 bytes each.
+        assert_eq!(log.approx_bytes(), 3 * TAG_WORD_BYTES + 70 * MEM_RECORD_BYTES);
+        log.push_branch(0x2000, 0x3000, 0x3000, CtrlKind::Jump, true);
+        assert_eq!(
+            log.approx_bytes(),
+            3 * TAG_WORD_BYTES + 70 * MEM_RECORD_BYTES + BRANCH_RECORD_BYTES
+        );
+        // An ext spill charges its table entry.
+        log.push_mem(0x9000, 0xffff, 0x8000, false, true);
+        assert_eq!(
+            log.approx_bytes(),
+            3 * TAG_WORD_BYTES + 71 * MEM_RECORD_BYTES + BRANCH_RECORD_BYTES + EXT_ENTRY_BYTES
+        );
+        assert_eq!(log.appended(), 72);
     }
 
     #[test]
@@ -502,5 +1285,49 @@ mod tests {
         }
         assert!(log.is_empty());
         assert_eq!(log.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn fused_region_loop_matches_per_step_recording() {
+        let mut a = Asm::new();
+        let buf = a.data_zeros(4096);
+        a.la(Reg::S0, buf);
+        a.li(Reg::T0, 60);
+        let top = a.bind_new("top");
+        a.sd(Reg::T0, 0, Reg::S0);
+        a.ld(Reg::T1, 0, Reg::S0);
+        a.addi(Reg::S0, Reg::S0, 16);
+        a.addi(Reg::T0, Reg::T0, -1);
+        a.bne(Reg::T0, Reg::ZERO, top);
+        a.halt();
+        let p = a.finish().unwrap();
+        let n = 250u64;
+        for budget in [None, Some(1024usize)] {
+            let mut cpu_a = Cpu::new(&p).unwrap();
+            let mut stepwise = SkipLog::new(true, true, 0);
+            stepwise.set_budget(budget);
+            for _ in 0..n {
+                let r = cpu_a.step().unwrap();
+                stepwise.record(&r);
+            }
+            let mut cpu_b = Cpu::new(&p).unwrap();
+            let mut fused = SkipLog::new(true, true, 0);
+            fused.set_budget(budget);
+            fused.record_region(&mut cpu_b, n).unwrap();
+            // Same CPU end state and bit-identical log state.
+            assert_eq!(cpu_a.pc(), cpu_b.pc());
+            assert_eq!(fused.truncated(), stepwise.truncated());
+            assert_eq!(fused.appended(), stepwise.appended());
+            assert_eq!(fused.peak_bytes(), stepwise.peak_bytes());
+            assert_eq!(fused.approx_bytes(), stepwise.approx_bytes());
+            assert_eq!(
+                fused.mem_records().collect::<Vec<_>>(),
+                stepwise.mem_records().collect::<Vec<_>>()
+            );
+            assert_eq!(
+                fused.branch_records().collect::<Vec<_>>(),
+                stepwise.branch_records().collect::<Vec<_>>()
+            );
+        }
     }
 }

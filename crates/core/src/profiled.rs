@@ -86,14 +86,13 @@ pub fn profile_reuse(
         map.insert(line, pos);
     };
 
-    for _ in 0..skip_len {
-        let r = cpu.step()?;
+    cpu.step_n(skip_len, |r| {
         touch(&mut last_touch, r.pc & LINE_MASK, pos);
         if let Some(m) = r.mem {
             touch(&mut last_touch, m.addr & LINE_MASK, pos);
         }
         pos += 1;
-    }
+    })?;
 
     let mut profile = ReuseProfile { back_distances: Vec::new(), considered: 0 };
     let note = |profile: &mut ReuseProfile, prev: Option<u64>| {
@@ -121,8 +120,7 @@ pub fn profile_reuse(
         }
     };
 
-    for _ in 0..cluster_len {
-        let r = cpu.step()?;
+    cpu.step_n(cluster_len, |r| {
         let iline = r.pc & LINE_MASK;
         note(&mut profile, last_touch.get(&iline).copied());
         touch(&mut last_touch, iline, pos);
@@ -132,7 +130,7 @@ pub fn profile_reuse(
             touch(&mut last_touch, dline, pos);
         }
         pos += 1;
-    }
+    })?;
     Ok(profile)
 }
 

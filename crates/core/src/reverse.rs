@@ -68,32 +68,37 @@ impl ReconStats {
 /// set of every level is reconstructed.
 pub fn reconstruct_caches(hier: &mut MemHierarchy, log: &SkipLog, pct: Pct) -> ReconStats {
     let mut stats = ReconStats::default();
-    hier.l1i.begin_reconstruction();
-    hier.l1d.begin_reconstruction();
-    hier.l2.begin_reconstruction();
-    let budget = pct.of(log.mem().len());
-    for rec in log.mem().iter().rev().take(budget) {
-        if hier.l1i.fully_reconstructed()
-            && hier.l1d.fully_reconstructed()
-            && hier.l2.fully_reconstructed()
-        {
+    hier.begin_reconstruction();
+    let budget = pct.of(log.mem_len());
+    // Completion flags per level: once a level is fully reconstructed,
+    // further probes of it are pure no-ops (`SetComplete`), so they are
+    // counted as ignored without touching the cache at all.
+    let mut l1i_done = hier.l1i.fully_reconstructed();
+    let mut l1d_done = hier.l1d.fully_reconstructed();
+    let mut l2_done = hier.l2.fully_reconstructed();
+    for (addr, is_inst) in log.mem_refs_rev().take(budget) {
+        if l1i_done && l1d_done && l2_done {
             break;
         }
         stats.mem_scanned += 1;
-        let l1 = if rec.is_inst { &mut hier.l1i } else { &mut hier.l1d };
+        let (l1, l1_done) =
+            if is_inst { (&mut hier.l1i, &mut l1i_done) } else { (&mut hier.l1d, &mut l1d_done) };
         // Per the paper, WTNA caches allocate logged writes exactly like
         // reads ("the block is allocated even if the access is a write").
-        for out in [l1.reconstruct_ref(rec.addr), hier.l2.reconstruct_ref(rec.addr)] {
-            match out {
+        for (cache, done) in [(l1, l1_done), (&mut hier.l2, &mut l2_done)] {
+            if *done {
+                stats.cache_ignored += 1;
+                continue;
+            }
+            match cache.reconstruct_ref(addr) {
                 ReconOutcome::Inserted => stats.cache_inserted += 1,
                 ReconOutcome::MarkedPresent => stats.cache_marked += 1,
                 ReconOutcome::Redundant | ReconOutcome::SetComplete => stats.cache_ignored += 1,
             }
+            *done = cache.fully_reconstructed();
         }
     }
-    hier.l1i.finish_reconstruction();
-    hier.l1d.finish_reconstruction();
-    hier.l2.finish_reconstruction();
+    hier.finish_reconstruction();
     stats
 }
 
@@ -107,8 +112,9 @@ pub fn reconstruct_caches(hier: &mut MemHierarchy, log: &SkipLog, pct: Pct) -> R
 /// is consumed exactly once per region.
 #[derive(Debug)]
 pub struct BpReconstructor<'log> {
-    /// Forward-order branch records (borrowed from the region's log).
-    records: &'log [crate::BranchRecord],
+    /// The region's log (packed branch records are materialized only as
+    /// the scan demands them).
+    log: &'log SkipLog,
     /// GHR value seen by record *i* (used for its PHT index).
     ghr_before: Vec<u64>,
     /// Reverse records consumed so far.
@@ -128,17 +134,19 @@ impl<'log> BpReconstructor<'log> {
         pred.gshare.begin_reconstruction();
         pred.btb.begin_reconstruction();
 
-        let records = log.branches();
-        let budget = pct.of(records.len());
+        let n = log.branch_len();
+        let budget = pct.of(n);
 
         // GHR evolution through the region (conditional outcomes only).
-        let mut ghr_before = Vec::with_capacity(records.len());
+        // This forward pass reads only the packed meta column.
+        let mut ghr_before = Vec::with_capacity(n);
         let mut ghr = log.ghr_at_start;
         let mask = pred.gshare.ghr_mask();
-        for rec in records {
+        for i in 0..n {
             ghr_before.push(ghr);
-            if rec.kind == CtrlKind::CondBranch {
-                ghr = ((ghr << 1) | rec.taken as u64) & mask;
+            let (kind, taken) = log.branch_kind_taken(i);
+            if kind == CtrlKind::CondBranch {
+                ghr = ((ghr << 1) | taken as u64) & mask;
             }
         }
         // "The global history register must first be reconstructed using
@@ -146,15 +154,15 @@ impl<'log> BpReconstructor<'log> {
         pred.gshare.set_ghr(ghr);
 
         // RAS reconstruction (Figure 4), newest-first within the budget.
-        let ras_ops = records.iter().rev().take(budget).filter_map(|rec| match rec.kind {
-            CtrlKind::Call | CtrlKind::IndirectCall => Some(RasOp::Push(rec.pc + 4)),
+        let ras_ops = (0..n).rev().take(budget).filter_map(|i| match log.branch_kind_taken(i).0 {
+            CtrlKind::Call | CtrlKind::IndirectCall => Some(RasOp::Push(log.branch_pc(i) + 4)),
             CtrlKind::Return => Some(RasOp::Pop),
             _ => None,
         });
         pred.ras.reconstruct(ras_ops);
 
         BpReconstructor {
-            records,
+            log,
             ghr_before,
             consumed: 0,
             budget,
@@ -196,16 +204,16 @@ impl<'log> BpReconstructor<'log> {
             }
             return false;
         }
-        let i = self.records.len() - 1 - self.consumed;
+        let i = self.log.branch_len() - 1 - self.consumed;
         self.consumed += 1;
         self.stats.branch_scanned += 1;
-        let rec = self.records[i];
+        let (kind, taken) = self.log.branch_kind_taken(i);
 
-        if rec.kind == CtrlKind::CondBranch {
-            let idx = pred.gshare.index_with(rec.pc, self.ghr_before[i]);
+        if kind == CtrlKind::CondBranch {
+            let idx = pred.gshare.index_with(self.log.branch_pc(i), self.ghr_before[i]);
             if !pred.gshare.is_reconstructed(idx) {
                 let inf = self.inferences.entry(idx).or_default();
-                inf.prepend(rec.taken);
+                inf.prepend(taken);
                 if let Some(c) = inf.resolved() {
                     pred.gshare.set_counter(idx, c);
                     pred.gshare.mark_reconstructed(idx);
@@ -214,7 +222,7 @@ impl<'log> BpReconstructor<'log> {
                 }
             }
         }
-        if rec.taken && pred.btb.reconstruct(rec.pc, rec.target) {
+        if taken && pred.btb.reconstruct(self.log.branch_pc(i), self.log.branch_target(i)) {
             self.stats.btb_reconstructed += 1;
         }
         true
@@ -320,7 +328,7 @@ mod tests {
         for k in 0..1000u64 {
             log.record(&mem_retired(k, 0x1_0000, 0x40_0000 + k * 64, false));
         }
-        let n_mem = log.mem().len();
+        let n_mem = log.mem_len();
         let stats = reconstruct_caches(&mut hier, &log, Pct::new(20));
         assert!(stats.mem_scanned <= Pct::new(20).of(n_mem) as u64);
         // Newest references are reconstructed, oldest are not.

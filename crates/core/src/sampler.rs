@@ -426,20 +426,17 @@ pub(crate) fn run_windows(
         match policy {
             WarmupPolicy::None => {
                 let t = Instant::now();
-                for _ in 0..skip {
-                    cpu.step()?;
-                }
+                cpu.step_n(skip, |_| ())?;
                 outcome.phases.cold += t.elapsed();
             }
             WarmupPolicy::Smarts { cache, bp } => {
                 let t = Instant::now();
                 let mut updates = 0u64;
-                for _ in 0..skip {
-                    let r = cpu.step()?;
-                    warm_one(&r, &mut hier, &mut pred, cache, bp);
+                cpu.step_n(skip, |r| {
+                    warm_one(r, &mut hier, &mut pred, cache, bp);
                     updates += cache as u64 * (1 + r.mem.is_some() as u64)
                         + (bp && r.branch.is_some()) as u64;
-                }
+                })?;
                 outcome.warm_updates += updates;
                 outcome.phases.warm += t.elapsed();
             }
@@ -447,29 +444,24 @@ pub(crate) fn run_windows(
                 let warm_part = pct.of(skip as usize) as u64;
                 let cold_part = skip - warm_part;
                 let t = Instant::now();
-                for _ in 0..cold_part {
-                    cpu.step()?;
-                }
+                cpu.step_n(cold_part, |_| ())?;
                 outcome.phases.cold += t.elapsed();
                 let t = Instant::now();
                 let mut updates = 0u64;
-                for _ in 0..warm_part {
-                    let r = cpu.step()?;
-                    warm_one(&r, &mut hier, &mut pred, true, true);
+                cpu.step_n(warm_part, |r| {
+                    warm_one(r, &mut hier, &mut pred, true, true);
                     updates += 1 + r.mem.is_some() as u64 + r.branch.is_some() as u64;
-                }
+                })?;
                 outcome.warm_updates += updates;
                 outcome.phases.warm += t.elapsed();
             }
             WarmupPolicy::Reverse { cache, bp, pct } => {
                 // Cold phase with logging: "no analysis is performed
-                // between clusters except for logging".
+                // between clusters except for logging". Stepping and
+                // recording are fused into one monomorphized loop.
                 let t = Instant::now();
                 log.reset(cache, bp, pred.gshare.ghr());
-                for _ in 0..skip {
-                    let r = cpu.step()?;
-                    log.record(&r);
-                }
+                log.record_region(cpu, skip)?;
                 outcome.phases.cold += t.elapsed();
                 outcome.log_bytes_peak = outcome.log_bytes_peak.max(log.peak_bytes());
                 outcome.log_records += log.appended();
@@ -511,17 +503,14 @@ pub(crate) fn run_windows(
                 outcome.phases.warm += t.elapsed();
 
                 let t = Instant::now();
-                for _ in 0..skip - window {
-                    cpu.step()?;
-                }
+                cpu.step_n(skip - window, |_| ())?;
                 outcome.phases.cold += t.elapsed();
                 let t = Instant::now();
                 let mut updates = 0u64;
-                for _ in 0..window {
-                    let r = cpu.step()?;
-                    warm_one(&r, &mut hier, &mut pred, true, true);
+                cpu.step_n(window, |r| {
+                    warm_one(r, &mut hier, &mut pred, true, true);
                     updates += 1 + r.mem.is_some() as u64 + r.branch.is_some() as u64;
-                }
+                })?;
                 outcome.warm_updates += updates;
                 outcome.phases.warm += t.elapsed();
             }
@@ -634,12 +623,8 @@ pub fn run_full(
 /// # Errors
 ///
 /// Propagates functional-simulation faults.
-pub fn skip_with(cpu: &mut Cpu, n: u64, mut action: impl FnMut(&Retired)) -> Result<(), ExecError> {
-    for _ in 0..n {
-        let r = cpu.step()?;
-        action(&r);
-    }
-    Ok(())
+pub fn skip_with(cpu: &mut Cpu, n: u64, action: impl FnMut(&Retired)) -> Result<(), ExecError> {
+    cpu.step_n(n, action)
 }
 
 /// SMARTS-style functional warming of both structures while skipping
@@ -654,11 +639,7 @@ pub fn skip_with_smarts_warming(
     pred: &mut Predictor,
     n: u64,
 ) -> Result<(), ExecError> {
-    for _ in 0..n {
-        let r = cpu.step()?;
-        warm_one(&r, hier, pred, true, true);
-    }
-    Ok(())
+    cpu.step_n(n, |r| warm_one(r, hier, pred, true, true))
 }
 
 // NoHook is re-exported through rsr-timing; keep the import used even when

@@ -317,15 +317,14 @@ fn scout_checkpoints(
     for (i, sender) in senders.iter().enumerate() {
         let g = i + 1;
         let boundary = starts[g];
-        for _ in 0..boundary - pos {
-            let r = cpu.step()?;
+        cpu.step_n(boundary - pos, |r| {
             if let Some(m) = r.mem {
                 if m.is_store {
                     dirty.insert(m.addr / PAGE_BYTES);
                     dirty.insert((m.addr + m.width.bytes() - 1) / PAGE_BYTES);
                 }
             }
-        }
+        })?;
         pos = boundary;
         let pages: Vec<(u64, Vec<u8>)> = dirty
             .iter()

@@ -182,6 +182,11 @@ impl<'a> RunSpec<'a> {
     /// [`SampleOutcome::clusters_degraded`]. Degradation depends only on
     /// each region's own deterministic record stream, so it is identical
     /// at every thread count.
+    ///
+    /// The budget is measured against the packed in-memory layout
+    /// (~12.25 bytes per memory record, 16 per branch — DESIGN.md §9),
+    /// enforced once per retired instruction so an instruction's records
+    /// are kept or discarded together.
     pub fn log_budget_bytes(mut self, bytes: usize) -> Self {
         self.log_budget = Some(bytes);
         self

@@ -256,6 +256,24 @@ impl Cpu {
         Ok(self.decoded[((pc - self.text_base) / INST_BYTES) as usize])
     }
 
+    /// Executes `n` instructions, handing each [`Retired`] result to
+    /// `sink`. This is the fast-forward hot loop: monomorphizing the sink
+    /// into the step loop lets fused consumers (skip-region logging,
+    /// functional warming, reuse profiling, the shard scout) run without
+    /// per-instruction dispatch.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cpu::step`]; the CPU stops at the faulting instruction.
+    #[inline]
+    pub fn step_n<F: FnMut(&Retired)>(&mut self, n: u64, mut sink: F) -> Result<(), ExecError> {
+        for _ in 0..n {
+            let r = self.step()?;
+            sink(&r);
+        }
+        Ok(())
+    }
+
     /// Executes one instruction.
     ///
     /// # Errors

@@ -118,7 +118,7 @@ fn reconstruction_bits_isolate_regions() {
     assert!(s1.cache_inserted > 0 && s2.cache_inserted > 0);
     // The second pass must have re-marked from scratch (its counters are
     // not cumulative with the first).
-    assert!(s2.mem_scanned <= log.mem().len() as u64);
+    assert!(s2.mem_scanned <= log.mem_len() as u64);
 }
 
 #[test]

@@ -160,13 +160,13 @@ proptest! {
         let mut hier = MemHierarchy::new(HierarchyConfig::paper());
         reconstruct_caches(&mut hier, &log, Pct::new(100));
         // The newest data reference of the log must be resident.
-        if let Some(last) = log.mem().iter().rev().find(|m| !m.is_inst) {
-            prop_assert!(hier.l1d.probe(last.addr) || hier.l1d.probe(last.addr & !63));
+        if let Some(last) = log.mem_refs_rev().find(|&(_, is_inst)| !is_inst) {
+            prop_assert!(hier.l1d.probe(last.0) || hier.l1d.probe(last.0 & !63));
         }
         // The newest instruction line must be resident in the L1I.
-        if let Some(last) = log.mem().iter().rev().find(|m| m.is_inst) {
-            prop_assert!(hier.l1i.probe(last.addr));
-        }
+        if let Some(last) = log.mem_refs_rev().find(|&(_, is_inst)| is_inst) {
+            prop_assert!(hier.l1i.probe(last.0));
+        };
     }
 
     /// Encode/decode of generated programs round-trips through memory.
