@@ -12,6 +12,9 @@ cargo test -q -p rsr-integration --test fault_injection
 # The packed-log equivalence suite, by name: the compact representation
 # must stay observationally identical to the seed's record layout.
 cargo test -q -p rsr-integration --test packed_equivalence
+# The leader/follower pipeline suite, by name: pipelined runs must stay
+# bit-identical to the sequential engine at every (threads, depth).
+cargo test -q -p rsr-integration --test pipeline_equivalence
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 # Advisory (warn-only): the core engine should fail typed, not panic.

@@ -4,7 +4,9 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use rsr_cache::{HierAccess, HierarchyConfig, MemHierarchy};
-use rsr_core::{reconstruct_caches, Pct, SkipLog};
+use rsr_core::{
+    reconstruct_caches, MachineConfig, Pct, RunSpec, SamplingRegimen, SkipLog, WarmupPolicy,
+};
 use rsr_func::Cpu;
 use rsr_workloads::{Benchmark, WorkloadParams};
 
@@ -135,5 +137,34 @@ fn bench_logging(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_region_warmup, bench_logging);
+// Depth sweep of the leader/follower pipeline on a small sampled run:
+// depth 1 is the sequential engine, 2 and 4 overlap cold fast-forward
+// with reconstruction + hot clusters (results are bit-identical; only
+// wall time may move, and only where the host has cores to spare).
+fn bench_pipeline_depth(c: &mut Criterion) {
+    let program = Benchmark::Mcf.build(&WorkloadParams { scale: 0.25, ..Default::default() });
+    let machine = MachineConfig::paper();
+    let mut group = c.benchmark_group("pipeline_depth");
+    group.sample_size(10);
+
+    for depth in [1usize, 2, 4] {
+        group.bench_function(format!("sampled_run_depth_{depth}"), |b| {
+            b.iter(|| {
+                RunSpec::new(&program, &machine)
+                    .regimen(SamplingRegimen::new(10, 800))
+                    .total_insts(400_000)
+                    .policy(WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) })
+                    .seed(42)
+                    .shard_span(100_000)
+                    .pipeline_depth(depth)
+                    .run()
+                    .expect("sampled run")
+                    .est_ipc()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_region_warmup, bench_logging, bench_pipeline_depth);
 criterion_main!(benches);

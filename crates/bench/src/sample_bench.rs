@@ -23,6 +23,8 @@ pub struct BenchSample {
     pub seed: u64,
     /// Shard worker threads.
     pub threads: usize,
+    /// Resolved intra-shard pipeline depth (1 = sequential engine).
+    pub pipeline_depth: usize,
     /// Total instructions in the sampled run.
     pub total_insts: u64,
     /// Cluster count and length of the regimen.
@@ -42,12 +44,19 @@ pub struct BenchSample {
     pub log_bytes_peak: usize,
     /// Records appended to skip logs across the run.
     pub log_records: u64,
-    /// Cold-phase seconds (summed across shards).
+    /// Cold-phase busy seconds (summed across shard workers; overlaps
+    /// wall-clock time with the hot/warm phases when the pipeline or
+    /// multiple threads are engaged, so phase seconds can sum past
+    /// `wall_seconds`).
     pub cold_seconds: f64,
-    /// Hot-phase seconds (summed across shards).
+    /// Hot-phase busy seconds (summed across shard workers; see
+    /// `cold_seconds` on overlap).
     pub hot_seconds: f64,
     /// End-to-end wall-clock seconds of the sampled run.
     pub wall_seconds: f64,
+    /// Fraction of summed phase busy time hidden by thread- and
+    /// pipeline-level overlap: `1 − wall/Σphases`, clamped at 0.
+    pub overlap_efficiency: f64,
 }
 
 impl BenchSample {
@@ -61,6 +70,7 @@ impl BenchSample {
         field("scale", fmt_f64(self.scale));
         field("seed", self.seed.to_string());
         field("threads", self.threads.to_string());
+        field("pipeline_depth", self.pipeline_depth.to_string());
         field("total_insts", self.total_insts.to_string());
         field("clusters", self.clusters.to_string());
         field("cluster_len", self.cluster_len.to_string());
@@ -71,7 +81,11 @@ impl BenchSample {
         field("log_records", self.log_records.to_string());
         field("cold_seconds", fmt_f64(self.cold_seconds));
         field("hot_seconds", fmt_f64(self.hot_seconds));
-        s.push_str(&format!("  \"wall_seconds\": {}\n}}\n", fmt_f64(self.wall_seconds)));
+        field("wall_seconds", fmt_f64(self.wall_seconds));
+        s.push_str(&format!(
+            "  \"overlap_efficiency\": {}\n}}\n",
+            fmt_f64(self.overlap_efficiency)
+        ));
         s
     }
 }
@@ -87,8 +101,13 @@ fn fmt_f64(v: f64) -> String {
 /// Runs the benchmark trajectory: an mcf sampled run under R$BP 20% at the
 /// given scale, plus a standalone reconstruction micro-pass, and returns
 /// the derived metrics. Deterministic for fixed `(scale, seed)` except the
-/// timing fields.
-pub fn run_bench_sample(scale: f64, seed: u64, threads: usize) -> BenchSample {
+/// timing fields; `pipeline_depth` 0 means auto (hardware-aware).
+pub fn run_bench_sample(
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    pipeline_depth: usize,
+) -> BenchSample {
     let bench = Benchmark::Mcf;
     let scale = scale.clamp(0.001, 100.0);
     let threads = threads.max(1);
@@ -100,14 +119,15 @@ pub fn run_bench_sample(scale: f64, seed: u64, threads: usize) -> BenchSample {
     let regimen = SamplingRegimen::new(n_clusters, spec.cluster_len);
     let pct = Pct::new(20);
 
-    let outcome = RunSpec::new(&program, &machine)
+    let run_spec = RunSpec::new(&program, &machine)
         .regimen(regimen)
         .total_insts(total)
         .policy(WarmupPolicy::Reverse { cache: true, bp: true, pct })
         .seed(seed)
         .threads(threads)
-        .run()
-        .expect("bench-sample run");
+        .pipeline_depth(pipeline_depth);
+    let resolved_depth = run_spec.resolved_pipeline_depth();
+    let outcome = run_spec.run().expect("bench-sample run");
 
     let cold_secs = outcome.phases.cold.as_secs_f64();
     let cold_mips = outcome.skipped_insts as f64 / cold_secs.max(1e-9) / 1e6;
@@ -134,6 +154,7 @@ pub fn run_bench_sample(scale: f64, seed: u64, threads: usize) -> BenchSample {
         scale,
         seed,
         threads,
+        pipeline_depth: resolved_depth,
         total_insts: total,
         clusters: n_clusters,
         cluster_len: spec.cluster_len,
@@ -145,6 +166,7 @@ pub fn run_bench_sample(scale: f64, seed: u64, threads: usize) -> BenchSample {
         cold_seconds: cold_secs,
         hot_seconds: outcome.phases.hot.as_secs_f64(),
         wall_seconds: outcome.wall.as_secs_f64(),
+        overlap_efficiency: outcome.overlap_efficiency(),
     }
 }
 
@@ -154,14 +176,16 @@ mod tests {
 
     #[test]
     fn smoke_scale_emission_has_sane_metrics() {
-        let s = run_bench_sample(0.01, 42, 1);
+        let s = run_bench_sample(0.01, 42, 1, 1);
         assert_eq!(s.bench, "mcf");
+        assert_eq!(s.pipeline_depth, 1);
         assert!(s.est_ipc > 0.0);
         assert!(s.cold_mips > 0.0);
         assert!(s.recon_ns_per_record > 0.0);
         assert!(s.log_bytes_peak > 0);
         assert!(s.log_records > 0);
         assert!(s.wall_seconds > 0.0);
+        assert!((0.0..1.0).contains(&s.overlap_efficiency));
     }
 
     #[test]
@@ -171,6 +195,7 @@ mod tests {
             scale: 1.0,
             seed: 42,
             threads: 4,
+            pipeline_depth: 2,
             total_insts: 1_000_000,
             clusters: 30,
             cluster_len: 3000,
@@ -182,10 +207,11 @@ mod tests {
             cold_seconds: 1.5,
             hot_seconds: 0.25,
             wall_seconds: 2.0,
+            overlap_efficiency: 0.3,
         };
         let json = s.to_json();
         // Shape checks a strict parser would also enforce: one object,
-        // all fourteen keys, no trailing comma before the brace.
+        // all seventeen keys, no trailing comma before the brace.
         assert!(json.starts_with("{\n") && json.ends_with("}\n"));
         assert!(!json.contains(",\n}"));
         for key in [
@@ -193,6 +219,7 @@ mod tests {
             "scale",
             "seed",
             "threads",
+            "pipeline_depth",
             "total_insts",
             "clusters",
             "cluster_len",
@@ -204,20 +231,27 @@ mod tests {
             "cold_seconds",
             "hot_seconds",
             "wall_seconds",
+            "overlap_efficiency",
         ] {
             assert!(json.contains(&format!("\"{key}\":")), "missing {key}");
         }
         assert!(json.contains("\"est_ipc\": 0.500000"));
+        assert!(json.contains("\"overlap_efficiency\": 0.300000"));
     }
 
     #[test]
     fn ipc_matches_direct_runspec_at_any_thread_count() {
         // The emitter must not perturb the sampled result: same spec, same
-        // estimate, and thread count must not move it.
-        let one = run_bench_sample(0.01, 7, 1);
-        let four = run_bench_sample(0.01, 7, 4);
+        // estimate, and neither thread count nor pipeline depth may move
+        // it.
+        let one = run_bench_sample(0.01, 7, 1, 1);
+        let four = run_bench_sample(0.01, 7, 4, 1);
+        let piped = run_bench_sample(0.01, 7, 1, 2);
         assert_eq!(one.est_ipc, four.est_ipc);
         assert_eq!(one.log_records, four.log_records);
         assert_eq!(one.log_bytes_peak, four.log_bytes_peak);
+        assert_eq!(one.est_ipc, piped.est_ipc);
+        assert_eq!(one.log_records, piped.log_records);
+        assert_eq!(piped.pipeline_depth, 2);
     }
 }

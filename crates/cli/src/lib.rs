@@ -44,7 +44,7 @@ pub enum Command {
         /// Instructions to simulate.
         n: u64,
     },
-    /// `rsr sample <bench> [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S] [--threads T] [--max-shard-retries R] [--log-budget BYTES] [--deadline-secs S]`
+    /// `rsr sample <bench> [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S] [--threads T] [--pipeline-depth D] [--max-shard-retries R] [--log-budget BYTES] [--deadline-secs S]`
     Sample {
         /// Workload to sample.
         bench: Benchmark,
@@ -60,6 +60,9 @@ pub enum Command {
         seed: u64,
         /// Shard worker threads (1 = sequential; results are identical).
         threads: usize,
+        /// Intra-shard leader/follower pipeline depth (0 = auto; results
+        /// are identical at any depth).
+        pipeline_depth: usize,
         /// Shard-fault retry budget (`None` = engine default).
         max_shard_retries: Option<u32>,
         /// Per-region RSR log cap in bytes (`None` = unbounded).
@@ -80,7 +83,7 @@ pub enum Command {
         /// Replay count.
         replays: usize,
     },
-    /// `rsr bench [--scale S] [--seed N] [--threads T] [--out PATH]`
+    /// `rsr bench [--scale S] [--seed N] [--threads T] [--pipeline-depth D] [--out PATH]`
     Bench {
         /// Run-length scale factor relative to the default regimen.
         scale: f64,
@@ -88,6 +91,8 @@ pub enum Command {
         seed: u64,
         /// Shard worker threads (results are identical at any count).
         threads: usize,
+        /// Intra-shard leader/follower pipeline depth (0 = auto).
+        pipeline_depth: usize,
         /// Destination for the JSON emission (`None` = stdout).
         out: Option<String>,
     },
@@ -210,12 +215,15 @@ commands:
   trace  <bench> [-n N]         print the first N retired instructions (default 20)
   run    <bench> [-n INSTS]     full cycle-accurate run (default 1000000)
   sample <bench> [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S]
-         [--threads T] [--max-shard-retries R] [--log-budget BYTES] [--deadline-secs S]
+         [--threads T] [--pipeline-depth D] [--max-shard-retries R] [--log-budget BYTES]
+         [--deadline-secs S]
                                 sampled simulation (defaults: r$bp 20%, 30x1000, 2M, seed 42,
                                 1 thread; --threads shards the schedule, results identical;
+                                --pipeline-depth overlaps cold fast-forward with recon+hot
+                                inside each shard, 0 = auto, results identical at any depth;
                                 retries heal shard faults, --log-budget degrades over-budget
                                 clusters to stale-state warmup, --deadline-secs aborts cleanly)
-  bench  [--scale S] [--seed N] [--threads T] [--out PATH]
+  bench  [--scale S] [--seed N] [--threads T] [--pipeline-depth D] [--out PATH]
                                 reproducible perf trajectory: runs mcf under r$bp 20%
                                 and emits BENCH_sample.json-shaped metrics (cold-phase
                                 MIPS, recon ns/record, peak log bytes, wall seconds)
@@ -334,6 +342,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 n: flags.parsed("-n", 2_000_000)?,
                 seed: flags.parsed("--seed", 42)?,
                 threads: flags.parsed("--threads", 1)?,
+                pipeline_depth: flags.parsed("--pipeline-depth", 0)?,
                 max_shard_retries: flags.parsed_opt("--max-shard-retries")?,
                 log_budget: flags.parsed_opt("--log-budget")?,
                 deadline_secs: flags.parsed_opt("--deadline-secs")?,
@@ -343,6 +352,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             scale: flags.parsed("--scale", 1.0)?,
             seed: flags.parsed("--seed", 42)?,
             threads: flags.parsed("--threads", 1)?,
+            pipeline_depth: flags.parsed("--pipeline-depth", 0)?,
             out: flags.value("--out").map(str::to_string),
         },
         "ckpt" => Command::Ckpt {
@@ -527,19 +537,36 @@ mod tests {
     fn bench_flags_and_defaults() {
         assert_eq!(
             parse(&argv("bench")).unwrap(),
-            Command::Bench { scale: 1.0, seed: 42, threads: 1, out: None }
+            Command::Bench { scale: 1.0, seed: 42, threads: 1, pipeline_depth: 0, out: None }
         );
         assert_eq!(
-            parse(&argv("bench --scale 0.05 --seed 7 --threads 4 --out BENCH_sample.json"))
-                .unwrap(),
+            parse(&argv(
+                "bench --scale 0.05 --seed 7 --threads 4 --pipeline-depth 2 --out BENCH_sample.json"
+            ))
+            .unwrap(),
             Command::Bench {
                 scale: 0.05,
                 seed: 7,
                 threads: 4,
+                pipeline_depth: 2,
                 out: Some("BENCH_sample.json".into())
             }
         );
         let e = parse(&argv("bench --scale big")).unwrap_err();
+        assert!(e.0.contains("bad value"));
+    }
+
+    #[test]
+    fn pipeline_depth_flag_parses_and_defaults_to_auto() {
+        match parse(&argv("sample mcf --pipeline-depth 4")).unwrap() {
+            Command::Sample { pipeline_depth, .. } => assert_eq!(pipeline_depth, 4),
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("sample mcf")).unwrap() {
+            Command::Sample { pipeline_depth, .. } => assert_eq!(pipeline_depth, 0, "0 = auto"),
+            other => panic!("parsed {other:?}"),
+        }
+        let e = parse(&argv("sample mcf --pipeline-depth deep")).unwrap_err();
         assert!(e.0.contains("bad value"));
     }
 

@@ -113,6 +113,7 @@ fn execute(cmd: Command) -> Result<(), CliError> {
             n,
             seed,
             threads,
+            pipeline_depth,
             max_shard_retries,
             log_budget,
             deadline_secs,
@@ -125,7 +126,9 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                 .total_insts(n)
                 .policy(policy)
                 .seed(seed)
-                .threads(threads);
+                .threads(threads)
+                .pipeline_depth(pipeline_depth);
+            let depth = spec.resolved_pipeline_depth();
             if let Some(r) = max_shard_retries {
                 spec = spec.max_shard_retries(r);
             }
@@ -160,22 +163,20 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                 out.log_bytes_peak / 1024
             );
             outln!(
-                "wall: {:.3}s on {} thread{}{}",
+                "wall: {:.3}s on {} thread{}, pipeline depth {}{}",
                 out.wall.as_secs_f64(),
                 threads,
                 if threads == 1 { "" } else { "s" },
-                if threads > 1 {
-                    format!(
-                        " ({:.2}x vs summed phases)",
-                        out.phases.total().as_secs_f64() / out.wall.as_secs_f64().max(1e-9)
-                    )
+                depth,
+                if threads > 1 || depth > 1 {
+                    format!(" ({:.0}% of busy time overlapped)", 100.0 * out.overlap_efficiency())
                 } else {
                     String::new()
                 }
             );
         }
-        Command::Bench { scale, seed, threads, out } => {
-            let sample = rsr_bench::run_bench_sample(scale, seed, threads);
+        Command::Bench { scale, seed, threads, pipeline_depth, out } => {
+            let sample = rsr_bench::run_bench_sample(scale, seed, threads, pipeline_depth);
             let json = sample.to_json();
             match out {
                 Some(path) => {

@@ -43,6 +43,19 @@ pub enum FaultKind {
     /// The targeted worker group sleeps briefly before simulating — a
     /// straggler. Results must be unaffected; deadlines may trip.
     SlowShard,
+    /// The targeted group's pipeline *leader* (the functional producer of
+    /// [`crate::RunSpec::pipeline_depth`] runs) panics before emitting any
+    /// work item. Surfaces as [`crate::SimError::ShardPanicked`] and heals
+    /// by retry exactly like [`FaultKind::WorkerPanic`]. A no-op when the
+    /// pipeline is not engaged (`pipeline_depth` resolves to 1, or the
+    /// policy does not decouple).
+    LeaderPanic,
+    /// The targeted group's pipeline *follower* (the detailed consumer
+    /// thread) panics before simulating anything. The panic payload crosses
+    /// the leader/follower join and the scoped-thread boundary intact, so
+    /// it still surfaces as [`crate::SimError::ShardPanicked`]. A no-op
+    /// where [`FaultKind::LeaderPanic`] is.
+    FollowerPanic,
 }
 
 /// How long a [`FaultKind::SlowShard`] straggler sleeps per fire.
@@ -98,12 +111,14 @@ impl FaultPlan {
     /// seed — the same seed always yields the same plan, so randomized
     /// fault sweeps are replayable from their seed alone.
     pub fn from_seed(seed: u64, n: usize, groups: usize) -> FaultPlan {
-        const KINDS: [FaultKind; 5] = [
+        const KINDS: [FaultKind; 7] = [
             FaultKind::WorkerPanic,
             FaultKind::DropCheckpoint,
             FaultKind::CorruptCheckpoint,
             FaultKind::ExhaustLogBudget,
             FaultKind::SlowShard,
+            FaultKind::LeaderPanic,
+            FaultKind::FollowerPanic,
         ];
         let mut state = seed;
         let mut plan = FaultPlan::new();
@@ -185,6 +200,18 @@ impl FaultInjector {
     /// How long `group`'s worker should straggle before simulating.
     pub(crate) fn slow_delay(&self, group: usize) -> Option<Duration> {
         self.take(FaultKind::SlowShard, group).then_some(SLOW_SHARD_DELAY)
+    }
+
+    /// The panic message to raise in `group`'s pipeline leader, if armed.
+    pub(crate) fn leader_panic_message(&self, group: usize) -> Option<String> {
+        self.take(FaultKind::LeaderPanic, group)
+            .then(|| format!("injected fault: group {group} pipeline leader panic"))
+    }
+
+    /// The panic message to raise in `group`'s pipeline follower, if armed.
+    pub(crate) fn follower_panic_message(&self, group: usize) -> Option<String> {
+        self.take(FaultKind::FollowerPanic, group)
+            .then(|| format!("injected fault: group {group} pipeline follower panic"))
     }
 }
 

@@ -52,7 +52,7 @@ mod shard;
 mod spec;
 
 pub use crate::fault::{Fault, FaultKind, FaultPlan, SLOW_SHARD_DELAY};
-pub use crate::log::{BranchRecord, MemRecord, SkipLog};
+pub use crate::log::{BranchRecord, LogPool, MemRecord, SkipLog};
 pub use crate::policy::{Pct, WarmupPolicy};
 pub use crate::profiled::{profile_reuse, ReusePolicy, ReuseProfile};
 pub use crate::regimen::{ClusterWindow, SamplingRegimen, Schedule};

@@ -398,17 +398,20 @@ impl SkipLog {
     ///
     /// Propagates functional-simulation faults.
     pub fn record_region(&mut self, cpu: &mut Cpu, n: u64) -> Result<(), ExecError> {
-        let logged = match (self.log_mem, self.log_branches) {
-            (true, true) => self.region_loop::<true, true>(cpu, n)?,
-            (true, false) => self.region_loop::<true, false>(cpu, n)?,
-            (false, true) => self.region_loop::<false, true>(cpu, n)?,
-            (false, false) => 0,
+        let logged = match (self.log_mem, self.log_branches, self.budget.is_some()) {
+            (true, true, false) => self.region_loop::<true, true, false>(cpu, n)?,
+            (true, false, false) => self.region_loop::<true, false, false>(cpu, n)?,
+            (false, true, false) => self.region_loop::<false, true, false>(cpu, n)?,
+            (true, true, true) => self.region_loop::<true, true, true>(cpu, n)?,
+            (true, false, true) => self.region_loop::<true, false, true>(cpu, n)?,
+            (false, true, true) => self.region_loop::<false, true, true>(cpu, n)?,
+            (false, false, _) => 0,
         };
         cpu.step_n(n - logged, |_| ())?;
         Ok(())
     }
 
-    fn region_loop<const MEM: bool, const BR: bool>(
+    fn region_loop<const MEM: bool, const BR: bool, const BUDGET: bool>(
         &mut self,
         cpu: &mut Cpu,
         n: u64,
@@ -432,7 +435,15 @@ impl SkipLog {
                     self.push_branch(r.pc, r.next_pc, b.target, b.kind, b.taken);
                 }
             }
-            self.note_instruction();
+            // Without a budget, bytes only grow this region, so the
+            // final maximum below equals the per-instruction running
+            // maximum — the check is hoisted out of the loop.
+            if BUDGET {
+                self.note_instruction();
+            }
+        }
+        if !BUDGET && self.bytes > self.peak_bytes {
+            self.peak_bytes = self.bytes;
         }
         Ok(done)
     }
@@ -661,6 +672,59 @@ impl SkipLog {
             2 => read_v2(r),
             _ => Err(invalid(format!("unsupported skip-log version {version}"))),
         }
+    }
+}
+
+/// A small per-worker free list of [`SkipLog`]s.
+///
+/// Skip-region logging dominates the cold phase, and every log is a set of
+/// packed columns that grow to roughly one region's footprint; allocating
+/// them fresh per shard (or per in-flight pipeline item) pays that growth
+/// repeatedly. The pool recycles the columns instead: [`LogPool::take`]
+/// hands out a cleared log with its capacity (and the run's budget)
+/// intact, [`LogPool::put`] returns it. The pool is bounded at
+/// [`LogPool::MAX_POOLED`] entries, so with a log budget of `B` bytes a
+/// worker's resident log memory is capped at roughly
+/// `max(pipeline_depth, pooled) × B`.
+#[derive(Debug)]
+pub struct LogPool {
+    free: Vec<SkipLog>,
+    /// Per-region byte cap stamped onto every log handed out.
+    budget: Option<usize>,
+}
+
+impl LogPool {
+    /// Most logs the pool retains; extra [`LogPool::put`]s are dropped so
+    /// the free list can never outgrow the pipeline that feeds it.
+    pub const MAX_POOLED: usize = 8;
+
+    /// An empty pool whose logs carry `budget` (see
+    /// [`crate::RunSpec::log_budget_bytes`]).
+    pub fn new(budget: Option<usize>) -> LogPool {
+        LogPool { free: Vec::new(), budget }
+    }
+
+    /// A cleared log recording the requested streams: recycled columns if
+    /// any are pooled, a fresh allocation otherwise. The pool's budget is
+    /// (re)armed either way.
+    pub fn take(&mut self, log_mem: bool, log_branches: bool) -> SkipLog {
+        let mut log = self.free.pop().unwrap_or_else(|| SkipLog::new(log_mem, log_branches, 0));
+        log.set_budget(self.budget);
+        log.reset(log_mem, log_branches, 0);
+        log
+    }
+
+    /// Returns a log's allocations to the pool (dropped once
+    /// [`LogPool::MAX_POOLED`] are already held).
+    pub fn put(&mut self, log: SkipLog) {
+        if self.free.len() < LogPool::MAX_POOLED {
+            self.free.push(log);
+        }
+    }
+
+    /// Logs currently held on the free list.
+    pub fn pooled(&self) -> usize {
+        self.free.len()
     }
 }
 
@@ -1285,6 +1349,53 @@ mod tests {
         }
         assert!(log.is_empty());
         assert_eq!(log.approx_bytes(), 0);
+    }
+
+    #[test]
+    fn pool_recycles_cleared_logs_and_rearms_the_budget() {
+        let mut pool = LogPool::new(Some(64));
+        assert_eq!(pool.pooled(), 0);
+        let mut log = pool.take(true, true);
+        // Overflow the budget so the log carries truncation state back.
+        for k in 0..40u64 {
+            log.push_mem(0x1000, 0x1004, 0x4000 + 64 * k, false, false);
+            log.note_instruction();
+        }
+        assert!(log.truncated());
+        assert!(log.appended() > 0);
+        pool.put(log);
+        assert_eq!(pool.pooled(), 1);
+
+        // The recycled log comes back cleared, with the budget still armed.
+        let mut again = pool.take(true, true);
+        assert_eq!(pool.pooled(), 0);
+        assert!(!again.truncated());
+        assert_eq!(again.appended(), 0);
+        assert!(again.is_empty());
+        for k in 0..40u64 {
+            again.push_mem(0x1000, 0x1004, 0x4000 + 64 * k, false, false);
+            again.note_instruction();
+        }
+        assert!(again.truncated(), "budget must survive recycling");
+
+        // An unbounded pool disarms a recycled log's budget.
+        let mut unbounded = LogPool::new(None);
+        unbounded.put(again);
+        let mut freed = unbounded.take(true, true);
+        for k in 0..40u64 {
+            freed.push_mem(0x1000, 0x1004, 0x4000 + 64 * k, false, false);
+            freed.note_instruction();
+        }
+        assert!(!freed.truncated());
+    }
+
+    #[test]
+    fn pool_is_bounded() {
+        let mut pool = LogPool::new(None);
+        for _ in 0..(LogPool::MAX_POOLED + 3) {
+            pool.put(SkipLog::new(true, true, 0));
+        }
+        assert_eq!(pool.pooled(), LogPool::MAX_POOLED);
     }
 
     #[test]

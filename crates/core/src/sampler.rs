@@ -10,6 +10,8 @@
 //! repairs — which is what lets [`crate::RunSpec::threads`] distribute a
 //! run across worker threads without changing a single per-cluster CPI.
 
+use std::sync::mpsc;
+use std::thread;
 use std::time::{Duration, Instant};
 
 use rsr_branch::{PredCtrlKind, Predictor, PredictorConfig};
@@ -19,6 +21,8 @@ use rsr_isa::{CtrlKind, Program};
 use rsr_stats::ClusterSample;
 use rsr_timing::{simulate_cluster, simulate_cluster_hooked, CoreConfig, HotStats, NoHook};
 
+use crate::fault::FaultInjector;
+use crate::log::LogPool;
 use crate::profiled::{profile_reuse, ReusePolicy};
 use crate::reverse::{reconstruct_caches, BpReconstructor, ReconStats};
 use crate::spec::RunSpec;
@@ -182,8 +186,13 @@ impl MachineConfig {
 
 /// Simulation time spent in each phase of a sampled simulation.
 ///
-/// In a sharded run these are summed across workers, so they measure CPU
-/// time, not elapsed time; see [`SampleOutcome::wall`] for the latter.
+/// These are per-phase *busy* times. In a sharded run they are summed
+/// across workers, and under the leader/follower pipeline
+/// ([`RunSpec::pipeline_depth`] > 1) the cold phase runs concurrently with
+/// the warm and hot phases, so phases overlap in wall-clock terms and
+/// their sum can exceed [`SampleOutcome::wall`]. See
+/// [`SampleOutcome::overlap_efficiency`] for how much of the busy time was
+/// hidden.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct PhaseTimes {
     /// Cycle-accurate cluster simulation (including on-demand BP
@@ -216,11 +225,14 @@ pub struct SampleOutcome {
     /// cluster IPC is not; estimates and confidence tests therefore live
     /// in CPI space and are inverted for reporting.
     pub cpi_clusters: ClusterSample,
-    /// Per-phase simulation time (summed across shard workers).
+    /// Per-phase simulation busy time (summed across shard workers and
+    /// pipeline stages).
     pub phases: PhaseTimes,
-    /// Elapsed wall-clock time for the whole run. Equals
-    /// `phases.total()` (plus scheduling overhead) at one thread; smaller
-    /// than it when sharded across threads.
+    /// Elapsed wall-clock time for the whole run. Smaller than
+    /// `phases.total()` whenever work overlaps — across shard workers
+    /// ([`RunSpec::threads`]) or across pipeline stages inside a shard
+    /// ([`RunSpec::pipeline_depth`]); only a sequential single-thread run
+    /// has `wall ≈ phases.total()` plus scheduling overhead.
     pub wall: Duration,
     /// Hot (cycle-accurate) instructions simulated.
     pub hot_insts: u64,
@@ -326,6 +338,22 @@ impl SampleOutcome {
         }
         rsr_stats::Z_95 * self.cpi_clusters.std_error() / (mean * mean)
     }
+
+    /// Fraction of per-phase busy time hidden by overlap:
+    /// `1 − wall / phases.total()`, clamped to `[0, 1)`.
+    ///
+    /// Zero for a sequential single-thread run (wall ≈ sum of phases);
+    /// positive when shard-level threading or the intra-shard
+    /// leader/follower pipeline runs phases concurrently. Operational
+    /// telemetry, like [`SampleOutcome::wall`] — never part of the
+    /// deterministic estimate.
+    pub fn overlap_efficiency(&self) -> f64 {
+        let phases = self.phases.total().as_secs_f64();
+        if phases <= 0.0 {
+            return 0.0;
+        }
+        (1.0 - self.wall.as_secs_f64() / phases).max(0.0)
+    }
 }
 
 /// Result of a full (unsampled) cycle-accurate run — the paper's
@@ -379,6 +407,94 @@ fn warm_one(r: &Retired, hier: &mut MemHierarchy, pred: &mut Predictor, cache: b
     }
 }
 
+/// Can `policy`'s skip-region work run decoupled from the detailed
+/// follower? True exactly when the skip region touches no
+/// microarchitectural state: the no-warm-up baseline just fast-forwards,
+/// and the reverse policy only *logs* (reconstruction happens at the
+/// cluster boundary, on the follower's side of the channel). SMARTS,
+/// fixed-period, and the reuse-profiled baselines warm the follower's
+/// hierarchy/predictor *during* the skip, so leader and follower would
+/// share mutable state — they cannot be pipelined.
+pub(crate) fn policy_decouples(policy: WarmupPolicy) -> bool {
+    matches!(policy, WarmupPolicy::Reverse { .. } | WarmupPolicy::None)
+}
+
+/// The detailed (follower) half of one window: reconstruction from a
+/// sealed skip log (reverse policy only), then the cycle-accurate hot
+/// cluster, then bookkeeping.
+///
+/// Shared verbatim by the sequential engine ([`run_windows`]) and the
+/// pipelined follower thread ([`run_windows_pipelined`]) — that sharing is
+/// what makes bit-identity an invariant by construction rather than a
+/// property to re-verify per call site. `log` is `Some` exactly when the
+/// reverse policy sealed a log for this window; `log.ghr_at_start` is
+/// filled in *here*, from the follower's predictor, because the leader has
+/// no predictor — and during a skip region the predictor is untouched, so
+/// the value is identical to what sealing-time capture would record.
+#[allow(clippy::too_many_arguments)]
+fn follower_window(
+    machine: &MachineConfig,
+    policy: WarmupPolicy,
+    hier: &mut MemHierarchy,
+    pred: &mut Predictor,
+    cpu: &mut Cpu,
+    len: u64,
+    log: Option<&mut SkipLog>,
+    outcome: &mut SampleOutcome,
+) -> Result<(), SimError> {
+    let mut hook: Option<BpReconstructor> = None;
+    if let Some(log) = log {
+        let WarmupPolicy::Reverse { cache, bp, pct } = policy else {
+            unreachable!("only the reverse policy seals skip logs");
+        };
+        outcome.log_bytes_peak = outcome.log_bytes_peak.max(log.peak_bytes());
+        outcome.log_records += log.appended();
+
+        if log.truncated() {
+            // Budget exhausted mid-region: the history is incomplete, so
+            // fall back to stale state (§3.2's no-history case) — the
+            // cluster sees whatever the structures accumulated, with no
+            // reconstruction. (`ghr_at_start` is never read on this path.)
+            outcome.clusters_degraded += 1;
+        } else {
+            log.ghr_at_start = pred.gshare.ghr();
+            let log: &SkipLog = log;
+            // Eager reconstruction immediately before the cluster.
+            let t = Instant::now();
+            if cache {
+                let stats = reconstruct_caches(hier, log, pct);
+                outcome.recon.accumulate(&stats);
+            }
+            if bp {
+                hook = Some(BpReconstructor::new(pred, log, pct));
+            }
+            outcome.phases.warm += t.elapsed();
+        }
+        // The log is cleared at the next region: "data are kept only for
+        // the current cluster of execution".
+    }
+
+    // ---- hot phase -----------------------------------------------------
+    let t = Instant::now();
+    let stats = match hook.as_mut() {
+        Some(h) => simulate_cluster_hooked(&machine.core, cpu, hier, pred, len, h)?,
+        None => simulate_cluster(&machine.core, cpu, hier, pred, len)?,
+    };
+    outcome.phases.hot += t.elapsed();
+    if let Some(h) = hook {
+        outcome.recon.accumulate(&h.stats());
+    }
+    if stats.instructions < len {
+        // The program halted inside a cluster: schedules assume
+        // free-running workloads.
+        return Err(SimError::Exec(ExecError::Halted));
+    }
+    outcome.hot_insts += stats.instructions;
+    outcome.clusters.push(stats.ipc());
+    outcome.cpi_clusters.push(stats.cycles as f64 / stats.instructions as f64);
+    Ok(())
+}
+
 /// Runs the hot/cold/warm loop over `windows`, starting from `cpu`
 /// positioned at dynamic instruction index `pos` (which must precede or
 /// equal the first window's start).
@@ -390,19 +506,19 @@ fn warm_one(r: &Retired, hier: &mut MemHierarchy, pred: &mut Predictor, cache: b
 /// scratch (see the module docs), so any contiguous partition of the
 /// schedule produces identical per-cluster results.
 ///
-/// `log_budget` caps each skip region's reference log; a region that
-/// exhausts it degrades its cluster to the paper's no-history fallback
-/// (stale state, no reconstruction), counted in
-/// [`SampleOutcome::clusters_degraded`]. The decision depends only on the
-/// region's own deterministic record stream, so degradation never varies
-/// with the thread count.
+/// `pool` supplies the skip-region log and carries the log budget
+/// ([`RunSpec::log_budget_bytes`]); a region that exhausts it degrades its
+/// cluster to the paper's no-history fallback (stale state, no
+/// reconstruction), counted in [`SampleOutcome::clusters_degraded`]. The
+/// decision depends only on the region's own deterministic record stream,
+/// so degradation never varies with the thread count or pipeline depth.
 pub(crate) fn run_windows(
     machine: &MachineConfig,
     policy: WarmupPolicy,
     cpu: &mut Cpu,
     mut pos: u64,
     windows: &[ClusterWindow],
-    log_budget: Option<usize>,
+    pool: &mut LogPool,
 ) -> Result<SampleOutcome, SimError> {
     let mut outcome = SampleOutcome::empty(policy);
 
@@ -414,15 +530,15 @@ pub(crate) fn run_windows(
     let mut hier = MemHierarchy::new(machine.hier.clone());
     let mut pred = Predictor::new(machine.pred);
 
-    // Reused across regions so logging never pays reallocation growth.
-    let mut log = SkipLog::new(true, true, 0);
-    log.set_budget(log_budget);
+    // Pooled across regions (and shards) so logging never pays
+    // reallocation growth.
+    let mut log = pool.take(true, true);
     for w in windows {
         let skip = w.start - pos;
         outcome.skipped_insts += skip;
 
         // ---- cold / warm phases over the skip region -------------------
-        let mut hook: Option<BpReconstructor> = None;
+        let mut sealed: Option<&mut SkipLog> = None;
         match policy {
             WarmupPolicy::None => {
                 let t = Instant::now();
@@ -455,37 +571,17 @@ pub(crate) fn run_windows(
                 outcome.warm_updates += updates;
                 outcome.phases.warm += t.elapsed();
             }
-            WarmupPolicy::Reverse { cache, bp, pct } => {
+            WarmupPolicy::Reverse { cache, bp, .. } => {
                 // Cold phase with logging: "no analysis is performed
                 // between clusters except for logging". Stepping and
-                // recording are fused into one monomorphized loop.
+                // recording are fused into one monomorphized loop. The GHR
+                // snapshot is filled in by `follower_window`, which owns
+                // the predictor.
                 let t = Instant::now();
-                log.reset(cache, bp, pred.gshare.ghr());
+                log.reset(cache, bp, 0);
                 log.record_region(cpu, skip)?;
                 outcome.phases.cold += t.elapsed();
-                outcome.log_bytes_peak = outcome.log_bytes_peak.max(log.peak_bytes());
-                outcome.log_records += log.appended();
-
-                if log.truncated() {
-                    // Budget exhausted mid-region: the history is
-                    // incomplete, so fall back to stale state (§3.2's
-                    // no-history case) — the cluster sees whatever the
-                    // structures accumulated, with no reconstruction.
-                    outcome.clusters_degraded += 1;
-                } else {
-                    // Eager reconstruction immediately before the cluster.
-                    let t = Instant::now();
-                    if cache {
-                        let stats = reconstruct_caches(&mut hier, &log, pct);
-                        outcome.recon.accumulate(&stats);
-                    }
-                    if bp {
-                        hook = Some(BpReconstructor::new(&mut pred, &log, pct));
-                    }
-                    outcome.phases.warm += t.elapsed();
-                }
-                // The log is cleared at the next region: "data are kept
-                // only for the current cluster of execution".
+                sealed = Some(&mut log);
             }
             WarmupPolicy::Mrrl { coverage } | WarmupPolicy::Blrl { coverage } => {
                 let reuse = if matches!(policy, WarmupPolicy::Mrrl { .. }) {
@@ -516,27 +612,227 @@ pub(crate) fn run_windows(
             }
         }
 
-        // ---- hot phase ---------------------------------------------------
-        let t = Instant::now();
-        let stats = match hook.as_mut() {
-            Some(h) => simulate_cluster_hooked(&machine.core, cpu, &mut hier, &mut pred, w.len, h)?,
-            None => simulate_cluster(&machine.core, cpu, &mut hier, &mut pred, w.len)?,
-        };
-        outcome.phases.hot += t.elapsed();
-        if let Some(h) = hook {
-            outcome.recon.accumulate(&h.stats());
-        }
-        if stats.instructions < w.len {
-            // The program halted inside a cluster: schedules assume
-            // free-running workloads.
-            return Err(SimError::Exec(ExecError::Halted));
-        }
-        outcome.hot_insts += stats.instructions;
-        outcome.clusters.push(stats.ipc());
-        outcome.cpi_clusters.push(stats.cycles as f64 / stats.instructions as f64);
+        // ---- reconstruction + hot phase --------------------------------
+        follower_window(machine, policy, &mut hier, &mut pred, cpu, w.len, sealed, &mut outcome)?;
         pos = w.end();
     }
+    pool.put(log);
     outcome.wall = outcome.phases.total();
+    Ok(outcome)
+}
+
+/// Everything a pipelined shard needs beyond [`run_windows`]'s arguments:
+/// the channel depth, the run guards the leader must observe between
+/// regions, and the identifiers its errors are reported under.
+pub(crate) struct PipelineCtx<'a> {
+    /// Bounded channel capacity + 1: at most `depth` work items (each up
+    /// to one log budget of packed columns plus a CPU snapshot) exist at
+    /// once — `depth - 1` queued plus one in the follower's hands.
+    pub depth: usize,
+    /// The run's absolute deadline; the leader checks it between regions
+    /// so a run past its budget aborts at shard granularity even with the
+    /// leader ahead of the follower.
+    pub deadline: Option<Instant>,
+    /// Fault injector, for the leader/follower panic faults.
+    pub injector: Option<&'a FaultInjector>,
+    /// Worker-group index (the supervision/retry unit) errors report.
+    pub group: usize,
+    /// Canonical shards already completed before this one, for
+    /// [`SimError::DeadlineExceeded`].
+    pub shard: usize,
+    /// Canonical shards in the whole schedule.
+    pub total_shards: usize,
+}
+
+/// One unit of leader → follower work: a cluster's length, the functional
+/// CPU snapshot positioned at its start, and — for the reverse policy —
+/// the skip region's sealed log.
+struct HotItem {
+    len: u64,
+    cpu: Cpu,
+    log: Option<SkipLog>,
+}
+
+/// The decoupled leader/follower engine for one canonical shard.
+///
+/// The functional leader runs ahead, executing skip regions (logging them
+/// under the reverse policy) *and* cluster regions, and emits one
+/// [`HotItem`] per window into a bounded channel; the detailed follower
+/// consumes items strictly in schedule order, reconstructing from each
+/// sealed log and simulating each hot cluster on the snapshot. Cold-phase
+/// time thus hides under warm + hot time; results are bit-identical to
+/// [`run_windows`] because both sides execute the same deterministic
+/// computations on the same inputs — the leader's architectural state
+/// never depends on the follower's microarchitectural state, and the
+/// follower's window half is literally the same function
+/// ([`follower_window`]) the sequential engine calls.
+///
+/// Error precedence mirrors the sequential engine: the follower fails at
+/// the schedule-earliest faulty window (it processes in order and never
+/// runs ahead of the leader), so its error wins over the leader's; a
+/// panic on either side is resumed on the caller's thread and surfaces
+/// through the shard supervisor as [`SimError::ShardPanicked`]. On a
+/// deadline trip the leader stops producing and the follower drains the
+/// queue before the error is returned.
+pub(crate) fn run_windows_pipelined(
+    machine: &MachineConfig,
+    policy: WarmupPolicy,
+    cpu: &mut Cpu,
+    mut pos: u64,
+    windows: &[ClusterWindow],
+    pool: &mut LogPool,
+    ctx: &PipelineCtx<'_>,
+) -> Result<SampleOutcome, SimError> {
+    debug_assert!(ctx.depth >= 2, "depth 1 is the sequential engine");
+    debug_assert!(policy_decouples(policy), "caller must gate on policy_decouples");
+    let t0 = Instant::now();
+    let (cache, bp, logging) = match policy {
+        WarmupPolicy::Reverse { cache, bp, .. } => (cache, bp, true),
+        _ => (false, false, false),
+    };
+    let mut leader_out = SampleOutcome::empty(policy);
+    let mut leader_err: Option<SimError> = None;
+
+    let follower_result = thread::scope(|scope| {
+        let (tx, rx) = mpsc::sync_channel::<HotItem>(ctx.depth - 1);
+        // Unbounded return path for drained logs; capacity is still
+        // bounded by the number of logs in flight (≤ depth).
+        let (recycle_tx, recycle_rx) = mpsc::channel::<SkipLog>();
+        let injector = ctx.injector;
+        let group = ctx.group;
+        let follower =
+            scope.spawn(move || follower_loop(machine, policy, rx, recycle_tx, injector, group));
+
+        if let Some(inj) = ctx.injector {
+            if let Some(msg) = inj.leader_panic_message(ctx.group) {
+                std::panic::panic_any(msg);
+            }
+        }
+
+        for w in windows {
+            if let Some(deadline) = ctx.deadline {
+                if Instant::now() >= deadline {
+                    leader_err = Some(SimError::DeadlineExceeded {
+                        completed_shards: ctx.shard,
+                        total_shards: ctx.total_shards,
+                    });
+                    break;
+                }
+            }
+            let skip = w.start - pos;
+            leader_out.skipped_insts += skip;
+            while let Ok(used) = recycle_rx.try_recv() {
+                pool.put(used);
+            }
+
+            // ---- cold phase: skip region (logged or plain) -------------
+            let t = Instant::now();
+            let log = if logging {
+                let mut log = pool.take(cache, bp);
+                match log.record_region(cpu, skip) {
+                    Ok(()) => Some(log),
+                    Err(e) => {
+                        leader_out.phases.cold += t.elapsed();
+                        pool.put(log);
+                        leader_err = Some(e.into());
+                        break;
+                    }
+                }
+            } else {
+                match cpu.step_n(skip, |_| ()) {
+                    Ok(()) => None,
+                    Err(e) => {
+                        leader_out.phases.cold += t.elapsed();
+                        leader_err = Some(e.into());
+                        break;
+                    }
+                }
+            };
+            leader_out.phases.cold += t.elapsed();
+
+            let snapshot = cpu.clone();
+            if tx.send(HotItem { len: w.len, cpu: snapshot, log }).is_err() {
+                // The follower hung up early — it failed; its error (taken
+                // from the join below) is schedule-earlier than anything
+                // the leader could still produce.
+                break;
+            }
+
+            // ---- cold phase: the leader stays the functional reference
+            // by stepping through the cluster, so the next skip starts
+            // from this cluster's end -------------------------------------
+            let t = Instant::now();
+            if let Err(e) = cpu.step_n(w.len, |_| ()) {
+                leader_out.phases.cold += t.elapsed();
+                leader_err = Some(e.into());
+                break;
+            }
+            leader_out.phases.cold += t.elapsed();
+            pos = w.end();
+        }
+
+        // Sealing the channel lets the follower drain and exit.
+        drop(tx);
+        let joined = match follower.join() {
+            Ok(result) => result,
+            // Re-raise the follower's panic on this thread so the shard
+            // supervisor's catch_unwind sees the original payload.
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        while let Ok(used) = recycle_rx.try_recv() {
+            pool.put(used);
+        }
+        joined
+    });
+
+    // Follower errors win (they are schedule-earliest; see above), then
+    // the leader's.
+    let follower_out = follower_result?;
+    if let Some(e) = leader_err {
+        return Err(e);
+    }
+    leader_out.absorb(&follower_out);
+    leader_out.wall = t0.elapsed();
+    Ok(leader_out)
+}
+
+/// The follower thread: consume [`HotItem`]s in order, run the shared
+/// per-window detailed half, and send each drained log back for reuse.
+fn follower_loop(
+    machine: &MachineConfig,
+    policy: WarmupPolicy,
+    rx: mpsc::Receiver<HotItem>,
+    recycle: mpsc::Sender<SkipLog>,
+    injector: Option<&FaultInjector>,
+    group: usize,
+) -> Result<SampleOutcome, SimError> {
+    if let Some(inj) = injector {
+        if let Some(msg) = inj.follower_panic_message(group) {
+            std::panic::panic_any(msg);
+        }
+    }
+    let mut outcome = SampleOutcome::empty(policy);
+    // The follower owns the shard's microarchitectural state, cold-started
+    // here exactly as the sequential engine cold-starts it per shard.
+    let mut hier = MemHierarchy::new(machine.hier.clone());
+    let mut pred = Predictor::new(machine.pred);
+    while let Ok(mut item) = rx.recv() {
+        follower_window(
+            machine,
+            policy,
+            &mut hier,
+            &mut pred,
+            &mut item.cpu,
+            item.len,
+            item.log.as_mut(),
+            &mut outcome,
+        )?;
+        if let Some(log) = item.log.take() {
+            // The leader may already be gone (deadline, error); a dead
+            // recycle channel just means the log is dropped.
+            let _ = recycle.send(log);
+        }
+    }
     Ok(outcome)
 }
 
@@ -886,10 +1182,11 @@ mod tests {
         assert!(shards.len() >= 2, "span must split this schedule");
         let mut cpu = Cpu::new(&program).unwrap();
         let mut merged = SampleOutcome::empty(policy);
+        let mut pool = LogPool::new(None);
         let mut pos = 0u64;
         for r in &shards {
-            let out =
-                run_windows(&machine, policy, &mut cpu, pos, &windows[r.clone()], None).unwrap();
+            let out = run_windows(&machine, policy, &mut cpu, pos, &windows[r.clone()], &mut pool)
+                .unwrap();
             merged.absorb(&out);
             pos = windows[r.end - 1].end();
         }

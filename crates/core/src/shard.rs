@@ -55,7 +55,8 @@ use rsr_func::{ArchState, Cpu, PAGE_BYTES};
 use rsr_isa::Program;
 
 use crate::fault::FaultInjector;
-use crate::sampler::run_windows;
+use crate::log::LogPool;
+use crate::sampler::{policy_decouples, run_windows, run_windows_pipelined, PipelineCtx};
 use crate::{ClusterWindow, MachineConfig, SampleOutcome, Schedule, SimError, WarmupPolicy};
 
 /// The resource-guard and supervision parameters of one run, threaded from
@@ -69,6 +70,9 @@ pub(crate) struct RunGuards<'a> {
     pub max_retries: u32,
     /// The armed fault plan, if any.
     pub injector: Option<&'a FaultInjector>,
+    /// Resolved intra-shard pipeline depth (see
+    /// [`crate::RunSpec::pipeline_depth`]); 1 is the sequential engine.
+    pub pipeline_depth: usize,
 }
 
 /// Everything a worker needs to resume functional execution at its group
@@ -255,12 +259,28 @@ fn run_group(
         }
     }
     let mut merged = SampleOutcome::empty(policy);
+    // One log pool per group: packed-column allocations recycle across
+    // regions and shards, and the pool carries the log budget.
+    let mut pool = LogPool::new(guards.log_budget);
+    let pipelined = guards.pipeline_depth > 1 && policy_decouples(policy);
     for (i, r) in group.shards.iter().enumerate() {
         let shard = group.first_shard + i;
         check_deadline(guards, shard, total_shards)?;
         let pos = shard_starts[shard];
-        let out =
-            run_windows(machine, policy, &mut cpu, pos, &windows[r.clone()], guards.log_budget)?;
+        let slice = &windows[r.clone()];
+        let out = if pipelined {
+            let ctx = PipelineCtx {
+                depth: guards.pipeline_depth,
+                deadline: guards.deadline,
+                injector: guards.injector,
+                group: group.index,
+                shard,
+                total_shards,
+            };
+            run_windows_pipelined(machine, policy, &mut cpu, pos, slice, &mut pool, &ctx)?
+        } else {
+            run_windows(machine, policy, &mut cpu, pos, slice, &mut pool)?
+        };
         merged.absorb(&out);
     }
     Ok(merged)

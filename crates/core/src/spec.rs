@@ -12,7 +12,7 @@ use std::time::{Duration, Instant};
 use rsr_isa::Program;
 
 use crate::fault::{FaultInjector, FaultPlan};
-use crate::sampler::run_full_once;
+use crate::sampler::{policy_decouples, run_full_once};
 use crate::shard::{run_sharded, RunGuards};
 use crate::{
     FullOutcome, MachineConfig, Pct, SampleOutcome, SamplingRegimen, Schedule, SimError,
@@ -59,6 +59,7 @@ pub struct RunSpec<'a> {
     log_budget: Option<usize>,
     deadline: Option<Duration>,
     fault_plan: Option<FaultPlan>,
+    pipeline_depth: Option<usize>,
 }
 
 impl<'a> RunSpec<'a> {
@@ -83,6 +84,7 @@ impl<'a> RunSpec<'a> {
             log_budget: None,
             deadline: None,
             fault_plan: None,
+            pipeline_depth: None,
         }
     }
 
@@ -211,6 +213,43 @@ impl<'a> RunSpec<'a> {
         self
     }
 
+    /// Sets the intra-shard leader/follower pipeline depth (default 0 =
+    /// auto; see [`RunSpec::resolved_pipeline_depth`]). With depth `d > 1`
+    /// a functional *leader* runs ahead through skip and cluster regions,
+    /// emitting each cluster's `(CPU snapshot, sealed skip log)` into a
+    /// channel holding at most `d` in-flight items, while a detailed
+    /// *follower* thread consumes them in schedule order — reconstruction
+    /// and hot simulation overlap the next regions' cold fast-forward.
+    /// Resident memory is bounded by `d` logs (each capped by
+    /// [`RunSpec::log_budget_bytes`], when set) plus `d` CPU snapshots.
+    /// Results are bit-identical for every depth; depth 1 is the
+    /// sequential engine. Depths above 1 only engage for policies whose
+    /// skip regions are purely functional
+    /// (`WarmupPolicy::Reverse` / `WarmupPolicy::None`).
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = if depth == 0 { None } else { Some(depth) };
+        self
+    }
+
+    /// The pipeline depth a run of this spec will actually use. An
+    /// explicit [`RunSpec::pipeline_depth`] is honored as given (clamped
+    /// to ≥ 1); auto picks 2 when the policy decouples *and* the host has
+    /// at least two hardware threads per configured worker (each pipelined
+    /// worker occupies two cores — oversubscribing a smaller host would
+    /// just interleave leader and follower and regress wall time), else 1.
+    pub fn resolved_pipeline_depth(&self) -> usize {
+        if let Some(depth) = self.pipeline_depth {
+            return depth.max(1);
+        }
+        let cores =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        if policy_decouples(self.policy) && cores >= 2 * self.threads.max(1) {
+            2
+        } else {
+            1
+        }
+    }
+
     /// Materializes the schedule this spec describes.
     ///
     /// # Errors
@@ -256,6 +295,7 @@ impl<'a> RunSpec<'a> {
             deadline: self.deadline.and_then(|d| Instant::now().checked_add(d)),
             max_retries: self.max_shard_retries,
             injector: injector.as_ref(),
+            pipeline_depth: self.resolved_pipeline_depth(),
         };
         let t = Instant::now();
         let mut outcome = run_sharded(

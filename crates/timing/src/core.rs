@@ -228,6 +228,14 @@ pub fn simulate_cluster_hooked(
     while retired < target {
         assert!(cycle < deadlock_cap, "timing core deadlock at cycle {cycle}");
 
+        // Did any stage change machine state this cycle? Stall-dominated
+        // clusters (memory-bound IPC far below 1) spend most cycles with
+        // nothing in flight maturing; those cycles are detected below and
+        // fast-forwarded in one jump, which changes simulation time but
+        // not the cycle arithmetic (no access, prediction, or state
+        // transition happens on an idle cycle).
+        let mut progress = false;
+
         // ---- commit ---------------------------------------------------
         for _ in 0..cfg.retire_width {
             let Some(front) = rob.front() else { break };
@@ -235,6 +243,7 @@ pub fn simulate_cluster_hooked(
                 break;
             }
             let slot = rob.pop_front().expect("checked front");
+            progress = true;
             head_seq = rel(slot.r.seq) + 1;
             if let Some(m) = slot.r.mem {
                 lsq_used -= 1;
@@ -261,6 +270,7 @@ pub fn simulate_cluster_hooked(
         for idx in 0..rob.len() {
             if rob[idx].issued && !rob[idx].completed && rob[idx].complete_at <= cycle {
                 rob[idx].completed = true;
+                progress = true;
                 let slot = &mut rob[idx];
                 if let Some(br) = slot.br.as_mut() {
                     if !br.resolved {
@@ -314,6 +324,7 @@ pub fn simulate_cluster_hooked(
             }
             let slot = &mut rob[idx];
             slot.issued = true;
+            progress = true;
             iq_used -= 1;
             issued_now += 1;
             slot.complete_at = match slot.r.mem {
@@ -342,6 +353,7 @@ pub fn simulate_cluster_hooked(
                 break;
             }
             let f = fetch_buf.pop_front().expect("checked front");
+            progress = true;
             let (src_regs, dest) = operands(&f.r);
             let srcs = [
                 src_regs[0].and_then(|r| last_writer[r as usize]),
@@ -391,6 +403,7 @@ pub fn simulate_cluster_hooked(
                         Ok(r) => r,
                         Err(ExecError::Halted) => {
                             target = fetched;
+                            progress = true;
                             break;
                         }
                         Err(e) => return Err(e),
@@ -401,6 +414,7 @@ pub fn simulate_cluster_hooked(
                     None => {
                         group_line = Some(line);
                         let t = hier.access(cycle, r.pc, HierAccess::Fetch);
+                        progress = true;
                         group_ready = group_ready.max(t);
                         // A miss occupies the fetch engine until the line
                         // arrives.
@@ -470,7 +484,38 @@ pub fn simulate_cluster_hooked(
             }
         }
 
-        cycle += 1;
+        // ---- idle-cycle fast-forward ------------------------------------
+        // With no stage active this cycle, the machine state is frozen
+        // until some already-scheduled time arrives: an in-flight op's
+        // completion, the front of the fetch buffer maturing, or the
+        // fetch stall lifting. Every intermediate cycle would repeat this
+        // one exactly, so jump straight to the earliest such time. All of
+        // those times are in the future here (anything due now would have
+        // acted above and set `progress`), hence the `t > cycle` guard
+        // only protects against events gated on another stage's progress.
+        if progress {
+            cycle += 1;
+        } else {
+            let mut next = u64::MAX;
+            for s in rob.iter() {
+                if s.issued && !s.completed && s.complete_at > cycle {
+                    next = next.min(s.complete_at);
+                }
+            }
+            if let Some(f) = fetch_buf.front() {
+                if f.ready_at > cycle {
+                    next = next.min(f.ready_at);
+                }
+            }
+            if fetch_blocked_on.is_none()
+                && fetched < target
+                && fetch_buf.len() < fetch_buf_cap
+                && fetch_stall_until > cycle
+            {
+                next = next.min(fetch_stall_until);
+            }
+            cycle = if next == u64::MAX { cycle + 1 } else { next.max(cycle + 1) };
+        }
     }
 
     stats.cycles = cycle.max(1);

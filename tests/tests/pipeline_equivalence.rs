@@ -1,0 +1,265 @@
+//! The decoupled leader/follower pipeline: bit-identity and guard
+//! interplay.
+//!
+//! The pipeline's contract is that it is a pure wall-clock optimization:
+//! for every `(threads, pipeline_depth)` combination the sampled estimate
+//! and every deterministic counter must be bit-identical to the
+//! sequential seed path, because the follower consumes work items in
+//! schedule order and the leader's architectural stream never depends on
+//! the follower's microarchitectural state. Supervision must compose
+//! unchanged: a leader or follower panic surfaces as a typed shard fault
+//! and heals by retry from the pristine checkpoint, an over-budget region
+//! degrades the *follower's* reconstruction without desynchronizing the
+//! pipeline, and a deadline still aborts at shard granularity with the
+//! leader running ahead.
+
+use std::time::Duration;
+
+use rsr_core::{
+    FaultKind, FaultPlan, Pct, RunSpec, SampleOutcome, SamplingRegimen, SimError, WarmupPolicy,
+};
+use rsr_integration::{machine, tiny};
+use rsr_workloads::Benchmark;
+
+const TOTAL: u64 = 250_000;
+/// Same scale as `fault_injection.rs`: ~12 canonical shards, so 4 threads
+/// form several worker groups and each group pipelines several shards.
+const SPAN: u64 = 20_000;
+
+fn rsr() -> WarmupPolicy {
+    WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) }
+}
+
+/// The standard scenario (twolf, 12x600 clusters) with explicit pipeline
+/// depth and supervision knobs.
+fn run_with(
+    policy: WarmupPolicy,
+    threads: usize,
+    depth: usize,
+    plan: Option<FaultPlan>,
+    retries: u32,
+) -> Result<SampleOutcome, SimError> {
+    let program = tiny(Benchmark::Twolf);
+    let machine = machine();
+    let mut spec = RunSpec::new(&program, &machine)
+        .regimen(SamplingRegimen::new(12, 600))
+        .total_insts(TOTAL)
+        .policy(policy)
+        .seed(9)
+        .shard_span(SPAN)
+        .threads(threads)
+        .pipeline_depth(depth)
+        .max_shard_retries(retries);
+    if let Some(p) = plan {
+        spec = spec.fault_plan(p);
+    }
+    spec.run()
+}
+
+/// The sequential reference: one thread, depth 1, no faults.
+fn baseline(policy: WarmupPolicy) -> SampleOutcome {
+    run_with(policy, 1, 1, None, 0).expect("sequential baseline must run")
+}
+
+/// Everything deterministic two equivalent runs must agree on (wall-clock,
+/// phase times, and retry telemetry legitimately differ).
+fn assert_equivalent(a: &SampleOutcome, b: &SampleOutcome, what: &str) {
+    assert_eq!(a.clusters.values(), b.clusters.values(), "{what}: IPC clusters drifted");
+    assert_eq!(a.cpi_clusters.values(), b.cpi_clusters.values(), "{what}: CPI clusters drifted");
+    assert_eq!(a.est_ipc(), b.est_ipc(), "{what}: est_ipc");
+    assert_eq!(a.hot_insts, b.hot_insts, "{what}: hot_insts");
+    assert_eq!(a.skipped_insts, b.skipped_insts, "{what}: skipped_insts");
+    assert_eq!(a.log_records, b.log_records, "{what}: log_records");
+    assert_eq!(a.log_bytes_peak, b.log_bytes_peak, "{what}: log_bytes_peak");
+    assert_eq!(a.warm_updates, b.warm_updates, "{what}: warm_updates");
+    assert_eq!(a.recon, b.recon, "{what}: reconstruction stats");
+    assert_eq!(a.clusters_degraded, b.clusters_degraded, "{what}: clusters_degraded");
+}
+
+#[test]
+fn pipelined_runs_are_bit_identical_to_sequential() {
+    let base = baseline(rsr());
+    for threads in [1usize, 4] {
+        for depth in [1usize, 2, 4] {
+            let out = run_with(rsr(), threads, depth, None, 0)
+                .unwrap_or_else(|e| panic!("{threads}t x depth {depth}: {e}"));
+            assert_equivalent(&base, &out, &format!("{threads} threads, depth {depth}"));
+        }
+    }
+}
+
+#[test]
+fn none_policy_pipelines_bit_identically() {
+    // The no-warm-up baseline also decouples (its skip is a plain
+    // functional fast-forward); the pipeline must not perturb it either.
+    let base = baseline(WarmupPolicy::None);
+    assert_eq!(base.log_records, 0, "None must not log");
+    for depth in [2usize, 4] {
+        let out = run_with(WarmupPolicy::None, 1, depth, None, 0).expect("pipelined None runs");
+        assert_equivalent(&base, &out, &format!("None policy, depth {depth}"));
+    }
+}
+
+#[test]
+fn non_decoupling_policies_ignore_the_depth_knob() {
+    // SMARTS warms the follower's structures during the skip, so the
+    // engine must fall back to the sequential path at any depth rather
+    // than desynchronize.
+    let smarts = WarmupPolicy::Smarts { cache: true, bp: true };
+    let base = baseline(smarts);
+    let out = run_with(smarts, 1, 4, None, 0).expect("SMARTS runs at depth 4");
+    assert_equivalent(&base, &out, "SMARTS with depth 4 requested");
+    assert!(out.warm_updates > 0, "SMARTS must still warm");
+}
+
+#[test]
+fn leader_panic_heals_and_fails_typed_without_budget() {
+    let base = baseline(rsr());
+    for (threads, group) in [(1usize, 0usize), (4, 1)] {
+        let plan = FaultPlan::new().with(FaultKind::LeaderPanic, group);
+        let healed = run_with(rsr(), threads, 2, Some(plan.clone()), 1)
+            .unwrap_or_else(|e| panic!("{threads} threads: retry should heal, got {e}"));
+        assert_equivalent(&base, &healed, &format!("leader panic healed at {threads} threads"));
+        assert_eq!(healed.shard_retries, 1, "{threads} threads: exactly one retry");
+
+        match run_with(rsr(), threads, 2, Some(plan), 0) {
+            Err(SimError::ShardPanicked { index, message }) => {
+                assert_eq!(index, group, "{threads} threads: wrong group named");
+                assert!(message.contains("leader panic"), "payload lost: `{message}`");
+            }
+            other => panic!("{threads} threads: expected ShardPanicked, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn follower_panic_crosses_the_thread_boundary_typed() {
+    let base = baseline(rsr());
+    for (threads, group) in [(1usize, 0usize), (4, 1)] {
+        let plan = FaultPlan::new().with(FaultKind::FollowerPanic, group);
+        let healed = run_with(rsr(), threads, 2, Some(plan.clone()), 1)
+            .unwrap_or_else(|e| panic!("{threads} threads: retry should heal, got {e}"));
+        assert_equivalent(&base, &healed, &format!("follower panic healed at {threads} threads"));
+        assert_eq!(healed.shard_retries, 1, "{threads} threads: exactly one retry");
+
+        // The panic payload must survive the follower join, the scoped
+        // leader thread, and the shard supervisor's catch_unwind.
+        match run_with(rsr(), threads, 2, Some(plan), 0) {
+            Err(SimError::ShardPanicked { index, message }) => {
+                assert_eq!(index, group, "{threads} threads: wrong group named");
+                assert!(message.contains("follower panic"), "payload lost: `{message}`");
+            }
+            other => panic!("{threads} threads: expected ShardPanicked, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn leader_and_follower_faults_are_inert_without_the_pipeline() {
+    // At depth 1 the sequential engine runs: the pipeline faults must
+    // not fire (the run completes with zero retries consumed).
+    let base = baseline(rsr());
+    let plan = FaultPlan::new().with(FaultKind::LeaderPanic, 0).with(FaultKind::FollowerPanic, 0);
+    let out = run_with(rsr(), 1, 1, Some(plan), 0).expect("inert at depth 1");
+    assert_equivalent(&base, &out, "pipeline faults at depth 1");
+    assert_eq!(out.shard_retries, 0);
+}
+
+#[test]
+fn fault_matrix_reruns_identically_under_the_pipeline() {
+    let base = baseline(rsr());
+    // Worker panic: the group body (including the pipeline) is retried
+    // from the pristine checkpoint.
+    let plan = FaultPlan::new().with(FaultKind::WorkerPanic, 1);
+    let healed = run_with(rsr(), 4, 2, Some(plan), 1).expect("worker panic heals");
+    assert_equivalent(&base, &healed, "worker panic + pipeline");
+    assert_eq!(healed.shard_retries, 1);
+
+    // Corrupt checkpoint: detected before the pipeline spins up, healed
+    // from the retained copy.
+    let plan = FaultPlan::new().with(FaultKind::CorruptCheckpoint, 2);
+    let healed = run_with(rsr(), 4, 2, Some(plan.clone()), 1).expect("corruption heals");
+    assert_equivalent(&base, &healed, "corrupt checkpoint + pipeline");
+    match run_with(rsr(), 4, 2, Some(plan), 0) {
+        Err(SimError::CheckpointCorrupt { index: 2, expected, found }) => {
+            assert_ne!(expected, found);
+        }
+        other => panic!("expected CheckpointCorrupt at group 2, got {other:?}"),
+    }
+
+    // Forced log exhaustion: every logging region degrades, identically
+    // at every depth — the leader seals a truncated log and the follower
+    // skips reconstruction for it, with the pipeline staying in lockstep.
+    let plan = FaultPlan::new().with(FaultKind::ExhaustLogBudget, 0);
+    let seq = run_with(rsr(), 1, 1, Some(plan.clone()), 0).expect("degradation is not failure");
+    assert!(seq.clusters_degraded > 0, "zero budget must degrade");
+    for (threads, depth) in [(1usize, 2usize), (1, 4), (4, 2)] {
+        let out = run_with(rsr(), threads, depth, Some(plan.clone()), 0)
+            .expect("degradation is not failure");
+        assert_equivalent(&seq, &out, &format!("exhaustion at {threads}t x depth {depth}"));
+    }
+}
+
+#[test]
+fn over_budget_regions_degrade_the_follower_without_desync() {
+    const BUDGET: usize = 2 * 1024;
+    let program = tiny(Benchmark::Twolf);
+    let machine = machine();
+    let spec = RunSpec::new(&program, &machine)
+        .regimen(SamplingRegimen::new(12, 600))
+        .total_insts(TOTAL)
+        .policy(rsr())
+        .seed(9)
+        .shard_span(SPAN)
+        .log_budget_bytes(BUDGET);
+    let seq = spec.clone().pipeline_depth(1).run().expect("budgeted run completes");
+    assert!(seq.clusters_degraded > 0, "2 KiB must be exhausted at this scale");
+    assert!(
+        seq.clusters_degraded < seq.clusters.len() as u64,
+        "scenario needs a mix of degraded and reconstructed clusters"
+    );
+    for depth in [2usize, 4] {
+        let piped = spec.clone().pipeline_depth(depth).run().expect("budgeted run completes");
+        assert_equivalent(&seq, &piped, &format!("byte budget at depth {depth}"));
+        assert!(piped.log_bytes_peak <= BUDGET + 256, "budget must bound in-flight logs too");
+    }
+}
+
+#[test]
+fn deadline_aborts_at_shard_granularity_with_the_leader_ahead() {
+    let program = tiny(Benchmark::Twolf);
+    let machine = machine();
+    let spec = RunSpec::new(&program, &machine)
+        .regimen(SamplingRegimen::new(12, 600))
+        .total_insts(TOTAL)
+        .policy(rsr())
+        .seed(9)
+        .shard_span(SPAN)
+        .pipeline_depth(4);
+    // An already-expired deadline: the leader observes it between regions
+    // (or the group supervisor before the first shard), drains the
+    // channel, and reports shard-granular progress.
+    for threads in [1usize, 4] {
+        match spec.clone().threads(threads).deadline(Duration::ZERO).run() {
+            Err(SimError::DeadlineExceeded { completed_shards, total_shards }) => {
+                assert_eq!(completed_shards, 0, "{threads} threads: nothing ran yet");
+                assert!(total_shards > 1, "{threads} threads: scenario must be sharded");
+            }
+            other => panic!("{threads} threads: expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+    // A generous deadline is invisible, pipelined or not.
+    let base = baseline(rsr());
+    let out = spec.deadline(Duration::from_secs(3600)).run().expect("deadline not reached");
+    assert_equivalent(&base, &out, "generous deadline, depth 4");
+}
+
+#[test]
+fn overlap_efficiency_is_telemetry_bounded_by_one() {
+    let out = run_with(rsr(), 1, 2, None, 0).expect("pipelined run completes");
+    let eff = out.overlap_efficiency();
+    assert!((0.0..1.0).contains(&eff), "overlap efficiency {eff} out of range");
+    // Sequential runs cannot report overlap.
+    let seq = baseline(rsr());
+    assert!(seq.overlap_efficiency() < 0.05, "sequential run overlapped nothing");
+}
