@@ -33,7 +33,7 @@ fn bench_inference(c: &mut Criterion) {
         })
     });
 
-    let table = InferenceTable::new(8);
+    let table = InferenceTable::new(8).unwrap();
     group.bench_function("a_priori_table_lookup", |b| {
         b.iter(|| {
             let mut acc = 0u32;

@@ -43,7 +43,7 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 mod sample_bench;
-pub use sample_bench::{run_bench_sample, BenchSample};
+pub use sample_bench::{run_bench_matrix, run_bench_sample, to_json_array, BenchSample};
 
 use rsr_core::{FullOutcome, MachineConfig, RunSpec, SampleOutcome, SamplingRegimen, WarmupPolicy};
 use rsr_isa::Program;

@@ -8,7 +8,10 @@
 use std::time::Instant;
 
 use rsr_cache::MemHierarchy;
-use rsr_core::{reconstruct_caches, Pct, RunSpec, SamplingRegimen, SkipLog, WarmupPolicy};
+use rsr_core::{
+    reconstruct_caches_partitioned, Pct, ReconGeometry, RunSpec, SamplingRegimen, SkipLog,
+    WarmupPolicy,
+};
 use rsr_func::Cpu;
 use rsr_workloads::{Benchmark, WorkloadParams};
 
@@ -25,6 +28,8 @@ pub struct BenchSample {
     pub threads: usize,
     /// Resolved intra-shard pipeline depth (1 = sequential engine).
     pub pipeline_depth: usize,
+    /// Resolved reconstruction worker threads (1 = sequential set walk).
+    pub recon_threads: usize,
     /// Total instructions in the sampled run.
     pub total_insts: u64,
     /// Cluster count and length of the regimen.
@@ -40,6 +45,16 @@ pub struct BenchSample {
     /// Reverse cache reconstruction cost per scanned log record, from a
     /// standalone logged-region micro-pass at the run's budget.
     pub recon_ns_per_record: f64,
+    /// In-run L1 (I+D) reverse-walk nanoseconds per scanned memory record.
+    pub recon_l1_ns_per_record: f64,
+    /// In-run L2 reverse-walk nanoseconds per scanned memory record.
+    pub recon_l2_ns_per_record: f64,
+    /// In-run on-demand PHT inference nanoseconds per scanned branch
+    /// record.
+    pub recon_pht_ns_per_record: f64,
+    /// In-run on-demand BTB reconstruction nanoseconds per scanned branch
+    /// record.
+    pub recon_btb_ns_per_record: f64,
     /// Peak resident bytes of a skip-region log during the run.
     pub log_bytes_peak: usize,
     /// Records appended to skip logs across the run.
@@ -71,12 +86,17 @@ impl BenchSample {
         field("seed", self.seed.to_string());
         field("threads", self.threads.to_string());
         field("pipeline_depth", self.pipeline_depth.to_string());
+        field("recon_threads", self.recon_threads.to_string());
         field("total_insts", self.total_insts.to_string());
         field("clusters", self.clusters.to_string());
         field("cluster_len", self.cluster_len.to_string());
         field("est_ipc", fmt_f64(self.est_ipc));
         field("cold_mips", fmt_f64(self.cold_mips));
         field("recon_ns_per_record", fmt_f64(self.recon_ns_per_record));
+        field("recon_l1_ns_per_record", fmt_f64(self.recon_l1_ns_per_record));
+        field("recon_l2_ns_per_record", fmt_f64(self.recon_l2_ns_per_record));
+        field("recon_pht_ns_per_record", fmt_f64(self.recon_pht_ns_per_record));
+        field("recon_btb_ns_per_record", fmt_f64(self.recon_btb_ns_per_record));
         field("log_bytes_peak", self.log_bytes_peak.to_string());
         field("log_records", self.log_records.to_string());
         field("cold_seconds", fmt_f64(self.cold_seconds));
@@ -101,12 +121,14 @@ fn fmt_f64(v: f64) -> String {
 /// Runs the benchmark trajectory: an mcf sampled run under R$BP 20% at the
 /// given scale, plus a standalone reconstruction micro-pass, and returns
 /// the derived metrics. Deterministic for fixed `(scale, seed)` except the
-/// timing fields; `pipeline_depth` 0 means auto (hardware-aware).
+/// timing fields; `pipeline_depth` and `recon_threads` 0 mean auto
+/// (hardware-aware).
 pub fn run_bench_sample(
     scale: f64,
     seed: u64,
     threads: usize,
     pipeline_depth: usize,
+    recon_threads: usize,
 ) -> BenchSample {
     let bench = Benchmark::Mcf;
     let scale = scale.clamp(0.001, 100.0);
@@ -125,29 +147,39 @@ pub fn run_bench_sample(
         .policy(WarmupPolicy::Reverse { cache: true, bp: true, pct })
         .seed(seed)
         .threads(threads)
-        .pipeline_depth(pipeline_depth);
+        .pipeline_depth(pipeline_depth)
+        .recon_threads(recon_threads);
     let resolved_depth = run_spec.resolved_pipeline_depth();
+    let resolved_recon = run_spec.resolved_recon_threads();
     let outcome = run_spec.run().expect("bench-sample run");
 
     let cold_secs = outcome.phases.cold.as_secs_f64();
     let cold_mips = outcome.skipped_insts as f64 / cold_secs.max(1e-9) / 1e6;
 
     // Standalone reconstruction micro-pass: log one representative region,
-    // then time repeated reverse scans into fresh hierarchies until the
-    // measurement stops being noise-dominated.
+    // seal its set-partitioned index once (the engine seals during cold
+    // recording, so sealing stays outside the timed loop here too), then
+    // time repeated index-driven reverse scans into fresh hierarchies
+    // until the measurement stops being noise-dominated.
     let region = (total / 4).clamp(50_000, 400_000);
     let mut cpu = Cpu::new(&program).expect("program loads");
     let mut log = SkipLog::new(true, false, 0);
     log.record_region(&mut cpu, region).expect("logged region");
+    log.seal_mem_index(&ReconGeometry::of_machine(&machine));
     let mut scanned = 0u64;
     let mut iters = 0u32;
     let t = Instant::now();
     while iters < 100 && (iters < 3 || t.elapsed().as_millis() < 200) {
         let mut hier = MemHierarchy::new(machine.hier.clone());
-        scanned += reconstruct_caches(&mut hier, &log, pct).mem_scanned;
+        scanned +=
+            reconstruct_caches_partitioned(&mut hier, &log, pct, resolved_recon).0.mem_scanned;
         iters += 1;
     }
     let recon_ns_per_record = t.elapsed().as_nanos() as f64 / scanned.max(1) as f64;
+
+    let per = |ns: u64, records: u64| ns as f64 / records.max(1) as f64;
+    let mem_scanned = outcome.recon.mem_scanned;
+    let branch_scanned = outcome.recon.branch_scanned;
 
     BenchSample {
         bench: bench.name(),
@@ -155,12 +187,17 @@ pub fn run_bench_sample(
         seed,
         threads,
         pipeline_depth: resolved_depth,
+        recon_threads: resolved_recon,
         total_insts: total,
         clusters: n_clusters,
         cluster_len: spec.cluster_len,
         est_ipc: outcome.est_ipc(),
         cold_mips,
         recon_ns_per_record,
+        recon_l1_ns_per_record: per(outcome.recon_timing.l1_ns, mem_scanned),
+        recon_l2_ns_per_record: per(outcome.recon_timing.l2_ns, mem_scanned),
+        recon_pht_ns_per_record: per(outcome.recon_timing.pht_ns, branch_scanned),
+        recon_btb_ns_per_record: per(outcome.recon_timing.btb_ns, branch_scanned),
         log_bytes_peak: outcome.log_bytes_peak,
         log_records: outcome.log_records,
         cold_seconds: cold_secs,
@@ -170,18 +207,54 @@ pub fn run_bench_sample(
     }
 }
 
+/// Runs the pipeline matrix `rsr bench` emits by default: depth 1 (the
+/// sequential engine) first, then the auto-resolved depth when it differs
+/// — on a single-core host, where auto resolves to 1, the matrix is one
+/// row. Estimates are bit-identical across rows; only the timing-derived
+/// fields vary.
+pub fn run_bench_matrix(
+    scale: f64,
+    seed: u64,
+    threads: usize,
+    recon_threads: usize,
+) -> Vec<BenchSample> {
+    let auto = run_bench_sample(scale, seed, threads, 0, recon_threads);
+    if auto.pipeline_depth == 1 {
+        return vec![auto];
+    }
+    let depth1 = run_bench_sample(scale, seed, threads, 1, recon_threads);
+    vec![depth1, auto]
+}
+
+/// Serializes a matrix of emissions as a JSON array, preserving each
+/// sample's stable key order.
+pub fn to_json_array(samples: &[BenchSample]) -> String {
+    let mut s = String::from("[\n");
+    for (i, sample) in samples.iter().enumerate() {
+        s.push_str(sample.to_json().trim_end());
+        s.push_str(if i + 1 < samples.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("]\n");
+    s
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
     fn smoke_scale_emission_has_sane_metrics() {
-        let s = run_bench_sample(0.01, 42, 1, 1);
+        let s = run_bench_sample(0.01, 42, 1, 1, 1);
         assert_eq!(s.bench, "mcf");
         assert_eq!(s.pipeline_depth, 1);
+        assert_eq!(s.recon_threads, 1);
         assert!(s.est_ipc > 0.0);
         assert!(s.cold_mips > 0.0);
         assert!(s.recon_ns_per_record > 0.0);
+        assert!(s.recon_l1_ns_per_record > 0.0);
+        assert!(s.recon_l2_ns_per_record > 0.0);
+        assert!(s.recon_pht_ns_per_record >= 0.0);
+        assert!(s.recon_btb_ns_per_record >= 0.0);
         assert!(s.log_bytes_peak > 0);
         assert!(s.log_records > 0);
         assert!(s.wall_seconds > 0.0);
@@ -196,12 +269,17 @@ mod tests {
             seed: 42,
             threads: 4,
             pipeline_depth: 2,
+            recon_threads: 4,
             total_insts: 1_000_000,
             clusters: 30,
             cluster_len: 3000,
             est_ipc: 0.5,
             cold_mips: 12.0,
             recon_ns_per_record: 8.5,
+            recon_l1_ns_per_record: 3.0,
+            recon_l2_ns_per_record: 2.5,
+            recon_pht_ns_per_record: 1.0,
+            recon_btb_ns_per_record: 0.5,
             log_bytes_peak: 1024,
             log_records: 99,
             cold_seconds: 1.5,
@@ -211,7 +289,7 @@ mod tests {
         };
         let json = s.to_json();
         // Shape checks a strict parser would also enforce: one object,
-        // all seventeen keys, no trailing comma before the brace.
+        // all twenty-two keys, no trailing comma before the brace.
         assert!(json.starts_with("{\n") && json.ends_with("}\n"));
         assert!(!json.contains(",\n}"));
         for key in [
@@ -220,12 +298,17 @@ mod tests {
             "seed",
             "threads",
             "pipeline_depth",
+            "recon_threads",
             "total_insts",
             "clusters",
             "cluster_len",
             "est_ipc",
             "cold_mips",
             "recon_ns_per_record",
+            "recon_l1_ns_per_record",
+            "recon_l2_ns_per_record",
+            "recon_pht_ns_per_record",
+            "recon_btb_ns_per_record",
             "log_bytes_peak",
             "log_records",
             "cold_seconds",
@@ -240,18 +323,32 @@ mod tests {
     }
 
     #[test]
+    fn json_array_wraps_objects_without_breaking_shape() {
+        let s = run_bench_sample(0.01, 42, 1, 1, 1);
+        let arr = to_json_array(&[s.clone(), s]);
+        assert!(arr.starts_with("[\n{") && arr.ends_with("}\n]\n"));
+        assert_eq!(arr.matches("\"bench\":").count(), 2);
+        assert!(arr.contains("},\n{"), "objects must be comma-separated");
+        assert!(!arr.contains(",\n]"), "no trailing comma before the bracket");
+    }
+
+    #[test]
     fn ipc_matches_direct_runspec_at_any_thread_count() {
         // The emitter must not perturb the sampled result: same spec, same
-        // estimate, and neither thread count nor pipeline depth may move
-        // it.
-        let one = run_bench_sample(0.01, 7, 1, 1);
-        let four = run_bench_sample(0.01, 7, 4, 1);
-        let piped = run_bench_sample(0.01, 7, 1, 2);
+        // estimate, and neither thread count, pipeline depth, nor recon
+        // worker count may move it.
+        let one = run_bench_sample(0.01, 7, 1, 1, 1);
+        let four = run_bench_sample(0.01, 7, 4, 1, 1);
+        let piped = run_bench_sample(0.01, 7, 1, 2, 1);
+        let recon4 = run_bench_sample(0.01, 7, 1, 1, 4);
         assert_eq!(one.est_ipc, four.est_ipc);
         assert_eq!(one.log_records, four.log_records);
         assert_eq!(one.log_bytes_peak, four.log_bytes_peak);
         assert_eq!(one.est_ipc, piped.est_ipc);
         assert_eq!(one.log_records, piped.log_records);
         assert_eq!(piped.pipeline_depth, 2);
+        assert_eq!(one.est_ipc, recon4.est_ipc);
+        assert_eq!(one.log_records, recon4.log_records);
+        assert_eq!(recon4.recon_threads, 4);
     }
 }

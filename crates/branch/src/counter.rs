@@ -247,11 +247,15 @@ impl InferenceTable {
 
     /// Builds the table for histories up to `max_len` outcomes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `max_len > 20` (the table would be gratuitously large).
-    pub fn new(max_len: u32) -> InferenceTable {
-        assert!(max_len <= 20, "inference table of length {max_len} is too large");
+    /// Returns a message if `max_len > 20` — the table holds `2^(len+1)`
+    /// entries, so longer histories would be gratuitously large. Callers
+    /// in `rsr-core` surface this as a spec error rather than a panic.
+    pub fn new(max_len: u32) -> Result<InferenceTable, &'static str> {
+        if max_len > 20 {
+            return Err("inference table length exceeds 20");
+        }
         let mut tables = Vec::with_capacity(max_len as usize + 1);
         for len in 0..=max_len {
             let mut t = Vec::with_capacity(1 << len);
@@ -264,7 +268,7 @@ impl InferenceTable {
             }
             tables.push(t);
         }
-        InferenceTable { max_len, tables }
+        Ok(InferenceTable { max_len, tables })
     }
 
     /// Maximum history length the table covers.
@@ -284,7 +288,7 @@ impl InferenceTable {
 
 impl Default for InferenceTable {
     fn default() -> Self {
-        InferenceTable::new(Self::DEFAULT_MAX_LEN)
+        InferenceTable::new(Self::DEFAULT_MAX_LEN).expect("default len is valid")
     }
 }
 
@@ -387,7 +391,7 @@ mod tests {
 
     #[test]
     fn table_matches_incremental_inference() {
-        let table = InferenceTable::new(8);
+        let table = InferenceTable::new(8).unwrap();
         for len in 0..=8u32 {
             for bits in 0..(1u64 << len) {
                 let mut inf = CounterInference::new();
@@ -401,10 +405,16 @@ mod tests {
 
     #[test]
     fn table_truncates_long_histories() {
-        let table = InferenceTable::new(4);
+        let table = InferenceTable::new(4).unwrap();
         // A pinning run in the newest 3 bits dominates; extra length is cut.
         let bits = 0b111; // newest three outcomes taken
         assert_eq!(table.lookup(bits, 64), Some(Counter2::STRONG_T));
+    }
+
+    #[test]
+    fn oversized_table_is_a_typed_error_not_a_panic() {
+        assert!(InferenceTable::new(21).is_err());
+        assert!(InferenceTable::new(20).is_ok());
     }
 
     proptest! {

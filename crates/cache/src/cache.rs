@@ -172,8 +172,20 @@ impl Cache {
         ((addr >> self.line_shift) & self.set_mask) as usize
     }
 
+    /// Log₂ of the line size — external indexes (the skip log's
+    /// reconstruction index) key records by `(addr >> line_shift) & (sets-1)`.
+    pub fn line_shift(&self) -> u32 {
+        self.line_shift
+    }
+
+    /// Associativity (ways per set).
+    pub fn assoc(&self) -> usize {
+        self.cfg.assoc
+    }
+
+    /// Tag for an address (line and set-index bits stripped).
     #[inline]
-    fn tag_of(&self, addr: Addr) -> u64 {
+    pub fn tag_of(&self, addr: Addr) -> u64 {
         addr >> self.line_shift >> self.num_sets.trailing_zeros()
     }
 
@@ -296,11 +308,23 @@ impl Cache {
 
     /// Clears all reconstructed bits, leaving content *stale* (as after the
     /// previous cluster). Call once per skip region before the reverse scan.
+    ///
+    /// Reconstructed bits can only live in sets whose `recon_counts` entry is
+    /// nonzero — every reconstruction path bumps the count, and forward
+    /// execution never introduces the bit into an untouched set — so the
+    /// sweep skips sets left untouched by the previous skip region instead
+    /// of walking every line in the cache.
     pub fn begin_reconstruction(&mut self) {
-        for l in &mut self.lines {
-            l.recon_seq = NOT_RECON;
+        let assoc = self.cfg.assoc;
+        for set in 0..self.num_sets {
+            if self.recon_counts[set] == 0 {
+                continue;
+            }
+            for l in &mut self.lines[set * assoc..(set + 1) * assoc] {
+                l.recon_seq = NOT_RECON;
+            }
+            self.recon_counts[set] = 0;
         }
-        self.recon_counts.iter_mut().for_each(|c| *c = 0);
         self.complete_sets = 0;
     }
 
@@ -356,6 +380,41 @@ impl Cache {
         ReconOutcome::Inserted
     }
 
+    /// Checks out `parts` disjoint, contiguous set ranges for a
+    /// partitioned reverse scan: each [`ReconSetSlice`] owns its sets'
+    /// lines and reconstruction counts exclusively, so the slices can
+    /// reconstruct concurrently (the reverse scan is per-set independent —
+    /// paper §3.1). Call [`Cache::begin_reconstruction`] first and
+    /// [`Cache::resync_complete_sets`] after the workers join; the slices
+    /// do not maintain the cache-level completeness counter.
+    pub fn recon_partitions(&mut self, parts: usize) -> Vec<ReconSetSlice<'_>> {
+        let parts = parts.clamp(1, self.num_sets);
+        let assoc = self.cfg.assoc;
+        let mut out = Vec::with_capacity(parts);
+        let mut lines = &mut self.lines[..];
+        let mut counts = &mut self.recon_counts[..];
+        let mut first = 0usize;
+        for p in 0..parts {
+            let n_sets = (self.num_sets - first).div_ceil(parts - p);
+            let (l, lines_rest) = lines.split_at_mut(n_sets * assoc);
+            let (c, counts_rest) = counts.split_at_mut(n_sets);
+            out.push(ReconSetSlice { lines: l, recon_counts: c, first_set: first, assoc });
+            lines = lines_rest;
+            counts = counts_rest;
+            first += n_sets;
+        }
+        out
+    }
+
+    /// Recomputes the complete-set counter from the per-set reconstruction
+    /// counts. Partitioned workers update only their slice's counts, so
+    /// this must run once after they join to restore the invariant behind
+    /// [`Cache::fully_reconstructed`].
+    pub fn resync_complete_sets(&mut self) {
+        let assoc = self.cfg.assoc as u8;
+        self.complete_sets = self.recon_counts.iter().filter(|&&c| c >= assoc).count();
+    }
+
     /// Whether every set has been fully reconstructed (early-exit test for
     /// the reverse scan).
     pub fn fully_reconstructed(&self) -> bool {
@@ -370,17 +429,63 @@ impl Cache {
     /// Normalizes LRU ranks after the reverse scan: reconstructed blocks take
     /// ranks `0..k` in reconstruction order (first reconstructed = MRU) and
     /// surviving stale blocks follow in their previous relative order.
+    ///
+    /// No sort is needed: a set's `k` reconstructed lines carry the unique
+    /// sequence numbers `0..k` — already their target ranks — and within the
+    /// stale-valid and invalid groups a line's relative position is the count
+    /// of group members with a smaller old rank, which a popcount over a
+    /// rank-occupancy bitmask answers directly (old ranks are a permutation
+    /// of `0..assoc`, so the masks are collision-free).
     pub fn finish_reconstruction(&mut self) {
         let assoc = self.cfg.assoc;
+        if assoc > 64 {
+            self.finish_reconstruction_sorted();
+            return;
+        }
         for set in 0..self.num_sets {
             if self.recon_counts[set] == 0 {
                 continue; // untouched set keeps its stale ordering
             }
             let lines = &mut self.lines[set * assoc..(set + 1) * assoc];
+            let mut stale_valid: u64 = 0;
+            let mut invalid: u64 = 0;
+            for l in lines.iter() {
+                if !l.is_reconstructed() {
+                    if l.valid {
+                        stale_valid |= 1u64 << l.rank;
+                    } else {
+                        invalid |= 1u64 << l.rank;
+                    }
+                }
+            }
+            let k = assoc as u32 - stale_valid.count_ones() - invalid.count_ones();
+            let m = stale_valid.count_ones();
+            for l in lines.iter_mut() {
+                let below = (1u64 << l.rank) - 1;
+                l.rank = if l.is_reconstructed() {
+                    l.recon_seq
+                } else if l.valid {
+                    (k + (stale_valid & below).count_ones()) as u8
+                } else {
+                    (k + m + (invalid & below).count_ones()) as u8
+                };
+            }
+        }
+    }
+
+    /// Sort-based fallback for `finish_reconstruction` when the
+    /// associativity exceeds the bitmask width.
+    fn finish_reconstruction_sorted(&mut self) {
+        let assoc = self.cfg.assoc;
+        for set in 0..self.num_sets {
+            if self.recon_counts[set] == 0 {
+                continue;
+            }
+            let lines = &mut self.lines[set * assoc..(set + 1) * assoc];
             let mut order: Vec<usize> = (0..assoc).collect();
             // Reconstructed first by recon_seq, then stale-valid by old rank,
             // then invalid ways last.
-            order.sort_by_key(|&w| {
+            order.sort_unstable_by_key(|&w| {
                 let l = &lines[w];
                 if l.is_reconstructed() {
                     (0u8, l.recon_seq, l.rank)
@@ -411,6 +516,183 @@ impl Cache {
             self.set_lines_ref(set).iter().filter(|l| l.valid).map(|l| (l.rank, l.tag)).collect();
         v.sort_by_key(|&(rank, _)| rank);
         v.into_iter().map(|(_, tag)| tag).collect()
+    }
+}
+
+/// Result of replaying one set's logged references through
+/// [`ReconSetSlice::reconstruct_span`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SpanOutcome {
+    /// References inserted into stale ways.
+    pub inserted: u32,
+    /// Present-but-stale blocks marked reconstructed in place.
+    pub marked: u32,
+    /// The record index at which the set became fully reconstructed, if it
+    /// did within the span.
+    pub completed_at: Option<u32>,
+}
+
+/// A contiguous range of sets checked out of a [`Cache`] by
+/// [`Cache::recon_partitions`] for one partitioned-reconstruction worker.
+///
+/// Within the slice, [`ReconSetSlice::reconstruct_tag`] is
+/// [`Cache::reconstruct_ref`] restricted to the owned sets: identical
+/// outcomes, identical line state, identical reconstruction-order
+/// (`recon_seq`) assignment — only the cache-level complete-set counter is
+/// deferred to [`Cache::resync_complete_sets`].
+/// [`ReconSetSlice::reconstruct_span`] is the batched equivalent for a
+/// whole set at once.
+#[derive(Debug)]
+pub struct ReconSetSlice<'a> {
+    lines: &'a mut [Line],
+    recon_counts: &'a mut [u8],
+    first_set: usize,
+    assoc: usize,
+}
+
+impl ReconSetSlice<'_> {
+    /// Global indices of the sets this slice owns.
+    pub fn set_range(&self) -> std::ops::Range<usize> {
+        self.first_set..self.first_set + self.recon_counts.len()
+    }
+
+    /// Whether `set` (a global set index) has every way reconstructed.
+    pub fn set_complete(&self, set: usize) -> bool {
+        self.recon_counts[set - self.first_set] as usize >= self.assoc
+    }
+
+    /// Applies one logged reference to `set` (a global set index) whose
+    /// address tag is `tag`; younger references must be presented first.
+    /// See [`Cache::reconstruct_ref`] for the rules.
+    pub fn reconstruct_tag(&mut self, set: usize, tag: u64) -> ReconOutcome {
+        let local = set - self.first_set;
+        let assoc = self.assoc;
+        if self.recon_counts[local] as usize >= assoc {
+            return ReconOutcome::SetComplete;
+        }
+        let seq = self.recon_counts[local];
+        let lines = &mut self.lines[local * assoc..(local + 1) * assoc];
+
+        if let Some(way) = lines.iter().position(|l| l.valid && l.tag == tag) {
+            if lines[way].is_reconstructed() {
+                return ReconOutcome::Redundant;
+            }
+            lines[way].recon_seq = seq;
+            self.recon_counts[local] += 1;
+            return ReconOutcome::MarkedPresent;
+        }
+
+        let victim = lines
+            .iter()
+            .enumerate()
+            .filter(|(_, l)| !l.is_reconstructed())
+            .max_by_key(|(_, l)| (!l.valid, l.rank))
+            .map(|(i, _)| i)
+            .expect("incomplete set has a stale way");
+        lines[victim] =
+            Line { valid: true, dirty: false, tag, rank: lines[victim].rank, recon_seq: seq };
+        self.recon_counts[local] += 1;
+        ReconOutcome::Inserted
+    }
+
+    /// Replays one set's whole logged span — record indices into `addrs`,
+    /// newest first, descending — stopping at the budget `cut` or when the
+    /// set completes. Semantically identical to presenting each in-budget
+    /// reference to [`ReconSetSlice::reconstruct_tag`] in span order, but
+    /// batched: the stale-victim priority order (invalid ways first, then
+    /// valid stale ways oldest-rank first) is computed once per set instead
+    /// of per reference, and the per-reference work collapses to one tag
+    /// compare loop. Victim priority only depends on the set's pre-scan
+    /// (valid, rank) state — reconstruction never changes a surviving stale
+    /// way's rank or validity — so hoisting it is exact.
+    pub fn reconstruct_span(
+        &mut self,
+        set: usize,
+        span: &[u32],
+        addrs: &[u64],
+        cut: u32,
+        tag_shift: u32,
+    ) -> SpanOutcome {
+        // Victim priority as a stack: `(!valid, rank)` descending, i.e.
+        // exactly the argmax sequence `reconstruct_tag` would produce.
+        // Ranks are a permutation within a set, so the order is unique.
+        const MAX_FAST_ASSOC: usize = 32;
+        let mut order = [0u8; MAX_FAST_ASSOC];
+        let assoc = self.assoc;
+        let mut out = SpanOutcome::default();
+        if assoc > MAX_FAST_ASSOC {
+            // Degenerate geometry: take the per-reference path.
+            for &i in span {
+                if i < cut {
+                    break;
+                }
+                match self.reconstruct_tag(set, addrs[i as usize] >> tag_shift) {
+                    ReconOutcome::Inserted => out.inserted += 1,
+                    ReconOutcome::MarkedPresent => out.marked += 1,
+                    ReconOutcome::Redundant | ReconOutcome::SetComplete => {}
+                }
+                if self.set_complete(set) {
+                    out.completed_at = Some(i);
+                    break;
+                }
+            }
+            return out;
+        }
+
+        let local = set - self.first_set;
+        let mut seq = self.recon_counts[local];
+        if seq as usize >= assoc {
+            return out;
+        }
+        let lines = &mut self.lines[local * assoc..(local + 1) * assoc];
+        for (w, slot) in order.iter_mut().take(assoc).enumerate() {
+            *slot = w as u8;
+        }
+        order[..assoc].sort_unstable_by_key(|&w| {
+            let l = &lines[w as usize];
+            (l.valid, std::cmp::Reverse(l.rank))
+        });
+        let mut next_victim = 0usize;
+
+        for &i in span {
+            if i < cut {
+                break;
+            }
+            let tag = addrs[i as usize] >> tag_shift;
+            match lines.iter().position(|l| l.valid && l.tag == tag) {
+                Some(way) => {
+                    if lines[way].is_reconstructed() {
+                        continue;
+                    }
+                    lines[way].recon_seq = seq;
+                    out.marked += 1;
+                }
+                None => {
+                    // Pop the stalest way not yet reconstructed (a marked
+                    // way keeps its position in `order`; skip it here).
+                    while lines[order[next_victim] as usize].is_reconstructed() {
+                        next_victim += 1;
+                    }
+                    let v = order[next_victim] as usize;
+                    next_victim += 1;
+                    lines[v] = Line {
+                        valid: true,
+                        dirty: false,
+                        tag,
+                        rank: lines[v].rank,
+                        recon_seq: seq,
+                    };
+                    out.inserted += 1;
+                }
+            }
+            seq += 1;
+            if seq as usize >= assoc {
+                out.completed_at = Some(i);
+                break;
+            }
+        }
+        self.recon_counts[local] = seq;
+        out
     }
 }
 
@@ -618,6 +900,54 @@ mod tests {
                     fwd.set_tags_mru_order(set),
                     "stream {stream:?} set {set}"
                 );
+            }
+        }
+    }
+
+    #[test]
+    fn partitioned_slices_match_sequential_reconstruction() {
+        // For any partition count, replaying each set's references through
+        // its owning slice (younger first) must reproduce the sequential
+        // reverse scan exactly: same outcomes, same lines, same
+        // completeness. In the 4-set/64B geometry of `addr`, set and tag
+        // are the tuple components directly.
+        use rand::prelude::*;
+        let mut rng = StdRng::seed_from_u64(11);
+        for parts in [1usize, 2, 3, 4] {
+            let stream: Vec<(u64, u64)> =
+                (0..60).map(|_| (rng.gen_range(0..4u64), rng.gen_range(0..10u64))).collect();
+            let mut seq = tiny_cache(2);
+            let mut par = tiny_cache(2);
+            // Shared stale content so marked-present paths are exercised.
+            for &(s, t) in stream.iter().take(10) {
+                seq.access(addr(s, t), AccessKind::Read);
+                par.access(addr(s, t), AccessKind::Read);
+            }
+
+            seq.begin_reconstruction();
+            let mut seq_outcomes = vec![None; stream.len()];
+            for (k, &(s, t)) in stream.iter().enumerate().rev() {
+                seq_outcomes[k] = Some(seq.reconstruct_ref(addr(s, t)));
+            }
+            seq.finish_reconstruction();
+
+            par.begin_reconstruction();
+            let mut par_outcomes = vec![None; stream.len()];
+            for slice in &mut par.recon_partitions(parts) {
+                let range = slice.set_range();
+                for (k, &(s, t)) in stream.iter().enumerate().rev() {
+                    if range.contains(&(s as usize)) {
+                        par_outcomes[k] = Some(slice.reconstruct_tag(s as usize, t));
+                    }
+                }
+            }
+            par.resync_complete_sets();
+            par.finish_reconstruction();
+
+            assert_eq!(par_outcomes, seq_outcomes, "parts {parts}");
+            assert_eq!(par.complete_sets(), seq.complete_sets(), "parts {parts}");
+            for set in 0..4 {
+                assert_eq!(par.dump_set(set), seq.dump_set(set), "parts {parts} set {set}");
             }
         }
     }

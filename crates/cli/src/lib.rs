@@ -44,7 +44,7 @@ pub enum Command {
         /// Instructions to simulate.
         n: u64,
     },
-    /// `rsr sample <bench> [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S] [--threads T] [--pipeline-depth D] [--max-shard-retries R] [--log-budget BYTES] [--deadline-secs S]`
+    /// `rsr sample <bench> [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S] [--threads T] [--pipeline-depth D] [--recon-threads R] [--max-shard-retries R] [--log-budget BYTES] [--deadline-secs S]`
     Sample {
         /// Workload to sample.
         bench: Benchmark,
@@ -63,6 +63,9 @@ pub enum Command {
         /// Intra-shard leader/follower pipeline depth (0 = auto; results
         /// are identical at any depth).
         pipeline_depth: usize,
+        /// Per-window reconstruction worker threads (0 = auto; results
+        /// are identical at any count).
+        recon_threads: usize,
         /// Shard-fault retry budget (`None` = engine default).
         max_shard_retries: Option<u32>,
         /// Per-region RSR log cap in bytes (`None` = unbounded).
@@ -83,7 +86,7 @@ pub enum Command {
         /// Replay count.
         replays: usize,
     },
-    /// `rsr bench [--scale S] [--seed N] [--threads T] [--pipeline-depth D] [--out PATH]`
+    /// `rsr bench [--scale S] [--seed N] [--threads T] [--pipeline-depth D] [--recon-threads R] [--out PATH]`
     Bench {
         /// Run-length scale factor relative to the default regimen.
         scale: f64,
@@ -91,8 +94,11 @@ pub enum Command {
         seed: u64,
         /// Shard worker threads (results are identical at any count).
         threads: usize,
-        /// Intra-shard leader/follower pipeline depth (0 = auto).
+        /// Intra-shard leader/follower pipeline depth (0 = auto; 0 also
+        /// emits a depth-1 + auto-depth matrix instead of one object).
         pipeline_depth: usize,
+        /// Per-window reconstruction worker threads (0 = auto).
+        recon_threads: usize,
         /// Destination for the JSON emission (`None` = stdout).
         out: Option<String>,
     },
@@ -215,19 +221,23 @@ commands:
   trace  <bench> [-n N]         print the first N retired instructions (default 20)
   run    <bench> [-n INSTS]     full cycle-accurate run (default 1000000)
   sample <bench> [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S]
-         [--threads T] [--pipeline-depth D] [--max-shard-retries R] [--log-budget BYTES]
-         [--deadline-secs S]
+         [--threads T] [--pipeline-depth D] [--recon-threads R] [--max-shard-retries R]
+         [--log-budget BYTES] [--deadline-secs S]
                                 sampled simulation (defaults: r$bp 20%, 30x1000, 2M, seed 42,
                                 1 thread; --threads shards the schedule, results identical;
                                 --pipeline-depth overlaps cold fast-forward with recon+hot
                                 inside each shard, 0 = auto, results identical at any depth;
+                                --recon-threads parallelizes reverse cache reconstruction
+                                over set partitions, 0 = auto, results identical at any count;
                                 retries heal shard faults, --log-budget degrades over-budget
                                 clusters to stale-state warmup, --deadline-secs aborts cleanly)
-  bench  [--scale S] [--seed N] [--threads T] [--pipeline-depth D] [--out PATH]
+  bench  [--scale S] [--seed N] [--threads T] [--pipeline-depth D] [--recon-threads R]
+         [--out PATH]
                                 reproducible perf trajectory: runs mcf under r$bp 20%
                                 and emits BENCH_sample.json-shaped metrics (cold-phase
-                                MIPS, recon ns/record, peak log bytes, wall seconds)
-                                to PATH or stdout (defaults: scale 1.0, seed 42, 1 thread)
+                                MIPS, recon ns/record per structure, peak log bytes, wall
+                                seconds) to PATH or stdout (defaults: scale 1.0, seed 42,
+                                1 thread; default depth 0 emits a [depth-1, auto] array)
   simpoint <bench> [--interval I] [--k K] [--warm] [-n INSTS]
                                 SimPoint analysis + simulation
   ckpt   <bench> [--clusters N] [--len N] [-n INSTS] [--replays R]
@@ -343,6 +353,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 seed: flags.parsed("--seed", 42)?,
                 threads: flags.parsed("--threads", 1)?,
                 pipeline_depth: flags.parsed("--pipeline-depth", 0)?,
+                recon_threads: flags.parsed("--recon-threads", 0)?,
                 max_shard_retries: flags.parsed_opt("--max-shard-retries")?,
                 log_budget: flags.parsed_opt("--log-budget")?,
                 deadline_secs: flags.parsed_opt("--deadline-secs")?,
@@ -353,6 +364,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             seed: flags.parsed("--seed", 42)?,
             threads: flags.parsed("--threads", 1)?,
             pipeline_depth: flags.parsed("--pipeline-depth", 0)?,
+            recon_threads: flags.parsed("--recon-threads", 0)?,
             out: flags.value("--out").map(str::to_string),
         },
         "ckpt" => Command::Ckpt {
@@ -537,11 +549,19 @@ mod tests {
     fn bench_flags_and_defaults() {
         assert_eq!(
             parse(&argv("bench")).unwrap(),
-            Command::Bench { scale: 1.0, seed: 42, threads: 1, pipeline_depth: 0, out: None }
+            Command::Bench {
+                scale: 1.0,
+                seed: 42,
+                threads: 1,
+                pipeline_depth: 0,
+                recon_threads: 0,
+                out: None
+            }
         );
         assert_eq!(
             parse(&argv(
-                "bench --scale 0.05 --seed 7 --threads 4 --pipeline-depth 2 --out BENCH_sample.json"
+                "bench --scale 0.05 --seed 7 --threads 4 --pipeline-depth 2 --recon-threads 4 \
+                 --out BENCH_sample.json"
             ))
             .unwrap(),
             Command::Bench {
@@ -549,6 +569,7 @@ mod tests {
                 seed: 7,
                 threads: 4,
                 pipeline_depth: 2,
+                recon_threads: 4,
                 out: Some("BENCH_sample.json".into())
             }
         );
@@ -567,6 +588,20 @@ mod tests {
             other => panic!("parsed {other:?}"),
         }
         let e = parse(&argv("sample mcf --pipeline-depth deep")).unwrap_err();
+        assert!(e.0.contains("bad value"));
+    }
+
+    #[test]
+    fn recon_threads_flag_parses_and_defaults_to_auto() {
+        match parse(&argv("sample mcf --recon-threads 4")).unwrap() {
+            Command::Sample { recon_threads, .. } => assert_eq!(recon_threads, 4),
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("sample mcf")).unwrap() {
+            Command::Sample { recon_threads, .. } => assert_eq!(recon_threads, 0, "0 = auto"),
+            other => panic!("parsed {other:?}"),
+        }
+        let e = parse(&argv("sample mcf --recon-threads many")).unwrap_err();
         assert!(e.0.contains("bad value"));
     }
 

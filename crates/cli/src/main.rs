@@ -114,6 +114,7 @@ fn execute(cmd: Command) -> Result<(), CliError> {
             seed,
             threads,
             pipeline_depth,
+            recon_threads,
             max_shard_retries,
             log_budget,
             deadline_secs,
@@ -127,8 +128,10 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                 .policy(policy)
                 .seed(seed)
                 .threads(threads)
-                .pipeline_depth(pipeline_depth);
+                .pipeline_depth(pipeline_depth)
+                .recon_threads(recon_threads);
             let depth = spec.resolved_pipeline_depth();
+            let recon_workers = spec.resolved_recon_threads();
             if let Some(r) = max_shard_retries {
                 spec = spec.max_shard_retries(r);
             }
@@ -163,11 +166,12 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                 out.log_bytes_peak / 1024
             );
             outln!(
-                "wall: {:.3}s on {} thread{}, pipeline depth {}{}",
+                "wall: {:.3}s on {} thread{}, pipeline depth {}, recon threads {}{}",
                 out.wall.as_secs_f64(),
                 threads,
                 if threads == 1 { "" } else { "s" },
                 depth,
+                recon_workers,
                 if threads > 1 || depth > 1 {
                     format!(" ({:.0}% of busy time overlapped)", 100.0 * out.overlap_efficiency())
                 } else {
@@ -175,9 +179,28 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                 }
             );
         }
-        Command::Bench { scale, seed, threads, pipeline_depth, out } => {
-            let sample = rsr_bench::run_bench_sample(scale, seed, threads, pipeline_depth);
-            let json = sample.to_json();
+        Command::Bench { scale, seed, threads, pipeline_depth, recon_threads, out } => {
+            // Depth 0 (the default) benchmarks the whole pipeline matrix —
+            // depth 1 plus the auto depth, when they differ — as a JSON
+            // array; an explicit depth emits that one configuration as a
+            // single object (the pre-matrix shape).
+            let samples = if pipeline_depth == 0 {
+                rsr_bench::run_bench_matrix(scale, seed, threads, recon_threads)
+            } else {
+                vec![rsr_bench::run_bench_sample(
+                    scale,
+                    seed,
+                    threads,
+                    pipeline_depth,
+                    recon_threads,
+                )]
+            };
+            let json = if pipeline_depth == 0 {
+                rsr_bench::to_json_array(&samples)
+            } else {
+                samples[0].to_json()
+            };
+            let sample = &samples[0];
             match out {
                 Some(path) => {
                     std::fs::write(&path, &json).map_err(|e| {

@@ -52,11 +52,13 @@ mod shard;
 mod spec;
 
 pub use crate::fault::{Fault, FaultKind, FaultPlan, SLOW_SHARD_DELAY};
-pub use crate::log::{BranchRecord, LogPool, MemRecord, SkipLog};
+pub use crate::log::{BranchRecord, LogPool, MemRecord, ReconGeometry, SkipLog};
 pub use crate::policy::{Pct, WarmupPolicy};
 pub use crate::profiled::{profile_reuse, ReusePolicy, ReuseProfile};
 pub use crate::regimen::{ClusterWindow, SamplingRegimen, Schedule};
-pub use crate::reverse::{reconstruct_caches, BpReconstructor, ReconStats};
+pub use crate::reverse::{
+    reconstruct_caches, reconstruct_caches_partitioned, BpReconstructor, ReconStats, ReconTiming,
+};
 #[allow(deprecated)]
 pub use crate::sampler::{
     run_full, run_sampled, run_sampled_with_schedule, skip_with, skip_with_smarts_warming,

@@ -181,6 +181,13 @@ pub struct SkipLog {
     peak_bytes: usize,
     /// Records appended this region, including any later discarded.
     appended: u64,
+    /// Partitioned reconstruction index: per-(structure, set) newest-first
+    /// record-index spans sealed over the SoA columns (see [`ReconIndex`]).
+    /// Never serialized; unsealed by [`SkipLog::reset`] and budget
+    /// truncation, and ignored by its accessors unless the sealed lengths
+    /// still match the columns. Boxed so an unindexed log stays one
+    /// pointer wider.
+    index: Option<Box<ReconIndex>>,
 }
 
 impl Default for SkipLog {
@@ -191,6 +198,145 @@ impl Default for SkipLog {
 
 const LINE_MASK: u64 = !63;
 const NO_LINE: Addr = u64::MAX;
+
+/// "Not a conditional branch" marker in the [`ReconIndex`] PHT key column
+/// (real PHT keys fit because gshare history is capped at 26 bits), and
+/// the record-count ceiling above which sealing is skipped — every sealed
+/// record index must fit in a u32.
+pub(crate) const CHAIN_NONE: u32 = u32::MAX;
+
+/// The structure geometry a [`ReconIndex`] was sealed for.
+///
+/// Derivable from configuration alone — the pipeline *leader* seals the
+/// memory-side chains without ever holding a cache or predictor instance —
+/// and stored with the index so consumers can verify the chains match
+/// their structures before trusting them (a mismatch silently falls back
+/// to the full reverse scan).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct ReconGeometry {
+    /// L1I set count (power of two).
+    pub l1i_sets: usize,
+    /// L1I line-offset shift (log₂ line bytes).
+    pub l1i_line_shift: u32,
+    /// L1D set count.
+    pub l1d_sets: usize,
+    /// L1D line-offset shift.
+    pub l1d_line_shift: u32,
+    /// Unified L2 set count.
+    pub l2_sets: usize,
+    /// L2 line-offset shift.
+    pub l2_line_shift: u32,
+    /// gshare global-history bits (PHT index width, ≤ 26).
+    pub ghr_bits: u32,
+    /// BTB entry count (power of two).
+    pub btb_entries: usize,
+}
+
+impl ReconGeometry {
+    /// The geometry of a configured machine.
+    pub fn of_machine(machine: &crate::MachineConfig) -> ReconGeometry {
+        ReconGeometry {
+            l1i_sets: machine.hier.l1i.num_sets(),
+            l1i_line_shift: machine.hier.l1i.line_bytes.trailing_zeros(),
+            l1d_sets: machine.hier.l1d.num_sets(),
+            l1d_line_shift: machine.hier.l1d.line_bytes.trailing_zeros(),
+            l2_sets: machine.hier.l2.num_sets(),
+            l2_line_shift: machine.hier.l2.line_bytes.trailing_zeros(),
+            ghr_bits: machine.pred.ghr_bits,
+            btb_entries: machine.pred.btb_entries,
+        }
+    }
+}
+
+/// The partitioned reconstruction index (paper §3.1/§3.2 exploited
+/// structurally): memory records bucketed by (cache level, set) as
+/// newest-first u32 record-index spans over the log's SoA columns, plus
+/// the branch side's sealed PHT-key column and final GHR.
+///
+/// The memory side is a counting sort per level: `off[set]..off[set+1]`
+/// delimits set `set`'s span in the `idx` column, filled so each span
+/// holds strictly descending record indices — exactly the newest-first
+/// order the reverse scan consumes, but *contiguous*, so a set walk is a
+/// linear read plus independent gathers from the address column (no
+/// pointer chasing; the equivalent tail-chain layout measured ~1.6×
+/// slower on mcf because every link was a dependent cache miss). Resident
+/// cost is ~4 B per record per indexed level (records are *indexed*,
+/// never copied) plus one u32 per set; identical to the chain layout it
+/// replaces.
+///
+/// The L1I and L1D spans are disjoint by construction: every memory
+/// record is an instruction *or* a data reference, so the two `idx`
+/// columns together hold each record index exactly once.
+///
+/// The branch side deliberately has **no** per-entry spans: the demand
+/// scan's shared reverse cursor must consume every passed record to stay
+/// bit-identical to the sequential path (each passed record feeds other
+/// entries' inferences and the BTB), so an entry-skipping walk is
+/// unusable. What *can* move to seal time is the GHR forward pass: the
+/// per-record PHT keys and the region-final GHR.
+///
+/// A record index ≥ `u32::MAX` cannot be indexed; sealing is skipped then
+/// and consumers fall back to the full scan.
+#[derive(Clone, Debug)]
+pub(crate) struct ReconIndex {
+    /// Geometry the spans were keyed by.
+    pub(crate) geom: ReconGeometry,
+    /// Memory-side spans are valid for exactly this `mem_len` (`None` =
+    /// not sealed).
+    mem_sealed: Option<usize>,
+    /// Branch-side columns are valid for exactly this `branch_len`.
+    br_sealed: Option<usize>,
+    /// L1I span bounds: set `s` owns `l1i_idx[l1i_off[s]..l1i_off[s+1]]`.
+    pub(crate) l1i_off: Vec<u32>,
+    /// Instruction record indices, newest-first within each set span.
+    pub(crate) l1i_idx: Vec<u32>,
+    /// L1D span bounds.
+    pub(crate) l1d_off: Vec<u32>,
+    /// Data record indices, newest-first within each set span.
+    pub(crate) l1d_idx: Vec<u32>,
+    /// Unified-L2 span bounds.
+    pub(crate) l2_off: Vec<u32>,
+    /// All memory record indices, newest-first within each L2 set span.
+    pub(crate) l2_idx: Vec<u32>,
+    /// PHT index probed by each branch record (`CHAIN_NONE` for
+    /// non-conditional records), from the sealed GHR forward pass.
+    pub(crate) pht_key: Vec<u32>,
+    /// GHR after the whole region (what `Gshare::set_ghr` must receive).
+    pub(crate) ghr_final: u64,
+    /// `ghr_at_start` value the PHT keys were hashed under — every key
+    /// depends on it, so a changed start GHR invalidates the seal.
+    ghr_start: u64,
+    /// Counting-sort cursor scratch, kept so pooled logs re-seal without
+    /// reallocating.
+    scratch: Vec<u32>,
+}
+
+impl ReconIndex {
+    fn new(geom: ReconGeometry) -> ReconIndex {
+        ReconIndex {
+            geom,
+            mem_sealed: None,
+            br_sealed: None,
+            l1i_off: Vec::new(),
+            l1i_idx: Vec::new(),
+            l1d_off: Vec::new(),
+            l1d_idx: Vec::new(),
+            l2_off: Vec::new(),
+            l2_idx: Vec::new(),
+            pht_key: Vec::new(),
+            ghr_final: 0,
+            ghr_start: 0,
+            scratch: Vec::new(),
+        }
+    }
+
+    /// Drops the sealed state but keeps every allocation (indexes ride
+    /// pooled logs across regions, like the columns they chain).
+    fn unseal(&mut self) {
+        self.mem_sealed = None;
+        self.br_sealed = None;
+    }
+}
 
 impl SkipLog {
     /// Creates an empty log recording the requested streams.
@@ -211,6 +357,7 @@ impl SkipLog {
             bytes: 0,
             peak_bytes: 0,
             appended: 0,
+            index: None,
         }
     }
 
@@ -250,6 +397,9 @@ impl SkipLog {
         self.bytes = 0;
         self.peak_bytes = 0;
         self.appended = 0;
+        if let Some(ix) = self.index.as_deref_mut() {
+            ix.unseal();
+        }
     }
 
     /// Caps the region's resident bytes (`None` = unbounded, the default).
@@ -357,6 +507,9 @@ impl SkipLog {
         self.br_ext.clear();
         self.bytes = 0;
         self.truncated = true;
+        if let Some(ix) = self.index.as_deref_mut() {
+            ix.unseal();
+        }
     }
 
     /// Records one retired instruction's reconstruction-relevant effects.
@@ -575,6 +728,165 @@ impl SkipLog {
     /// records, and any ext-table spills).
     pub fn approx_bytes(&self) -> usize {
         self.bytes
+    }
+
+    /// Raw memory-record address column (the partitioned walker's
+    /// random-access view; span indices point into it).
+    pub(crate) fn mem_addrs(&self) -> &[u64] {
+        &self.mem_addr
+    }
+
+    /// Takes the index box out for (re)building, recycling allocations and
+    /// resetting it on a geometry change.
+    fn take_index(&mut self, geom: &ReconGeometry) -> Box<ReconIndex> {
+        match self.index.take() {
+            Some(mut ix) => {
+                if ix.geom != *geom {
+                    ix.geom = *geom;
+                    ix.unseal();
+                }
+                ix
+            }
+            None => Box::new(ReconIndex::new(*geom)),
+        }
+    }
+
+    /// Seals the memory-side spans (L1I / L1D / L2) over the current
+    /// columns: a counting sort bucketing every record index by set, each
+    /// set's span filled newest-first. Idempotent for an unchanged log and
+    /// geometry. A truncated region or one with ≥ `u32::MAX` records is
+    /// left unsealed — its consumers fall back to the full reverse scan.
+    pub fn seal_mem_index(&mut self, geom: &ReconGeometry) {
+        let n = self.mem_addr.len();
+        if self.truncated || n >= CHAIN_NONE as usize {
+            return;
+        }
+        if self.index.as_deref().is_some_and(|ix| ix.geom == *geom && ix.mem_sealed == Some(n)) {
+            return;
+        }
+        let mut ix = self.take_index(geom);
+        let (l1i_mask, l1d_mask, l2_mask) =
+            (geom.l1i_sets - 1, geom.l1d_sets - 1, geom.l2_sets - 1);
+
+        // Counting pass: per-set populations for all three levels at once.
+        // Exactly one L1 bucket per record: instruction records belong to
+        // the L1I, data records to the L1D.
+        ix.scratch.clear();
+        ix.scratch.resize(geom.l1i_sets + geom.l1d_sets + geom.l2_sets, 0);
+        let (l1_cnt, l2_cnt) = ix.scratch.split_at_mut(geom.l1i_sets + geom.l1d_sets);
+        let (l1i_cnt, l1d_cnt) = l1_cnt.split_at_mut(geom.l1i_sets);
+        for i in 0..n {
+            let addr = self.mem_addr[i];
+            if self.mem_tag(i) & 1 != 0 {
+                l1i_cnt[((addr >> geom.l1i_line_shift) as usize) & l1i_mask] += 1;
+            } else {
+                l1d_cnt[((addr >> geom.l1d_line_shift) as usize) & l1d_mask] += 1;
+            }
+            l2_cnt[((addr >> geom.l2_line_shift) as usize) & l2_mask] += 1;
+        }
+
+        // Prefix sums fix the span bounds; the counts become fill cursors
+        // set to each span's *end*.
+        fn spans(off: &mut Vec<u32>, cursors: &mut [u32]) -> usize {
+            off.clear();
+            off.reserve(cursors.len() + 1);
+            off.push(0);
+            let mut total = 0u32;
+            for c in cursors.iter_mut() {
+                total += *c;
+                *c = total;
+                off.push(total);
+            }
+            total as usize
+        }
+        let n_l1i = spans(&mut ix.l1i_off, l1i_cnt);
+        let n_l1d = spans(&mut ix.l1d_off, l1d_cnt);
+        spans(&mut ix.l2_off, l2_cnt);
+
+        // Fill pass, oldest record first: each record lands one slot ahead
+        // of its set's cursor, so every span reads newest-first.
+        ix.l1i_idx.clear();
+        ix.l1i_idx.resize(n_l1i, 0);
+        ix.l1d_idx.clear();
+        ix.l1d_idx.resize(n_l1d, 0);
+        ix.l2_idx.clear();
+        ix.l2_idx.resize(n, 0);
+        for i in 0..n {
+            let addr = self.mem_addr[i];
+            if self.mem_tag(i) & 1 != 0 {
+                let s = ((addr >> geom.l1i_line_shift) as usize) & l1i_mask;
+                l1i_cnt[s] -= 1;
+                ix.l1i_idx[l1i_cnt[s] as usize] = i as u32;
+            } else {
+                let s = ((addr >> geom.l1d_line_shift) as usize) & l1d_mask;
+                l1d_cnt[s] -= 1;
+                ix.l1d_idx[l1d_cnt[s] as usize] = i as u32;
+            }
+            let s = ((addr >> geom.l2_line_shift) as usize) & l2_mask;
+            l2_cnt[s] -= 1;
+            ix.l2_idx[l2_cnt[s] as usize] = i as u32;
+        }
+        ix.mem_sealed = Some(n);
+        self.index = Some(ix);
+    }
+
+    /// Seals the branch-side columns: the GHR forward pass (§3.2's "last
+    /// *n* branches" walk, done once here instead of per reconstructor)
+    /// yielding every record's PHT key and the region-final GHR. No
+    /// per-entry spans are built — the demand scan's shared cursor must
+    /// consume every record it passes to stay bit-identical to the
+    /// sequential path, so it could never skip along them (see
+    /// [`ReconIndex`]). [`SkipLog::ghr_at_start`] must already hold its
+    /// final value — every PHT key hashes the running GHR seeded from it.
+    /// Same idempotence and fallback rules as [`SkipLog::seal_mem_index`].
+    pub fn seal_branch_index(&mut self, geom: &ReconGeometry) {
+        let n = self.branches.len();
+        if self.truncated || n >= CHAIN_NONE as usize {
+            return;
+        }
+        if self.index.as_deref().is_some_and(|ix| {
+            ix.geom == *geom && ix.br_sealed == Some(n) && ix.ghr_start == self.ghr_at_start
+        }) {
+            return;
+        }
+        let mut ix = self.take_index(geom);
+        ix.pht_key.clear();
+        ix.pht_key.reserve(n);
+        let mask = (1u64 << geom.ghr_bits) - 1;
+        let mut ghr = self.ghr_at_start;
+        for i in 0..n {
+            let (kind, taken) = self.branch_kind_taken(i);
+            // Replicates `Gshare::index_with` on the running GHR: the key
+            // a `BpReconstructor` forward pass would compute for record i.
+            let key = if kind == CtrlKind::CondBranch {
+                let k = (((self.branch_pc(i) >> 2) ^ ghr) & mask) as u32;
+                ghr = ((ghr << 1) | taken as u64) & mask;
+                k
+            } else {
+                CHAIN_NONE
+            };
+            ix.pht_key.push(key);
+        }
+        ix.ghr_final = ghr;
+        ix.ghr_start = self.ghr_at_start;
+        ix.br_sealed = Some(n);
+        self.index = Some(ix);
+    }
+
+    /// The sealed memory-side spans, if they still describe the current
+    /// columns. Consumers must additionally verify [`ReconIndex::geom`]
+    /// against their own structures before walking.
+    pub(crate) fn mem_index(&self) -> Option<&ReconIndex> {
+        let ix = self.index.as_deref()?;
+        (ix.mem_sealed == Some(self.mem_addr.len())).then_some(ix)
+    }
+
+    /// The sealed branch-side columns, if they still describe the current
+    /// columns and start GHR.
+    pub(crate) fn branch_index(&self) -> Option<&ReconIndex> {
+        let ix = self.index.as_deref()?;
+        (ix.br_sealed == Some(self.branches.len()) && ix.ghr_start == self.ghr_at_start)
+            .then_some(ix)
     }
 
     /// Serializes the log to a compact binary stream (magic `RSRL`,

@@ -4,6 +4,10 @@
 //!   newest-first and repair L1I/L1D/L2 state, skipping references whose
 //!   set is already complete (ineffectual instructions isolated with no
 //!   profiling).
+//! * [`reconstruct_caches_partitioned`]: the same scan through the log's
+//!   sealed per-set index spans ([`crate::ReconGeometry`]) — per-set early
+//!   exit, optionally parallel over set ranges, bit-identical counters
+//!   and state.
 //! * [`BpReconstructor`]: §3.2 — rebuild the global history register and
 //!   the return address stack eagerly, then reconstruct PHT counters (via
 //!   reverse-history inference) and BTB entries *on demand* as the next
@@ -11,12 +15,14 @@
 //!   the log is never rescanned from the start.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
 use rsr_branch::{CounterInference, PredCtrlKind, Predictor, RasOp};
-use rsr_cache::{MemHierarchy, ReconOutcome};
+use rsr_cache::{Cache, MemHierarchy, ReconOutcome, ReconSetSlice};
 use rsr_isa::{Addr, CtrlKind};
 use rsr_timing::PredictHook;
 
+use crate::log::ReconIndex;
 use crate::{Pct, SkipLog};
 
 /// Counters describing one region's reconstruction work (for the paper's
@@ -62,6 +68,36 @@ impl ReconStats {
     }
 }
 
+/// Wall time spent reconstructing each structure, in nanoseconds.
+///
+/// Kept separate from [`ReconStats`] deliberately: the counters are part
+/// of the deterministic result (bit-identical at any thread count /
+/// pipeline depth), while timing is operational telemetry that varies run
+/// to run. `BENCH_sample.json` emits these per-structure so perf
+/// regressions can be attributed.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ReconTiming {
+    /// Reverse scan time repairing the L1I + L1D (for the fused
+    /// sequential fallback, the whole interleaved scan lands here).
+    pub l1_ns: u64,
+    /// Reverse scan time repairing the unified L2.
+    pub l2_ns: u64,
+    /// On-demand scan time triggered by PHT probes.
+    pub pht_ns: u64,
+    /// On-demand scan time triggered by BTB probes.
+    pub btb_ns: u64,
+}
+
+impl ReconTiming {
+    /// Accumulates another region's timings.
+    pub fn accumulate(&mut self, other: &ReconTiming) {
+        self.l1_ns += other.l1_ns;
+        self.l2_ns += other.l2_ns;
+        self.pht_ns += other.pht_ns;
+        self.btb_ns += other.btb_ns;
+    }
+}
+
 /// Reverse cache reconstruction (§3.1) over the last `pct` of the logged
 /// reference stream. Instruction records repair the L1I, data records the
 /// L1D, and both repair the unified L2; the scan stops early once every
@@ -102,6 +138,171 @@ pub fn reconstruct_caches(hier: &mut MemHierarchy, log: &SkipLog, pct: Pct) -> R
     stats
 }
 
+/// Scanned-record budget below which the partitioned walk stays
+/// single-threaded: test-scale regions complete in microseconds, so
+/// thread spawn/join would dominate.
+const PAR_MIN_BUDGET: usize = 8192;
+
+/// One level's aggregate over a partitioned set walk.
+#[derive(Copy, Clone, Default)]
+struct LevelAgg {
+    inserted: u64,
+    marked: u64,
+    /// Did every set complete within the scan window?
+    complete: bool,
+    /// Largest newest-first offset at which a set completed (meaningful
+    /// only when `complete`; it bounds where the sequential scan would
+    /// have flipped this level's done flag).
+    t_level: usize,
+}
+
+impl LevelAgg {
+    fn merge(mut self, other: LevelAgg) -> LevelAgg {
+        self.inserted += other.inserted;
+        self.marked += other.marked;
+        self.complete &= other.complete;
+        self.t_level = self.t_level.max(other.t_level);
+        self
+    }
+}
+
+/// Walks every set a slice owns: newest-first along the set's contiguous
+/// index span, stopping at the budget cut (`record index < cut` — spans
+/// are sorted descending, so the first record past the cut ends the set)
+/// or as soon as the set completes — the per-set early exit the paper's
+/// §3.1 ordering permits, because a complete set ignores all older
+/// references anyway.
+fn walk_slice(
+    slice: &mut ReconSetSlice<'_>,
+    off: &[u32],
+    idx: &[u32],
+    addrs: &[u64],
+    cut: usize,
+    tag_shift: u32,
+) -> LevelAgg {
+    let n = addrs.len();
+    let cut = cut as u32;
+    let mut agg = LevelAgg { complete: true, ..LevelAgg::default() };
+    for set in slice.set_range() {
+        let span = &idx[off[set] as usize..off[set + 1] as usize];
+        let out = slice.reconstruct_span(set, span, addrs, cut, tag_shift);
+        agg.inserted += u64::from(out.inserted);
+        agg.marked += u64::from(out.marked);
+        match out.completed_at {
+            Some(i) => agg.t_level = agg.t_level.max(n - 1 - i as usize),
+            None => agg.complete = false,
+        }
+    }
+    agg
+}
+
+/// Partitioned reverse scan of one cache level over its per-set spans,
+/// fanned out over `parts` contiguous set ranges (inline when 1).
+fn walk_cache(
+    cache: &mut Cache,
+    off: &[u32],
+    idx: &[u32],
+    addrs: &[u64],
+    cut: usize,
+    parts: usize,
+) -> LevelAgg {
+    let tag_shift = cache.line_shift() + cache.num_sets().trailing_zeros();
+    let mut slices = cache.recon_partitions(parts);
+    if slices.len() <= 1 {
+        return walk_slice(&mut slices[0], off, idx, addrs, cut, tag_shift);
+    }
+    std::thread::scope(|scope| {
+        let workers: Vec<_> = slices
+            .iter_mut()
+            .map(|slice| scope.spawn(move || walk_slice(slice, off, idx, addrs, cut, tag_shift)))
+            .collect();
+        workers
+            .into_iter()
+            .map(|w| w.join().expect("set-walk worker panicked"))
+            .fold(LevelAgg { complete: true, ..LevelAgg::default() }, LevelAgg::merge)
+    })
+}
+
+fn geom_matches_hier(ix: &ReconIndex, hier: &MemHierarchy) -> bool {
+    let g = &ix.geom;
+    g.l1i_sets == hier.l1i.num_sets()
+        && g.l1i_line_shift == hier.l1i.line_shift()
+        && g.l1d_sets == hier.l1d.num_sets()
+        && g.l1d_line_shift == hier.l1d.line_shift()
+        && g.l2_sets == hier.l2.num_sets()
+        && g.l2_line_shift == hier.l2.line_shift()
+}
+
+/// Reverse cache reconstruction (§3.1) through the log's sealed
+/// partitioned index: each set's newest-first index span is walked
+/// independently with per-set early exit, optionally parallel over
+/// disjoint set ranges (`recon_threads` workers — resolved upstream from
+/// the shared core budget so shard, pipeline, and reconstruction threads
+/// never oversubscribe).
+///
+/// Counters and final cache state are **bit-identical** to
+/// [`reconstruct_caches`]: span order per set equals the sequential
+/// scan's per-set subsequence, mutations only ever happen before the
+/// sequential scan's stopping point, and the scan-length accounting is
+/// reconstructed from the per-set completion offsets (see DESIGN.md §11
+/// for the argument). A log without a usable index — unsealed, stale,
+/// truncated, geometry mismatch, or ≥ `u32::MAX` records — falls back to
+/// the sequential scan.
+///
+/// Returns per-structure wall time alongside the counters.
+pub fn reconstruct_caches_partitioned(
+    hier: &mut MemHierarchy,
+    log: &SkipLog,
+    pct: Pct,
+    recon_threads: usize,
+) -> (ReconStats, ReconTiming) {
+    let mut timing = ReconTiming::default();
+    let Some(ix) = log.mem_index().filter(|ix| geom_matches_hier(ix, hier)) else {
+        let t = Instant::now();
+        let stats = reconstruct_caches(hier, log, pct);
+        timing.l1_ns = t.elapsed().as_nanos() as u64;
+        return (stats, timing);
+    };
+    let n = log.mem_len();
+    let budget = pct.of(n);
+    let cut = n - budget;
+    let parts = if budget < PAR_MIN_BUDGET { 1 } else { recon_threads.max(1) };
+    let addrs = log.mem_addrs();
+    hier.begin_reconstruction();
+
+    let t = Instant::now();
+    let l1i = walk_cache(&mut hier.l1i, &ix.l1i_off, &ix.l1i_idx, addrs, cut, parts);
+    let l1d = walk_cache(&mut hier.l1d, &ix.l1d_off, &ix.l1d_idx, addrs, cut, parts);
+    timing.l1_ns = t.elapsed().as_nanos() as u64;
+    let t = Instant::now();
+    let l2 = walk_cache(&mut hier.l2, &ix.l2_off, &ix.l2_idx, addrs, cut, parts);
+    timing.l2_ns = t.elapsed().as_nanos() as u64;
+    hier.finish_partitioned_reconstruction();
+
+    // The sequential scan stops one record past the last level-completing
+    // probe (its break runs at the top of the next iteration), or at the
+    // budget if any level never completes.
+    let complete = l1i.complete && l1d.complete && l2.complete;
+    let scanned = if complete {
+        l1i.t_level.max(l1d.t_level).max(l2.t_level) as u64 + 1
+    } else {
+        budget as u64
+    };
+    let inserted = l1i.inserted + l1d.inserted + l2.inserted;
+    let marked = l1i.marked + l1d.marked + l2.marked;
+    let stats = ReconStats {
+        mem_scanned: scanned,
+        cache_inserted: inserted,
+        cache_marked: marked,
+        // Every sequentially scanned record yields exactly one L1 outcome
+        // and one L2 outcome; whatever wasn't an insert or a mark was
+        // ignored.
+        cache_ignored: 2 * scanned - inserted - marked,
+        ..ReconStats::default()
+    };
+    (stats, timing)
+}
+
 /// On-demand branch-predictor reconstruction (§3.2).
 ///
 /// Construction rebuilds the GHR from the last *n* logged branches and the
@@ -115,7 +316,13 @@ pub struct BpReconstructor<'log> {
     /// The region's log (packed branch records are materialized only as
     /// the scan demands them).
     log: &'log SkipLog,
-    /// GHR value seen by record *i* (used for its PHT index).
+    /// The log's sealed branch-side index, when one exists for this
+    /// predictor's geometry: the per-record PHT keys and the final GHR
+    /// were then computed at seal time, replacing the per-reconstructor
+    /// forward pass (and its 8-bytes-per-record `ghr_before` column).
+    index: Option<&'log ReconIndex>,
+    /// GHR value seen by record *i* (used for its PHT index) — legacy
+    /// unindexed mode only; empty when `index` is set.
     ghr_before: Vec<u64>,
     /// Reverse records consumed so far.
     consumed: usize,
@@ -125,6 +332,7 @@ pub struct BpReconstructor<'log> {
     inferences: HashMap<usize, CounterInference>,
     exhausted: bool,
     stats: ReconStats,
+    timing: ReconTiming,
 }
 
 impl<'log> BpReconstructor<'log> {
@@ -137,18 +345,32 @@ impl<'log> BpReconstructor<'log> {
         let n = log.branch_len();
         let budget = pct.of(n);
 
-        // GHR evolution through the region (conditional outcomes only).
-        // This forward pass reads only the packed meta column.
-        let mut ghr_before = Vec::with_capacity(n);
-        let mut ghr = log.ghr_at_start;
-        let mask = pred.gshare.ghr_mask();
-        for i in 0..n {
-            ghr_before.push(ghr);
-            let (kind, taken) = log.branch_kind_taken(i);
-            if kind == CtrlKind::CondBranch {
-                ghr = ((ghr << 1) | taken as u64) & mask;
+        // A sealed index keyed for this exact predictor geometry already
+        // holds the GHR forward pass; anything else recomputes it here.
+        let index = log.branch_index().filter(|ix| {
+            ix.geom.ghr_bits == pred.gshare.hist_bits()
+                && ix.geom.btb_entries == pred.btb.num_entries()
+        });
+        let mut ghr_before = Vec::new();
+        let ghr = match index {
+            Some(ix) => ix.ghr_final,
+            None => {
+                // GHR evolution through the region (conditional outcomes
+                // only). This forward pass reads only the packed meta
+                // column.
+                ghr_before.reserve(n);
+                let mut ghr = log.ghr_at_start;
+                let mask = pred.gshare.ghr_mask();
+                for i in 0..n {
+                    ghr_before.push(ghr);
+                    let (kind, taken) = log.branch_kind_taken(i);
+                    if kind == CtrlKind::CondBranch {
+                        ghr = ((ghr << 1) | taken as u64) & mask;
+                    }
+                }
+                ghr
             }
-        }
+        };
         // "The global history register must first be reconstructed using
         // the last n branches of the skip-region trace."
         pred.gshare.set_ghr(ghr);
@@ -163,18 +385,25 @@ impl<'log> BpReconstructor<'log> {
 
         BpReconstructor {
             log,
+            index,
             ghr_before,
             consumed: 0,
             budget,
             inferences: HashMap::new(),
             exhausted: false,
             stats: ReconStats::default(),
+            timing: ReconTiming::default(),
         }
     }
 
     /// Reconstruction counters so far.
     pub fn stats(&self) -> ReconStats {
         self.stats
+    }
+
+    /// Wall time spent in demand scans so far (PHT/BTB buckets).
+    pub fn timing(&self) -> ReconTiming {
+        self.timing
     }
 
     /// Consumes the entire remaining budget immediately — the *eager*
@@ -210,7 +439,12 @@ impl<'log> BpReconstructor<'log> {
         let (kind, taken) = self.log.branch_kind_taken(i);
 
         if kind == CtrlKind::CondBranch {
-            let idx = pred.gshare.index_with(self.log.branch_pc(i), self.ghr_before[i]);
+            // The sealed key column and the legacy forward pass compute
+            // the identical `Gshare::index_with` value for record i.
+            let idx = match self.index {
+                Some(ix) => ix.pht_key[i] as usize,
+                None => pred.gshare.index_with(self.log.branch_pc(i), self.ghr_before[i]),
+            };
             if !pred.gshare.is_reconstructed(idx) {
                 let inf = self.inferences.entry(idx).or_default();
                 inf.prepend(taken);
@@ -229,10 +463,14 @@ impl<'log> BpReconstructor<'log> {
     }
 
     /// Scans until `done(pred)` holds or the budget is exhausted, then
-    /// marks the demanded entity reconstructed via `mark`.
+    /// marks the demanded entity reconstructed via `mark`. The scan's wall
+    /// time lands in the `structure` timing bucket; the already-satisfied
+    /// fast path (the common case inside a hot cluster) pays no clock
+    /// read.
     fn demand(
         &mut self,
         pred: &mut Predictor,
+        structure: DemandedStructure,
         done: impl Fn(&Predictor) -> bool,
         mark: impl FnOnce(&mut Predictor),
     ) {
@@ -240,15 +478,28 @@ impl<'log> BpReconstructor<'log> {
             return;
         }
         self.stats.demand_scans += 1;
+        let t = Instant::now();
         while !done(pred) {
             if !self.step_scan(pred) {
                 // Budget exhausted without evidence: the entry keeps its
                 // stale content, marked so it is never demanded again.
                 mark(pred);
-                return;
+                break;
             }
         }
+        let ns = t.elapsed().as_nanos() as u64;
+        match structure {
+            DemandedStructure::Pht => self.timing.pht_ns += ns,
+            DemandedStructure::Btb => self.timing.btb_ns += ns,
+        }
     }
+}
+
+/// Which structure a demand scan was triggered by (timing attribution).
+#[derive(Copy, Clone)]
+enum DemandedStructure {
+    Pht,
+    Btb,
 }
 
 impl PredictHook for BpReconstructor<'_> {
@@ -258,6 +509,7 @@ impl PredictHook for BpReconstructor<'_> {
             let mut stale = false;
             self.demand(
                 pred,
+                DemandedStructure::Pht,
                 |p| p.gshare.is_reconstructed(idx),
                 |p| {
                     p.gshare.mark_reconstructed(idx);
@@ -270,7 +522,12 @@ impl PredictHook for BpReconstructor<'_> {
         }
         // Every kind except a pure return consults the BTB.
         if kind != PredCtrlKind::Return {
-            self.demand(pred, |p| p.btb.is_reconstructed(pc), |p| p.btb.mark_reconstructed(pc));
+            self.demand(
+                pred,
+                DemandedStructure::Btb,
+                |p| p.btb.is_reconstructed(pc),
+                |p| p.btb.mark_reconstructed(pc),
+            );
         }
     }
 }

@@ -22,9 +22,9 @@ use rsr_stats::ClusterSample;
 use rsr_timing::{simulate_cluster, simulate_cluster_hooked, CoreConfig, HotStats, NoHook};
 
 use crate::fault::FaultInjector;
-use crate::log::LogPool;
+use crate::log::{LogPool, ReconGeometry};
 use crate::profiled::{profile_reuse, ReusePolicy};
-use crate::reverse::{reconstruct_caches, BpReconstructor, ReconStats};
+use crate::reverse::{reconstruct_caches_partitioned, BpReconstructor, ReconStats, ReconTiming};
 use crate::spec::RunSpec;
 use crate::{ClusterWindow, SamplingRegimen, Schedule, SkipLog, WarmupPolicy};
 
@@ -248,6 +248,10 @@ pub struct SampleOutcome {
     pub warm_updates: u64,
     /// Aggregated reconstruction counters (zero for non-RSR policies).
     pub recon: ReconStats,
+    /// Per-structure reconstruction wall time (L1, L2, PHT, BTB). Unlike
+    /// [`SampleOutcome::recon`], this is operational telemetry — it varies
+    /// run to run and across thread counts.
+    pub recon_timing: ReconTiming,
     /// Clusters whose skip-region log hit [`RunSpec::log_budget_bytes`]
     /// and were degraded to the paper's no-history (stale-state) fallback:
     /// the log is discarded and no reconstruction runs for that cluster.
@@ -275,6 +279,7 @@ impl SampleOutcome {
             log_records: 0,
             warm_updates: 0,
             recon: ReconStats::default(),
+            recon_timing: ReconTiming::default(),
             clusters_degraded: 0,
             shard_retries: 0,
         }
@@ -305,6 +310,7 @@ impl SampleOutcome {
         self.log_records += other.log_records;
         self.warm_updates += other.warm_updates;
         self.recon.accumulate(&other.recon);
+        self.recon_timing.accumulate(&other.recon_timing);
         self.clusters_degraded += other.clusters_degraded;
         self.shard_retries += other.shard_retries;
     }
@@ -440,6 +446,7 @@ fn follower_window(
     cpu: &mut Cpu,
     len: u64,
     log: Option<&mut SkipLog>,
+    recon_threads: usize,
     outcome: &mut SampleOutcome,
 ) -> Result<(), SimError> {
     let mut hook: Option<BpReconstructor> = None;
@@ -458,12 +465,24 @@ fn follower_window(
             outcome.clusters_degraded += 1;
         } else {
             log.ghr_at_start = pred.gshare.ghr();
-            let log: &SkipLog = log;
-            // Eager reconstruction immediately before the cluster.
+            // Eager reconstruction immediately before the cluster, through
+            // the partitioned index. Sealing is idempotent: under the
+            // pipeline the leader already sealed the memory side, so only
+            // the branch side (whose keys need the GHR just captured) is
+            // built here.
             let t = Instant::now();
+            let geom = ReconGeometry::of_machine(machine);
             if cache {
-                let stats = reconstruct_caches(hier, log, pct);
+                log.seal_mem_index(&geom);
+            }
+            if bp {
+                log.seal_branch_index(&geom);
+            }
+            let log: &SkipLog = log;
+            if cache {
+                let (stats, timing) = reconstruct_caches_partitioned(hier, log, pct, recon_threads);
                 outcome.recon.accumulate(&stats);
+                outcome.recon_timing.accumulate(&timing);
             }
             if bp {
                 hook = Some(BpReconstructor::new(pred, log, pct));
@@ -483,6 +502,7 @@ fn follower_window(
     outcome.phases.hot += t.elapsed();
     if let Some(h) = hook {
         outcome.recon.accumulate(&h.stats());
+        outcome.recon_timing.accumulate(&h.timing());
     }
     if stats.instructions < len {
         // The program halted inside a cluster: schedules assume
@@ -519,6 +539,7 @@ pub(crate) fn run_windows(
     mut pos: u64,
     windows: &[ClusterWindow],
     pool: &mut LogPool,
+    recon_threads: usize,
 ) -> Result<SampleOutcome, SimError> {
     let mut outcome = SampleOutcome::empty(policy);
 
@@ -613,7 +634,17 @@ pub(crate) fn run_windows(
         }
 
         // ---- reconstruction + hot phase --------------------------------
-        follower_window(machine, policy, &mut hier, &mut pred, cpu, w.len, sealed, &mut outcome)?;
+        follower_window(
+            machine,
+            policy,
+            &mut hier,
+            &mut pred,
+            cpu,
+            w.len,
+            sealed,
+            recon_threads,
+            &mut outcome,
+        )?;
         pos = w.end();
     }
     pool.put(log);
@@ -642,6 +673,10 @@ pub(crate) struct PipelineCtx<'a> {
     pub shard: usize,
     /// Canonical shards in the whole schedule.
     pub total_shards: usize,
+    /// Worker threads the follower may fan reconstruction out over
+    /// ([`RunSpec::recon_threads`], resolved against the shard/pipeline
+    /// budget).
+    pub recon_threads: usize,
 }
 
 /// One unit of leader → follower work: a cluster's length, the functional
@@ -692,6 +727,7 @@ pub(crate) fn run_windows_pipelined(
     };
     let mut leader_out = SampleOutcome::empty(policy);
     let mut leader_err: Option<SimError> = None;
+    let geom = ReconGeometry::of_machine(machine);
 
     let follower_result = thread::scope(|scope| {
         let (tx, rx) = mpsc::sync_channel::<HotItem>(ctx.depth - 1);
@@ -700,8 +736,10 @@ pub(crate) fn run_windows_pipelined(
         let (recycle_tx, recycle_rx) = mpsc::channel::<SkipLog>();
         let injector = ctx.injector;
         let group = ctx.group;
-        let follower =
-            scope.spawn(move || follower_loop(machine, policy, rx, recycle_tx, injector, group));
+        let recon_threads = ctx.recon_threads;
+        let follower = scope.spawn(move || {
+            follower_loop(machine, policy, rx, recycle_tx, injector, group, recon_threads)
+        });
 
         if let Some(inj) = ctx.injector {
             if let Some(msg) = inj.leader_panic_message(ctx.group) {
@@ -730,7 +768,16 @@ pub(crate) fn run_windows_pipelined(
             let log = if logging {
                 let mut log = pool.take(cache, bp);
                 match log.record_region(cpu, skip) {
-                    Ok(()) => Some(log),
+                    Ok(()) => {
+                        // Seal the memory-side chains on the leader's
+                        // clock — this work overlaps the follower's
+                        // detailed simulation. The branch side needs the
+                        // follower's GHR snapshot, so it seals over there.
+                        if cache {
+                            log.seal_mem_index(&geom);
+                        }
+                        Some(log)
+                    }
                     Err(e) => {
                         leader_out.phases.cold += t.elapsed();
                         pool.put(log);
@@ -798,6 +845,7 @@ pub(crate) fn run_windows_pipelined(
 
 /// The follower thread: consume [`HotItem`]s in order, run the shared
 /// per-window detailed half, and send each drained log back for reuse.
+#[allow(clippy::too_many_arguments)]
 fn follower_loop(
     machine: &MachineConfig,
     policy: WarmupPolicy,
@@ -805,6 +853,7 @@ fn follower_loop(
     recycle: mpsc::Sender<SkipLog>,
     injector: Option<&FaultInjector>,
     group: usize,
+    recon_threads: usize,
 ) -> Result<SampleOutcome, SimError> {
     if let Some(inj) = injector {
         if let Some(msg) = inj.follower_panic_message(group) {
@@ -825,6 +874,7 @@ fn follower_loop(
             &mut item.cpu,
             item.len,
             item.log.as_mut(),
+            recon_threads,
             &mut outcome,
         )?;
         if let Some(log) = item.log.take() {
@@ -1185,8 +1235,9 @@ mod tests {
         let mut pool = LogPool::new(None);
         let mut pos = 0u64;
         for r in &shards {
-            let out = run_windows(&machine, policy, &mut cpu, pos, &windows[r.clone()], &mut pool)
-                .unwrap();
+            let out =
+                run_windows(&machine, policy, &mut cpu, pos, &windows[r.clone()], &mut pool, 1)
+                    .unwrap();
             merged.absorb(&out);
             pos = windows[r.end - 1].end();
         }

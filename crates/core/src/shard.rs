@@ -73,6 +73,9 @@ pub(crate) struct RunGuards<'a> {
     /// Resolved intra-shard pipeline depth (see
     /// [`crate::RunSpec::pipeline_depth`]); 1 is the sequential engine.
     pub pipeline_depth: usize,
+    /// Resolved per-window reconstruction worker count (see
+    /// [`crate::RunSpec::recon_threads`]); 1 walks sets sequentially.
+    pub recon_threads: usize,
 }
 
 /// Everything a worker needs to resume functional execution at its group
@@ -276,10 +279,11 @@ fn run_group(
                 group: group.index,
                 shard,
                 total_shards,
+                recon_threads: guards.recon_threads,
             };
             run_windows_pipelined(machine, policy, &mut cpu, pos, slice, &mut pool, &ctx)?
         } else {
-            run_windows(machine, policy, &mut cpu, pos, slice, &mut pool)?
+            run_windows(machine, policy, &mut cpu, pos, slice, &mut pool, guards.recon_threads)?
         };
         merged.absorb(&out);
     }

@@ -60,6 +60,7 @@ pub struct RunSpec<'a> {
     deadline: Option<Duration>,
     fault_plan: Option<FaultPlan>,
     pipeline_depth: Option<usize>,
+    recon_threads: Option<usize>,
 }
 
 impl<'a> RunSpec<'a> {
@@ -85,6 +86,7 @@ impl<'a> RunSpec<'a> {
             deadline: None,
             fault_plan: None,
             pipeline_depth: None,
+            recon_threads: None,
         }
     }
 
@@ -231,6 +233,34 @@ impl<'a> RunSpec<'a> {
         self
     }
 
+    /// Sets the per-window reconstruction worker count (default 0 =
+    /// auto; see [`RunSpec::resolved_recon_threads`]). With `r > 1`,
+    /// reverse cache reconstruction walks each cache's sets in `r`
+    /// contiguous partitions on scoped threads, each partition following
+    /// only its own sets' index chains (see
+    /// `reconstruct_caches_partitioned`). Results are bit-identical for
+    /// every `r`; `1` walks all sets on the calling thread.
+    pub fn recon_threads(mut self, recon_threads: usize) -> Self {
+        self.recon_threads = if recon_threads == 0 { None } else { Some(recon_threads) };
+        self
+    }
+
+    /// The reconstruction worker count a run of this spec will actually
+    /// use. An explicit [`RunSpec::recon_threads`] is honored as given
+    /// (clamped to ≥ 1); auto divides the host's hardware threads by the
+    /// cores the run already occupies — `threads` workers times the
+    /// resolved pipeline depth — so reconstruction never oversubscribes
+    /// the shard and pipeline layers.
+    pub fn resolved_recon_threads(&self) -> usize {
+        if let Some(recon_threads) = self.recon_threads {
+            return recon_threads.max(1);
+        }
+        let cores =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        let occupied = self.threads.max(1) * self.resolved_pipeline_depth();
+        (cores / occupied).max(1)
+    }
+
     /// The pipeline depth a run of this spec will actually use. An
     /// explicit [`RunSpec::pipeline_depth`] is honored as given (clamped
     /// to ≥ 1); auto picks 2 when the policy decouples *and* the host has
@@ -296,6 +326,7 @@ impl<'a> RunSpec<'a> {
             max_retries: self.max_shard_retries,
             injector: injector.as_ref(),
             pipeline_depth: self.resolved_pipeline_depth(),
+            recon_threads: self.resolved_recon_threads(),
         };
         let t = Instant::now();
         let mut outcome = run_sharded(
