@@ -19,6 +19,10 @@ cargo test -q -p rsr-integration --test pipeline_equivalence
 # reverse scans must stay bit-identical to the sequential full scan at
 # every reconstruction worker count.
 cargo test -q -p rsr-integration --test recon_partition
+# The sweep-engine suite, by name: every config of a one-cold-pass sweep
+# must stay bit-identical to its standalone run, and supervision must
+# compose unchanged through the capture pass.
+cargo test -q -p rsr-integration --test sweep_equivalence
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 # Advisory (warn-only): the core engine should fail typed, not panic.
@@ -46,6 +50,33 @@ if ./target/release/rsr bench --scale 0.05 --out target/BENCH_sample.smoke.json;
   fi
 else
   echo "ci: bench emission failed (non-fatal)"
+fi
+
+# Sweep-smoke guard: a small sweep row must stay bit-identical to its
+# standalone runs (hard everywhere — determinism, not timing) and must
+# still amortize — the 4-config smoke sweep has to beat 4 independent
+# runs with some margin (wall_ratio < 0.9; the full-scale reference row
+# in BENCH_sample.json is not comparable, its ratio scales with its 20
+# configs). Timing is advisory on starved <= 2-core hosts.
+if ./target/release/rsr bench --scale 0.05 --sweep-smoke \
+    --out target/BENCH_sweep.smoke.json; then
+  if grep -q '"bit_identical": false' target/BENCH_sweep.smoke.json; then
+    echo "ci: sweep smoke lost bit-identity vs standalone runs"
+    exit 1
+  fi
+  smoke_ratio=$(grep -m1 '"wall_ratio"' target/BENCH_sweep.smoke.json | sed 's/[^0-9.]//g')
+  if awk -v s="$smoke_ratio" 'BEGIN { exit !(s > 0.9) }'; then
+    echo "ci: sweep stopped amortizing: smoke wall_ratio $smoke_ratio (>0.9 vs standalone runs)"
+    if [ "$(nproc)" -gt 2 ]; then
+      exit 1
+    else
+      echo "ci: advisory only on $(nproc)-core host (timing too noisy to gate)"
+    fi
+  else
+    echo "ci: sweep amortization ok: smoke wall_ratio $smoke_ratio (bound 0.9)"
+  fi
+else
+  echo "ci: sweep emission failed (non-fatal)"
 fi
 
 echo "ci: all checks passed"

@@ -43,7 +43,9 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 mod sample_bench;
+mod sweep_bench;
 pub use sample_bench::{run_bench_matrix, run_bench_sample, to_json_array, BenchSample};
+pub use sweep_bench::{run_sweep_sample, sweep_grid, SweepPoint, SweepSample};
 
 use rsr_core::{FullOutcome, MachineConfig, RunSpec, SampleOutcome, SamplingRegimen, WarmupPolicy};
 use rsr_isa::Program;

@@ -86,7 +86,32 @@ pub enum Command {
         /// Replay count.
         replays: usize,
     },
-    /// `rsr bench [--scale S] [--seed N] [--threads T] [--pipeline-depth D] [--recon-threads R] [--out PATH]`
+    /// `rsr sweep <bench> [--configs N] [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S] [--threads T] [--recon-threads R] [--out PATH]`
+    Sweep {
+        /// Workload to sweep.
+        bench: Benchmark,
+        /// Detailed machine configs fanned out from one cold pass (grid
+        /// points over L1D capacity × gshare history depth).
+        configs: usize,
+        /// Warm-up policy applied to every config (must be a decoupled
+        /// policy: reverse or none).
+        policy: WarmupPolicy,
+        /// Number of clusters.
+        clusters: usize,
+        /// Cluster length.
+        len: u64,
+        /// Total instructions.
+        n: u64,
+        /// Schedule seed.
+        seed: u64,
+        /// Worker threads for the cold capture and each config's replay.
+        threads: usize,
+        /// Per-window reconstruction worker threads (0 = auto).
+        recon_threads: usize,
+        /// Destination for the JSON rows (`None` = stdout).
+        out: Option<String>,
+    },
+    /// `rsr bench [--scale S] [--seed N] [--threads T] [--pipeline-depth D] [--recon-threads R] [--sweep-configs N] [--sweep-smoke] [--out PATH]`
     Bench {
         /// Run-length scale factor relative to the default regimen.
         scale: f64,
@@ -99,6 +124,11 @@ pub enum Command {
         pipeline_depth: usize,
         /// Per-window reconstruction worker threads (0 = auto).
         recon_threads: usize,
+        /// Append a design-space sweep row fanning this many configs out
+        /// of one cold pass (0 = no sweep row).
+        sweep_configs: usize,
+        /// Shorthand for a small sweep row (4 configs) — what ci.sh runs.
+        sweep_smoke: bool,
         /// Destination for the JSON emission (`None` = stdout).
         out: Option<String>,
     },
@@ -231,13 +261,24 @@ commands:
                                 over set partitions, 0 = auto, results identical at any count;
                                 retries heal shard faults, --log-budget degrades over-budget
                                 clusters to stale-state warmup, --deadline-secs aborts cleanly)
+  sweep  <bench> [--configs N] [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS]
+         [--seed S] [--threads T] [--recon-threads R] [--out PATH]
+                                design-space sweep: one functional cold pass fanned
+                                across N machine variants (L1D capacity x gshare history
+                                grid around the paper geometry); emits one JSON row per
+                                config (est_ipc, 95% CI, per-structure recon telemetry,
+                                shared amortization ratio) to PATH or stdout (defaults:
+                                8 configs, r$bp 20%, 30x1000, 2M, seed 42, 1 thread;
+                                per-config results are bit-identical to standalone runs)
   bench  [--scale S] [--seed N] [--threads T] [--pipeline-depth D] [--recon-threads R]
-         [--out PATH]
+         [--sweep-configs N] [--sweep-smoke] [--out PATH]
                                 reproducible perf trajectory: runs mcf under r$bp 20%
                                 and emits BENCH_sample.json-shaped metrics (cold-phase
                                 MIPS, recon ns/record per structure, peak log bytes, wall
                                 seconds) to PATH or stdout (defaults: scale 1.0, seed 42,
-                                1 thread; default depth 0 emits a [depth-1, auto] array)
+                                1 thread; default depth 0 emits a [depth-1, auto] array;
+                                --sweep-configs N appends a sweep row fanning N configs
+                                out of one cold pass, --sweep-smoke = 4-config shorthand)
   simpoint <bench> [--interval I] [--k K] [--warm] [-n INSTS]
                                 SimPoint analysis + simulation
   ckpt   <bench> [--clusters N] [--len N] [-n INSTS] [--replays R]
@@ -359,12 +400,35 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 deadline_secs: flags.parsed_opt("--deadline-secs")?,
             }
         }
+        "sweep" => {
+            let pct: u8 = flags.parsed("--pct", 20)?;
+            let policy_name = match flags.value("--policy") {
+                None if flags.present("--policy") => {
+                    return Err(UsageError("missing value for --policy".into()))
+                }
+                name => name.unwrap_or("r$bp"),
+            };
+            Command::Sweep {
+                bench: parse_bench(rest.first())?,
+                configs: nonzero(flags.parsed("--configs", 8)?, "--configs")?,
+                policy: parse_policy(policy_name, pct)?,
+                clusters: nonzero(flags.parsed("--clusters", 30)?, "--clusters")?,
+                len: nonzero(flags.parsed("--len", 1000)?, "--len")?,
+                n: flags.parsed("-n", 2_000_000)?,
+                seed: flags.parsed("--seed", 42)?,
+                threads: flags.parsed("--threads", 1)?,
+                recon_threads: flags.parsed("--recon-threads", 0)?,
+                out: flags.value("--out").map(str::to_string),
+            }
+        }
         "bench" => Command::Bench {
             scale: flags.parsed("--scale", 1.0)?,
             seed: flags.parsed("--seed", 42)?,
             threads: flags.parsed("--threads", 1)?,
             pipeline_depth: flags.parsed("--pipeline-depth", 0)?,
             recon_threads: flags.parsed("--recon-threads", 0)?,
+            sweep_configs: flags.parsed("--sweep-configs", 0)?,
+            sweep_smoke: flags.present("--sweep-smoke"),
             out: flags.value("--out").map(str::to_string),
         },
         "ckpt" => Command::Ckpt {
@@ -555,13 +619,15 @@ mod tests {
                 threads: 1,
                 pipeline_depth: 0,
                 recon_threads: 0,
+                sweep_configs: 0,
+                sweep_smoke: false,
                 out: None
             }
         );
         assert_eq!(
             parse(&argv(
                 "bench --scale 0.05 --seed 7 --threads 4 --pipeline-depth 2 --recon-threads 4 \
-                 --out BENCH_sample.json"
+                 --sweep-configs 20 --out BENCH_sample.json"
             ))
             .unwrap(),
             Command::Bench {
@@ -570,11 +636,61 @@ mod tests {
                 threads: 4,
                 pipeline_depth: 2,
                 recon_threads: 4,
+                sweep_configs: 20,
+                sweep_smoke: false,
                 out: Some("BENCH_sample.json".into())
             }
         );
+        match parse(&argv("bench --sweep-smoke")).unwrap() {
+            Command::Bench { sweep_smoke, sweep_configs, .. } => {
+                assert!(sweep_smoke);
+                assert_eq!(sweep_configs, 0);
+            }
+            other => panic!("parsed {other:?}"),
+        }
         let e = parse(&argv("bench --scale big")).unwrap_err();
         assert!(e.0.contains("bad value"));
+    }
+
+    #[test]
+    fn sweep_flags_and_defaults() {
+        match parse(&argv("sweep mcf")).unwrap() {
+            Command::Sweep {
+                bench, configs, policy, clusters, len, n, seed, threads, out, ..
+            } => {
+                assert_eq!(bench, Benchmark::Mcf);
+                assert_eq!(configs, 8);
+                assert_eq!(
+                    policy,
+                    WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) }
+                );
+                assert_eq!((clusters, len, n, seed, threads), (30, 1000, 2_000_000, 42, 1));
+                assert_eq!(out, None);
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv(
+            "sweep twolf --configs 20 --policy r$ --pct 40 --clusters 12 --len 500 -n 100000 \
+             --seed 7 --threads 4 --recon-threads 2 --out rows.json",
+        ))
+        .unwrap()
+        {
+            Command::Sweep { bench, configs, policy, recon_threads, out, .. } => {
+                assert_eq!(bench, Benchmark::Twolf);
+                assert_eq!(configs, 20);
+                assert_eq!(
+                    policy,
+                    WarmupPolicy::Reverse { cache: true, bp: false, pct: Pct::new(40) }
+                );
+                assert_eq!(recon_threads, 2);
+                assert_eq!(out, Some("rows.json".into()));
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        let e = parse(&argv("sweep mcf --configs 0")).unwrap_err();
+        assert!(e.0.contains("must be at least 1"));
+        let e = parse(&argv("sweep")).unwrap_err();
+        assert!(e.0.contains("missing benchmark"));
     }
 
     #[test]

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use rsr_ckpt::LivePointLibrary;
 use rsr_cli::{parse, CliError, Command};
-use rsr_core::{MachineConfig, RunSpec, SamplingRegimen};
+use rsr_core::{ColdSpec, DetailSpec, MachineConfig, RunSpec, SamplingRegimen, SweepSpec};
 use rsr_func::Cpu;
 use rsr_simpoint::{analyze, simulate, SimpointConfig};
 use rsr_workloads::{Benchmark, WorkloadParams};
@@ -179,11 +179,109 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                 }
             );
         }
-        Command::Bench { scale, seed, threads, pipeline_depth, recon_threads, out } => {
+        Command::Sweep {
+            bench,
+            configs,
+            policy,
+            clusters,
+            len,
+            n,
+            seed,
+            threads,
+            recon_threads,
+            out,
+        } => {
+            let threads = threads.max(1);
+            let p = build(bench);
+            let grid = rsr_bench::sweep_grid(configs);
+            let mut sweep = SweepSpec::new(
+                ColdSpec::new(&p)
+                    .regimen(SamplingRegimen::new(clusters, len))
+                    .total_insts(n)
+                    .seed(seed),
+            )
+            .cold_threads(threads);
+            for point in &grid {
+                sweep = sweep.config(
+                    point.name.clone(),
+                    DetailSpec::new(&point.machine())
+                        .policy(policy)
+                        .threads(threads)
+                        .recon_threads(recon_threads),
+                );
+            }
+            let outcome = sweep.run()?;
+            let amortization = outcome.amortization();
+            // One JSON row per config; the amortization ratio is a
+            // property of the whole sweep, repeated on each row so rows
+            // stay self-describing when split apart.
+            let mut rows = String::new();
+            for (point, c) in grid.iter().zip(&outcome.configs) {
+                let o = &c.outcome;
+                let r = &o.recon;
+                rows.push_str(&format!(
+                    "{{\"name\": \"{}\", \"l1d_kb\": {}, \"ghr_bits\": {}, \
+                     \"est_ipc\": {:.6}, \"ipc_ci_95\": {:.6}, \"clusters\": {}, \
+                     \"log_records\": {}, \"mem_scanned\": {}, \"cache_inserted\": {}, \
+                     \"cache_marked\": {}, \"branch_scanned\": {}, \"pht_exact\": {}, \
+                     \"pht_guessed\": {}, \"pht_stale\": {}, \"btb_reconstructed\": {}, \
+                     \"clusters_degraded\": {}, \"amortization\": {:.6}}}\n",
+                    c.name,
+                    point.l1d_kb,
+                    point.ghr_bits,
+                    o.est_ipc(),
+                    o.ipc_error_bound_95(),
+                    o.clusters.len(),
+                    o.log_records,
+                    r.mem_scanned,
+                    r.cache_inserted,
+                    r.cache_marked,
+                    r.branch_scanned,
+                    r.pht_exact,
+                    r.pht_guessed,
+                    r.pht_stale,
+                    r.btb_reconstructed,
+                    o.clusters_degraded,
+                    amortization,
+                ));
+            }
+            let summary = format!(
+                "{bench} sweep: {} configs from one cold pass ({:.3}s cold, {:.3}s total, \
+                 amortization {:.2})",
+                outcome.configs.len(),
+                outcome.cold_wall.as_secs_f64(),
+                outcome.wall.as_secs_f64(),
+                amortization
+            );
+            match out {
+                Some(path) => {
+                    std::fs::write(&path, &rows).map_err(|e| {
+                        CliError::Usage(rsr_cli::UsageError(format!("cannot write {path}: {e}")))
+                    })?;
+                    outln!("wrote {path}: {summary}");
+                }
+                None => {
+                    // Rows on stdout (machine-readable), summary aside.
+                    outln!("{}", rows.trim_end());
+                    eprintln!("{summary}");
+                }
+            }
+        }
+        Command::Bench {
+            scale,
+            seed,
+            threads,
+            pipeline_depth,
+            recon_threads,
+            sweep_configs,
+            sweep_smoke,
+            out,
+        } => {
             // Depth 0 (the default) benchmarks the whole pipeline matrix —
             // depth 1 plus the auto depth, when they differ — as a JSON
             // array; an explicit depth emits that one configuration as a
-            // single object (the pre-matrix shape).
+            // single object (the pre-matrix shape). A requested sweep row
+            // rides along at the end of the array.
             let samples = if pipeline_depth == 0 {
                 rsr_bench::run_bench_matrix(scale, seed, threads, recon_threads)
             } else {
@@ -195,10 +293,32 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                     recon_threads,
                 )]
             };
-            let json = if pipeline_depth == 0 {
-                rsr_bench::to_json_array(&samples)
+            let sweep_n = if sweep_configs > 0 {
+                sweep_configs
+            } else if sweep_smoke {
+                4
             } else {
-                samples[0].to_json()
+                0
+            };
+            let sweep_row = (sweep_n > 0)
+                .then(|| rsr_bench::run_sweep_sample(scale, seed, sweep_n, threads, recon_threads));
+            let json = match &sweep_row {
+                None if pipeline_depth != 0 => samples[0].to_json(),
+                None => rsr_bench::to_json_array(&samples),
+                Some(row) => {
+                    let objects: Vec<String> = samples
+                        .iter()
+                        .map(rsr_bench::BenchSample::to_json)
+                        .chain(std::iter::once(row.to_json()))
+                        .collect();
+                    let mut s = String::from("[\n");
+                    for (i, o) in objects.iter().enumerate() {
+                        s.push_str(o.trim_end());
+                        s.push_str(if i + 1 < objects.len() { ",\n" } else { "\n" });
+                    }
+                    s.push_str("]\n");
+                    s
+                }
             };
             let sample = &samples[0];
             match out {
@@ -215,6 +335,16 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                         sample.recon_ns_per_record,
                         sample.log_bytes_peak / 1024
                     );
+                    if let Some(row) = &sweep_row {
+                        outln!(
+                            "  sweep row: {} configs, wall ratio {:.3} vs standalone, \
+                             amortization {:.3}, bit-identical {}",
+                            row.sweep_configs,
+                            row.wall_ratio,
+                            row.amortization,
+                            row.bit_identical
+                        );
+                    }
                 }
                 None => outln!("{}", json.trim_end()),
             }

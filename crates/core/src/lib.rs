@@ -13,10 +13,16 @@
 //! * [`reverse`] — the §3 algorithms: reverse cache reconstruction and
 //!   on-demand branch-predictor reconstruction (GHR, RAS, counter
 //!   inference, BTB);
-//! * [`RunSpec`] — the one entry point for simulations: a builder that
-//!   runs the sampled simulator (sequentially or sharded across threads
-//!   with bit-identical results) and the true-IPC baseline, with
-//!   wall-clock phase accounting for the paper's speed comparisons;
+//! * [`RunSpec`] — the one entry point for single simulations: a
+//!   composition of a [`ColdSpec`] (the workload half: program, schedule,
+//!   supervision knobs) and a [`DetailSpec`] (the microarchitecture half:
+//!   machine geometry, policy, parallelism), run sequentially or sharded
+//!   across threads with bit-identical results, with wall-clock phase
+//!   accounting for the paper's speed comparisons;
+//! * [`SweepSpec`] — the design-space sweep engine: one cold half fanned
+//!   out across N named detailed halves, paying the functional pass once
+//!   and replaying each config from the shared sealed logs with outcomes
+//!   bit-identical to standalone runs;
 //! * [`FaultPlan`] — deterministic fault injection for the sharded
 //!   engine's supervision layer (worker panics, lost or corrupted
 //!   checkpoints, log-budget exhaustion, stragglers), driving the retry
@@ -50,6 +56,7 @@ pub mod reverse;
 mod sampler;
 mod shard;
 mod spec;
+mod sweep;
 
 pub use crate::fault::{Fault, FaultKind, FaultPlan, SLOW_SHARD_DELAY};
 pub use crate::log::{BranchRecord, LogPool, MemRecord, ReconGeometry, SkipLog};
@@ -59,9 +66,9 @@ pub use crate::regimen::{ClusterWindow, SamplingRegimen, Schedule};
 pub use crate::reverse::{
     reconstruct_caches, reconstruct_caches_partitioned, BpReconstructor, ReconStats, ReconTiming,
 };
-#[allow(deprecated)]
 pub use crate::sampler::{
-    run_full, run_sampled, run_sampled_with_schedule, skip_with, skip_with_smarts_warming,
-    FullOutcome, MachineConfig, PhaseTimes, SampleOutcome, SimError,
+    skip_with, skip_with_smarts_warming, FullOutcome, MachineConfig, PhaseTimes, SampleOutcome,
+    SimError,
 };
-pub use crate::spec::RunSpec;
+pub use crate::spec::{ColdSpec, DetailSpec, RunSpec};
+pub use crate::sweep::{SweepConfigOutcome, SweepOutcome, SweepSpec};

@@ -312,7 +312,7 @@ pub(crate) struct ReconIndex {
 }
 
 impl ReconIndex {
-    fn new(geom: ReconGeometry) -> ReconIndex {
+    pub(crate) fn new(geom: ReconGeometry) -> ReconIndex {
         ReconIndex {
             geom,
             mem_sealed: None,
@@ -335,6 +335,17 @@ impl ReconIndex {
     fn unseal(&mut self) {
         self.mem_sealed = None;
         self.br_sealed = None;
+    }
+
+    /// Re-keys the scratch to a different geometry, keeping every
+    /// allocation. The build passes size their spans and chains from the
+    /// geometry and record count on each call, so one scratch index can
+    /// serve many machine configs back to back — the sweep engine
+    /// retargets per config instead of holding one index per config
+    /// resident.
+    pub(crate) fn retarget(&mut self, geom: ReconGeometry) {
+        self.geom = geom;
+        self.unseal();
     }
 }
 
@@ -405,6 +416,30 @@ impl SkipLog {
     /// Caps the region's resident bytes (`None` = unbounded, the default).
     pub fn set_budget(&mut self, budget: Option<usize>) {
         self.budget = budget;
+    }
+
+    /// Pre-sizes the record columns for an expected region shape. Purely
+    /// an allocation hint — contents and accounting are
+    /// capacity-independent — but it spares a fresh log the doubling
+    /// reallocations (mmap/munmap round trips at these column sizes)
+    /// when many logs are built back to back, as the sweep capture pass
+    /// does.
+    pub(crate) fn reserve_records(&mut self, mem: usize, branches: usize) {
+        if self.log_mem {
+            self.mem_addr.reserve(mem);
+            self.mem_side.reserve(mem);
+            self.mem_tags.reserve(mem / TAGS_PER_WORD + 1);
+        }
+        if self.log_branches {
+            self.branches.reserve(branches);
+        }
+    }
+
+    /// Records currently held per stream `(mem, branches)` — the shape
+    /// hint [`SkipLog::reserve_records`] wants for the next same-sized
+    /// region.
+    pub(crate) fn record_counts(&self) -> (usize, usize) {
+        (self.mem_addr.len(), self.branches.len())
     }
 
     /// Did this region exhaust its budget? A truncated log holds nothing:
@@ -765,6 +800,24 @@ impl SkipLog {
             return;
         }
         let mut ix = self.take_index(geom);
+        self.build_mem_index_into(geom, &mut ix);
+        self.index = Some(ix);
+    }
+
+    /// [`SkipLog::seal_mem_index`]'s body over an *external* index — the
+    /// per-configuration scratch a sweep replay owns, so N detailed
+    /// configurations can each key the same shared, immutable log without
+    /// touching it. Returns whether the memory side sealed (`false` for a
+    /// truncated region or one with ≥ `u32::MAX` records, whose consumers
+    /// fall back to the full reverse scan). `ix` must already be keyed for
+    /// `geom` (see [`ReconIndex::retarget`]).
+    pub(crate) fn build_mem_index_into(&self, geom: &ReconGeometry, ix: &mut ReconIndex) -> bool {
+        debug_assert_eq!(ix.geom, *geom, "retarget the index before building");
+        let n = self.mem_addr.len();
+        if self.truncated || n >= CHAIN_NONE as usize {
+            ix.mem_sealed = None;
+            return false;
+        }
         let (l1i_mask, l1d_mask, l2_mask) =
             (geom.l1i_sets - 1, geom.l1d_sets - 1, geom.l2_sets - 1);
 
@@ -827,7 +880,7 @@ impl SkipLog {
             ix.l2_idx[l2_cnt[s] as usize] = i as u32;
         }
         ix.mem_sealed = Some(n);
-        self.index = Some(ix);
+        true
     }
 
     /// Seals the branch-side columns: the GHR forward pass (§3.2's "last
@@ -850,10 +903,31 @@ impl SkipLog {
             return;
         }
         let mut ix = self.take_index(geom);
+        self.build_branch_index_into(geom, self.ghr_at_start, &mut ix);
+        self.index = Some(ix);
+    }
+
+    /// [`SkipLog::seal_branch_index`]'s body over an *external* index,
+    /// with the start GHR passed explicitly instead of read from
+    /// [`SkipLog::ghr_at_start`] — a sweep replay computes it from its own
+    /// predictor while the shared log stays immutable. Returns whether the
+    /// branch side sealed; `ix` must already be keyed for `geom`.
+    pub(crate) fn build_branch_index_into(
+        &self,
+        geom: &ReconGeometry,
+        ghr_at_start: u64,
+        ix: &mut ReconIndex,
+    ) -> bool {
+        debug_assert_eq!(ix.geom, *geom, "retarget the index before building");
+        let n = self.branches.len();
+        if self.truncated || n >= CHAIN_NONE as usize {
+            ix.br_sealed = None;
+            return false;
+        }
         ix.pht_key.clear();
         ix.pht_key.reserve(n);
         let mask = (1u64 << geom.ghr_bits) - 1;
-        let mut ghr = self.ghr_at_start;
+        let mut ghr = ghr_at_start;
         for i in 0..n {
             let (kind, taken) = self.branch_kind_taken(i);
             // Replicates `Gshare::index_with` on the running GHR: the key
@@ -868,9 +942,9 @@ impl SkipLog {
             ix.pht_key.push(key);
         }
         ix.ghr_final = ghr;
-        ix.ghr_start = self.ghr_at_start;
+        ix.ghr_start = ghr_at_start;
         ix.br_sealed = Some(n);
-        self.index = Some(ix);
+        true
     }
 
     /// The sealed memory-side spans, if they still describe the current

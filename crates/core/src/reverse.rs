@@ -256,8 +256,24 @@ pub fn reconstruct_caches_partitioned(
     pct: Pct,
     recon_threads: usize,
 ) -> (ReconStats, ReconTiming) {
+    reconstruct_caches_partitioned_with(hier, log, log.mem_index(), pct, recon_threads)
+}
+
+/// [`reconstruct_caches_partitioned`] over an explicitly supplied index —
+/// the sweep engine's entry point, where the sealed log is shared
+/// (immutable) across configurations and each replay builds its own
+/// per-geometry index into external scratch. The geometry check and the
+/// no-index fallback are applied here, so both entry points run the exact
+/// same code on the exact same inputs.
+pub(crate) fn reconstruct_caches_partitioned_with(
+    hier: &mut MemHierarchy,
+    log: &SkipLog,
+    index: Option<&ReconIndex>,
+    pct: Pct,
+    recon_threads: usize,
+) -> (ReconStats, ReconTiming) {
     let mut timing = ReconTiming::default();
-    let Some(ix) = log.mem_index().filter(|ix| geom_matches_hier(ix, hier)) else {
+    let Some(ix) = index.filter(|ix| geom_matches_hier(ix, hier)) else {
         let t = Instant::now();
         let stats = reconstruct_caches(hier, log, pct);
         timing.l1_ns = t.elapsed().as_nanos() as u64;
@@ -339,6 +355,23 @@ impl<'log> BpReconstructor<'log> {
     /// Prepares on-demand reconstruction for one skip region: clears
     /// reconstructed bits, rebuilds the GHR and the RAS.
     pub fn new(pred: &mut Predictor, log: &'log SkipLog, pct: Pct) -> BpReconstructor<'log> {
+        BpReconstructor::with_index(pred, log, log.branch_index(), log.ghr_at_start, pct)
+    }
+
+    /// [`BpReconstructor::new`] over an explicitly supplied index and
+    /// start GHR — the sweep engine's entry point, where the sealed log is
+    /// shared (immutable) across configurations, each replay builds its
+    /// branch index into external scratch, and the start GHR comes from
+    /// the replay's own predictor instead of the log's `ghr_at_start`
+    /// field. The geometry filter and the unindexed forward-pass fallback
+    /// are applied here, identically for both entry points.
+    pub(crate) fn with_index(
+        pred: &mut Predictor,
+        log: &'log SkipLog,
+        index: Option<&'log ReconIndex>,
+        ghr_at_start: u64,
+        pct: Pct,
+    ) -> BpReconstructor<'log> {
         pred.gshare.begin_reconstruction();
         pred.btb.begin_reconstruction();
 
@@ -347,7 +380,7 @@ impl<'log> BpReconstructor<'log> {
 
         // A sealed index keyed for this exact predictor geometry already
         // holds the GHR forward pass; anything else recomputes it here.
-        let index = log.branch_index().filter(|ix| {
+        let index = index.filter(|ix| {
             ix.geom.ghr_bits == pred.gshare.hist_bits()
                 && ix.geom.btb_entries == pred.btb.num_entries()
         });
@@ -359,7 +392,7 @@ impl<'log> BpReconstructor<'log> {
                 // only). This forward pass reads only the packed meta
                 // column.
                 ghr_before.reserve(n);
-                let mut ghr = log.ghr_at_start;
+                let mut ghr = ghr_at_start;
                 let mask = pred.gshare.ghr_mask();
                 for i in 0..n {
                     ghr_before.push(ghr);

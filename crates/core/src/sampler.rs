@@ -22,11 +22,12 @@ use rsr_stats::ClusterSample;
 use rsr_timing::{simulate_cluster, simulate_cluster_hooked, CoreConfig, HotStats, NoHook};
 
 use crate::fault::FaultInjector;
-use crate::log::{LogPool, ReconGeometry};
+use crate::log::{LogPool, ReconGeometry, ReconIndex};
 use crate::profiled::{profile_reuse, ReusePolicy};
-use crate::reverse::{reconstruct_caches_partitioned, BpReconstructor, ReconStats, ReconTiming};
-use crate::spec::RunSpec;
-use crate::{ClusterWindow, SamplingRegimen, Schedule, SkipLog, WarmupPolicy};
+use crate::reverse::{
+    reconstruct_caches_partitioned_with, BpReconstructor, ReconStats, ReconTiming,
+};
+use crate::{ClusterWindow, SkipLog, WarmupPolicy};
 
 /// Errors surfaced by the sampled simulator.
 ///
@@ -425,32 +426,45 @@ pub(crate) fn policy_decouples(policy: WarmupPolicy) -> bool {
     matches!(policy, WarmupPolicy::Reverse { .. } | WarmupPolicy::None)
 }
 
-/// The detailed (follower) half of one window: reconstruction from a
-/// sealed skip log (reverse policy only), then the cycle-accurate hot
-/// cluster, then bookkeeping.
+/// A borrowed view of the reconstruction index a window should consult,
+/// decoupled from where that index lives. The in-process engines read it
+/// out of the log's own sealed box ([`SkipLog::mem_index`] /
+/// [`SkipLog::branch_index`]); the sweep engine builds it into external
+/// per-task scratch because the shared `Arc<SkipLog>` is immutable and its
+/// index is geometry-keyed while each sweep config has its own geometry.
+/// `ghr_at_start` is the global history the predictor held when the skip
+/// region began — the branch-key seed (§3.2).
+pub(crate) struct WindowIndex<'l> {
+    pub mem: Option<&'l ReconIndex>,
+    pub br: Option<&'l ReconIndex>,
+    pub ghr_at_start: u64,
+}
+
+/// The detailed half of one window: reconstruction from a sealed skip log
+/// (reverse policy only), then the cycle-accurate hot cluster, then
+/// bookkeeping.
 ///
-/// Shared verbatim by the sequential engine ([`run_windows`]) and the
-/// pipelined follower thread ([`run_windows_pipelined`]) — that sharing is
-/// what makes bit-identity an invariant by construction rather than a
-/// property to re-verify per call site. `log` is `Some` exactly when the
-/// reverse policy sealed a log for this window; `log.ghr_at_start` is
-/// filled in *here*, from the follower's predictor, because the leader has
-/// no predictor — and during a skip region the predictor is untouched, so
-/// the value is identical to what sealing-time capture would record.
+/// Shared verbatim by the sequential engine ([`run_windows`]), the
+/// pipelined follower thread ([`run_windows_pipelined`]) — both via
+/// [`follower_window`] — and the sweep engine's per-config replay
+/// (`crate::sweep`). That sharing is what makes bit-identity an invariant
+/// by construction rather than a property to re-verify per call site.
+/// `log` is `Some` exactly when the reverse policy sealed a log for this
+/// window, paired with the index view the reconstruction should read.
 #[allow(clippy::too_many_arguments)]
-fn follower_window(
+pub(crate) fn detailed_window(
     machine: &MachineConfig,
     policy: WarmupPolicy,
     hier: &mut MemHierarchy,
     pred: &mut Predictor,
     cpu: &mut Cpu,
     len: u64,
-    log: Option<&mut SkipLog>,
+    log: Option<(&SkipLog, WindowIndex<'_>)>,
     recon_threads: usize,
     outcome: &mut SampleOutcome,
 ) -> Result<(), SimError> {
     let mut hook: Option<BpReconstructor> = None;
-    if let Some(log) = log {
+    if let Some((log, ix)) = log {
         let WarmupPolicy::Reverse { cache, bp, pct } = policy else {
             unreachable!("only the reverse policy seals skip logs");
         };
@@ -461,31 +475,21 @@ fn follower_window(
             // Budget exhausted mid-region: the history is incomplete, so
             // fall back to stale state (§3.2's no-history case) — the
             // cluster sees whatever the structures accumulated, with no
-            // reconstruction. (`ghr_at_start` is never read on this path.)
+            // reconstruction.
             outcome.clusters_degraded += 1;
         } else {
-            log.ghr_at_start = pred.gshare.ghr();
             // Eager reconstruction immediately before the cluster, through
-            // the partitioned index. Sealing is idempotent: under the
-            // pipeline the leader already sealed the memory side, so only
-            // the branch side (whose keys need the GHR just captured) is
-            // built here.
+            // the partitioned index (or the sequential full-scan fallback
+            // when the view carries no index for a side).
             let t = Instant::now();
-            let geom = ReconGeometry::of_machine(machine);
             if cache {
-                log.seal_mem_index(&geom);
-            }
-            if bp {
-                log.seal_branch_index(&geom);
-            }
-            let log: &SkipLog = log;
-            if cache {
-                let (stats, timing) = reconstruct_caches_partitioned(hier, log, pct, recon_threads);
+                let (stats, timing) =
+                    reconstruct_caches_partitioned_with(hier, log, ix.mem, pct, recon_threads);
                 outcome.recon.accumulate(&stats);
                 outcome.recon_timing.accumulate(&timing);
             }
             if bp {
-                hook = Some(BpReconstructor::new(pred, log, pct));
+                hook = Some(BpReconstructor::with_index(pred, log, ix.br, ix.ghr_at_start, pct));
             }
             outcome.phases.warm += t.elapsed();
         }
@@ -513,6 +517,60 @@ fn follower_window(
     outcome.clusters.push(stats.ipc());
     outcome.cpi_clusters.push(stats.cycles as f64 / stats.instructions as f64);
     Ok(())
+}
+
+/// The in-process wrapper over [`detailed_window`]: seals the log's own
+/// boxed index for this machine's geometry, then hands the sealed view
+/// down. `log.ghr_at_start` is filled in *here*, from the follower's
+/// predictor, because the leader has no predictor — and during a skip
+/// region the predictor is untouched, so the value is identical to what
+/// sealing-time capture would record.
+#[allow(clippy::too_many_arguments)]
+fn follower_window(
+    machine: &MachineConfig,
+    policy: WarmupPolicy,
+    hier: &mut MemHierarchy,
+    pred: &mut Predictor,
+    cpu: &mut Cpu,
+    len: u64,
+    log: Option<&mut SkipLog>,
+    recon_threads: usize,
+    outcome: &mut SampleOutcome,
+) -> Result<(), SimError> {
+    let log: Option<&SkipLog> = match log {
+        None => None,
+        Some(log) => {
+            let WarmupPolicy::Reverse { cache, bp, .. } = policy else {
+                unreachable!("only the reverse policy seals skip logs");
+            };
+            if !log.truncated() {
+                log.ghr_at_start = pred.gshare.ghr();
+                // Sealing is idempotent: under the pipeline the leader
+                // already sealed the memory side, so only the branch side
+                // (whose keys need the GHR just captured) is built here.
+                // Charged to the warm phase alongside the reconstruction.
+                let t = Instant::now();
+                let geom = ReconGeometry::of_machine(machine);
+                if cache {
+                    log.seal_mem_index(&geom);
+                }
+                if bp {
+                    log.seal_branch_index(&geom);
+                }
+                outcome.phases.warm += t.elapsed();
+            }
+            Some(log)
+        }
+    };
+    let log = log.map(|log| {
+        let ix = WindowIndex {
+            mem: log.mem_index(),
+            br: log.branch_index(),
+            ghr_at_start: log.ghr_at_start,
+        };
+        (log, ix)
+    });
+    detailed_window(machine, policy, hier, pred, cpu, len, log, recon_threads, outcome)
 }
 
 /// Runs the hot/cold/warm loop over `windows`, starting from `cpu`
@@ -886,8 +944,7 @@ fn follower_loop(
     Ok(outcome)
 }
 
-/// The full-trace cycle-accurate baseline, shared by [`RunSpec::run_full`]
-/// and the deprecated [`run_full`] shim.
+/// The full-trace cycle-accurate baseline behind [`RunSpec::run_full`].
 pub(crate) fn run_full_once(
     program: &Program,
     machine: &MachineConfig,
@@ -899,67 +956,6 @@ pub(crate) fn run_full_once(
     let t = Instant::now();
     let stats = simulate_cluster(&machine.core, &mut cpu, &mut hier, &mut pred, total_insts)?;
     Ok(FullOutcome { stats, wall: t.elapsed() })
-}
-
-/// Runs one complete sampled simulation of `program` under `policy`.
-///
-/// # Errors
-///
-/// Returns [`SimError`] if the spec is degenerate, the program fails to
-/// load, faults, or halts before the schedule's last cluster.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `RunSpec::new(program, machine).regimen(..).total_insts(..).policy(..).seed(..).run()`"
-)]
-pub fn run_sampled(
-    program: &Program,
-    machine: &MachineConfig,
-    regimen: SamplingRegimen,
-    total_insts: u64,
-    policy: WarmupPolicy,
-    schedule_seed: u64,
-) -> Result<SampleOutcome, SimError> {
-    RunSpec::new(program, machine)
-        .regimen(regimen)
-        .total_insts(total_insts)
-        .policy(policy)
-        .seed(schedule_seed)
-        .run()
-}
-
-/// Sampled simulation over an explicit, caller-built [`Schedule`].
-///
-/// # Errors
-///
-/// As for [`run_sampled`].
-#[deprecated(
-    since = "0.2.0",
-    note = "use `RunSpec::new(program, machine).schedule(..).policy(..).run()`"
-)]
-pub fn run_sampled_with_schedule(
-    program: &Program,
-    machine: &MachineConfig,
-    schedule: &Schedule,
-    policy: WarmupPolicy,
-) -> Result<SampleOutcome, SimError> {
-    RunSpec::new(program, machine).schedule(schedule.clone()).policy(policy).run()
-}
-
-/// Runs the full-trace cycle-accurate baseline ("true IPC").
-///
-/// # Errors
-///
-/// Returns [`SimError`] on load failure or execution fault.
-#[deprecated(
-    since = "0.2.0",
-    note = "use `RunSpec::new(program, machine).total_insts(..).run_full()`"
-)]
-pub fn run_full(
-    program: &Program,
-    machine: &MachineConfig,
-    total_insts: u64,
-) -> Result<FullOutcome, SimError> {
-    RunSpec::new(program, machine).total_insts(total_insts).run_full()
 }
 
 /// Functionally skips `n` instructions with a custom per-instruction
@@ -998,7 +994,7 @@ fn _assert_nohook_exists() {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::Pct;
+    use crate::{Pct, RunSpec, SamplingRegimen, Schedule};
     use rsr_workloads::{Benchmark, WorkloadParams};
 
     fn quick_machine() -> MachineConfig {
@@ -1192,21 +1188,26 @@ mod tests {
     }
 
     #[test]
-    #[allow(deprecated)]
-    fn deprecated_shims_delegate_to_runspec() {
+    fn spec_entry_points_agree() {
+        // The regimen builder, an explicit pre-generated schedule, and a
+        // spec recomposed from its cold/detailed halves are three routes to
+        // the same run — all must agree bit for bit.
         let machine = quick_machine();
         let program = program();
         let policy = WarmupPolicy::Smarts { cache: true, bp: true };
-        let via_shim =
-            run_sampled(&program, &machine, quick_regimen(), 100_000, policy, 11).unwrap();
         let via_spec = sample(&program, &machine, quick_regimen(), 100_000, policy, 11);
-        assert_eq!(via_shim.cpi_clusters.values(), via_spec.cpi_clusters.values());
         let schedule = Schedule::generate(quick_regimen(), 100_000, 11);
-        let via_sched = run_sampled_with_schedule(&program, &machine, &schedule, policy).unwrap();
+        let via_sched =
+            RunSpec::new(&program, &machine).schedule(schedule).policy(policy).run().unwrap();
         assert_eq!(via_sched.cpi_clusters.values(), via_spec.cpi_clusters.values());
-        let full_shim = run_full(&program, &machine, 40_000).unwrap();
-        let full_spec = RunSpec::new(&program, &machine).total_insts(40_000).run_full().unwrap();
-        assert_eq!(full_shim.stats, full_spec.stats);
+        let (cold, detail) = RunSpec::new(&program, &machine)
+            .regimen(quick_regimen())
+            .total_insts(100_000)
+            .policy(policy)
+            .seed(11)
+            .into_parts();
+        let via_parts = RunSpec::from_parts(cold, detail).run().unwrap();
+        assert_eq!(via_parts.cpi_clusters.values(), via_spec.cpi_clusters.values());
     }
 
     #[test]

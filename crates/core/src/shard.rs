@@ -192,21 +192,32 @@ pub(crate) fn partition_balanced(spans: &[u64], parts: usize) -> Vec<Range<usize
     out
 }
 
-/// One worker group's task: a contiguous run of canonical shards.
+/// One worker group's task: a contiguous run of canonical shards, plus
+/// the schedule-wide context a group body needs to locate its work. This
+/// is the interface between the generic sharded orchestrator
+/// ([`run_sharded_with`]) and the body it runs per group — the detailed
+/// engine for [`run_sharded`], the cold capture pass for the sweep engine.
 #[derive(Copy, Clone)]
-struct GroupTask<'a> {
+pub(crate) struct GroupCtx<'a> {
     /// Group index, in schedule order (the unit supervision reports on).
-    index: usize,
+    pub index: usize,
     /// Global index of the group's first canonical shard.
-    first_shard: usize,
-    /// The group's shards, as window ranges.
-    shards: &'a [Range<usize>],
+    pub first_shard: usize,
+    /// The group's shards, as window ranges into `windows`.
+    pub shards: &'a [Range<usize>],
+    /// Canonical shard start positions (dynamic instruction indices),
+    /// indexed by global shard number.
+    pub shard_starts: &'a [u64],
+    /// The full schedule's windows.
+    pub windows: &'a [ClusterWindow],
+    /// Total canonical shard count across all groups.
+    pub total_shards: usize,
 }
 
 /// Best-effort extraction of a panic payload's message. `panic!` with a
 /// literal carries `&str`, `format!`-style panics carry `String`; anything
 /// else is reported as opaque rather than dropped.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -219,7 +230,11 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// Errors out with [`SimError::DeadlineExceeded`] once the guard's
 /// deadline has passed. `completed` counts canonical shards in schedule
 /// order, so the abort means the same thing at every thread count.
-fn check_deadline(guards: &RunGuards<'_>, completed: usize, total: usize) -> Result<(), SimError> {
+pub(crate) fn check_deadline(
+    guards: &RunGuards<'_>,
+    completed: usize,
+    total: usize,
+) -> Result<(), SimError> {
     match guards.deadline {
         Some(at) if Instant::now() >= at => {
             Err(SimError::DeadlineExceeded { completed_shards: completed, total_shards: total })
@@ -228,91 +243,59 @@ fn check_deadline(guards: &RunGuards<'_>, completed: usize, total: usize) -> Res
     }
 }
 
-/// Runs one group's shards to completion: restore the checkpoint (if the
-/// group has one — group 0 starts from the load image), then run each
-/// canonical shard cold-started, merging in schedule order. This is the
-/// body both the scoped workers and the retry supervisor execute, so a
-/// retried group reproduces the worker's outcome bit for bit.
-#[allow(clippy::too_many_arguments)]
-fn run_group(
+/// Runs one group to completion: inject armed faults, build the CPU,
+/// restore the checkpoint (if the group has one — group 0 starts from the
+/// load image), then hand off to `body`. This is the path both the scoped
+/// workers and the retry supervisor execute, so a retried group reproduces
+/// the worker's outcome bit for bit.
+fn run_group_with<T, F>(
     program: &Program,
-    machine: &MachineConfig,
-    policy: WarmupPolicy,
-    windows: &[ClusterWindow],
-    shard_starts: &[u64],
-    total_shards: usize,
-    group: GroupTask<'_>,
+    ctx: GroupCtx<'_>,
     ck: Option<&ShardCheckpoint>,
     guards: &RunGuards<'_>,
-) -> Result<SampleOutcome, SimError> {
+    body: &F,
+) -> Result<T, SimError>
+where
+    F: Fn(&mut Cpu, GroupCtx<'_>) -> Result<T, SimError>,
+{
     if let Some(inj) = guards.injector {
-        if let Some(msg) = inj.panic_message(group.index) {
+        if let Some(msg) = inj.panic_message(ctx.index) {
             std::panic::panic_any(msg);
         }
-        if let Some(delay) = inj.slow_delay(group.index) {
+        if let Some(delay) = inj.slow_delay(ctx.index) {
             std::thread::sleep(delay);
         }
     }
     let mut cpu = Cpu::new(program)?;
     if let Some(ck) = ck {
-        ck.verify(group.index)?;
+        ck.verify(ctx.index)?;
         cpu.restore_arch(&ck.arch);
         for (page_no, bytes) in &ck.pages {
             cpu.mem_mut().write_slice(page_no * PAGE_BYTES, bytes);
         }
     }
-    let mut merged = SampleOutcome::empty(policy);
-    // One log pool per group: packed-column allocations recycle across
-    // regions and shards, and the pool carries the log budget.
-    let mut pool = LogPool::new(guards.log_budget);
-    let pipelined = guards.pipeline_depth > 1 && policy_decouples(policy);
-    for (i, r) in group.shards.iter().enumerate() {
-        let shard = group.first_shard + i;
-        check_deadline(guards, shard, total_shards)?;
-        let pos = shard_starts[shard];
-        let slice = &windows[r.clone()];
-        let out = if pipelined {
-            let ctx = PipelineCtx {
-                depth: guards.pipeline_depth,
-                deadline: guards.deadline,
-                injector: guards.injector,
-                group: group.index,
-                shard,
-                total_shards,
-                recon_threads: guards.recon_threads,
-            };
-            run_windows_pipelined(machine, policy, &mut cpu, pos, slice, &mut pool, &ctx)?
-        } else {
-            run_windows(machine, policy, &mut cpu, pos, slice, &mut pool, guards.recon_threads)?
-        };
-        merged.absorb(&out);
-    }
-    Ok(merged)
+    body(&mut cpu, ctx)
 }
 
-/// [`run_group`] under `catch_unwind`: a panicking worker body becomes
-/// [`SimError::ShardPanicked`] with its payload, never a dead run.
-#[allow(clippy::too_many_arguments)]
-fn supervised_group(
+/// [`run_group_with`] under `catch_unwind`: a panicking worker body
+/// becomes [`SimError::ShardPanicked`] with its payload, never a dead run.
+fn supervised_group_with<T, F>(
     program: &Program,
-    machine: &MachineConfig,
-    policy: WarmupPolicy,
-    windows: &[ClusterWindow],
-    shard_starts: &[u64],
-    total_shards: usize,
-    group: GroupTask<'_>,
+    ctx: GroupCtx<'_>,
     ck: Option<&ShardCheckpoint>,
     guards: &RunGuards<'_>,
-) -> Result<SampleOutcome, SimError> {
-    catch_unwind(AssertUnwindSafe(|| {
-        run_group(program, machine, policy, windows, shard_starts, total_shards, group, ck, guards)
-    }))
-    .unwrap_or_else(|payload| {
-        Err(SimError::ShardPanicked {
-            index: group.index,
-            message: panic_message(payload.as_ref()),
+    body: &F,
+) -> Result<T, SimError>
+where
+    F: Fn(&mut Cpu, GroupCtx<'_>) -> Result<T, SimError>,
+{
+    catch_unwind(AssertUnwindSafe(|| run_group_with(program, ctx, ck, guards, body)))
+        .unwrap_or_else(|payload| {
+            Err(SimError::ShardPanicked {
+                index: ctx.index,
+                message: panic_message(payload.as_ref()),
+            })
         })
-    })
 }
 
 /// The scout pass: fast-forwards functionally through the run on the
@@ -375,20 +358,31 @@ fn scout_checkpoints(
     Ok(())
 }
 
-/// Runs `schedule` under the canonical-shard semantics, distributing the
-/// shards over up to `threads` supervised workers and merging per-shard
-/// outcomes in schedule order. `threads == 1` (or a single shard/group)
-/// takes the in-process path — same results, no scout — under the same
-/// supervision (panic capture, retry, deadline, log budget).
-pub(crate) fn run_sharded(
+/// The generic sharded orchestrator: splits `schedule` into canonical
+/// shards, groups them over up to `threads` supervised workers, runs
+/// `body` once per group (scout-checkpointed, panic-captured, retried per
+/// [`RunGuards::max_retries`]), and returns the per-group results in
+/// schedule order plus the total retry count. `threads == 1` (or a single
+/// shard/group) takes the in-process path — same results, no scout —
+/// under the same supervision.
+///
+/// `body` receives a checkpoint-restored CPU positioned at the group's
+/// boundary and the [`GroupCtx`] describing its shards; it owns the
+/// per-shard loop (including [`check_deadline`] calls) so different
+/// engines — the detailed run, the sweep's cold capture — share one
+/// supervision story.
+pub(crate) fn run_sharded_with<T, F>(
     program: &Program,
-    machine: &MachineConfig,
     schedule: &Schedule,
-    policy: WarmupPolicy,
     threads: usize,
     shard_span: u64,
     guards: &RunGuards<'_>,
-) -> Result<SampleOutcome, SimError> {
+    body: &F,
+) -> Result<(Vec<T>, u64), SimError>
+where
+    T: Send,
+    F: Fn(&mut Cpu, GroupCtx<'_>) -> Result<T, SimError> + Sync,
+{
     let windows = schedule.windows();
     let shards = partition_by_span(windows, shard_span);
     // Canonical shard boundary positions: shard s resumes at the end of
@@ -415,25 +409,18 @@ pub(crate) fn run_sharded(
     if groups.len() <= 1 {
         // In-process path: one group holding every shard, supervised and
         // retried from the load image (it needs no checkpoint).
-        let group = GroupTask { index: 0, first_shard: 0, shards: &shards };
+        let ctx = GroupCtx {
+            index: 0,
+            first_shard: 0,
+            shards: &shards,
+            shard_starts: &shard_starts,
+            windows,
+            total_shards,
+        };
         let mut retries = 0u64;
         loop {
-            let r = supervised_group(
-                program,
-                machine,
-                policy,
-                windows,
-                &shard_starts,
-                total_shards,
-                group,
-                None,
-                guards,
-            );
-            match r {
-                Ok(mut out) => {
-                    out.shard_retries += retries;
-                    return Ok(out);
-                }
+            match supervised_group_with(program, ctx, None, guards, body) {
+                Ok(out) => return Ok((vec![out], retries)),
                 Err(e) if e.is_shard_fault() && retries < guards.max_retries as u64 => {
                     retries += 1;
                 }
@@ -444,45 +431,29 @@ pub(crate) fn run_sharded(
 
     let starts: Vec<u64> = groups.iter().map(|g| shard_starts[g.start]).collect();
     let mut retained: Vec<Option<Arc<ShardCheckpoint>>> = vec![None; groups.len()];
-    let mut group_results: Vec<Result<SampleOutcome, SimError>> = Vec::new();
+    let mut group_results: Vec<Result<T, SimError>> = Vec::new();
     let mut scout_result: Result<(), SimError> = Ok(());
     std::thread::scope(|s| {
         let mut senders = Vec::with_capacity(groups.len() - 1);
         let mut handles = Vec::with_capacity(groups.len());
         for (g, group) in groups.iter().enumerate() {
-            let task =
-                GroupTask { index: g, first_shard: group.start, shards: &shards[group.clone()] };
-            let shard_starts = &shard_starts;
+            let ctx = GroupCtx {
+                index: g,
+                first_shard: group.start,
+                shards: &shards[group.clone()],
+                shard_starts: &shard_starts,
+                windows,
+                total_shards,
+            };
             if g == 0 {
-                handles.push(s.spawn(move || {
-                    supervised_group(
-                        program,
-                        machine,
-                        policy,
-                        windows,
-                        shard_starts,
-                        total_shards,
-                        task,
-                        None,
-                        guards,
-                    )
-                }));
+                handles
+                    .push(s.spawn(move || supervised_group_with(program, ctx, None, guards, body)));
             } else {
                 let (tx, rx) = channel::<Arc<ShardCheckpoint>>();
                 senders.push(tx);
                 handles.push(s.spawn(move || {
                     let ck = rx.recv().map_err(|_| SimError::Shard { index: g })?;
-                    supervised_group(
-                        program,
-                        machine,
-                        policy,
-                        windows,
-                        shard_starts,
-                        total_shards,
-                        task,
-                        Some(&ck),
-                        guards,
-                    )
+                    supervised_group_with(program, ctx, Some(&ck), guards, body)
                 }));
             }
         }
@@ -517,27 +488,74 @@ pub(crate) fn run_sharded(
             left -= 1;
             total_retries += 1;
             let group = &groups[g];
-            let task =
-                GroupTask { index: g, first_shard: group.start, shards: &shards[group.clone()] };
-            *result = supervised_group(
-                program,
-                machine,
-                policy,
+            let ctx = GroupCtx {
+                index: g,
+                first_shard: group.start,
+                shards: &shards[group.clone()],
+                shard_starts: &shard_starts,
                 windows,
-                &shard_starts,
                 total_shards,
-                task,
-                retained[g].as_deref(),
-                guards,
-            );
+            };
+            *result = supervised_group_with(program, ctx, retained[g].as_deref(), guards, body);
         }
     }
 
-    let mut merged = SampleOutcome::empty(policy);
+    let mut out = Vec::with_capacity(group_results.len());
     for r in group_results {
-        merged.absorb(&r?);
+        out.push(r?);
     }
-    merged.shard_retries += total_retries;
+    Ok((out, total_retries))
+}
+
+/// Runs `schedule` under the canonical-shard semantics, distributing the
+/// shards over up to `threads` supervised workers and merging per-shard
+/// outcomes in schedule order: [`run_sharded_with`] instantiated with the
+/// detailed engine (sequential or pipelined per shard) as the group body.
+pub(crate) fn run_sharded(
+    program: &Program,
+    machine: &MachineConfig,
+    schedule: &Schedule,
+    policy: WarmupPolicy,
+    threads: usize,
+    shard_span: u64,
+    guards: &RunGuards<'_>,
+) -> Result<SampleOutcome, SimError> {
+    let body = |cpu: &mut Cpu, ctx: GroupCtx<'_>| {
+        let mut merged = SampleOutcome::empty(policy);
+        // One log pool per group: packed-column allocations recycle across
+        // regions and shards, and the pool carries the log budget.
+        let mut pool = LogPool::new(guards.log_budget);
+        let pipelined = guards.pipeline_depth > 1 && policy_decouples(policy);
+        for (i, r) in ctx.shards.iter().enumerate() {
+            let shard = ctx.first_shard + i;
+            check_deadline(guards, shard, ctx.total_shards)?;
+            let pos = ctx.shard_starts[shard];
+            let slice = &ctx.windows[r.clone()];
+            let out = if pipelined {
+                let pctx = PipelineCtx {
+                    depth: guards.pipeline_depth,
+                    deadline: guards.deadline,
+                    injector: guards.injector,
+                    group: ctx.index,
+                    shard,
+                    total_shards: ctx.total_shards,
+                    recon_threads: guards.recon_threads,
+                };
+                run_windows_pipelined(machine, policy, cpu, pos, slice, &mut pool, &pctx)?
+            } else {
+                run_windows(machine, policy, cpu, pos, slice, &mut pool, guards.recon_threads)?
+            };
+            merged.absorb(&out);
+        }
+        Ok(merged)
+    };
+    let (group_outcomes, retries) =
+        run_sharded_with(program, schedule, threads, shard_span, guards, &body)?;
+    let mut merged = SampleOutcome::empty(policy);
+    for out in &group_outcomes {
+        merged.absorb(out);
+    }
+    merged.shard_retries += retries;
     Ok(merged)
 }
 

@@ -1,11 +1,21 @@
-//! [`RunSpec`] — the single entry point for sampled and full simulations.
+//! [`RunSpec`] — the single entry point for sampled and full simulations —
+//! and the cold/detailed halves it is composed from.
 //!
-//! The builder replaces the old `run_sampled` / `run_sampled_with_schedule`
-//! / `run_full` trio of positional-argument free functions: every run is
-//! described by one value, defaults are explicit, degenerate combinations
-//! are reported as [`SimError::Spec`] instead of panics, and the same spec
-//! drives the sequential and the sharded multi-threaded engine (pick with
-//! [`RunSpec::threads`]).
+//! The run API is split along the paper's own seam: everything that shapes
+//! the *functional* pass — the workload, the schedule it is sampled under,
+//! and the supervision knobs that guard the cold engine — lives in
+//! [`ColdSpec`], while everything the *detailed* pass needs — the machine
+//! geometry, the warm-up policy, and the thread/pipeline/reconstruction
+//! parallelism knobs — lives in [`DetailSpec`]. A [`RunSpec`] is a thin
+//! composition of the two, so the familiar builder keeps working verbatim;
+//! a [`crate::SweepSpec`] pairs one cold half with many detailed halves to
+//! amortize a single functional pass across a design-space sweep.
+//!
+//! Degenerate knob combinations are rejected up front by
+//! [`ColdSpec::validate`], shared by [`RunSpec::run`],
+//! [`RunSpec::run_full`], and the sweep engine, so conflicts surface as
+//! [`SimError::Spec`] before any simulation starts rather than as panics
+//! mid-run.
 
 use std::time::{Duration, Instant};
 
@@ -19,12 +29,322 @@ use crate::{
     WarmupPolicy,
 };
 
-/// A complete description of one simulation run.
+/// The workload half of a run: the program, how it is sampled, and the
+/// supervision knobs of the functional (cold) engine. Owns everything
+/// needed to produce sealed per-shard skip logs; knows nothing about cache
+/// or predictor geometry.
+#[derive(Clone, Debug)]
+pub struct ColdSpec<'a> {
+    pub(crate) program: &'a Program,
+    pub(crate) regimen: Option<SamplingRegimen>,
+    pub(crate) schedule: Option<Schedule>,
+    pub(crate) total_insts: u64,
+    pub(crate) seed: u64,
+    pub(crate) shard_span: u64,
+    pub(crate) max_shard_retries: u32,
+    pub(crate) log_budget: Option<usize>,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) fault_plan: Option<FaultPlan>,
+}
+
+impl<'a> ColdSpec<'a> {
+    /// Starts a cold half for `program` with the same defaults as
+    /// [`RunSpec::new`]: seed 0, the default shard span and retry budget,
+    /// no regimen/schedule, no budget, deadline, or fault plan.
+    pub fn new(program: &'a Program) -> ColdSpec<'a> {
+        ColdSpec {
+            program,
+            regimen: None,
+            schedule: None,
+            total_insts: 0,
+            seed: 0,
+            shard_span: RunSpec::DEFAULT_SHARD_SPAN,
+            max_shard_retries: RunSpec::DEFAULT_MAX_SHARD_RETRIES,
+            log_budget: None,
+            deadline: None,
+            fault_plan: None,
+        }
+    }
+
+    /// Sets the sampling regimen; the schedule is drawn from it,
+    /// [`ColdSpec::total_insts`], and [`ColdSpec::seed`]. Mutually
+    /// exclusive with [`ColdSpec::schedule`].
+    pub fn regimen(mut self, regimen: SamplingRegimen) -> Self {
+        self.regimen = Some(regimen);
+        self
+    }
+
+    /// Uses an explicit caller-built schedule (e.g. a systematic SMARTS
+    /// design from [`Schedule::systematic`], or one shared verbatim across
+    /// machines). An explicit schedule fixes the run length, so it is
+    /// mutually exclusive with both [`ColdSpec::regimen`] and
+    /// [`ColdSpec::total_insts`] — giving both is a [`SimError::Spec`] at
+    /// validation.
+    pub fn schedule(mut self, schedule: Schedule) -> Self {
+        self.schedule = Some(schedule);
+        self
+    }
+
+    /// Sets the run length in dynamic instructions.
+    pub fn total_insts(mut self, total_insts: u64) -> Self {
+        self.total_insts = total_insts;
+        self
+    }
+
+    /// Sets the schedule seed. Hold it constant across policies (and
+    /// sweep configs) to keep the sampling bias fixed, as the paper does.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the canonical shard span in instructions (default
+    /// [`RunSpec::DEFAULT_SHARD_SPAN`]; 0 is treated as 1). See
+    /// [`RunSpec::shard_span`].
+    pub fn shard_span(mut self, shard_span: u64) -> Self {
+        self.shard_span = shard_span.max(1);
+        self
+    }
+
+    /// Sets the shard-group retry budget (default
+    /// [`RunSpec::DEFAULT_MAX_SHARD_RETRIES`]). See
+    /// [`RunSpec::max_shard_retries`].
+    pub fn max_shard_retries(mut self, retries: u32) -> Self {
+        self.max_shard_retries = retries;
+        self
+    }
+
+    /// Caps each skip region's RSR reference log at `bytes`. See
+    /// [`RunSpec::log_budget_bytes`].
+    pub fn log_budget_bytes(mut self, bytes: usize) -> Self {
+        self.log_budget = Some(bytes);
+        self
+    }
+
+    /// Sets a wall-clock deadline. See [`RunSpec::deadline`].
+    pub fn deadline(mut self, deadline: Duration) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Arms a deterministic [`FaultPlan`]. See [`RunSpec::fault_plan`].
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
+    /// The program this half runs.
+    pub fn program(&self) -> &'a Program {
+        self.program
+    }
+
+    /// Checks the spec's knob combinations for conflicts, shared by
+    /// [`RunSpec::run`], [`RunSpec::run_full`], and the sweep engine.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Spec`] when both a schedule and a regimen are given,
+    /// when an explicit schedule is combined with a nonzero
+    /// [`ColdSpec::total_insts`] (the schedule already fixes the run
+    /// length), when an explicit schedule is empty, holds a zero-length
+    /// cluster, or is out of order/overlapping, when a regimen has a
+    /// zero dimension or lacks a nonzero `total_insts`, or when the
+    /// regimen's hot instructions exceed half the run.
+    pub fn validate(&self) -> Result<(), SimError> {
+        if self.schedule.is_some() && self.regimen.is_some() {
+            return Err(SimError::Spec("give either a schedule or a regimen, not both"));
+        }
+        if let Some(s) = &self.schedule {
+            if self.total_insts != 0 {
+                return Err(SimError::Spec(
+                    "an explicit schedule fixes the run length; drop total_insts",
+                ));
+            }
+            if s.is_empty() {
+                return Err(SimError::Spec("schedule holds no clusters"));
+            }
+            let mut prev_end = 0u64;
+            for w in s.windows() {
+                if w.len == 0 {
+                    return Err(SimError::Spec("schedule holds a zero-length cluster"));
+                }
+                if w.start < prev_end {
+                    return Err(SimError::Spec("schedule clusters overlap or are out of order"));
+                }
+                prev_end = w.end();
+            }
+        }
+        if let Some(regimen) = self.regimen {
+            // `SamplingRegimen::new` already panics on zero dimensions,
+            // but the fields are public — reject literal zero-dim values
+            // as a spec error instead of a later divide-by-zero.
+            if regimen.n_clusters == 0 || regimen.cluster_len == 0 {
+                return Err(SimError::Spec("regimen has a zero dimension"));
+            }
+            if self.total_insts == 0 {
+                return Err(SimError::Spec("a regimen needs a nonzero total_insts"));
+            }
+            if regimen.hot_instructions() * 2 > self.total_insts {
+                return Err(SimError::Spec(
+                    "regimen's hot instructions exceed half of total_insts",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes the schedule this half describes. Validates first.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ColdSpec::validate`] rejects, plus [`SimError::Spec`]
+    /// when neither a schedule nor a regimen was given.
+    pub fn build_schedule(&self) -> Result<Schedule, SimError> {
+        self.validate()?;
+        if let Some(s) = &self.schedule {
+            return Ok(s.clone());
+        }
+        let Some(regimen) = self.regimen else {
+            return Err(SimError::Spec("no regimen or schedule given"));
+        };
+        Ok(Schedule::generate(regimen, self.total_insts, self.seed))
+    }
+
+    /// The log budget the cold engine should enforce: the armed fault
+    /// plan's forced exhaustion wins over the configured cap.
+    pub(crate) fn resolved_log_budget(&self) -> Option<usize> {
+        if self.fault_plan.as_ref().is_some_and(FaultPlan::forces_log_exhaustion) {
+            Some(0)
+        } else {
+            self.log_budget
+        }
+    }
+
+    /// Converts the relative deadline into the absolute instant the
+    /// engines check against, anchored at call time.
+    pub(crate) fn deadline_instant(&self) -> Option<Instant> {
+        self.deadline.and_then(|d| Instant::now().checked_add(d))
+    }
+}
+
+/// The microarchitecture half of a run: machine geometry, warm-up policy,
+/// and the parallelism knobs of the detailed pass. Owns its
+/// [`MachineConfig`] (cloned at construction) so a detailed half is
+/// `Send + 'static` — it can cross threads and outlive the borrow it was
+/// built from, which the sweep engine and the planned service kernel both
+/// rely on.
+#[derive(Clone, Debug)]
+pub struct DetailSpec {
+    pub(crate) machine: MachineConfig,
+    pub(crate) policy: WarmupPolicy,
+    pub(crate) threads: usize,
+    pub(crate) pipeline_depth: Option<usize>,
+    pub(crate) recon_threads: Option<usize>,
+}
+
+// The detailed half must stay shareable across threads — the sweep engine
+// moves it into scoped workers and ROADMAP item 3's service kernel will
+// hold a set of them behind a queue.
+const fn _assert_send<T: Send>() {}
+const _: () = _assert_send::<DetailSpec>();
+
+impl DetailSpec {
+    /// Starts a detailed half for a clone of `machine` with the same
+    /// defaults as [`RunSpec::new`]: the paper's headline warm-up policy
+    /// (R$BP at 20 % analysis), one thread, auto pipeline depth, and auto
+    /// reconstruction workers.
+    pub fn new(machine: &MachineConfig) -> DetailSpec {
+        DetailSpec {
+            machine: machine.clone(),
+            policy: WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
+            threads: 1,
+            pipeline_depth: None,
+            recon_threads: None,
+        }
+    }
+
+    /// Sets the warm-up policy (default: `Reverse { cache, bp, 20 % }`).
+    pub fn policy(mut self, policy: WarmupPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Sets the worker-thread count (default 1; 0 is treated as 1). See
+    /// [`RunSpec::threads`].
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the intra-shard leader/follower pipeline depth (default 0 =
+    /// auto). See [`RunSpec::pipeline_depth`].
+    pub fn pipeline_depth(mut self, depth: usize) -> Self {
+        self.pipeline_depth = if depth == 0 { None } else { Some(depth) };
+        self
+    }
+
+    /// Sets the per-window reconstruction worker count (default 0 =
+    /// auto). See [`RunSpec::recon_threads`].
+    pub fn recon_threads(mut self, recon_threads: usize) -> Self {
+        self.recon_threads = if recon_threads == 0 { None } else { Some(recon_threads) };
+        self
+    }
+
+    /// The machine this half simulates.
+    pub fn machine(&self) -> &MachineConfig {
+        &self.machine
+    }
+
+    /// The warm-up policy this half runs under.
+    pub fn warmup_policy(&self) -> WarmupPolicy {
+        self.policy
+    }
+
+    /// The pipeline depth a run of this half will actually use. An
+    /// explicit [`DetailSpec::pipeline_depth`] is honored as given
+    /// (clamped to ≥ 1); auto picks 2 when the policy decouples *and* the
+    /// host has at least two hardware threads per configured worker (each
+    /// pipelined worker occupies two cores — oversubscribing a smaller
+    /// host would just interleave leader and follower and regress wall
+    /// time), else 1.
+    pub fn resolved_pipeline_depth(&self) -> usize {
+        if let Some(depth) = self.pipeline_depth {
+            return depth.max(1);
+        }
+        let cores =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        if policy_decouples(self.policy) && cores >= 2 * self.threads.max(1) {
+            2
+        } else {
+            1
+        }
+    }
+
+    /// The reconstruction worker count a run of this half will actually
+    /// use. An explicit [`DetailSpec::recon_threads`] is honored as given
+    /// (clamped to ≥ 1); auto divides the host's hardware threads by the
+    /// cores the run already occupies — `threads` workers times the
+    /// resolved pipeline depth — so reconstruction never oversubscribes
+    /// the shard and pipeline layers.
+    pub fn resolved_recon_threads(&self) -> usize {
+        if let Some(recon_threads) = self.recon_threads {
+            return recon_threads.max(1);
+        }
+        let cores =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        let occupied = self.threads.max(1) * self.resolved_pipeline_depth();
+        (cores / occupied).max(1)
+    }
+}
+
+/// A complete description of one simulation run: one [`ColdSpec`] paired
+/// with one [`DetailSpec`].
 ///
-/// Construct with [`RunSpec::new`], refine with the chainable setters, and
-/// execute with [`RunSpec::run`] (sampled) or [`RunSpec::run_full`] (the
-/// unsampled true-IPC baseline). The spec borrows the program and machine,
-/// so one pair can fan out into many runs:
+/// Construct with [`RunSpec::new`], refine with the chainable setters
+/// (each delegates to the half that owns the knob), and execute with
+/// [`RunSpec::run`] (sampled) or [`RunSpec::run_full`] (the unsampled
+/// true-IPC baseline). The spec borrows the program, so one program can
+/// fan out into many runs:
 ///
 /// ```no_run
 /// use rsr_core::{MachineConfig, Pct, RunSpec, SamplingRegimen, WarmupPolicy};
@@ -46,48 +366,39 @@ use crate::{
 /// ```
 #[derive(Clone, Debug)]
 pub struct RunSpec<'a> {
-    program: &'a Program,
-    machine: &'a MachineConfig,
-    regimen: Option<SamplingRegimen>,
-    schedule: Option<Schedule>,
-    total_insts: u64,
-    policy: WarmupPolicy,
-    seed: u64,
-    threads: usize,
-    shard_span: u64,
-    max_shard_retries: u32,
-    log_budget: Option<usize>,
-    deadline: Option<Duration>,
-    fault_plan: Option<FaultPlan>,
-    pipeline_depth: Option<usize>,
-    recon_threads: Option<usize>,
+    cold: ColdSpec<'a>,
+    detail: DetailSpec,
 }
 
 impl<'a> RunSpec<'a> {
-    /// Starts a spec for `program` on `machine`.
+    /// Starts a spec for `program` on a clone of `machine`.
     ///
     /// Defaults: the paper's headline warm-up policy (R$BP at 20 %
     /// analysis), seed 0, one thread, and no regimen/schedule —
     /// [`RunSpec::run`] requires one of [`RunSpec::regimen`] (plus
     /// [`RunSpec::total_insts`]) or [`RunSpec::schedule`].
-    pub fn new(program: &'a Program, machine: &'a MachineConfig) -> RunSpec<'a> {
-        RunSpec {
-            program,
-            machine,
-            regimen: None,
-            schedule: None,
-            total_insts: 0,
-            policy: WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(20) },
-            seed: 0,
-            threads: 1,
-            shard_span: RunSpec::DEFAULT_SHARD_SPAN,
-            max_shard_retries: RunSpec::DEFAULT_MAX_SHARD_RETRIES,
-            log_budget: None,
-            deadline: None,
-            fault_plan: None,
-            pipeline_depth: None,
-            recon_threads: None,
-        }
+    pub fn new(program: &'a Program, machine: &MachineConfig) -> RunSpec<'a> {
+        RunSpec { cold: ColdSpec::new(program), detail: DetailSpec::new(machine) }
+    }
+
+    /// Composes a spec from an already-built cold half and detailed half.
+    pub fn from_parts(cold: ColdSpec<'a>, detail: DetailSpec) -> RunSpec<'a> {
+        RunSpec { cold, detail }
+    }
+
+    /// Decomposes the spec into its cold and detailed halves.
+    pub fn into_parts(self) -> (ColdSpec<'a>, DetailSpec) {
+        (self.cold, self.detail)
+    }
+
+    /// The workload half.
+    pub fn cold(&self) -> &ColdSpec<'a> {
+        &self.cold
+    }
+
+    /// The microarchitecture half.
+    pub fn detail(&self) -> &DetailSpec {
+        &self.detail
     }
 
     /// Default canonical shard span (instructions): long enough that
@@ -106,34 +417,37 @@ impl<'a> RunSpec<'a> {
     /// Sets the sampling regimen; [`RunSpec::run`] draws the schedule from
     /// it, [`RunSpec::total_insts`], and [`RunSpec::seed`].
     pub fn regimen(mut self, regimen: SamplingRegimen) -> Self {
-        self.regimen = Some(regimen);
+        self.cold = self.cold.regimen(regimen);
         self
     }
 
     /// Uses an explicit caller-built schedule (e.g. a systematic SMARTS
     /// design from [`Schedule::systematic`], or one shared verbatim across
-    /// machines), overriding [`RunSpec::regimen`] and [`RunSpec::seed`].
+    /// machines). Mutually exclusive with [`RunSpec::regimen`] and
+    /// [`RunSpec::total_insts`] — the schedule already fixes the run
+    /// length, and conflicting combinations are rejected as
+    /// [`SimError::Spec`] before the run starts.
     pub fn schedule(mut self, schedule: Schedule) -> Self {
-        self.schedule = Some(schedule);
+        self.cold = self.cold.schedule(schedule);
         self
     }
 
     /// Sets the run length in dynamic instructions.
     pub fn total_insts(mut self, total_insts: u64) -> Self {
-        self.total_insts = total_insts;
+        self.cold = self.cold.total_insts(total_insts);
         self
     }
 
     /// Sets the warm-up policy (default: `Reverse { cache, bp, 20 % }`).
     pub fn policy(mut self, policy: WarmupPolicy) -> Self {
-        self.policy = policy;
+        self.detail = self.detail.policy(policy);
         self
     }
 
     /// Sets the schedule seed. Hold it constant across policies to keep
     /// the sampling bias fixed, as the paper does.
     pub fn seed(mut self, seed: u64) -> Self {
-        self.seed = seed;
+        self.cold = self.cold.seed(seed);
         self
     }
 
@@ -147,7 +461,7 @@ impl<'a> RunSpec<'a> {
     /// results are bit-identical for every `n` (see `DESIGN.md`,
     /// "Parallel sampling").
     pub fn threads(mut self, threads: usize) -> Self {
-        self.threads = threads.max(1);
+        self.detail = self.detail.threads(threads);
         self
     }
 
@@ -161,7 +475,7 @@ impl<'a> RunSpec<'a> {
     /// sequential simulator. Smaller spans expose more parallelism;
     /// larger spans leave more continuous warming intact.
     pub fn shard_span(mut self, shard_span: u64) -> Self {
-        self.shard_span = shard_span.max(1);
+        self.cold = self.cold.shard_span(shard_span);
         self
     }
 
@@ -174,7 +488,7 @@ impl<'a> RunSpec<'a> {
     /// to a fault-free one, with the attempt count recorded in
     /// [`SampleOutcome::shard_retries`]. `0` fails fast on the first fault.
     pub fn max_shard_retries(mut self, retries: u32) -> Self {
-        self.max_shard_retries = retries;
+        self.cold = self.cold.max_shard_retries(retries);
         self
     }
 
@@ -192,7 +506,7 @@ impl<'a> RunSpec<'a> {
     /// enforced once per retired instruction so an instruction's records
     /// are kept or discarded together.
     pub fn log_budget_bytes(mut self, bytes: usize) -> Self {
-        self.log_budget = Some(bytes);
+        self.cold = self.cold.log_budget_bytes(bytes);
         self
     }
 
@@ -202,7 +516,7 @@ impl<'a> RunSpec<'a> {
     /// completed; the deadline is checked at shard granularity, so a
     /// cluster mid-simulation always finishes first.
     pub fn deadline(mut self, deadline: Duration) -> Self {
-        self.deadline = Some(deadline);
+        self.cold = self.cold.deadline(deadline);
         self
     }
 
@@ -211,7 +525,7 @@ impl<'a> RunSpec<'a> {
     /// verification, retry, log-budget degradation — can be exercised this
     /// way in tests; an empty plan is a fault-free run.
     pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
-        self.fault_plan = Some(plan);
+        self.cold = self.cold.fault_plan(plan);
         self
     }
 
@@ -229,7 +543,7 @@ impl<'a> RunSpec<'a> {
     /// skip regions are purely functional
     /// (`WarmupPolicy::Reverse` / `WarmupPolicy::None`).
     pub fn pipeline_depth(mut self, depth: usize) -> Self {
-        self.pipeline_depth = if depth == 0 { None } else { Some(depth) };
+        self.detail = self.detail.pipeline_depth(depth);
         self
     }
 
@@ -241,65 +555,30 @@ impl<'a> RunSpec<'a> {
     /// `reconstruct_caches_partitioned`). Results are bit-identical for
     /// every `r`; `1` walks all sets on the calling thread.
     pub fn recon_threads(mut self, recon_threads: usize) -> Self {
-        self.recon_threads = if recon_threads == 0 { None } else { Some(recon_threads) };
+        self.detail = self.detail.recon_threads(recon_threads);
         self
     }
 
     /// The reconstruction worker count a run of this spec will actually
-    /// use. An explicit [`RunSpec::recon_threads`] is honored as given
-    /// (clamped to ≥ 1); auto divides the host's hardware threads by the
-    /// cores the run already occupies — `threads` workers times the
-    /// resolved pipeline depth — so reconstruction never oversubscribes
-    /// the shard and pipeline layers.
+    /// use; see [`DetailSpec::resolved_recon_threads`].
     pub fn resolved_recon_threads(&self) -> usize {
-        if let Some(recon_threads) = self.recon_threads {
-            return recon_threads.max(1);
-        }
-        let cores =
-            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
-        let occupied = self.threads.max(1) * self.resolved_pipeline_depth();
-        (cores / occupied).max(1)
+        self.detail.resolved_recon_threads()
     }
 
-    /// The pipeline depth a run of this spec will actually use. An
-    /// explicit [`RunSpec::pipeline_depth`] is honored as given (clamped
-    /// to ≥ 1); auto picks 2 when the policy decouples *and* the host has
-    /// at least two hardware threads per configured worker (each pipelined
-    /// worker occupies two cores — oversubscribing a smaller host would
-    /// just interleave leader and follower and regress wall time), else 1.
+    /// The pipeline depth a run of this spec will actually use; see
+    /// [`DetailSpec::resolved_pipeline_depth`].
     pub fn resolved_pipeline_depth(&self) -> usize {
-        if let Some(depth) = self.pipeline_depth {
-            return depth.max(1);
-        }
-        let cores =
-            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
-        if policy_decouples(self.policy) && cores >= 2 * self.threads.max(1) {
-            2
-        } else {
-            1
-        }
+        self.detail.resolved_pipeline_depth()
     }
 
     /// Materializes the schedule this spec describes.
     ///
     /// # Errors
     ///
-    /// [`SimError::Spec`] if the spec has neither schedule nor regimen, or
-    /// the regimen cannot be scheduled within `total_insts`.
+    /// [`SimError::Spec`] if the spec has neither schedule nor regimen,
+    /// or fails [`ColdSpec::validate`].
     pub fn build_schedule(&self) -> Result<Schedule, SimError> {
-        if let Some(s) = &self.schedule {
-            if s.is_empty() {
-                return Err(SimError::Spec("schedule holds no clusters"));
-            }
-            return Ok(s.clone());
-        }
-        let Some(regimen) = self.regimen else {
-            return Err(SimError::Spec("no regimen or schedule given"));
-        };
-        if regimen.hot_instructions() * 2 > self.total_insts {
-            return Err(SimError::Spec("regimen's hot instructions exceed half of total_insts"));
-        }
-        Ok(Schedule::generate(regimen, self.total_insts, self.seed))
+        self.cold.build_schedule()
     }
 
     /// Runs the sampled simulation.
@@ -307,35 +586,31 @@ impl<'a> RunSpec<'a> {
     /// # Errors
     ///
     /// [`SimError::Spec`] for degenerate specs (see
-    /// [`RunSpec::build_schedule`]); [`SimError::DeadlineExceeded`] when a
-    /// [`RunSpec::deadline`] expires; otherwise as the underlying engine:
-    /// load failures, execution faults, a program halting before the
-    /// schedule's last cluster, or a shard fault (lost worker, panic,
-    /// corrupt checkpoint) that outlives [`RunSpec::max_shard_retries`].
+    /// [`ColdSpec::validate`] and [`RunSpec::build_schedule`]);
+    /// [`SimError::DeadlineExceeded`] when a [`RunSpec::deadline`]
+    /// expires; otherwise as the underlying engine: load failures,
+    /// execution faults, a program halting before the schedule's last
+    /// cluster, or a shard fault (lost worker, panic, corrupt checkpoint)
+    /// that outlives [`RunSpec::max_shard_retries`].
     pub fn run(&self) -> Result<SampleOutcome, SimError> {
-        let schedule = self.build_schedule()?;
-        let injector = self.fault_plan.as_ref().map(FaultInjector::new);
-        let log_budget = if self.fault_plan.as_ref().is_some_and(FaultPlan::forces_log_exhaustion) {
-            Some(0)
-        } else {
-            self.log_budget
-        };
+        let schedule = self.cold.build_schedule()?;
+        let injector = self.cold.fault_plan.as_ref().map(FaultInjector::new);
         let guards = RunGuards {
-            log_budget,
-            deadline: self.deadline.and_then(|d| Instant::now().checked_add(d)),
-            max_retries: self.max_shard_retries,
+            log_budget: self.cold.resolved_log_budget(),
+            deadline: self.cold.deadline_instant(),
+            max_retries: self.cold.max_shard_retries,
             injector: injector.as_ref(),
-            pipeline_depth: self.resolved_pipeline_depth(),
-            recon_threads: self.resolved_recon_threads(),
+            pipeline_depth: self.detail.resolved_pipeline_depth(),
+            recon_threads: self.detail.resolved_recon_threads(),
         };
         let t = Instant::now();
         let mut outcome = run_sharded(
-            self.program,
-            self.machine,
+            self.cold.program,
+            &self.detail.machine,
             &schedule,
-            self.policy,
-            self.threads,
-            self.shard_span,
+            self.detail.policy,
+            self.detail.threads,
+            self.cold.shard_span,
             &guards,
         )?;
         outcome.wall = t.elapsed();
@@ -343,17 +618,17 @@ impl<'a> RunSpec<'a> {
     }
 
     /// Runs the full-trace cycle-accurate baseline ("true IPC") over
-    /// [`RunSpec::total_insts`] instructions. Ignores regimen, schedule,
-    /// policy, and threads.
+    /// [`RunSpec::total_insts`] instructions. Ignores policy and threads.
     ///
     /// # Errors
     ///
-    /// [`SimError::Spec`] if `total_insts` is zero; otherwise load or
-    /// execution failures.
+    /// [`SimError::Spec`] if `total_insts` is zero or the cold half fails
+    /// [`ColdSpec::validate`]; otherwise load or execution failures.
     pub fn run_full(&self) -> Result<FullOutcome, SimError> {
-        if self.total_insts == 0 {
+        self.cold.validate()?;
+        if self.cold.total_insts == 0 {
             return Err(SimError::Spec("run_full needs a nonzero total_insts"));
         }
-        run_full_once(self.program, self.machine, self.total_insts)
+        run_full_once(self.cold.program, &self.detail.machine, self.cold.total_insts)
     }
 }

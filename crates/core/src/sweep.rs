@@ -1,0 +1,473 @@
+//! The design-space sweep engine: one cold pass, many detailed configs.
+//!
+//! The skip log is *config-independent* — addresses and branch outcomes
+//! are properties of the workload's functional stream, not of any cache or
+//! predictor geometry (DESIGN.md §9). A fig7/fig8-style sweep over N
+//! microarchitectures therefore only needs the functional pass once:
+//! [`SweepSpec`] runs the cold half a single time, capturing per window a
+//! CPU snapshot at the cluster boundary plus the sealed skip log of its
+//! skip region (shared behind an [`Arc`]), then replays the detailed half
+//! once per named [`DetailSpec`] against the captured state. A 20-config
+//! sweep costs ~1 cold pass + 20 hot slices instead of 20 full runs.
+//!
+//! What *is* config-dependent is the reconstruction index: memory chains
+//! are keyed by cache set geometry, branch keys by the PHT width and the
+//! GHR the predictor held when the region began. The shared log is
+//! immutable, so each replay builds the index for its own geometry into
+//! private [`ReconIndex`] scratch ([`SkipLog::build_mem_index_into`] /
+//! [`SkipLog::build_branch_index_into`]) and threads it to the shared
+//! [`detailed_window`] through a [`WindowIndex`] view — the exact code
+//! path the standalone engines take, which is why per-config outcomes are
+//! bit-identical to standalone [`crate::RunSpec`] runs (see
+//! `tests/sweep_equivalence.rs`).
+//!
+//! Capture and replay are *fused per canonical shard*: a worker group
+//! captures one shard's windows, immediately replays them through every
+//! config, then recycles the logs and snapshots (via [`LogPool`] and a
+//! small CPU-snapshot pool) for the next shard. The alternative —
+//! capturing the whole schedule before any replay — retains every
+//! window's log and snapshot at once (gigabytes at fig5 scale) and was
+//! measurably page-fault-bound; fusing bounds the resident footprint to
+//! one shard's windows per group and faults each buffer in once. Outcomes
+//! are unaffected: per-shard replay state is the canonical cold-start
+//! either way, and per-shard outcomes merge through
+//! [`SampleOutcome::absorb`] in schedule order, exactly like the
+//! standalone sharded runner.
+//!
+//! The fused pass runs under the same supervision as a normal sharded
+//! run — scout checkpoints, panic capture, checksum verification, retries,
+//! deadline, log budget — via the generic [`run_sharded_with`]
+//! orchestrator, so fault healing behaves identically through the sweep
+//! path.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rsr_branch::Predictor;
+use rsr_cache::MemHierarchy;
+use rsr_func::Cpu;
+
+use crate::fault::FaultInjector;
+use crate::log::{LogPool, ReconGeometry, ReconIndex};
+use crate::sampler::{detailed_window, policy_decouples, WindowIndex};
+use crate::shard::{check_deadline, run_sharded_with, GroupCtx, RunGuards};
+use crate::spec::{ColdSpec, DetailSpec};
+use crate::{SampleOutcome, SimError, SkipLog, WarmupPolicy};
+
+/// Most CPU snapshots a group keeps for reuse across shards — one per
+/// in-flight window, bounded like [`LogPool::MAX_POOLED`] so the pool can
+/// never outgrow the windows that feed it.
+const SNAPSHOT_POOL: usize = 8;
+
+/// One captured cluster window: the functional state at the cluster
+/// boundary and the sealed log of the skip region that led to it.
+struct SealedWindow {
+    /// Instructions skipped before this cluster.
+    skip: u64,
+    /// Cluster length in instructions.
+    len: u64,
+    /// CPU snapshot at the cluster start (the follower-side input).
+    cpu: Cpu,
+    /// The skip region's sealed, immutable log — `None` when no config
+    /// logs any stream.
+    log: Option<Arc<SkipLog>>,
+}
+
+/// One shard's fused capture+replay result: per-config outcomes in
+/// registration order, plus how the shard's wall split between the shared
+/// capture and each config's replay.
+struct ShardResult {
+    outcomes: Vec<SampleOutcome>,
+    capture: Duration,
+    replays: Vec<Duration>,
+}
+
+/// The per-config result of a sweep.
+#[derive(Clone, Debug)]
+pub struct SweepConfigOutcome {
+    /// The config's name, as registered with [`SweepSpec::config`].
+    pub name: String,
+    /// The config's sample outcome — bit-identical (in every
+    /// deterministic field) to a standalone [`crate::RunSpec`] run of the
+    /// same cold half and detailed half. `wall` is the config's replay
+    /// share alone (its slowest group's summed replay time); the shared
+    /// cold pass is reported once in [`SweepOutcome::cold_wall`].
+    pub outcome: SampleOutcome,
+}
+
+/// The result of [`SweepSpec::run`].
+#[derive(Clone, Debug)]
+pub struct SweepOutcome {
+    /// Per-config outcomes, in registration order.
+    pub configs: Vec<SweepConfigOutcome>,
+    /// Wall share of the functional capture work: the slowest group's
+    /// summed per-shard capture time. Capture interleaves with replay
+    /// shard by shard, but this is the cold pass a standalone run would
+    /// also have paid, so it anchors [`SweepOutcome::amortization`].
+    pub cold_wall: Duration,
+    /// Total wall time of the sweep (capture + every replay).
+    pub wall: Duration,
+    /// Canonical shard count of the captured schedule.
+    pub shards: usize,
+    /// Shard-group retries the fused pass needed (see
+    /// [`crate::RunSpec::max_shard_retries`]).
+    pub shard_retries: u64,
+}
+
+impl SweepOutcome {
+    /// The sweep's amortization ratio: the summed per-config replay wall
+    /// plus one cold pass, over what N standalone runs would have cost
+    /// (N × (cold + replay)). Below 1.0 means the sweep saved time;
+    /// `1/N + ε` is the ideal for hot-slice-dominated configs.
+    pub fn amortization(&self) -> f64 {
+        let replay: Duration = self.configs.iter().map(|c| c.outcome.wall).sum();
+        let standalone =
+            self.cold_wall.as_secs_f64() * self.configs.len() as f64 + replay.as_secs_f64();
+        let swept = self.cold_wall.as_secs_f64() + replay.as_secs_f64();
+        if standalone == 0.0 {
+            1.0
+        } else {
+            swept / standalone
+        }
+    }
+}
+
+/// A design-space sweep: one cold/workload half fanned out across N named
+/// detailed configs.
+///
+/// ```no_run
+/// use rsr_core::{ColdSpec, DetailSpec, MachineConfig, SamplingRegimen, SweepSpec};
+/// use rsr_workloads::{Benchmark, WorkloadParams};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = Benchmark::Mcf.build(&WorkloadParams::default());
+/// let machine = MachineConfig::paper();
+/// let sweep = SweepSpec::new(
+///     ColdSpec::new(&program)
+///         .regimen(SamplingRegimen::new(60, 3000))
+///         .total_insts(8_000_000)
+///         .seed(42),
+/// )
+/// .config("base", DetailSpec::new(&machine).threads(4))
+/// .config("big-l1d", DetailSpec::new(&machine).threads(4));
+/// let out = sweep.run()?;
+/// for c in &out.configs {
+///     println!("{}: IPC {:.3}", c.name, c.outcome.est_ipc());
+/// }
+/// # Ok(())
+/// # }
+/// ```
+pub struct SweepSpec<'a> {
+    cold: ColdSpec<'a>,
+    configs: Vec<(String, DetailSpec)>,
+    cold_threads: Option<usize>,
+}
+
+impl<'a> SweepSpec<'a> {
+    /// Starts a sweep over `cold`'s workload with no configs yet.
+    pub fn new(cold: ColdSpec<'a>) -> SweepSpec<'a> {
+        SweepSpec { cold, configs: Vec::new(), cold_threads: None }
+    }
+
+    /// Registers a named detailed config. Replays run in registration
+    /// order; results keep the name.
+    pub fn config(mut self, name: impl Into<String>, detail: DetailSpec) -> Self {
+        self.configs.push((name.into(), detail));
+        self
+    }
+
+    /// Sets the worker-thread count of the fused capture+replay pass
+    /// (default 0 = auto: the largest thread count any registered config
+    /// asks for).
+    pub fn cold_threads(mut self, threads: usize) -> Self {
+        self.cold_threads = if threads == 0 { None } else { Some(threads) };
+        self
+    }
+
+    /// The workload half this sweep captures.
+    pub fn cold(&self) -> &ColdSpec<'a> {
+        &self.cold
+    }
+
+    /// The registered `(name, detailed half)` pairs, in replay order.
+    pub fn configs(&self) -> &[(String, DetailSpec)] {
+        &self.configs
+    }
+
+    /// Validates the sweep: the cold half must pass
+    /// [`ColdSpec::validate`], at least one config must be registered,
+    /// every config's policy must decouple its skip regions from detailed
+    /// state (`Reverse` or `None` — a policy that warms *during* the skip
+    /// cannot replay from a shared functional capture), and every config
+    /// must log the same streams (the log's record stream — and with it
+    /// `log_records`, `log_bytes_peak`, and budget truncation — is shared,
+    /// so it must be the same stream every config's standalone run would
+    /// have produced).
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Spec`] describing the first violated rule.
+    pub fn validate(&self) -> Result<(), SimError> {
+        self.cold.validate()?;
+        if self.configs.is_empty() {
+            return Err(SimError::Spec("sweep has no detailed configs"));
+        }
+        for (_, detail) in &self.configs {
+            if !policy_decouples(detail.policy) {
+                return Err(SimError::Spec(
+                    "sweep configs must use a decoupled policy (reverse or none)",
+                ));
+            }
+        }
+        let sig = logging_signature(self.configs[0].1.policy);
+        for (_, detail) in &self.configs[1..] {
+            if logging_signature(detail.policy) != sig {
+                return Err(SimError::Spec(
+                    "sweep configs must log the same streams (same cache/bp flags)",
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the sweep: one supervised pass over the schedule that, per
+    /// canonical shard, captures the cold windows once and replays them
+    /// through every config in registration order.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Spec`] from [`SweepSpec::validate`];
+    /// [`SimError::DeadlineExceeded`] when the cold half's deadline
+    /// expires (checked at every shard boundary); otherwise as the
+    /// underlying engines.
+    pub fn run(&self) -> Result<SweepOutcome, SimError> {
+        self.validate()?;
+        let t_total = Instant::now();
+        let schedule = self.cold.build_schedule()?;
+        let (log_cache, log_bp) = logging_signature(self.configs[0].1.policy);
+        let cold_threads = self.cold_threads.unwrap_or_else(|| {
+            self.configs.iter().map(|(_, d)| d.threads.max(1)).max().unwrap_or(1)
+        });
+        let injector = self.cold.fault_plan.as_ref().map(FaultInjector::new);
+        let guards = RunGuards {
+            log_budget: self.cold.resolved_log_budget(),
+            deadline: self.cold.deadline_instant(),
+            max_retries: self.cold.max_shard_retries,
+            injector: injector.as_ref(),
+            // The capture side is purely functional; the pipeline layer
+            // belongs to the standalone engines, and reconstruction
+            // parallelism is each config's own knob.
+            pipeline_depth: 1,
+            recon_threads: 1,
+        };
+        let details: Vec<&DetailSpec> = self.configs.iter().map(|(_, d)| d).collect();
+
+        // ---- fused pass: capture each shard once, replay it N ways -----
+        let body = |cpu: &mut Cpu, ctx: GroupCtx<'_>| {
+            let mut out = Vec::with_capacity(ctx.shards.len());
+            // Capture buffers recycle shard to shard: a shard's sealed
+            // logs and snapshots are dead once every config has replayed
+            // it, so the group's resident footprint is one shard's
+            // windows, not the whole schedule's. `appended`/`peak_bytes`/
+            // truncation are capacity-independent, so pooled logs match
+            // the standalone path's accounting bit for bit.
+            let mut pool = LogPool::new(guards.log_budget);
+            let mut snaps: Vec<Cpu> = Vec::new();
+            // The working CPU each replayed window mutates, re-cloned
+            // from the window snapshot every time (`clone_from` reuses
+            // its page frames).
+            let mut hot_cpu = cpu.clone();
+            // One index scratch serves every config: `replay_shard`
+            // retargets it to each config's geometry, and the build
+            // passes re-size from the geometry per call, so the group
+            // holds one region's chains resident instead of one per
+            // config.
+            let mut scratch = ReconIndex::new(ReconGeometry::of_machine(&details[0].machine));
+            // Column-size hint carried across this group's regions: a
+            // growing log would otherwise re-discover its size through
+            // doubling reallocations, and at fig5 column sizes every
+            // doubling is an mmap/munmap round trip.
+            let mut hint = (0usize, 0usize);
+            for (i, r) in ctx.shards.iter().enumerate() {
+                let shard = ctx.first_shard + i;
+                check_deadline(&guards, shard, ctx.total_shards)?;
+
+                // -- capture this shard's windows --
+                let t_capture = Instant::now();
+                let mut pos = ctx.shard_starts[shard];
+                let mut windows = Vec::with_capacity(r.len());
+                for w in &ctx.windows[r.clone()] {
+                    let skip = w.start - pos;
+                    let log = if log_cache || log_bp {
+                        let mut log = pool.take(log_cache, log_bp);
+                        log.reserve_records(hint.0, hint.1);
+                        log.record_region(cpu, skip)?;
+                        hint = log.record_counts();
+                        Some(Arc::new(log))
+                    } else {
+                        cpu.step_n(skip, |_| ())?;
+                        None
+                    };
+                    let snap = match snaps.pop() {
+                        Some(mut s) => {
+                            s.clone_from(cpu);
+                            s
+                        }
+                        None => cpu.clone(),
+                    };
+                    cpu.step_n(w.len, |_| ())?;
+                    windows.push(SealedWindow { skip, len: w.len, cpu: snap, log });
+                    pos = w.end();
+                }
+                let capture = t_capture.elapsed();
+
+                // -- replay the captured shard through every config --
+                let mut outcomes = Vec::with_capacity(details.len());
+                let mut replays = Vec::with_capacity(details.len());
+                for detail in &details {
+                    let t_replay = Instant::now();
+                    outcomes.push(replay_shard(&windows, detail, &mut scratch, &mut hot_cpu)?);
+                    replays.push(t_replay.elapsed());
+                }
+
+                // -- recycle the shard's capture buffers --
+                for w in windows {
+                    if let Some(log) = w.log {
+                        if let Ok(log) = Arc::try_unwrap(log) {
+                            pool.put(log);
+                        }
+                    }
+                    if snaps.len() < SNAPSHOT_POOL {
+                        snaps.push(w.cpu);
+                    }
+                }
+                out.push(ShardResult { outcomes, capture, replays });
+            }
+            Ok(out)
+        };
+        let (groups, shard_retries) = run_sharded_with(
+            self.cold.program,
+            &schedule,
+            cold_threads,
+            self.cold.shard_span,
+            &guards,
+            &body,
+        )?;
+
+        // ---- merge: shard results arrive grouped, in schedule order ----
+        let total_shards: usize = groups.iter().map(Vec::len).sum();
+        let cold_wall = groups
+            .iter()
+            .map(|g| g.iter().map(|s| s.capture).sum::<Duration>())
+            .max()
+            .unwrap_or(Duration::ZERO);
+        let mut configs = Vec::with_capacity(self.configs.len());
+        for (c, (name, detail)) in self.configs.iter().enumerate() {
+            let mut outcome = SampleOutcome::empty(detail.policy);
+            // `absorb` is exactly the standalone sharded runner's merge,
+            // applied in the same schedule order.
+            for s in groups.iter().flatten() {
+                outcome.absorb(&s.outcomes[c]);
+            }
+            outcome.shard_retries += shard_retries;
+            // Groups run concurrently, so a config's replay wall is its
+            // slowest group's summed share.
+            outcome.wall = groups
+                .iter()
+                .map(|g| g.iter().map(|s| s.replays[c]).sum::<Duration>())
+                .max()
+                .unwrap_or(Duration::ZERO);
+            configs.push(SweepConfigOutcome { name: name.clone(), outcome });
+        }
+
+        Ok(SweepOutcome {
+            configs,
+            cold_wall,
+            wall: t_total.elapsed(),
+            shards: total_shards,
+            shard_retries,
+        })
+    }
+}
+
+/// The `(cache, bp)` stream flags a policy's skip regions log.
+fn logging_signature(policy: WarmupPolicy) -> (bool, bool) {
+    match policy {
+        WarmupPolicy::Reverse { cache, bp, .. } => (cache, bp),
+        _ => (false, false),
+    }
+}
+
+/// Replays one captured shard under one config: fresh hierarchy and
+/// predictor at the shard boundary (the canonical cold-start), the
+/// caller's per-config index scratch, the shared [`detailed_window`] per
+/// window. `hot_cpu` is the recycled working CPU the detailed phase
+/// mutates, re-cloned from each window's snapshot.
+fn replay_shard(
+    windows: &[SealedWindow],
+    detail: &DetailSpec,
+    scratch: &mut ReconIndex,
+    hot_cpu: &mut Cpu,
+) -> Result<SampleOutcome, SimError> {
+    let machine = &detail.machine;
+    let policy = detail.policy;
+    let recon_threads = detail.resolved_recon_threads();
+    let geom = ReconGeometry::of_machine(machine);
+    scratch.retarget(geom);
+    let (want_cache, want_bp) = logging_signature(policy);
+    let mut outcome = SampleOutcome::empty(policy);
+    let mut hier = MemHierarchy::new(machine.hier.clone());
+    let mut pred = Predictor::new(machine.pred);
+    for w in windows {
+        outcome.skipped_insts += w.skip;
+        hot_cpu.clone_from(&w.cpu);
+        match &w.log {
+            Some(log) => {
+                let view = if log.truncated() {
+                    // Degraded cluster: `detailed_window` counts it and
+                    // skips reconstruction; the view is never read.
+                    WindowIndex { mem: None, br: None, ghr_at_start: 0 }
+                } else {
+                    // Mirrors `follower_window`: capture the GHR the
+                    // predictor holds entering the cluster (untouched
+                    // across the purely-functional skip), build the
+                    // sides this policy reconstructs, charge the warm
+                    // phase.
+                    let ghr = pred.gshare.ghr();
+                    let t = Instant::now();
+                    let mem_ok = want_cache && log.build_mem_index_into(&geom, scratch);
+                    let br_ok = want_bp && log.build_branch_index_into(&geom, ghr, scratch);
+                    outcome.phases.warm += t.elapsed();
+                    WindowIndex {
+                        mem: if mem_ok { Some(&*scratch) } else { None },
+                        br: if br_ok { Some(&*scratch) } else { None },
+                        ghr_at_start: ghr,
+                    }
+                };
+                detailed_window(
+                    machine,
+                    policy,
+                    &mut hier,
+                    &mut pred,
+                    hot_cpu,
+                    w.len,
+                    Some((log, view)),
+                    recon_threads,
+                    &mut outcome,
+                )?;
+            }
+            None => detailed_window(
+                machine,
+                policy,
+                &mut hier,
+                &mut pred,
+                hot_cpu,
+                w.len,
+                None,
+                recon_threads,
+                &mut outcome,
+            )?,
+        }
+    }
+    Ok(outcome)
+}

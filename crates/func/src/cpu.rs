@@ -113,7 +113,7 @@ pub struct ArchState {
 /// (the timing model, warm-up loggers) use. It is the paper's "functional
 /// simulator": it always holds correct architectural state regardless of
 /// what the timing model does.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct Cpu {
     pc: Addr,
     iregs: [u64; 32],
@@ -124,6 +124,37 @@ pub struct Cpu {
     text_end: Addr,
     halted: bool,
     icount: u64,
+}
+
+impl Clone for Cpu {
+    fn clone(&self) -> Cpu {
+        Cpu {
+            pc: self.pc,
+            iregs: self.iregs,
+            fregs: self.fregs,
+            mem: self.mem.clone(),
+            decoded: self.decoded.clone(),
+            text_base: self.text_base,
+            text_end: self.text_end,
+            halted: self.halted,
+            icount: self.icount,
+        }
+    }
+
+    /// Clones into an existing CPU, reusing its memory pages and decode
+    /// table (see [`Memory::clone_from`]). Snapshot-heavy consumers clone
+    /// per cluster window, so the in-place path matters.
+    fn clone_from(&mut self, source: &Cpu) {
+        self.pc = source.pc;
+        self.iregs = source.iregs;
+        self.fregs = source.fregs;
+        self.mem.clone_from(&source.mem);
+        self.decoded.clone_from(&source.decoded);
+        self.text_base = source.text_base;
+        self.text_end = source.text_end;
+        self.halted = source.halted;
+        self.icount = source.icount;
+    }
 }
 
 impl Cpu {

@@ -20,13 +20,36 @@ type Page = [u8; PAGE_BYTES as usize];
 /// consecutive accesses to the same page, which keeps the functional
 /// simulator fast (the paper's cold phase is pure functional execution, so
 /// its speed sets the baseline all warm-up costs are measured against).
-#[derive(Clone, Default)]
+#[derive(Default)]
 pub struct Memory {
     /// Page number → slot in `pages`.
     index: HashMap<u64, usize>,
-    pages: Vec<Box<Page>>,
+    /// Page frames, stored inline so a clone is one contiguous memcpy
+    /// instead of one heap allocation per resident page. Snapshot-heavy
+    /// consumers (shard checkpoints, the sweep engine's per-window CPU
+    /// captures) clone `Memory` often enough that per-page boxing was
+    /// the dominant cost.
+    pages: Vec<Page>,
     /// Last translated (page number, slot).
     last: Option<(u64, usize)>,
+}
+
+impl Clone for Memory {
+    fn clone(&self) -> Memory {
+        Memory { index: self.index.clone(), pages: self.pages.clone(), last: self.last }
+    }
+
+    /// Clones into an existing memory, reusing its page-frame and index
+    /// allocations. Snapshot pools (the sweep engine's recycled per-window
+    /// captures) re-fill retired memories in place, so repeated snapshots
+    /// cost a memcpy instead of fresh page-granular allocations — which on
+    /// fault-expensive hosts is the difference between an O(resident)
+    /// copy and an O(resident) trip through the kernel.
+    fn clone_from(&mut self, source: &Memory) {
+        self.index.clone_from(&source.index);
+        self.pages.clone_from(&source.pages);
+        self.last = source.last;
+    }
 }
 
 impl std::fmt::Debug for Memory {
@@ -73,7 +96,7 @@ impl Memory {
             Some(&s) => s,
             None => {
                 let s = self.pages.len();
-                self.pages.push(Box::new([0; PAGE_BYTES as usize]));
+                self.pages.push([0; PAGE_BYTES as usize]);
                 self.index.insert(page_no, s);
                 s
             }
