@@ -23,11 +23,15 @@ cargo test -q -p rsr-integration --test recon_partition
 # must stay bit-identical to its standalone run, and supervision must
 # compose unchanged through the capture pass.
 cargo test -q -p rsr-integration --test sweep_equivalence
+# The service fault matrix, by name: worker panics, corrupt cache entries,
+# deadlines, overload shedding, stalls, and kill-and-restart recovery all
+# must settle as typed statuses, and cache hits must stay bit-identical.
+cargo test -q -p rsr-integration --test serve_robustness
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
-# Advisory (warn-only): the core engine should fail typed, not panic.
+# Hard gate: the core engine and its deps must fail typed, not panic.
 # clippy.toml exempts test code.
-cargo clippy -p rsr-core -- -A warnings -W clippy::unwrap_used -W clippy::expect_used
+cargo clippy -p rsr-core -- -A warnings -D clippy::unwrap_used -D clippy::expect_used
 
 # Bench-smoke regression guard: recon_ns_per_record is per-record, so the
 # smoke run is comparable to the committed full-scale reference. A >25%
@@ -78,5 +82,51 @@ if ./target/release/rsr bench --scale 0.05 --sweep-smoke \
 else
   echo "ci: sweep emission failed (non-fatal)"
 fi
+
+# Serve smoke: a real daemon process on the loopback, driven through the
+# CLI. The second submission must be a cache hit with the same IPC line,
+# a flipped byte in the stored entry must be quarantined and recomputed,
+# and a drain must bring the daemon down with exit 0.
+serve_cache=target/serve-smoke-cache
+serve_addr=127.0.0.1:7413
+rm -rf "$serve_cache"
+./target/release/rsr serve --cache "$serve_cache" --addr "$serve_addr" --scale 0.05 &
+serve_pid=$!
+for _ in $(seq 1 50); do
+  if ./target/release/rsr submit --addr "$serve_addr" --stats >/dev/null 2>&1; then
+    break
+  fi
+  sleep 0.1
+done
+submit_job() {
+  ./target/release/rsr submit twolf --addr "$serve_addr" \
+    --clusters 8 --len 300 -n 100000 --seed 7
+}
+cold=$(submit_job)
+echo "ci: serve cold: $cold"
+grep -q "computed:" <<<"$cold"
+hit=$(submit_job)
+echo "ci: serve hit:  $hit"
+grep -q "cache_hit:" <<<"$hit"
+strip_run_details() { sed 's/^[0-9a-f]* [a-z_]*: //; s/, [0-9]* attempts*$//' <<<"$1"; }
+if [ "$(strip_run_details "$cold")" != "$(strip_run_details "$hit")" ]; then
+  echo "ci: serve cache hit drifted from the computed result"
+  exit 1
+fi
+# Truncate the stored entry mid-payload: the daemon must detect the
+# corruption, quarantine the file, and recompute the same answer.
+entry=$(ls "$serve_cache"/*.rsrc | head -1)
+truncate -s 40 "$entry"
+recomputed=$(submit_job)
+echo "ci: serve heal: $recomputed"
+grep -q "recomputed:" <<<"$recomputed"
+if [ "$(strip_run_details "$cold")" != "$(strip_run_details "$recomputed")" ]; then
+  echo "ci: serve recompute drifted from the original result"
+  exit 1
+fi
+ls "$serve_cache"/*.rsrc.quarantined >/dev/null
+./target/release/rsr submit --addr "$serve_addr" --drain
+wait "$serve_pid"
+echo "ci: serve smoke ok (cold, cache hit, quarantine+recompute, drain)"
 
 echo "ci: all checks passed"

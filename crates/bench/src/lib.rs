@@ -43,8 +43,10 @@ use std::io::Write as _;
 use std::path::PathBuf;
 
 mod sample_bench;
+mod serve_bench;
 mod sweep_bench;
 pub use sample_bench::{run_bench_matrix, run_bench_sample, to_json_array, BenchSample};
+pub use serve_bench::{run_serve_sample, ServeSample};
 pub use sweep_bench::{run_sweep_sample, sweep_grid, SweepPoint, SweepSample};
 
 use rsr_core::{FullOutcome, MachineConfig, RunSpec, SampleOutcome, SamplingRegimen, WarmupPolicy};

@@ -211,7 +211,11 @@ impl CounterInference {
     /// Exact state, if pinned.
     pub fn resolved(&self) -> Option<Counter2> {
         let set = self.possible();
-        set.is_exact().then(|| Counter2(set.states().next().unwrap()))
+        if set.is_exact() {
+            set.states().next().map(Counter2)
+        } else {
+            None
+        }
     }
 
     /// `true` once more history cannot change the answer.
@@ -288,7 +292,10 @@ impl InferenceTable {
 
 impl Default for InferenceTable {
     fn default() -> Self {
-        InferenceTable::new(Self::DEFAULT_MAX_LEN).expect("default len is valid")
+        match InferenceTable::new(Self::DEFAULT_MAX_LEN) {
+            Ok(t) => t,
+            Err(_) => unreachable!("DEFAULT_MAX_LEN is a valid history length"),
+        }
     }
 }
 

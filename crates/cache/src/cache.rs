@@ -125,7 +125,9 @@ impl Cache {
     ///
     /// Panics if the configuration fails [`CacheConfig::validate`].
     pub fn new(cfg: CacheConfig) -> Cache {
-        cfg.validate().expect("invalid cache config");
+        if let Err(e) = cfg.validate() {
+            panic!("invalid cache config: {e}");
+        }
         let num_sets = cfg.num_sets();
         let assoc = cfg.assoc;
         let mut lines = Vec::with_capacity(num_sets * assoc);
@@ -253,10 +255,20 @@ impl Cache {
             return AccessOutcome { hit: false, filled: false, writeback: None };
         }
 
-        // Victim: an invalid way if any, else the LRU way.
-        let victim = lines.iter().position(|l| !l.valid).unwrap_or_else(|| {
-            lines.iter().position(|l| l.rank as usize == lines.len() - 1).expect("lru way")
-        });
+        // Victim: an invalid way if any, else the LRU way. Ranks are a
+        // permutation of `0..assoc`, so the highest rank is the LRU way.
+        let victim = match lines.iter().position(|l| !l.valid) {
+            Some(i) => i,
+            None => {
+                let mut lru = 0;
+                for (i, l) in lines.iter().enumerate() {
+                    if l.rank > lines[lru].rank {
+                        lru = i;
+                    }
+                }
+                lru
+            }
+        };
         let victim_rank = lines[victim].rank;
         let mut writeback = None;
         if lines[victim].valid && lines[victim].dirty {
@@ -364,13 +376,16 @@ impl Cache {
 
         // Insert into the stalest non-reconstructed way: invalid ways first,
         // then the valid stale way with the highest (oldest) rank.
-        let victim = lines
+        let victim = match lines
             .iter()
             .enumerate()
             .filter(|(_, l)| !l.is_reconstructed())
             .max_by_key(|(_, l)| (!l.valid, l.rank))
             .map(|(i, _)| i)
-            .expect("incomplete set has a stale way");
+        {
+            Some(i) => i,
+            None => unreachable!("incomplete set has a stale way"),
+        };
         lines[victim] =
             Line { valid: true, dirty: false, tag, rank: lines[victim].rank, recon_seq: seq };
         self.recon_counts[set] += 1;
@@ -582,13 +597,16 @@ impl ReconSetSlice<'_> {
             return ReconOutcome::MarkedPresent;
         }
 
-        let victim = lines
+        let victim = match lines
             .iter()
             .enumerate()
             .filter(|(_, l)| !l.is_reconstructed())
             .max_by_key(|(_, l)| (!l.valid, l.rank))
             .map(|(i, _)| i)
-            .expect("incomplete set has a stale way");
+        {
+            Some(i) => i,
+            None => unreachable!("incomplete set has a stale way"),
+        };
         lines[victim] =
             Line { valid: true, dirty: false, tag, rank: lines[victim].rank, recon_seq: seq };
         self.recon_counts[local] += 1;

@@ -69,7 +69,9 @@ impl CacheConfig {
     ///
     /// Panics if the geometry is inconsistent (see [`CacheConfig::validate`]).
     pub fn num_sets(&self) -> usize {
-        self.validate().expect("invalid cache config");
+        if let Err(e) = self.validate() {
+            panic!("invalid cache config: {e}");
+        }
         (self.size_bytes / (self.assoc as u64 * self.line_bytes)) as usize
     }
 

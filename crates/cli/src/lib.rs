@@ -16,7 +16,11 @@
 
 use rsr_core::{Pct, SimError, WarmupPolicy};
 use rsr_func::{ExecError, LoadError};
+use rsr_serve::FailClass;
 use rsr_workloads::Benchmark;
+
+/// The default daemon endpoint shared by `rsr serve` and `rsr submit`.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7411";
 
 /// A parsed command line.
 #[derive(Clone, Debug, PartialEq)]
@@ -129,8 +133,36 @@ pub enum Command {
         sweep_configs: usize,
         /// Shorthand for a small sweep row (4 configs) — what ci.sh runs.
         sweep_smoke: bool,
+        /// Append a service row: an in-process daemon round-trip measuring
+        /// cold-vs-cached latency and hit rate.
+        serve_smoke: bool,
         /// Destination for the JSON emission (`None` = stdout).
         out: Option<String>,
+    },
+    /// `rsr serve [--cache DIR] [--addr A] [--workers N] [--queue-depth N] [--max-job-retries R] [--default-deadline-secs S] [--scale S]`
+    Serve {
+        /// Result-cache and queue-journal directory.
+        cache_dir: String,
+        /// Bind address (localhost; port 0 = ephemeral).
+        addr: String,
+        /// Worker pool size (0 = auto: host cores capped at 4).
+        workers: usize,
+        /// Queue slots beyond the running set before admission control
+        /// sheds load.
+        queue_depth: usize,
+        /// Supervised retry budget per job.
+        max_job_retries: u32,
+        /// Deadline for jobs that do not carry their own.
+        deadline_secs: Option<u64>,
+        /// Workload build scale shared by all jobs.
+        scale: f64,
+    },
+    /// `rsr submit <bench> [flags] | rsr submit --stats | rsr submit --drain`
+    Submit {
+        /// Daemon endpoint.
+        addr: String,
+        /// What to ask the daemon.
+        action: SubmitAction,
     },
     /// `rsr simpoint <bench> [--interval I] [--k K] [--warm] [-n INSTS]`
     Simpoint {
@@ -147,6 +179,42 @@ pub enum Command {
     },
 }
 
+/// The payload of a `rsr submit` invocation.
+#[derive(Clone, Debug, PartialEq)]
+pub enum SubmitAction {
+    /// Submit one sampled run.
+    Job {
+        /// Workload to sample.
+        bench: Benchmark,
+        /// Warm-up policy.
+        policy: WarmupPolicy,
+        /// Number of clusters.
+        clusters: usize,
+        /// Cluster length.
+        len: u64,
+        /// Total instructions.
+        n: u64,
+        /// Schedule seed.
+        seed: u64,
+        /// L1D capacity override in KiB (`None` = paper geometry).
+        l1d_kb: Option<u64>,
+        /// Gshare history depth override (`None` = paper geometry).
+        ghr_bits: Option<u32>,
+        /// Shard span override (`None` = engine default).
+        shard_span: Option<u64>,
+        /// Per-region RSR log cap in bytes (`None` = unbounded).
+        log_budget: Option<u64>,
+        /// Per-job deadline in milliseconds (`None` = daemon default).
+        deadline_ms: Option<u64>,
+        /// Queue and return immediately instead of waiting for the result.
+        no_wait: bool,
+    },
+    /// Read the daemon's counters.
+    Stats,
+    /// Drain the daemon to a clean stop.
+    Drain,
+}
+
 /// A usage/parsing error with a human-readable message.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct UsageError(pub String);
@@ -159,8 +227,45 @@ impl std::fmt::Display for UsageError {
 
 impl std::error::Error for UsageError {}
 
-/// Everything the `rsr` binary can fail with: bad arguments or a
-/// simulation error. Simulator and functional-core errors convert via
+/// A failure of the job service itself, as opposed to the job it ran:
+/// the daemon could not be reached, shed the request, or refused it.
+/// All of these exit with code 8 so campaign scripts can separate
+/// "retry against the service" from "the spec/workload is at fault".
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ServiceError {
+    /// No daemon answered at the address, or the reply was not protocol.
+    Unavailable(String),
+    /// Admission control shed the request; retry once the queue drains.
+    Overloaded {
+        /// Jobs queued or running when the request arrived.
+        inflight: u64,
+        /// The admission limit (workers + queue depth).
+        limit: u64,
+    },
+    /// The daemon refused the request (e.g. it is draining) or reported
+    /// an internal error.
+    Rejected(String),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Unavailable(m) => write!(f, "service unavailable: {m}"),
+            ServiceError::Overloaded { inflight, limit } => write!(
+                f,
+                "daemon overloaded: {inflight} jobs in flight (limit {limit}); \
+                 retry when the queue drains"
+            ),
+            ServiceError::Rejected(m) => write!(f, "daemon rejected the request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {}
+
+/// Everything the `rsr` binary can fail with: bad arguments, a
+/// simulation error, a job-service failure, or a job the daemon ran and
+/// reported failed. Simulator and functional-core errors convert via
 /// `From`, so driver code uses plain `?`.
 #[derive(Clone, Debug, PartialEq)]
 pub enum CliError {
@@ -168,6 +273,19 @@ pub enum CliError {
     Usage(UsageError),
     /// The simulation itself failed.
     Sim(SimError),
+    /// The job service failed (exit code 8) — distinct from a job that
+    /// ran and failed, which keeps its engine exit class.
+    Service(ServiceError),
+    /// The daemon ran the job and it failed; the typed wire class maps
+    /// back onto the engine exit codes (deadline 7, shard/panic 6, …).
+    Job {
+        /// The daemon's failure class.
+        class: FailClass,
+        /// The underlying error message.
+        message: String,
+        /// Supervised attempts consumed.
+        attempts: u32,
+    },
 }
 
 impl std::fmt::Display for CliError {
@@ -175,6 +293,13 @@ impl std::fmt::Display for CliError {
         match self {
             CliError::Usage(e) => write!(f, "{e}"),
             CliError::Sim(e) => write!(f, "{e}"),
+            CliError::Service(e) => write!(f, "{e}"),
+            CliError::Job { class, message, attempts } => write!(
+                f,
+                "job failed ({}, {attempts} attempt{}): {message}",
+                class.as_str(),
+                if *attempts == 1 { "" } else { "s" }
+            ),
         }
     }
 }
@@ -184,6 +309,8 @@ impl std::error::Error for CliError {
         match self {
             CliError::Usage(e) => Some(e),
             CliError::Sim(e) => Some(e),
+            CliError::Service(e) => Some(e),
+            CliError::Job { .. } => None,
         }
     }
 }
@@ -201,7 +328,12 @@ impl CliError {
     /// | 5 | degenerate run spec |
     /// | 6 | shard fault (lost/panicked worker, corrupt checkpoint) |
     /// | 7 | deadline exceeded |
+    /// | 8 | service error (daemon unreachable, overloaded, draining) |
     /// | 1 | anything else |
+    ///
+    /// A job the daemon ran and reported failed keeps its engine class
+    /// (a remote deadline still exits 7, a supervised panic 6, a
+    /// degenerate spec 5) — only failures *of the service* exit 8.
     pub fn exit_code(&self) -> u8 {
         match self {
             CliError::Usage(_) => 2,
@@ -213,6 +345,13 @@ impl CliError {
             }
             CliError::Sim(SimError::DeadlineExceeded { .. }) => 7,
             CliError::Sim(_) => 1,
+            CliError::Service(_) => 8,
+            CliError::Job { class, .. } => match class {
+                FailClass::Deadline => 7,
+                FailClass::Panic | FailClass::Shard => 6,
+                FailClass::Spec => 5,
+                FailClass::Sim => 1,
+            },
         }
     }
 }
@@ -271,14 +410,36 @@ commands:
                                 8 configs, r$bp 20%, 30x1000, 2M, seed 42, 1 thread;
                                 per-config results are bit-identical to standalone runs)
   bench  [--scale S] [--seed N] [--threads T] [--pipeline-depth D] [--recon-threads R]
-         [--sweep-configs N] [--sweep-smoke] [--out PATH]
+         [--sweep-configs N] [--sweep-smoke] [--serve-smoke] [--out PATH]
                                 reproducible perf trajectory: runs mcf under r$bp 20%
                                 and emits BENCH_sample.json-shaped metrics (cold-phase
                                 MIPS, recon ns/record per structure, peak log bytes, wall
                                 seconds) to PATH or stdout (defaults: scale 1.0, seed 42,
                                 1 thread; default depth 0 emits a [depth-1, auto] array;
                                 --sweep-configs N appends a sweep row fanning N configs
-                                out of one cold pass, --sweep-smoke = 4-config shorthand)
+                                out of one cold pass, --sweep-smoke = 4-config shorthand;
+                                --serve-smoke appends a service row: an in-process daemon
+                                round-trip measuring cold-vs-cached latency and hit rate)
+  serve  [--cache DIR] [--addr A] [--workers N] [--queue-depth N] [--max-job-retries R]
+         [--default-deadline-secs S] [--scale S]
+                                job daemon over localhost TCP: schedules submitted sampled
+                                runs across the core budget, dedupes identical in-flight
+                                specs, supervises each job (panic/shard-fault retries with
+                                deterministic backoff, per-job deadlines, load shedding),
+                                and answers repeat submissions bit-identically from a
+                                crash-safe content-addressed result cache; a kill mid-queue
+                                resumes from the journal on restart, and `rsr submit
+                                --drain` stops it cleanly (defaults: cache .rsr-cache,
+                                127.0.0.1:7411, auto workers, queue depth 16, 1 retry)
+  submit <bench> [--addr A] [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS]
+         [--seed S] [--l1d-kb K] [--ghr-bits B] [--shard-span S] [--log-budget BYTES]
+         [--deadline-ms MS] [--no-wait]
+  submit --stats | submit --drain [--addr A]
+                                submit one sampled run to a daemon and print the result
+                                (computed | cache_hit | recomputed), queue without waiting,
+                                read the daemon's counters, or drain it to a clean stop
+                                (job defaults match `rsr sample`; --l1d-kb/--ghr-bits
+                                override the paper machine geometry)
   simpoint <bench> [--interval I] [--k K] [--warm] [-n INSTS]
                                 SimPoint analysis + simulation
   ckpt   <bench> [--clusters N] [--len N] [-n INSTS] [--replays R]
@@ -286,7 +447,8 @@ commands:
 
 policies: none | fp | s$ | sbp | s$bp | r$ | rbp | r$bp | mrrl | blrl
 benchmarks: ammp art gcc mcf parser perl twolf vortex vpr
-exit codes: 0 ok | 1 other | 2 usage | 3 load | 4 exec | 5 spec | 6 shard fault | 7 deadline";
+exit codes: 0 ok | 1 other | 2 usage | 3 load | 4 exec | 5 spec | 6 shard fault | 7 deadline
+            8 service (daemon unreachable, overloaded, or draining)";
 
 /// Parses a warm-up policy name plus an optional percentage.
 pub fn parse_policy(name: &str, pct: u8) -> Result<WarmupPolicy, UsageError> {
@@ -339,6 +501,14 @@ impl Flags<'_> {
             Some(v) => {
                 v.parse().map(Some).map_err(|_| UsageError(format!("bad value `{v}` for {flag}")))
             }
+        }
+    }
+
+    fn string(&self, flag: &str, default: &str) -> Result<String, UsageError> {
+        match self.value(flag) {
+            None if self.present(flag) => Err(UsageError(format!("missing value for {flag}"))),
+            None => Ok(default.to_string()),
+            Some(v) => Ok(v.to_string()),
         }
     }
 
@@ -429,6 +599,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             recon_threads: flags.parsed("--recon-threads", 0)?,
             sweep_configs: flags.parsed("--sweep-configs", 0)?,
             sweep_smoke: flags.present("--sweep-smoke"),
+            serve_smoke: flags.present("--serve-smoke"),
             out: flags.value("--out").map(str::to_string),
         },
         "ckpt" => Command::Ckpt {
@@ -438,6 +609,46 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             n: flags.parsed("-n", 2_000_000)?,
             replays: flags.parsed("--replays", 3)?,
         },
+        "serve" => Command::Serve {
+            cache_dir: flags.string("--cache", ".rsr-cache")?,
+            addr: flags.string("--addr", DEFAULT_SERVE_ADDR)?,
+            workers: flags.parsed("--workers", 0)?,
+            queue_depth: flags.parsed("--queue-depth", 16)?,
+            max_job_retries: flags.parsed("--max-job-retries", 1)?,
+            deadline_secs: flags.parsed_opt("--default-deadline-secs")?,
+            scale: flags.parsed("--scale", 1.0)?,
+        },
+        "submit" => {
+            let addr = flags.string("--addr", DEFAULT_SERVE_ADDR)?;
+            let action = if flags.present("--stats") {
+                SubmitAction::Stats
+            } else if flags.present("--drain") {
+                SubmitAction::Drain
+            } else {
+                let pct: u8 = flags.parsed("--pct", 20)?;
+                let policy_name = match flags.value("--policy") {
+                    None if flags.present("--policy") => {
+                        return Err(UsageError("missing value for --policy".into()))
+                    }
+                    name => name.unwrap_or("r$bp"),
+                };
+                SubmitAction::Job {
+                    bench: parse_bench(rest.first())?,
+                    policy: parse_policy(policy_name, pct)?,
+                    clusters: nonzero(flags.parsed("--clusters", 30)?, "--clusters")?,
+                    len: nonzero(flags.parsed("--len", 1000)?, "--len")?,
+                    n: flags.parsed("-n", 2_000_000)?,
+                    seed: flags.parsed("--seed", 42)?,
+                    l1d_kb: flags.parsed_opt("--l1d-kb")?,
+                    ghr_bits: flags.parsed_opt("--ghr-bits")?,
+                    shard_span: flags.parsed_opt("--shard-span")?,
+                    log_budget: flags.parsed_opt("--log-budget")?,
+                    deadline_ms: flags.parsed_opt("--deadline-ms")?,
+                    no_wait: flags.present("--no-wait"),
+                }
+            };
+            Command::Submit { addr, action }
+        }
         "simpoint" => Command::Simpoint {
             bench: parse_bench(rest.first())?,
             interval: nonzero(flags.parsed("--interval", 10_000)?, "--interval")?,
@@ -621,6 +832,7 @@ mod tests {
                 recon_threads: 0,
                 sweep_configs: 0,
                 sweep_smoke: false,
+                serve_smoke: false,
                 out: None
             }
         );
@@ -638,12 +850,14 @@ mod tests {
                 recon_threads: 4,
                 sweep_configs: 20,
                 sweep_smoke: false,
+                serve_smoke: false,
                 out: Some("BENCH_sample.json".into())
             }
         );
-        match parse(&argv("bench --sweep-smoke")).unwrap() {
-            Command::Bench { sweep_smoke, sweep_configs, .. } => {
+        match parse(&argv("bench --sweep-smoke --serve-smoke")).unwrap() {
+            Command::Bench { sweep_smoke, serve_smoke, sweep_configs, .. } => {
                 assert!(sweep_smoke);
+                assert!(serve_smoke);
                 assert_eq!(sweep_configs, 0);
             }
             other => panic!("parsed {other:?}"),
@@ -719,6 +933,103 @@ mod tests {
         }
         let e = parse(&argv("sample mcf --recon-threads many")).unwrap_err();
         assert!(e.0.contains("bad value"));
+    }
+
+    #[test]
+    fn serve_flags_and_defaults() {
+        assert_eq!(
+            parse(&argv("serve")).unwrap(),
+            Command::Serve {
+                cache_dir: ".rsr-cache".into(),
+                addr: DEFAULT_SERVE_ADDR.into(),
+                workers: 0,
+                queue_depth: 16,
+                max_job_retries: 1,
+                deadline_secs: None,
+                scale: 1.0,
+            }
+        );
+        assert_eq!(
+            parse(&argv(
+                "serve --cache /tmp/c --addr 127.0.0.1:0 --workers 2 --queue-depth 4 \
+                 --max-job-retries 0 --default-deadline-secs 30 --scale 0.1"
+            ))
+            .unwrap(),
+            Command::Serve {
+                cache_dir: "/tmp/c".into(),
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                queue_depth: 4,
+                max_job_retries: 0,
+                deadline_secs: Some(30),
+                scale: 0.1,
+            }
+        );
+        let e = parse(&argv("serve --cache")).unwrap_err();
+        assert!(e.0.contains("missing value"));
+    }
+
+    #[test]
+    fn submit_job_stats_and_drain_parse() {
+        match parse(&argv("submit mcf --l1d-kb 64 --ghr-bits 14 --deadline-ms 500 --no-wait"))
+            .unwrap()
+        {
+            Command::Submit { addr, action } => {
+                assert_eq!(addr, DEFAULT_SERVE_ADDR);
+                match action {
+                    SubmitAction::Job {
+                        bench,
+                        l1d_kb,
+                        ghr_bits,
+                        deadline_ms,
+                        no_wait,
+                        clusters,
+                        len,
+                        ..
+                    } => {
+                        assert_eq!(bench, Benchmark::Mcf);
+                        assert_eq!(
+                            (l1d_kb, ghr_bits, deadline_ms),
+                            (Some(64), Some(14), Some(500))
+                        );
+                        assert!(no_wait);
+                        assert_eq!((clusters, len), (30, 1000), "job defaults match `rsr sample`");
+                    }
+                    other => panic!("parsed {other:?}"),
+                }
+            }
+            other => panic!("parsed {other:?}"),
+        }
+        assert_eq!(
+            parse(&argv("submit --stats --addr 127.0.0.1:9999")).unwrap(),
+            Command::Submit { addr: "127.0.0.1:9999".into(), action: SubmitAction::Stats }
+        );
+        assert_eq!(
+            parse(&argv("submit --drain")).unwrap(),
+            Command::Submit { addr: DEFAULT_SERVE_ADDR.into(), action: SubmitAction::Drain }
+        );
+        let e = parse(&argv("submit")).unwrap_err();
+        assert!(e.0.contains("missing benchmark"));
+        let e = parse(&argv("submit mcf --clusters 0")).unwrap_err();
+        assert!(e.0.contains("must be at least 1"));
+    }
+
+    #[test]
+    fn service_errors_exit_8_but_job_failures_keep_engine_classes() {
+        let unavailable = CliError::Service(ServiceError::Unavailable("refused".into()));
+        assert_eq!(unavailable.exit_code(), 8);
+        let overloaded = CliError::Service(ServiceError::Overloaded { inflight: 5, limit: 4 });
+        assert_eq!(overloaded.exit_code(), 8);
+        assert!(overloaded.to_string().contains("overloaded"));
+        assert_eq!(CliError::Service(ServiceError::Rejected("draining".into())).exit_code(), 8);
+        // A job the daemon ran and reported failed keeps the engine class.
+        let job = |class| CliError::Job { class, message: "m".into(), attempts: 2 };
+        assert_eq!(job(FailClass::Deadline).exit_code(), 7);
+        assert_eq!(job(FailClass::Panic).exit_code(), 6);
+        assert_eq!(job(FailClass::Shard).exit_code(), 6);
+        assert_eq!(job(FailClass::Spec).exit_code(), 5);
+        assert_eq!(job(FailClass::Sim).exit_code(), 1);
+        assert!(job(FailClass::Panic).to_string().contains("panic"));
     }
 
     #[test]

@@ -4,9 +4,10 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use rsr_ckpt::LivePointLibrary;
-use rsr_cli::{parse, CliError, Command};
+use rsr_cli::{parse, CliError, Command, ServiceError, SubmitAction};
 use rsr_core::{ColdSpec, DetailSpec, MachineConfig, RunSpec, SamplingRegimen, SweepSpec};
 use rsr_func::Cpu;
+use rsr_serve::{Daemon, JobSpec, Request, Response, ServeConfig};
 use rsr_simpoint::{analyze, simulate, SimpointConfig};
 use rsr_workloads::{Benchmark, WorkloadParams};
 
@@ -44,6 +45,89 @@ fn main() -> ExitCode {
 
 fn build(bench: Benchmark) -> rsr_isa::Program {
     bench.build(&WorkloadParams::default())
+}
+
+/// One request/response exchange with a daemon for `rsr submit`.
+fn submit(addr: &str, action: SubmitAction) -> Result<(), CliError> {
+    let req = match action {
+        SubmitAction::Stats => Request::Stats,
+        SubmitAction::Drain => Request::Drain,
+        SubmitAction::Job {
+            bench,
+            policy,
+            clusters,
+            len,
+            n,
+            seed,
+            l1d_kb,
+            ghr_bits,
+            shard_span,
+            log_budget,
+            deadline_ms,
+            no_wait,
+        } => Request::Submit {
+            job: JobSpec {
+                bench,
+                n_clusters: clusters,
+                cluster_len: len,
+                total_insts: n,
+                seed,
+                policy,
+                l1d_kb,
+                ghr_bits,
+                shard_span,
+                log_budget,
+                deadline_ms,
+            },
+            wait: !no_wait,
+        },
+    };
+    let response = rsr_serve::request(addr, &req)
+        .map_err(|e| CliError::Service(ServiceError::Unavailable(e.to_string())))?;
+    match response {
+        Response::Done {
+            hash,
+            source,
+            attempts,
+            est_ipc,
+            ipc_err,
+            clusters,
+            clusters_degraded,
+            log_records,
+        } => {
+            outln!(
+                "{hash:016x} {}: IPC {est_ipc:.4} ± {ipc_err:.4} (95% CI), {clusters} clusters, \
+                 {} record{}, {attempts} attempt{}",
+                source.as_str(),
+                log_records,
+                if log_records == 1 { "" } else { "s" },
+                if attempts == 1 { "" } else { "s" }
+            );
+            if clusters_degraded > 0 {
+                outln!(
+                    "guards: {clusters_degraded} cluster{} degraded to stale-state warmup",
+                    if clusters_degraded == 1 { "" } else { "s" }
+                );
+            }
+        }
+        Response::Queued { hash } => outln!("queued {hash:016x}"),
+        Response::Draining { settled } => outln!("daemon drained; {settled} jobs settled"),
+        Response::Stats(stats) => {
+            for (key, value) in stats.rows() {
+                outln!("{key:<12} {value}");
+            }
+        }
+        Response::Overloaded { inflight, limit } => {
+            return Err(CliError::Service(ServiceError::Overloaded { inflight, limit }))
+        }
+        Response::Failed { class, message, attempts, .. } => {
+            return Err(CliError::Job { class, message, attempts })
+        }
+        Response::Error { message } => {
+            return Err(CliError::Service(ServiceError::Rejected(message)))
+        }
+    }
+    Ok(())
 }
 
 fn execute(cmd: Command) -> Result<(), CliError> {
@@ -275,13 +359,14 @@ fn execute(cmd: Command) -> Result<(), CliError> {
             recon_threads,
             sweep_configs,
             sweep_smoke,
+            serve_smoke,
             out,
         } => {
             // Depth 0 (the default) benchmarks the whole pipeline matrix —
             // depth 1 plus the auto depth, when they differ — as a JSON
             // array; an explicit depth emits that one configuration as a
-            // single object (the pre-matrix shape). A requested sweep row
-            // rides along at the end of the array.
+            // single object (the pre-matrix shape). Requested sweep and
+            // service rows ride along at the end of the array.
             let samples = if pipeline_depth == 0 {
                 rsr_bench::run_bench_matrix(scale, seed, threads, recon_threads)
             } else {
@@ -302,23 +387,28 @@ fn execute(cmd: Command) -> Result<(), CliError> {
             };
             let sweep_row = (sweep_n > 0)
                 .then(|| rsr_bench::run_sweep_sample(scale, seed, sweep_n, threads, recon_threads));
-            let json = match &sweep_row {
-                None if pipeline_depth != 0 => samples[0].to_json(),
-                None => rsr_bench::to_json_array(&samples),
-                Some(row) => {
-                    let objects: Vec<String> = samples
-                        .iter()
-                        .map(rsr_bench::BenchSample::to_json)
-                        .chain(std::iter::once(row.to_json()))
-                        .collect();
-                    let mut s = String::from("[\n");
-                    for (i, o) in objects.iter().enumerate() {
-                        s.push_str(o.trim_end());
-                        s.push_str(if i + 1 < objects.len() { ",\n" } else { "\n" });
-                    }
-                    s.push_str("]\n");
-                    s
+            let serve_row = serve_smoke.then(|| rsr_bench::run_serve_sample(scale, seed, 2));
+            let extras: Vec<String> = sweep_row
+                .iter()
+                .map(rsr_bench::SweepSample::to_json)
+                .chain(serve_row.iter().map(rsr_bench::ServeSample::to_json))
+                .collect();
+            let json = if extras.is_empty() {
+                if pipeline_depth != 0 {
+                    samples[0].to_json()
+                } else {
+                    rsr_bench::to_json_array(&samples)
                 }
+            } else {
+                let objects: Vec<String> =
+                    samples.iter().map(rsr_bench::BenchSample::to_json).chain(extras).collect();
+                let mut s = String::from("[\n");
+                for (i, o) in objects.iter().enumerate() {
+                    s.push_str(o.trim_end());
+                    s.push_str(if i + 1 < objects.len() { ",\n" } else { "\n" });
+                }
+                s.push_str("]\n");
+                s
             };
             let sample = &samples[0];
             match out {
@@ -342,6 +432,16 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                             row.sweep_configs,
                             row.wall_ratio,
                             row.amortization,
+                            row.bit_identical
+                        );
+                    }
+                    if let Some(row) = &serve_row {
+                        outln!(
+                            "  serve row: {} jobs, cached speedup {:.1}x, hit rate {:.2}, \
+                             bit-identical {}",
+                            row.jobs,
+                            row.cached_speedup,
+                            row.hit_rate,
                             row.bit_identical
                         );
                     }
@@ -371,6 +471,50 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                 outln!("replay {r}: IPC {:.4} in {:.3}s", out.est_ipc(), out.wall.as_secs_f64());
             }
         }
+        Command::Serve {
+            cache_dir,
+            addr,
+            workers,
+            queue_depth,
+            max_job_retries,
+            deadline_secs,
+            scale,
+        } => {
+            let mut cfg = ServeConfig::new(&cache_dir);
+            cfg.addr = addr;
+            cfg.workers = workers;
+            cfg.queue_depth = queue_depth;
+            cfg.max_job_retries = max_job_retries;
+            cfg.default_deadline = deadline_secs.map(Duration::from_secs);
+            cfg.scale = scale;
+            let daemon = Daemon::start(cfg).map_err(|e| {
+                CliError::Service(ServiceError::Unavailable(format!("cannot start daemon: {e}")))
+            })?;
+            let resumed = daemon.stats().resumed;
+            outln!(
+                "rsr-serve listening on {} (cache: {cache_dir}{})",
+                daemon.local_addr(),
+                if resumed > 0 {
+                    format!(", resumed {resumed} journaled jobs")
+                } else {
+                    String::new()
+                }
+            );
+            // Blocks until a client sends `drain`; no signal handling in
+            // the offline build, so shutdown is a protocol verb.
+            let stats = daemon.wait();
+            outln!(
+                "drained: {} completed, {} failed, {} cache hits, {} deduped, {} shed, \
+                 {} retries",
+                stats.completed,
+                stats.failed,
+                stats.cache_hits,
+                stats.deduped,
+                stats.shed,
+                stats.retries
+            );
+        }
+        Command::Submit { addr, action } => submit(&addr, action)?,
         Command::Simpoint { bench, interval, k, warm, n } => {
             let p = build(bench);
             let cfg = SimpointConfig { warm, max_k: k, ..SimpointConfig::new(interval) };

@@ -56,10 +56,48 @@ pub enum FaultKind {
     /// it still surfaces as [`crate::SimError::ShardPanicked`]. A no-op
     /// where [`FaultKind::LeaderPanic`] is.
     FollowerPanic,
+    /// *Service-level*: the targeted job's result-cache entry is written
+    /// with a flipped payload byte, as if the disk lied. The group index is
+    /// the job's admission order in the serving daemon. A read of the
+    /// damaged entry must fail its checksum, quarantine the file, and
+    /// recompute — never serve the corrupt bytes. Ignored by the run
+    /// engine itself (which has no result cache).
+    CorruptCacheEntry,
+    /// *Service-level*: the targeted job's worker hangs for
+    /// [`STALL_JOB_DELAY`] before simulating — a stuck job. Results must
+    /// be unaffected; a per-job deadline shorter than the stall trips
+    /// deterministically. The group index is the job's admission order.
+    /// Ignored by the run engine itself.
+    StallJob,
+}
+
+impl FaultKind {
+    /// The kinds the sharded *run engine* injects (the
+    /// [`FaultPlan::from_seed`] universe).
+    pub const ENGINE: [FaultKind; 7] = [
+        FaultKind::WorkerPanic,
+        FaultKind::DropCheckpoint,
+        FaultKind::CorruptCheckpoint,
+        FaultKind::ExhaustLogBudget,
+        FaultKind::SlowShard,
+        FaultKind::LeaderPanic,
+        FaultKind::FollowerPanic,
+    ];
+
+    /// The kinds a serving daemon injects per *job* (group = admission
+    /// order): supervised-worker panics, stuck jobs, and lying cache
+    /// writes.
+    pub const SERVICE: [FaultKind; 3] =
+        [FaultKind::WorkerPanic, FaultKind::StallJob, FaultKind::CorruptCacheEntry];
 }
 
 /// How long a [`FaultKind::SlowShard`] straggler sleeps per fire.
 pub const SLOW_SHARD_DELAY: Duration = Duration::from_millis(20);
+
+/// How long a [`FaultKind::StallJob`] worker hangs per fire — long enough
+/// that a millisecond-scale job deadline trips deterministically, short
+/// enough to keep fault-matrix tests fast.
+pub const STALL_JOB_DELAY: Duration = Duration::from_millis(150);
 
 /// One planned fault: a kind, the worker group it strikes (in schedule
 /// order), and how many times it fires before letting attempts through.
@@ -107,23 +145,30 @@ impl FaultPlan {
         self
     }
 
-    /// Derives a plan of `n` faults over worker groups `0..groups` from a
-    /// seed — the same seed always yields the same plan, so randomized
-    /// fault sweeps are replayable from their seed alone.
+    /// Derives a plan of `n` engine faults ([`FaultKind::ENGINE`]) over
+    /// worker groups `0..groups` from a seed — the same seed always yields
+    /// the same plan, so randomized fault sweeps are replayable from their
+    /// seed alone.
     pub fn from_seed(seed: u64, n: usize, groups: usize) -> FaultPlan {
-        const KINDS: [FaultKind; 7] = [
-            FaultKind::WorkerPanic,
-            FaultKind::DropCheckpoint,
-            FaultKind::CorruptCheckpoint,
-            FaultKind::ExhaustLogBudget,
-            FaultKind::SlowShard,
-            FaultKind::LeaderPanic,
-            FaultKind::FollowerPanic,
-        ];
+        FaultPlan::from_seed_with_kinds(seed, n, groups, &FaultKind::ENGINE)
+    }
+
+    /// [`FaultPlan::from_seed`] over an explicit fault universe — e.g.
+    /// [`FaultKind::SERVICE`] for a seed-derived storm against a serving
+    /// daemon's per-job supervision.
+    pub fn from_seed_with_kinds(
+        seed: u64,
+        n: usize,
+        groups: usize,
+        kinds: &[FaultKind],
+    ) -> FaultPlan {
         let mut state = seed;
         let mut plan = FaultPlan::new();
+        if kinds.is_empty() {
+            return plan;
+        }
         for _ in 0..n {
-            let kind = KINDS[(splitmix64(&mut state) % KINDS.len() as u64) as usize];
+            let kind = kinds[(splitmix64(&mut state) % kinds.len() as u64) as usize];
             let group = (splitmix64(&mut state) % groups.max(1) as u64) as usize;
             plan = plan.with(kind, group);
         }
@@ -152,14 +197,20 @@ impl FaultPlan {
 /// and the retry supervisor, it meters each `(kind, group)` fault's
 /// remaining fires under a mutex so concurrent workers and sequential
 /// retries all draw from one deterministic budget.
+///
+/// Public so service layers (the `rsr serve` daemon) can arm the same
+/// plans against per-*job* supervision: the service-level probes
+/// ([`FaultInjector::corrupt_cache_entry`], [`FaultInjector::stall_delay`],
+/// [`FaultInjector::job_panic_message`]) key the group index by job
+/// admission order. The engine-level probes stay crate-private.
 #[derive(Debug)]
-pub(crate) struct FaultInjector {
+pub struct FaultInjector {
     remaining: Mutex<HashMap<(FaultKind, usize), u32>>,
 }
 
 impl FaultInjector {
     /// Arms `plan` (fire counts for the same `(kind, group)` accumulate).
-    pub(crate) fn new(plan: &FaultPlan) -> FaultInjector {
+    pub fn new(plan: &FaultPlan) -> FaultInjector {
         let mut remaining: HashMap<(FaultKind, usize), u32> = HashMap::new();
         for f in &plan.faults {
             *remaining.entry((f.kind, f.group)).or_insert(0) += f.fires;
@@ -213,6 +264,27 @@ impl FaultInjector {
         self.take(FaultKind::FollowerPanic, group)
             .then(|| format!("injected fault: group {group} pipeline follower panic"))
     }
+
+    /// Should the result-cache entry written for job `job` be damaged
+    /// (one payload byte flipped after the checksum is computed)?
+    /// Service-level: the run engine never consults this.
+    pub fn corrupt_cache_entry(&self, job: usize) -> bool {
+        self.take(FaultKind::CorruptCacheEntry, job)
+    }
+
+    /// How long job `job`'s worker should hang before simulating
+    /// ([`STALL_JOB_DELAY`] per armed fire). Service-level.
+    pub fn stall_delay(&self, job: usize) -> Option<Duration> {
+        self.take(FaultKind::StallJob, job).then_some(STALL_JOB_DELAY)
+    }
+
+    /// The panic message to raise in job `job`'s supervised worker, if a
+    /// [`FaultKind::WorkerPanic`] is armed against it. Service-level alias
+    /// of the engine's worker-panic probe, keyed by job admission order.
+    pub fn job_panic_message(&self, job: usize) -> Option<String> {
+        self.take(FaultKind::WorkerPanic, job)
+            .then(|| format!("injected fault: job {job} worker panic"))
+    }
 }
 
 /// SplitMix64 — tiny, seedable, and good enough to spread faults over the
@@ -263,6 +335,32 @@ mod tests {
         assert!(!FaultPlan::new()
             .with_repeated(FaultKind::ExhaustLogBudget, 0, 0)
             .forces_log_exhaustion());
+    }
+
+    #[test]
+    fn service_faults_meter_like_engine_faults() {
+        let plan = FaultPlan::new()
+            .with(FaultKind::CorruptCacheEntry, 0)
+            .with_repeated(FaultKind::StallJob, 1, 2)
+            .with(FaultKind::WorkerPanic, 2);
+        let inj = FaultInjector::new(&plan);
+        assert!(inj.corrupt_cache_entry(0));
+        assert!(!inj.corrupt_cache_entry(0), "budget spent; rewrite is clean");
+        assert!(!inj.corrupt_cache_entry(1), "untargeted job untouched");
+        assert_eq!(inj.stall_delay(1), Some(STALL_JOB_DELAY));
+        assert_eq!(inj.stall_delay(1), Some(STALL_JOB_DELAY));
+        assert_eq!(inj.stall_delay(1), None);
+        assert!(inj.job_panic_message(2).is_some());
+        assert!(inj.job_panic_message(2).is_none(), "retry attempt succeeds");
+    }
+
+    #[test]
+    fn seeded_service_plans_stay_in_the_service_universe() {
+        let plan = FaultPlan::from_seed_with_kinds(0xFEED, 16, 4, &FaultKind::SERVICE);
+        assert_eq!(plan.faults().len(), 16);
+        assert!(plan.faults().iter().all(|f| FaultKind::SERVICE.contains(&f.kind) && f.group < 4));
+        assert_eq!(plan, FaultPlan::from_seed_with_kinds(0xFEED, 16, 4, &FaultKind::SERVICE));
+        assert!(FaultPlan::from_seed_with_kinds(1, 8, 2, &[]).is_empty());
     }
 
     #[test]

@@ -58,7 +58,9 @@ mod shard;
 mod spec;
 mod sweep;
 
-pub use crate::fault::{Fault, FaultKind, FaultPlan, SLOW_SHARD_DELAY};
+pub use crate::fault::{
+    Fault, FaultInjector, FaultKind, FaultPlan, SLOW_SHARD_DELAY, STALL_JOB_DELAY,
+};
 pub use crate::log::{BranchRecord, LogPool, MemRecord, ReconGeometry, SkipLog};
 pub use crate::policy::{Pct, WarmupPolicy};
 pub use crate::profiled::{profile_reuse, ReusePolicy, ReuseProfile};

@@ -652,10 +652,10 @@ impl SkipLog {
     }
 
     fn mem_ext_at(&self, i: usize) -> &MemExt {
-        let k = self
-            .mem_ext
-            .binary_search_by_key(&(i as u64), |e| e.index)
-            .expect("side column says ext, but no ext entry for this record");
+        let k = match self.mem_ext.binary_search_by_key(&(i as u64), |e| e.index) {
+            Ok(k) => k,
+            Err(_) => unreachable!("side column says ext, but no ext entry for this record"),
+        };
         &self.mem_ext[k]
     }
 
@@ -692,10 +692,10 @@ impl SkipLog {
         let kind = kind_from_meta(b.meta);
         let target = b.target;
         let (pc, next_pc) = if b.meta & BR_EXT != 0 {
-            let k = self
-                .br_ext
-                .binary_search_by_key(&(i as u64), |e| e.index)
-                .expect("meta says ext, but no ext entry for this branch");
+            let k = match self.br_ext.binary_search_by_key(&(i as u64), |e| e.index) {
+                Ok(k) => k,
+                Err(_) => unreachable!("meta says ext, but no ext entry for this branch"),
+            };
             (self.br_ext[k].pc, self.br_ext[k].next_pc)
         } else {
             let pc = b.pc32 as u64;

@@ -110,7 +110,11 @@ impl Schedule {
             if best.is_none_or(|(_, _, g)| tail_gap > g) {
                 best = Some((windows.len(), cursor, tail_gap));
             }
-            let (at, gap_start, gap_len) = best.expect("nonempty candidates");
+            // `best` was just seeded by the tail-gap branch if it was empty.
+            let (at, gap_start, gap_len) = match best {
+                Some(b) => b,
+                None => unreachable!("nonempty candidates"),
+            };
             assert!(gap_len >= len, "cannot place cluster: schedule too dense");
             let start = gap_start + (gap_len - len) / 2;
             windows.insert(at, ClusterWindow { start, len });

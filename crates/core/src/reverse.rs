@@ -218,7 +218,11 @@ fn walk_cache(
             .collect();
         workers
             .into_iter()
-            .map(|w| w.join().expect("set-walk worker panicked"))
+            .map(|w| match w.join() {
+                Ok(agg) => agg,
+                // Re-raise with the worker's own payload intact.
+                Err(payload) => std::panic::resume_unwind(payload),
+            })
             .fold(LevelAgg { complete: true, ..LevelAgg::default() }, LevelAgg::merge)
     })
 }

@@ -210,6 +210,54 @@ impl<'a> ColdSpec<'a> {
         Ok(Schedule::generate(regimen, self.total_insts, self.seed))
     }
 
+    /// A canonical FNV-1a fingerprint of everything about this half that
+    /// can influence the *deterministic* outcome of a run: the full
+    /// program image (text, data, entry, stack) and the materialized
+    /// schedule it is sampled under, plus the shard span (which places the
+    /// deliberate cold-start boundaries) and the resolved log budget
+    /// (which decides stale-state degradation).
+    ///
+    /// Deliberately excluded: retry budgets and deadlines (they decide
+    /// *whether* a run completes, never what a completed run reports) and
+    /// the fault plan's healing faults — except forced log exhaustion,
+    /// which is folded in through the resolved budget. The schedule is
+    /// hashed in materialized form, so a regimen+seed pair and an explicit
+    /// [`ColdSpec::schedule`] describing the same windows fingerprint
+    /// identically.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ColdSpec::build_schedule`] rejects.
+    pub fn content_hash(&self) -> Result<u64, SimError> {
+        let schedule = self.build_schedule()?;
+        let mut h = Fnv::new();
+        h.u64(self.program.text_base());
+        h.u64(self.program.text().len() as u64);
+        for &w in self.program.text() {
+            h.bytes(&w.to_le_bytes());
+        }
+        h.u64(self.program.data_base());
+        h.u64(self.program.data().len() as u64);
+        h.bytes(self.program.data());
+        h.u64(self.program.entry());
+        h.u64(self.program.stack_top());
+        h.u64(schedule.total_insts());
+        h.u64(schedule.windows().len() as u64);
+        for w in schedule.windows() {
+            h.u64(w.start);
+            h.u64(w.len);
+        }
+        h.u64(self.shard_span);
+        match self.resolved_log_budget() {
+            Some(b) => {
+                h.u8(1);
+                h.u64(b as u64);
+            }
+            None => h.u8(0),
+        }
+        Ok(h.finish())
+    }
+
     /// The log budget the cold engine should enforce: the armed fault
     /// plan's forced exhaustion wins over the configured cap.
     pub(crate) fn resolved_log_budget(&self) -> Option<usize> {
@@ -293,6 +341,60 @@ impl DetailSpec {
     /// The machine this half simulates.
     pub fn machine(&self) -> &MachineConfig {
         &self.machine
+    }
+
+    /// A canonical FNV-1a fingerprint of everything about this half that
+    /// can influence the deterministic outcome: the warm-up policy and the
+    /// full machine geometry (core, hierarchy, predictor).
+    ///
+    /// Deliberately excluded: [`DetailSpec::threads`],
+    /// [`DetailSpec::pipeline_depth`], and [`DetailSpec::recon_threads`] —
+    /// the engine is bit-identical across every parallelism setting
+    /// (locked down by the sharding/pipeline/recon equivalence suites), so
+    /// two specs differing only in those knobs are the *same* computation
+    /// and must share a fingerprint. Cache display names are likewise
+    /// skipped.
+    pub fn content_hash(&self) -> u64 {
+        let mut h = Fnv::new();
+        hash_policy(&mut h, self.policy);
+        let core = &self.machine.core;
+        for v in [
+            core.fetch_width as u64,
+            core.dispatch_width as u64,
+            core.issue_width as u64,
+            core.retire_width as u64,
+            core.rob_entries as u64,
+            core.iq_entries as u64,
+            core.lsq_entries as u64,
+            core.num_fus as u64,
+            core.front_end_delay,
+            core.min_mispredict_penalty,
+            core.max_spec_branches as u64,
+        ] {
+            h.u64(v);
+        }
+        let hier = &self.machine.hier;
+        for cache in [&hier.l1i, &hier.l1d, &hier.l2] {
+            h.u64(cache.size_bytes);
+            h.u64(cache.assoc as u64);
+            h.u64(cache.line_bytes);
+            h.u8(match cache.write_policy {
+                rsr_cache::WritePolicy::WriteThroughNoAllocate => 0,
+                rsr_cache::WritePolicy::WriteBackAllocate => 1,
+            });
+            h.u64(cache.hit_latency);
+        }
+        for bus in [&hier.l1_bus, &hier.l2_bus] {
+            h.u64(bus.width_bytes);
+            h.u64(bus.core_cycles_per_beat);
+        }
+        h.u64(hier.mem_latency);
+        h.u8(hier.prefetch_next_line as u8);
+        let pred = &self.machine.pred;
+        h.u64(pred.ghr_bits as u64);
+        h.u64(pred.btb_entries as u64);
+        h.u64(pred.ras_entries as u64);
+        h.finish()
     }
 
     /// The warm-up policy this half runs under.
@@ -617,6 +719,25 @@ impl<'a> RunSpec<'a> {
         Ok(outcome)
     }
 
+    /// The spec's content address: a canonical FNV-1a fingerprint folding
+    /// [`ColdSpec::content_hash`] and [`DetailSpec::content_hash`].
+    ///
+    /// Because every completed run is a bit-identical function of the
+    /// fingerprinted inputs — at any thread count, pipeline depth, or
+    /// reconstruction worker count — two specs with equal content hashes
+    /// produce equal deterministic outcomes, which is what lets the
+    /// `rsr serve` result cache and in-flight dedupe key on this value.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`ColdSpec::content_hash`] rejects.
+    pub fn content_hash(&self) -> Result<u64, SimError> {
+        let mut h = Fnv::new();
+        h.u64(self.cold.content_hash()?);
+        h.u64(self.detail.content_hash());
+        Ok(h.finish())
+    }
+
     /// Runs the full-trace cycle-accurate baseline ("true IPC") over
     /// [`RunSpec::total_insts`] instructions. Ignores policy and threads.
     ///
@@ -630,5 +751,137 @@ impl<'a> RunSpec<'a> {
             return Err(SimError::Spec("run_full needs a nonzero total_insts"));
         }
         run_full_once(self.cold.program, &self.detail.machine, self.cold.total_insts)
+    }
+}
+
+/// Streaming FNV-1a, the workspace's standing choice for cheap
+/// content/corruption hashing (shard checkpoints use the same constants).
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Fnv {
+        Fnv(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.bytes(&[v]);
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Folds a warm-up policy into a fingerprint: a variant tag plus every
+/// outcome-relevant field.
+fn hash_policy(h: &mut Fnv, policy: WarmupPolicy) {
+    match policy {
+        WarmupPolicy::None => h.u8(0),
+        WarmupPolicy::FixedPeriod { pct } => {
+            h.u8(1);
+            h.u8(pct.value());
+        }
+        WarmupPolicy::Smarts { cache, bp } => {
+            h.u8(2);
+            h.u8(cache as u8);
+            h.u8(bp as u8);
+        }
+        WarmupPolicy::Reverse { cache, bp, pct } => {
+            h.u8(3);
+            h.u8(cache as u8);
+            h.u8(bp as u8);
+            h.u8(pct.value());
+        }
+        WarmupPolicy::Mrrl { coverage } => {
+            h.u8(4);
+            h.u8(coverage.value());
+        }
+        WarmupPolicy::Blrl { coverage } => {
+            h.u8(5);
+            h.u8(coverage.value());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsr_isa::{Asm, Reg};
+
+    fn tiny_program() -> Program {
+        let mut a = Asm::new();
+        let top = a.bind_new("top");
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.bne(Reg::T0, Reg::ZERO, top);
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    fn base_spec<'a>(program: &'a Program, machine: &MachineConfig) -> RunSpec<'a> {
+        RunSpec::new(program, machine)
+            .regimen(SamplingRegimen::new(4, 100))
+            .total_insts(10_000)
+            .seed(7)
+    }
+
+    #[test]
+    fn content_hash_is_deterministic_and_knob_sensitive() {
+        let p = tiny_program();
+        let machine = MachineConfig::paper();
+        let a = base_spec(&p, &machine).content_hash().unwrap();
+        assert_eq!(a, base_spec(&p, &machine).content_hash().unwrap());
+        // Outcome-relevant knobs move the hash.
+        assert_ne!(a, base_spec(&p, &machine).seed(8).content_hash().unwrap());
+        assert_ne!(a, base_spec(&p, &machine).policy(WarmupPolicy::None).content_hash().unwrap());
+        assert_ne!(a, base_spec(&p, &machine).shard_span(1234).content_hash().unwrap());
+        assert_ne!(a, base_spec(&p, &machine).log_budget_bytes(64).content_hash().unwrap());
+        let mut small = machine.clone();
+        small.hier.l1d.size_bytes /= 2;
+        assert_ne!(a, base_spec(&p, &small).content_hash().unwrap());
+    }
+
+    #[test]
+    fn content_hash_ignores_parallelism_and_guards() {
+        let p = tiny_program();
+        let machine = MachineConfig::paper();
+        let a = base_spec(&p, &machine).content_hash().unwrap();
+        let b = base_spec(&p, &machine)
+            .threads(4)
+            .pipeline_depth(2)
+            .recon_threads(4)
+            .max_shard_retries(9)
+            .deadline(Duration::from_secs(3600))
+            .content_hash()
+            .unwrap();
+        assert_eq!(a, b, "parallelism and guard knobs are not part of the computation");
+    }
+
+    #[test]
+    fn content_hash_is_schedule_canonical() {
+        // A regimen+seed and the explicit schedule it generates are the
+        // same computation, so they share a fingerprint.
+        let p = tiny_program();
+        let machine = MachineConfig::paper();
+        let from_regimen = base_spec(&p, &machine);
+        let schedule = from_regimen.build_schedule().unwrap();
+        let explicit = RunSpec::new(&p, &machine).schedule(schedule);
+        assert_eq!(from_regimen.content_hash().unwrap(), explicit.content_hash().unwrap());
+    }
+
+    #[test]
+    fn content_hash_rejects_degenerate_specs() {
+        let p = tiny_program();
+        let machine = MachineConfig::paper();
+        assert!(matches!(RunSpec::new(&p, &machine).content_hash(), Err(SimError::Spec(_))));
     }
 }

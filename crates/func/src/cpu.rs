@@ -359,7 +359,10 @@ impl Cpu {
             Lui => self.set_ireg_n(inst.rd, ((inst.imm as i64) << 12) as u64),
             Lb | Lbu | Lh | Lhu | Lw | Lwu | Ld | Fld => {
                 let addr = rs1.wrapping_add(imm);
-                let width = inst.mem_width().expect("loads have widths");
+                let width = match inst.mem_width() {
+                    Some(w) => w,
+                    None => unreachable!("loads have widths"),
+                };
                 mem_access = Some(MemAccess { addr, width, is_store: false });
                 match inst.op {
                     Lb => {
@@ -399,7 +402,10 @@ impl Cpu {
             }
             Sb | Sh | Sw | Sd | Fsd => {
                 let addr = rs1.wrapping_add(imm);
-                let width = inst.mem_width().expect("stores have widths");
+                let width = match inst.mem_width() {
+                    Some(w) => w,
+                    None => unreachable!("stores have widths"),
+                };
                 mem_access = Some(MemAccess { addr, width, is_store: true });
                 match inst.op {
                     Sb => self.mem.write_u8(addr, rs2 as u8),
@@ -472,7 +478,10 @@ impl Cpu {
                 self.set_ireg_n(inst.rd, pc + INST_BYTES);
                 next_pc = target;
                 branch = Some(BranchRec {
-                    kind: inst.ctrl_kind().expect("jal is ctrl"),
+                    kind: match inst.ctrl_kind() {
+                        Some(k) => k,
+                        None => unreachable!("jal is ctrl"),
+                    },
                     taken: true,
                     target,
                 });
@@ -482,7 +491,10 @@ impl Cpu {
                 self.set_ireg_n(inst.rd, pc + INST_BYTES);
                 next_pc = target;
                 branch = Some(BranchRec {
-                    kind: inst.ctrl_kind().expect("jalr is ctrl"),
+                    kind: match inst.ctrl_kind() {
+                        Some(k) => k,
+                        None => unreachable!("jalr is ctrl"),
+                    },
                     taken: true,
                     target,
                 });

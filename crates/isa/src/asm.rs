@@ -164,8 +164,10 @@ impl Asm {
 
     /// Declares and immediately binds a label at the current position.
     pub fn bind_new(&mut self, name: &str) -> Label {
+        let here = self.here();
         let l = self.new_label(name);
-        self.bind(l).expect("fresh label cannot be rebound");
+        // A freshly declared label has no binding, so `bind` cannot fail.
+        self.labels[l.0].1 = Some(here);
         l
     }
 
@@ -645,8 +647,8 @@ impl Asm {
     ///
     /// Panics if `addr` exceeds `i64::MAX` (simulated addresses never do).
     pub fn la(&mut self, rd: Reg, addr: Addr) -> &mut Asm {
-        let v = i64::try_from(addr).expect("address fits i64");
-        self.li(rd, v)
+        assert!(addr <= i64::MAX as u64, "address {addr:#x} does not fit i64");
+        self.li(rd, addr as i64)
     }
 }
 

@@ -1,0 +1,30 @@
+//! Minimal blocking client for the daemon's line-delimited protocol.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::TcpStream;
+
+use crate::protocol::{Request, Response};
+
+/// Sends one request to a daemon at `addr` and reads one response.
+///
+/// # Errors
+///
+/// Any socket [`io::Error`]; a response line that fails to parse is
+/// surfaced as [`io::ErrorKind::InvalidData`], and a connection closed
+/// before responding as [`io::ErrorKind::UnexpectedEof`].
+pub fn request(addr: &str, req: &Request) -> io::Result<Response> {
+    let mut stream = TcpStream::connect(addr)?;
+    let mut line = req.encode();
+    line.push('\n');
+    stream.write_all(line.as_bytes())?;
+    stream.flush()?;
+    let mut reply = String::new();
+    if BufReader::new(stream).read_line(&mut reply)? == 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "daemon closed the connection before responding",
+        ));
+    }
+    Response::parse(reply.trim_end())
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}

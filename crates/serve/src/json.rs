@@ -1,0 +1,468 @@
+//! A minimal JSON value, parser, and writer for the line-delimited wire
+//! protocol and the queue journal.
+//!
+//! The build environment is offline, so there is no serde; the service
+//! needs only a small, strict subset of JSON. Two properties matter more
+//! than generality:
+//!
+//! * **Exact numeric round-trips.** [`Json::Num`] stores the raw numeric
+//!   token, so a 64-bit seed or an FNV hash survives parse → write
+//!   unchanged, and floats written with Rust's shortest-round-trip
+//!   formatter ([`num_f64`]) re-parse to the same bits.
+//! * **Deterministic output.** Objects keep insertion order and the writer
+//!   adds no whitespace, so a value built with a fixed key order has one
+//!   canonical encoding — which is what the content-addressed cache and
+//!   the in-flight dedupe key on.
+
+/// A parsed JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number, kept as its raw token (see module docs).
+    Num(String),
+    /// A string (unescaped).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order (duplicate keys are a parse error).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Looks up `key` in an object; `None` for absent keys and non-objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The string payload, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The boolean payload, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if this is an unsigned integer token.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, if this is any numeric token.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(raw) => raw.parse().ok(),
+            _ => None,
+        }
+    }
+}
+
+/// A `u64` as a JSON number (the token is the decimal digits, so the full
+/// 64-bit range round-trips).
+pub fn num_u64(v: u64) -> Json {
+    Json::Num(v.to_string())
+}
+
+/// A finite `f64` as a JSON number, via Rust's shortest-round-trip
+/// formatter — re-parsing yields bit-identical `f64`s. Non-finite values
+/// (which no deterministic outcome produces) degrade to `0`.
+pub fn num_f64(v: f64) -> Json {
+    if v.is_finite() {
+        // `{:?}` emits the shortest decimal that re-parses to the same
+        // bits, and every form it produces is a valid JSON number token.
+        Json::Num(format!("{v:?}"))
+    } else {
+        Json::Num("0".to_string())
+    }
+}
+
+/// Serializes `v` with no whitespace (one canonical line per value).
+pub fn to_string(v: &Json) -> String {
+    let mut out = String::new();
+    write_value(v, &mut out);
+    out
+}
+
+fn write_value(v: &Json, out: &mut String) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(raw) => out.push_str(raw),
+        Json::Str(s) => write_string(s, out),
+        Json::Arr(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_value(item, out);
+            }
+            out.push(']');
+        }
+        Json::Obj(fields) => {
+            out.push('{');
+            for (i, (k, val)) in fields.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_string(k, out);
+                out.push(':');
+                write_value(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses one complete JSON value; trailing non-whitespace is an error.
+///
+/// # Errors
+///
+/// A human-readable description of the first syntax violation: bad
+/// escapes, malformed numbers, duplicate object keys, nesting deeper than
+/// an internal bound, or trailing garbage.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+const MAX_DEPTH: usize = 32;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, token: &str) -> Result<(), String> {
+        if self.bytes[self.pos..].starts_with(token.as_bytes()) {
+            self.pos += token.len();
+            Ok(())
+        } else {
+            Err(format!("expected `{token}` at offset {}", self.pos))
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return Err(format!("nesting deeper than {MAX_DEPTH}"));
+        }
+        match self.peek() {
+            Some(b'n') => self.expect("null").map(|()| Json::Null),
+            Some(b't') => self.expect("true").map(|()| Json::Bool(true)),
+            Some(b'f') => self.expect("false").map(|()| Json::Bool(false)),
+            Some(b'"') => self.string().map(Json::Str),
+            Some(b'[') => self.array(depth),
+            Some(b'{') => self.object(depth),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(b) => Err(format!("unexpected byte {b:#04x} at offset {}", self.pos)),
+            None => Err("unexpected end of input".to_string()),
+        }
+    }
+
+    fn array(&mut self, depth: usize) -> Result<Json, String> {
+        self.pos += 1; // consume '['
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value(depth + 1)?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected `,` or `]` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self, depth: usize) -> Result<Json, String> {
+        self.pos += 1; // consume '{'
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(fields));
+        }
+        loop {
+            self.skip_ws();
+            if self.peek() != Some(b'"') {
+                return Err(format!("expected object key at offset {}", self.pos));
+            }
+            let key = self.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate object key `{key}`"));
+            }
+            self.skip_ws();
+            if self.peek() != Some(b':') {
+                return Err(format!("expected `:` at offset {}", self.pos));
+            }
+            self.pos += 1;
+            self.skip_ws();
+            let value = self.value(depth + 1)?;
+            fields.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(fields));
+                }
+                _ => return Err(format!("expected `,` or `}}` at offset {}", self.pos)),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.pos += 1; // consume '"'
+        let mut out = String::new();
+        loop {
+            let start = self.pos;
+            // Fast path: a run of plain bytes.
+            while let Some(&b) = self.bytes.get(self.pos) {
+                if b == b'"' || b == b'\\' || b < 0x20 {
+                    break;
+                }
+                self.pos += 1;
+            }
+            if self.pos > start {
+                let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                    .map_err(|_| "invalid UTF-8 in string".to_string())?;
+                out.push_str(chunk);
+            }
+            match self.peek() {
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    out.push(self.escape()?);
+                }
+                Some(_) => return Err(format!("raw control byte at offset {}", self.pos)),
+                None => return Err("unterminated string".to_string()),
+            }
+        }
+    }
+
+    fn escape(&mut self) -> Result<char, String> {
+        let b = self.peek().ok_or("unterminated escape")?;
+        self.pos += 1;
+        Ok(match b {
+            b'"' => '"',
+            b'\\' => '\\',
+            b'/' => '/',
+            b'n' => '\n',
+            b't' => '\t',
+            b'r' => '\r',
+            b'b' => '\u{8}',
+            b'f' => '\u{c}',
+            b'u' => {
+                let hi = self.hex4()?;
+                let code = if (0xD800..0xDC00).contains(&hi) {
+                    // A high surrogate must be followed by `\u` + low half.
+                    if self.peek() != Some(b'\\') {
+                        return Err("unpaired surrogate".to_string());
+                    }
+                    self.pos += 1;
+                    if self.peek() != Some(b'u') {
+                        return Err("unpaired surrogate".to_string());
+                    }
+                    self.pos += 1;
+                    let lo = self.hex4()?;
+                    if !(0xDC00..0xE000).contains(&lo) {
+                        return Err("unpaired surrogate".to_string());
+                    }
+                    0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00)
+                } else {
+                    hi
+                };
+                char::from_u32(code).ok_or("invalid \\u escape")?
+            }
+            _ => return Err(format!("bad escape `\\{}`", b as char)),
+        })
+    }
+
+    fn hex4(&mut self) -> Result<u32, String> {
+        let end = self.pos.checked_add(4).filter(|&e| e <= self.bytes.len());
+        let end = end.ok_or("truncated \\u escape")?;
+        let hex = std::str::from_utf8(&self.bytes[self.pos..end])
+            .map_err(|_| "truncated \\u escape".to_string())?;
+        let v = u32::from_str_radix(hex, 16).map_err(|_| "bad \\u escape".to_string())?;
+        self.pos = end;
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_digits = self.digits();
+        if int_digits == 0 {
+            return Err(format!("malformed number at offset {start}"));
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            if self.digits() == 0 {
+                return Err(format!("malformed number at offset {start}"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            if self.digits() == 0 {
+                return Err(format!("malformed number at offset {start}"));
+            }
+        }
+        let raw = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| "malformed number".to_string())?;
+        Ok(Json::Num(raw.to_string()))
+    }
+
+    fn digits(&mut self) -> usize {
+        let start = self.pos;
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        self.pos - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_round_trip_through_the_writer() {
+        let cases = [
+            "null",
+            "true",
+            "false",
+            "0",
+            "-17",
+            "18446744073709551615",
+            "1.5",
+            "1e300",
+            r#""hello""#,
+            r#""esc \"\\ \n""#,
+            "[]",
+            "[1,2,[3]]",
+            r#"{"a":1,"b":{"c":[true,null]}}"#,
+        ];
+        for case in cases {
+            let v = parse(case).unwrap();
+            let written = to_string(&v);
+            assert_eq!(parse(&written).unwrap(), v, "case `{case}`");
+        }
+    }
+
+    #[test]
+    fn u64_and_f64_tokens_are_exact() {
+        let v = num_u64(u64::MAX);
+        assert_eq!(parse(&to_string(&v)).unwrap().as_u64(), Some(u64::MAX));
+        for f in [0.0, 1.0 / 3.0, f64::MIN_POSITIVE, 1e300, -2.5e-7] {
+            let v = num_f64(f);
+            let back = parse(&to_string(&v)).unwrap().as_f64().unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "float {f} must round-trip bit-exactly");
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_are_rejected() {
+        for bad in [
+            "",
+            "nul",
+            "truefalse",
+            "[1,]",
+            "{\"a\":}",
+            "{\"a\":1,\"a\":2}",
+            "\"unterminated",
+            "\"bad \\q escape\"",
+            "\"\\ud800 unpaired\"",
+            "01x",
+            "-",
+            "1.",
+            "1e",
+            "{\"a\" 1}",
+            "[1] trailing",
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` must not parse");
+        }
+        let deep = "[".repeat(64) + &"]".repeat(64);
+        assert!(parse(&deep).is_err(), "over-deep nesting must not parse");
+    }
+
+    #[test]
+    fn object_order_is_preserved_and_canonical() {
+        let v = Json::Obj(vec![
+            ("z".to_string(), num_u64(1)),
+            ("a".to_string(), Json::Str("x".to_string())),
+        ]);
+        assert_eq!(to_string(&v), r#"{"z":1,"a":"x"}"#);
+    }
+}

@@ -1,0 +1,42 @@
+//! `rsr-serve` — a supervised simulation job daemon with a crash-safe,
+//! content-addressed result cache.
+//!
+//! Sampled runs are deterministic functions of their spec ([`RunSpec`'s
+//! content hash][rsr_core::RunSpec::content_hash] excludes every
+//! parallelism knob), which makes a shared result service natural:
+//! submit a [`JobSpec`], get back either a fresh [`SampleOutcome`
+//! summary][protocol::Response::Done] or a bit-identical cache hit.
+//!
+//! The crate splits into:
+//!
+//! - [`protocol`] — the line-delimited JSON wire format ([`Request`] /
+//!   [`Response`] / [`JobSpec`]) with a canonical encoding used for both
+//!   journaling and content addressing;
+//! - [`cache`] — the on-disk entry format (`RSRC` magic, FNV-checksummed
+//!   payload, temp-file-plus-rename writes, quarantine on corruption);
+//! - [`daemon`] — the TCP service itself: worker pool, supervision with
+//!   retries and deadlines, admission control, dedupe, and a journaled
+//!   queue that survives a kill mid-flight;
+//! - [`client`] — the one-call blocking client used by `rsr submit`.
+//!
+//! The hand-rolled [`json`] module exists because the build is offline:
+//! no serde, no tokio, `std` only.
+
+pub mod cache;
+pub mod client;
+pub mod daemon;
+pub mod json;
+pub mod protocol;
+
+pub use crate::cache::{
+    decode_entry, encode_entry, CacheError, CachedOutcome, Lookup, ResultCache, CACHE_MAGIC,
+    CACHE_VERSION,
+};
+pub use crate::client::request;
+pub use crate::daemon::{
+    backoff_delay, job_cold_spec, job_content_hash, job_detail_spec, job_machine, Daemon,
+    ServeConfig,
+};
+pub use crate::protocol::{
+    DaemonStats, FailClass, JobSpec, ProtoError, Request, Response, ResultSource,
+};

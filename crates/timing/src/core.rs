@@ -187,7 +187,9 @@ pub fn simulate_cluster_hooked(
     n_insts: u64,
     hook: &mut dyn PredictHook,
 ) -> Result<HotStats, ExecError> {
-    cfg.validate().expect("invalid core config");
+    if let Err(e) = cfg.validate() {
+        panic!("invalid core config: {e}");
+    }
     hier.reset_timing();
 
     let mut stats = HotStats::default();
@@ -242,7 +244,7 @@ pub fn simulate_cluster_hooked(
             if !front.completed {
                 break;
             }
-            let slot = rob.pop_front().expect("checked front");
+            let Some(slot) = rob.pop_front() else { break };
             progress = true;
             head_seq = rel(slot.r.seq) + 1;
             if let Some(m) = slot.r.mem {
@@ -352,7 +354,7 @@ pub fn simulate_cluster_hooked(
             if is_mem && lsq_used >= cfg.lsq_entries {
                 break;
             }
-            let f = fetch_buf.pop_front().expect("checked front");
+            let Some(f) = fetch_buf.pop_front() else { break };
             progress = true;
             let (src_regs, dest) = operands(&f.r);
             let srcs = [
@@ -368,7 +370,7 @@ pub fn simulate_cluster_hooked(
             iq_used += 1;
             if is_mem {
                 lsq_used += 1;
-                if f.r.mem.expect("is_mem").is_store {
+                if matches!(&f.r.mem, Some(m) if m.is_store) {
                     unissued_stores.insert(f.r.seq);
                 }
             }
