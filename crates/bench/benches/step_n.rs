@@ -1,0 +1,97 @@
+//! Microbenchmark: raw `Cpu::step_n` interpretation throughput over the
+//! three instruction mixes that bound the cold functional pass — pure
+//! ALU (dispatch floor), load/store-heavy (the software-TLB path), and
+//! branch-heavy (superblock boundary cost). Criterion reports seconds
+//! per batch of `BATCH` retired instructions; MIPS is `BATCH / time`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsr_func::Cpu;
+use rsr_isa::{Asm, Program, Reg};
+
+/// Instructions retired per measured batch.
+const BATCH: u64 = 1_000_000;
+
+/// An infinite pure-ALU loop: long dependent-free straight runs, one
+/// backward branch per 32 instructions. The dispatch + execute floor.
+fn alu_program() -> Program {
+    let mut a = Asm::new();
+    a.li(Reg::A0, 1);
+    a.li(Reg::A1, 3);
+    let top = a.bind_new("top");
+    for i in 0..8 {
+        let r = Reg(10 + (i % 4));
+        a.add(r, r, Reg::A1);
+        a.xori(Reg::T0, r, 0x5a);
+        a.slli(Reg::T1, Reg::T0, 7);
+        a.sub(Reg::T2, Reg::T1, Reg::A0);
+    }
+    a.j(top);
+    a.finish().expect("assembles")
+}
+
+/// An infinite load/store loop sweeping a 64 KiB buffer: every third
+/// instruction touches memory, walking enough pages to exercise the flat
+/// TLB without thrashing it.
+fn load_store_program() -> Program {
+    let mut a = Asm::new();
+    let buf = a.data_zeros(64 * 1024);
+    a.la(Reg::S1, buf);
+    a.li(Reg::A0, 0);
+    let top = a.bind_new("top");
+    for i in 0..8 {
+        let off = (i * 1528) % 0x700;
+        a.ld(Reg::T0, off, Reg::S1);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.sd(Reg::T0, off, Reg::S1);
+    }
+    a.addi(Reg::S1, Reg::S1, 0x740);
+    a.la(Reg::T3, buf + 56 * 1024);
+    a.bltu(Reg::S1, Reg::T3, top);
+    a.la(Reg::S1, buf);
+    a.j(top);
+    a.finish().expect("assembles")
+}
+
+/// An infinite branch-heavy loop: a taken or not-taken conditional every
+/// third instruction, so nearly every superblock is three instructions
+/// long — the worst case for block-at-a-time dispatch.
+fn branchy_program() -> Program {
+    let mut a = Asm::new();
+    a.li(Reg::A0, 0);
+    a.li(Reg::A1, 1);
+    let top = a.bind_new("top");
+    for k in 0..8 {
+        let skip = a.new_label(&format!("s{k}"));
+        a.addi(Reg::A0, Reg::A0, 1);
+        a.andi(Reg::T0, Reg::A0, 1 << (k % 3));
+        a.beq(Reg::T0, Reg::ZERO, skip);
+        a.xori(Reg::A1, Reg::A1, 1);
+        a.bind(skip).unwrap();
+    }
+    a.j(top);
+    a.finish().expect("assembles")
+}
+
+fn bench_mix(group: &mut criterion::BenchmarkGroup<'_>, name: &str, program: &Program) {
+    let mut cpu = Cpu::new(program).expect("loads");
+    // Warm the TLB and host caches before measuring.
+    cpu.step_n(BATCH, |_| {}).expect("runs");
+    group.bench_function(name, |b| {
+        b.iter(|| {
+            cpu.step_n(BATCH, |_| {}).expect("runs");
+            cpu.icount()
+        })
+    });
+}
+
+fn bench_step_n(c: &mut Criterion) {
+    let mut group = c.benchmark_group("step_n");
+    group.sample_size(20);
+    bench_mix(&mut group, "alu_1m", &alu_program());
+    bench_mix(&mut group, "load_store_1m", &load_store_program());
+    bench_mix(&mut group, "branchy_1m", &branchy_program());
+    group.finish();
+}
+
+criterion_group!(benches, bench_step_n);
+criterion_main!(benches);

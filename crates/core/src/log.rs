@@ -44,7 +44,7 @@
 
 use std::io::{self, Read, Write};
 
-use rsr_func::{Cpu, ExecError, Retired};
+use rsr_func::{Cpu, ExecError, RetireSink, Retired};
 use rsr_isa::{Addr, CtrlKind};
 
 /// One logged memory reference (materialized view; storage is packed).
@@ -198,6 +198,119 @@ impl Default for SkipLog {
 
 const LINE_MASK: u64 = !63;
 const NO_LINE: Addr = u64::MAX;
+
+/// Ext-table spill for a memory record whose PCs the packed side column
+/// cannot derive. Outlined and cold: real CPU-retired streams never take
+/// it, and keeping it out of the fused cold-phase sink keeps that sink
+/// small enough to inline into the superblock walk.
+#[cold]
+#[inline(never)]
+fn spill_mem(
+    ext: &mut Vec<MemExt>,
+    index: usize,
+    pc: Addr,
+    next_pc: Addr,
+    bytes: &mut usize,
+) -> u32 {
+    ext.push(MemExt { index: index as u64, pc, next_pc });
+    *bytes += EXT_ENTRY_BYTES;
+    SIDE_EXT
+}
+
+/// Ext-table spill for a branch record (see [`spill_mem`]).
+#[cold]
+#[inline(never)]
+fn spill_br(ext: &mut Vec<BrExt>, index: usize, pc: Addr, next_pc: Addr, bytes: &mut usize) -> u32 {
+    ext.push(BrExt { index: index as u64, pc, next_pc });
+    *bytes += EXT_ENTRY_BYTES;
+    0
+}
+
+/// The budget-free cold-phase record sink, fused into the superblock
+/// dispatch loop via [`RetireSink`] — the `#[inline(always)]` on `retire`
+/// is binding on the inliner, where the closure form of [`Cpu::step_n`]
+/// gets outlined once the sink body is nontrivial, costing a call per
+/// retired instruction.
+///
+/// Holds the packed record columns split out of [`SkipLog`] plus the two
+/// pieces of per-region state the hot path keeps in registers: the
+/// fetch-line dedup tag and the running ext-spill byte count. The byte
+/// and record counters of the owning log are *not* maintained here —
+/// [`SkipLog::region_loop_fast`] settles them from the column-length
+/// deltas when the region ends.
+struct FastSink<'a, const MEM: bool, const BR: bool> {
+    mem_addr: &'a mut Vec<u64>,
+    mem_side: &'a mut Vec<u32>,
+    mem_tags: &'a mut Vec<u64>,
+    mem_ext: &'a mut Vec<MemExt>,
+    branches: &'a mut Vec<PackedBranch>,
+    br_ext: &'a mut Vec<BrExt>,
+    last_line: Addr,
+    spill_bytes: usize,
+}
+
+impl<const MEM: bool, const BR: bool> RetireSink for FastSink<'_, MEM, BR> {
+    #[inline(always)]
+    fn retire(&mut self, r: &Retired) {
+        if MEM {
+            let line = r.pc & LINE_MASK;
+            if self.last_line != line {
+                self.last_line = line;
+                // Fetch-line record: `pc == addr` by construction, so the
+                // side word keeps `next_pc` when it fits.
+                let i = self.mem_addr.len();
+                if i.is_multiple_of(TAGS_PER_WORD) {
+                    self.mem_tags.push(0);
+                }
+                self.mem_tags[i / TAGS_PER_WORD] |= 1u64 << ((i % TAGS_PER_WORD) * 2);
+                self.mem_addr.push(r.pc);
+                let side = if r.next_pc < SIDE_EXT as u64 {
+                    r.next_pc as u32
+                } else {
+                    spill_mem(self.mem_ext, i, r.pc, r.next_pc, &mut self.spill_bytes)
+                };
+                self.mem_side.push(side);
+            }
+            if let Some(m) = r.mem {
+                // Data record: loads and stores never branch, so the side
+                // word keeps `pc` and derives `next_pc`.
+                let i = self.mem_addr.len();
+                if i.is_multiple_of(TAGS_PER_WORD) {
+                    self.mem_tags.push(0);
+                }
+                self.mem_tags[i / TAGS_PER_WORD] |=
+                    ((m.is_store as u64) << 1) << ((i % TAGS_PER_WORD) * 2);
+                self.mem_addr.push(m.addr);
+                let side = if r.next_pc == r.pc.wrapping_add(4) && r.pc < SIDE_EXT as u64 {
+                    r.pc as u32
+                } else {
+                    spill_mem(self.mem_ext, i, r.pc, r.next_pc, &mut self.spill_bytes)
+                };
+                self.mem_side.push(side);
+            }
+        }
+        if BR {
+            if let Some(b) = r.branch {
+                let derived = if b.taken { b.target } else { r.pc.wrapping_add(4) };
+                let mut meta = (b.taken as u8) | (kind_to_u8(b.kind) << BR_KIND_SHIFT);
+                let pc32 = match u32::try_from(r.pc) {
+                    Ok(p) if r.next_pc == derived => p,
+                    _ => {
+                        meta |= BR_EXT;
+                        spill_br(
+                            self.br_ext,
+                            self.branches.len(),
+                            r.pc,
+                            r.next_pc,
+                            &mut self.spill_bytes,
+                        )
+                    }
+                };
+                self.branches.push(PackedBranch { target: b.target, pc32, meta });
+            }
+        }
+    }
+}
 
 /// "Not a conditional branch" marker in the [`ReconIndex`] PHT key column
 /// (real PHT keys fit because gshare history is capped at 26 bits), and
@@ -572,11 +685,14 @@ impl SkipLog {
     }
 
     /// The fused cold-phase loop: steps `cpu` through `n` instructions,
-    /// logging each one — `Cpu::step` and [`SkipLog::record`] in a single
-    /// monomorphized loop per (mem, branches) configuration, so the
+    /// logging each one — the predecoded [`Cpu::step_n`] superblock core
+    /// with [`SkipLog::record`]'s body monomorphized in as the sink, one
+    /// specialization per (mem, branches, budget) configuration, so the
     /// per-instruction `Retired` unpacking and stream dispatch happen
-    /// once. After a budget truncation (or with both streams disabled)
-    /// the remaining instructions run through a bare stepping loop that
+    /// once and the stepping itself runs at fast-core speed. After a
+    /// budget truncation the sink goes quiescent (a flag check per
+    /// instruction) while the remaining instructions keep stepping; with
+    /// both streams disabled the region is a bare fast-forward that
     /// never touches the log.
     ///
     /// Produces record streams, budget decisions, and accounting
@@ -586,28 +702,35 @@ impl SkipLog {
     ///
     /// Propagates functional-simulation faults.
     pub fn record_region(&mut self, cpu: &mut Cpu, n: u64) -> Result<(), ExecError> {
-        let logged = match (self.log_mem, self.log_branches, self.budget.is_some()) {
-            (true, true, false) => self.region_loop::<true, true, false>(cpu, n)?,
-            (true, false, false) => self.region_loop::<true, false, false>(cpu, n)?,
-            (false, true, false) => self.region_loop::<false, true, false>(cpu, n)?,
-            (true, true, true) => self.region_loop::<true, true, true>(cpu, n)?,
-            (true, false, true) => self.region_loop::<true, false, true>(cpu, n)?,
-            (false, true, true) => self.region_loop::<false, true, true>(cpu, n)?,
-            (false, false, _) => 0,
-        };
-        cpu.step_n(n - logged, |_| ())?;
-        Ok(())
+        if self.truncated || (!self.log_mem && !self.log_branches) {
+            return cpu.step_n(n, |_| ());
+        }
+        match (self.log_mem, self.log_branches, self.budget.is_some()) {
+            (true, true, false) => self.region_loop_fast::<true, true>(cpu, n),
+            (true, false, false) => self.region_loop_fast::<true, false>(cpu, n),
+            (false, true, false) => self.region_loop_fast::<false, true>(cpu, n),
+            (true, true, true) => self.region_loop::<true, true>(cpu, n),
+            (true, false, true) => self.region_loop::<true, false>(cpu, n),
+            (false, true, true) => self.region_loop::<false, true>(cpu, n),
+            (false, false, _) => unreachable!("bare fast-forward handled above"),
+        }
     }
 
-    fn region_loop<const MEM: bool, const BR: bool, const BUDGET: bool>(
+    /// The budgeted fused loop: per-record pushes with the budget check
+    /// after every instruction, so truncation fires on exactly the same
+    /// instruction as the historical step-then-`record` sequence.
+    fn region_loop<const MEM: bool, const BR: bool>(
         &mut self,
         cpu: &mut Cpu,
         n: u64,
-    ) -> Result<u64, ExecError> {
-        let mut done = 0u64;
-        while done < n && !self.truncated {
-            let r = cpu.step()?;
-            done += 1;
+    ) -> Result<(), ExecError> {
+        cpu.step_n(n, |r| {
+            // Only the budget can truncate mid-region; afterwards the
+            // remaining instructions still step (architectural state must
+            // reach the cluster) but append nothing.
+            if self.truncated {
+                return;
+            }
             if MEM {
                 let line = r.pc & LINE_MASK;
                 if self.last_fetch_line != line {
@@ -623,17 +746,68 @@ impl SkipLog {
                     self.push_branch(r.pc, r.next_pc, b.target, b.kind, b.taken);
                 }
             }
-            // Without a budget, bytes only grow this region, so the
-            // final maximum below equals the per-instruction running
-            // maximum — the check is hoisted out of the loop.
-            if BUDGET {
-                self.note_instruction();
-            }
-        }
-        if !BUDGET && self.bytes > self.peak_bytes {
+            self.note_instruction();
+        })
+    }
+
+    /// The unbudgeted fused loop — the cold-phase path the whole run's
+    /// throughput hangs on. Identical record streams and accounting to
+    /// [`SkipLog::region_loop`], with the per-record overhead stripped:
+    /// the byte and record counters are *derived once at region end* from
+    /// the column-length deltas (the incremental accounting is a pure
+    /// function of the record counts, so the sums are equal by
+    /// associativity), the fetch-line dedup register lives in a local,
+    /// and the ext-table spills — which CPU-retired streams never take —
+    /// are outlined cold. A budget-free region can never truncate, so
+    /// nothing observes the counters mid-region and the deferred
+    /// write-back is invisible; on a functional fault the counters are
+    /// settled before the error propagates, exactly as the per-record
+    /// path leaves them.
+    fn region_loop_fast<const MEM: bool, const BR: bool>(
+        &mut self,
+        cpu: &mut Cpu,
+        n: u64,
+    ) -> Result<(), ExecError> {
+        let mem0 = self.mem_addr.len();
+        let tags0 = self.mem_tags.len();
+        let mem_ext0 = self.mem_ext.len();
+        let br0 = self.branches.len();
+        let br_ext0 = self.br_ext.len();
+
+        let last_line = self.last_fetch_line;
+        let SkipLog { mem_addr, mem_side, mem_tags, mem_ext, branches, br_ext, .. } = &mut *self;
+        let mut sink: FastSink<'_, MEM, BR> = FastSink {
+            mem_addr,
+            mem_side,
+            mem_tags,
+            mem_ext,
+            branches,
+            br_ext,
+            last_line,
+            spill_bytes: 0,
+        };
+        let res = cpu.step_n_sink(n, &mut sink);
+        let FastSink { last_line, spill_bytes, .. } = sink;
+
+        // Settle the deferred accounting — also on a fault, so the
+        // counters cover every instruction retired before it.
+        let mem_delta = self.mem_addr.len() - mem0;
+        let br_delta = self.branches.len() - br0;
+        self.last_fetch_line = last_line;
+        self.appended += (mem_delta + br_delta) as u64;
+        self.bytes += mem_delta * MEM_RECORD_BYTES
+            + (self.mem_tags.len() - tags0) * TAG_WORD_BYTES
+            + br_delta * BRANCH_RECORD_BYTES
+            + spill_bytes;
+        debug_assert_eq!(
+            spill_bytes,
+            (self.mem_ext.len() - mem_ext0 + self.br_ext.len() - br_ext0) * EXT_ENTRY_BYTES
+        );
+        res?;
+        if self.bytes > self.peak_bytes {
             self.peak_bytes = self.bytes;
         }
-        Ok(done)
+        Ok(())
     }
 
     /// Number of logged memory references.

@@ -1,6 +1,28 @@
 //! The functional simulator core.
+//!
+//! Two execution engines share one architectural state:
+//!
+//! * [`Cpu::step`] — the *reference* interpreter: fetch, bounds-check,
+//!   and a match over the sparse [`Op`] encoding for every instruction.
+//!   It is the bit-identity oracle the fast path is verified against
+//!   (the `func_equivalence` suite) and the engine the cycle-accurate
+//!   hot phase drives one instruction at a time.
+//! * [`Cpu::step_n`] — the *fast* core behind every functional
+//!   fast-forward: a superblock dispatcher over a predecoded semantic
+//!   table (see [`Predecoded`]). Straight-line runs between block
+//!   terminators execute with the PC bounds check, table indexing, and
+//!   operand extraction hoisted out of the per-instruction path; PC and
+//!   icount are carried in locals and written back per block.
+//!
+//! Both produce identical [`Retired`] streams, register files, memory
+//! images, and [`ExecError`]s by construction and by proptest.
 
-use rsr_isa::{Addr, CtrlKind, DecodeError, Freg, Inst, MemWidth, Op, Program, Reg, INST_BYTES};
+use std::sync::Arc;
+
+use rsr_isa::{
+    Addr, CtrlKind, DecodeError, Freg, Inst, MemWidth, Op, Program, Reg, SemClass, SemInst,
+    INST_BYTES,
+};
 
 use crate::Memory;
 
@@ -45,6 +67,17 @@ pub struct Retired {
     pub mem: Option<MemAccess>,
     /// Control-transfer outcome, if any.
     pub branch: Option<BranchRec>,
+}
+
+/// A consumer of retired instructions for [`Cpu::step_n_sink`].
+///
+/// Implementations that mark `retire` with `#[inline(always)]` are
+/// guaranteed to be fused into the superblock dispatch loop — the
+/// attribute is binding on the inliner, unlike a closure passed to
+/// [`Cpu::step_n`], which LLVM outlines once the sink body is nontrivial.
+pub trait RetireSink {
+    /// Observes one retired instruction.
+    fn retire(&mut self, r: &Retired);
 }
 
 /// Errors raised while executing.
@@ -106,20 +139,78 @@ pub struct ArchState {
     pub halted: bool,
 }
 
+/// One statically predecoded instruction slot: the semantic form plus the
+/// precomputed taken-path target for direct transfers (conditional
+/// branches and `jal`), so the dispatcher never recomputes `pc + imm`.
+#[derive(Copy, Clone, Debug)]
+struct PreInst {
+    sem: SemInst,
+    /// `pc.wrapping_add(imm)` for direct transfers; 0 (never read)
+    /// otherwise.
+    target: Addr,
+}
+
+/// The predecoded program image: one [`PreInst`] per static text word,
+/// indexed by `(pc - text_base) / INST_BYTES`, plus the superblock map.
+///
+/// Immutable after load (the ISA has no self-modifying-code contract —
+/// stores to text pages change memory, which the I-cache models index,
+/// but never the executed stream, exactly as the reference interpreter's
+/// load-time decode already behaved), so clones share it through an
+/// `Arc`: a CPU snapshot costs registers + memory pages, not a re-decode.
+#[derive(Debug)]
+struct Predecoded {
+    code: Vec<PreInst>,
+    /// `block_end[i]` = index of the first block terminator at or after
+    /// `i` (a control transfer or `halt`), or `code.len()` when the
+    /// straight-line run falls off the end of text. Everything in
+    /// `i..block_end[i]` is guaranteed fall-through: no faults, no
+    /// control transfer, `next_pc = pc + 4`.
+    block_end: Vec<u32>,
+}
+
+impl Predecoded {
+    fn load(program: &Program) -> Result<Predecoded, LoadError> {
+        let mut code = Vec::with_capacity(program.text().len());
+        for (i, &word) in program.text().iter().enumerate() {
+            let addr = program.text_base() + i as u64 * INST_BYTES;
+            let inst = Inst::decode(word).map_err(|cause| LoadError { addr, cause })?;
+            let sem = inst.semantic();
+            let target = if sem.class.is_cond_branch() || sem.class == SemClass::Jal {
+                addr.wrapping_add(sem.imm as u64)
+            } else {
+                0
+            };
+            code.push(PreInst { sem, target });
+        }
+        let mut block_end = vec![0u32; code.len()];
+        let mut term = code.len() as u32;
+        for i in (0..code.len()).rev() {
+            if code[i].sem.class.is_terminator() {
+                term = i as u32;
+            }
+            block_end[i] = term;
+        }
+        Ok(Predecoded { code, block_end })
+    }
+}
+
 /// The architectural machine: registers, PC, and memory.
 ///
 /// `Cpu` executes the SimRISC ISA in order, one instruction per
 /// [`Cpu::step`], returning a [`Retired`] record that downstream consumers
 /// (the timing model, warm-up loggers) use. It is the paper's "functional
 /// simulator": it always holds correct architectural state regardless of
-/// what the timing model does.
+/// what the timing model does. Bulk fast-forwarding goes through
+/// [`Cpu::step_n`], which dispatches over the predecoded superblock table
+/// instead of re-decoding per instruction (see the module docs).
 #[derive(Debug)]
 pub struct Cpu {
     pc: Addr,
     iregs: [u64; 32],
     fregs: [f64; 32],
     mem: Memory,
-    decoded: Vec<Inst>,
+    pre: Arc<Predecoded>,
     text_base: Addr,
     text_end: Addr,
     halted: bool,
@@ -133,7 +224,7 @@ impl Clone for Cpu {
             iregs: self.iregs,
             fregs: self.fregs,
             mem: self.mem.clone(),
-            decoded: self.decoded.clone(),
+            pre: Arc::clone(&self.pre),
             text_base: self.text_base,
             text_end: self.text_end,
             halted: self.halted,
@@ -141,15 +232,16 @@ impl Clone for Cpu {
         }
     }
 
-    /// Clones into an existing CPU, reusing its memory pages and decode
-    /// table (see [`Memory::clone_from`]). Snapshot-heavy consumers clone
-    /// per cluster window, so the in-place path matters.
+    /// Clones into an existing CPU, reusing its memory pages (see
+    /// [`Memory::clone_from`]); the predecoded program is shared, so it
+    /// costs a refcount check. Snapshot-heavy consumers clone per
+    /// cluster window, so the in-place path matters.
     fn clone_from(&mut self, source: &Cpu) {
         self.pc = source.pc;
         self.iregs = source.iregs;
         self.fregs = source.fregs;
         self.mem.clone_from(&source.mem);
-        self.decoded.clone_from(&source.decoded);
+        self.pre.clone_from(&source.pre);
         self.text_base = source.text_base;
         self.text_end = source.text_end;
         self.halted = source.halted;
@@ -167,11 +259,7 @@ impl Cpu {
     ///
     /// Returns [`LoadError`] if any text word fails to decode.
     pub fn new(program: &Program) -> Result<Cpu, LoadError> {
-        let mut decoded = Vec::with_capacity(program.text().len());
-        for (i, &word) in program.text().iter().enumerate() {
-            let addr = program.text_base() + i as u64 * INST_BYTES;
-            decoded.push(Inst::decode(word).map_err(|cause| LoadError { addr, cause })?);
-        }
+        let pre = Arc::new(Predecoded::load(program)?);
         let mut mem = Memory::new();
         // Text lives in memory too (the I-cache indexes real addresses).
         for (i, &word) in program.text().iter().enumerate() {
@@ -186,7 +274,7 @@ impl Cpu {
             iregs,
             fregs: [0.0; 32],
             mem,
-            decoded,
+            pre,
             text_base: program.text_base(),
             text_end: program.text_end(),
             halted: false,
@@ -284,25 +372,339 @@ impl Cpu {
         if pc < self.text_base || pc >= self.text_end || !pc.is_multiple_of(INST_BYTES) {
             return Err(ExecError::PcOutOfText { pc });
         }
-        Ok(self.decoded[((pc - self.text_base) / INST_BYTES) as usize])
+        Ok(self.pre.code[((pc - self.text_base) / INST_BYTES) as usize].sem.inst)
     }
 
     /// Executes `n` instructions, handing each [`Retired`] result to
     /// `sink`. This is the fast-forward hot loop: monomorphizing the sink
-    /// into the step loop lets fused consumers (skip-region logging,
+    /// into the dispatch loop lets fused consumers (skip-region logging,
     /// functional warming, reuse profiling, the shard scout) run without
     /// per-instruction dispatch.
+    ///
+    /// Convenience closure form of [`Cpu::step_n_sink`]. The closure is
+    /// *not* guaranteed to inline into the dispatch loop — LLVM routinely
+    /// outlines nontrivial sinks from the large `step_n` body, costing an
+    /// indirect-free but still real call per retired instruction. Hot
+    /// consumers should implement [`RetireSink`] with an
+    /// `#[inline(always)]` `retire` and call [`Cpu::step_n_sink`], which
+    /// the inliner must fuse.
     ///
     /// # Errors
     ///
     /// As for [`Cpu::step`]; the CPU stops at the faulting instruction.
     #[inline]
-    pub fn step_n<F: FnMut(&Retired)>(&mut self, n: u64, mut sink: F) -> Result<(), ExecError> {
-        for _ in 0..n {
-            let r = self.step()?;
-            sink(&r);
+    pub fn step_n<F: FnMut(&Retired)>(&mut self, n: u64, sink: F) -> Result<(), ExecError> {
+        struct FnSink<F>(F);
+        impl<F: FnMut(&Retired)> RetireSink for FnSink<F> {
+            #[inline(always)]
+            fn retire(&mut self, r: &Retired) {
+                (self.0)(r)
+            }
+        }
+        self.step_n_sink(n, &mut FnSink(sink))
+    }
+
+    /// Executes `n` instructions, handing each [`Retired`] result to
+    /// `sink.retire`. This is the throughput-critical form of
+    /// [`Cpu::step_n`]: a sink whose [`RetireSink::retire`] carries
+    /// `#[inline(always)]` is guaranteed to be fused into the dispatch
+    /// loop (the attribute is binding on the inliner, where a closure is
+    /// only a hint), so the per-instruction record path runs with no call
+    /// at all.
+    ///
+    /// Dispatch is by superblock: the PC bounds check and table indexing
+    /// run once per basic block, the straight-line run up to the block
+    /// terminator executes over a contiguous slice of predecoded
+    /// semantic records (no fault paths, `next_pc = pc + 4` throughout),
+    /// and PC/icount live in locals written back at block granularity.
+    /// The boundary is tail-accurate: `step_n(n)` stops at exactly `n`
+    /// retired instructions even mid-block, leaving the CPU in precisely
+    /// the state `n` reference [`Cpu::step`] calls would.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cpu::step`]; the CPU stops at the faulting instruction.
+    #[inline]
+    pub fn step_n_sink<S: RetireSink>(&mut self, n: u64, sink: &mut S) -> Result<(), ExecError> {
+        let pre = Arc::clone(&self.pre);
+        let mut remaining = n;
+        while remaining > 0 {
+            if self.halted {
+                return Err(ExecError::Halted);
+            }
+            let pc = self.pc;
+            if pc < self.text_base || pc >= self.text_end || !pc.is_multiple_of(INST_BYTES) {
+                return Err(ExecError::PcOutOfText { pc });
+            }
+            let idx = ((pc - self.text_base) / INST_BYTES) as usize;
+            let term = pre.block_end[idx] as usize;
+            let straight = (term - idx) as u64;
+            let take = straight.min(remaining) as usize;
+
+            // Straight-line segment: every instruction falls through and
+            // none can fault, so PC and seq advance in locals.
+            let mut p = pc;
+            let mut seq = self.icount;
+            for pi in &pre.code[idx..idx + take] {
+                let next_pc = p + INST_BYTES;
+                let mem = self.exec_straight(pi);
+                sink.retire(&Retired { seq, pc: p, next_pc, inst: pi.sem.inst, mem, branch: None });
+                p = next_pc;
+                seq += 1;
+            }
+            self.pc = p;
+            self.icount = seq;
+            remaining -= take as u64;
+
+            // Block terminator, only when the budget still covers it.
+            // (`term == code.len()` means the run fell off the end of
+            // text; the next loop iteration reports PcOutOfText exactly
+            // as a reference fetch at text_end would.)
+            if remaining > 0 && take as u64 == straight && term < pre.code.len() {
+                let r = self.exec_terminator(&pre.code[term]);
+                sink.retire(&r);
+                remaining -= 1;
+            }
         }
         Ok(())
+    }
+
+    /// Executes one non-terminator instruction from the predecoded table
+    /// and returns its memory access, if any. Mirrors the corresponding
+    /// [`Cpu::step`] arms exactly — bit-identical architectural effects,
+    /// including wrapping arithmetic, x0 hardwiring, and division-by-zero
+    /// semantics.
+    #[inline(always)]
+    fn exec_straight(&mut self, pi: &PreInst) -> Option<MemAccess> {
+        let s = &pi.sem;
+        let rs1 = self.ireg_n(s.rs1);
+        let rs2 = self.ireg_n(s.rs2);
+        let imm = s.imm as u64;
+        use SemClass::*;
+        match s.class {
+            Add => self.set_ireg_n(s.rd, rs1.wrapping_add(rs2)),
+            Sub => self.set_ireg_n(s.rd, rs1.wrapping_sub(rs2)),
+            Mul => self.set_ireg_n(s.rd, rs1.wrapping_mul(rs2)),
+            Div => {
+                let v =
+                    if rs2 == 0 { u64::MAX } else { (rs1 as i64).wrapping_div(rs2 as i64) as u64 };
+                self.set_ireg_n(s.rd, v);
+            }
+            Rem => {
+                let v = if rs2 == 0 { rs1 } else { (rs1 as i64).wrapping_rem(rs2 as i64) as u64 };
+                self.set_ireg_n(s.rd, v);
+            }
+            And => self.set_ireg_n(s.rd, rs1 & rs2),
+            Or => self.set_ireg_n(s.rd, rs1 | rs2),
+            Xor => self.set_ireg_n(s.rd, rs1 ^ rs2),
+            Sll => self.set_ireg_n(s.rd, rs1 << (rs2 & 63)),
+            Srl => self.set_ireg_n(s.rd, rs1 >> (rs2 & 63)),
+            Sra => self.set_ireg_n(s.rd, ((rs1 as i64) >> (rs2 & 63)) as u64),
+            Slt => self.set_ireg_n(s.rd, ((rs1 as i64) < (rs2 as i64)) as u64),
+            Sltu => self.set_ireg_n(s.rd, (rs1 < rs2) as u64),
+            Addi => self.set_ireg_n(s.rd, rs1.wrapping_add(imm)),
+            Andi => self.set_ireg_n(s.rd, rs1 & imm),
+            Ori => self.set_ireg_n(s.rd, rs1 | imm),
+            Xori => self.set_ireg_n(s.rd, rs1 ^ imm),
+            Slli => self.set_ireg_n(s.rd, rs1 << (imm & 63)),
+            Srli => self.set_ireg_n(s.rd, rs1 >> (imm & 63)),
+            Srai => self.set_ireg_n(s.rd, ((rs1 as i64) >> (imm & 63)) as u64),
+            Slti => self.set_ireg_n(s.rd, ((rs1 as i64) < s.imm) as u64),
+            Sltiu => self.set_ireg_n(s.rd, (rs1 < imm) as u64),
+            // The << 12 is pre-applied by the semantic decode.
+            Lui => self.set_ireg_n(s.rd, imm),
+            Lb => {
+                let addr = rs1.wrapping_add(imm);
+                let v = self.mem.read_u8(addr) as i8 as i64 as u64;
+                self.set_ireg_n(s.rd, v);
+                return Some(MemAccess { addr, width: s.width, is_store: false });
+            }
+            Lbu => {
+                let addr = rs1.wrapping_add(imm);
+                let v = self.mem.read_u8(addr) as u64;
+                self.set_ireg_n(s.rd, v);
+                return Some(MemAccess { addr, width: s.width, is_store: false });
+            }
+            Lh => {
+                let addr = rs1.wrapping_add(imm);
+                let v = self.mem.read_u16(addr) as i16 as i64 as u64;
+                self.set_ireg_n(s.rd, v);
+                return Some(MemAccess { addr, width: s.width, is_store: false });
+            }
+            Lhu => {
+                let addr = rs1.wrapping_add(imm);
+                let v = self.mem.read_u16(addr) as u64;
+                self.set_ireg_n(s.rd, v);
+                return Some(MemAccess { addr, width: s.width, is_store: false });
+            }
+            Lw => {
+                let addr = rs1.wrapping_add(imm);
+                let v = self.mem.read_u32(addr) as i32 as i64 as u64;
+                self.set_ireg_n(s.rd, v);
+                return Some(MemAccess { addr, width: s.width, is_store: false });
+            }
+            Lwu => {
+                let addr = rs1.wrapping_add(imm);
+                let v = self.mem.read_u32(addr) as u64;
+                self.set_ireg_n(s.rd, v);
+                return Some(MemAccess { addr, width: s.width, is_store: false });
+            }
+            Ld => {
+                let addr = rs1.wrapping_add(imm);
+                let v = self.mem.read_u64(addr);
+                // 64-bit load results are the ISA's only pointer carriers;
+                // hint the host at the lines a chase through `v` would
+                // touch next (see `Memory::prefetch_pointer`).
+                self.mem.prefetch_pointer(v);
+                self.set_ireg_n(s.rd, v);
+                return Some(MemAccess { addr, width: s.width, is_store: false });
+            }
+            Fld => {
+                let addr = rs1.wrapping_add(imm);
+                self.fregs[s.rd as usize] = f64::from_bits(self.mem.read_u64(addr));
+                return Some(MemAccess { addr, width: s.width, is_store: false });
+            }
+            Sb => {
+                let addr = rs1.wrapping_add(imm);
+                self.mem.write_u8(addr, rs2 as u8);
+                return Some(MemAccess { addr, width: s.width, is_store: true });
+            }
+            Sh => {
+                let addr = rs1.wrapping_add(imm);
+                self.mem.write_u16(addr, rs2 as u16);
+                return Some(MemAccess { addr, width: s.width, is_store: true });
+            }
+            Sw => {
+                let addr = rs1.wrapping_add(imm);
+                self.mem.write_u32(addr, rs2 as u32);
+                return Some(MemAccess { addr, width: s.width, is_store: true });
+            }
+            Sd => {
+                let addr = rs1.wrapping_add(imm);
+                self.mem.write_u64(addr, rs2);
+                return Some(MemAccess { addr, width: s.width, is_store: true });
+            }
+            Fsd => {
+                let addr = rs1.wrapping_add(imm);
+                let bits = self.fregs[s.rs2 as usize].to_bits();
+                self.mem.write_u64(addr, bits);
+                return Some(MemAccess { addr, width: s.width, is_store: true });
+            }
+            Fadd | Fsub | Fmul | Fdiv | Fsqrt | Fmin | Fmax | Feq | Flt | Fle | Fcvtdl | Fcvtld
+            | Fmvdx | Fmvxd => self.exec_fp(s, rs1),
+            Nop => {}
+            Beq | Bne | Blt | Bge | Bltu | Bgeu | Jal | Jalr | Halt => {
+                unreachable!("terminators never run on the straight-line path")
+            }
+        }
+        None
+    }
+
+    /// Floating-point arms of the straight-line interpreter, outlined so
+    /// the integer-dominated hot path — and any record sink fused into it
+    /// by a `step_n` caller — stays small enough for the block walk to
+    /// inline as one unit. FP-heavy code pays one direct, predictable
+    /// call per FP operation; integer code pays nothing.
+    #[inline(never)]
+    fn exec_fp(&mut self, s: &SemInst, rs1: u64) {
+        use SemClass::*;
+        match s.class {
+            Fadd => {
+                self.fregs[s.rd as usize] = self.fregs[s.rs1 as usize] + self.fregs[s.rs2 as usize];
+            }
+            Fsub => {
+                self.fregs[s.rd as usize] = self.fregs[s.rs1 as usize] - self.fregs[s.rs2 as usize];
+            }
+            Fmul => {
+                self.fregs[s.rd as usize] = self.fregs[s.rs1 as usize] * self.fregs[s.rs2 as usize];
+            }
+            Fdiv => {
+                self.fregs[s.rd as usize] = self.fregs[s.rs1 as usize] / self.fregs[s.rs2 as usize];
+            }
+            Fsqrt => self.fregs[s.rd as usize] = self.fregs[s.rs1 as usize].sqrt(),
+            Fmin => {
+                self.fregs[s.rd as usize] =
+                    self.fregs[s.rs1 as usize].min(self.fregs[s.rs2 as usize]);
+            }
+            Fmax => {
+                self.fregs[s.rd as usize] =
+                    self.fregs[s.rs1 as usize].max(self.fregs[s.rs2 as usize]);
+            }
+            Feq => {
+                let v = self.fregs[s.rs1 as usize] == self.fregs[s.rs2 as usize];
+                self.set_ireg_n(s.rd, v as u64);
+            }
+            Flt => {
+                let v = self.fregs[s.rs1 as usize] < self.fregs[s.rs2 as usize];
+                self.set_ireg_n(s.rd, v as u64);
+            }
+            Fle => {
+                let v = self.fregs[s.rs1 as usize] <= self.fregs[s.rs2 as usize];
+                self.set_ireg_n(s.rd, v as u64);
+            }
+            Fcvtdl => self.fregs[s.rd as usize] = rs1 as i64 as f64,
+            Fcvtld => {
+                let v = self.fregs[s.rs1 as usize];
+                self.set_ireg_n(s.rd, v as i64 as u64);
+            }
+            Fmvdx => self.fregs[s.rd as usize] = f64::from_bits(rs1),
+            Fmvxd => {
+                let bits = self.fregs[s.rs1 as usize].to_bits();
+                self.set_ireg_n(s.rd, bits);
+            }
+            _ => unreachable!("exec_fp handles only floating-point classes"),
+        }
+    }
+
+    /// Executes one block terminator from the predecoded table, updating
+    /// PC, icount, and the halt flag. Terminators never fault (their
+    /// *successor* may be out of text, which the next block-entry check
+    /// reports, exactly as a reference fetch would). Mirrors the
+    /// corresponding [`Cpu::step`] arms exactly, including the
+    /// rs1-before-link-write ordering of `jalr` (so `jalr ra, ra, 0`
+    /// agrees).
+    #[inline(always)]
+    fn exec_terminator(&mut self, pi: &PreInst) -> Retired {
+        let s = &pi.sem;
+        let pc = self.pc;
+        let seq = self.icount;
+        let mut next_pc = pc + INST_BYTES;
+        let mut branch = None;
+        use SemClass::*;
+        match s.class {
+            Beq | Bne | Blt | Bge | Bltu | Bgeu => {
+                let rs1 = self.ireg_n(s.rs1);
+                let rs2 = self.ireg_n(s.rs2);
+                let taken = match s.class {
+                    Beq => rs1 == rs2,
+                    Bne => rs1 != rs2,
+                    Blt => (rs1 as i64) < (rs2 as i64),
+                    Bge => (rs1 as i64) >= (rs2 as i64),
+                    Bltu => rs1 < rs2,
+                    _ => rs1 >= rs2, // Bgeu
+                };
+                if taken {
+                    next_pc = pi.target;
+                }
+                branch = Some(BranchRec { kind: CtrlKind::CondBranch, taken, target: pi.target });
+            }
+            Jal => {
+                self.set_ireg_n(s.rd, pc + INST_BYTES);
+                next_pc = pi.target;
+                branch = Some(BranchRec { kind: s.ctrl, taken: true, target: pi.target });
+            }
+            Jalr => {
+                let target = self.ireg_n(s.rs1).wrapping_add(s.imm as u64) & !1u64;
+                self.set_ireg_n(s.rd, pc + INST_BYTES);
+                next_pc = target;
+                branch = Some(BranchRec { kind: s.ctrl, taken: true, target });
+            }
+            Halt => self.halted = true,
+            _ => unreachable!("only terminators end a superblock"),
+        }
+        self.pc = next_pc;
+        self.icount = seq + 1;
+        Retired { seq, pc, next_pc, inst: s.inst, mem: None, branch }
     }
 
     /// Executes one instruction.
@@ -512,18 +914,21 @@ impl Cpu {
     }
 
     /// Runs up to `max_insts` instructions or until the program halts.
-    /// Returns the number of instructions retired.
+    /// Returns the number of instructions retired. Runs on the fast
+    /// [`Cpu::step_n`] core.
     ///
     /// # Errors
     ///
     /// Propagates [`ExecError::PcOutOfText`]; a clean `halt` is not an error.
     pub fn run(&mut self, max_insts: u64) -> Result<u64, ExecError> {
-        let mut n = 0;
-        while n < max_insts && !self.halted {
-            self.step()?;
-            n += 1;
+        let start = self.icount;
+        if self.halted || max_insts == 0 {
+            return Ok(0);
         }
-        Ok(n)
+        match self.step_n(max_insts, |_| ()) {
+            Ok(()) | Err(ExecError::Halted) => Ok(self.icount - start),
+            Err(e) => Err(e),
+        }
     }
 }
 
@@ -797,5 +1202,147 @@ mod tests {
         let cpu = Cpu::new(&p).unwrap();
         assert_eq!(cpu.ireg(Reg::SP), p.stack_top());
         assert_eq!(cpu.ireg(Reg::GP), p.data_base());
+    }
+
+    /// A small program mixing ALU, memory, FP, calls, and a loop — enough
+    /// shapes to cover every superblock boundary case.
+    fn mixed_program() -> rsr_isa::Program {
+        let mut a = Asm::new();
+        let buf = a.data_zeros(128);
+        a.la(Reg::S0, buf);
+        a.li(Reg::T0, 0);
+        a.li(Reg::T1, 25);
+        let top = a.bind_new("top");
+        a.add(Reg::T2, Reg::T0, Reg::T1);
+        a.sd(Reg::T2, 0, Reg::S0);
+        a.ld(Reg::T3, 0, Reg::S0);
+        a.sb(Reg::T3, 9, Reg::S0);
+        a.fld(Freg::F0, 16, Reg::S0);
+        a.fadd(Freg::F1, Freg::F0, Freg::F0);
+        a.fsd(Freg::F1, 24, Reg::S0);
+        a.addi(Reg::T0, Reg::T0, 1);
+        a.blt(Reg::T0, Reg::T1, top);
+        let f = a.new_label("leaf");
+        a.call(f);
+        let over = a.new_label("over");
+        a.j(over);
+        a.bind(f).unwrap();
+        a.xori(Reg::A0, Reg::T0, 0x155);
+        a.ret();
+        a.bind(over).unwrap();
+        a.halt();
+        a.finish().unwrap()
+    }
+
+    /// Retires up to `n` instructions on the reference interpreter,
+    /// collecting records until halt/fault.
+    fn reference_stream(cpu: &mut Cpu, n: u64) -> (Vec<Retired>, Result<(), ExecError>) {
+        let mut out = Vec::new();
+        for _ in 0..n {
+            match cpu.step() {
+                Ok(r) => out.push(r),
+                Err(e) => return (out, Err(e)),
+            }
+        }
+        (out, Ok(()))
+    }
+
+    #[test]
+    fn step_n_matches_reference_stream_exactly() {
+        let p = mixed_program();
+        let mut fast = Cpu::new(&p).unwrap();
+        let mut reference = Cpu::new(&p).unwrap();
+        let (want, want_err) = reference_stream(&mut reference, 10_000);
+        let mut got = Vec::new();
+        let got_err = fast.step_n(10_000, |r| got.push(*r));
+        assert_eq!(got_err, want_err);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert_eq!(g, w);
+        }
+        assert_eq!(fast.arch_state(), reference.arch_state());
+    }
+
+    #[test]
+    fn step_n_is_tail_accurate_at_every_boundary() {
+        let p = mixed_program();
+        let full = {
+            let mut cpu = Cpu::new(&p).unwrap();
+            let (stream, _) = reference_stream(&mut cpu, 10_000);
+            stream
+        };
+        // Stop at every prefix length crossing the first few blocks, and
+        // at a spread of longer prefixes: state must equal the reference
+        // prefix exactly, including mid-block stops.
+        for n in (0..40).chain([63, 97, 150, 211, full.len() as u64 - 1]) {
+            let mut fast = Cpu::new(&p).unwrap();
+            let mut count = 0u64;
+            fast.step_n(n, |_| count += 1).unwrap();
+            assert_eq!(count, n);
+            assert_eq!(fast.icount(), n, "stopped at exactly n");
+            let mut reference = Cpu::new(&p).unwrap();
+            let _ = reference_stream(&mut reference, n);
+            assert_eq!(fast.arch_state(), reference.arch_state(), "prefix {n}");
+        }
+    }
+
+    #[test]
+    fn step_n_chunked_equals_one_shot() {
+        let p = mixed_program();
+        let mut one = Cpu::new(&p).unwrap();
+        let mut whole = Vec::new();
+        one.step_n(200, |r| whole.push(*r)).unwrap();
+        let mut chunked = Cpu::new(&p).unwrap();
+        let mut parts = Vec::new();
+        for chunk in [1u64, 7, 3, 50, 19, 100, 20] {
+            chunked.step_n(chunk, |r| parts.push(*r)).unwrap();
+        }
+        assert_eq!(whole, parts);
+        assert_eq!(one.arch_state(), chunked.arch_state());
+    }
+
+    #[test]
+    fn step_n_halt_midway_reports_halted_like_reference() {
+        let mut a = Asm::new();
+        a.addi(Reg::T0, Reg::ZERO, 1);
+        a.halt();
+        let p = a.finish().unwrap();
+        let mut fast = Cpu::new(&p).unwrap();
+        let mut seen = 0u64;
+        // Ask for more than the program retires: both engines retire the
+        // halt, then refuse the next instruction.
+        assert_eq!(fast.step_n(10, |_| seen += 1), Err(ExecError::Halted));
+        assert_eq!(seen, 2);
+        let mut reference = Cpu::new(&p).unwrap();
+        let (stream, err) = reference_stream(&mut reference, 10);
+        assert_eq!(err, Err(ExecError::Halted));
+        assert_eq!(stream.len(), 2);
+        assert_eq!(fast.arch_state(), reference.arch_state());
+    }
+
+    #[test]
+    fn step_n_runaway_pc_faults_at_block_entry() {
+        let mut a = Asm::new();
+        a.addi(Reg::T0, Reg::ZERO, 4);
+        a.jalr(Reg::ZERO, Reg::T0, 96); // jump past text
+        let p = a.finish().unwrap();
+        let mut fast = Cpu::new(&p).unwrap();
+        let mut reference = Cpu::new(&p).unwrap();
+        let got = fast.step_n(10, |_| ());
+        let (_, want) = reference_stream(&mut reference, 10);
+        assert_eq!(got, want);
+        assert!(matches!(got, Err(ExecError::PcOutOfText { .. })));
+        assert_eq!(fast.arch_state(), reference.arch_state());
+    }
+
+    #[test]
+    fn run_still_stops_cleanly_on_halt() {
+        let p = mixed_program();
+        let mut cpu = Cpu::new(&p).unwrap();
+        let n = cpu.run(u64::MAX).unwrap();
+        assert!(cpu.halted());
+        assert_eq!(cpu.icount(), n);
+        // Further runs are no-ops, not errors.
+        assert_eq!(cpu.run(5).unwrap(), 0);
     }
 }

@@ -32,5 +32,5 @@
 mod cpu;
 mod mem;
 
-pub use cpu::{ArchState, BranchRec, Cpu, ExecError, LoadError, MemAccess, Retired};
+pub use cpu::{ArchState, BranchRec, Cpu, ExecError, LoadError, MemAccess, RetireSink, Retired};
 pub use mem::{Memory, PAGE_BYTES};

@@ -34,12 +34,14 @@ mod encode;
 mod inst;
 mod op;
 mod program;
+mod sem;
 
 pub use asm::{Asm, AsmError, Label};
 pub use encode::{DecodeError, EncodeError, B_OFFSET_RANGE, I_IMM_RANGE, J_OFFSET_RANGE};
 pub use inst::{CtrlKind, Inst, MemWidth};
 pub use op::{Op, OpClass};
 pub use program::Program;
+pub use sem::{SemClass, SemInst};
 
 /// A byte address in the simulated machine.
 pub type Addr = u64;

@@ -1,0 +1,375 @@
+//! Semantic predecode: a dense, execution-oriented form of [`Inst`].
+//!
+//! [`Inst`] is the *architectural* decoded form — it mirrors the binary
+//! encoding, so executing it means re-deriving everything the encoding
+//! left implicit: sign-extending the immediate, classifying the control
+//! kind, looking up the memory width, and matching on an [`Op`] whose
+//! discriminants have deliberate gaps. An interpreter that does all of
+//! that per retired instruction pays for the decode on every dynamic
+//! execution of the same static word.
+//!
+//! [`SemInst`] does that work once, at program load. Its
+//! [`SemClass`] discriminant is *dense* (0..=59, no gaps), so a match
+//! over it compiles to a single jump table; the immediate is already
+//! sign-extended (and pre-shifted for `lui`); the memory width and
+//! control kind are pre-resolved so the execute loop never touches an
+//! `Option`. The original [`Inst`] rides along for consumers that report
+//! it (the functional simulator's `Retired` records).
+
+use crate::{CtrlKind, Inst, MemWidth, Op};
+
+/// Dense semantic class of an instruction, one variant per executable
+/// behavior, with discriminants `0..=59` and no gaps (unlike [`Op`],
+/// whose discriminants are the sparse 7-bit opcodes). A match over
+/// `SemClass` in an execute loop compiles to one dense jump table.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SemClass {
+    /// `rd = rs1 + rs2` (wrapping).
+    Add = 0,
+    /// `rd = rs1 - rs2` (wrapping).
+    Sub,
+    /// `rd = rs1 * rs2` (wrapping, low 64 bits).
+    Mul,
+    /// `rd = rs1 / rs2` (signed; by zero yields all-ones).
+    Div,
+    /// `rd = rs1 % rs2` (signed; modulo zero yields rs1).
+    Rem,
+    /// `rd = rs1 & rs2`.
+    And,
+    /// `rd = rs1 | rs2`.
+    Or,
+    /// `rd = rs1 ^ rs2`.
+    Xor,
+    /// `rd = rs1 << (rs2 & 63)`.
+    Sll,
+    /// `rd = rs1 >> (rs2 & 63)` (logical).
+    Srl,
+    /// `rd = rs1 >> (rs2 & 63)` (arithmetic).
+    Sra,
+    /// `rd = (rs1 <s rs2) ? 1 : 0`.
+    Slt,
+    /// `rd = (rs1 <u rs2) ? 1 : 0`.
+    Sltu,
+    /// `rd = rs1 + imm`.
+    Addi,
+    /// `rd = rs1 & imm`.
+    Andi,
+    /// `rd = rs1 | imm`.
+    Ori,
+    /// `rd = rs1 ^ imm`.
+    Xori,
+    /// `rd = rs1 << (imm & 63)`.
+    Slli,
+    /// `rd = rs1 >> (imm & 63)` (logical).
+    Srli,
+    /// `rd = rs1 >> (imm & 63)` (arithmetic).
+    Srai,
+    /// `rd = (rs1 <s imm) ? 1 : 0`.
+    Slti,
+    /// `rd = (rs1 <u imm) ? 1 : 0`.
+    Sltiu,
+    /// `rd = imm` (the shift by 12 is pre-applied in [`SemInst::imm`]).
+    Lui,
+    /// Load signed byte.
+    Lb,
+    /// Load unsigned byte.
+    Lbu,
+    /// Load signed halfword.
+    Lh,
+    /// Load unsigned halfword.
+    Lhu,
+    /// Load signed word.
+    Lw,
+    /// Load unsigned word.
+    Lwu,
+    /// Load doubleword.
+    Ld,
+    /// Load an `f64` into a floating-point register.
+    Fld,
+    /// Store low byte.
+    Sb,
+    /// Store low halfword.
+    Sh,
+    /// Store low word.
+    Sw,
+    /// Store doubleword.
+    Sd,
+    /// Store an `f64` from a floating-point register.
+    Fsd,
+    /// `fd = fs1 + fs2`.
+    Fadd,
+    /// `fd = fs1 - fs2`.
+    Fsub,
+    /// `fd = fs1 * fs2`.
+    Fmul,
+    /// `fd = fs1 / fs2`.
+    Fdiv,
+    /// `fd = sqrt(fs1)`.
+    Fsqrt,
+    /// `fd = min(fs1, fs2)`.
+    Fmin,
+    /// `fd = max(fs1, fs2)`.
+    Fmax,
+    /// `rd = (fs1 == fs2) ? 1 : 0`.
+    Feq,
+    /// `rd = (fs1 < fs2) ? 1 : 0`.
+    Flt,
+    /// `rd = (fs1 <= fs2) ? 1 : 0`.
+    Fle,
+    /// `fd = (f64) rs1`.
+    Fcvtdl,
+    /// `rd = (i64) fs1` (truncating).
+    Fcvtld,
+    /// `fd = bits(rs1)`.
+    Fmvdx,
+    /// `rd = bits(fs1)`.
+    Fmvxd,
+    /// Branch if `rs1 == rs2`.
+    Beq,
+    /// Branch if `rs1 != rs2`.
+    Bne,
+    /// Branch if `rs1 <s rs2`.
+    Blt,
+    /// Branch if `rs1 >=s rs2`.
+    Bge,
+    /// Branch if `rs1 <u rs2`.
+    Bltu,
+    /// Branch if `rs1 >=u rs2`.
+    Bgeu,
+    /// Jump-and-link (direct).
+    Jal,
+    /// Jump-and-link (indirect).
+    Jalr,
+    /// Stop the machine.
+    Halt,
+    /// No operation.
+    Nop,
+}
+
+impl SemClass {
+    /// The dense discriminant count (`SemClass` values are `0..COUNT`).
+    pub const COUNT: usize = 60;
+
+    /// Does this instruction end a basic block? Terminators are every
+    /// control transfer (the next PC is data-dependent) plus `halt` (the
+    /// machine state changes mode). Everything else falls through to
+    /// `pc + 4` unconditionally, which is what lets a superblock
+    /// dispatcher execute a whole straight-line run without re-checking
+    /// the PC.
+    #[inline]
+    pub fn is_terminator(self) -> bool {
+        matches!(
+            self,
+            SemClass::Beq
+                | SemClass::Bne
+                | SemClass::Blt
+                | SemClass::Bge
+                | SemClass::Bltu
+                | SemClass::Bgeu
+                | SemClass::Jal
+                | SemClass::Jalr
+                | SemClass::Halt
+        )
+    }
+
+    /// Is this a conditional direct branch?
+    #[inline]
+    pub fn is_cond_branch(self) -> bool {
+        matches!(
+            self,
+            SemClass::Beq
+                | SemClass::Bne
+                | SemClass::Blt
+                | SemClass::Bge
+                | SemClass::Bltu
+                | SemClass::Bgeu
+        )
+    }
+
+    fn of(op: Op) -> SemClass {
+        use Op::*;
+        match op {
+            Add => SemClass::Add,
+            Sub => SemClass::Sub,
+            Mul => SemClass::Mul,
+            Div => SemClass::Div,
+            Rem => SemClass::Rem,
+            And => SemClass::And,
+            Or => SemClass::Or,
+            Xor => SemClass::Xor,
+            Sll => SemClass::Sll,
+            Srl => SemClass::Srl,
+            Sra => SemClass::Sra,
+            Slt => SemClass::Slt,
+            Sltu => SemClass::Sltu,
+            Addi => SemClass::Addi,
+            Andi => SemClass::Andi,
+            Ori => SemClass::Ori,
+            Xori => SemClass::Xori,
+            Slli => SemClass::Slli,
+            Srli => SemClass::Srli,
+            Srai => SemClass::Srai,
+            Slti => SemClass::Slti,
+            Sltiu => SemClass::Sltiu,
+            Lui => SemClass::Lui,
+            Lb => SemClass::Lb,
+            Lbu => SemClass::Lbu,
+            Lh => SemClass::Lh,
+            Lhu => SemClass::Lhu,
+            Lw => SemClass::Lw,
+            Lwu => SemClass::Lwu,
+            Ld => SemClass::Ld,
+            Fld => SemClass::Fld,
+            Sb => SemClass::Sb,
+            Sh => SemClass::Sh,
+            Sw => SemClass::Sw,
+            Sd => SemClass::Sd,
+            Fsd => SemClass::Fsd,
+            Fadd => SemClass::Fadd,
+            Fsub => SemClass::Fsub,
+            Fmul => SemClass::Fmul,
+            Fdiv => SemClass::Fdiv,
+            Fsqrt => SemClass::Fsqrt,
+            Fmin => SemClass::Fmin,
+            Fmax => SemClass::Fmax,
+            Feq => SemClass::Feq,
+            Flt => SemClass::Flt,
+            Fle => SemClass::Fle,
+            Fcvtdl => SemClass::Fcvtdl,
+            Fcvtld => SemClass::Fcvtld,
+            Fmvdx => SemClass::Fmvdx,
+            Fmvxd => SemClass::Fmvxd,
+            Beq => SemClass::Beq,
+            Bne => SemClass::Bne,
+            Blt => SemClass::Blt,
+            Bge => SemClass::Bge,
+            Bltu => SemClass::Bltu,
+            Bgeu => SemClass::Bgeu,
+            Jal => SemClass::Jal,
+            Jalr => SemClass::Jalr,
+            Halt => SemClass::Halt,
+            Nop => SemClass::Nop,
+        }
+    }
+}
+
+/// One statically predecoded instruction: everything the execute loop
+/// needs, pre-extracted so the hot path touches no [`Op`] matching, no
+/// `Option` plumbing, and no sign extension.
+///
+/// `width` and `ctrl` are only meaningful for the classes that use them
+/// (loads/stores and control transfers respectively); for every other
+/// class they hold fixed placeholder values (`B1` / `CondBranch`) that
+/// the execute loop never reads — the class arm knows statically whether
+/// they apply.
+#[derive(Copy, Clone, Debug, PartialEq)]
+pub struct SemInst {
+    /// Dense semantic class (the jump-table discriminant).
+    pub class: SemClass,
+    /// Destination register number.
+    pub rd: u8,
+    /// First source register number.
+    pub rs1: u8,
+    /// Second source register number.
+    pub rs2: u8,
+    /// Memory access width (loads/stores only; `B1` placeholder
+    /// otherwise).
+    pub width: MemWidth,
+    /// Branch-predictor classification (control transfers only;
+    /// `CondBranch` placeholder otherwise).
+    pub ctrl: CtrlKind,
+    /// Fully materialized immediate: sign-extended to 64 bits, with
+    /// `lui`'s `<< 12` already applied. Shift amounts still mask with
+    /// `& 63` at execute time, exactly as the architectural rule states.
+    pub imm: i64,
+    /// The architectural decoded form, carried for consumers that report
+    /// instructions downstream (`Retired` records, the timing model).
+    pub inst: Inst,
+}
+
+impl SemInst {
+    /// Predecodes one instruction. Pure and total: every valid [`Inst`]
+    /// has exactly one semantic form.
+    pub fn of(inst: Inst) -> SemInst {
+        let class = SemClass::of(inst.op);
+        let imm = if inst.op == Op::Lui { (inst.imm as i64) << 12 } else { inst.imm as i64 };
+        SemInst {
+            class,
+            rd: inst.rd,
+            rs1: inst.rs1,
+            rs2: inst.rs2,
+            width: inst.mem_width().unwrap_or(MemWidth::B1),
+            ctrl: inst.ctrl_kind().unwrap_or(CtrlKind::CondBranch),
+            imm,
+            inst,
+        }
+    }
+}
+
+impl Inst {
+    /// The semantic (execution-oriented) predecoded form of this
+    /// instruction. See [`SemInst`].
+    pub fn semantic(self) -> SemInst {
+        SemInst::of(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn discriminants_are_dense() {
+        // Every Op maps to a distinct class and the discriminants cover
+        // 0..COUNT with no gaps — the property that makes the execute
+        // match one dense jump table.
+        let mut seen = [false; SemClass::COUNT];
+        for &op in Op::ALL {
+            let class = SemClass::of(op);
+            let d = class as usize;
+            assert!(d < SemClass::COUNT, "{op:?} discriminant {d} out of range");
+            assert!(!seen[d], "{op:?} collides at discriminant {d}");
+            seen[d] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "gap in SemClass discriminants");
+    }
+
+    #[test]
+    fn terminators_match_ctrl_plus_halt() {
+        for &op in Op::ALL {
+            let sem = Inst::new(op, 1, 2, 3, 0).semantic();
+            let expect = op.is_ctrl() || op == Op::Halt;
+            assert_eq!(sem.class.is_terminator(), expect, "{op:?}");
+            assert_eq!(sem.class.is_cond_branch(), op.is_cond_branch(), "{op:?}");
+        }
+    }
+
+    #[test]
+    fn immediates_sign_extend_and_lui_preshifts() {
+        let addi = Inst::new(Op::Addi, 1, 2, 0, -5).semantic();
+        assert_eq!(addi.imm, -5);
+        let lui = Inst::new(Op::Lui, 1, 0, 0, -3).semantic();
+        assert_eq!(lui.imm, -3i64 << 12);
+        let big = Inst::new(Op::Lui, 1, 0, 0, 0x7ffff).semantic();
+        assert_eq!(big.imm, 0x7ffff_i64 << 12);
+    }
+
+    #[test]
+    fn width_and_ctrl_preresolved() {
+        let lw = Inst::new(Op::Lw, 1, 2, 0, 8).semantic();
+        assert_eq!(lw.width, MemWidth::B4);
+        let fsd = Inst::new(Op::Fsd, 0, 2, 3, 8).semantic();
+        assert_eq!(fsd.width, MemWidth::B8);
+        let call = Inst::new(Op::Jal, 1, 0, 0, 64).semantic();
+        assert_eq!(call.ctrl, CtrlKind::Call);
+        let ret = Inst::new(Op::Jalr, 0, 1, 0, 0).semantic();
+        assert_eq!(ret.ctrl, CtrlKind::Return);
+    }
+
+    #[test]
+    fn original_inst_rides_along() {
+        let inst = Inst::new(Op::Sub, 7, 8, 9, 0);
+        assert_eq!(inst.semantic().inst, inst);
+    }
+}
