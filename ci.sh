@@ -32,6 +32,12 @@ cargo test -q -p rsr-integration --test serve_robustness
 # over randomized programs (page-crossing memory, division edges, halts
 # mid-block).
 cargo test -q -p rsr-integration --test func_equivalence
+# The detailed-window kernel equivalence suite, by name: the SoA cache,
+# packed gshare, bitset BTB, and inline RAS must stay bit-identical to
+# their retained reference implementations over random access streams,
+# reverse reconstruction with budget cuts, and real skip-log replays
+# (ext-spill records, over-budget truncation).
+cargo test -q -p rsr-integration --test timing_equivalence
 cargo fmt --all --check
 cargo clippy --workspace --all-targets -- -D warnings
 # Hard gate: the core engine and its deps must fail typed, not panic.
@@ -88,6 +94,41 @@ if ./target/release/rsr bench --scale 0.05 --out target/BENCH_sample.smoke.json;
     fi
   else
     echo "ci: cold-phase throughput ok: $smoke_cold MIPS (floor 30)"
+  fi
+
+  # PHT-reconstruction guard: like recon_ns_per_record, the per-record
+  # cost is scale-free, so the smoke run compares to the full-scale
+  # reference. The last-writer index dropped this >3x; a >25% regression
+  # means the indexed fast path fell back to the legacy HashMap walk.
+  # Timing, so advisory on starved <= 2-core hosts.
+  smoke_pht=$(grep -m1 '"recon_pht_ns_per_record"' target/BENCH_sample.smoke.json \
+    | sed 's/[^0-9.]//g')
+  ref_pht=$(grep -m1 '"recon_pht_ns_per_record"' BENCH_sample.json | sed 's/[^0-9.]//g')
+  if awk -v s="$smoke_pht" -v r="$ref_pht" 'BEGIN { exit !(s > r * 1.25) }'; then
+    echo "ci: recon_pht_ns_per_record regressed: smoke $smoke_pht vs reference $ref_pht (+25% threshold)"
+    if [ "$(nproc)" -gt 2 ]; then
+      exit 1
+    else
+      echo "ci: advisory only on $(nproc)-core host (timing too noisy to gate)"
+    fi
+  else
+    echo "ci: recon_pht_ns_per_record ok: smoke $smoke_pht vs reference $ref_pht"
+  fi
+
+  # Hot-MIPS floor: the SoA detailed-window kernels hold well above this
+  # on the smoke load; the floor catches a wholesale regression (e.g. the
+  # hierarchy kernel falling out of line or a per-predict allocation
+  # returning). Timing, so advisory on starved <= 2-core hosts.
+  smoke_hot=$(grep -m1 '"hot_mips"' target/BENCH_sample.smoke.json | sed 's/[^0-9.]//g')
+  if awk -v h="$smoke_hot" 'BEGIN { exit !(h < 1.5) }'; then
+    echo "ci: hot-phase throughput regressed: $smoke_hot MIPS (floor 1.5)"
+    if [ "$(nproc)" -gt 2 ]; then
+      exit 1
+    else
+      echo "ci: advisory only on $(nproc)-core host (timing too noisy to gate)"
+    fi
+  else
+    echo "ci: hot-phase throughput ok: $smoke_hot MIPS (floor 1.5)"
   fi
 else
   echo "ci: bench emission failed (non-fatal)"

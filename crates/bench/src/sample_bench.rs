@@ -42,6 +42,10 @@ pub struct BenchSample {
     /// them logged through the fused loop) per second of cold time, in
     /// millions.
     pub cold_mips: f64,
+    /// Hot-phase throughput: cycle-accurately simulated instructions per
+    /// second of hot busy time, in millions — the detailed-window kernel
+    /// speed (cache hierarchy + predictor per instruction).
+    pub hot_mips: f64,
     /// Reverse cache reconstruction cost per scanned log record, from a
     /// standalone logged-region micro-pass at the run's budget.
     pub recon_ns_per_record: f64,
@@ -70,8 +74,12 @@ pub struct BenchSample {
     /// End-to-end wall-clock seconds of the sampled run.
     pub wall_seconds: f64,
     /// Fraction of summed phase busy time hidden by thread- and
-    /// pipeline-level overlap: `1 − wall/Σphases`, clamped at 0.
-    pub overlap_efficiency: f64,
+    /// pipeline-level overlap: `1 − wall/Σphases`, clamped at 0. `None`
+    /// (emitted as JSON `null`) for a structurally sequential run —
+    /// one thread at pipeline depth 1 — where no overlap machinery is
+    /// engaged and a `0.000000` would misread as "overlap tried and
+    /// failed" rather than "not applicable".
+    pub overlap_efficiency: Option<f64>,
 }
 
 impl BenchSample {
@@ -92,6 +100,7 @@ impl BenchSample {
         field("cluster_len", self.cluster_len.to_string());
         field("est_ipc", fmt_f64(self.est_ipc));
         field("cold_mips", fmt_f64(self.cold_mips));
+        field("hot_mips", fmt_f64(self.hot_mips));
         field("recon_ns_per_record", fmt_f64(self.recon_ns_per_record));
         field("recon_l1_ns_per_record", fmt_f64(self.recon_l1_ns_per_record));
         field("recon_l2_ns_per_record", fmt_f64(self.recon_l2_ns_per_record));
@@ -104,7 +113,7 @@ impl BenchSample {
         field("wall_seconds", fmt_f64(self.wall_seconds));
         s.push_str(&format!(
             "  \"overlap_efficiency\": {}\n}}\n",
-            fmt_f64(self.overlap_efficiency)
+            self.overlap_efficiency.map_or_else(|| "null".into(), fmt_f64)
         ));
         s
     }
@@ -155,6 +164,8 @@ pub fn run_bench_sample(
 
     let cold_secs = outcome.phases.cold.as_secs_f64();
     let cold_mips = outcome.skipped_insts as f64 / cold_secs.max(1e-9) / 1e6;
+    let hot_secs = outcome.phases.hot.as_secs_f64();
+    let hot_mips = outcome.hot_insts as f64 / hot_secs.max(1e-9) / 1e6;
 
     // Standalone reconstruction micro-pass: log one representative region,
     // seal its set-partitioned index once (the engine seals during cold
@@ -193,6 +204,7 @@ pub fn run_bench_sample(
         cluster_len: spec.cluster_len,
         est_ipc: outcome.est_ipc(),
         cold_mips,
+        hot_mips,
         recon_ns_per_record,
         recon_l1_ns_per_record: per(outcome.recon_timing.l1_ns, mem_scanned),
         recon_l2_ns_per_record: per(outcome.recon_timing.l2_ns, mem_scanned),
@@ -201,9 +213,13 @@ pub fn run_bench_sample(
         log_bytes_peak: outcome.log_bytes_peak,
         log_records: outcome.log_records,
         cold_seconds: cold_secs,
-        hot_seconds: outcome.phases.hot.as_secs_f64(),
+        hot_seconds: hot_secs,
         wall_seconds: outcome.wall.as_secs_f64(),
-        overlap_efficiency: outcome.overlap_efficiency(),
+        overlap_efficiency: if threads == 1 && resolved_depth == 1 {
+            None // structurally sequential: no overlap machinery engaged
+        } else {
+            Some(outcome.overlap_efficiency())
+        },
     }
 }
 
@@ -250,6 +266,7 @@ mod tests {
         assert_eq!(s.recon_threads, 1);
         assert!(s.est_ipc > 0.0);
         assert!(s.cold_mips > 0.0);
+        assert!(s.hot_mips > 0.0);
         assert!(s.recon_ns_per_record > 0.0);
         assert!(s.recon_l1_ns_per_record > 0.0);
         assert!(s.recon_l2_ns_per_record > 0.0);
@@ -258,7 +275,9 @@ mod tests {
         assert!(s.log_bytes_peak > 0);
         assert!(s.log_records > 0);
         assert!(s.wall_seconds > 0.0);
-        assert!((0.0..1.0).contains(&s.overlap_efficiency));
+        // Sequential single-thread run: overlap is not applicable.
+        assert_eq!(s.overlap_efficiency, None);
+        assert!(s.to_json().contains("\"overlap_efficiency\": null"));
     }
 
     #[test]
@@ -275,6 +294,7 @@ mod tests {
             cluster_len: 3000,
             est_ipc: 0.5,
             cold_mips: 12.0,
+            hot_mips: 3.0,
             recon_ns_per_record: 8.5,
             recon_l1_ns_per_record: 3.0,
             recon_l2_ns_per_record: 2.5,
@@ -285,11 +305,11 @@ mod tests {
             cold_seconds: 1.5,
             hot_seconds: 0.25,
             wall_seconds: 2.0,
-            overlap_efficiency: 0.3,
+            overlap_efficiency: Some(0.3),
         };
         let json = s.to_json();
         // Shape checks a strict parser would also enforce: one object,
-        // all twenty-two keys, no trailing comma before the brace.
+        // all twenty-three keys, no trailing comma before the brace.
         assert!(json.starts_with("{\n") && json.ends_with("}\n"));
         assert!(!json.contains(",\n}"));
         for key in [
@@ -304,6 +324,7 @@ mod tests {
             "cluster_len",
             "est_ipc",
             "cold_mips",
+            "hot_mips",
             "recon_ns_per_record",
             "recon_l1_ns_per_record",
             "recon_l2_ns_per_record",

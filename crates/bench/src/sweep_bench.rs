@@ -83,6 +83,12 @@ pub struct SweepSample {
     pub log_records: u64,
     /// Wall seconds of the shared functional cold pass.
     pub cold_seconds: f64,
+    /// Wall seconds of detailed replay per swept config — the marginal
+    /// cost of adding one more configuration to the sweep,
+    /// `(sweep_wall − cold_wall) / configs`. Tracks the detailed-window
+    /// kernels (cache hierarchy + predictor + reconstruction) in
+    /// isolation from the amortized cold pass.
+    pub detail_seconds_per_config: f64,
     /// End-to-end wall seconds of the sweep (cold pass + all replays).
     pub sweep_wall_seconds: f64,
     /// Summed wall seconds of the N standalone runs of the same configs.
@@ -117,6 +123,7 @@ impl SweepSample {
         field("est_ipc_max", fmt_f64(self.est_ipc_max));
         field("log_records", self.log_records.to_string());
         field("cold_seconds", fmt_f64(self.cold_seconds));
+        field("detail_seconds_per_config", fmt_f64(self.detail_seconds_per_config));
         field("sweep_wall_seconds", fmt_f64(self.sweep_wall_seconds));
         field("standalone_wall_seconds", fmt_f64(self.standalone_wall_seconds));
         field("wall_ratio", fmt_f64(self.wall_ratio));
@@ -213,6 +220,8 @@ pub fn run_sweep_sample(
         est_ipc_max: ipcs.iter().cloned().fold(f64::NEG_INFINITY, f64::max),
         log_records: out.configs[0].outcome.log_records,
         cold_seconds: out.cold_wall.as_secs_f64(),
+        detail_seconds_per_config: (sweep_wall - out.cold_wall.as_secs_f64()).max(0.0)
+            / grid.len().max(1) as f64,
         sweep_wall_seconds: sweep_wall,
         standalone_wall_seconds: standalone_wall,
         wall_ratio: sweep_wall / standalone_wall.max(1e-9),
@@ -264,6 +273,7 @@ mod tests {
         assert!(s.est_ipc_min <= s.est_ipc && s.est_ipc <= s.est_ipc_max);
         assert!(s.log_records > 0);
         assert!(s.cold_seconds > 0.0 && s.sweep_wall_seconds >= s.cold_seconds);
+        assert!(s.detail_seconds_per_config >= 0.0 && s.detail_seconds_per_config.is_finite());
         assert!(s.amortization < 1.0, "modeled ratio must amortize the cold pass");
         assert!(s.wall_ratio > 0.0 && s.wall_ratio.is_finite());
     }
@@ -285,6 +295,7 @@ mod tests {
             est_ipc_max: 0.6,
             log_records: 1234,
             cold_seconds: 1.0,
+            detail_seconds_per_config: 0.35,
             sweep_wall_seconds: 8.0,
             standalone_wall_seconds: 28.0,
             wall_ratio: 8.0 / 28.0,
@@ -309,6 +320,7 @@ mod tests {
             "est_ipc_max",
             "log_records",
             "cold_seconds",
+            "detail_seconds_per_config",
             "sweep_wall_seconds",
             "standalone_wall_seconds",
             "wall_ratio",

@@ -2,14 +2,6 @@
 
 use crate::Addr;
 
-#[derive(Copy, Clone, Debug, Default)]
-struct Entry {
-    valid: bool,
-    tag: u64,
-    target: Addr,
-    reconstructed: bool,
-}
-
 /// Running BTB statistics.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct BtbStats {
@@ -25,10 +17,23 @@ pub struct BtbStats {
 /// entries). Reconstruction treats it exactly like a direct-mapped cache:
 /// the reverse scan installs the youngest target for each entry and marks it
 /// reconstructed; older references to reconstructed entries are ignored.
+///
+/// Layout is struct-of-arrays: contiguous tag and target vectors plus
+/// `valid`/`reconstructed` bitsets, so the fetch-path probe reads two cache
+/// lines instead of striding over 32-byte entry structs, and
+/// [`Btb::begin_reconstruction`] clears one bit per entry. The previous
+/// array-of-structs layout survives as [`crate::RefBtb`], the equivalence
+/// oracle.
 #[derive(Clone, Debug)]
 pub struct Btb {
-    entries: Vec<Entry>,
+    tags: Vec<u64>,
+    targets: Vec<Addr>,
+    /// Valid bit `i` lives at bit `i & 63` of `valid[i >> 6]`.
+    valid: Vec<u64>,
+    /// Reconstructed bit `i`, same packing as `valid`.
+    recon: Vec<u64>,
     index_mask: u64,
+    tag_shift: u32,
     stats: BtbStats,
 }
 
@@ -44,15 +49,19 @@ impl Btb {
     pub fn new(entries: usize) -> Btb {
         assert!(entries.is_power_of_two() && entries > 0, "BTB size must be a power of two");
         Btb {
-            entries: vec![Entry::default(); entries],
+            tags: vec![0; entries],
+            targets: vec![0; entries],
+            valid: vec![0; entries.div_ceil(64)],
+            recon: vec![0; entries.div_ceil(64)],
             index_mask: entries as u64 - 1,
+            tag_shift: entries.trailing_zeros(),
             stats: BtbStats::default(),
         }
     }
 
     /// Number of entries.
     pub fn num_entries(&self) -> usize {
-        self.entries.len()
+        self.tags.len()
     }
 
     /// Running statistics.
@@ -73,33 +82,46 @@ impl Btb {
 
     #[inline]
     fn tag(&self, pc: Addr) -> u64 {
-        (pc >> 2) >> self.entries.len().trailing_zeros()
+        (pc >> 2) >> self.tag_shift
+    }
+
+    #[inline]
+    fn bit(v: &[u64], i: usize) -> bool {
+        v[i >> 6] & (1u64 << (i & 63)) != 0
+    }
+
+    #[inline]
+    fn set_bit(v: &mut [u64], i: usize) {
+        v[i >> 6] |= 1u64 << (i & 63);
     }
 
     /// Looks up the predicted target for `pc`.
+    #[inline]
     pub fn lookup(&mut self, pc: Addr) -> Option<Addr> {
         self.stats.lookups += 1;
-        let e = &self.entries[self.index(pc)];
-        if e.valid && e.tag == self.tag(pc) {
+        let idx = self.index(pc);
+        if Self::bit(&self.valid, idx) && self.tags[idx] == self.tag(pc) {
             self.stats.hits += 1;
-            Some(e.target)
+            Some(self.targets[idx])
         } else {
             None
         }
     }
 
     /// Non-counting lookup (used inside reconstruction probes).
+    #[inline]
     pub fn peek(&self, pc: Addr) -> Option<Addr> {
-        let e = &self.entries[self.index(pc)];
-        (e.valid && e.tag == self.tag(pc)).then_some(e.target)
+        let idx = self.index(pc);
+        (Self::bit(&self.valid, idx) && self.tags[idx] == self.tag(pc)).then(|| self.targets[idx])
     }
 
     /// Installs/updates the target for a taken control transfer at `pc`.
+    #[inline]
     pub fn update(&mut self, pc: Addr, target: Addr) {
         let idx = self.index(pc);
-        let tag = self.tag(pc);
-        let recon = self.entries[idx].reconstructed;
-        self.entries[idx] = Entry { valid: true, tag, target, reconstructed: recon };
+        self.tags[idx] = self.tag(pc);
+        self.targets[idx] = target;
+        Self::set_bit(&mut self.valid, idx);
         self.stats.updates += 1;
     }
 
@@ -107,35 +129,39 @@ impl Btb {
 
     /// Clears all reconstructed bits.
     pub fn begin_reconstruction(&mut self) {
-        for e in &mut self.entries {
-            e.reconstructed = false;
-        }
+        self.recon.fill(0);
     }
 
     /// Applies one logged taken transfer during the reverse scan. Returns
     /// `true` if the entry was (newly) reconstructed, `false` if a younger
     /// reference had already reconstructed it.
+    #[inline]
     pub fn reconstruct(&mut self, pc: Addr, target: Addr) -> bool {
         let idx = self.index(pc);
-        if self.entries[idx].reconstructed {
+        if Self::bit(&self.recon, idx) {
             return false;
         }
-        self.entries[idx] = Entry { valid: true, tag: self.tag(pc), target, reconstructed: true };
+        self.tags[idx] = self.tag(pc);
+        self.targets[idx] = target;
+        Self::set_bit(&mut self.valid, idx);
+        Self::set_bit(&mut self.recon, idx);
         true
     }
 
     /// Whether the entry mapped by `pc` is reconstructed.
+    #[inline]
     pub fn is_reconstructed(&self, pc: Addr) -> bool {
-        self.entries[self.index(pc)].reconstructed
+        Self::bit(&self.recon, self.index(pc))
     }
 
     /// Marks the entry mapped by `pc` reconstructed without touching its
     /// content. Used when execution itself writes an entry (its state is
     /// now exact, so the reverse scan must not overwrite it with older
     /// information).
+    #[inline]
     pub fn mark_reconstructed(&mut self, pc: Addr) {
         let idx = self.index(pc);
-        self.entries[idx].reconstructed = true;
+        Self::set_bit(&mut self.recon, idx);
     }
 }
 
@@ -185,6 +211,21 @@ mod tests {
         b.begin_reconstruction();
         assert!(!b.is_reconstructed(0x1000));
         assert_eq!(b.peek(0x1000), Some(0xaaaa)); // stale content survives
+    }
+
+    #[test]
+    fn bitsets_span_multiple_words() {
+        // 128 entries = 2 valid words; exercise entries on both sides.
+        let mut b = Btb::new(128);
+        let pc_lo = 3u64 << 2; // index 3
+        let pc_hi = 100u64 << 2; // index 100
+        b.update(pc_lo, 0x111);
+        b.update(pc_hi, 0x222);
+        assert_eq!(b.peek(pc_lo), Some(0x111));
+        assert_eq!(b.peek(pc_hi), Some(0x222));
+        b.mark_reconstructed(pc_hi);
+        assert!(b.is_reconstructed(pc_hi));
+        assert!(!b.is_reconstructed(pc_lo));
     }
 
     #[test]

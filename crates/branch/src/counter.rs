@@ -177,7 +177,71 @@ impl StateMap {
         }
         StateSet(mask)
     }
+
+    /// Packs the map into one byte: entry *i* in bits `2i..2i+2`.
+    #[inline]
+    pub fn packed(&self) -> u8 {
+        self.map[0] | self.map[1] << 2 | self.map[2] << 4 | self.map[3] << 6
+    }
+
+    /// Rebuilds a map from its [`StateMap::packed`] byte.
+    #[inline]
+    pub fn from_packed(p: u8) -> StateMap {
+        StateMap { map: [p & 3, p >> 2 & 3, p >> 4 & 3, p >> 6 & 3] }
+    }
 }
+
+/// [`StateMap::identity`] in packed form. A *non-empty* composition can
+/// never equal this byte again: one update narrows the reachable-state
+/// range to at most three states, and composition never widens it, while
+/// the identity's range is all four — so `PACKED_IDENTITY` doubles as an
+/// unambiguous "no history yet" sentinel in flat per-key state arrays.
+pub const PACKED_IDENTITY: u8 = 0b1110_0100;
+
+const fn upd_const(s: u8, taken: bool) -> u8 {
+    if taken {
+        if s >= 3 {
+            3
+        } else {
+            s + 1
+        }
+    } else if s == 0 {
+        0
+    } else {
+        s - 1
+    }
+}
+
+const fn prepend_packed(p: u8, taken: bool) -> u8 {
+    // map'[i] = map[update(i, taken)] — compose the older outcome inside.
+    let mut out = 0u8;
+    let mut i = 0u8;
+    while i < 4 {
+        let after = upd_const(i, taken);
+        out |= ((p >> (2 * after)) & 3) << (2 * i);
+        i += 1;
+    }
+    out
+}
+
+/// The prepend composition as a lookup: `PACKED_PREPEND[taken][state]` is
+/// the packed byte of `state` with one older `taken` outcome composed on
+/// the inside — exactly [`StateMap::prepend`] on packed bytes. Built at
+/// compile time; lets seal-time walks and flat reconstruction scans carry
+/// inference state as a single byte with no struct traffic.
+pub const PACKED_PREPEND: [[u8; 256]; 2] = {
+    let mut t = [[0u8; 256]; 2];
+    let mut taken = 0usize;
+    while taken < 2 {
+        let mut s = 0usize;
+        while s < 256 {
+            t[taken][s] = prepend_packed(s as u8, taken == 1);
+            s += 1;
+        }
+        taken += 1;
+    }
+    t
+};
 
 /// Incremental inference for one PHT entry, fed its reverse-order history.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
@@ -422,6 +486,54 @@ mod tests {
     fn oversized_table_is_a_typed_error_not_a_panic() {
         assert!(InferenceTable::new(21).is_err());
         assert!(InferenceTable::new(20).is_ok());
+    }
+
+    #[test]
+    fn packed_roundtrip_and_identity() {
+        assert_eq!(StateMap::identity().packed(), PACKED_IDENTITY);
+        for p in 0..=255u8 {
+            assert_eq!(StateMap::from_packed(p).packed(), p);
+        }
+    }
+
+    #[test]
+    fn packed_prepend_table_matches_statemap() {
+        for p in 0..=255u16 {
+            for taken in [false, true] {
+                let mut m = StateMap::from_packed(p as u8);
+                m.prepend(taken);
+                assert_eq!(PACKED_PREPEND[taken as usize][p as usize], m.packed());
+            }
+        }
+    }
+
+    #[test]
+    fn nonempty_composition_never_reaches_identity() {
+        // Exhaustive over every reachable composed state: BFS from the two
+        // one-outcome compositions.
+        let mut seen = [false; 256];
+        let mut stack = vec![
+            PACKED_PREPEND[0][PACKED_IDENTITY as usize],
+            PACKED_PREPEND[1][PACKED_IDENTITY as usize],
+        ];
+        while let Some(s) = stack.pop() {
+            assert_ne!(s, PACKED_IDENTITY);
+            if !seen[s as usize] {
+                seen[s as usize] = true;
+                stack.push(PACKED_PREPEND[0][s as usize]);
+                stack.push(PACKED_PREPEND[1][s as usize]);
+            }
+        }
+    }
+
+    #[test]
+    fn packed_exactness_condition() {
+        // `p == (p & 3) * 0x55` ⇔ all four map entries equal ⇔ range exact.
+        for p in 0..=255u8 {
+            let exact_by_bits = p == (p & 3).wrapping_mul(0x55);
+            let exact_by_range = StateMap::from_packed(p).range().is_exact();
+            assert_eq!(exact_by_bits, exact_by_range, "packed {p:#010b}");
+        }
     }
 
     proptest! {

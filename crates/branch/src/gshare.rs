@@ -13,10 +13,21 @@ pub struct GshareStats {
     pub updates: u64,
 }
 
+/// Every 2-bit counter initialized weakly not-taken (value 1), 32 to a
+/// word.
+const WEAK_NT_WORD: u64 = 0x5555_5555_5555_5555;
+
 /// A gshare predictor: the PHT is indexed by `pc ⊕ GHR`.
 ///
 /// The paper uses a 64 K-entry gshare, i.e. a 16-bit global history register
 /// over a 65 536-entry pattern history table.
+///
+/// The PHT is stored as packed 2-bit counter words (32 counters per `u64`)
+/// and the per-entry *reconstructed* bits as a bitset, so the fused
+/// index/predict/update path of the detailed window touches one word per
+/// probe and [`Gshare::begin_reconstruction`] clears an eighth of the bytes
+/// the previous `Vec<bool>` did. The unpacked layout survives as
+/// [`crate::RefGshare`], the equivalence oracle.
 ///
 /// Reconstruction support mirrors the cache: each entry carries a
 /// *reconstructed* bit cleared by [`Gshare::begin_reconstruction`]; the RSR
@@ -25,8 +36,10 @@ pub struct GshareStats {
 pub struct Gshare {
     hist_bits: u32,
     ghr: u64,
-    pht: Vec<Counter2>,
-    recon: Vec<bool>,
+    /// Counter `i` lives at bits `2*(i & 31)` of `pht[i >> 5]`.
+    pht: Vec<u64>,
+    /// Reconstructed bit `i` lives at bit `i & 63` of `recon[i >> 6]`.
+    recon: Vec<u64>,
     stats: GshareStats,
 }
 
@@ -46,15 +59,15 @@ impl Gshare {
         Gshare {
             hist_bits,
             ghr: 0,
-            pht: vec![Counter2::WEAK_NT; n],
-            recon: vec![false; n],
+            pht: vec![WEAK_NT_WORD; n.div_ceil(32)],
+            recon: vec![0; n.div_ceil(64)],
             stats: GshareStats::default(),
         }
     }
 
     /// Number of PHT entries.
     pub fn num_entries(&self) -> usize {
-        self.pht.len()
+        1usize << self.hist_bits
     }
 
     /// Width of the global history register in bits.
@@ -100,11 +113,33 @@ impl Gshare {
         self.index_with(pc, self.ghr)
     }
 
+    /// Raw 2-bit counter value at `index`.
+    #[inline]
+    fn bits_at(&self, index: usize) -> u8 {
+        (self.pht[index >> 5] >> ((index & 31) << 1) & 3) as u8
+    }
+
+    #[inline]
+    fn set_bits_at(&mut self, index: usize, v: u8) {
+        let sh = (index & 31) << 1;
+        let word = &mut self.pht[index >> 5];
+        *word = (*word & !(3u64 << sh)) | (u64::from(v) << sh);
+    }
+
     /// Predicts the direction for `pc` under the current history and counts
     /// a prediction. Does not change any state.
     pub fn predict(&mut self, pc: Addr) -> bool {
+        self.predict_indexed(pc).1
+    }
+
+    /// The fused fetch-path probe: one index computation, one packed-word
+    /// load, returning the PHT index (for the commit-time update) together
+    /// with the predicted direction.
+    #[inline]
+    pub fn predict_indexed(&mut self, pc: Addr) -> (usize, bool) {
         self.stats.predictions += 1;
-        self.pht[self.index(pc)].predict_taken()
+        let idx = self.index(pc);
+        (idx, self.bits_at(idx) >= 2)
     }
 
     /// Speculatively shifts `taken` into the history register (fetch-time
@@ -117,12 +152,14 @@ impl Gshare {
 
     /// Updates the counter at an explicit index (commit-time update using
     /// the fetch-time index) and records accuracy.
+    #[inline]
     pub fn update_at(&mut self, index: usize, taken: bool) {
-        let c = self.pht[index];
-        if c.predict_taken() == taken {
+        let c = self.bits_at(index);
+        if (c >= 2) == taken {
             self.stats.correct += 1;
         }
-        self.pht[index] = c.update(taken);
+        let next = if taken { (c + 1).min(3) } else { c.saturating_sub(1) };
+        self.set_bits_at(index, next);
         self.stats.updates += 1;
     }
 
@@ -130,19 +167,21 @@ impl Gshare {
     /// counter under the current history, then shifts the history.
     pub fn warm_update(&mut self, pc: Addr, taken: bool) {
         let idx = self.index(pc);
-        self.pht[idx] = self.pht[idx].update(taken);
+        let c = self.bits_at(idx);
+        let next = if taken { (c + 1).min(3) } else { c.saturating_sub(1) };
+        self.set_bits_at(idx, next);
         self.speculate_ghr(taken);
         self.stats.updates += 1;
     }
 
     /// Raw counter at `index`.
     pub fn counter_at(&self, index: usize) -> Counter2 {
-        self.pht[index]
+        Counter2::new(self.bits_at(index))
     }
 
     /// Overwrites the counter at `index` (reconstruction).
     pub fn set_counter(&mut self, index: usize, value: Counter2) {
-        self.pht[index] = value;
+        self.set_bits_at(index, value.value());
     }
 
     // ---- reconstruction bits -------------------------------------------
@@ -150,17 +189,19 @@ impl Gshare {
     /// Clears all reconstructed bits (start of a skip region's on-demand
     /// reconstruction).
     pub fn begin_reconstruction(&mut self) {
-        self.recon.iter_mut().for_each(|b| *b = false);
+        self.recon.fill(0);
     }
 
     /// Whether `index` has been reconstructed this region.
+    #[inline]
     pub fn is_reconstructed(&self, index: usize) -> bool {
-        self.recon[index]
+        self.recon[index >> 6] & (1u64 << (index & 63)) != 0
     }
 
     /// Marks `index` reconstructed.
+    #[inline]
     pub fn mark_reconstructed(&mut self, index: usize) {
-        self.recon[index] = true;
+        self.recon[index >> 6] |= 1u64 << (index & 63);
     }
 
     /// Prediction accuracy so far (1.0 when idle).
@@ -240,6 +281,37 @@ mod tests {
         assert_eq!(g.stats().updates, 2);
         assert_eq!(g.stats().correct, 1);
         assert_eq!(g.accuracy(), 0.5);
+    }
+
+    #[test]
+    fn packed_counters_are_independent() {
+        // Neighbors within one packed word must not bleed into each other.
+        let mut g = Gshare::new(8);
+        for i in 0..64 {
+            g.set_counter(i, Counter2::new((i % 4) as u8));
+        }
+        for i in 0..64 {
+            assert_eq!(g.counter_at(i).value(), (i % 4) as u8, "entry {i}");
+        }
+        // Saturation at both ends, in place.
+        g.set_counter(7, Counter2::STRONG_T);
+        g.update_at(7, true);
+        assert_eq!(g.counter_at(7), Counter2::STRONG_T);
+        g.set_counter(8, Counter2::STRONG_NT);
+        g.update_at(8, false);
+        assert_eq!(g.counter_at(8), Counter2::STRONG_NT);
+        assert_eq!(g.counter_at(6).value(), 2); // neighbors untouched
+        assert_eq!(g.counter_at(9).value(), 1);
+    }
+
+    #[test]
+    fn fused_probe_matches_split_calls() {
+        let mut g = Gshare::new(10);
+        g.warm_update(0x4000, true);
+        g.warm_update(0x4000, true);
+        let (idx, taken) = g.predict_indexed(0x4000);
+        assert_eq!(idx, g.index(0x4000));
+        assert_eq!(taken, g.counter_at(idx).predict_taken());
     }
 
     #[test]

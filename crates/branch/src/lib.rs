@@ -31,15 +31,19 @@ mod direction;
 mod gshare;
 mod predictor;
 mod ras;
+mod reference;
 
 /// A byte address (mirrors `rsr_isa::Addr` without the dependency).
 pub type Addr = u64;
 
 pub use btb::{Btb, BtbStats};
-pub use counter::{Counter2, CounterInference, InferenceTable, StateMap, StateSet};
+pub use counter::{
+    Counter2, CounterInference, InferenceTable, StateMap, StateSet, PACKED_IDENTITY, PACKED_PREPEND,
+};
 pub use direction::{accuracy_over, Bimodal, DirectionPredictor, LocalTwoLevel, Tournament};
 pub use gshare::{Gshare, GshareStats};
 pub use predictor::{
     Checkpoint, PredCtrlKind, Prediction, Predictor, PredictorConfig, PredictorStats,
 };
 pub use ras::{Ras, RasOp};
+pub use reference::{RefBtb, RefGshare, RefRas};

@@ -83,8 +83,10 @@ pub struct Prediction {
     pub checkpoint: Checkpoint,
 }
 
-/// Snapshot of the speculative predictor state (GHR + RAS).
-#[derive(Clone, Debug)]
+/// Snapshot of the speculative predictor state (GHR + RAS). `Copy` because
+/// the RAS stores its slots inline — taking a checkpoint on every prediction
+/// allocates nothing.
+#[derive(Copy, Clone, Debug)]
 pub struct Checkpoint {
     ghr: u64,
     ras: Ras,
@@ -147,8 +149,7 @@ impl Predictor {
         let checkpoint = Checkpoint { ghr: self.gshare.ghr(), ras: self.ras.checkpoint() };
         match kind {
             PredCtrlKind::CondBranch => {
-                let idx = self.gshare.index(pc);
-                let taken = self.gshare.predict(pc);
+                let (idx, taken) = self.gshare.predict_indexed(pc);
                 let target = if taken { self.btb.lookup(pc) } else { None };
                 self.gshare.speculate_ghr(taken);
                 Prediction { taken, target, pht_index: Some(idx), checkpoint }

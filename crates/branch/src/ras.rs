@@ -7,9 +7,16 @@ use crate::Addr;
 /// Pushes overwrite the oldest entry once full (standard speculative RAS
 /// behavior); pops never underflow — they return whatever the top slot
 /// holds, which models a stale/garbage prediction.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Storage is an inline array (capacity [`Ras::MAX_ENTRIES`]), making the
+/// stack `Copy`: the per-prediction checkpoint taken by the combined
+/// predictor is a register-friendly memcpy instead of a heap `Vec` clone.
+/// The heap-backed original survives as [`crate::RefRas`], the equivalence
+/// oracle.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub struct Ras {
-    slots: Vec<Addr>,
+    slots: [Addr; Ras::MAX_ENTRIES],
+    len: usize,
     top: usize,
 }
 
@@ -17,48 +24,58 @@ impl Ras {
     /// The paper's size: eight entries.
     pub const PAPER_ENTRIES: usize = 8;
 
+    /// Inline capacity ceiling. Double the paper's configuration; every
+    /// modeled machine fits, and keeping the array small keeps checkpoints
+    /// cheap.
+    pub const MAX_ENTRIES: usize = 16;
+
     /// Builds an empty RAS with `entries` slots.
     ///
     /// # Panics
     ///
-    /// Panics if `entries` is zero.
+    /// Panics if `entries` is zero or exceeds [`Ras::MAX_ENTRIES`].
     pub fn new(entries: usize) -> Ras {
         assert!(entries > 0, "RAS must have at least one slot");
-        Ras { slots: vec![0; entries], top: 0 }
+        assert!(entries <= Ras::MAX_ENTRIES, "RAS capacity exceeds inline maximum");
+        Ras { slots: [0; Ras::MAX_ENTRIES], len: entries, top: 0 }
     }
 
     /// Number of slots.
     pub fn num_entries(&self) -> usize {
-        self.slots.len()
+        self.len
     }
 
     /// Pushes a return address (calls).
+    #[inline]
     pub fn push(&mut self, addr: Addr) {
-        self.top = (self.top + 1) % self.slots.len();
+        self.top = (self.top + 1) % self.len;
         self.slots[self.top] = addr;
     }
 
     /// Pops the predicted return address (returns).
+    #[inline]
     pub fn pop(&mut self) -> Addr {
         let v = self.slots[self.top];
-        self.top = (self.top + self.slots.len() - 1) % self.slots.len();
+        self.top = (self.top + self.len - 1) % self.len;
         v
     }
 
     /// Reads the top without popping.
+    #[inline]
     pub fn peek(&self) -> Addr {
         self.slots[self.top]
     }
 
-    /// Snapshot for checkpointing (the RAS is small; cloning is cheap).
+    /// Snapshot for checkpointing (a plain copy — the stack is inline).
+    #[inline]
     pub fn checkpoint(&self) -> Ras {
-        self.clone()
+        *self
     }
 
     /// Restores a checkpoint taken with [`Ras::checkpoint`].
+    #[inline]
     pub fn restore(&mut self, snapshot: &Ras) {
-        self.slots.copy_from_slice(&snapshot.slots);
-        self.top = snapshot.top;
+        *self = *snapshot;
     }
 
     /// Reverse reconstruction (paper Figure 4): walk the logged call/return
@@ -73,7 +90,7 @@ impl Ras {
     where
         I: IntoIterator<Item = RasOp>,
     {
-        let n = self.slots.len();
+        let n = self.len;
         let mut counter = 0u64;
         let mut filled = 0usize;
         // Fill from the top of the stack downward.
@@ -140,6 +157,18 @@ mod tests {
         r.pop();
         r.restore(&snap);
         assert_eq!(r.pop(), 0xa);
+    }
+
+    #[test]
+    fn capacity_cap_enforced() {
+        let r = Ras::new(Ras::MAX_ENTRIES);
+        assert_eq!(r.num_entries(), Ras::MAX_ENTRIES);
+    }
+
+    #[test]
+    #[should_panic(expected = "inline maximum")]
+    fn oversized_rejected() {
+        let _ = Ras::new(Ras::MAX_ENTRIES + 1);
     }
 
     /// Reverse reconstruction against forward simulation for a balanced

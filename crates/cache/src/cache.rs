@@ -1,6 +1,14 @@
 //! A set-associative cache with true-LRU replacement and support for the
 //! paper's reverse reconstruction (per-block *reconstructed* bits, stale-way
 //! insertion, reconstruction-order LRU assignment).
+//!
+//! Storage is struct-of-arrays: one contiguous way-packed tag vector, one
+//! rank byte and one reconstruction-sequence byte per line, and per-set
+//! valid/dirty bitmask words. A hit probe reads the set's valid mask and
+//! walks only its set bits over adjacent tags (one bounds check via a
+//! subslice); victim selection is a popcount/shift affair on the mask
+//! instead of a struct scan. The previous array-of-structs layout survives
+//! as [`crate::RefCache`], the equivalence oracle.
 
 use crate::{CacheConfig, WritePolicy};
 
@@ -43,28 +51,6 @@ pub enum ReconOutcome {
 
 const NOT_RECON: u8 = u8::MAX;
 
-#[derive(Clone, Debug)]
-struct Line {
-    valid: bool,
-    dirty: bool,
-    tag: u64,
-    /// LRU rank: 0 = most recently used, `assoc-1` = least recently used.
-    rank: u8,
-    /// Reconstruction order within the set (`NOT_RECON` if stale).
-    recon_seq: u8,
-}
-
-impl Line {
-    fn invalid(rank: u8) -> Line {
-        Line { valid: false, dirty: false, tag: 0, rank, recon_seq: NOT_RECON }
-    }
-
-    #[inline]
-    fn is_reconstructed(&self) -> bool {
-        self.recon_seq != NOT_RECON
-    }
-}
-
 /// Running hit/miss counters for one cache.
 #[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -91,6 +77,39 @@ impl CacheStats {
     }
 }
 
+// ---- bitmask helpers (way bitsets, `stride` words per set) ---------------
+
+#[inline]
+fn bit_get(words: &[u64], stride: usize, set: usize, way: usize) -> bool {
+    words[set * stride + (way >> 6)] & (1u64 << (way & 63)) != 0
+}
+
+#[inline]
+fn bit_set(words: &mut [u64], stride: usize, set: usize, way: usize) {
+    words[set * stride + (way >> 6)] |= 1u64 << (way & 63);
+}
+
+#[inline]
+fn bit_clear(words: &mut [u64], stride: usize, set: usize, way: usize) {
+    words[set * stride + (way >> 6)] &= !(1u64 << (way & 63));
+}
+
+/// First way in `vmask` whose tag equals `tag` (ways visited ascending, so
+/// this matches a first-match scan over valid lines). `tags` must be the
+/// set's way-packed subslice.
+#[inline]
+fn find_valid_tag(tags: &[u64], vmask: u64, tag: u64) -> Option<usize> {
+    let mut m = vmask;
+    while m != 0 {
+        let w = m.trailing_zeros() as usize;
+        if tags[w] == tag {
+            return Some(w);
+        }
+        m &= m - 1;
+    }
+    None
+}
+
 /// A set-associative, true-LRU cache.
 ///
 /// Besides ordinary simulation ([`Cache::access`]) the cache supports the
@@ -107,7 +126,19 @@ impl CacheStats {
 #[derive(Clone, Debug)]
 pub struct Cache {
     cfg: CacheConfig,
-    lines: Vec<Line>,
+    /// Way-packed tags: line `set * assoc + way`.
+    tags: Vec<u64>,
+    /// LRU rank per line: 0 = most recently used, `assoc-1` = LRU. Always a
+    /// permutation of `0..assoc` within a set.
+    ranks: Vec<u8>,
+    /// Reconstruction order within the set (`NOT_RECON` if stale).
+    recon_seq: Vec<u8>,
+    /// Per-set valid bitmask, `mask_stride` words per set.
+    valid: Vec<u64>,
+    /// Per-set dirty bitmask, same packing.
+    dirty: Vec<u64>,
+    /// Words per set in `valid`/`dirty` (1 for `assoc <= 64`).
+    mask_stride: usize,
     num_sets: usize,
     set_mask: u64,
     line_shift: u32,
@@ -130,17 +161,23 @@ impl Cache {
         }
         let num_sets = cfg.num_sets();
         let assoc = cfg.assoc;
-        let mut lines = Vec::with_capacity(num_sets * assoc);
-        for _ in 0..num_sets {
+        let mask_stride = assoc.div_ceil(64);
+        let mut ranks = vec![0u8; num_sets * assoc];
+        for set in 0..num_sets {
             for way in 0..assoc {
-                lines.push(Line::invalid(way as u8));
+                ranks[set * assoc + way] = way as u8;
             }
         }
         Cache {
             set_mask: num_sets as u64 - 1,
             line_shift: cfg.line_bytes.trailing_zeros(),
             num_sets,
-            lines,
+            tags: vec![0; num_sets * assoc],
+            ranks,
+            recon_seq: vec![NOT_RECON; num_sets * assoc],
+            valid: vec![0; num_sets * mask_stride],
+            dirty: vec![0; num_sets * mask_stride],
+            mask_stride,
             stats: CacheStats::default(),
             complete_sets: 0,
             recon_counts: vec![0; num_sets],
@@ -197,23 +234,41 @@ impl Cache {
         ((tag << self.num_sets.trailing_zeros()) | set as u64) << self.line_shift
     }
 
+    /// The set's valid bitmask (single-word geometries only).
     #[inline]
-    fn set_lines(&mut self, set: usize) -> &mut [Line] {
-        let a = self.cfg.assoc;
-        &mut self.lines[set * a..(set + 1) * a]
+    fn vmask(&self, set: usize) -> u64 {
+        self.valid[set * self.mask_stride]
     }
 
+    /// First valid way of `set` holding `tag`, if any.
     #[inline]
-    fn set_lines_ref(&self, set: usize) -> &[Line] {
-        let a = self.cfg.assoc;
-        &self.lines[set * a..(set + 1) * a]
+    fn find_way(&self, set: usize, tag: u64) -> Option<usize> {
+        let assoc = self.cfg.assoc;
+        let base = set * assoc;
+        if self.mask_stride == 1 {
+            find_valid_tag(&self.tags[base..base + assoc], self.vmask(set), tag)
+        } else {
+            (0..assoc).find(|&w| {
+                bit_get(&self.valid, self.mask_stride, set, w) && self.tags[base + w] == tag
+            })
+        }
     }
 
     /// Checks for presence without updating any state.
     pub fn probe(&self, addr: Addr) -> bool {
-        let set = self.set_index(addr);
-        let tag = self.tag_of(addr);
-        self.set_lines_ref(set).iter().any(|l| l.valid && l.tag == tag)
+        self.find_way(self.set_index(addr), self.tag_of(addr)).is_some()
+    }
+
+    /// Moves the line at `way` to MRU: every line younger than it ages by
+    /// one, then it takes rank 0.
+    #[inline]
+    fn touch(&mut self, set: usize, way: usize, pivot_rank: u8) {
+        let assoc = self.cfg.assoc;
+        let base = set * assoc;
+        for r in &mut self.ranks[base..base + assoc] {
+            *r += u8::from(*r < pivot_rank);
+        }
+        self.ranks[base + way] = 0;
     }
 
     /// Performs one access with full LRU/allocation/dirty bookkeeping.
@@ -222,28 +277,20 @@ impl Cache {
     /// [`WritePolicy::WriteThroughNoAllocate`]; they allocate (and mark
     /// dirty) under [`WritePolicy::WriteBackAllocate`]. Returned
     /// [`AccessOutcome::writeback`] reports a dirty victim's line address.
+    #[inline]
     pub fn access(&mut self, addr: Addr, kind: AccessKind) -> AccessOutcome {
         let set = self.set_index(addr);
         let tag = self.tag_of(addr);
         let policy = self.cfg.write_policy;
+        let assoc = self.cfg.assoc;
+        let base = set * assoc;
         self.stats.accesses += 1;
 
-        let lines = {
-            let a = self.cfg.assoc;
-            &mut self.lines[set * a..(set + 1) * a]
-        };
-
-        if let Some(hit_way) = lines.iter().position(|l| l.valid && l.tag == tag) {
+        if let Some(way) = self.find_way(set, tag) {
             self.stats.hits += 1;
-            let hit_rank = lines[hit_way].rank;
-            for l in lines.iter_mut() {
-                if l.rank < hit_rank {
-                    l.rank += 1;
-                }
-            }
-            lines[hit_way].rank = 0;
+            self.touch(set, way, self.ranks[base + way]);
             if kind == AccessKind::Write && policy == WritePolicy::WriteBackAllocate {
-                lines[hit_way].dirty = true;
+                bit_set(&mut self.dirty, self.mask_stride, set, way);
             }
             return AccessOutcome { hit: true, filled: false, writeback: None };
         }
@@ -255,65 +302,72 @@ impl Cache {
             return AccessOutcome { hit: false, filled: false, writeback: None };
         }
 
-        // Victim: an invalid way if any, else the LRU way. Ranks are a
-        // permutation of `0..assoc`, so the highest rank is the LRU way.
-        let victim = match lines.iter().position(|l| !l.valid) {
-            Some(i) => i,
-            None => {
-                let mut lru = 0;
-                for (i, l) in lines.iter().enumerate() {
-                    if l.rank > lines[lru].rank {
-                        lru = i;
-                    }
-                }
-                lru
+        // Victim: the first invalid way if any, else the LRU way. Ranks are
+        // a permutation of `0..assoc`, so the highest rank is the LRU way.
+        let victim = if self.mask_stride == 1 {
+            let inv = !self.vmask(set) & ones(assoc);
+            if inv != 0 {
+                inv.trailing_zeros() as usize
+            } else {
+                self.lru_way(set)
+            }
+        } else {
+            match (0..assoc).find(|&w| !bit_get(&self.valid, self.mask_stride, set, w)) {
+                Some(w) => w,
+                None => self.lru_way(set),
             }
         };
-        let victim_rank = lines[victim].rank;
+        let victim_rank = self.ranks[base + victim];
         let mut writeback = None;
-        if lines[victim].valid && lines[victim].dirty {
-            let wb_tag = lines[victim].tag;
+        if bit_get(&self.valid, self.mask_stride, set, victim)
+            && bit_get(&self.dirty, self.mask_stride, set, victim)
+        {
             self.stats.writebacks += 1;
-            writeback = Some(self.line_addr(set, wb_tag));
+            writeback = Some(self.line_addr(set, self.tags[base + victim]));
         }
 
-        let lines = {
-            let a = self.cfg.assoc;
-            &mut self.lines[set * a..(set + 1) * a]
-        };
-        // Track a replaced reconstructed line for the completeness counter.
-        let victim_was_recon = lines[victim].is_reconstructed();
-        for l in lines.iter_mut() {
-            if l.rank < victim_rank {
-                l.rank += 1;
-            }
+        self.touch(set, victim, victim_rank);
+        self.tags[base + victim] = tag;
+        bit_set(&mut self.valid, self.mask_stride, set, victim);
+        if kind == AccessKind::Write && policy == WritePolicy::WriteBackAllocate {
+            bit_set(&mut self.dirty, self.mask_stride, set, victim);
+        } else {
+            bit_clear(&mut self.dirty, self.mask_stride, set, victim);
         }
-        lines[victim] = Line {
-            valid: true,
-            dirty: kind == AccessKind::Write && policy == WritePolicy::WriteBackAllocate,
-            tag,
-            rank: 0,
-            recon_seq: lines[victim].recon_seq,
-        };
-        if victim_was_recon {
-            // Normal execution replaced a reconstructed block; the new block
-            // inherits "reconstructed" status (its state is now exact).
-        }
+        // The new block inherits the victim's reconstructed status: normal
+        // execution replacing a reconstructed block leaves it exact.
         self.stats.fills += 1;
         AccessOutcome { hit: false, filled: true, writeback }
+    }
+
+    /// Way holding the highest (oldest) rank of a full set.
+    #[inline]
+    fn lru_way(&self, set: usize) -> usize {
+        let assoc = self.cfg.assoc;
+        let base = set * assoc;
+        let mut lru = 0usize;
+        for w in 1..assoc {
+            if self.ranks[base + w] > self.ranks[base + lru] {
+                lru = w;
+            }
+        }
+        lru
     }
 
     /// Invalidates everything (cold caches for the start of simulation).
     pub fn invalidate_all(&mut self) {
         let assoc = self.cfg.assoc;
+        self.tags.fill(0);
         for set in 0..self.num_sets {
-            for (way, line) in self.set_lines(set).iter_mut().enumerate() {
-                *line = Line::invalid(way as u8);
+            for way in 0..assoc {
+                self.ranks[set * assoc + way] = way as u8;
             }
-            let _ = assoc;
         }
+        self.recon_seq.fill(NOT_RECON);
+        self.valid.fill(0);
+        self.dirty.fill(0);
         self.complete_sets = 0;
-        self.recon_counts.iter_mut().for_each(|c| *c = 0);
+        self.recon_counts.fill(0);
     }
 
     // ---- reverse reconstruction (paper §3.1) ----------------------------
@@ -332,9 +386,7 @@ impl Cache {
             if self.recon_counts[set] == 0 {
                 continue;
             }
-            for l in &mut self.lines[set * assoc..(set + 1) * assoc] {
-                l.recon_seq = NOT_RECON;
-            }
+            self.recon_seq[set * assoc..(set + 1) * assoc].fill(NOT_RECON);
             self.recon_counts[set] = 0;
         }
         self.complete_sets = 0;
@@ -357,16 +409,13 @@ impl Cache {
         }
         let tag = self.tag_of(addr);
         let seq = self.recon_counts[set];
-        let lines = {
-            let a = self.cfg.assoc;
-            &mut self.lines[set * a..(set + 1) * a]
-        };
+        let base = set * self.cfg.assoc;
 
-        if let Some(way) = lines.iter().position(|l| l.valid && l.tag == tag) {
-            if lines[way].is_reconstructed() {
+        if let Some(way) = self.find_way(set, tag) {
+            if self.recon_seq[base + way] != NOT_RECON {
                 return ReconOutcome::Redundant;
             }
-            lines[way].recon_seq = seq;
+            self.recon_seq[base + way] = seq;
             self.recon_counts[set] += 1;
             if self.recon_counts[set] >= assoc {
                 self.complete_sets += 1;
@@ -375,19 +424,25 @@ impl Cache {
         }
 
         // Insert into the stalest non-reconstructed way: invalid ways first,
-        // then the valid stale way with the highest (oldest) rank.
-        let victim = match lines
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| !l.is_reconstructed())
-            .max_by_key(|(_, l)| (!l.valid, l.rank))
-            .map(|(i, _)| i)
-        {
-            Some(i) => i,
-            None => unreachable!("incomplete set has a stale way"),
-        };
-        lines[victim] =
-            Line { valid: true, dirty: false, tag, rank: lines[victim].rank, recon_seq: seq };
+        // then the valid stale way with the highest (oldest) rank. Ranks are
+        // a permutation, so the maximizing way is unique.
+        let mut victim = None;
+        let mut best = (false, 0u8);
+        for w in 0..self.cfg.assoc {
+            if self.recon_seq[base + w] != NOT_RECON {
+                continue;
+            }
+            let key = (!bit_get(&self.valid, self.mask_stride, set, w), self.ranks[base + w]);
+            if victim.is_none() || key > best {
+                victim = Some(w);
+                best = key;
+            }
+        }
+        let Some(victim) = victim else { unreachable!("incomplete set has a stale way") };
+        self.tags[base + victim] = tag;
+        bit_set(&mut self.valid, self.mask_stride, set, victim);
+        bit_clear(&mut self.dirty, self.mask_stride, set, victim);
+        self.recon_seq[base + victim] = seq;
         self.recon_counts[set] += 1;
         if self.recon_counts[set] >= assoc {
             self.complete_sets += 1;
@@ -405,16 +460,39 @@ impl Cache {
     pub fn recon_partitions(&mut self, parts: usize) -> Vec<ReconSetSlice<'_>> {
         let parts = parts.clamp(1, self.num_sets);
         let assoc = self.cfg.assoc;
+        let stride = self.mask_stride;
         let mut out = Vec::with_capacity(parts);
-        let mut lines = &mut self.lines[..];
+        let mut tags = &mut self.tags[..];
+        let mut ranks = &mut self.ranks[..];
+        let mut recon_seq = &mut self.recon_seq[..];
+        let mut valid = &mut self.valid[..];
+        let mut dirty = &mut self.dirty[..];
         let mut counts = &mut self.recon_counts[..];
         let mut first = 0usize;
         for p in 0..parts {
             let n_sets = (self.num_sets - first).div_ceil(parts - p);
-            let (l, lines_rest) = lines.split_at_mut(n_sets * assoc);
+            let (t, tags_rest) = tags.split_at_mut(n_sets * assoc);
+            let (r, ranks_rest) = ranks.split_at_mut(n_sets * assoc);
+            let (q, recon_rest) = recon_seq.split_at_mut(n_sets * assoc);
+            let (v, valid_rest) = valid.split_at_mut(n_sets * stride);
+            let (d, dirty_rest) = dirty.split_at_mut(n_sets * stride);
             let (c, counts_rest) = counts.split_at_mut(n_sets);
-            out.push(ReconSetSlice { lines: l, recon_counts: c, first_set: first, assoc });
-            lines = lines_rest;
+            out.push(ReconSetSlice {
+                tags: t,
+                ranks: r,
+                recon_seq: q,
+                valid: v,
+                dirty: d,
+                recon_counts: c,
+                first_set: first,
+                assoc,
+                mask_stride: stride,
+            });
+            tags = tags_rest;
+            ranks = ranks_rest;
+            recon_seq = recon_rest;
+            valid = valid_rest;
+            dirty = dirty_rest;
             counts = counts_rest;
             first += n_sets;
         }
@@ -461,25 +539,25 @@ impl Cache {
             if self.recon_counts[set] == 0 {
                 continue; // untouched set keeps its stale ordering
             }
-            let lines = &mut self.lines[set * assoc..(set + 1) * assoc];
+            let base = set * assoc;
             let mut stale_valid: u64 = 0;
             let mut invalid: u64 = 0;
-            for l in lines.iter() {
-                if !l.is_reconstructed() {
-                    if l.valid {
-                        stale_valid |= 1u64 << l.rank;
+            for w in 0..assoc {
+                if self.recon_seq[base + w] == NOT_RECON {
+                    if bit_get(&self.valid, self.mask_stride, set, w) {
+                        stale_valid |= 1u64 << self.ranks[base + w];
                     } else {
-                        invalid |= 1u64 << l.rank;
+                        invalid |= 1u64 << self.ranks[base + w];
                     }
                 }
             }
             let k = assoc as u32 - stale_valid.count_ones() - invalid.count_ones();
             let m = stale_valid.count_ones();
-            for l in lines.iter_mut() {
-                let below = (1u64 << l.rank) - 1;
-                l.rank = if l.is_reconstructed() {
-                    l.recon_seq
-                } else if l.valid {
+            for w in 0..assoc {
+                let below = (1u64 << self.ranks[base + w]) - 1;
+                self.ranks[base + w] = if self.recon_seq[base + w] != NOT_RECON {
+                    self.recon_seq[base + w]
+                } else if bit_get(&self.valid, self.mask_stride, set, w) {
                     (k + (stale_valid & below).count_ones()) as u8
                 } else {
                     (k + m + (invalid & below).count_ones()) as u8
@@ -496,22 +574,23 @@ impl Cache {
             if self.recon_counts[set] == 0 {
                 continue;
             }
-            let lines = &mut self.lines[set * assoc..(set + 1) * assoc];
+            let base = set * assoc;
             let mut order: Vec<usize> = (0..assoc).collect();
             // Reconstructed first by recon_seq, then stale-valid by old rank,
             // then invalid ways last.
             order.sort_unstable_by_key(|&w| {
-                let l = &lines[w];
-                if l.is_reconstructed() {
-                    (0u8, l.recon_seq, l.rank)
-                } else if l.valid {
-                    (1, 0, l.rank)
+                let seq = self.recon_seq[base + w];
+                let rank = self.ranks[base + w];
+                if seq != NOT_RECON {
+                    (0u8, seq, rank)
+                } else if bit_get(&self.valid, self.mask_stride, set, w) {
+                    (1, 0, rank)
                 } else {
-                    (2, 0, l.rank)
+                    (2, 0, rank)
                 }
             });
             for (new_rank, &w) in order.iter().enumerate() {
-                lines[w].rank = new_rank as u8;
+                self.ranks[base + w] = new_rank as u8;
             }
         }
     }
@@ -519,18 +598,40 @@ impl Cache {
     /// Content of one set as `(tag, valid, rank, reconstructed)` tuples, for
     /// tests and debugging.
     pub fn dump_set(&self, set: usize) -> Vec<(u64, bool, u8, bool)> {
-        self.set_lines_ref(set)
-            .iter()
-            .map(|l| (l.tag, l.valid, l.rank, l.is_reconstructed()))
+        let assoc = self.cfg.assoc;
+        let base = set * assoc;
+        (0..assoc)
+            .map(|w| {
+                (
+                    self.tags[base + w],
+                    bit_get(&self.valid, self.mask_stride, set, w),
+                    self.ranks[base + w],
+                    self.recon_seq[base + w] != NOT_RECON,
+                )
+            })
             .collect()
     }
 
     /// Tags of valid lines in a set, MRU first (test helper).
     pub fn set_tags_mru_order(&self, set: usize) -> Vec<u64> {
-        let mut v: Vec<(u8, u64)> =
-            self.set_lines_ref(set).iter().filter(|l| l.valid).map(|l| (l.rank, l.tag)).collect();
+        let assoc = self.cfg.assoc;
+        let base = set * assoc;
+        let mut v: Vec<(u8, u64)> = (0..assoc)
+            .filter(|&w| bit_get(&self.valid, self.mask_stride, set, w))
+            .map(|w| (self.ranks[base + w], self.tags[base + w]))
+            .collect();
         v.sort_by_key(|&(rank, _)| rank);
         v.into_iter().map(|(_, tag)| tag).collect()
+    }
+}
+
+/// Mask with the low `n` bits set (`n <= 64`).
+#[inline]
+fn ones(n: usize) -> u64 {
+    if n >= 64 {
+        u64::MAX
+    } else {
+        (1u64 << n) - 1
     }
 }
 
@@ -559,10 +660,15 @@ pub struct SpanOutcome {
 /// whole set at once.
 #[derive(Debug)]
 pub struct ReconSetSlice<'a> {
-    lines: &'a mut [Line],
+    tags: &'a mut [u64],
+    ranks: &'a mut [u8],
+    recon_seq: &'a mut [u8],
+    valid: &'a mut [u64],
+    dirty: &'a mut [u64],
     recon_counts: &'a mut [u8],
     first_set: usize,
     assoc: usize,
+    mask_stride: usize,
 }
 
 impl ReconSetSlice<'_> {
@@ -576,6 +682,19 @@ impl ReconSetSlice<'_> {
         self.recon_counts[set - self.first_set] as usize >= self.assoc
     }
 
+    /// First valid way of local set `local` holding `tag`.
+    #[inline]
+    fn find_way(&self, local: usize, tag: u64) -> Option<usize> {
+        let base = local * self.assoc;
+        if self.mask_stride == 1 {
+            find_valid_tag(&self.tags[base..base + self.assoc], self.valid[local], tag)
+        } else {
+            (0..self.assoc).find(|&w| {
+                bit_get(self.valid, self.mask_stride, local, w) && self.tags[base + w] == tag
+            })
+        }
+    }
+
     /// Applies one logged reference to `set` (a global set index) whose
     /// address tag is `tag`; younger references must be presented first.
     /// See [`Cache::reconstruct_ref`] for the rules.
@@ -586,29 +705,34 @@ impl ReconSetSlice<'_> {
             return ReconOutcome::SetComplete;
         }
         let seq = self.recon_counts[local];
-        let lines = &mut self.lines[local * assoc..(local + 1) * assoc];
+        let base = local * assoc;
 
-        if let Some(way) = lines.iter().position(|l| l.valid && l.tag == tag) {
-            if lines[way].is_reconstructed() {
+        if let Some(way) = self.find_way(local, tag) {
+            if self.recon_seq[base + way] != NOT_RECON {
                 return ReconOutcome::Redundant;
             }
-            lines[way].recon_seq = seq;
+            self.recon_seq[base + way] = seq;
             self.recon_counts[local] += 1;
             return ReconOutcome::MarkedPresent;
         }
 
-        let victim = match lines
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| !l.is_reconstructed())
-            .max_by_key(|(_, l)| (!l.valid, l.rank))
-            .map(|(i, _)| i)
-        {
-            Some(i) => i,
-            None => unreachable!("incomplete set has a stale way"),
-        };
-        lines[victim] =
-            Line { valid: true, dirty: false, tag, rank: lines[victim].rank, recon_seq: seq };
+        let mut victim = None;
+        let mut best = (false, 0u8);
+        for w in 0..assoc {
+            if self.recon_seq[base + w] != NOT_RECON {
+                continue;
+            }
+            let key = (!bit_get(self.valid, self.mask_stride, local, w), self.ranks[base + w]);
+            if victim.is_none() || key > best {
+                victim = Some(w);
+                best = key;
+            }
+        }
+        let Some(victim) = victim else { unreachable!("incomplete set has a stale way") };
+        self.tags[base + victim] = tag;
+        bit_set(self.valid, self.mask_stride, local, victim);
+        bit_clear(self.dirty, self.mask_stride, local, victim);
+        self.recon_seq[base + victim] = seq;
         self.recon_counts[local] += 1;
         ReconOutcome::Inserted
     }
@@ -662,13 +786,15 @@ impl ReconSetSlice<'_> {
         if seq as usize >= assoc {
             return out;
         }
-        let lines = &mut self.lines[local * assoc..(local + 1) * assoc];
+        let base = local * assoc;
         for (w, slot) in order.iter_mut().take(assoc).enumerate() {
             *slot = w as u8;
         }
         order[..assoc].sort_unstable_by_key(|&w| {
-            let l = &lines[w as usize];
-            (l.valid, std::cmp::Reverse(l.rank))
+            (
+                bit_get(self.valid, self.mask_stride, local, w as usize),
+                std::cmp::Reverse(self.ranks[base + w as usize]),
+            )
         });
         let mut next_victim = 0usize;
 
@@ -677,29 +803,26 @@ impl ReconSetSlice<'_> {
                 break;
             }
             let tag = addrs[i as usize] >> tag_shift;
-            match lines.iter().position(|l| l.valid && l.tag == tag) {
+            match self.find_way(local, tag) {
                 Some(way) => {
-                    if lines[way].is_reconstructed() {
+                    if self.recon_seq[base + way] != NOT_RECON {
                         continue;
                     }
-                    lines[way].recon_seq = seq;
+                    self.recon_seq[base + way] = seq;
                     out.marked += 1;
                 }
                 None => {
                     // Pop the stalest way not yet reconstructed (a marked
                     // way keeps its position in `order`; skip it here).
-                    while lines[order[next_victim] as usize].is_reconstructed() {
+                    while self.recon_seq[base + order[next_victim] as usize] != NOT_RECON {
                         next_victim += 1;
                     }
                     let v = order[next_victim] as usize;
                     next_victim += 1;
-                    lines[v] = Line {
-                        valid: true,
-                        dirty: false,
-                        tag,
-                        rank: lines[v].rank,
-                        recon_seq: seq,
-                    };
+                    self.tags[base + v] = tag;
+                    bit_set(self.valid, self.mask_stride, local, v);
+                    bit_clear(self.dirty, self.mask_stride, local, v);
+                    self.recon_seq[base + v] = seq;
                     out.inserted += 1;
                 }
             }

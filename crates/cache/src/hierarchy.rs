@@ -184,6 +184,11 @@ impl MemHierarchy {
     /// Stores under the L1's write-through policy always produce L1-bus and
     /// L2 traffic; the returned completion models the write reaching the L2
     /// (a store buffer means the pipeline need not wait for it).
+    ///
+    /// Inlined (as is [`MemHierarchy::warm_access`]) so the detailed-window
+    /// cluster loop monomorphizes the whole L1→L2→memory chain into one
+    /// kernel — the per-level calls below are already static dispatch.
+    #[inline]
     pub fn access(&mut self, now: u64, addr: Addr, kind: HierAccess) -> u64 {
         self.stats.accesses += 1;
         let line = self.cfg.l2.line_bytes;
@@ -237,6 +242,7 @@ impl MemHierarchy {
     }
 
     /// L2 access with miss handling; returns data-ready cycle at the L2.
+    #[inline]
     fn l2_access(&mut self, now: u64, addr: Addr, kind: AccessKind, line: u64) -> u64 {
         let hit_latency = self.cfg.l2.hit_latency;
         let out = self.l2.access(addr, kind);
@@ -264,6 +270,7 @@ impl MemHierarchy {
     /// Applies the state update of an access with no timing — the SMARTS
     /// functional-warming path. LRU, allocation, and dirty bits move exactly
     /// as in [`MemHierarchy::access`].
+    #[inline]
     pub fn warm_access(&mut self, addr: Addr, kind: HierAccess) {
         let (l1, access_kind) = match kind {
             HierAccess::Fetch => (&mut self.l1i, AccessKind::Read),

@@ -25,6 +25,7 @@ mod bus;
 mod cache;
 mod config;
 mod hierarchy;
+mod reference;
 mod sampling;
 
 pub use bus::{Bus, BusConfig, BusStats};
@@ -33,4 +34,5 @@ pub use cache::{
 };
 pub use config::{CacheConfig, WritePolicy};
 pub use hierarchy::{HierAccess, HierarchyConfig, HierarchyStats, MemHierarchy};
+pub use reference::RefCache;
 pub use sampling::{SetSampleStats, SetSampledCache};

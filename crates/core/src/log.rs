@@ -44,6 +44,7 @@
 
 use std::io::{self, Read, Write};
 
+use rsr_branch::{PACKED_IDENTITY, PACKED_PREPEND};
 use rsr_func::{Cpu, ExecError, RetireSink, Retired};
 use rsr_isa::{Addr, CtrlKind};
 
@@ -399,6 +400,10 @@ pub(crate) struct ReconIndex {
     mem_sealed: Option<usize>,
     /// Branch-side columns are valid for exactly this `branch_len`.
     br_sealed: Option<usize>,
+    /// Scan budget percentage the branch-side flags were sealed under —
+    /// [`BR_F_PHT_FLUSH_LW`] placement depends on the budget window, so a
+    /// reconstructor running a different budget must not use the index.
+    pub(crate) br_pct: Option<crate::policy::Pct>,
     /// L1I span bounds: set `s` owns `l1i_idx[l1i_off[s]..l1i_off[s+1]]`.
     pub(crate) l1i_off: Vec<u32>,
     /// Instruction record indices, newest-first within each set span.
@@ -414,6 +419,24 @@ pub(crate) struct ReconIndex {
     /// PHT index probed by each branch record (`CHAIN_NONE` for
     /// non-conditional records), from the sealed GHR forward pass.
     pub(crate) pht_key: Vec<u32>,
+    /// Per-record scan flags ([`BR_F_COND`] / [`BR_F_TAKEN`] /
+    /// [`BR_F_BTB_LW`]): everything the demand scan's common path needs,
+    /// in one byte, so it stops decoding the packed meta column.
+    pub(crate) br_flags: Vec<u8>,
+    /// Compacted demand-scan worklist: indices of the in-budget records
+    /// with any effectful flag ([`BR_F_PHT_RESOLVE`] / [`BR_F_PHT_FLUSH_LW`]
+    /// / [`BR_F_BTB_LW`]), descending (newest-first). Every other record
+    /// in the window is a proven no-op, so the scan hops this list and
+    /// accounts the skipped runs arithmetically instead of iterating
+    /// 1-by-1 over the flags column.
+    pub(crate) br_hot: Vec<u32>,
+    /// Packed [`rsr_branch::StateMap`] of record *i*'s PHT entry after the
+    /// newest-first scan has consumed record *i* — the counter-inference
+    /// state precomputed at seal time (meaningful for conditional records
+    /// only). Because reconstructed marks are monotonic within a region,
+    /// the demand scan's incremental inference state at any feed it
+    /// actually performs equals this pure function of the log suffix.
+    pub(crate) pht_state: Vec<u8>,
     /// GHR after the whole region (what `Gshare::set_ghr` must receive).
     pub(crate) ghr_final: u64,
     /// `ghr_at_start` value the PHT keys were hashed under — every key
@@ -422,7 +445,53 @@ pub(crate) struct ReconIndex {
     /// Counting-sort cursor scratch, kept so pooled logs re-seal without
     /// reallocating.
     scratch: Vec<u32>,
+    /// Branch-seal scratch (per-key inference state + BTB seen bitmap),
+    /// kept for the same reason.
+    br_scratch: Vec<u8>,
 }
+
+/// [`ReconIndex::br_flags`] bit: conditional branch (has a PHT key).
+pub(crate) const BR_F_COND: u8 = 1 << 0;
+/// [`ReconIndex::br_flags`] bit: taken transfer (touches the BTB).
+pub(crate) const BR_F_TAKEN: u8 = 1 << 1;
+/// [`ReconIndex::br_flags`] bit: *last writer* of its BTB slot — the
+/// newest taken record mapping to that slot in the whole region. In the
+/// newest-first scan only the first record to reach an unmarked slot ever
+/// writes it, and marks are monotonic, so every non-last-writer record is
+/// a guaranteed no-op: a newer record for the slot was scanned earlier
+/// (budgets truncate the *old* end of the scan) and either wrote-and-
+/// marked the slot or found it already marked. The scan can therefore
+/// skip the BTB probe for all but these records.
+pub(crate) const BR_F_BTB_LW: u8 = 1 << 2;
+/// [`ReconIndex::br_flags`] bit: conditional record older than its PHT
+/// key's *exact-resolution point* — the newest record at which the sealed
+/// inference state pins the counter uniquely. The demand cursor is global
+/// and monotonic from the newest record, so by the time the scan reaches
+/// a flagged record its key is always already marked reconstructed and
+/// the record is a guaranteed no-op: the scan can skip the key load and
+/// the reconstructed-bit probe (its only random accesses) entirely.
+/// Like [`BR_F_BTB_LW`], this is sound because budgets truncate the *old*
+/// end of the scan — a budget cut can stop the scan before the
+/// resolution point, but never process records beyond it out of order.
+pub(crate) const BR_F_PHT_DEAD: u8 = 1 << 3;
+/// [`ReconIndex::br_flags`] bit: this record *is* its PHT key's
+/// exact-resolution point — the sealed state pins the counter uniquely
+/// and the key cannot already be marked when the monotonic cursor gets
+/// here (marks before exhaustion happen only at resolution points, one
+/// per key), so the scan applies `set_counter` + `mark_reconstructed`
+/// without probing the reconstructed bitset first.
+pub(crate) const BR_F_PHT_RESOLVE: u8 = 1 << 4;
+/// [`ReconIndex::br_flags`] bit: the *oldest* never-resolving
+/// conditional for its PHT key within the sealed scan budget — the one
+/// record whose composed state the exhaustion flush will read (older
+/// feeds of the same key overwrite newer ones, and the flush can only
+/// fire after the scan has consumed the whole budget window). Every
+/// other unresolved conditional's bookkeeping write is provably
+/// overwritten before it can be observed, so the scan skips it. Valid
+/// only for the budget the index was sealed under
+/// ([`ReconIndex::br_pct`]); a different runtime budget falls back to
+/// the unindexed scan.
+pub(crate) const BR_F_PHT_FLUSH_LW: u8 = 1 << 5;
 
 impl ReconIndex {
     pub(crate) fn new(geom: ReconGeometry) -> ReconIndex {
@@ -430,6 +499,7 @@ impl ReconIndex {
             geom,
             mem_sealed: None,
             br_sealed: None,
+            br_pct: None,
             l1i_off: Vec::new(),
             l1i_idx: Vec::new(),
             l1d_off: Vec::new(),
@@ -437,9 +507,13 @@ impl ReconIndex {
             l2_off: Vec::new(),
             l2_idx: Vec::new(),
             pht_key: Vec::new(),
+            br_flags: Vec::new(),
+            br_hot: Vec::new(),
+            pht_state: Vec::new(),
             ghr_final: 0,
             ghr_start: 0,
             scratch: Vec::new(),
+            br_scratch: Vec::new(),
         }
     }
 
@@ -448,6 +522,7 @@ impl ReconIndex {
     fn unseal(&mut self) {
         self.mem_sealed = None;
         self.br_sealed = None;
+        self.br_pct = None;
     }
 
     /// Re-keys the scratch to a different geometry, keeping every
@@ -1066,18 +1141,21 @@ impl SkipLog {
     /// [`ReconIndex`]). [`SkipLog::ghr_at_start`] must already hold its
     /// final value — every PHT key hashes the running GHR seeded from it.
     /// Same idempotence and fallback rules as [`SkipLog::seal_mem_index`].
-    pub fn seal_branch_index(&mut self, geom: &ReconGeometry) {
+    pub fn seal_branch_index(&mut self, geom: &ReconGeometry, pct: crate::policy::Pct) {
         let n = self.branches.len();
         if self.truncated || n >= CHAIN_NONE as usize {
             return;
         }
         if self.index.as_deref().is_some_and(|ix| {
-            ix.geom == *geom && ix.br_sealed == Some(n) && ix.ghr_start == self.ghr_at_start
+            ix.geom == *geom
+                && ix.br_sealed == Some(n)
+                && ix.br_pct == Some(pct)
+                && ix.ghr_start == self.ghr_at_start
         }) {
             return;
         }
         let mut ix = self.take_index(geom);
-        self.build_branch_index_into(geom, self.ghr_at_start, &mut ix);
+        self.build_branch_index_into(geom, self.ghr_at_start, pct, &mut ix);
         self.index = Some(ix);
     }
 
@@ -1090,12 +1168,14 @@ impl SkipLog {
         &self,
         geom: &ReconGeometry,
         ghr_at_start: u64,
+        pct: crate::policy::Pct,
         ix: &mut ReconIndex,
     ) -> bool {
         debug_assert_eq!(ix.geom, *geom, "retarget the index before building");
         let n = self.branches.len();
         if self.truncated || n >= CHAIN_NONE as usize {
             ix.br_sealed = None;
+            ix.br_pct = None;
             return false;
         }
         ix.pht_key.clear();
@@ -1115,9 +1195,105 @@ impl SkipLog {
             };
             ix.pht_key.push(key);
         }
+
+        // Reverse pass: per-record scan flags, last-writer BTB bits, and
+        // the precomputed counter-inference state (newest-first, exactly
+        // the order and composition the demand scan would perform). The
+        // scratch holds one packed state byte per PHT key (stored XOR
+        // `PACKED_IDENTITY` so the zero-fill means "no history yet"), one
+        // resolved-bit per PHT key (feeds [`BR_F_PHT_DEAD`]), and one
+        // seen-bit per BTB slot.
+        ix.br_flags.clear();
+        ix.br_flags.resize(n, 0);
+        ix.pht_state.clear();
+        ix.pht_state.resize(n, 0);
+        let pht_entries = 1usize << geom.ghr_bits;
+        let btb_mask = geom.btb_entries - 1;
+        let budget = pct.of(n);
+        let window_start = n - budget;
+        ix.br_scratch.clear();
+        ix.br_scratch
+            .resize(pht_entries + 3 * pht_entries.div_ceil(8) + geom.btb_entries.div_ceil(8), 0);
+        let (states, seen) = ix.br_scratch.split_at_mut(pht_entries);
+        let (pht_done, seen) = seen.split_at_mut(pht_entries.div_ceil(8));
+        let (pht_done_in_window, seen) = seen.split_at_mut(pht_entries.div_ceil(8));
+        let (lw_seen, btb_seen) = seen.split_at_mut(pht_entries.div_ceil(8));
+        let mut lw = std::mem::take(&mut ix.scratch);
+        lw.clear();
+        for i in (0..n).rev() {
+            let (_, taken) = self.branch_kind_taken(i);
+            let mut flags = 0u8;
+            let key = ix.pht_key[i];
+            if key != CHAIN_NONE {
+                flags |= BR_F_COND;
+                let k = key as usize;
+                if pht_done[k >> 3] & (1 << (k & 7)) != 0 {
+                    // A newer record already pinned this counter exactly:
+                    // the scan will find the key marked reconstructed, so
+                    // the record is dead (and the composition below would
+                    // never be read — skip it).
+                    flags |= BR_F_PHT_DEAD;
+                } else {
+                    let next =
+                        PACKED_PREPEND[taken as usize][(states[k] ^ PACKED_IDENTITY) as usize];
+                    states[k] = next ^ PACKED_IDENTITY;
+                    ix.pht_state[i] = next;
+                    if next == (next & 3).wrapping_mul(0x55) {
+                        flags |= BR_F_PHT_RESOLVE;
+                        pht_done[k >> 3] |= 1 << (k & 7);
+                        if i >= window_start {
+                            pht_done_in_window[k >> 3] |= 1 << (k & 7);
+                        }
+                    } else if i >= window_start {
+                        // Unresolved in-budget feed: a flush last-writer
+                        // candidate (resolved later if a still-newer
+                        // record pins the key after all).
+                        lw.push(i as u32);
+                    }
+                }
+            }
+            if taken {
+                flags |= BR_F_TAKEN;
+                let slot = ((self.branch_pc(i) >> 2) as usize) & btb_mask;
+                if btb_seen[slot >> 3] & (1 << (slot & 7)) == 0 {
+                    btb_seen[slot >> 3] |= 1 << (slot & 7);
+                    flags |= BR_F_BTB_LW;
+                }
+            }
+            ix.br_flags[i] = flags;
+        }
+        // `lw` holds the unresolved in-budget feeds newest-first, so the
+        // reversed walk visits each key's *oldest* feed first — the one
+        // whose state the exhaustion flush will observe. Keys that
+        // resolve *inside the window* are excluded: their flush entry is
+        // neutralized (at the resolution record) before it is read. Keys
+        // whose resolution point lies beyond the window are NOT excluded
+        // — the budgeted scan never reaches it, so the flush still
+        // guesses them from their oldest in-window feed.
+        for &i in lw.iter().rev() {
+            let k = ix.pht_key[i as usize] as usize;
+            if pht_done_in_window[k >> 3] & (1 << (k & 7)) == 0
+                && lw_seen[k >> 3] & (1 << (k & 7)) == 0
+            {
+                lw_seen[k >> 3] |= 1 << (k & 7);
+                ix.br_flags[i as usize] |= BR_F_PHT_FLUSH_LW;
+            }
+        }
+        ix.scratch = lw;
+        // The flush last-writer bits are only final after the pass above,
+        // so the hot worklist is compacted here: one sequential sweep of
+        // the window's flag bytes.
+        ix.br_hot.clear();
+        for i in (window_start..n).rev() {
+            if ix.br_flags[i] & (BR_F_PHT_RESOLVE | BR_F_PHT_FLUSH_LW | BR_F_BTB_LW) != 0 {
+                ix.br_hot.push(i as u32);
+            }
+        }
+
         ix.ghr_final = ghr;
         ix.ghr_start = ghr_at_start;
         ix.br_sealed = Some(n);
+        ix.br_pct = Some(pct);
         true
     }
 

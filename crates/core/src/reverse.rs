@@ -17,12 +17,16 @@
 use std::collections::HashMap;
 use std::time::Instant;
 
-use rsr_branch::{CounterInference, PredCtrlKind, Predictor, RasOp};
+use rsr_branch::{
+    Counter2, CounterInference, PredCtrlKind, Predictor, RasOp, StateMap, PACKED_IDENTITY,
+};
 use rsr_cache::{Cache, MemHierarchy, ReconOutcome, ReconSetSlice};
 use rsr_isa::{Addr, CtrlKind};
 use rsr_timing::PredictHook;
 
-use crate::log::ReconIndex;
+use crate::log::{
+    ReconIndex, BR_F_BTB_LW, BR_F_COND, BR_F_PHT_DEAD, BR_F_PHT_FLUSH_LW, BR_F_PHT_RESOLVE,
+};
 use crate::{Pct, SkipLog};
 
 /// Counters describing one region's reconstruction work (for the paper's
@@ -348,8 +352,23 @@ pub struct BpReconstructor<'log> {
     consumed: usize,
     /// Maximum reverse records the scan may consume.
     budget: usize,
-    /// In-progress counter inferences keyed by PHT index.
+    /// In-progress counter inferences keyed by PHT index — legacy
+    /// unindexed mode only; the indexed scan carries them in `pht_live`.
     inferences: HashMap<usize, CounterInference>,
+    /// Indexed mode: per-key packed inference state, stored XOR
+    /// [`PACKED_IDENTITY`] so zero means "no in-progress inference". The
+    /// sealed `pht_state` column supplies each feed's composed state
+    /// directly (marks are monotonic, so the incremental state at any
+    /// performed feed is the pure log-suffix composition sealed there) —
+    /// this array only remembers the *latest* fed state per key for the
+    /// exhaustion flush.
+    pht_live: Vec<u8>,
+    /// Keys with a `pht_live` entry, in first-fed order (flush worklist).
+    touched: Vec<u32>,
+    /// Cursor into the sealed hot worklist (`ReconIndex::br_hot`):
+    /// position of the newest flagged record not yet consumed. Indexed
+    /// mode only.
+    hot_pos: usize,
     exhausted: bool,
     stats: ReconStats,
     timing: ReconTiming,
@@ -382,11 +401,15 @@ impl<'log> BpReconstructor<'log> {
         let n = log.branch_len();
         let budget = pct.of(n);
 
-        // A sealed index keyed for this exact predictor geometry already
-        // holds the GHR forward pass; anything else recomputes it here.
+        // A sealed index keyed for this exact predictor geometry *and*
+        // scan budget already holds the GHR forward pass; anything else
+        // recomputes it here. (The budget must match because the sealed
+        // flush last-writer bits are placed relative to the budget
+        // window; see `BR_F_PHT_FLUSH_LW`.)
         let index = index.filter(|ix| {
             ix.geom.ghr_bits == pred.gshare.hist_bits()
                 && ix.geom.btb_entries == pred.btb.num_entries()
+                && ix.br_pct == Some(pct)
         });
         let mut ghr_before = Vec::new();
         let ghr = match index {
@@ -427,6 +450,15 @@ impl<'log> BpReconstructor<'log> {
             consumed: 0,
             budget,
             inferences: HashMap::new(),
+            // One zeroed byte per PHT entry (a fresh `vec!` of zeros is a
+            // calloc — the kernel hands back zero pages, no memset walk).
+            pht_live: if index.is_some() {
+                vec![0u8; pred.gshare.num_entries()]
+            } else {
+                Vec::new()
+            },
+            touched: Vec::new(),
+            hot_pos: 0,
             exhausted: false,
             stats: ReconStats::default(),
             timing: ReconTiming::default(),
@@ -457,31 +489,61 @@ impl<'log> BpReconstructor<'log> {
         if self.consumed >= self.budget {
             if !self.exhausted {
                 self.exhausted = true;
-                for (idx, inf) in self.inferences.drain() {
-                    match inf.best_guess() {
-                        Some(c) => {
-                            pred.gshare.set_counter(idx, c);
-                            self.stats.pht_guessed += 1;
-                        }
-                        None => self.stats.pht_stale += 1,
-                    }
-                    pred.gshare.mark_reconstructed(idx);
-                }
+                self.flush_inferences(pred);
             }
             return false;
         }
         let i = self.log.branch_len() - 1 - self.consumed;
         self.consumed += 1;
         self.stats.branch_scanned += 1;
-        let (kind, taken) = self.log.branch_kind_taken(i);
+        match self.index {
+            Some(ix) => self.step_indexed(pred, ix, i),
+            None => self.step_legacy(pred, i),
+        }
+        true
+    }
 
+    /// One scan step over the sealed flag/state/key columns: three flat
+    /// array reads in the common case — no meta decode, no hash map, no
+    /// per-feed composition (the sealed `pht_state` already holds it), and
+    /// the BTB probed only at last-writer records (every other taken
+    /// record is a proven no-op; see `BR_F_BTB_LW`).
+    fn step_indexed(&mut self, pred: &mut Predictor, ix: &ReconIndex, i: usize) {
+        let flags = ix.br_flags[i];
+        if flags & (BR_F_COND | BR_F_PHT_DEAD) == BR_F_COND {
+            let idx = ix.pht_key[i] as usize;
+            if !pred.gshare.is_reconstructed(idx) {
+                let s = ix.pht_state[i];
+                if s == (s & 3).wrapping_mul(0x55) {
+                    // All four map entries agree: the history suffix pins
+                    // the counter exactly, now — the same feed at which the
+                    // incremental inference would have resolved.
+                    pred.gshare.set_counter(idx, Counter2::new(s & 3));
+                    pred.gshare.mark_reconstructed(idx);
+                    self.pht_live[idx] = 0;
+                    self.stats.pht_exact += 1;
+                } else {
+                    if self.pht_live[idx] == 0 {
+                        self.touched.push(idx as u32);
+                    }
+                    self.pht_live[idx] = s ^ PACKED_IDENTITY;
+                }
+            }
+        }
+        if flags & BR_F_BTB_LW != 0
+            && pred.btb.reconstruct(self.log.branch_pc(i), self.log.branch_target(i))
+        {
+            self.stats.btb_reconstructed += 1;
+        }
+    }
+
+    /// One scan step of the unindexed fallback: decode the meta column and
+    /// run the incremental inference (the reference semantics the indexed
+    /// path must reproduce bit-for-bit).
+    fn step_legacy(&mut self, pred: &mut Predictor, i: usize) {
+        let (kind, taken) = self.log.branch_kind_taken(i);
         if kind == CtrlKind::CondBranch {
-            // The sealed key column and the legacy forward pass compute
-            // the identical `Gshare::index_with` value for record i.
-            let idx = match self.index {
-                Some(ix) => ix.pht_key[i] as usize,
-                None => pred.gshare.index_with(self.log.branch_pc(i), self.ghr_before[i]),
-            };
+            let idx = pred.gshare.index_with(self.log.branch_pc(i), self.ghr_before[i]);
             if !pred.gshare.is_reconstructed(idx) {
                 let inf = self.inferences.entry(idx).or_default();
                 inf.prepend(taken);
@@ -496,7 +558,130 @@ impl<'log> BpReconstructor<'log> {
         if taken && pred.btb.reconstruct(self.log.branch_pc(i), self.log.branch_target(i)) {
             self.stats.btb_reconstructed += 1;
         }
-        true
+    }
+
+    /// Budget exhausted: every in-progress inference flushes its best
+    /// guess. Deliberately bug-compatible with the original drain: keys
+    /// the cluster marked *after* their last feed are overwritten anyway
+    /// (the flushed guess wins over the committed counter), because the
+    /// committed baselines pin that behavior.
+    fn flush_inferences(&mut self, pred: &mut Predictor) {
+        if self.index.is_some() {
+            // `resolve()` over a range is a pure function of the packed
+            // state byte — a one-time 256-entry table turns the per-key
+            // unpack/compose/resolve chain into a single L1 load on this
+            // hot flush path (one lookup per guessed entry, ~40 % of all
+            // logged conditionals). Encoding: 0 = stale, else counter+1.
+            static RESOLVE_LUT: std::sync::LazyLock<[u8; 256]> = std::sync::LazyLock::new(|| {
+                std::array::from_fn(|raw| {
+                    match StateMap::from_packed(raw as u8).range().resolve() {
+                        Some(c) => c.value() + 1,
+                        None => 0,
+                    }
+                })
+            });
+            let lut = &*RESOLVE_LUT;
+            let touched = std::mem::take(&mut self.touched);
+            for &k in &touched {
+                let raw = self.pht_live[k as usize];
+                if raw == 0 {
+                    continue; // resolved exactly mid-scan
+                }
+                match lut[(raw ^ PACKED_IDENTITY) as usize] {
+                    0 => self.stats.pht_stale += 1,
+                    c => {
+                        pred.gshare.set_counter(k as usize, Counter2::new(c - 1));
+                        self.stats.pht_guessed += 1;
+                    }
+                }
+                pred.gshare.mark_reconstructed(k as usize);
+            }
+        } else {
+            for (idx, inf) in self.inferences.drain() {
+                match inf.best_guess() {
+                    Some(c) => {
+                        pred.gshare.set_counter(idx, c);
+                        self.stats.pht_guessed += 1;
+                    }
+                    None => self.stats.pht_stale += 1,
+                }
+                pred.gshare.mark_reconstructed(idx);
+            }
+        }
+    }
+
+    /// Runs the indexed demand scan by hopping the sealed hot worklist
+    /// ([`ReconIndex::br_hot`]): the seal proved every unlisted record in
+    /// the window is a no-op at scan time (dead conditionals find their
+    /// key already marked; unresolved feeds other than the per-key flush
+    /// last-writer are overwritten before the flush can read them), so
+    /// the runs between flagged records are consumed arithmetically — the
+    /// per-record loop, its flag loads, and its data-dependent skip
+    /// branch all disappear. `done` is re-evaluated only at mark events
+    /// (the only operations that can flip it). Bit-identical to stepping:
+    /// records are consumed whole (a record that satisfies `done` with
+    /// its PHT effect still applies its BTB effect before the scan
+    /// stops, exactly as the per-record loop did), and the jump
+    /// accounting sums to the same consumed/scanned totals.
+    /// Returns whether `done` held before the budget ran out.
+    fn scan_indexed(
+        &mut self,
+        pred: &mut Predictor,
+        ix: &'log ReconIndex,
+        done: &impl Fn(&Predictor) -> bool,
+    ) -> bool {
+        let len = self.log.branch_len();
+        let keys = ix.pht_key.as_slice();
+        let states = ix.pht_state.as_slice();
+        let mut finished = false;
+        while self.consumed < self.budget {
+            let Some(&hot) = ix.br_hot.get(self.hot_pos) else {
+                // No flagged record left in the window: the rest of the
+                // budget is proven no-ops, consumed wholesale.
+                self.stats.branch_scanned += (self.budget - self.consumed) as u64;
+                self.consumed = self.budget;
+                break;
+            };
+            let i = hot as usize;
+            // `br_hot` holds only in-window records, descending, and the
+            // cursor advances in lockstep with consumption — so the next
+            // flagged record always lies between the scan head and the
+            // budget end.
+            let cur = len - 1 - self.consumed;
+            debug_assert!(i <= cur);
+            let newly = cur - i + 1;
+            debug_assert!(self.consumed + newly <= self.budget);
+            self.consumed += newly;
+            self.stats.branch_scanned += newly as u64;
+            self.hot_pos += 1;
+            let f = ix.br_flags[i];
+            let mut marked = false;
+            if f & BR_F_PHT_RESOLVE != 0 {
+                let idx = keys[i] as usize;
+                pred.gshare.set_counter(idx, Counter2::new(states[i] & 3));
+                pred.gshare.mark_reconstructed(idx);
+                self.pht_live[idx] = 0;
+                self.stats.pht_exact += 1;
+                marked = true;
+            } else if f & BR_F_PHT_FLUSH_LW != 0 {
+                let idx = keys[i] as usize;
+                if self.pht_live[idx] == 0 {
+                    self.touched.push(idx as u32);
+                }
+                self.pht_live[idx] = states[i] ^ PACKED_IDENTITY;
+            }
+            if f & BR_F_BTB_LW != 0
+                && pred.btb.reconstruct(self.log.branch_pc(i), self.log.branch_target(i))
+            {
+                self.stats.btb_reconstructed += 1;
+                marked = true;
+            }
+            if marked && done(pred) {
+                finished = true;
+                break;
+            }
+        }
+        finished
     }
 
     /// Scans until `done(pred)` holds or the budget is exhausted, then
@@ -516,13 +701,28 @@ impl<'log> BpReconstructor<'log> {
         }
         self.stats.demand_scans += 1;
         let t = Instant::now();
-        while !done(pred) {
-            if !self.step_scan(pred) {
-                // Budget exhausted without evidence: the entry keeps its
-                // stale content, marked so it is never demanded again.
-                mark(pred);
-                break;
+        let finished = match self.index {
+            Some(ix) => {
+                let finished = self.scan_indexed(pred, ix, &done);
+                if !finished && !self.exhausted {
+                    self.exhausted = true;
+                    self.flush_inferences(pred);
+                }
+                finished
             }
+            None => loop {
+                if !self.step_scan(pred) {
+                    break false;
+                }
+                if done(pred) {
+                    break true;
+                }
+            },
+        };
+        if !finished {
+            // Budget exhausted without evidence: the entry keeps its
+            // stale content, marked so it is never demanded again.
+            mark(pred);
         }
         let ns = t.elapsed().as_nanos() as u64;
         match structure {
@@ -540,6 +740,7 @@ enum DemandedStructure {
 }
 
 impl PredictHook for BpReconstructor<'_> {
+    #[inline]
     fn before_predict(&mut self, pred: &mut Predictor, pc: Addr, kind: PredCtrlKind) {
         if kind == PredCtrlKind::CondBranch {
             let idx = pred.gshare.index(pc);

@@ -540,7 +540,7 @@ fn follower_window(
     let log: Option<&SkipLog> = match log {
         None => None,
         Some(log) => {
-            let WarmupPolicy::Reverse { cache, bp, .. } = policy else {
+            let WarmupPolicy::Reverse { cache, bp, pct } = policy else {
                 unreachable!("only the reverse policy seals skip logs");
             };
             if !log.truncated() {
@@ -555,7 +555,7 @@ fn follower_window(
                     log.seal_mem_index(&geom);
                 }
                 if bp {
-                    log.seal_branch_index(&geom);
+                    log.seal_branch_index(&geom, pct);
                 }
                 outcome.phases.warm += t.elapsed();
             }

@@ -49,6 +49,7 @@ use rsr_func::Cpu;
 
 use crate::fault::FaultInjector;
 use crate::log::{LogPool, ReconGeometry, ReconIndex};
+use crate::policy::Pct;
 use crate::sampler::{detailed_window, policy_decouples, WindowIndex};
 use crate::shard::{check_deadline, run_sharded_with, GroupCtx, RunGuards};
 use crate::spec::{ColdSpec, DetailSpec};
@@ -398,6 +399,17 @@ fn logging_signature(policy: WarmupPolicy) -> (bool, bool) {
     }
 }
 
+/// The reverse policy's scan budget — the branch index's flush
+/// last-writer bits are sealed relative to it. Only consulted when the
+/// policy logs branches (`logging_signature`), so the non-reverse arm is
+/// never observed.
+fn reverse_pct(policy: WarmupPolicy) -> Pct {
+    match policy {
+        WarmupPolicy::Reverse { pct, .. } => pct,
+        _ => Pct::new(100),
+    }
+}
+
 /// Replays one captured shard under one config: fresh hierarchy and
 /// predictor at the shard boundary (the canonical cold-start), the
 /// caller's per-config index scratch, the shared [`detailed_window`] per
@@ -436,7 +448,8 @@ fn replay_shard(
                     let ghr = pred.gshare.ghr();
                     let t = Instant::now();
                     let mem_ok = want_cache && log.build_mem_index_into(&geom, scratch);
-                    let br_ok = want_bp && log.build_branch_index_into(&geom, ghr, scratch);
+                    let br_ok = want_bp
+                        && log.build_branch_index_into(&geom, ghr, reverse_pct(policy), scratch);
                     outcome.phases.warm += t.elapsed();
                     WindowIndex {
                         mem: if mem_ok { Some(&*scratch) } else { None },

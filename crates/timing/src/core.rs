@@ -34,6 +34,7 @@ pub trait PredictHook {
 pub struct NoHook;
 
 impl PredictHook for NoHook {
+    #[inline(always)]
     fn before_predict(&mut self, _pred: &mut Predictor, _pc: u64, _kind: PredCtrlKind) {}
 }
 
@@ -171,6 +172,13 @@ pub fn simulate_cluster(
 
 /// [`simulate_cluster`] with a [`PredictHook`] for on-demand warm-up.
 ///
+/// Generic (rather than `&mut dyn PredictHook`) so each hook type gets its
+/// own monomorphized copy of the cluster loop: the plain-simulation
+/// [`NoHook`] path compiles the hook call away entirely, and the RSR
+/// reconstruction hook is a direct, inlinable call instead of a per-branch
+/// virtual dispatch. `?Sized` keeps existing `&mut dyn PredictHook` callers
+/// compiling unchanged.
+///
 /// # Errors
 ///
 /// Propagates [`ExecError::PcOutOfText`] from the functional simulator.
@@ -179,13 +187,13 @@ pub fn simulate_cluster(
 ///
 /// Panics if the configuration is invalid, or on an internal scheduling
 /// deadlock (a bug, not an input condition).
-pub fn simulate_cluster_hooked(
+pub fn simulate_cluster_hooked<H: PredictHook + ?Sized>(
     cfg: &CoreConfig,
     cpu: &mut Cpu,
     hier: &mut MemHierarchy,
     pred: &mut Predictor,
     n_insts: u64,
-    hook: &mut dyn PredictHook,
+    hook: &mut H,
 ) -> Result<HotStats, ExecError> {
     if let Err(e) = cfg.validate() {
         panic!("invalid core config: {e}");

@@ -7,7 +7,7 @@
 //! logs mutated after sealing, at every reconstruction worker count.
 
 use proptest::prelude::*;
-use rsr_branch::Predictor;
+use rsr_branch::{PredCtrlKind, Predictor};
 use rsr_cache::MemHierarchy;
 use rsr_core::{
     reconstruct_caches, reconstruct_caches_partitioned, BpReconstructor, MachineConfig, Pct,
@@ -113,7 +113,7 @@ fn assert_cache_equivalence(machine: &MachineConfig, log: &SkipLog, pct: Pct, wh
 /// every observable: stats, GHR, full PHT contents, and BTB targets.
 fn assert_bp_equivalence(machine: &MachineConfig, log: &SkipLog, pct: Pct, what: &str) {
     let mut sealed = log.clone();
-    sealed.seal_branch_index(&ReconGeometry::of_machine(machine));
+    sealed.seal_branch_index(&ReconGeometry::of_machine(machine), pct);
 
     let mut ref_pred = Predictor::new(machine.pred);
     let mut ref_bp = BpReconstructor::new(&mut ref_pred, log, pct);
@@ -138,6 +138,72 @@ fn assert_bp_equivalence(machine: &MachineConfig, log: &SkipLog, pct: Pct, what:
     }
 }
 
+/// Asserts that the *demand-driven* indexed scan — hot-worklist hops,
+/// sealed flush last-writer bits, mid-sequence exhaustion flush — matches
+/// the legacy per-record demand scan on every observable. This is the
+/// path the sampler actually exercises; `exhaust` above shares the flush
+/// but not the scan loop, so only a demand sequence pins the sealed
+/// `BR_F_PHT_FLUSH_LW` placement (which feed survives to the flush, and
+/// relative to which budget window) against the incremental reference.
+fn assert_bp_demand_equivalence(
+    machine: &MachineConfig,
+    log: &SkipLog,
+    stream: &[Retired],
+    pct: Pct,
+    what: &str,
+) {
+    use rsr_timing::PredictHook as _;
+    let mut sealed = log.clone();
+    sealed.seal_branch_index(&ReconGeometry::of_machine(machine), pct);
+
+    // Forward replay of the region's own branch PCs: the demands the
+    // detailed cluster would actually issue, in order, against both scan
+    // paths. (Only `before_predict` runs — the GHR stays at its
+    // reconstructed value, identically on both sides.)
+    let to_pred_kind = |k: CtrlKind| match k {
+        CtrlKind::CondBranch => PredCtrlKind::CondBranch,
+        CtrlKind::Jump => PredCtrlKind::Jump,
+        CtrlKind::Call => PredCtrlKind::Call,
+        CtrlKind::IndirectCall => PredCtrlKind::IndirectCall,
+        CtrlKind::Return => PredCtrlKind::Return,
+        CtrlKind::IndirectJump => PredCtrlKind::IndirectJump,
+    };
+    let probes: Vec<_> = stream
+        .iter()
+        .filter_map(|r| r.branch.as_ref().map(|b| (r.pc, to_pred_kind(b.kind))))
+        .collect();
+
+    let mut ref_pred = Predictor::new(machine.pred);
+    let mut ref_bp = BpReconstructor::new(&mut ref_pred, log, pct);
+    for &(pc, kind) in &probes {
+        ref_bp.before_predict(&mut ref_pred, pc, kind);
+    }
+
+    let mut pred = Predictor::new(machine.pred);
+    let mut bp = BpReconstructor::new(&mut pred, &sealed, pct);
+    for &(pc, kind) in &probes {
+        bp.before_predict(&mut pred, pc, kind);
+    }
+
+    assert_eq!(bp.stats(), ref_bp.stats(), "{what}: demand BP ReconStats, {pct:?}");
+    assert_eq!(pred.gshare.ghr(), ref_pred.gshare.ghr(), "{what}: demand GHR, {pct:?}");
+    for i in 0..pred.gshare.num_entries() {
+        assert_eq!(
+            pred.gshare.counter_at(i),
+            ref_pred.gshare.counter_at(i),
+            "{what}: demand PHT entry {i}, {pct:?}"
+        );
+    }
+    for i in 0..pred.btb.num_entries() {
+        let pc = (i as u64) << 2;
+        assert_eq!(
+            pred.btb.peek(pc),
+            ref_pred.btb.peek(pc),
+            "{what}: demand BTB entry {i}, {pct:?}"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -155,6 +221,7 @@ proptest! {
         let log = log_from(&stream, None);
         assert_cache_equivalence(&machine, &log, pct, "synthetic");
         assert_bp_equivalence(&machine, &log, pct, "synthetic");
+        assert_bp_demand_equivalence(&machine, &log, &stream, pct, "synthetic");
     }
 
     /// Over-budget logs truncate to empty; both paths must agree that
@@ -184,6 +251,7 @@ fn workload_streams_reconstruct_identically_with_real_thread_fanout() {
         for pct in [Pct::new(20), Pct::new(100)] {
             assert_cache_equivalence(&machine, &log, pct, bench.name());
             assert_bp_equivalence(&machine, &log, pct, bench.name());
+            assert_bp_demand_equivalence(&machine, &log, &stream, pct, bench.name());
         }
     }
 }
@@ -197,7 +265,7 @@ fn stale_seal_falls_back_to_the_full_scan() {
     let stream = workload_stream(Benchmark::Twolf, 20_000);
     let mut log = log_from(&stream[..15_000], None);
     log.seal_mem_index(&ReconGeometry::of_machine(&machine));
-    log.seal_branch_index(&ReconGeometry::of_machine(&machine));
+    log.seal_branch_index(&ReconGeometry::of_machine(&machine), Pct::new(20));
     for r in &stream[15_000..] {
         log.record(r);
     }
