@@ -1,0 +1,53 @@
+//! Microbenchmark: the two ways the sweep engine can re-run a captured
+//! window under a second config — full-image `clone_from` of the CPU
+//! snapshot versus running directly on the snapshot inside an undo
+//! journal and rewinding (DESIGN.md §16). The journal's cost scales with
+//! the window's actual write set; the clone's with the workload's whole
+//! resident image, which for mcf-like footprints is orders of magnitude
+//! larger. Criterion reports seconds per (restore + replay) of one
+//! paper-length cluster.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rsr_func::Cpu;
+use rsr_workloads::{Benchmark, WorkloadParams};
+
+/// Instructions fast-forwarded before the measured window, so the
+/// snapshot carries a realistically grown heap.
+const SKIP: u64 = 2_000_000;
+/// The replayed window: one paper-regimen cluster.
+const WINDOW: u64 = 1_000;
+
+fn bench_replay_restore(c: &mut Criterion) {
+    let program = Benchmark::Mcf.build(&WorkloadParams::default());
+    let mut snap = Cpu::new(&program).expect("loads");
+    snap.step_n(SKIP, |_| {}).expect("runs");
+
+    let mut group = c.benchmark_group("replay_restore");
+    group.sample_size(30);
+
+    // Clone-based restore: what the sweep paid per (window × config)
+    // before the journal — one full-image copy, then the replay.
+    let mut hot = snap.clone();
+    group.bench_function("clone_1k", |b| {
+        b.iter(|| {
+            hot.clone_from(&snap);
+            hot.step_n(WINDOW, |_| {}).expect("runs");
+            hot.icount()
+        })
+    });
+
+    // Journal-based restore: replay directly on the snapshot, then
+    // reverse the window's own writes.
+    group.bench_function("journal_1k", |b| {
+        b.iter(|| {
+            snap.begin_journal();
+            snap.step_n(WINDOW, |_| {}).expect("runs");
+            snap.undo_journal()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_replay_restore);
+criterion_main!(benches);

@@ -67,6 +67,8 @@ pub struct SweepSample {
     pub threads: usize,
     /// Reconstruction worker threads per replayed window.
     pub recon_threads: usize,
+    /// Configs replayed concurrently per captured window (resolved).
+    pub replay_threads: usize,
     /// Total instructions in the sampled run.
     pub total_insts: u64,
     /// Cluster count and length of the regimen.
@@ -98,6 +100,12 @@ pub struct SweepSample {
     /// The engine's modeled amortization ratio (cold pass counted once vs
     /// once per config over the same replay time).
     pub amortization: f64,
+    /// Per-window index requests served from the sweep's shared memo
+    /// instead of a rebuild (`SweepOutcome::index_builds_shared`).
+    pub index_builds_shared: u64,
+    /// Journal-undo traffic per config in bytes — what state restore
+    /// cost instead of full-image snapshot copies.
+    pub restore_bytes_per_config: u64,
     /// Every config's est_ipc and log_records matched its standalone run.
     pub bit_identical: bool,
 }
@@ -115,6 +123,7 @@ impl SweepSample {
         field("sweep_configs", self.sweep_configs.to_string());
         field("threads", self.threads.to_string());
         field("recon_threads", self.recon_threads.to_string());
+        field("replay_threads", self.replay_threads.to_string());
         field("total_insts", self.total_insts.to_string());
         field("clusters", self.clusters.to_string());
         field("cluster_len", self.cluster_len.to_string());
@@ -128,6 +137,8 @@ impl SweepSample {
         field("standalone_wall_seconds", fmt_f64(self.standalone_wall_seconds));
         field("wall_ratio", fmt_f64(self.wall_ratio));
         field("amortization", fmt_f64(self.amortization));
+        field("index_builds_shared", self.index_builds_shared.to_string());
+        field("restore_bytes_per_config", self.restore_bytes_per_config.to_string());
         s.push_str(&format!("  \"bit_identical\": {}\n}}\n", self.bit_identical));
         s
     }
@@ -157,6 +168,7 @@ pub fn run_sweep_sample(
     n_configs: usize,
     threads: usize,
     recon_threads: usize,
+    replay_threads: usize,
 ) -> SweepSample {
     let bench = Benchmark::Mcf;
     let scale = scale.clamp(0.001, 100.0);
@@ -170,7 +182,8 @@ pub fn run_sweep_sample(
 
     let mut sweep =
         SweepSpec::new(ColdSpec::new(&program).regimen(regimen).total_insts(total).seed(seed))
-            .cold_threads(threads);
+            .cold_threads(threads)
+            .replay_threads(replay_threads);
     for point in &grid {
         sweep = sweep.config(
             point.name.clone(),
@@ -212,6 +225,7 @@ pub fn run_sweep_sample(
         sweep_configs: grid.len(),
         threads,
         recon_threads,
+        replay_threads: out.replay_threads,
         total_insts: total,
         clusters: n_clusters,
         cluster_len: spec.cluster_len,
@@ -226,6 +240,8 @@ pub fn run_sweep_sample(
         standalone_wall_seconds: standalone_wall,
         wall_ratio: sweep_wall / standalone_wall.max(1e-9),
         amortization: out.amortization(),
+        index_builds_shared: out.index_builds_shared,
+        restore_bytes_per_config: out.restore_bytes / grid.len().max(1) as u64,
         bit_identical,
     }
 }
@@ -266,10 +282,13 @@ mod tests {
 
     #[test]
     fn smoke_scale_sweep_is_bit_identical_and_amortized() {
-        let s = run_sweep_sample(0.01, 42, 3, 1, 1);
+        let s = run_sweep_sample(0.01, 42, 3, 1, 1, 1);
         assert_eq!(s.bench, "mcf");
         assert_eq!(s.sweep_configs, 3);
+        assert_eq!(s.replay_threads, 1);
         assert!(s.bit_identical, "sweep outcomes must match standalone runs");
+        assert!(s.index_builds_shared > 0, "a 3-config grid must share indexes");
+        assert!(s.restore_bytes_per_config > 0, "journal restore must report traffic");
         assert!(s.est_ipc_min <= s.est_ipc && s.est_ipc <= s.est_ipc_max);
         assert!(s.log_records > 0);
         assert!(s.cold_seconds > 0.0 && s.sweep_wall_seconds >= s.cold_seconds);
@@ -287,6 +306,7 @@ mod tests {
             sweep_configs: 20,
             threads: 4,
             recon_threads: 4,
+            replay_threads: 2,
             total_insts: 8_000_000,
             clusters: 60,
             cluster_len: 3000,
@@ -300,6 +320,8 @@ mod tests {
             standalone_wall_seconds: 28.0,
             wall_ratio: 8.0 / 28.0,
             amortization: 0.3,
+            index_builds_shared: 120,
+            restore_bytes_per_config: 4096,
             bit_identical: true,
         };
         let json = s.to_json();
@@ -312,6 +334,7 @@ mod tests {
             "sweep_configs",
             "threads",
             "recon_threads",
+            "replay_threads",
             "total_insts",
             "clusters",
             "cluster_len",
@@ -325,6 +348,8 @@ mod tests {
             "standalone_wall_seconds",
             "wall_ratio",
             "amortization",
+            "index_builds_shared",
+            "restore_bytes_per_config",
             "bit_identical",
         ] {
             assert!(json.contains(&format!("\"{key}\":")), "missing {key}");

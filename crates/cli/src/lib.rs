@@ -90,7 +90,7 @@ pub enum Command {
         /// Replay count.
         replays: usize,
     },
-    /// `rsr sweep <bench> [--configs N] [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S] [--threads T] [--recon-threads R] [--out PATH]`
+    /// `rsr sweep <bench> [--configs N] [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS] [--seed S] [--threads T] [--recon-threads R] [--replay-threads W] [--out PATH]`
     Sweep {
         /// Workload to sweep.
         bench: Benchmark,
@@ -112,10 +112,12 @@ pub enum Command {
         threads: usize,
         /// Per-window reconstruction worker threads (0 = auto).
         recon_threads: usize,
+        /// Configs replayed concurrently per captured window (0 = auto).
+        replay_threads: usize,
         /// Destination for the JSON rows (`None` = stdout).
         out: Option<String>,
     },
-    /// `rsr bench [--scale S] [--seed N] [--threads T] [--pipeline-depth D] [--recon-threads R] [--sweep-configs N] [--sweep-smoke] [--out PATH]`
+    /// `rsr bench [--scale S] [--seed N] [--threads T] [--pipeline-depth D] [--recon-threads R] [--replay-threads W] [--sweep-configs N] [--sweep-smoke] [--out PATH]`
     Bench {
         /// Run-length scale factor relative to the default regimen.
         scale: f64,
@@ -128,6 +130,9 @@ pub enum Command {
         pipeline_depth: usize,
         /// Per-window reconstruction worker threads (0 = auto).
         recon_threads: usize,
+        /// Configs replayed concurrently per captured window in the
+        /// sweep rows (0 = auto).
+        replay_threads: usize,
         /// Append a design-space sweep row fanning this many configs out
         /// of one cold pass (0 = no sweep row).
         sweep_configs: usize,
@@ -401,16 +406,18 @@ commands:
                                 retries heal shard faults, --log-budget degrades over-budget
                                 clusters to stale-state warmup, --deadline-secs aborts cleanly)
   sweep  <bench> [--configs N] [--policy P] [--pct N] [--clusters N] [--len N] [-n INSTS]
-         [--seed S] [--threads T] [--recon-threads R] [--out PATH]
+         [--seed S] [--threads T] [--recon-threads R] [--replay-threads W] [--out PATH]
                                 design-space sweep: one functional cold pass fanned
                                 across N machine variants (L1D capacity x gshare history
                                 grid around the paper geometry); emits one JSON row per
                                 config (est_ipc, 95% CI, per-structure recon telemetry,
                                 shared amortization ratio) to PATH or stdout (defaults:
                                 8 configs, r$bp 20%, 30x1000, 2M, seed 42, 1 thread;
-                                per-config results are bit-identical to standalone runs)
+                                --replay-threads replays W configs concurrently per
+                                captured window, 0 = auto; per-config results are
+                                bit-identical to standalone runs at any worker count)
   bench  [--scale S] [--seed N] [--threads T] [--pipeline-depth D] [--recon-threads R]
-         [--sweep-configs N] [--sweep-smoke] [--serve-smoke] [--out PATH]
+         [--replay-threads W] [--sweep-configs N] [--sweep-smoke] [--serve-smoke] [--out PATH]
                                 reproducible perf trajectory: runs mcf under r$bp 20%
                                 and emits BENCH_sample.json-shaped metrics (cold-phase
                                 MIPS, recon ns/record per structure, peak log bytes, wall
@@ -588,6 +595,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
                 seed: flags.parsed("--seed", 42)?,
                 threads: flags.parsed("--threads", 1)?,
                 recon_threads: flags.parsed("--recon-threads", 0)?,
+                replay_threads: flags.parsed("--replay-threads", 0)?,
                 out: flags.value("--out").map(str::to_string),
             }
         }
@@ -597,6 +605,7 @@ pub fn parse(args: &[String]) -> Result<Command, UsageError> {
             threads: flags.parsed("--threads", 1)?,
             pipeline_depth: flags.parsed("--pipeline-depth", 0)?,
             recon_threads: flags.parsed("--recon-threads", 0)?,
+            replay_threads: flags.parsed("--replay-threads", 0)?,
             sweep_configs: flags.parsed("--sweep-configs", 0)?,
             sweep_smoke: flags.present("--sweep-smoke"),
             serve_smoke: flags.present("--serve-smoke"),
@@ -830,6 +839,7 @@ mod tests {
                 threads: 1,
                 pipeline_depth: 0,
                 recon_threads: 0,
+                replay_threads: 0,
                 sweep_configs: 0,
                 sweep_smoke: false,
                 serve_smoke: false,
@@ -839,7 +849,7 @@ mod tests {
         assert_eq!(
             parse(&argv(
                 "bench --scale 0.05 --seed 7 --threads 4 --pipeline-depth 2 --recon-threads 4 \
-                 --sweep-configs 20 --out BENCH_sample.json"
+                 --replay-threads 2 --sweep-configs 20 --out BENCH_sample.json"
             ))
             .unwrap(),
             Command::Bench {
@@ -848,6 +858,7 @@ mod tests {
                 threads: 4,
                 pipeline_depth: 2,
                 recon_threads: 4,
+                replay_threads: 2,
                 sweep_configs: 20,
                 sweep_smoke: false,
                 serve_smoke: false,
@@ -885,11 +896,13 @@ mod tests {
         }
         match parse(&argv(
             "sweep twolf --configs 20 --policy r$ --pct 40 --clusters 12 --len 500 -n 100000 \
-             --seed 7 --threads 4 --recon-threads 2 --out rows.json",
+             --seed 7 --threads 4 --recon-threads 2 --replay-threads 4 --out rows.json",
         ))
         .unwrap()
         {
-            Command::Sweep { bench, configs, policy, recon_threads, out, .. } => {
+            Command::Sweep {
+                bench, configs, policy, recon_threads, replay_threads, out, ..
+            } => {
                 assert_eq!(bench, Benchmark::Twolf);
                 assert_eq!(configs, 20);
                 assert_eq!(
@@ -897,6 +910,7 @@ mod tests {
                     WarmupPolicy::Reverse { cache: true, bp: false, pct: Pct::new(40) }
                 );
                 assert_eq!(recon_threads, 2);
+                assert_eq!(replay_threads, 4);
                 assert_eq!(out, Some("rows.json".into()));
             }
             other => panic!("parsed {other:?}"),
@@ -932,6 +946,24 @@ mod tests {
             other => panic!("parsed {other:?}"),
         }
         let e = parse(&argv("sample mcf --recon-threads many")).unwrap_err();
+        assert!(e.0.contains("bad value"));
+    }
+
+    #[test]
+    fn replay_threads_flag_parses_and_defaults_to_auto() {
+        match parse(&argv("sweep mcf --replay-threads 4")).unwrap() {
+            Command::Sweep { replay_threads, .. } => assert_eq!(replay_threads, 4),
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("sweep mcf")).unwrap() {
+            Command::Sweep { replay_threads, .. } => assert_eq!(replay_threads, 0, "0 = auto"),
+            other => panic!("parsed {other:?}"),
+        }
+        match parse(&argv("bench")).unwrap() {
+            Command::Bench { replay_threads, .. } => assert_eq!(replay_threads, 0, "0 = auto"),
+            other => panic!("parsed {other:?}"),
+        }
+        let e = parse(&argv("sweep mcf --replay-threads wide")).unwrap_err();
         assert!(e.0.contains("bad value"));
     }
 

@@ -273,6 +273,7 @@ fn execute(cmd: Command) -> Result<(), CliError> {
             seed,
             threads,
             recon_threads,
+            replay_threads,
             out,
         } => {
             let threads = threads.max(1);
@@ -284,7 +285,8 @@ fn execute(cmd: Command) -> Result<(), CliError> {
                     .total_insts(n)
                     .seed(seed),
             )
-            .cold_threads(threads);
+            .cold_threads(threads)
+            .replay_threads(replay_threads);
             for point in &grid {
                 sweep = sweep.config(
                     point.name.clone(),
@@ -357,6 +359,7 @@ fn execute(cmd: Command) -> Result<(), CliError> {
             threads,
             pipeline_depth,
             recon_threads,
+            replay_threads,
             sweep_configs,
             sweep_smoke,
             serve_smoke,
@@ -385,8 +388,16 @@ fn execute(cmd: Command) -> Result<(), CliError> {
             } else {
                 0
             };
-            let sweep_row = (sweep_n > 0)
-                .then(|| rsr_bench::run_sweep_sample(scale, seed, sweep_n, threads, recon_threads));
+            let sweep_row = (sweep_n > 0).then(|| {
+                rsr_bench::run_sweep_sample(
+                    scale,
+                    seed,
+                    sweep_n,
+                    threads,
+                    recon_threads,
+                    replay_threads,
+                )
+            });
             let serve_row = serve_smoke.then(|| rsr_bench::run_serve_sample(scale, seed, 2));
             let extras: Vec<String> = sweep_row
                 .iter()

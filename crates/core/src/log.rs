@@ -1427,17 +1427,44 @@ pub struct LogPool {
     free: Vec<SkipLog>,
     /// Per-region byte cap stamped onto every log handed out.
     budget: Option<usize>,
+    /// Retention bound on the free list (see [`pool_bound`]).
+    bound: usize,
+}
+
+/// Most windows a worker group keeps in flight at once: the pipeline's
+/// deepest supported depth, and the per-shard window count the sweep's
+/// fused capture pass holds before replaying. Every recycling pool in the
+/// engine is sized from this one anchor through [`pool_bound`], so the
+/// bounds stay mutually consistent instead of drifting as ad-hoc
+/// constants.
+pub const IN_FLIGHT_WINDOWS: usize = 8;
+
+/// The retention bound for a recycling pool shared by `workers` consumers:
+/// one buffer per in-flight window per worker. Pools must drop returns
+/// beyond this so a burst (a shard with many windows, a wide replay
+/// fan-out) can never ratchet resident memory permanently upward.
+pub const fn pool_bound(workers: usize) -> usize {
+    IN_FLIGHT_WINDOWS * if workers == 0 { 1 } else { workers }
 }
 
 impl LogPool {
     /// Most logs the pool retains; extra [`LogPool::put`]s are dropped so
-    /// the free list can never outgrow the pipeline that feeds it.
-    pub const MAX_POOLED: usize = 8;
+    /// the free list can never outgrow the windows that feed it (one
+    /// owning worker — see [`pool_bound`]).
+    pub const MAX_POOLED: usize = pool_bound(1);
 
     /// An empty pool whose logs carry `budget` (see
-    /// [`crate::RunSpec::log_budget_bytes`]).
+    /// [`crate::RunSpec::log_budget_bytes`]), retaining up to
+    /// [`LogPool::MAX_POOLED`] — the single-consumer bound.
     pub fn new(budget: Option<usize>) -> LogPool {
-        LogPool { free: Vec::new(), budget }
+        LogPool::with_bound(budget, LogPool::MAX_POOLED)
+    }
+
+    /// Like [`LogPool::new`] but with an explicit retention bound, for
+    /// pools feeding more than one consumer (pass [`pool_bound`] of the
+    /// worker count).
+    pub fn with_bound(budget: Option<usize>, bound: usize) -> LogPool {
+        LogPool { free: Vec::new(), budget, bound }
     }
 
     /// A cleared log recording the requested streams: recycled columns if
@@ -1450,10 +1477,10 @@ impl LogPool {
         log
     }
 
-    /// Returns a log's allocations to the pool (dropped once
-    /// [`LogPool::MAX_POOLED`] are already held).
+    /// Returns a log's allocations to the pool (dropped once the pool's
+    /// retention bound is already held).
     pub fn put(&mut self, log: SkipLog) {
-        if self.free.len() < LogPool::MAX_POOLED {
+        if self.free.len() < self.bound {
             self.free.push(log);
         }
     }

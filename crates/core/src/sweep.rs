@@ -10,27 +10,46 @@
 //! once per named [`DetailSpec`] against the captured state. A 20-config
 //! sweep costs ~1 cold pass + 20 hot slices instead of 20 full runs.
 //!
-//! What *is* config-dependent is the reconstruction index: memory chains
-//! are keyed by cache set geometry, branch keys by the PHT width and the
-//! GHR the predictor held when the region began. The shared log is
-//! immutable, so each replay builds the index for its own geometry into
-//! private [`ReconIndex`] scratch ([`SkipLog::build_mem_index_into`] /
-//! [`SkipLog::build_branch_index_into`]) and threads it to the shared
-//! [`detailed_window`] through a [`WindowIndex`] view — the exact code
-//! path the standalone engines take, which is why per-config outcomes are
-//! bit-identical to standalone [`crate::RunSpec`] runs (see
-//! `tests/sweep_equivalence.rs`).
+//! **Replay is windows-outer, configs-inner** (DESIGN.md §16). Per
+//! captured window the replay leader builds each *distinct* reconstruction
+//! index once into a pooled arena — memory spans keyed by the cache-set
+//! geometry, branch columns by `(PHT bits, BTB entries, scan pct, start
+//! GHR)` — and every config threads a borrowed [`WindowIndex`] view of the
+//! shared, sealed build to the common [`detailed_window`]. A 20-config
+//! L1D×GHR grid therefore builds ~5 memory and ~4 branch indexes per
+//! window instead of 20 of each. The sharing is sound because each
+//! consumer checks only its own side's geometry (see
+//! `reverse::geom_matches_hier` and `BpReconstructor::with_index`), and
+//! because the GHR entering a window is a shift register of *functional*
+//! branch outcomes — configs with equal history width hold bit-equal GHRs
+//! at every window boundary.
+//!
+//! **State restore is journaled, not copied.** The first N−1 configs at a
+//! window run inside a [`Cpu::begin_journal`] episode and
+//! [`Cpu::undo_journal`] afterwards, so restoring the shared snapshot
+//! costs traffic proportional to the window's actual write set instead of
+//! a full-image `clone_from` per (window × config). This is the first
+//! committed step toward ROADMAP item 5's true reverse execution.
+//!
+//! **Configs can replay in parallel.** The captured windows are immutable
+//! once sealed, so [`SweepSpec::replay_threads`] fans the config list
+//! across `std::thread::scope` workers in contiguous chunks; each chunk
+//! owns its configs' hierarchy/predictor state for the whole shard and a
+//! private working CPU re-cloned once per window (then journaled between
+//! its configs). Results are bit-identical at every worker count because
+//! each config still sees exactly the standalone engine's inputs in the
+//! standalone engine's order.
 //!
 //! Capture and replay are *fused per canonical shard*: a worker group
 //! captures one shard's windows, immediately replays them through every
 //! config, then recycles the logs and snapshots (via [`LogPool`] and a
-//! small CPU-snapshot pool) for the next shard. The alternative —
-//! capturing the whole schedule before any replay — retains every
-//! window's log and snapshot at once (gigabytes at fig5 scale) and was
-//! measurably page-fault-bound; fusing bounds the resident footprint to
-//! one shard's windows per group and faults each buffer in once. Outcomes
-//! are unaffected: per-shard replay state is the canonical cold-start
-//! either way, and per-shard outcomes merge through
+//! CPU-snapshot pool, both bounded by [`pool_bound`]) for the next shard.
+//! The alternative — capturing the whole schedule before any replay —
+//! retains every window's log and snapshot at once (gigabytes at fig5
+//! scale) and was measurably page-fault-bound; fusing bounds the resident
+//! footprint to one shard's windows per group and faults each buffer in
+//! once. Outcomes are unaffected: per-shard replay state is the canonical
+//! cold-start either way, and per-shard outcomes merge through
 //! [`SampleOutcome::absorb`] in schedule order, exactly like the
 //! standalone sharded runner.
 //!
@@ -48,17 +67,12 @@ use rsr_cache::MemHierarchy;
 use rsr_func::Cpu;
 
 use crate::fault::FaultInjector;
-use crate::log::{LogPool, ReconGeometry, ReconIndex};
+use crate::log::{pool_bound, LogPool, ReconGeometry, ReconIndex, SkipLog};
 use crate::policy::Pct;
 use crate::sampler::{detailed_window, policy_decouples, WindowIndex};
 use crate::shard::{check_deadline, run_sharded_with, GroupCtx, RunGuards};
 use crate::spec::{ColdSpec, DetailSpec};
-use crate::{SampleOutcome, SimError, SkipLog, WarmupPolicy};
-
-/// Most CPU snapshots a group keeps for reuse across shards — one per
-/// in-flight window, bounded like [`LogPool::MAX_POOLED`] so the pool can
-/// never outgrow the windows that feed it.
-const SNAPSHOT_POOL: usize = 8;
+use crate::{SampleOutcome, SimError, WarmupPolicy};
 
 /// One captured cluster window: the functional state at the cluster
 /// boundary and the sealed log of the skip region that led to it.
@@ -67,7 +81,10 @@ struct SealedWindow {
     skip: u64,
     /// Cluster length in instructions.
     len: u64,
-    /// CPU snapshot at the cluster start (the follower-side input).
+    /// CPU snapshot at the cluster start (the follower-side input). The
+    /// serial replay path mutates it directly under a journal and rewinds;
+    /// after the *last* config the window is dead, so its final state is
+    /// never read again.
     cpu: Cpu,
     /// The skip region's sealed, immutable log — `None` when no config
     /// logs any stream.
@@ -75,12 +92,16 @@ struct SealedWindow {
 }
 
 /// One shard's fused capture+replay result: per-config outcomes in
-/// registration order, plus how the shard's wall split between the shared
-/// capture and each config's replay.
+/// registration order, how the shard's wall split between the shared
+/// capture and each config's replay, and the shard's index/restore
+/// telemetry.
 struct ShardResult {
     outcomes: Vec<SampleOutcome>,
     capture: Duration,
     replays: Vec<Duration>,
+    index_builds: u64,
+    index_builds_shared: u64,
+    restore_bytes: u64,
 }
 
 /// The per-config result of a sweep.
@@ -113,6 +134,19 @@ pub struct SweepOutcome {
     /// Shard-group retries the fused pass needed (see
     /// [`crate::RunSpec::max_shard_retries`]).
     pub shard_retries: u64,
+    /// Reconstruction indexes actually built across the sweep.
+    pub index_builds: u64,
+    /// Per-config index requests served by an already-built index in the
+    /// same window's memo instead of a rebuild. `builds + shared` equals
+    /// what the pre-memo engine would have built.
+    pub index_builds_shared: u64,
+    /// Total journal-undo traffic (old bytes written back, plus one
+    /// register-file snapshot per episode) the replays paid to rewind the
+    /// shared snapshots.
+    pub restore_bytes: u64,
+    /// The replay fan-out the sweep actually used (see
+    /// [`SweepSpec::resolved_replay_threads`]).
+    pub replay_threads: usize,
 }
 
 impl SweepOutcome {
@@ -162,12 +196,13 @@ pub struct SweepSpec<'a> {
     cold: ColdSpec<'a>,
     configs: Vec<(String, DetailSpec)>,
     cold_threads: Option<usize>,
+    replay_threads: Option<usize>,
 }
 
 impl<'a> SweepSpec<'a> {
     /// Starts a sweep over `cold`'s workload with no configs yet.
     pub fn new(cold: ColdSpec<'a>) -> SweepSpec<'a> {
-        SweepSpec { cold, configs: Vec::new(), cold_threads: None }
+        SweepSpec { cold, configs: Vec::new(), cold_threads: None, replay_threads: None }
     }
 
     /// Registers a named detailed config. Replays run in registration
@@ -185,6 +220,16 @@ impl<'a> SweepSpec<'a> {
         self
     }
 
+    /// Sets how many configs replay concurrently per captured window
+    /// (default 0 = auto; see [`SweepSpec::resolved_replay_threads`]).
+    /// Results are bit-identical at every value: each worker chunk owns
+    /// its configs' microarchitectural state for the whole shard, so
+    /// every config sees the standalone engine's exact inputs.
+    pub fn replay_threads(mut self, threads: usize) -> Self {
+        self.replay_threads = if threads == 0 { None } else { Some(threads) };
+        self
+    }
+
     /// The workload half this sweep captures.
     pub fn cold(&self) -> &ColdSpec<'a> {
         &self.cold
@@ -193,6 +238,34 @@ impl<'a> SweepSpec<'a> {
     /// The registered `(name, detailed half)` pairs, in replay order.
     pub fn configs(&self) -> &[(String, DetailSpec)] {
         &self.configs
+    }
+
+    /// The capture-pass worker count a run will actually use: an explicit
+    /// [`SweepSpec::cold_threads`], else the largest thread count any
+    /// registered config asks for.
+    pub fn resolved_cold_threads(&self) -> usize {
+        self.cold_threads.unwrap_or_else(|| {
+            self.configs.iter().map(|(_, d)| d.threads.max(1)).max().unwrap_or(1)
+        })
+    }
+
+    /// The replay fan-out a run will actually use. An explicit
+    /// [`SweepSpec::replay_threads`] is honored as given (clamped to
+    /// ≥ 1); auto divides the host's hardware threads by the cores the
+    /// sweep already occupies — capture groups times the widest config's
+    /// reconstruction fan-out — so the three parallelism layers never
+    /// oversubscribe. Either way the result is clamped to the config
+    /// count (a wider fan-out would just idle).
+    pub fn resolved_replay_threads(&self) -> usize {
+        let n = self.configs.len().max(1);
+        if let Some(t) = self.replay_threads {
+            return t.clamp(1, n);
+        }
+        let cores =
+            std::thread::available_parallelism().map(std::num::NonZeroUsize::get).unwrap_or(1);
+        let recon = self.configs.iter().map(|(_, d)| d.resolved_recon_threads()).max().unwrap_or(1);
+        let occupied = self.resolved_cold_threads().max(1) * recon.max(1);
+        (cores / occupied).clamp(1, n)
     }
 
     /// Validates the sweep: the cold half must pass
@@ -233,7 +306,9 @@ impl<'a> SweepSpec<'a> {
 
     /// Runs the sweep: one supervised pass over the schedule that, per
     /// canonical shard, captures the cold windows once and replays them
-    /// through every config in registration order.
+    /// through every config in registration order (windows-outer, with
+    /// per-window index sharing and journaled state restore — see the
+    /// module docs).
     ///
     /// # Errors
     ///
@@ -246,9 +321,8 @@ impl<'a> SweepSpec<'a> {
         let t_total = Instant::now();
         let schedule = self.cold.build_schedule()?;
         let (log_cache, log_bp) = logging_signature(self.configs[0].1.policy);
-        let cold_threads = self.cold_threads.unwrap_or_else(|| {
-            self.configs.iter().map(|(_, d)| d.threads.max(1)).max().unwrap_or(1)
-        });
+        let cold_threads = self.resolved_cold_threads();
+        let replay_workers = self.resolved_replay_threads();
         let injector = self.cold.fault_plan.as_ref().map(FaultInjector::new);
         let guards = RunGuards {
             log_budget: self.cold.resolved_log_budget(),
@@ -271,19 +345,15 @@ impl<'a> SweepSpec<'a> {
             // it, so the group's resident footprint is one shard's
             // windows, not the whole schedule's. `appended`/`peak_bytes`/
             // truncation are capacity-independent, so pooled logs match
-            // the standalone path's accounting bit for bit.
-            let mut pool = LogPool::new(guards.log_budget);
+            // the standalone path's accounting bit for bit. Both pools
+            // share the [`pool_bound`] retention policy.
+            let snap_bound = pool_bound(replay_workers);
+            let mut pool = LogPool::with_bound(guards.log_budget, snap_bound);
             let mut snaps: Vec<Cpu> = Vec::new();
-            // The working CPU each replayed window mutates, re-cloned
-            // from the window snapshot every time (`clone_from` reuses
-            // its page frames).
-            let mut hot_cpu = cpu.clone();
-            // One index scratch serves every config: `replay_shard`
-            // retargets it to each config's geometry, and the build
-            // passes re-size from the geometry per call, so the group
-            // holds one region's chains resident instead of one per
-            // config.
-            let mut scratch = ReconIndex::new(ReconGeometry::of_machine(&details[0].machine));
+            // Replay scratch recycled shard to shard: the index arena's
+            // column allocations and the parallel chunks' working CPUs
+            // are the expensive parts.
+            let mut scratch = ReplayScratch::default();
             // Column-size hint carried across this group's regions: a
             // growing log would otherwise re-discover its size through
             // doubling reallocations, and at fig5 column sizes every
@@ -323,13 +393,8 @@ impl<'a> SweepSpec<'a> {
                 let capture = t_capture.elapsed();
 
                 // -- replay the captured shard through every config --
-                let mut outcomes = Vec::with_capacity(details.len());
-                let mut replays = Vec::with_capacity(details.len());
-                for detail in &details {
-                    let t_replay = Instant::now();
-                    outcomes.push(replay_shard(&windows, detail, &mut scratch, &mut hot_cpu)?);
-                    replays.push(t_replay.elapsed());
-                }
+                let replay =
+                    replay_windows(&mut windows, &details, replay_workers, &mut scratch, cpu)?;
 
                 // -- recycle the shard's capture buffers --
                 for w in windows {
@@ -338,11 +403,18 @@ impl<'a> SweepSpec<'a> {
                             pool.put(log);
                         }
                     }
-                    if snaps.len() < SNAPSHOT_POOL {
+                    if snaps.len() < snap_bound {
                         snaps.push(w.cpu);
                     }
                 }
-                out.push(ShardResult { outcomes, capture, replays });
+                out.push(ShardResult {
+                    outcomes: replay.outcomes,
+                    capture,
+                    replays: replay.replays,
+                    index_builds: replay.index_builds,
+                    index_builds_shared: replay.index_builds_shared,
+                    restore_bytes: replay.restore_bytes,
+                });
             }
             Ok(out)
         };
@@ -363,8 +435,8 @@ impl<'a> SweepSpec<'a> {
             .max()
             .unwrap_or(Duration::ZERO);
         let mut configs = Vec::with_capacity(self.configs.len());
-        for (c, (name, detail)) in self.configs.iter().enumerate() {
-            let mut outcome = SampleOutcome::empty(detail.policy);
+        for (c, (name, _)) in self.configs.iter().enumerate() {
+            let mut outcome = SampleOutcome::empty(self.configs[c].1.policy);
             // `absorb` is exactly the standalone sharded runner's merge,
             // applied in the same schedule order.
             for s in groups.iter().flatten() {
@@ -380,6 +452,7 @@ impl<'a> SweepSpec<'a> {
                 .unwrap_or(Duration::ZERO);
             configs.push(SweepConfigOutcome { name: name.clone(), outcome });
         }
+        let all = || groups.iter().flatten();
 
         Ok(SweepOutcome {
             configs,
@@ -387,6 +460,10 @@ impl<'a> SweepSpec<'a> {
             wall: t_total.elapsed(),
             shards: total_shards,
             shard_retries,
+            index_builds: all().map(|s| s.index_builds).sum(),
+            index_builds_shared: all().map(|s| s.index_builds_shared).sum(),
+            restore_bytes: all().map(|s| s.restore_bytes).sum(),
+            replay_threads: replay_workers,
         })
     }
 }
@@ -410,77 +487,439 @@ fn reverse_pct(policy: WarmupPolicy) -> Pct {
     }
 }
 
-/// Replays one captured shard under one config: fresh hierarchy and
-/// predictor at the shard boundary (the canonical cold-start), the
-/// caller's per-config index scratch, the shared [`detailed_window`] per
-/// window. `hot_cpu` is the recycled working CPU the detailed phase
-/// mutates, re-cloned from each window's snapshot.
-fn replay_shard(
-    windows: &[SealedWindow],
-    detail: &DetailSpec,
-    scratch: &mut ReconIndex,
-    hot_cpu: &mut Cpu,
-) -> Result<SampleOutcome, SimError> {
-    let machine = &detail.machine;
-    let policy = detail.policy;
-    let recon_threads = detail.resolved_recon_threads();
-    let geom = ReconGeometry::of_machine(machine);
-    scratch.retarget(geom);
-    let (want_cache, want_bp) = logging_signature(policy);
-    let mut outcome = SampleOutcome::empty(policy);
-    let mut hier = MemHierarchy::new(machine.hier.clone());
-    let mut pred = Predictor::new(machine.pred);
-    for w in windows {
-        outcome.skipped_insts += w.skip;
-        hot_cpu.clone_from(&w.cpu);
-        match &w.log {
-            Some(log) => {
-                let view = if log.truncated() {
-                    // Degraded cluster: `detailed_window` counts it and
-                    // skips reconstruction; the view is never read.
-                    WindowIndex { mem: None, br: None, ghr_at_start: 0 }
-                } else {
-                    // Mirrors `follower_window`: capture the GHR the
-                    // predictor holds entering the cluster (untouched
-                    // across the purely-functional skip), build the
-                    // sides this policy reconstructs, charge the warm
-                    // phase.
-                    let ghr = pred.gshare.ghr();
-                    let t = Instant::now();
-                    let mem_ok = want_cache && log.build_mem_index_into(&geom, scratch);
-                    let br_ok = want_bp
-                        && log.build_branch_index_into(&geom, ghr, reverse_pct(policy), scratch);
-                    outcome.phases.warm += t.elapsed();
-                    WindowIndex {
-                        mem: if mem_ok { Some(&*scratch) } else { None },
-                        br: if br_ok { Some(&*scratch) } else { None },
-                        ghr_at_start: ghr,
-                    }
-                };
-                detailed_window(
-                    machine,
-                    policy,
-                    &mut hier,
-                    &mut pred,
-                    hot_cpu,
-                    w.len,
-                    Some((log, view)),
-                    recon_threads,
-                    &mut outcome,
-                )?;
-            }
-            None => detailed_window(
-                machine,
-                policy,
-                &mut hier,
-                &mut pred,
-                hot_cpu,
-                w.len,
-                None,
-                recon_threads,
-                &mut outcome,
-            )?,
+/// The memory-side memo key: exactly the fields
+/// `reverse::geom_matches_hier` checks before walking a sealed index, so
+/// two configs with equal keys can share one build regardless of their
+/// predictor geometry.
+type MemKey = (usize, u32, usize, u32, usize, u32);
+
+/// The branch-side memo key: the fields `BpReconstructor::with_index`
+/// checks (PHT width, BTB entries, scan budget) plus the GHR entering the
+/// window. The GHR is config-independent for a given history width — it
+/// is a shift register of the *functional* stream's branch outcomes — so
+/// the key collapses across every config sharing `ghr_bits`; carrying the
+/// value keeps the memo sound by construction rather than by that
+/// argument alone.
+type BrKey = (u32, usize, Pct, u64);
+
+fn mem_key(g: &ReconGeometry) -> MemKey {
+    (g.l1i_sets, g.l1i_line_shift, g.l1d_sets, g.l1d_line_shift, g.l2_sets, g.l2_line_shift)
+}
+
+/// One config's per-window index assignment, produced by [`plan_window`]:
+/// arena slots for the sides this config reconstructs, plus the GHR its
+/// predictor held entering the window (the branch-key seed).
+#[derive(Clone, Copy, Default)]
+struct WindowPlan {
+    mem: Option<u32>,
+    br: Option<u32>,
+    ghr: u64,
+}
+
+/// A pooled arena of reconstruction indexes. Per window the replay leader
+/// takes one slot per *distinct* memo key and builds into it; slots keep
+/// their column allocations across windows and shards
+/// ([`ReconIndex::retarget`] re-keys without freeing), so steady-state
+/// index building allocates nothing.
+#[derive(Default)]
+struct IndexArena {
+    slots: Vec<ReconIndex>,
+}
+
+impl IndexArena {
+    /// Slot `i`, grown on demand and re-keyed for `geom`.
+    fn slot(&mut self, i: usize, geom: ReconGeometry) -> &mut ReconIndex {
+        while self.slots.len() <= i {
+            self.slots.push(ReconIndex::new(geom));
+        }
+        let ix = &mut self.slots[i];
+        ix.retarget(geom);
+        ix
+    }
+}
+
+/// Per-window memo state, recycled window to window. The memos are linear
+/// vectors, not maps: a sweep has at most a few dozen configs and far
+/// fewer distinct keys.
+#[derive(Default)]
+struct MemoScratch {
+    mem: Vec<(MemKey, u32, bool)>,
+    br: Vec<(BrKey, u32, bool)>,
+    plans: Vec<WindowPlan>,
+}
+
+/// One config's replay state, owned by one chunk for a whole shard: the
+/// hierarchy and predictor start cold at the shard boundary (the
+/// canonical cold-start) and evolve across the shard's windows exactly as
+/// a standalone run's would.
+struct ConfigReplay<'d> {
+    detail: &'d DetailSpec,
+    geom: ReconGeometry,
+    pct: Pct,
+    want_cache: bool,
+    want_bp: bool,
+    recon_threads: usize,
+    hier: MemHierarchy,
+    pred: Predictor,
+    outcome: SampleOutcome,
+    replay: Duration,
+}
+
+impl<'d> ConfigReplay<'d> {
+    fn new(detail: &'d DetailSpec) -> ConfigReplay<'d> {
+        let (want_cache, want_bp) = logging_signature(detail.policy);
+        ConfigReplay {
+            detail,
+            geom: ReconGeometry::of_machine(&detail.machine),
+            pct: reverse_pct(detail.policy),
+            want_cache,
+            want_bp,
+            recon_threads: detail.resolved_recon_threads(),
+            hier: MemHierarchy::new(detail.machine.hier.clone()),
+            pred: Predictor::new(detail.machine.pred),
+            outcome: SampleOutcome::empty(detail.policy),
+            replay: Duration::ZERO,
         }
     }
-    Ok(outcome)
+}
+
+/// One replay worker's shard-long state: a contiguous chunk of the config
+/// list (so per-config evolution order matches registration order) plus
+/// the working CPU the parallel path clones each window into. Serial
+/// replay (one chunk) runs directly on the captured snapshots and carries
+/// no working CPU at all.
+struct ChunkState<'d> {
+    configs: Vec<ConfigReplay<'d>>,
+    hot_cpu: Option<Cpu>,
+    restore_bytes: u64,
+}
+
+/// Group-level replay scratch recycled across shards: the index arena's
+/// columns, the memo vectors, and the parallel chunks' working CPUs.
+#[derive(Default)]
+struct ReplayScratch {
+    arena: IndexArena,
+    memo: MemoScratch,
+    hot_cpus: Vec<Cpu>,
+}
+
+/// What one shard's replay produced, in config registration order.
+struct ShardReplay {
+    outcomes: Vec<SampleOutcome>,
+    replays: Vec<Duration>,
+    index_builds: u64,
+    index_builds_shared: u64,
+    restore_bytes: u64,
+}
+
+/// Builds (or shares) this window's reconstruction indexes and fills one
+/// [`WindowPlan`] per config. Build time is charged to the warm phase of
+/// the config that *triggered* the build; memo hits cost nothing, which
+/// is the point.
+fn plan_window(
+    log: &SkipLog,
+    chunks: &mut [ChunkState<'_>],
+    arena: &mut IndexArena,
+    memo: &mut MemoScratch,
+    builds: &mut u64,
+    shared: &mut u64,
+) {
+    memo.mem.clear();
+    memo.br.clear();
+    let mut used = 0usize;
+    let mut c = 0usize;
+    for ch in chunks.iter_mut() {
+        for st in ch.configs.iter_mut() {
+            let ghr = st.pred.gshare.ghr();
+            let mut plan = WindowPlan { mem: None, br: None, ghr };
+            if st.want_cache {
+                let key = mem_key(&st.geom);
+                plan.mem = match memo.mem.iter().find(|(k, _, _)| *k == key) {
+                    Some(&(_, slot, ok)) => {
+                        *shared += 1;
+                        ok.then_some(slot)
+                    }
+                    None => {
+                        let slot = used as u32;
+                        used += 1;
+                        let t = Instant::now();
+                        let ok = log.build_mem_index_into(&st.geom, arena.slot(used - 1, st.geom));
+                        st.outcome.phases.warm += t.elapsed();
+                        *builds += 1;
+                        memo.mem.push((key, slot, ok));
+                        ok.then_some(slot)
+                    }
+                };
+            }
+            if st.want_bp {
+                let key = (st.geom.ghr_bits, st.geom.btb_entries, st.pct, ghr);
+                plan.br = match memo.br.iter().find(|(k, _, _)| *k == key) {
+                    Some(&(_, slot, ok)) => {
+                        *shared += 1;
+                        ok.then_some(slot)
+                    }
+                    None => {
+                        let slot = used as u32;
+                        used += 1;
+                        let t = Instant::now();
+                        let ok = log.build_branch_index_into(
+                            &st.geom,
+                            ghr,
+                            st.pct,
+                            arena.slot(used - 1, st.geom),
+                        );
+                        st.outcome.phases.warm += t.elapsed();
+                        *builds += 1;
+                        memo.br.push((key, slot, ok));
+                        ok.then_some(slot)
+                    }
+                };
+            }
+            memo.plans[c] = plan;
+            c += 1;
+        }
+    }
+}
+
+/// One config's replay of one window — the single [`detailed_window`]
+/// call site of the sweep engine, threading the window's shared log and
+/// this config's planned index view.
+fn replay_one(
+    st: &mut ConfigReplay<'_>,
+    skip: u64,
+    len: u64,
+    log: Option<&Arc<SkipLog>>,
+    cpu: &mut Cpu,
+    plan: WindowPlan,
+    arena: &IndexArena,
+) -> Result<(), SimError> {
+    st.outcome.skipped_insts += skip;
+    let log = log.map(|log| {
+        let view = if log.truncated() {
+            // Degraded cluster: `detailed_window` counts it and skips
+            // reconstruction; the view is never read.
+            WindowIndex { mem: None, br: None, ghr_at_start: 0 }
+        } else {
+            WindowIndex {
+                mem: plan.mem.map(|i| &arena.slots[i as usize]),
+                br: plan.br.map(|i| &arena.slots[i as usize]),
+                ghr_at_start: plan.ghr,
+            }
+        };
+        (&**log, view)
+    });
+    detailed_window(
+        &st.detail.machine,
+        st.detail.policy,
+        &mut st.hier,
+        &mut st.pred,
+        cpu,
+        len,
+        log,
+        st.recon_threads,
+        &mut st.outcome,
+    )
+}
+
+/// Replays one window through one chunk's configs on `cpu`, journaling
+/// between configs so each one starts from the captured image. The last
+/// config skips the episode: its final state is never read again (the
+/// serial path retires the window; the parallel path re-clones next
+/// window).
+#[allow(clippy::too_many_arguments)]
+fn replay_chunk_window(
+    configs: &mut [ConfigReplay<'_>],
+    restore_bytes: &mut u64,
+    skip: u64,
+    len: u64,
+    log: Option<&Arc<SkipLog>>,
+    cpu: &mut Cpu,
+    plans: &[WindowPlan],
+    first: usize,
+    arena: &IndexArena,
+) -> Result<(), SimError> {
+    let n = configs.len();
+    for (k, st) in configs.iter_mut().enumerate() {
+        let t = Instant::now();
+        let journal = k + 1 < n;
+        if journal {
+            cpu.begin_journal();
+        }
+        let r = replay_one(st, skip, len, log, cpu, plans[first + k], arena);
+        if journal {
+            // Undo even on error: the rewind is cheap and leaves the
+            // window coherent for whatever supervision does next.
+            *restore_bytes += cpu.undo_journal();
+        }
+        st.replay += t.elapsed();
+        r?;
+    }
+    Ok(())
+}
+
+/// Replays one captured shard through every config: windows-outer, with
+/// per-window index planning and either the serial in-place path (one
+/// chunk, zero clones, journal-rewind between configs) or the parallel
+/// fan-out (one scoped worker per chunk, one `clone_from` per worker per
+/// window, journal-rewind within each chunk).
+fn replay_windows<'d>(
+    windows: &mut [SealedWindow],
+    details: &[&'d DetailSpec],
+    workers: usize,
+    scratch: &mut ReplayScratch,
+    group_cpu: &Cpu,
+) -> Result<ShardReplay, SimError> {
+    let n = details.len();
+    let workers = workers.clamp(1, n);
+    let mut builds = 0u64;
+    let mut shared = 0u64;
+
+    // Fresh per shard: the canonical cold-start. Chunks partition the
+    // config list contiguously and evenly.
+    let mut chunks: Vec<ChunkState<'d>> = Vec::with_capacity(workers);
+    {
+        let base = n / workers;
+        let extra = n % workers;
+        let mut at = 0usize;
+        for w in 0..workers {
+            let take = base + usize::from(w < extra);
+            let mut ch = ChunkState {
+                configs: details[at..at + take].iter().map(|d| ConfigReplay::new(d)).collect(),
+                hot_cpu: None,
+                restore_bytes: 0,
+            };
+            if workers > 1 {
+                ch.hot_cpu = Some(scratch.hot_cpus.pop().unwrap_or_else(|| group_cpu.clone()));
+            }
+            chunks.push(ch);
+            at += take;
+        }
+    }
+    scratch.memo.plans.resize(n, WindowPlan::default());
+
+    for w in windows.iter_mut() {
+        // -- leader: build each distinct index once for this window --
+        if let Some(log) = w.log.as_deref().filter(|l| !l.truncated()) {
+            plan_window(
+                log,
+                &mut chunks,
+                &mut scratch.arena,
+                &mut scratch.memo,
+                &mut builds,
+                &mut shared,
+            );
+        }
+
+        if workers == 1 {
+            // Serial: replay directly on the captured snapshot. The
+            // journal rewinds between configs, so no working copy exists
+            // at all.
+            let ch = &mut chunks[0];
+            replay_chunk_window(
+                &mut ch.configs,
+                &mut ch.restore_bytes,
+                w.skip,
+                w.len,
+                w.log.as_ref(),
+                &mut w.cpu,
+                &scratch.memo.plans,
+                0,
+                &scratch.arena,
+            )?;
+        } else {
+            // Parallel: the window is immutable; each chunk clones it
+            // once into its private working CPU and journals between its
+            // own configs. Errors resolve in chunk order so the failing
+            // config is deterministic.
+            let arena = &scratch.arena;
+            let plans = &scratch.memo.plans[..];
+            let snap = &w.cpu;
+            let log = w.log.as_ref();
+            let (skip, len) = (w.skip, w.len);
+            let mut result: Result<(), SimError> = Ok(());
+            std::thread::scope(|s| {
+                let mut handles = Vec::with_capacity(chunks.len() - 1);
+                let mut first = chunks[0].configs.len();
+                let (lead, rest) = chunks.split_at_mut(1);
+                for ch in rest.iter_mut() {
+                    let f = first;
+                    first += ch.configs.len();
+                    handles.push(s.spawn(move || {
+                        let ChunkState { configs, hot_cpu, restore_bytes } = ch;
+                        let cpu = match hot_cpu.as_mut() {
+                            Some(cpu) => cpu,
+                            // Unreachable: parallel chunks are built with
+                            // a working CPU above.
+                            None => return Err(SimError::Spec("replay chunk lost its CPU")),
+                        };
+                        cpu.clone_from(snap);
+                        replay_chunk_window(
+                            configs,
+                            restore_bytes,
+                            skip,
+                            len,
+                            log,
+                            cpu,
+                            plans,
+                            f,
+                            arena,
+                        )
+                    }));
+                }
+                let ch = &mut lead[0];
+                let r0 = match ch.hot_cpu.as_mut() {
+                    Some(cpu) => {
+                        cpu.clone_from(snap);
+                        replay_chunk_window(
+                            &mut ch.configs,
+                            &mut ch.restore_bytes,
+                            skip,
+                            len,
+                            log,
+                            cpu,
+                            plans,
+                            0,
+                            arena,
+                        )
+                    }
+                    None => Err(SimError::Spec("replay chunk lost its CPU")),
+                };
+                result = r0;
+                for h in handles {
+                    let r = match h.join() {
+                        Ok(r) => r,
+                        // Re-raise with the worker's own payload intact so
+                        // the shard supervisor's catch_unwind sees it.
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    };
+                    if result.is_ok() {
+                        result = r;
+                    }
+                }
+            });
+            result?;
+        }
+    }
+
+    // -- retire the chunks, keeping their recyclable CPUs --
+    let mut outcomes = Vec::with_capacity(n);
+    let mut replays = Vec::with_capacity(n);
+    let mut restore_bytes = 0u64;
+    for mut ch in chunks {
+        restore_bytes += ch.restore_bytes;
+        if let Some(cpu) = ch.hot_cpu.take() {
+            scratch.hot_cpus.push(cpu);
+        }
+        for st in ch.configs {
+            outcomes.push(st.outcome);
+            replays.push(st.replay);
+        }
+    }
+    Ok(ShardReplay {
+        outcomes,
+        replays,
+        index_builds: builds,
+        index_builds_shared: shared,
+        restore_bytes,
+    })
 }

@@ -1,0 +1,311 @@
+//! Undo-journal state restore: running a hot window directly on a shared
+//! snapshot and reversing its writes must be *bit-identical* to the
+//! clone-based restore it replaced (DESIGN.md §16, ROADMAP item 5).
+//!
+//! Two layers. The functional layer proves `Cpu::begin_journal` /
+//! `Cpu::undo_journal` rewinds arbitrary executed windows exactly —
+//! integer and floating-point register files (FP compared as raw bits, so
+//! NaN payloads and signed zeros count), PC, instruction count, and every
+//! resident memory page — including windows that halt mid-flight. The
+//! sweep layer proves the two restore strategies the sweep engine
+//! actually uses agree end to end: `replay_threads = 1` replays every
+//! config on the captured snapshot under a journal, while a fan-out as
+//! wide as the config list gives every worker chunk a single config and a
+//! private clone (no journaling at all), so comparing the two outcomes is
+//! exactly journal-restore vs clone-restore — under log-budget truncation
+//! and injected shard faults too.
+
+use proptest::prelude::*;
+use rsr_core::{
+    ColdSpec, DetailSpec, FaultKind, FaultPlan, Pct, SampleOutcome, SamplingRegimen, SweepOutcome,
+    SweepSpec, WarmupPolicy,
+};
+use rsr_func::{Cpu, PAGE_BYTES};
+use rsr_integration::{machine, tiny};
+use rsr_isa::{Asm, Freg, Program, Reg};
+use rsr_workloads::Benchmark;
+
+/// A random-ish but terminating program that exercises every journaled
+/// state family: integer ALU, loads/stores into a private buffer
+/// (repeated and page-crossing), FP registers loaded with raw bit
+/// patterns (NaNs, signed zeros) plus `fsqrt` of negatives, and forward
+/// branches. Wrapped in a bounded counter loop, then halts.
+fn build_program(ops: &[u8], iters: u64) -> Program {
+    let mut a = Asm::new();
+    let buf = a.data_zeros(3 * PAGE_BYTES);
+    a.la(Reg::S1, buf);
+    a.li(Reg::S0, iters as i64);
+    let top = a.bind_new("top");
+    for (k, &op) in ops.iter().enumerate() {
+        let r1 = Reg(10 + (op % 8));
+        let r2 = Reg(10 + (op / 8 % 8));
+        match op % 8 {
+            0 => {
+                a.add(r1, r1, r2);
+            }
+            1 => {
+                a.xori(r1, r2, (op as i32) << 3);
+            }
+            2 => {
+                // Load within the buffer.
+                a.andi(Reg::T0, r1, 0x1ff8);
+                a.add(Reg::T0, Reg::T0, Reg::S1);
+                a.ld(r2, 0, Reg::T0);
+            }
+            3 => {
+                // Store within the buffer — offsets near 0x1000 cross the
+                // first page boundary.
+                a.andi(Reg::T0, r2, 0x1ff8);
+                a.add(Reg::T0, Reg::T0, Reg::S1);
+                a.sd(r1, 0, Reg::T0);
+            }
+            4 => {
+                let skip = a.new_label(&format!("s{k}"));
+                a.beq(r1, r2, skip);
+                a.addi(r1, r1, 1);
+                a.bind(skip).unwrap();
+            }
+            5 => {
+                // Raw bit pattern into an FP register: op 0x80 gives a
+                // negative, whose sqrt is NaN; op 0 gives +0.0 whose
+                // negation-by-bits would be -0.0. Exercises raw-bit
+                // restore paths value-compare would miss.
+                a.slli(Reg::T1, r1, 56);
+                a.fmv_d_x(Freg(op % 32), Reg::T1);
+                a.fsqrt(Freg((op / 8) % 32), Freg(op % 32));
+            }
+            6 => {
+                a.mul(r1, r1, r2);
+            }
+            _ => {
+                // FP spill/reload through memory.
+                a.andi(Reg::T0, r1, 0xff8);
+                a.add(Reg::T0, Reg::T0, Reg::S1);
+                a.fsd(Freg(op % 32), 0, Reg::T0);
+                a.fld(Freg(op.wrapping_add(1) % 32), 0, Reg::T0);
+            }
+        }
+    }
+    a.addi(Reg::S0, Reg::S0, -1);
+    a.bne(Reg::S0, Reg::ZERO, top);
+    a.halt();
+    a.finish().expect("assembles")
+}
+
+/// Full bit-level state comparison: architectural registers (FP as raw
+/// bits), PC, icount, halt flag, and the content of every page resident
+/// in either CPU. Reading a page the other side never touched faults in
+/// zeros, so a page that is resident-and-nonzero on one side only fails
+/// the comparison — exactly what we want.
+fn assert_cpus_bit_identical(a: &mut Cpu, b: &mut Cpu, what: &str) {
+    let sa = a.arch_state();
+    let sb = b.arch_state();
+    assert_eq!(sa.pc, sb.pc, "{what}: pc");
+    assert_eq!(sa.icount, sb.icount, "{what}: icount");
+    assert_eq!(sa.halted, sb.halted, "{what}: halted");
+    assert_eq!(sa.iregs, sb.iregs, "{what}: integer registers");
+    for i in 0..32 {
+        assert_eq!(
+            sa.fregs[i].to_bits(),
+            sb.fregs[i].to_bits(),
+            "{what}: f{i} raw bits ({} vs {})",
+            sa.fregs[i],
+            sb.fregs[i]
+        );
+    }
+    let mut pages = a.mem().resident_page_nos();
+    pages.extend(b.mem().resident_page_nos());
+    pages.sort_unstable();
+    pages.dedup();
+    for p in pages {
+        let pa = a.mem_mut().read_vec(p * PAGE_BYTES, PAGE_BYTES as usize);
+        let pb = b.mem_mut().read_vec(p * PAGE_BYTES, PAGE_BYTES as usize);
+        assert_eq!(pa, pb, "{what}: page {p:#x} content");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Journal-undo restores the pre-window image exactly, and the
+    /// restored state replays the window bit-identically to a clone of
+    /// the original snapshot — over random programs and window bounds.
+    #[test]
+    fn journal_restore_is_bit_identical_to_clone_restore(
+        ops in proptest::collection::vec(any::<u8>(), 10..120),
+        iters in 1u64..50,
+        cut in 0.0f64..1.0,
+    ) {
+        let program = build_program(&ops, iters);
+        let total = {
+            let mut c = Cpu::new(&program).unwrap();
+            c.run(u64::MAX).unwrap()
+        };
+        // A window boundary somewhere strictly inside the run.
+        let skip = ((total as f64 * cut) as u64).min(total.saturating_sub(1));
+        let len = total - skip;
+
+        let mut snap = Cpu::new(&program).unwrap();
+        snap.step_n(skip, |_| ()).unwrap();
+        let reference = snap.clone();
+
+        // Journal path: run the window on the snapshot itself, rewind.
+        snap.begin_journal();
+        let mut journaled = Vec::new();
+        snap.step_n(len, |r| journaled.push((r.pc, r.next_pc))).unwrap();
+        let traffic = snap.undo_journal();
+        prop_assert!(traffic > 0, "a non-empty window must journal something");
+
+        // The rewound snapshot equals the untouched clone...
+        let mut reference = reference;
+        assert_cpus_bit_identical(&mut snap, &mut reference.clone(), "after undo");
+
+        // ...and replays the window identically to the clone path.
+        let mut replayed = Vec::new();
+        snap.step_n(len, |r| replayed.push((r.pc, r.next_pc))).unwrap();
+        reference.step_n(len, |_| ()).unwrap();
+        prop_assert_eq!(journaled, replayed, "retired streams must match across restore");
+        assert_cpus_bit_identical(&mut snap, &mut reference, "after journaled replay");
+    }
+
+    /// A window that *faults* (halts mid-flight) still rewinds exactly:
+    /// undo after the error restores the pre-window image bit for bit.
+    #[test]
+    fn journal_restore_survives_a_faulting_window(
+        ops in proptest::collection::vec(any::<u8>(), 10..80),
+        iters in 1u64..30,
+    ) {
+        let program = build_program(&ops, iters);
+        let total = {
+            let mut c = Cpu::new(&program).unwrap();
+            c.run(u64::MAX).unwrap()
+        };
+        let skip = total / 2;
+        let mut snap = Cpu::new(&program).unwrap();
+        snap.step_n(skip, |_| ()).unwrap();
+        let mut reference = snap.clone();
+
+        // Ask for more instructions than remain: the window halts, the
+        // engine reports the error, and the journal must still rewind.
+        snap.begin_journal();
+        let r = snap.step_n(total, |_| ());
+        prop_assert!(r.is_err(), "over-long window must halt");
+        snap.undo_journal();
+        assert_cpus_bit_identical(&mut snap, &mut reference, "after faulting window undo");
+    }
+}
+
+// ---- sweep layer: journal restore vs clone restore, end to end --------
+
+const TOTAL: u64 = 120_000;
+const SPAN: u64 = 15_000;
+
+fn rsr(pct: u8) -> WarmupPolicy {
+    WarmupPolicy::Reverse { cache: true, bp: true, pct: Pct::new(pct) }
+}
+
+/// Four machine variants sharing one logging signature; small-enough
+/// geometry deltas that indexes are shared between some configs and not
+/// others.
+fn swept_configs() -> Vec<(String, DetailSpec)> {
+    let mk = |l1d_kb: u64, ghr: u32, pct: u8| {
+        let mut m = machine();
+        m.hier.l1d.size_bytes = l1d_kb * 1024;
+        m.pred.ghr_bits = ghr;
+        DetailSpec::new(&m).policy(rsr(pct))
+    };
+    vec![
+        ("paper".into(), mk(32, 12, 20)),
+        ("small-l1d".into(), mk(8, 12, 20)),
+        ("same-geom".into(), mk(32, 12, 20)),
+        ("deep-ghr".into(), mk(32, 16, 60)),
+    ]
+}
+
+fn sweep_at(replay_threads: usize, budget: Option<usize>, plan: Option<FaultPlan>) -> SweepOutcome {
+    let program: &'static Program = Box::leak(Box::new(tiny(Benchmark::Twolf)));
+    let mut cold = ColdSpec::new(program)
+        .regimen(SamplingRegimen::new(8, 400))
+        .total_insts(TOTAL)
+        .seed(11)
+        .shard_span(SPAN);
+    if let Some(b) = budget {
+        cold = cold.log_budget_bytes(b);
+    }
+    if let Some(p) = plan {
+        cold = cold.fault_plan(p).max_shard_retries(1);
+    }
+    let mut sweep = SweepSpec::new(cold).replay_threads(replay_threads);
+    for (name, d) in swept_configs() {
+        sweep = sweep.config(name, d);
+    }
+    sweep.run().expect("sweep completes")
+}
+
+fn assert_outcomes_equal(a: &SampleOutcome, b: &SampleOutcome, what: &str) {
+    assert_eq!(a.est_ipc(), b.est_ipc(), "{what}: est_ipc");
+    assert_eq!(a.clusters.values(), b.clusters.values(), "{what}: IPC clusters");
+    assert_eq!(a.hot_insts, b.hot_insts, "{what}: hot_insts");
+    assert_eq!(a.skipped_insts, b.skipped_insts, "{what}: skipped_insts");
+    assert_eq!(a.log_records, b.log_records, "{what}: log_records");
+    assert_eq!(a.recon, b.recon, "{what}: recon stats");
+    assert_eq!(a.clusters_degraded, b.clusters_degraded, "{what}: clusters_degraded");
+}
+
+/// `replay_threads = 1` (journal restore, shared indexes, in-place
+/// replay) vs a fan-out of one config per worker (clone restore, no
+/// journal): every deterministic field must agree, with and without
+/// budget-truncated logs.
+#[test]
+fn sweep_journal_and_clone_paths_agree() {
+    for budget in [None, Some(3_000)] {
+        let journal = sweep_at(1, budget, None);
+        let clone = sweep_at(4, budget, None);
+        assert_eq!(journal.replay_threads, 1);
+        assert_eq!(clone.replay_threads, 4);
+        // The serial path journals between configs; the one-config-per-
+        // chunk fan-out never needs to.
+        assert!(journal.restore_bytes > 0, "journal path must report undo traffic");
+        assert_eq!(clone.restore_bytes, 0, "one config per chunk needs no journal");
+        // Index sharing happens in both modes (two configs share full
+        // geometry, three share the branch side).
+        if budget.is_none() {
+            assert!(journal.index_builds_shared > 0, "memo must share index builds");
+            assert_eq!(journal.index_builds, clone.index_builds, "builds are mode-independent");
+            assert_eq!(journal.index_builds_shared, clone.index_builds_shared);
+        } else {
+            // A 3 KB budget truncates every region at this scale: no
+            // indexes are built at all, and every cluster degrades.
+            assert!(journal.configs.iter().all(|c| c.outcome.clusters_degraded > 0));
+        }
+        for (j, c) in journal.configs.iter().zip(&clone.configs) {
+            assert_eq!(j.name, c.name);
+            assert_outcomes_equal(
+                &j.outcome,
+                &c.outcome,
+                &format!("{} journal-vs-clone (budget {budget:?})", j.name),
+            );
+        }
+    }
+}
+
+/// Injected shard faults heal identically through both restore paths:
+/// the journaled serial replay and the cloned fan-out replay recover the
+/// same outcomes after a worker panic in the fused capture+replay pass.
+#[test]
+fn sweep_restore_paths_heal_faults_identically() {
+    let plan = FaultPlan::new().with(FaultKind::WorkerPanic, 0);
+    let journal = sweep_at(1, None, Some(plan.clone()));
+    let clone = sweep_at(4, None, Some(plan));
+    assert_eq!(journal.shard_retries, 1, "exactly one healed retry");
+    assert_eq!(clone.shard_retries, 1, "exactly one healed retry");
+    let baseline = sweep_at(1, None, None);
+    for ((j, c), b) in journal.configs.iter().zip(&clone.configs).zip(&baseline.configs) {
+        assert_outcomes_equal(
+            &j.outcome,
+            &c.outcome,
+            &format!("{} healed journal-vs-clone", j.name),
+        );
+        assert_outcomes_equal(&j.outcome, &b.outcome, &format!("{} healed-vs-clean", j.name));
+    }
+}

@@ -98,7 +98,11 @@ fn assert_equivalent(a: &SampleOutcome, b: &SampleOutcome, what: &str) {
 }
 
 fn sweep_at(threads: usize, depth: usize, recon: usize) -> SweepOutcome {
-    let mut sweep = SweepSpec::new(cold()).cold_threads(threads);
+    sweep_at_replay(threads, depth, recon, 1)
+}
+
+fn sweep_at_replay(threads: usize, depth: usize, recon: usize, replay: usize) -> SweepOutcome {
+    let mut sweep = SweepSpec::new(cold()).cold_threads(threads).replay_threads(replay);
     for (name, m, policy) in config_axis() {
         sweep = sweep.config(
             name,
@@ -143,6 +147,36 @@ fn sweep_outcomes_are_bit_identical_to_standalone_runs() {
                         &format!("{name} standalone at {threads}t x depth {depth} x recon {recon}"),
                     );
                 }
+            }
+        }
+    }
+}
+
+#[test]
+fn replay_fanout_is_bit_identical_at_any_width() {
+    // The config-parallel replay contract: worker chunks own their
+    // configs' state for the whole shard, so per-config outcomes are
+    // bit-identical at every fan-out — serial with journaled in-place
+    // restore (1), an uneven partition (3 → chunks of 2/1/1), and one
+    // config per clone-restoring worker (4). Composed with capture
+    // threads and reconstruction workers to cover the full
+    // (threads × recon × replay) product the CI smoke also probes.
+    let bases: Vec<(String, SampleOutcome)> = config_axis()
+        .iter()
+        .map(|(name, m, policy)| (name.clone(), standalone(m, *policy, 1, 1, 1)))
+        .collect();
+    for replay in [1usize, 3, 4] {
+        for (threads, recon) in [(1usize, 1usize), (4, 2)] {
+            let out = sweep_at_replay(threads, 1, recon, replay);
+            assert_eq!(out.replay_threads, replay, "explicit width is honored");
+            assert!(out.index_builds > 0, "reverse configs must build indexes");
+            assert!(out.index_builds_shared > 0, "shared-geometry configs must share");
+            for ((name, base), got) in bases.iter().zip(&out.configs) {
+                assert_equivalent(
+                    base,
+                    &got.outcome,
+                    &format!("{name} at replay {replay} ({threads}t x recon {recon})"),
+                );
             }
         }
     }
